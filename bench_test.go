@@ -1,0 +1,134 @@
+package mcgc
+
+// One benchmark per table and figure of the paper's evaluation (Section 6),
+// plus the ablation sweep. Each runs the corresponding experiment at
+// QuickScale and reports the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` regenerates every artefact's shape in one
+// command. cmd/gcbench prints the full tables at larger scales.
+
+import (
+	"testing"
+
+	"mcgc/internal/experiments"
+)
+
+func BenchmarkFig1SPECjbbPauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(experiments.QuickScale(), 4)
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.STWAvgMs, "ms-stw-avg-pause")
+		b.ReportMetric(last.CGCAvgMs, "ms-cgc-avg-pause")
+		b.ReportMetric(last.CGCMarkAvgMs, "ms-cgc-avg-mark")
+		if last.STWThroughput > 0 {
+			b.ReportMetric(last.CGCThroughput/last.STWThroughput, "throughput-ratio")
+		}
+	}
+}
+
+func BenchmarkFig2PBOBPauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2(experiments.QuickScale(), 8, 16, 8)
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.STWAvgMs, "ms-stw-avg-pause")
+		b.ReportMetric(last.CGCAvgMs, "ms-cgc-avg-pause")
+		b.ReportMetric(last.CGCSweepAvgMs/last.CGCAvgMs, "sweep-share-of-pause")
+	}
+}
+
+func BenchmarkTable1TracingRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		tr1, tr8 := rs[1], rs[2]
+		b.ReportMetric(100*tr1.FloatingGarbage, "pct-floating-tr1")
+		b.ReportMetric(100*tr8.FloatingGarbage, "pct-floating-tr8")
+		b.ReportMetric(tr8.AvgPauseMs, "ms-tr8-avg-pause")
+	}
+}
+
+func BenchmarkTable2Metering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		tr1, tr8 := rs[1], rs[2]
+		b.ReportMetric(tr1.CardsLeftPct, "pct-cards-left-tr1")
+		b.ReportMetric(tr8.CardsLeftPct, "pct-cards-left-tr8")
+		b.ReportMetric(tr8.FreeSpaceFailPct, "pct-freespace-fail-tr8")
+	}
+}
+
+func BenchmarkTable3Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		tr1, tr8 := rs[1], rs[2]
+		b.ReportMetric(100*tr1.Utilization, "pct-utilization-tr1")
+		b.ReportMetric(100*tr8.Utilization, "pct-utilization-tr8")
+	}
+}
+
+func BenchmarkTable4LoadBalancing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(experiments.QuickScale(), []int{2, 4}, 256)
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.AvgTracingFactor, "tracing-factor")
+		b.ReportMetric(last.Fairness, "fairness-stddev")
+		b.ReportMetric(last.AvgCostPerMB, "cas-per-mb-live")
+	}
+}
+
+func BenchmarkJavacSmallApp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Javac(experiments.QuickScale())
+		b.ReportMetric(r.STWAvgMs, "ms-stw-avg-pause")
+		b.ReportMetric(r.CGCAvgMs, "ms-cgc-avg-pause")
+	}
+}
+
+func BenchmarkPacketMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PacketMem(experiments.QuickScale())
+		b.ReportMetric(r.LowerBoundPct, "pct-heap-lower")
+		b.ReportMetric(r.UpperBoundPct, "pct-heap-upper")
+	}
+}
+
+func BenchmarkFenceAccounting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fences(experiments.QuickScale())
+		if r.Acc.AllocFences > 0 {
+			b.ReportMetric(float64(r.ObjectsAlloc)/float64(r.Acc.AllocFences), "objects-per-alloc-fence")
+		}
+		b.ReportMetric(float64(r.Acc.PacketFences), "packet-fences")
+		b.ReportMetric(0, "write-barrier-fences")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablations(experiments.QuickScale())
+		for _, r := range rows {
+			switch r.Name {
+			case "baseline (combined, 1 card pass)":
+				b.ReportMetric(r.AvgPauseMs, "ms-baseline-pause")
+			case "lazy sweep":
+				b.ReportMetric(r.AvgPauseMs, "ms-lazysweep-pause")
+			}
+		}
+	}
+}
+
+func BenchmarkMMUCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.MMU(experiments.QuickScale())
+		last := len(r.WindowsMs) - 1
+		b.ReportMetric(100*r.STW[last], "pct-stw-mmu-large-window")
+		b.ReportMetric(100*r.CGC[last], "pct-cgc-mmu-large-window")
+	}
+}
+
+func BenchmarkGenerational(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Generational(experiments.QuickScale())
+		b.ReportMetric(r.GenMinorAvgMs, "ms-minor-avg-pause")
+		b.ReportMetric(r.GenMajorAvgMs, "ms-major-avg-pause")
+		b.ReportMetric(r.CGCAvgMs, "ms-cgc-avg-pause")
+	}
+}

@@ -1,0 +1,90 @@
+// Command gcbench regenerates the tables and figures of "A Parallel,
+// Incremental and Concurrent GC for Servers" (Ossia et al., PLDI 2002).
+//
+// Usage:
+//
+//	gcbench -exp fig1              # one experiment
+//	gcbench -exp fig1,table1,javac # several
+//	gcbench -exp all               # everything
+//	gcbench -exp all -scale paper  # at the paper's heap sizes (slow)
+//
+// Experiments: fig1, fig2, table1, table2, table3, table4, javac, packets,
+// fences, mmu, gen, frag, ablate. See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mcgc/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,table1,table2,table3,table4,javac,packets,fences,mmu,gen,frag,ablate,all")
+		scaleFlag = flag.String("scale", "default", "experiment sizing: quick, default, paper")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "gcbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("==== %s ====\n\n", name)
+		f()
+		fmt.Printf("\n(%s computed in %.1fs of real time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	// Tables 1-3 share their runs; compute lazily once.
+	var rates []experiments.TracingRateResult
+	ratesOnce := func() []experiments.TracingRateResult {
+		if rates == nil {
+			rates = experiments.TracingRates(sc, nil, 8)
+		}
+		return rates
+	}
+
+	section("fig1", func() { fmt.Println(experiments.RenderFig1(experiments.Fig1(sc, 8))) })
+	section("fig2", func() { fmt.Println(experiments.RenderFig2(experiments.Fig2(sc, 40, 80, 10))) })
+	section("table1", func() { fmt.Println(experiments.RenderTable1(ratesOnce())) })
+	section("table2", func() { fmt.Println(experiments.RenderTable2(ratesOnce())) })
+	section("table3", func() { fmt.Println(experiments.RenderTable3(ratesOnce())) })
+	section("table4", func() { fmt.Println(experiments.RenderTable4(experiments.Table4(sc, nil, 1000))) })
+	section("javac", func() { fmt.Println(experiments.RenderJavac(experiments.Javac(sc))) })
+	section("packets", func() { fmt.Println(experiments.RenderPacketMem(experiments.PacketMem(sc))) })
+	section("fences", func() { fmt.Println(experiments.RenderFences(experiments.Fences(sc))) })
+	section("mmu", func() { fmt.Println(experiments.RenderMMU(experiments.MMU(sc))) })
+	section("gen", func() { fmt.Println(experiments.RenderGenerational(experiments.Generational(sc))) })
+	section("frag", func() { fmt.Println(experiments.RenderFragmentation(experiments.Fragmentation(sc))) })
+	section("ablate", func() { fmt.Println(experiments.RenderAblations(experiments.Ablations(sc))) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "gcbench: no experiment matched %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,12 @@
+// Package mcgc is a from-scratch Go reproduction of "A Parallel,
+// Incremental and Concurrent GC for Servers" (Yoav Ossia, Ori Ben-Yitzhak,
+// Irit Goft, Elliot K. Kolodner, Victor Leikehman, Avi Owshanko; PLDI
+// 2002): the IBM mostly concurrent collector with work packet load
+// balancing and fence batching for weak-ordering multiprocessors.
+//
+// Start with package mcgc/gcsim (the public facade), cmd/gcbench (the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation), and the runnable examples under examples/. DESIGN.md
+// maps paper sections to packages; EXPERIMENTS.md records paper-vs-measured
+// results.
+package mcgc

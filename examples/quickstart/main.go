@@ -1,0 +1,53 @@
+// Quickstart: build a simulated 4-way server with the mostly concurrent
+// collector, run a warehouse workload for five virtual seconds, and print
+// the pause-time report.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcgc/gcsim"
+)
+
+func main() {
+	// A 64 MB heap on a 4-processor machine, collected by the paper's
+	// parallel incremental mostly-concurrent collector at tracing rate 8.
+	vm := gcsim.New(gcsim.Options{
+		HeapBytes:  64 << 20,
+		Processors: 4,
+		Collector:  gcsim.CGC,
+	})
+
+	// A SPECjbb-like workload: 8 warehouses of transaction data at 60%
+	// heap residency.
+	jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8})
+
+	vm.RunFor(5 * gcsim.Second)
+
+	if err := jbb.CheckIntegrity(); err != nil {
+		log.Fatalf("heap integrity: %v", err)
+	}
+
+	fmt.Println(vm.Report())
+	fmt.Printf("transactions: %d in %v of virtual time\n", jbb.Transactions(), vm.Now())
+
+	// The same workload under the stop-the-world baseline, for contrast.
+	base := gcsim.New(gcsim.Options{
+		HeapBytes:  64 << 20,
+		Processors: 4,
+		Collector:  gcsim.STW,
+	})
+	baseJBB := base.NewJBB(gcsim.JBBOptions{Warehouses: 8})
+	base.RunFor(5 * gcsim.Second)
+	if err := baseJBB.CheckIntegrity(); err != nil {
+		log.Fatalf("heap integrity: %v", err)
+	}
+	fmt.Println()
+	fmt.Println(base.Report())
+	fmt.Printf("transactions: %d in %v of virtual time\n", baseJBB.Transactions(), base.Now())
+}

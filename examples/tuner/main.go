@@ -1,0 +1,49 @@
+// Tuner: sweep the tracing rate K0 — the collector's single most important
+// knob (Section 3) — on one workload and print the trade-off the paper's
+// Table 1 documents: low rates start concurrent collection early and cheap
+// for the mutators but accumulate floating garbage and leave work for the
+// pause; high rates start late, keep the heap clean, and shorten pauses at
+// a higher incremental cost.
+//
+// Run with:
+//
+//	go run ./examples/tuner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcgc/gcsim"
+)
+
+func main() {
+	fmt.Println("tracing-rate sweep: SPECjbb-like, 64 MB heap, 8 warehouses, 4 CPUs")
+	fmt.Println()
+	fmt.Printf("%-6s %-12s %-12s %-12s %-14s %-10s\n",
+		"K0", "avg pause", "max pause", "tx/s", "occupancy", "conc-done")
+	for _, k0 := range []float64{1, 2, 4, 8, 10, 16} {
+		vm := gcsim.New(gcsim.Options{
+			HeapBytes:   64 << 20,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: k0,
+		})
+		jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8, Seed: 11})
+		vm.RunFor(6 * gcsim.Second)
+		if err := jbb.CheckIntegrity(); err != nil {
+			log.Fatalf("K0=%v: %v", k0, err)
+		}
+		rep := vm.Report()
+		concPct := 0.0
+		if rep.Cycles > 0 {
+			concPct = 100 * float64(rep.ConcDone) / float64(rep.Cycles)
+		}
+		fmt.Printf("%-6g %-12v %-12v %-12.0f %-14s %.0f%%\n",
+			k0, rep.Pause.Avg, rep.Pause.Max,
+			float64(jbb.Transactions())/gcsim.Duration(vm.Now()).Seconds(),
+			fmt.Sprintf("%d KB", rep.AvgLiveAfter>>10), concPct)
+	}
+	fmt.Println("\nhigher K0: less floating garbage (lower occupancy), shorter pauses,")
+	fmt.Println("but tracing starts later and costs the mutators more while it runs.")
+}

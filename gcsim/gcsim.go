@@ -1,0 +1,405 @@
+// Package gcsim is the public entry point of the reproduction: it wires a
+// simulated multiprocessor (internal/machine), a simulated heap and mutator
+// runtime (internal/heapsim, internal/mutator), one of the paper's two
+// collectors (internal/core), and a workload (internal/workload) into a
+// runnable virtual machine.
+//
+// A minimal session:
+//
+//	vm := gcsim.New(gcsim.Options{
+//		HeapBytes:  64 << 20,
+//		Processors: 4,
+//		Collector:  gcsim.CGC,
+//	})
+//	jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8})
+//	vm.RunFor(5 * gcsim.Second)
+//	fmt.Println(vm.Report())
+//	_ = jbb.Transactions()
+//
+// The collectors, pacing formulas, work packets and card table are faithful
+// implementations of "A Parallel, Incremental and Concurrent GC for
+// Servers" (Ossia et al., PLDI 2002); see DESIGN.md for the full map from
+// paper sections to packages.
+package gcsim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mcgc/internal/core"
+	"mcgc/internal/gctrace"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workload"
+)
+
+// Re-exported time units so callers need not import internal packages.
+const (
+	Nanosecond  = vtime.Nanosecond
+	Microsecond = vtime.Microsecond
+	Millisecond = vtime.Millisecond
+	Second      = vtime.Second
+)
+
+// Duration and Time are the virtual time types used throughout.
+type (
+	Duration = vtime.Duration
+	Time     = vtime.Time
+)
+
+// Collector selects which of the paper's collectors manages the heap.
+type Collector string
+
+const (
+	// STW is the parallel stop-the-world mark-sweep baseline.
+	STW Collector = "stw"
+	// CGC is the parallel, incremental, mostly concurrent collector —
+	// the paper's contribution.
+	CGC Collector = "cgc"
+	// GenCGC is the generational extension: a scavenged nursery in front
+	// of the mostly concurrent old-space collector (the combination the
+	// paper's introduction names as future work).
+	GenCGC Collector = "gencgc"
+)
+
+// Options configures a VM. Zero values choose the paper's defaults.
+type Options struct {
+	// HeapBytes is the fixed heap size (default 64 MB).
+	HeapBytes int64
+	// Processors is the simulated SMP width (default 4, the paper's
+	// Netfinity 7000).
+	Processors int
+	// Collector selects the GC (default CGC).
+	Collector Collector
+
+	// TracingRate is the desired allocator tracing rate K0 (default 8.0,
+	// the paper's default runs).
+	TracingRate float64
+	// WorkPackets is the pool size (default 1000); PacketCapacity is the
+	// per-packet entry count (default 493).
+	WorkPackets    int
+	PacketCapacity int
+	// BackgroundThreads is the number of low-priority tracing threads
+	// (default 4). Set Negative to force zero.
+	BackgroundThreads int
+	// CardPasses is the number of concurrent card-cleaning passes
+	// (default 1; 2 enables the footnote-2 refinement).
+	CardPasses int
+	// LazySweep defers sweeping out of the pause (Section 7 extension).
+	LazySweep bool
+	// IncrementalCompaction evacuates one heap area per cycle during the
+	// pause (Section 2.3 extension). Ignored when LazySweep is set.
+	IncrementalCompaction bool
+	// NurseryBytes sizes the GenCGC nursery (default heap/8).
+	NurseryBytes int64
+	// NoMutatorTracing disables incremental tracing by mutators (the
+	// background-only ablation).
+	NoMutatorTracing bool
+
+	// CacheBytes is the allocation-cache size (default 16 KB);
+	// LargeBytes the large-object threshold (default 2 KB).
+	CacheBytes int
+	LargeBytes int
+
+	// Costs overrides the calibrated virtual-time cost model.
+	Costs *machine.Costs
+
+	// GCTrace, when set, receives a -verbose:gc style line per collection
+	// event.
+	GCTrace io.Writer
+	// TraceSink, when set, receives the structured events directly
+	// (programmatic consumers; combined with GCTrace if both are set).
+	TraceSink gctrace.Sink
+}
+
+func (o *Options) fill() {
+	if o.HeapBytes == 0 {
+		o.HeapBytes = 64 << 20
+	}
+	if o.Processors == 0 {
+		o.Processors = 4
+	}
+	if o.Collector == "" {
+		o.Collector = CGC
+	}
+	if o.TracingRate == 0 {
+		o.TracingRate = 8.0
+	}
+	if o.WorkPackets == 0 {
+		o.WorkPackets = 1000
+	}
+	if o.BackgroundThreads == 0 {
+		o.BackgroundThreads = 4
+	}
+	if o.BackgroundThreads < 0 {
+		o.BackgroundThreads = 0
+	}
+}
+
+// VM is a configured simulation: machine + runtime + collector.
+type VM struct {
+	opts Options
+	m    *machine.Machine
+	rt   *mutator.Runtime
+
+	stw *core.STW
+	cgc *core.CGC
+	gen *core.Generational
+}
+
+// New builds a VM.
+func New(opts Options) *VM {
+	opts.fill()
+	var sink gctrace.Sink
+	switch {
+	case opts.GCTrace != nil && opts.TraceSink != nil:
+		sink = gctrace.Multi(gctrace.TextWriter{W: opts.GCTrace}, opts.TraceSink)
+	case opts.GCTrace != nil:
+		sink = gctrace.TextWriter{W: opts.GCTrace}
+	case opts.TraceSink != nil:
+		sink = opts.TraceSink
+	}
+	m := machine.New(opts.Processors)
+	mcfg := mutator.DefaultConfig()
+	if opts.CacheBytes > 0 {
+		mcfg.CacheBytes = opts.CacheBytes
+	}
+	if opts.LargeBytes > 0 {
+		mcfg.LargeBytes = opts.LargeBytes
+	}
+	costs := machine.DefaultCosts()
+	if opts.Costs != nil {
+		costs = *opts.Costs
+	}
+	rt := mutator.NewRuntime(opts.HeapBytes, mcfg, costs)
+	vm := &VM{opts: opts, m: m, rt: rt}
+	switch opts.Collector {
+	case STW:
+		vm.stw = core.NewSTW(rt, m, opts.WorkPackets, opts.PacketCapacity, opts.Processors)
+		vm.stw.Trace = sink
+		rt.SetCollector(vm.stw)
+	case GenCGC:
+		cfg := core.DefaultCGCConfig()
+		cfg.Packets = opts.WorkPackets
+		cfg.PacketCap = opts.PacketCapacity
+		cfg.Workers = opts.Processors
+		cfg.BackgroundThreads = opts.BackgroundThreads
+		cfg.Pacing.K0 = opts.TracingRate
+		if opts.CardPasses > 0 {
+			cfg.CardPasses = opts.CardPasses
+		}
+		cfg.LazySweep = opts.LazySweep
+		cfg.Compaction = opts.IncrementalCompaction
+		cfg.MutatorTracing = !opts.NoMutatorTracing
+		cfg.Trace = sink
+		vm.gen = core.NewGenerational(rt, m, core.GenConfig{
+			NurseryBytes: opts.NurseryBytes,
+			CGC:          cfg,
+		})
+		vm.cgc = vm.gen.Old()
+		rt.SetCollector(vm.gen)
+		vm.gen.SpawnBackground()
+	case CGC:
+		cfg := core.DefaultCGCConfig()
+		cfg.Packets = opts.WorkPackets
+		cfg.PacketCap = opts.PacketCapacity
+		cfg.Workers = opts.Processors
+		cfg.BackgroundThreads = opts.BackgroundThreads
+		cfg.Pacing.K0 = opts.TracingRate
+		if opts.CardPasses > 0 {
+			cfg.CardPasses = opts.CardPasses
+		}
+		cfg.LazySweep = opts.LazySweep
+		cfg.Compaction = opts.IncrementalCompaction
+		cfg.MutatorTracing = !opts.NoMutatorTracing
+		cfg.Trace = sink
+		vm.cgc = core.NewCGC(rt, m, cfg)
+		rt.SetCollector(vm.cgc)
+		vm.cgc.SpawnBackground()
+	default:
+		panic(fmt.Sprintf("gcsim: unknown collector %q", opts.Collector))
+	}
+	return vm
+}
+
+// Options returns the effective configuration.
+func (vm *VM) Options() Options { return vm.opts }
+
+// Machine exposes the simulated multiprocessor.
+func (vm *VM) Machine() *machine.Machine { return vm.m }
+
+// Runtime exposes the mutator runtime (heap, card table, thread registry).
+func (vm *VM) Runtime() *mutator.Runtime { return vm.rt }
+
+// CGCCollector returns the mostly concurrent collector (for GenCGC, the
+// old-space collector), or nil when the VM runs the baseline.
+func (vm *VM) CGCCollector() *core.CGC { return vm.cgc }
+
+// Generational returns the generational wrapper, or nil unless the VM runs
+// GenCGC.
+func (vm *VM) Generational() *core.Generational { return vm.gen }
+
+// STWCollector returns the baseline collector, or nil.
+func (vm *VM) STWCollector() *core.STW { return vm.stw }
+
+// Now returns the current virtual time.
+func (vm *VM) Now() Time { return vm.m.Now() }
+
+// RunFor advances the simulation by d of virtual time.
+func (vm *VM) RunFor(d Duration) Time { return vm.m.Run(vm.m.Now().Add(d)) }
+
+// RunUntil advances the simulation to the given instant.
+func (vm *VM) RunUntil(t Time) Time { return vm.m.Run(t) }
+
+// Cycles returns the collection cycles completed so far.
+func (vm *VM) Cycles() []core.CycleStats {
+	if vm.cgc != nil {
+		return vm.cgc.Cycles
+	}
+	return vm.stw.Cycles
+}
+
+// NewJBB attaches a warehouse transaction workload.
+func (vm *VM) NewJBB(opts JBBOptions) *workload.JBB {
+	return workload.NewJBB(vm.rt, vm.m, opts.toConfig(vm.opts.HeapBytes))
+}
+
+// NewJavac attaches the single-threaded compiler workload.
+func (vm *VM) NewJavac(peakResidency float64) *workload.Javac {
+	if peakResidency == 0 {
+		peakResidency = 0.7
+	}
+	return workload.NewJavac(vm.rt, vm.m, workload.DefaultJavacConfig(vm.opts.HeapBytes, peakResidency))
+}
+
+// JBBOptions configures the warehouse workload at the facade level.
+type JBBOptions struct {
+	// Warehouses (default 8) and TerminalsPerWarehouse (default 1; the
+	// paper's pBOB uses 25).
+	Warehouses            int
+	TerminalsPerWarehouse int
+	// ResidencyAtMax is the target heap residency when running
+	// MaxWarehouses warehouses (default 0.6 at 8, the paper's setup).
+	ResidencyAtMax float64
+	MaxWarehouses  int
+	// ThinkTime enables pBOB-style idle time (default none).
+	ThinkTime Duration
+	// TxGarbageObjects and BlockReplacePercent tune the transaction mix:
+	// short-lived temporaries per transaction, and the chance (0-100) a
+	// transaction replaces a block of retained data. Defaults follow the
+	// workload package. Replacement allocates long-lived data, so a low
+	// percentage gives the high young mortality generational collection
+	// wants.
+	TxGarbageObjects    int
+	BlockReplacePercent int
+	Seed                int64
+}
+
+func (o JBBOptions) toConfig(heapBytes int64) workload.JBBConfig {
+	if o.Warehouses == 0 {
+		o.Warehouses = 8
+	}
+	if o.MaxWarehouses == 0 {
+		o.MaxWarehouses = 8
+	}
+	if o.ResidencyAtMax == 0 {
+		o.ResidencyAtMax = 0.6
+	}
+	cfg := workload.DefaultJBBConfig(o.Warehouses, heapBytes, o.ResidencyAtMax, o.MaxWarehouses)
+	if o.TerminalsPerWarehouse > 0 {
+		cfg.TerminalsPerWarehouse = o.TerminalsPerWarehouse
+	}
+	cfg.ThinkTime = o.ThinkTime
+	if o.TxGarbageObjects > 0 {
+		cfg.TxGarbageObjects = o.TxGarbageObjects
+	}
+	if o.BlockReplacePercent > 0 {
+		cfg.BlockReplacePercent = o.BlockReplacePercent
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// Report summarizes a run in the shape the paper reports: pause statistics
+// with their mark and sweep components, cycle counts by outcome, and GC
+// overhead indicators.
+type Report struct {
+	Collector    Collector
+	Cycles       int
+	ConcDone     int // cycles whose concurrent phase finished all work
+	AllocFail    int // cycles cut short by allocation failure
+	Direct       int // degenerate full stop-the-world cycles
+	Pause        stats.DurationSummary
+	Mark         stats.DurationSummary
+	Sweep        stats.DurationSummary
+	StopLatency  stats.DurationSummary
+	PauseP95     Duration
+	AvgLiveAfter int64
+
+	// Minor-collection statistics (GenCGC only; zero otherwise).
+	Minors        int
+	MinorPause    stats.DurationSummary
+	PromotedBytes int64
+}
+
+// Report computes the summary for everything run so far.
+func (vm *VM) Report() Report {
+	cycles := vm.Cycles()
+	r := Report{Collector: vm.opts.Collector, Cycles: len(cycles)}
+	var lat []Duration
+	for _, p := range vm.m.Pauses {
+		lat = append(lat, p.StopLatency)
+	}
+	r.StopLatency = stats.Summarize(lat)
+	var liveSum int64
+	for i := range cycles {
+		switch cycles[i].Reason {
+		case "conc-done":
+			r.ConcDone++
+		case "alloc-failure":
+			r.AllocFail++
+		default:
+			r.Direct++
+		}
+		liveSum += cycles[i].LiveAfter
+	}
+	if len(cycles) > 0 {
+		r.AvgLiveAfter = liveSum / int64(len(cycles))
+	}
+	r.Pause, r.Mark, r.Sweep = core.SummarizePauses(cycles)
+	var pauses []Duration
+	for i := range cycles {
+		pauses = append(pauses, cycles[i].Pause)
+	}
+	r.PauseP95 = stats.Percentile(pauses, 0.95)
+	if vm.gen != nil {
+		r.Minors = len(vm.gen.Minors)
+		var ds []Duration
+		for _, m := range vm.gen.Minors {
+			ds = append(ds, m.Pause)
+		}
+		r.MinorPause = stats.Summarize(ds)
+		r.PromotedBytes = vm.gen.PromotedBytes
+	}
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "collector=%s cycles=%d (conc-done=%d alloc-failure=%d direct=%d)\n",
+		r.Collector, r.Cycles, r.ConcDone, r.AllocFail, r.Direct)
+	fmt.Fprintf(&b, "pause avg=%v p95=%v max=%v | mark avg=%v | sweep avg=%v | stop-latency avg=%v\n",
+		r.Pause.Avg, r.PauseP95, r.Pause.Max, r.Mark.Avg, r.Sweep.Avg, r.StopLatency.Avg)
+	fmt.Fprintf(&b, "avg occupancy after GC: %d KB", r.AvgLiveAfter>>10)
+	if r.Minors > 0 {
+		fmt.Fprintf(&b, "\nminors: %d, avg=%v max=%v, promoted %d KB",
+			r.Minors, r.MinorPause.Avg, r.MinorPause.Max, r.PromotedBytes>>10)
+	}
+	return b.String()
+}

@@ -1,0 +1,3 @@
+module mcgc
+
+go 1.22

@@ -1,0 +1,353 @@
+package bitvec
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	v := New(200)
+	for i := 0; i < 200; i += 3 {
+		v.Set(i)
+	}
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		if got := v.Test(i); got != want {
+			t.Fatalf("Test(%d) = %v, want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 200; i += 3 {
+		v.Clear(i)
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d after clearing all, want 0", v.Count())
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	v := New(64)
+	if !v.TestAndSet(13) {
+		t.Fatal("first TestAndSet returned false")
+	}
+	if v.TestAndSet(13) {
+		t.Fatal("second TestAndSet returned true")
+	}
+	if !v.Test(13) {
+		t.Fatal("bit 13 not set")
+	}
+}
+
+func TestTestAndSetUniqueWinner(t *testing.T) {
+	// Exactly one goroutine claims each bit even under contention.
+	const bitsN = 512
+	const workers = 8
+	v := New(bitsN)
+	wins := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < bitsN; i++ {
+				if v.TestAndSet(i) {
+					wins[w] = append(wins[w], i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	claimed := make(map[int]int)
+	for w := range wins {
+		for _, i := range wins[w] {
+			claimed[i]++
+		}
+	}
+	if len(claimed) != bitsN {
+		t.Fatalf("claimed %d distinct bits, want %d", len(claimed), bitsN)
+	}
+	for i, n := range claimed {
+		if n != 1 {
+			t.Fatalf("bit %d claimed %d times", i, n)
+		}
+	}
+}
+
+func TestClearRange(t *testing.T) {
+	for _, tc := range []struct{ n, from, to int }{
+		{130, 0, 130},
+		{130, 5, 9},
+		{130, 0, 64},
+		{130, 63, 65},
+		{130, 64, 128},
+		{130, 7, 7},
+		{130, 129, 130},
+		{64, 0, 64},
+		{1, 0, 1},
+	} {
+		v := New(tc.n)
+		v.SetRange(0, tc.n)
+		v.ClearRange(tc.from, tc.to)
+		for i := 0; i < tc.n; i++ {
+			want := i < tc.from || i >= tc.to
+			if got := v.Test(i); got != want {
+				t.Fatalf("n=%d ClearRange(%d,%d): bit %d = %v, want %v",
+					tc.n, tc.from, tc.to, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	v := New(200)
+	v.SetRange(10, 150)
+	for i := 0; i < 200; i++ {
+		want := i >= 10 && i < 150
+		if got := v.Test(i); got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.CountRange(0, 200); got != 140 {
+		t.Fatalf("CountRange = %d, want 140", got)
+	}
+}
+
+func TestNextSetNextClear(t *testing.T) {
+	v := New(300)
+	for _, i := range []int{0, 63, 64, 65, 200, 299} {
+		v.Set(i)
+	}
+	wantSets := []int{0, 63, 64, 65, 200, 299}
+	var got []int
+	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(wantSets) {
+		t.Fatalf("NextSet walk found %v, want %v", got, wantSets)
+	}
+	for k := range got {
+		if got[k] != wantSets[k] {
+			t.Fatalf("NextSet walk found %v, want %v", got, wantSets)
+		}
+	}
+	if i := v.NextClear(0); i != 1 {
+		t.Fatalf("NextClear(0) = %d, want 1", i)
+	}
+	if i := v.NextClear(63); i != 66 {
+		t.Fatalf("NextClear(63) = %d, want 66", i)
+	}
+	full := New(64)
+	full.SetRange(0, 64)
+	if i := full.NextClear(0); i != -1 {
+		t.Fatalf("NextClear on full vector = %d, want -1", i)
+	}
+	empty := New(64)
+	if i := empty.NextSet(0); i != -1 {
+		t.Fatalf("NextSet on empty vector = %d, want -1", i)
+	}
+}
+
+func TestNextSetPastEnd(t *testing.T) {
+	v := New(10)
+	v.Set(9)
+	if i := v.NextSet(10); i != -1 {
+		t.Fatalf("NextSet(len) = %d, want -1", i)
+	}
+	if i := v.NextSet(-5); i != 9 {
+		t.Fatalf("NextSet(-5) = %d, want 9", i)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(100), New(100)
+	a.SetRange(20, 40)
+	b.CopyFrom(a)
+	for i := 0; i < 100; i++ {
+		if a.Test(i) != b.Test(i) {
+			t.Fatalf("bit %d differs after CopyFrom", i)
+		}
+	}
+	// The copy is independent.
+	a.Set(99)
+	if b.Test(99) {
+		t.Fatal("CopyFrom aliased the underlying storage")
+	}
+}
+
+// Property: NextSet enumerates exactly the set bits, in order, for any
+// pattern of sets.
+func TestQuickNextSetEnumeratesSets(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		const n = 1 << 12
+		v := New(n)
+		want := make(map[int]bool)
+		for _, x := range idxs {
+			i := int(x) % n
+			v.Set(i)
+			want[i] = true
+		}
+		seen := 0
+		prev := -1
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			if !want[i] || i <= prev {
+				return false
+			}
+			prev = i
+			seen++
+		}
+		return seen == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClearRange then CountRange agree with a reference model.
+func TestQuickRangesMatchModel(t *testing.T) {
+	f := func(ops []struct {
+		From, To uint16
+		Set      bool
+	}) bool {
+		const n = 1 << 11
+		v := New(n)
+		model := make([]bool, n)
+		for _, op := range ops {
+			from, to := int(op.From)%n, int(op.To)%n
+			if from > to {
+				from, to = to, from
+			}
+			if op.Set {
+				v.SetRange(from, to)
+				for i := from; i < to; i++ {
+					model[i] = true
+				}
+			} else {
+				v.ClearRange(from, to)
+				for i := from; i < to; i++ {
+					model[i] = false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if v.Test(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	v := New(16)
+	for _, f := range []func(){
+		func() { v.Test(-1) },
+		func() { v.Test(16) },
+		func() { v.Set(16) },
+		func() { v.ClearRange(4, 2) },
+		func() { v.SetRange(0, 17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentSetClearDistinctWords(t *testing.T) {
+	// Atomic ops on distinct bits of the same word do not lose updates.
+	v := New(64)
+	var wg sync.WaitGroup
+	for b := 0; b < 64; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				v.SetAtomic(b)
+				if !v.TestAcquire(b) {
+					t.Errorf("bit %d lost after SetAtomic", b)
+					return
+				}
+				v.ClearAtomic(b)
+			}
+			v.SetAtomic(b)
+		}(b)
+	}
+	wg.Wait()
+	if v.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", v.Count())
+	}
+}
+
+func BenchmarkTestAndSet(b *testing.B) {
+	v := New(1 << 20)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.TestAndSet(r.Intn(1 << 20))
+	}
+}
+
+func BenchmarkNextSetSparse(b *testing.B) {
+	v := New(1 << 20)
+	for i := 0; i < 1<<20; i += 4096 {
+		v.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := v.NextSet(0); j >= 0; j = v.NextSet(j + 1) {
+		}
+	}
+}
+
+func TestPrevSet(t *testing.T) {
+	v := New(300)
+	for _, i := range []int{0, 63, 64, 65, 200, 299} {
+		v.Set(i)
+	}
+	for _, tc := range []struct{ from, want int }{
+		{299, 299}, {298, 200}, {200, 200}, {199, 65}, {65, 65},
+		{64, 64}, {63, 63}, {62, 0}, {0, 0}, {1000, 299},
+	} {
+		if got := v.PrevSet(tc.from); got != tc.want {
+			t.Fatalf("PrevSet(%d) = %d, want %d", tc.from, got, tc.want)
+		}
+	}
+	empty := New(64)
+	if got := empty.PrevSet(63); got != -1 {
+		t.Fatalf("PrevSet on empty = %d", got)
+	}
+	if got := v.PrevSet(-1); got != -1 {
+		t.Fatalf("PrevSet(-1) = %d", got)
+	}
+}
+
+// Property: PrevSet agrees with a linear scan.
+func TestQuickPrevSetMatchesScan(t *testing.T) {
+	f := func(idxs []uint16, fromRaw uint16) bool {
+		const n = 1 << 12
+		v := New(n)
+		for _, x := range idxs {
+			v.Set(int(x) % n)
+		}
+		from := int(fromRaw) % n
+		want := -1
+		for i := from; i >= 0; i-- {
+			if v.Test(i) {
+				want = i
+				break
+			}
+		}
+		return v.PrevSet(from) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

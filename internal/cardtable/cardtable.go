@@ -1,0 +1,116 @@
+// Package cardtable implements the card marking write-barrier state of the
+// mostly concurrent collector (Section 2 of the paper) and the snapshot
+// registration step of the fence-free write barrier protocol (Section 5.3).
+//
+// The heap is divided into 512-byte cards. The mutator's write barrier
+// dirties the card of the object whose reference slot it stored into; it
+// issues no fence (the paper's third fence-batching technique). Cleaning is
+// a three-step protocol: register-and-clear the dirty indicators, force
+// every mutator through one fence, then rescan marked objects on the
+// registered cards.
+package cardtable
+
+import (
+	"fmt"
+
+	"mcgc/internal/bitvec"
+	"mcgc/internal/heapsim"
+)
+
+const (
+	// CardBytes is the card size used throughout the paper's evaluation
+	// ("The card size is 512 bytes").
+	CardBytes = 512
+	// CardWords is the card size in heap words.
+	CardWords = CardBytes / heapsim.WordBytes
+	cardShift = 6 // log2(CardWords)
+)
+
+// Stats counts card activity for the experiment tables.
+type Stats struct {
+	BarrierMarks    int64 // write-barrier executions (each dirties one card)
+	RegisterPasses  int64 // snapshot registration passes
+	CardsRegistered int64 // cumulative cards handed to cleaning
+}
+
+// Table tracks one dirty bit per card.
+type Table struct {
+	dirty *bitvec.Vector
+	cards int
+
+	Stats Stats
+}
+
+// New creates a card table covering a heap of heapWords words.
+func New(heapWords int) *Table {
+	if heapWords <= 0 {
+		panic(fmt.Sprintf("cardtable: bad heap size %d", heapWords))
+	}
+	cards := (heapWords + CardWords - 1) / CardWords
+	return &Table{dirty: bitvec.New(cards), cards: cards}
+}
+
+// NumCards returns the number of cards in the table.
+func (t *Table) NumCards() int { return t.cards }
+
+// CardOf returns the card index covering address a.
+func (t *Table) CardOf(a heapsim.Addr) int { return int(a) >> cardShift }
+
+// CardBounds returns the heap-address window [from, to) of a card.
+func (t *Table) CardBounds(card int) (from, to heapsim.Addr) {
+	if card < 0 || card >= t.cards {
+		panic(fmt.Sprintf("cardtable: card %d out of range [0,%d)", card, t.cards))
+	}
+	return heapsim.Addr(card << cardShift), heapsim.Addr((card + 1) << cardShift)
+}
+
+// DirtyObject is the write barrier's card store: it dirties the card holding
+// the object's header. Per Section 5.3 no fence accompanies this store.
+func (t *Table) DirtyObject(a heapsim.Addr) {
+	t.dirty.SetAtomic(int(a) >> cardShift)
+	t.Stats.BarrierMarks++
+}
+
+// DirtyCard dirties a card directly (used by the work-packet overflow path,
+// Section 4.3).
+func (t *Table) DirtyCard(card int) {
+	t.dirty.SetAtomic(card)
+}
+
+// IsDirty reports whether a card's dirty indicator is set.
+func (t *Table) IsDirty(card int) bool { return t.dirty.Test(card) }
+
+// CountDirty returns the number of dirty cards.
+func (t *Table) CountDirty() int { return t.dirty.Count() }
+
+// ClearAll clears every dirty indicator (collection-cycle initialization).
+func (t *Table) ClearAll() { t.dirty.ClearAll() }
+
+// ForEachDirty visits every dirty card without clearing its indicator. The
+// generational extension's minor collections use it while a concurrent
+// old-space phase is active: the scavenge needs the remembered set, and the
+// old collector still needs the same cards for retracing, so nothing may be
+// cleared.
+func (t *Table) ForEachDirty(fn func(card int)) {
+	for c := t.dirty.NextSet(0); c >= 0; c = t.dirty.NextSet(c + 1) {
+		fn(c)
+	}
+}
+
+// RegisterAndClear performs step 1 of the Section 5.3 cleaning protocol: it
+// scans the card table, appends every dirty card's index to into, and clears
+// the indicators of the registered cards. The caller must then force all
+// mutators through a fence (step 2) before cleaning the returned cards
+// (step 3).
+//
+// Cards dirtied again after this pass keep (or regain) their indicator and
+// will be found by the next pass or by the stop-the-world phase.
+func (t *Table) RegisterAndClear(into []int) []int {
+	t.Stats.RegisterPasses++
+	for c := t.dirty.NextSet(0); c >= 0; c = t.dirty.NextSet(c + 1) {
+		t.dirty.ClearAtomic(c)
+		into = append(into, c)
+		t.Stats.CardsRegistered++
+	}
+	return into
+}

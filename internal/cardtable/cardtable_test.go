@@ -1,0 +1,144 @@
+package cardtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcgc/internal/heapsim"
+)
+
+func TestGeometry(t *testing.T) {
+	tb := New(1000) // 1000 words -> 16 cards of 64 words
+	if tb.NumCards() != 16 {
+		t.Fatalf("NumCards = %d, want 16", tb.NumCards())
+	}
+	if c := tb.CardOf(0); c != 0 {
+		t.Fatalf("CardOf(0) = %d", c)
+	}
+	if c := tb.CardOf(63); c != 0 {
+		t.Fatalf("CardOf(63) = %d, want 0", c)
+	}
+	if c := tb.CardOf(64); c != 1 {
+		t.Fatalf("CardOf(64) = %d, want 1", c)
+	}
+	from, to := tb.CardBounds(2)
+	if from != 128 || to != 192 {
+		t.Fatalf("CardBounds(2) = [%d,%d), want [128,192)", from, to)
+	}
+}
+
+func TestDirtyAndRegister(t *testing.T) {
+	tb := New(64 * 100)
+	tb.DirtyObject(heapsim.Addr(65))  // card 1
+	tb.DirtyObject(heapsim.Addr(70))  // card 1 again
+	tb.DirtyObject(heapsim.Addr(640)) // card 10
+	if tb.CountDirty() != 2 {
+		t.Fatalf("CountDirty = %d, want 2", tb.CountDirty())
+	}
+	if tb.Stats.BarrierMarks != 3 {
+		t.Fatalf("BarrierMarks = %d, want 3", tb.Stats.BarrierMarks)
+	}
+	got := tb.RegisterAndClear(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 10 {
+		t.Fatalf("RegisterAndClear = %v, want [1 10]", got)
+	}
+	if tb.CountDirty() != 0 {
+		t.Fatal("indicators not cleared by registration")
+	}
+	// Re-dirtying after registration is observed by the next pass.
+	tb.DirtyObject(heapsim.Addr(70))
+	got = tb.RegisterAndClear(nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("second pass = %v, want [1]", got)
+	}
+	if tb.Stats.RegisterPasses != 2 || tb.Stats.CardsRegistered != 3 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestRegisterAppends(t *testing.T) {
+	tb := New(64 * 8)
+	tb.DirtyCard(3)
+	base := []int{99}
+	got := tb.RegisterAndClear(base)
+	if len(got) != 2 || got[0] != 99 || got[1] != 3 {
+		t.Fatalf("RegisterAndClear append = %v", got)
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	tb := New(64 * 8)
+	for c := 0; c < 8; c++ {
+		tb.DirtyCard(c)
+	}
+	tb.ClearAll()
+	if tb.CountDirty() != 0 {
+		t.Fatal("ClearAll left dirty cards")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	tb := New(64 * 4)
+	for _, f := range []func(){
+		func() { tb.CardBounds(-1) },
+		func() { tb.CardBounds(4) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: registration returns exactly the set of distinct cards dirtied
+// since the last pass, in ascending order.
+func TestQuickRegistrationExactness(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		tb := New(1 << 16)
+		want := make(map[int]bool)
+		for _, a := range addrs {
+			addr := heapsim.Addr(a)
+			tb.DirtyObject(addr)
+			want[tb.CardOf(addr)] = true
+		}
+		got := tb.RegisterAndClear(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		prev := -1
+		for _, c := range got {
+			if !want[c] || c <= prev {
+				return false
+			}
+			prev = c
+		}
+		return tb.CountDirty() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachDirtyDoesNotClear(t *testing.T) {
+	tb := New(64 * 16)
+	tb.DirtyCard(2)
+	tb.DirtyCard(9)
+	var got []int
+	tb.ForEachDirty(func(c int) { got = append(got, c) })
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("ForEachDirty = %v, want [2 9]", got)
+	}
+	if tb.CountDirty() != 2 {
+		t.Fatal("ForEachDirty cleared indicators")
+	}
+	// Registration afterwards still finds and clears them.
+	reg := tb.RegisterAndClear(nil)
+	if len(reg) != 2 || tb.CountDirty() != 0 {
+		t.Fatalf("register after ForEachDirty = %v", reg)
+	}
+}

@@ -1,0 +1,663 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/cardtable"
+	"mcgc/internal/gctrace"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workpack"
+)
+
+// heapsimWordBytes mirrors heapsim.WordBytes for byte/word conversions.
+const heapsimWordBytes = heapsim.WordBytes
+
+// Phase is the mostly concurrent collector's coarse state.
+type Phase int
+
+const (
+	// PhaseIdle: no collection in progress (the "pre-concurrent" period).
+	PhaseIdle Phase = iota
+	// PhaseConcurrent: concurrent tracing in progress; the write barrier
+	// is active and allocations perform tracing increments.
+	PhaseConcurrent
+)
+
+// CGCConfig configures the mostly concurrent collector.
+type CGCConfig struct {
+	// Packets and PacketCap size the work packet pool (the paper's
+	// SPECjbb runs use 1000 packets of 493 entries).
+	Packets   int
+	PacketCap int
+	// Workers is the parallel worker count for the stop-the-world phase;
+	// zero means one per processor.
+	Workers int
+	// BackgroundThreads is the number of low-priority tracing threads
+	// (the paper's default is 4). Zero disables background tracing — the
+	// incremental-only ablation.
+	BackgroundThreads int
+	// BgQuantumBytes is the tracing quantum of one background step.
+	BgQuantumBytes int64
+	// Pacing holds the Section 3 parameters.
+	Pacing PacingConfig
+	// CardPasses is the number of concurrent card cleaning passes
+	// (default 1; 2 reproduces the footnote-2 refinement).
+	CardPasses int
+	// MutatorTracing disables incremental tracing by mutators when false
+	// while keeping the cycle structure — the background-only ablation.
+	MutatorTracing bool
+	// LazySweep defers sweeping out of the pause (the Section 7 future
+	// work, implemented as an extension).
+	LazySweep bool
+	// Compaction enables incremental compaction (Section 2.3): one area
+	// per cycle is evacuated during the pause and the remembered pointers
+	// into it fixed up. Incompatible with LazySweep (evacuation needs the
+	// swept free list); when both are set, compaction is skipped.
+	Compaction bool
+	// CompactAreaWords is the evacuation area size (0: heap/32).
+	CompactAreaWords int
+	// OldSpaceWords bounds the region this collector manages (0: the
+	// whole heap). The generational extension sets it to the nursery
+	// base so sweep, lazy sweep and compaction never touch the nursery.
+	OldSpaceWords int
+	// Trace, when set, receives structured collection events (the
+	// equivalent of -verbose:gc).
+	Trace gctrace.Sink
+}
+
+// DefaultCGCConfig returns the paper's default configuration.
+func DefaultCGCConfig() CGCConfig {
+	return CGCConfig{
+		Packets:           1000,
+		PacketCap:         workpack.DefaultCapacity,
+		BackgroundThreads: 4,
+		BgQuantumBytes:    8 << 10,
+		Pacing:            DefaultPacing(),
+		CardPasses:        1,
+		MutatorTracing:    true,
+	}
+}
+
+// CGC is the parallel, incremental, mostly concurrent collector — the
+// paper's contribution. It implements mutator.Collector.
+type CGC struct {
+	rt    *mutator.Runtime
+	m     *machine.Machine
+	eng   *engine
+	pacer *pacer
+	cfg   CGCConfig
+
+	phase Phase
+
+	// Concurrent-phase state.
+	stacksScanned  int
+	globalsScanned bool
+	nurseryScanned bool  // generational: nursery-as-roots scan done this cycle
+	cardPassesRun  int   // completed registration passes this cycle
+	cards          []int // cards registered by the current pass
+	cardCursor     int
+	freeAtLastPass int64 // free bytes when the last pass started
+	deferDrained   bool  // deferred pool drained once since last exhaustion
+
+	// Lazy sweep continuation (non-nil while sections remain).
+	lazy *lazySweeper
+
+	cur    CycleStats
+	Cycles []CycleStats
+
+	// Aggregate counters across the run.
+	TotalAllocBytes   int64
+	ForcedFences      int64 // mutator fences forced by card-clean handshakes
+	ConcCardsCleaned  int64
+	FinalCardsCleaned int64
+
+	// beforeCycle, when set, runs at the very start of startCycle (the
+	// generational extension empties the nursery there, so clearing the
+	// card table cannot lose remembered-set information).
+	beforeCycle func(ctx *machine.Context)
+
+	lastCycleEndAt      vtime.Time
+	allocAtLastCycleEnd int64
+}
+
+// emit sends a trace event if a sink is configured.
+func (c *CGC) emit(e gctrace.Event) {
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Emit(e)
+	}
+}
+
+// NewCGC creates the collector. Call SpawnBackground to start its
+// background threads, then attach it to the runtime.
+func NewCGC(rt *mutator.Runtime, m *machine.Machine, cfg CGCConfig) *CGC {
+	if cfg.Packets == 0 {
+		cfg = DefaultCGCConfig()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = m.Processors()
+	}
+	if cfg.CardPasses <= 0 {
+		cfg.CardPasses = 1
+	}
+	if cfg.BgQuantumBytes <= 0 {
+		cfg.BgQuantumBytes = 8 << 10
+	}
+	c := &CGC{
+		rt:    rt,
+		m:     m,
+		eng:   newEngine(rt, cfg.Packets, cfg.PacketCap),
+		pacer: newPacer(cfg.Pacing),
+		cfg:   cfg,
+	}
+	if cfg.Compaction && !cfg.LazySweep {
+		c.eng.comp = newCompactor(rt.Heap, rt.Costs, cfg.CompactAreaWords, cfg.OldSpaceWords)
+	}
+	return c
+}
+
+// pendingRegisteredCards returns the cards a concurrent cleaning pass has
+// registered (indicators already cleared) but not yet cleaned. Minor
+// collections must scan them: their old-to-young pointers are invisible in
+// the card table while they sit in this queue.
+func (c *CGC) pendingRegisteredCards() []int {
+	if c.cardCursor >= len(c.cards) {
+		return nil
+	}
+	return c.cards[c.cardCursor:]
+}
+
+// Compactor exposes the incremental compactor's cumulative statistics (nil
+// when compaction is disabled).
+func (c *CGC) Compactor() *CompactStats {
+	if c.eng.comp == nil {
+		return nil
+	}
+	return &c.eng.comp.Total
+}
+
+// Name implements mutator.Collector.
+func (c *CGC) Name() string { return "cgc" }
+
+// Phase returns the collector's current phase.
+func (c *CGC) CurrentPhase() Phase { return c.phase }
+
+// BarrierActive implements mutator.Collector: reference stores dirty cards
+// only while concurrent tracing runs.
+func (c *CGC) BarrierActive() bool { return c.phase == PhaseConcurrent }
+
+// Pool exposes the work packet pool for instrumentation (Section 6.3).
+func (c *CGC) Pool() *workpack.Pool { return c.eng.pool }
+
+// FenceAccounting summarizes the weak-ordering costs of Section 5 as
+// observed in a run.
+type FenceAccounting struct {
+	MarkFences    int64 // tracer-side fences, one per input packet (5.2)
+	PacketFences  int64 // producer-side fences, one per returned packet (5.1)
+	ForcedFences  int64 // mutator fences forced by card-clean handshakes (5.3)
+	AllocFences   int64 // mutator fences, one per allocation cache (5.2)
+	BarrierFences int64 // fences in the write barrier: always zero (5.3)
+	Deferred      int64 // objects deferred by the allocation-bit protocol
+	Overflows     int64 // pushes degraded to mark-plus-dirty-card (4.3)
+}
+
+// Fences returns the accumulated fence accounting.
+func (c *CGC) Fences() FenceAccounting {
+	return FenceAccounting{
+		MarkFences:   c.eng.markFences,
+		PacketFences: c.eng.pool.Stats.ReturnFences.Load(),
+		ForcedFences: c.ForcedFences,
+		AllocFences:  c.rt.Heap.Stats.AllocFences,
+		Deferred:     c.eng.deferred,
+		Overflows:    c.eng.overflows,
+	}
+}
+
+// Pacer counters for tests.
+func (c *CGC) TracedThisCycle() int64 { return c.pacer.tracedBytes() }
+
+// SpawnBackground starts n low-priority background tracing threads on the
+// machine (Section 3: "background threads run at low priority and make
+// whatever progress is possible without burdening the system").
+func (c *CGC) SpawnBackground() {
+	for i := 0; i < c.cfg.BackgroundThreads; i++ {
+		tr := workpack.NewTracer(c.eng.pool)
+		c.m.AddThread(fmt.Sprintf("gc-bg-%d", i), machine.PriorityLow, func(ctx *machine.Context) machine.Control {
+			if c.phase != PhaseConcurrent {
+				// Idle background threads help with a pending lazy sweep
+				// (Section 7) before going back to sleep.
+				if c.lazy != nil {
+					c.lazy.sweepOne(ctx)
+					if c.lazy.done() {
+						c.lazy = nil
+					}
+					return machine.Continue
+				}
+				ctx.Charge(c.rt.Costs.ThinkPoll)
+				ctx.Sleep(500 * vtime.Microsecond)
+				return machine.Continue
+			}
+			done := c.doConcurrentWork(ctx, tr, c.cfg.BgQuantumBytes, nil)
+			tr.Release()
+			if done > 0 {
+				c.pacer.noteBackground(done)
+				c.cur.BgBytes += done
+			} else {
+				// Nothing to do: yield and try again (Section 4.3).
+				ctx.Charge(c.rt.Costs.ThinkPoll)
+				if c.phase == PhaseConcurrent && c.terminationReady() {
+					c.finishCycle(ctx, "conc-done")
+				} else {
+					ctx.Sleep(200 * vtime.Microsecond)
+				}
+			}
+			return machine.Continue
+		})
+	}
+}
+
+// OnCacheRefill implements mutator.Collector: the main pacing point.
+func (c *CGC) OnCacheRefill(ctx *machine.Context, th *mutator.Thread, bytes int64) {
+	c.onAllocation(ctx, th, bytes)
+}
+
+// OnLargeAlloc implements mutator.Collector.
+func (c *CGC) OnLargeAlloc(ctx *machine.Context, th *mutator.Thread, bytes int64) {
+	c.onAllocation(ctx, th, bytes)
+}
+
+func (c *CGC) onAllocation(ctx *machine.Context, th *mutator.Thread, bytes int64) {
+	c.TotalAllocBytes += bytes
+	// Lazy sweep continuation takes precedence: replenish the free list
+	// with roughly twice the allocation, so sweeping finishes well before
+	// the heap is exhausted again.
+	if c.lazy != nil {
+		c.lazySweepBytes(ctx, 2*bytes)
+	}
+	switch c.phase {
+	case PhaseIdle:
+		if c.lazy == nil && c.pacer.shouldKickoff(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes()) {
+			c.startCycle(ctx)
+			c.increment(ctx, th, bytes)
+		}
+	case PhaseConcurrent:
+		c.pacer.noteAllocation(bytes)
+		c.increment(ctx, th, bytes)
+	}
+}
+
+// OnAllocFailure implements mutator.Collector.
+func (c *CGC) OnAllocFailure(ctx *machine.Context, th *mutator.Thread) {
+	if c.lazy != nil {
+		// An allocation failure while a deferred sweep is pending means
+		// the allocator outran it: complete the sweep. If the heap is
+		// still too full the runtime retries and the next failure runs a
+		// real collection.
+		c.lazyFinish(ctx)
+		return
+	}
+	switch c.phase {
+	case PhaseConcurrent:
+		c.finishCycle(ctx, "alloc-failure")
+	default:
+		c.directCollect(ctx)
+	}
+}
+
+// startCycle initializes a new collection cycle (Section 2.1): clear the
+// card table and the mark bits; the background threads notice the phase
+// change and wake up.
+func (c *CGC) startCycle(ctx *machine.Context) {
+	if c.beforeCycle != nil {
+		c.beforeCycle(ctx)
+	}
+	c.rt.Heap.MarkBits.ClearAll()
+	c.rt.Cards.ClearAll()
+	if c.eng.comp != nil {
+		// The evacuation area is chosen before concurrent marking starts
+		// (Section 2.3).
+		c.eng.comp.beginCycle()
+	}
+	c.eng.concurrentMode = true
+	c.pacer.startCycle()
+	c.stacksScanned = 0
+	for _, t := range c.rt.Threads() {
+		t.StackScanned = false
+	}
+	c.globalsScanned = false
+	c.nurseryScanned = c.eng.nurTo == 0 // trivially done without a nursery
+	c.cardPassesRun = 0
+	c.cards = c.cards[:0]
+	c.cardCursor = 0
+	c.deferDrained = false
+	c.cur = CycleStats{Reason: "kickoff", ConcStartAt: ctx.Now()}
+	c.cur.CASAtStart = c.eng.pool.Stats.CASAttempts.Load()
+	c.cur.PrevEndAt = c.lastCycleEndAt
+	c.cur.AllocAtPrevEnd = c.allocAtLastCycleEnd
+	c.cur.AllocAtConcStart = c.TotalAllocBytes
+	c.phase = PhaseConcurrent
+	c.emit(gctrace.Event{
+		At:        ctx.Now(),
+		Kind:      gctrace.CycleStart,
+		Reason:    "kickoff",
+		FreeBytes: c.rt.Heap.FreeBytes(),
+	})
+}
+
+// increment performs one mutator tracing increment (Section 3): evaluate
+// the progress formula, trace that much, and release the packets so other
+// threads can compete for them.
+func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int64) {
+	k := c.pacer.rate(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes())
+	if !c.cfg.MutatorTracing {
+		k = 0
+	}
+	budget := int64(k * float64(allocBytes))
+	// The thread's first allocation in the phase scans its own stack even
+	// when no tracing budget is assigned.
+	tr := workpack.NewTracer(c.eng.pool)
+	if th != nil && !th.StackScanned {
+		th.StackScanned = true
+		c.stacksScanned++
+		c.eng.scanThreadStack(ctx, tr, th)
+	}
+	if !c.globalsScanned {
+		c.globalsScanned = true
+		c.eng.scanGlobals(ctx, tr)
+	}
+	if !c.nurseryScanned {
+		c.nurseryScanned = true
+		c.eng.scanNursery(ctx, tr) // no-op without a nursery
+	}
+	if budget <= 0 {
+		tr.Release()
+		return
+	}
+	done := c.doConcurrentWork(ctx, tr, budget, th)
+	tr.Release()
+	c.pacer.noteTraced(done)
+	c.cur.Increments++
+	c.cur.TracingFactors.Add(float64(done) / float64(budget))
+	if c.phase == PhaseConcurrent && done < budget && c.terminationReady() {
+		c.finishCycle(ctx, "conc-done")
+	}
+}
+
+// doConcurrentWork performs up to budget bytes of concurrent collection
+// work for any participant (mutator increment or background thread), in the
+// paper's preference order: trace marked objects first, then clean cards
+// (deferred as long as other tracing work exists), then scan the stacks of
+// threads that have not allocated. It returns the work actually done, in
+// bytes.
+func (c *CGC) doConcurrentWork(ctx *machine.Context, tr *workpack.Tracer, budget int64, self *mutator.Thread) int64 {
+	var done int64
+	for done < budget && c.phase == PhaseConcurrent {
+		progress := false
+		// 1. Trace from the packet pool.
+		if t := c.eng.traceFromPackets(ctx, tr, budget-done); t > 0 {
+			done += t
+			progress = true
+			continue
+		}
+		// The pool looked dry, but this thread's own output packet may
+		// hold buffered work (for example freshly scanned roots). Card
+		// cleaning is deferred as long as ANY tracing work is available,
+		// so publish the buffer and retry before moving on.
+		if tr.HoldsPackets() {
+			tr.Release()
+			if c.eng.pool.HasTracingWork() {
+				progress = true
+				continue
+			}
+		}
+		// 2. Card cleaning: start a pass if none is in progress and we
+		// still have passes to run; otherwise clean the next card.
+		if c.cardCursor < len(c.cards) {
+			card := c.cards[c.cardCursor]
+			c.cardCursor++
+			retraced := c.eng.cleanCard(ctx, tr, card)
+			done += int64(cardtable.CardBytes) + retraced
+			c.ConcCardsCleaned++
+			c.cur.CardsCleanedConc++
+			progress = true
+			continue
+		}
+		if c.cardPassesRun < c.cfg.CardPasses && c.cardPassDue() {
+			c.startCardPass(ctx)
+			progress = true
+			continue
+		}
+		// 3. Scan a stack of a thread that has not allocated yet.
+		if th := c.nextUnscannedThread(); th != nil {
+			th.StackScanned = true
+			c.stacksScanned++
+			ctx.Charge(c.rt.Costs.HandshakePerThread)
+			c.eng.scanThreadStack(ctx, tr, th)
+			progress = true
+			continue
+		}
+		// 4. Recirculate deferred packets once per exhaustion.
+		if !c.deferDrained && !c.eng.pool.DeferredEmpty() {
+			c.deferDrained = true
+			if c.eng.pool.DrainDeferred() > 0 {
+				progress = true
+				continue
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if done > 0 {
+		c.deferDrained = false
+	}
+	return done
+}
+
+// cardPassDue decides whether the next cleaning pass should start now.
+// The first pass starts as soon as no other tracing work remains (cleaning
+// is deferred as long as possible); a footnote-2 second pass is worth
+// running only "when possible" — after the heap has filled appreciably
+// since the previous pass, so the cards it cleans had time to accumulate
+// and little time remains for them to be re-dirtied.
+func (c *CGC) cardPassDue() bool {
+	if c.cardPassesRun == 0 {
+		return true
+	}
+	return c.rt.Heap.FreeBytes() < c.freeAtLastPass/4
+}
+
+// startCardPass runs the Section 5.3 registration: scan the card table
+// registering dirty cards and clearing their indicators, then force every
+// mutator through a fence. The cost of the handshake is charged to the
+// thread performing the registration.
+func (c *CGC) startCardPass(ctx *machine.Context) {
+	c.cardPassesRun++
+	c.freeAtLastPass = c.rt.Heap.FreeBytes()
+	c.cards = c.rt.Cards.RegisterAndClear(c.cards[:0])
+	c.cardCursor = 0
+	ctx.Charge(c.rt.Costs.CardRegister * vtime.Duration(len(c.cards)+1))
+	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.CardPass, Cards: len(c.cards)})
+	// Step 2: one forced fence per mutator thread.
+	n := len(c.rt.Threads())
+	ctx.Charge(c.rt.Costs.HandshakePerThread * vtime.Duration(n))
+	c.ForcedFences += int64(n)
+}
+
+func (c *CGC) nextUnscannedThread() *mutator.Thread {
+	if c.stacksScanned >= len(c.rt.Threads()) {
+		return nil
+	}
+	for _, t := range c.rt.Threads() {
+		if !t.StackScanned {
+			return t
+		}
+	}
+	return nil
+}
+
+// terminationReady implements the Section 4.3 / 2.1 criteria: "all thread
+// stacks scanned, each card cleaned once, and no marked objects left to
+// trace". Cards dirtied again after the cleaning pass do not hold the phase
+// open — they are left for the stop-the-world phase, which is exactly why
+// cleaning is deferred as late as possible.
+func (c *CGC) terminationReady() bool {
+	return c.stacksScanned >= len(c.rt.Threads()) &&
+		c.globalsScanned &&
+		c.nurseryScanned &&
+		c.cardPassesRun >= c.cfg.CardPasses &&
+		c.cardCursor >= len(c.cards) &&
+		c.eng.pool.DeferredEmpty() &&
+		c.eng.pool.TracingDone()
+}
+
+// finishCycle runs the final stop-the-world phase (Section 2.2): stop all
+// threads, clean remaining dirty cards, rescan all stacks, complete
+// marking, and sweep (unless lazy sweep is on).
+func (c *CGC) finishCycle(ctx *machine.Context, reason string) {
+	cs := c.cur
+	cs.Reason = reason
+	cs.ConcCompleted = reason == "conc-done"
+	cs.BytesTracedConc = c.pacer.tracedBytes()
+	cs.AllocAtStw = c.TotalAllocBytes
+	if cs.ConcCompleted {
+		cs.FreeAtConcEnd = c.rt.Heap.FreeBytes()
+	} else {
+		// "Cards Left": how much cleaning work remained when an
+		// allocation failure halted the phase (Table 2 criterion).
+		cs.CardsLeft = (len(c.cards) - c.cardCursor) + c.rt.Cards.CountDirty()
+	}
+	tracedBefore := c.eng.bytesTraced
+	cardsBefore := c.eng.cardsCleaned
+
+	c.phase = PhaseIdle // the write barrier stops once the world stops
+	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.PauseStart, Reason: reason})
+	c.m.StopTheWorld(ctx, "cgc:"+reason, func(stoppedAt vtime.Time) vtime.Time {
+		cs.RequestedAt = ctx.Now()
+		cs.StoppedAt = stoppedAt
+		c.rt.RetireAllCaches()
+		// Every allocation bit is now published; deferred objects can be
+		// traced normally.
+		c.eng.pool.DrainDeferred()
+		c.eng.concurrentMode = false
+		// Re-register leftover cards from the interrupted concurrent pass
+		// so the mark phase cleans them.
+		for _, card := range c.cards[c.cardCursor:] {
+			c.rt.Cards.DirtyCard(card)
+		}
+		markEnd := stwMarkPhase(c.eng, c.rt, stoppedAt, c.cfg.Workers)
+		cs.MarkEndAt = markEnd
+		cs.MarkTime = markEnd.Sub(stoppedAt)
+		c.emit(gctrace.Event{At: markEnd, Kind: gctrace.MarkEnd, Cards: int(c.eng.cardsCleaned - cardsBefore)})
+		if c.cfg.LazySweep {
+			c.lazy = newLazySweeper(c.rt.Heap, c.rt.Costs, c.cfg.OldSpaceWords)
+			return markEnd
+		}
+		sweepEnd, _ := runParallelSweep(c.rt.Heap, c.rt.Costs, markEnd, c.cfg.Workers, c.cfg.OldSpaceWords)
+		cs.SweepTime = sweepEnd.Sub(markEnd)
+		c.emit(gctrace.Event{At: sweepEnd, Kind: gctrace.SweepEnd, FreeBytes: c.rt.Heap.FreeBytes()})
+		if c.eng.comp != nil {
+			// Evacuate this cycle's area and fix up the remembered
+			// pointers ("after sweep we evacuate the objects from the
+			// area and fix up the references").
+			cw := &machine.Worker{}
+			cw.Charge(sweepEnd.Sub(0))
+			c.eng.comp.run(cw)
+			cs.CompactTime = c.eng.comp.Last.Time
+			return cw.Now()
+		}
+		return sweepEnd
+	})
+	cs.EndAt = ctx.Now()
+	cs.Pause = cs.EndAt.Sub(cs.RequestedAt)
+	cs.BytesTracedStw = c.eng.bytesTraced - tracedBefore
+	cs.CardsCleanedStw = int(c.eng.cardsCleaned - cardsBefore)
+	c.FinalCardsCleaned += int64(cs.CardsCleanedStw)
+	cs.LiveAfter = c.rt.Heap.OccupiedBytes()
+	cs.FreeAfter = c.rt.Heap.FreeBytes()
+	cs.LargestFreeAfter = int64(c.rt.Heap.LargestFreeChunk()) * heapsimWordBytes
+	cs.CASAtEnd = c.eng.pool.Stats.CASAttempts.Load()
+
+	dirtyBytes := int64(cs.CardsCleanedConc+cs.CardsCleanedStw) * cardtable.CardBytes
+	c.pacer.endCycle(cs.BytesTracedConc+cs.BytesTracedStw, dirtyBytes)
+	c.cards = c.cards[:0]
+	c.cardCursor = 0
+	c.flushRememberedCards()
+	c.lastCycleEndAt = cs.EndAt
+	c.allocAtLastCycleEnd = c.TotalAllocBytes
+	c.Cycles = append(c.Cycles, cs)
+	c.emit(gctrace.Event{
+		At:            cs.EndAt,
+		Kind:          gctrace.PauseEnd,
+		Reason:        reason,
+		PauseDuration: cs.Pause,
+		LiveBytes:     cs.LiveAfter,
+		FreeBytes:     cs.FreeAfter,
+	})
+}
+
+// flushRememberedCards restores the dirty indicators of cards whose
+// old-to-young pointers survived a cleaning pass (generational mode only;
+// a no-op otherwise). The next minor collection will scan them.
+func (c *CGC) flushRememberedCards() {
+	for _, card := range c.eng.rememberedCards {
+		c.rt.Cards.DirtyCard(card)
+	}
+	c.eng.rememberedCards = c.eng.rememberedCards[:0]
+}
+
+// directCollect is the degenerate path: an allocation failure with no
+// concurrent phase in progress (the kickoff came too late). It behaves like
+// the baseline collector for this cycle.
+func (c *CGC) directCollect(ctx *machine.Context) {
+	cs := CycleStats{Reason: "stw-direct"}
+	tracedBefore := c.eng.bytesTraced
+	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.PauseStart, Reason: "stw-direct"})
+	c.m.StopTheWorld(ctx, "cgc:stw-direct", func(stoppedAt vtime.Time) vtime.Time {
+		cs.RequestedAt = ctx.Now()
+		cs.StoppedAt = stoppedAt
+		c.rt.RetireAllCaches()
+		c.rt.Heap.MarkBits.ClearAll()
+		if c.eng.comp != nil {
+			// No concurrent phase chose an area; choose one at the pause
+			// start so direct collections still make compaction progress.
+			c.eng.comp.beginCycle()
+		}
+		c.eng.concurrentMode = false
+		markEnd := stwMarkPhase(c.eng, c.rt, stoppedAt, c.cfg.Workers)
+		cs.MarkEndAt = markEnd
+		cs.MarkTime = markEnd.Sub(stoppedAt)
+		sweepEnd, _ := runParallelSweep(c.rt.Heap, c.rt.Costs, markEnd, c.cfg.Workers, c.cfg.OldSpaceWords)
+		cs.SweepTime = sweepEnd.Sub(markEnd)
+		if c.eng.comp != nil {
+			cw := &machine.Worker{}
+			cw.Charge(sweepEnd.Sub(0))
+			c.eng.comp.run(cw)
+			cs.CompactTime = c.eng.comp.Last.Time
+			return cw.Now()
+		}
+		return sweepEnd
+	})
+	cs.EndAt = ctx.Now()
+	cs.Pause = cs.EndAt.Sub(cs.RequestedAt)
+	cs.BytesTracedStw = c.eng.bytesTraced - tracedBefore
+	cs.LiveAfter = c.rt.Heap.OccupiedBytes()
+	cs.FreeAfter = c.rt.Heap.FreeBytes()
+	cs.LargestFreeAfter = int64(c.rt.Heap.LargestFreeChunk()) * heapsimWordBytes
+	// Prime the predictors from what a concurrent phase would have seen.
+	c.pacer.endCycle(cs.BytesTracedStw, 0)
+	c.flushRememberedCards()
+	c.lastCycleEndAt = cs.EndAt
+	c.allocAtLastCycleEnd = c.TotalAllocBytes
+	c.Cycles = append(c.Cycles, cs)
+	c.emit(gctrace.Event{
+		At:            cs.EndAt,
+		Kind:          gctrace.PauseEnd,
+		Reason:        "stw-direct",
+		PauseDuration: cs.Pause,
+		LiveBytes:     cs.LiveAfter,
+		FreeBytes:     cs.FreeAfter,
+	})
+}

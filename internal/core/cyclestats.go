@@ -1,0 +1,93 @@
+package core
+
+import (
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+)
+
+// CycleStats records one garbage collection cycle, with the components the
+// paper's evaluation reports.
+type CycleStats struct {
+	Reason string // "alloc-failure", "conc-done", "kickoff"
+
+	// Timeline.
+	ConcStartAt vtime.Time // concurrent phase start (CGC only; zero for STW)
+	RequestedAt vtime.Time // stop-the-world requested
+	StoppedAt   vtime.Time // all threads parked
+	MarkEndAt   vtime.Time
+	EndAt       vtime.Time // world resumed
+
+	// Pause components (all within the stop-the-world window).
+	Pause       vtime.Duration // RequestedAt -> EndAt, the paper's pause time
+	MarkTime    vtime.Duration // final marking including in-pause card cleaning
+	SweepTime   vtime.Duration
+	RootTime    vtime.Duration // included in MarkTime; reported separately
+	CompactTime vtime.Duration // incremental compaction, when enabled
+
+	// Work volumes.
+	BytesTracedConc  int64 // traced during the concurrent phase (CGC)
+	BytesTracedStw   int64 // traced during the pause
+	CardsCleanedConc int
+	CardsCleanedStw  int
+	CardsLeft        int // dirty cards pending when an allocation failure cut the phase short
+
+	// Heap state.
+	LiveAfter        int64 // occupied bytes right after the cycle
+	FreeAfter        int64
+	LargestFreeAfter int64 // largest free chunk right after the cycle
+	FreeAtConcEnd    int64 // free bytes when the concurrent phase completed (premature-GC criterion)
+
+	ConcCompleted bool // concurrent phase finished all work before the trigger
+
+	// Allocation snapshots for the Table 3 utilization measurement: the
+	// collector's cumulative allocation counter at the previous cycle's
+	// end, at this cycle's concurrent start, and at the stop request.
+	PrevEndAt        vtime.Time
+	AllocAtPrevEnd   int64
+	AllocAtConcStart int64
+	AllocAtStw       int64
+
+	// Incremental tracing quality (CGC; Table 4 inputs).
+	Increments     int64
+	TracingFactors stats.Welford // per-increment achieved/assigned ratio
+	BgBytes        int64         // bytes traced by background threads this cycle
+	CASAtStart     int64         // pool CAS counter snapshot at cycle start
+	CASAtEnd       int64
+}
+
+// MarkOnlyPause returns the pause minus the sweep component — the quantity
+// the paper projects for lazy sweep.
+func (c *CycleStats) MarkOnlyPause() vtime.Duration { return c.Pause - c.SweepTime }
+
+// PreConcRate returns the application allocation rate (bytes per virtual
+// second) between the previous cycle's end and this cycle's concurrent
+// start — the "pre-concurrent" rate of Table 3. Zero if unmeasurable.
+func (c *CycleStats) PreConcRate() float64 {
+	d := c.ConcStartAt.Sub(c.PrevEndAt)
+	if d <= 0 || c.ConcStartAt == 0 {
+		return 0
+	}
+	return float64(c.AllocAtConcStart-c.AllocAtPrevEnd) / d.Seconds()
+}
+
+// ConcRate returns the application allocation rate while the concurrent
+// phase was active. Zero if unmeasurable.
+func (c *CycleStats) ConcRate() float64 {
+	d := c.RequestedAt.Sub(c.ConcStartAt)
+	if d <= 0 || c.ConcStartAt == 0 {
+		return 0
+	}
+	return float64(c.AllocAtStw-c.AllocAtConcStart) / d.Seconds()
+}
+
+// SummarizePauses reduces a cycle list to the pause statistics the paper's
+// figures plot.
+func SummarizePauses(cycles []CycleStats) (pause, mark, sweep stats.DurationSummary) {
+	var ps, ms, ss []vtime.Duration
+	for i := range cycles {
+		ps = append(ps, cycles[i].Pause)
+		ms = append(ms, cycles[i].MarkTime)
+		ss = append(ss, cycles[i].SweepTime)
+	}
+	return stats.Summarize(ps), stats.Summarize(ms), stats.Summarize(ss)
+}

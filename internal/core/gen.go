@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/gctrace"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+// Generational combines the mostly concurrent collector with a generational
+// front end — the combination the paper's introduction announces as future
+// work ("we expect to combine our collector with a generational collector
+// in a manner similar to Printezis and Detlefs [31]").
+//
+// Design, following Printezis–Detlefs:
+//
+//   - small objects are allocated in a nursery at the top of the heap
+//     (thread allocation caches are carved from it by bump allocation);
+//   - when the nursery fills, a brief stop-the-world minor collection
+//     scavenges it: live nursery objects are promoted en masse into the
+//     old space and every reference to them is fixed up; the roots of the
+//     scavenge are the thread stacks, the globals and the old-space
+//     objects on dirty cards — the same card table the mostly concurrent
+//     collector uses serves as the generational remembered set, so the
+//     write barrier is unchanged (it merely stays enabled between cycles);
+//   - the old space is collected by the unmodified CGC: its sweep, lazy
+//     sweep and compactor are bounded below the nursery, the nursery acts
+//     as a root set for old-space marking (scanned at cycle start and
+//     rescanned in the pause), and its pacing is driven by old-space
+//     consumption — promoted bytes plus direct large-object allocation —
+//     rather than raw nursery throughput.
+//
+// Unlike the base collector's conservative treatment of stacks, minor
+// collections treat stacks precisely (slots are updated to the promoted
+// copies); Printezis and Detlefs' JVM scanned stacks precisely too.
+type Generational struct {
+	rt  *mutator.Runtime
+	m   *machine.Machine
+	old *CGC
+
+	nurFrom, nurTo heapsim.Addr
+	nurCur         heapsim.Addr
+
+	// Minors records every minor collection.
+	Minors []MinorStats
+
+	// PromotedBytes is cumulative across minors.
+	PromotedBytes int64
+
+	// promoRatio is the smoothed fraction of nursery allocation that
+	// survives to promotion. The old-space pacer is fed continuously at
+	// every nursery refill with allocation scaled by this ratio, so
+	// incremental tracing tracks the old space's true consumption rate
+	// without post-minor bursts. It starts conservatively high.
+	promoRatio float64
+}
+
+// MinorStats records one minor collection.
+type MinorStats struct {
+	RequestedAt     vtime.Time
+	Pause           vtime.Duration
+	PromotedObjects int
+	PromotedBytes   int64
+	CardsScanned    int
+	RootsUpdated    int
+	NurseryUsed     int64 // bytes occupied at scavenge start
+}
+
+// GenConfig configures the generational collector.
+type GenConfig struct {
+	// NurseryBytes is the nursery size (default: heap/8).
+	NurseryBytes int64
+	// CGC configures the old-space collector.
+	CGC CGCConfig
+}
+
+// NewGenerational reserves the nursery (the heap must be fresh) and builds
+// the old-space collector around it.
+func NewGenerational(rt *mutator.Runtime, m *machine.Machine, cfg GenConfig) *Generational {
+	if cfg.NurseryBytes == 0 {
+		cfg.NurseryBytes = rt.Heap.SizeBytes() / 8
+	}
+	nurWords := int(cfg.NurseryBytes / heapsim.WordBytes)
+	region := rt.Heap.ReserveTop(nurWords)
+
+	cgcCfg := cfg.CGC
+	if cgcCfg.Packets == 0 {
+		cgcCfg = DefaultCGCConfig()
+	}
+	cgcCfg.OldSpaceWords = int(region.Addr)
+	// Old-space consumption arrives in whole-nursery bursts; the kickoff
+	// must leave room for one.
+	cgcCfg.Pacing.HeadroomBytes = cfg.NurseryBytes
+	// Promotion bursts need a wider adaptive range than steady allocation.
+	if cgcCfg.Pacing.KMax == 0 {
+		cgcCfg.Pacing.KMax = 4 * cgcCfg.Pacing.K0
+	}
+	old := NewCGC(rt, m, cgcCfg)
+	old.eng.nurFrom, old.eng.nurTo = region.Addr, region.End()
+
+	g := &Generational{
+		rt:         rt,
+		m:          m,
+		old:        old,
+		nurFrom:    region.Addr,
+		nurTo:      region.End(),
+		nurCur:     region.Addr,
+		promoRatio: 0.5, // conservative until the first minor measures it
+	}
+	// Mutator caches come from the nursery; retired tails stay there (the
+	// space is reclaimed wholesale at the next scavenge).
+	rt.CacheSource = g.carveCache
+	rt.CacheTailSink = func(heapsim.Chunk) {}
+	rt.BarrierNurseryFrom, rt.BarrierNurseryTo = region.Addr, region.End()
+	// An old cycle clears the card table, which would destroy the
+	// old-to-young remembered set — so every cycle begins with a minor
+	// collection that empties the nursery first.
+	old.beforeCycle = func(ctx *machine.Context) { g.minorCollect(ctx) }
+	return g
+}
+
+// Old exposes the old-space collector (cycle stats, pool, fences).
+func (g *Generational) Old() *CGC { return g.old }
+
+// SpawnBackground starts the old-space collector's background threads.
+func (g *Generational) SpawnBackground() { g.old.SpawnBackground() }
+
+// Name implements mutator.Collector.
+func (g *Generational) Name() string { return "gencgc" }
+
+// BarrierActive implements mutator.Collector: under a generational scheme
+// the card-marking barrier is always on — the dirty cards double as the
+// old-to-young remembered set between concurrent cycles.
+func (g *Generational) BarrierActive() bool { return true }
+
+// carveCache bump-allocates an allocation cache from the nursery.
+func (g *Generational) carveCache(want int) (heapsim.Chunk, bool) {
+	avail := int(g.nurTo - g.nurCur)
+	if avail < heapsim.MinChunkWords {
+		return heapsim.Chunk{}, false
+	}
+	if want > avail {
+		want = avail
+	}
+	c := heapsim.Chunk{Addr: g.nurCur, Words: want}
+	g.nurCur += heapsim.Addr(want)
+	g.rt.Heap.Stats.CacheRefills++
+	return c, true
+}
+
+// NurseryUsed returns the bytes currently bump-allocated in the nursery.
+func (g *Generational) NurseryUsed() int64 {
+	return int64(g.nurCur-g.nurFrom) * heapsim.WordBytes
+}
+
+// OnCacheRefill implements mutator.Collector. Nursery allocation does not
+// pace the old-space collector (promotion does), but a pending lazy sweep
+// still advances here.
+func (g *Generational) OnCacheRefill(ctx *machine.Context, th *mutator.Thread, bytes int64) {
+	if g.old.lazy != nil {
+		g.old.lazySweepBytes(ctx, 2*bytes)
+	}
+	if fed := int64(float64(bytes) * g.promoRatio); fed > 0 {
+		g.old.onAllocation(ctx, th, fed)
+	}
+}
+
+// OnLargeAlloc implements mutator.Collector: large objects go straight to
+// the old space, so they feed the old-space pacer directly.
+func (g *Generational) OnLargeAlloc(ctx *machine.Context, th *mutator.Thread, bytes int64) {
+	g.old.onAllocation(ctx, th, bytes)
+}
+
+// OnAllocFailure implements mutator.Collector. A small-object failure means
+// the nursery is exhausted: run a minor collection. If the nursery is
+// already fresh (or a large allocation failed), the old space is the
+// problem: delegate to the old-space collector.
+func (g *Generational) OnAllocFailure(ctx *machine.Context, th *mutator.Thread) {
+	freshNursery := g.NurseryUsed() < int64(g.rt.Cfg.CacheBytes)
+	if freshNursery {
+		g.old.OnAllocFailure(ctx, th)
+		return
+	}
+	// Ensure the old space can absorb a worst-case promotion before
+	// stopping the world for the scavenge (a nested stop is impossible).
+	if g.rt.Heap.FreeBytes() < g.NurseryUsed() {
+		g.old.OnAllocFailure(ctx, th)
+	}
+	g.minorCollect(ctx)
+}
+
+// minorCollect stops the world and scavenges the nursery: en-masse
+// promotion with root and remembered-set fixup.
+func (g *Generational) minorCollect(ctx *machine.Context) {
+	if g.NurseryUsed() == 0 {
+		return
+	}
+	var ms MinorStats
+	ms.NurseryUsed = g.NurseryUsed()
+	oldPhaseActive := g.old.CurrentPhase() == PhaseConcurrent
+	g.old.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.MinorStart, LiveBytes: ms.NurseryUsed})
+	h := g.rt.Heap
+	costs := g.rt.Costs
+
+	g.m.StopTheWorld(ctx, "gen:minor", func(stoppedAt vtime.Time) vtime.Time {
+		ms.RequestedAt = ctx.Now()
+		w := &machine.Worker{}
+		w.Charge(vtime.Duration(stoppedAt))
+		g.rt.RetireAllCaches()
+
+		fwd := make(map[heapsim.Addr]heapsim.Addr)
+		var queue []heapsim.Addr
+		inNursery := func(a heapsim.Addr) bool { return a >= g.nurFrom && a < g.nurTo }
+		promote := func(y heapsim.Addr) heapsim.Addr {
+			if n, ok := fwd[y]; ok {
+				return n
+			}
+			words := h.SizeOf(y)
+			dst := h.AllocAvoiding(words, g.nurFrom, g.nurTo)
+			if dst == heapsim.Nil {
+				panic(fmt.Sprintf("core: promotion failed for %d words (old space full despite pre-check)", words))
+			}
+			h.MoveObject(y, dst)
+			fwd[y] = dst
+			queue = append(queue, dst)
+			ms.PromotedObjects++
+			ms.PromotedBytes += int64(words) * heapsim.WordBytes
+			w.Charge(machine.ForBytes(costs.TraceBytePs, int64(words)*heapsim.WordBytes))
+			return dst
+		}
+
+		// Roots: thread stacks and globals, updated precisely.
+		for _, t := range g.rt.Threads() {
+			for i, v := range t.Stack {
+				if v != heapsim.Nil && inNursery(v) {
+					t.Stack[i] = promote(v)
+					ms.RootsUpdated++
+				}
+				w.Charge(costs.StackScanSlot)
+			}
+		}
+		globals := g.rt.Globals()
+		for i, v := range globals {
+			if v != heapsim.Nil && inNursery(v) {
+				globals[i] = promote(v)
+				ms.RootsUpdated++
+			}
+			w.Charge(costs.StackScanSlot)
+		}
+
+		// Remembered set: old-space objects on dirty cards, plus cards
+		// whose indicators a cleaning pass cleared while old-to-young
+		// pointers remained (duplicates are harmless — promotion is
+		// idempotent). While a concurrent old phase is active the dirty
+		// indicators are scanned WITHOUT clearing: the old collector
+		// still needs them for retracing, and clearing-then-redirtying
+		// would make the dirty set only ever grow across minors.
+		var cards []int
+		if oldPhaseActive {
+			g.rt.Cards.ForEachDirty(func(c int) { cards = append(cards, c) })
+		} else {
+			cards = g.rt.Cards.RegisterAndClear(nil)
+		}
+		cards = append(cards, g.old.eng.rememberedCards...)
+		g.old.eng.rememberedCards = g.old.eng.rememberedCards[:0]
+		cards = append(cards, g.old.pendingRegisteredCards()...)
+		for _, card := range cards {
+			from, to := g.rt.Cards.CardBounds(card)
+			if from >= g.nurFrom {
+				continue // nursery card: the whole nursery is scavenged anyway
+			}
+			if to > g.nurFrom {
+				to = g.nurFrom
+			}
+			w.Charge(costs.CardScan)
+			ms.CardsScanned++
+			h.ObjectsIn(from, to, func(o heapsim.Addr) {
+				refs := h.RefCount(o)
+				for i := 0; i < refs; i++ {
+					v := h.RefAt(o, i)
+					if v != heapsim.Nil && inNursery(v) {
+						h.SetRefRaw(o, i, promote(v))
+						if oldPhaseActive {
+							// The store must be retraced by the old cycle.
+							g.rt.Cards.DirtyObject(o)
+						}
+					}
+				}
+			})
+		}
+		// Scavenge the promoted copies transitively. No cards are dirtied
+		// for the copies themselves: they are unmarked fresh old objects,
+		// reached by the old cycle through their holders (whose cards the
+		// fixup above dirties) or through the root rescan in the pause —
+		// card cleaning only retraces marked objects, so dirtying a
+		// copy's own card would be pure overhead.
+		for len(queue) > 0 {
+			o := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			refs := h.RefCount(o)
+			for i := 0; i < refs; i++ {
+				v := h.RefAt(o, i)
+				if v != heapsim.Nil && inNursery(v) {
+					h.SetRefRaw(o, i, promote(v))
+				}
+			}
+		}
+
+		// Reset the nursery: everything unpromoted is dead.
+		h.AllocBits.ClearRange(int(g.nurFrom), int(g.nurTo))
+		h.MarkBits.ClearRange(int(g.nurFrom), int(g.nurTo))
+		g.nurCur = g.nurFrom
+		return w.Now()
+	})
+	ms.Pause = ctx.Now().Sub(ms.RequestedAt)
+	g.old.emit(gctrace.Event{
+		At:            ctx.Now(),
+		Kind:          gctrace.MinorEnd,
+		PauseDuration: ms.Pause,
+		PromotedBytes: ms.PromotedBytes,
+	})
+	g.PromotedBytes += ms.PromotedBytes
+	if ms.NurseryUsed > 0 {
+		sample := float64(ms.PromotedBytes) / float64(ms.NurseryUsed)
+		g.promoRatio = 0.3*sample + 0.7*g.promoRatio
+	}
+	g.Minors = append(g.Minors, ms)
+}
+
+// MinorPauses summarizes the minor pauses.
+func (g *Generational) MinorPauses() (avg, max vtime.Duration) {
+	if len(g.Minors) == 0 {
+		return 0, 0
+	}
+	var sum vtime.Duration
+	for _, m := range g.Minors {
+		sum += m.Pause
+		if m.Pause > max {
+			max = m.Pause
+		}
+	}
+	return sum / vtime.Duration(len(g.Minors)), max
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+func newGenRig(heapBytes int64, procs int, nurseryBytes int64) (*machine.Machine, *mutator.Runtime, *Generational) {
+	m := machine.New(procs)
+	rt := mutator.NewRuntime(heapBytes, mutator.DefaultConfig(), machine.DefaultCosts())
+	cfg := testCGCConfig()
+	g := NewGenerational(rt, m, GenConfig{NurseryBytes: nurseryBytes, CGC: cfg})
+	rt.SetCollector(g)
+	g.SpawnBackground()
+	return m, rt, g
+}
+
+// genChainDriver keeps rotating chains alive, rebuilding them in turn, with
+// all long-lived structure reachable via the stack (precise under minors).
+// It returns a verifier that walks every chain and checks stamps.
+func genChainDriver(t *testing.T, rt *mutator.Runtime, chains, nodesPerChain int) (machine.StepFunc, func() int64) {
+	th := rt.NewThread()
+	th.Stack = make([]heapsim.Addr, chains)
+	round := 0
+	const stamp = uint64(0xabcdef12)
+	step := func(ctx *machine.Context) machine.Control {
+		slot := round % chains
+		round++
+		th.Stack[slot] = heapsim.Nil
+		for i := 0; i < nodesPerChain; i++ {
+			n := rt.Alloc(ctx, th, 1, 2)
+			rt.Heap.SetPayload(n, 0, stamp+uint64(i))
+			rt.SetRef(ctx, n, 0, th.Stack[slot])
+			th.Stack[slot] = n
+		}
+		return machine.Continue
+	}
+	verify := func() int64 {
+		var live int64
+		for slot := 0; slot < chains; slot++ {
+			n := th.Stack[slot]
+			count := 0
+			for n != heapsim.Nil {
+				want := stamp + uint64(nodesPerChain-1-count)
+				if got := rt.Heap.PayloadAt(n, 0); got != want {
+					t.Fatalf("chain %d node %d: payload %#x, want %#x", slot, count, got, want)
+				}
+				live += int64(rt.Heap.SizeOf(n)) * heapsim.WordBytes
+				n = rt.Heap.RefAt(n, 0)
+				count++
+			}
+			if count != nodesPerChain && count != 0 {
+				t.Fatalf("chain %d has %d nodes, want %d", slot, count, nodesPerChain)
+			}
+		}
+		return live
+	}
+	return step, verify
+}
+
+func TestGenerationalMinorCollections(t *testing.T) {
+	m, rt, g := newGenRig(4<<20, 2, 512<<10)
+	step, verify := genChainDriver(t, rt, 8, 400)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(2 * vtime.Second))
+
+	if len(g.Minors) == 0 {
+		t.Fatal("no minor collections despite nursery churn")
+	}
+	verify()
+	for i, ms := range g.Minors {
+		if ms.Pause <= 0 {
+			t.Fatalf("minor %d: non-positive pause", i)
+		}
+		if ms.NurseryUsed <= 0 {
+			t.Fatalf("minor %d: empty nursery scavenged", i)
+		}
+	}
+	if g.PromotedBytes == 0 {
+		t.Fatal("nothing promoted despite live chains")
+	}
+}
+
+func TestGenerationalMinorsMuchShorterThanOldPauses(t *testing.T) {
+	// The whole point of the generational front end: nursery scavenges
+	// are far shorter than full collections would be.
+	m, rt, g := newGenRig(4<<20, 2, 256<<10)
+	step, verify := genChainDriver(t, rt, 6, 300)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(3 * vtime.Second))
+	verify()
+	avgMinor, _ := g.MinorPauses()
+	if avgMinor <= 0 {
+		t.Fatal("no minors")
+	}
+	if len(g.Old().Cycles) > 0 {
+		p, _, _ := SummarizePauses(g.Old().Cycles)
+		if p.Avg > 0 && float64(avgMinor) > 0.8*float64(p.Avg) {
+			t.Fatalf("minor pause %v not well below old-cycle pause %v", avgMinor, p.Avg)
+		}
+	}
+}
+
+func TestGenerationalSurvivesOldCycles(t *testing.T) {
+	// Enough promotion pressure to trigger old-space concurrent cycles;
+	// the chains must stay intact across minors AND old cycles, and the
+	// heap invariants must hold at the end.
+	m, rt, g := newGenRig(3<<20, 2, 256<<10)
+	step, verify := genChainDriver(t, rt, 10, 500)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(4 * vtime.Second))
+
+	if len(g.Old().Cycles) == 0 {
+		t.Fatal("no old-space cycles despite promotion pressure")
+	}
+	verify()
+	rt.RetireAllCaches()
+	if err := VerifyHeap(rt, false); err != nil {
+		t.Fatalf("heap invariants: %v", err)
+	}
+	if len(g.Minors) < 3 {
+		t.Fatalf("only %d minors", len(g.Minors))
+	}
+}
+
+func TestGenerationalRememberedSet(t *testing.T) {
+	// An old object holding the only reference to a young object: the
+	// minor must find it through the dirty card and promote the target.
+	m, rt, g := newGenRig(4<<20, 1, 256<<10)
+	th := rt.NewThread()
+	checked := false
+	m.AddThread("prog", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+		// A large (old-space) holder object.
+		holder := rt.Alloc(ctx, th, 300, 2) // 300 refs > LargeBytes => old space
+		th.Stack = append(th.Stack, holder)
+		// A young object referenced ONLY from the old holder.
+		young := rt.Alloc(ctx, th, 0, 2)
+		rt.Heap.SetPayload(young, 0, 4242)
+		rt.SetRef(ctx, holder, 0, young)
+		// Fill the nursery to force minors; the young object must survive
+		// by promotion even though no stack slot references it.
+		for i := 0; i < 200000; i++ {
+			rt.Alloc(ctx, th, 0, 3)
+		}
+		v := rt.Heap.RefAt(holder, 0)
+		if v == heapsim.Nil {
+			t.Error("old->young reference lost")
+		} else if got := rt.Heap.PayloadAt(v, 0); got != 4242 {
+			t.Errorf("promoted target payload %d, want 4242", got)
+		}
+		if g.NurseryUsed() > 0 && v >= g.nurFrom && v < g.nurTo && len(g.Minors) > 0 {
+			t.Error("target still in nursery after minors")
+		}
+		checked = true
+		return machine.Finish
+	})
+	m.Run(vtime.Time(30 * vtime.Second))
+	if !checked {
+		t.Fatal("program did not finish")
+	}
+	if len(g.Minors) == 0 {
+		t.Fatal("no minors happened")
+	}
+}
+
+func TestGenerationalPacingFedByPromotion(t *testing.T) {
+	m, rt, g := newGenRig(3<<20, 2, 256<<10)
+	step, _ := genChainDriver(t, rt, 10, 500)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(3 * vtime.Second))
+	if g.Old().TotalAllocBytes == 0 {
+		t.Fatal("old-space pacer never saw allocation (promotion not fed)")
+	}
+	if g.Old().TotalAllocBytes < g.PromotedBytes/2 {
+		t.Fatalf("pacer saw %d bytes, promoted %d", g.Old().TotalAllocBytes, g.PromotedBytes)
+	}
+}
+
+func TestGenerationalBarrierAlwaysOn(t *testing.T) {
+	_, rt, g := newGenRig(2<<20, 1, 256<<10)
+	if !g.BarrierActive() {
+		t.Fatal("generational barrier must be always on (remembered set)")
+	}
+	_ = rt
+}
+
+func TestGenerationalNurseryExcludedFromSweep(t *testing.T) {
+	// After old cycles, no free-list chunk may lie in the nursery.
+	m, rt, g := newGenRig(3<<20, 2, 256<<10)
+	step, _ := genChainDriver(t, rt, 10, 500)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(3 * vtime.Second))
+	if len(g.Old().Cycles) == 0 {
+		t.Skip("no old cycles")
+	}
+	for _, c := range rt.Heap.FreeChunks() {
+		if c.End() > g.nurFrom {
+			t.Fatalf("free chunk [%d,%d) intrudes into the nursery at %d", c.Addr, c.End(), g.nurFrom)
+		}
+	}
+}
+
+func TestGenerationalWithLazySweep(t *testing.T) {
+	m := machine.New(2)
+	rt := mutator.NewRuntime(3<<20, mutator.DefaultConfig(), machine.DefaultCosts())
+	cfg := testCGCConfig()
+	cfg.LazySweep = true
+	g := NewGenerational(rt, m, GenConfig{NurseryBytes: 256 << 10, CGC: cfg})
+	rt.SetCollector(g)
+	g.SpawnBackground()
+	step, verify := genChainDriver(t, rt, 10, 500)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(3 * vtime.Second))
+	verify()
+	if len(g.Minors) == 0 {
+		t.Fatal("no minors")
+	}
+	for i, cs := range g.Old().Cycles {
+		if cs.SweepTime != 0 {
+			t.Fatalf("cycle %d swept inside the pause under lazy sweep", i)
+		}
+	}
+}
+
+func TestGenerationalWithCompaction(t *testing.T) {
+	m := machine.New(2)
+	rt := mutator.NewRuntime(4<<20, mutator.DefaultConfig(), machine.DefaultCosts())
+	cfg := testCGCConfig()
+	cfg.Compaction = true
+	g := NewGenerational(rt, m, GenConfig{NurseryBytes: 256 << 10, CGC: cfg})
+	rt.SetCollector(g)
+	g.SpawnBackground()
+	step, verify := genChainDriver(t, rt, 10, 500)
+	m.AddThread("mut", machine.PriorityNormal, step)
+	m.Run(vtime.Time(3 * vtime.Second))
+	verify()
+	rt.RetireAllCaches()
+	if err := VerifyHeap(rt, false); err != nil {
+		t.Fatalf("invariants under gen+compaction: %v", err)
+	}
+	if st := g.Old().Compactor(); st != nil {
+		// Compaction must never touch the nursery.
+		if st.AreaTo > g.nurFrom && st.AreaFrom < g.nurTo {
+			t.Fatalf("compaction area [%d,%d) overlaps the nursery [%d,%d)",
+				st.AreaFrom, st.AreaTo, g.nurFrom, g.nurTo)
+		}
+	}
+}

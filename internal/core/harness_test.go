@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+// The collector tests drive a churning mutator that maintains a shadow
+// model of the object graph it builds. Every allocation gets a unique id
+// stored in payload slot 0; the shadow records the id and the reference
+// slots. After a run, every shadow-reachable object must exist in the heap
+// with matching id and references — a collector that freed (or allowed the
+// reuse of) a live object fails the comparison.
+
+type shadowObj struct {
+	id    uint64
+	words int
+	refs  []heapsim.Addr
+}
+
+type churner struct {
+	rt     *mutator.Runtime
+	th     *mutator.Thread
+	r      *rand.Rand
+	nextID uint64
+
+	shadow map[heapsim.Addr]*shadowObj
+
+	// The retained population holds residency near the target the way the
+	// paper sizes its heaps for 60% occupancy. It is organised like real
+	// transaction data: a directory object (a large ref array, like a
+	// hash table's bucket array) points at blocks; each block is a linked
+	// list of nodes allocated consecutively, and blocks are replaced
+	// wholesale — so death is clustered and sweep recovers usable chunks
+	// instead of confetti.
+	directory heapsim.Addr
+	numBlocks int
+
+	// leaves is an immortal pool the nodes' data edges point into, so
+	// edge rewrites never resurrect replaced nodes.
+	leaves []heapsim.Addr
+
+	initDone        bool
+	residencyPct    int // retained share of the heap (default 55)
+	maxGarbageRoots int
+
+	allocs int64
+}
+
+// Shapes.
+const (
+	nodeRefs     = 2 // next, leaf edge
+	nodePayload  = 4
+	blockNodes   = 64
+	leafPoolSize = 128
+	leafPayload  = 6
+)
+
+func newChurner(rt *mutator.Runtime, th *mutator.Thread, seed int64) *churner {
+	c := &churner{
+		rt:              rt,
+		th:              th,
+		r:               rand.New(rand.NewSource(seed)),
+		shadow:          make(map[heapsim.Addr]*shadowObj),
+		residencyPct:    55,
+		maxGarbageRoots: 16,
+	}
+	// Stack slot 0 anchors the directory once it exists.
+	th.Stack = append(th.Stack, heapsim.Nil)
+	return c
+}
+
+func (c *churner) blockBytes() int64 {
+	return int64(blockNodes*heapsim.ObjectWords(nodeRefs, nodePayload)) * heapsim.WordBytes
+}
+
+// step performs one mutation. The first call builds the retained
+// population; afterwards it churns: short-lived garbage, block replacement
+// (constant residency, clustered garbage) and edge rewrites that exercise
+// the write barrier.
+func (c *churner) step(ctx *machine.Context) {
+	if !c.initDone {
+		c.initialize(ctx)
+		return
+	}
+	switch c.r.Intn(10) {
+	case 0, 1, 2, 3, 4, 5:
+		c.allocGarbage(ctx)
+	case 6, 7:
+		c.replaceBlock(ctx)
+	case 8:
+		// Rewrite a leaf edge in a random block head: barrier work.
+		b := c.r.Intn(c.numBlocks)
+		node := c.rt.Heap.RefAt(c.directory, b)
+		if node != heapsim.Nil {
+			leaf := c.leaves[c.r.Intn(len(c.leaves))]
+			c.rt.SetRef(ctx, node, 1, leaf)
+			c.shadow[node].refs[1] = leaf
+		}
+	case 9:
+		// Drop a garbage root (slots 0 and 1 hold the directory and the
+		// leaf anchor, which are permanent).
+		if len(c.th.Stack) > 2 {
+			i := 2 + c.r.Intn(len(c.th.Stack)-2)
+			c.th.Stack = append(c.th.Stack[:i], c.th.Stack[i+1:]...)
+		} else {
+			c.allocGarbage(ctx)
+		}
+	}
+}
+
+// initialize builds the leaf pool, the directory and the retained blocks up
+// to ~55% residency.
+func (c *churner) initialize(ctx *machine.Context) {
+	// Every allocation below can trigger a collection, so — exactly as a
+	// real mutator's stack frames would — temporaries must be rooted on
+	// the simulated stack for as long as they are otherwise unreachable.
+	for i := 0; i < leafPoolSize; i++ {
+		l := c.allocNode(ctx, 0, leafPayload)
+		c.leaves = append(c.leaves, l)
+		c.th.Stack = append(c.th.Stack, l) // temporary root until anchored
+	}
+	target := c.rt.Heap.UsableBytes() * int64(c.residencyPct) / 100
+	c.numBlocks = int(target / c.blockBytes())
+	if c.numBlocks < 4 {
+		c.numBlocks = 4
+	}
+	// The directory is a large object: numBlocks ref slots.
+	dir := c.rt.Alloc(ctx, c.th, c.numBlocks, 1)
+	c.allocs++
+	c.nextID++
+	c.rt.Heap.SetPayload(dir, 0, c.nextID)
+	c.shadow[dir] = &shadowObj{
+		id:    c.nextID,
+		words: heapsim.ObjectWords(c.numBlocks, 1),
+		refs:  make([]heapsim.Addr, c.numBlocks),
+	}
+	c.directory = dir
+	c.th.Stack[0] = dir
+	// Move the leaves off the stack into an anchor object at stack slot 1.
+	anchor := c.allocNode(ctx, leafPoolSize, 1)
+	for i, l := range c.leaves {
+		c.rt.SetRef(ctx, anchor, i, l)
+		c.shadow[anchor].refs[i] = l
+	}
+	c.th.Stack = append(c.th.Stack[:1], anchor)
+	for b := 0; b < c.numBlocks; b++ {
+		c.installBlock(ctx, b)
+	}
+	c.initDone = true
+}
+
+// installBlock allocates a fresh block (a linked list of blockNodes nodes,
+// allocated consecutively) and stores its head in directory slot b.
+func (c *churner) installBlock(ctx *machine.Context, b int) {
+	// The list under construction is reachable only from the local
+	// variable head, so mirror it in a dedicated stack slot: any of the
+	// allocations below may run a collection.
+	c.th.Stack = append(c.th.Stack, heapsim.Nil)
+	slot := len(c.th.Stack) - 1
+	head := heapsim.Nil
+	for i := 0; i < blockNodes; i++ {
+		n := c.allocNode(ctx, nodeRefs, nodePayload)
+		c.rt.SetRef(ctx, n, 0, head)
+		c.shadow[n].refs[0] = head
+		leaf := c.leaves[c.r.Intn(len(c.leaves))]
+		c.rt.SetRef(ctx, n, 1, leaf)
+		c.shadow[n].refs[1] = leaf
+		head = n
+		c.th.Stack[slot] = head
+	}
+	c.rt.SetRef(ctx, c.directory, b, head)
+	c.shadow[c.directory].refs[b] = head
+	c.th.Stack = c.th.Stack[:slot]
+}
+
+// replaceBlock rebuilds one block: the old one becomes clustered garbage.
+func (c *churner) replaceBlock(ctx *machine.Context) {
+	c.installBlock(ctx, c.r.Intn(c.numBlocks))
+}
+
+// allocNode allocates one object and records it in the shadow.
+func (c *churner) allocNode(ctx *machine.Context, refs, payload int) heapsim.Addr {
+	a := c.rt.Alloc(ctx, c.th, refs, payload)
+	c.allocs++
+	c.nextID++
+	c.rt.Heap.SetPayload(a, 0, c.nextID)
+	c.shadow[a] = &shadowObj{
+		id:    c.nextID,
+		words: heapsim.ObjectWords(refs, payload),
+		refs:  make([]heapsim.Addr, refs),
+	}
+	return a
+}
+
+// allocGarbage makes a small object that dies quickly: rooted briefly in a
+// rotating stack slot, often referencing retained data (so card cleaning
+// sees cross references).
+func (c *churner) allocGarbage(ctx *machine.Context) {
+	refs := c.r.Intn(3)
+	payload := 1 + c.r.Intn(6)
+	a := c.allocNode(ctx, refs, payload)
+	for i := 0; i < refs; i++ {
+		if c.r.Intn(2) == 0 {
+			t := c.leaves[c.r.Intn(len(c.leaves))]
+			c.rt.SetRef(ctx, a, i, t)
+			c.shadow[a].refs[i] = t
+		}
+	}
+	if c.r.Intn(3) > 0 {
+		if len(c.th.Stack)-2 >= c.maxGarbageRoots {
+			i := 2 + c.r.Intn(len(c.th.Stack)-2)
+			c.th.Stack[i] = a
+		} else {
+			c.th.Stack = append(c.th.Stack, a)
+		}
+	}
+}
+
+// verify walks the shadow graph from the roots and checks the heap agrees.
+func (c *churner) verify(t *testing.T) int64 {
+	t.Helper()
+	// Publish any allocation bits still batched in the cache (Section
+	// 5.2): outside a stop, the youngest objects are legitimately
+	// unpublished.
+	c.th.Cache.Flush()
+	h := c.rt.Heap
+	seen := make(map[heapsim.Addr]bool)
+	var stack []heapsim.Addr
+	for _, a := range c.th.Stack {
+		if a != heapsim.Nil && !seen[a] {
+			seen[a] = true
+			stack = append(stack, a)
+		}
+	}
+	var reachableBytes int64
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s := c.shadow[a]
+		if s == nil {
+			t.Fatalf("reachable object %d missing from shadow (test bug)", a)
+		}
+		if !h.AllocBits.Test(int(a)) {
+			t.Fatalf("reachable object %d (id %d) lost its allocation bit: collected while live", a, s.id)
+		}
+		if got := h.SizeOf(a); got != s.words {
+			t.Fatalf("object %d: heap size %d, shadow %d (memory reused while live)", a, got, s.words)
+		}
+		if got := h.PayloadAt(a, 0); got != s.id {
+			t.Fatalf("object %d: id %d, shadow %d (memory reused while live)", a, got, s.id)
+		}
+		if got := h.RefCount(a); got != len(s.refs) {
+			t.Fatalf("object %d: refcount %d, shadow %d", a, got, len(s.refs))
+		}
+		reachableBytes += int64(s.words) * heapsim.WordBytes
+		for i, want := range s.refs {
+			got := h.RefAt(a, i)
+			if got != want {
+				t.Fatalf("object %d slot %d: ref %d, shadow %d", a, i, got, want)
+			}
+			if want != heapsim.Nil && !seen[want] {
+				seen[want] = true
+				stack = append(stack, want)
+			}
+		}
+	}
+	return reachableBytes
+}
+
+// testEnv couples a machine, runtime and churner for one collector run.
+type testEnv struct {
+	m  *machine.Machine
+	rt *mutator.Runtime
+	ch *churner
+}
+
+// newEnv builds the environment; the caller attaches a collector before
+// calling run.
+func newEnv(heapBytes int64, procs int) *testEnv {
+	m := machine.New(procs)
+	rt := mutator.NewRuntime(heapBytes, mutator.DefaultConfig(), machine.DefaultCosts())
+	return &testEnv{m: m, rt: rt}
+}
+
+// run churns until the virtual deadline.
+func (e *testEnv) run(seed int64, deadline vtime.Duration) {
+	th := e.rt.NewThread()
+	e.ch = newChurner(e.rt, th, seed)
+	e.m.AddThread("churner", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+		for i := 0; i < 32; i++ {
+			e.ch.step(ctx)
+		}
+		return machine.Continue
+	})
+	e.m.Run(vtime.Time(deadline))
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/vtime"
+)
+
+// Incremental compaction (Section 2.3, detailed in the companion paper the
+// authors cite as [6]): full compaction of a large heap is incompatible
+// with short pauses, but one area per cycle can be evacuated during the
+// stop-the-world phase. The area is chosen before the concurrent mark
+// phase begins; all pointers into it found while marking (concurrently and
+// in the pause) are remembered; after sweep, the live objects of the area
+// are evacuated and the remembered slots fixed up.
+//
+// Objects referenced from thread stacks or globals are pinned: the
+// collector scans stacks conservatively (Section 2.2), so values that might
+// be stack-held references cannot be relocated.
+
+// slotRef remembers one reference slot observed pointing into the area.
+type slotRef struct {
+	holder heapsim.Addr
+	slot   int32
+}
+
+// CompactStats summarizes one cycle's evacuation.
+type CompactStats struct {
+	AreaFrom, AreaTo heapsim.Addr
+	EvacuatedObjects int
+	EvacuatedBytes   int64
+	PinnedObjects    int
+	SlotsRemembered  int
+	SlotsFixed       int
+	FailedMoves      int // no space outside the area; object left in place
+	Time             vtime.Duration
+}
+
+// compactor holds the per-cycle evacuation state.
+type compactor struct {
+	h     *heapsim.Heap
+	costs machine.Costs
+
+	areaWords  int
+	limitWords int
+	cursor     heapsim.Addr // next area start (rotates through the managed region)
+
+	// Per-cycle state.
+	active   bool
+	from, to heapsim.Addr
+	slots    []slotRef
+	pinned   map[heapsim.Addr]bool
+
+	Last  CompactStats
+	Total CompactStats // cumulative across cycles (Area fields hold the last area)
+}
+
+// newCompactor creates a compactor evacuating areaWords per cycle within
+// [1, limitWords) (0: the whole heap).
+func newCompactor(h *heapsim.Heap, costs machine.Costs, areaWords, limitWords int) *compactor {
+	if limitWords <= 0 || limitWords > h.SizeWords() {
+		limitWords = h.SizeWords()
+	}
+	if areaWords <= 0 {
+		areaWords = limitWords / 32
+	}
+	if areaWords < 2*sweepSectionWords {
+		areaWords = 2 * sweepSectionWords
+	}
+	if areaWords > limitWords-1 {
+		areaWords = limitWords - 1
+	}
+	return &compactor{h: h, costs: costs, areaWords: areaWords, limitWords: limitWords, cursor: 1}
+}
+
+// beginCycle selects the evacuation area for this cycle ("we choose an area
+// to be evacuated before the start of the concurrent mark phase").
+func (c *compactor) beginCycle() {
+	c.active = true
+	c.from = c.cursor
+	c.to = c.from + heapsim.Addr(c.areaWords)
+	limit := heapsim.Addr(c.limitWords)
+	if c.to > limit {
+		c.to = limit
+	}
+	c.cursor = c.to
+	if c.cursor >= limit {
+		c.cursor = 1
+	}
+	c.slots = c.slots[:0]
+	c.pinned = make(map[heapsim.Addr]bool)
+	c.Last = CompactStats{AreaFrom: c.from, AreaTo: c.to}
+}
+
+// inArea reports whether an address falls in this cycle's area.
+func (c *compactor) inArea(a heapsim.Addr) bool {
+	return c.active && a >= c.from && a < c.to
+}
+
+// noteSlot remembers that holder's reference slot i points into the area.
+// Called from the tracing engine for every scanned slot whose value is in
+// the area (both during the concurrent phase and the pause). Entries may go
+// stale — the mutator can overwrite the slot — so fixup re-validates.
+func (c *compactor) noteSlot(ch charger, holder heapsim.Addr, i int) {
+	c.slots = append(c.slots, slotRef{holder: holder, slot: int32(i)})
+	ch.Charge(c.costs.PacketOp)
+}
+
+// notePin marks an area object as unmovable because a root (conservatively
+// scanned stack slot or global) references it.
+func (c *compactor) notePin(a heapsim.Addr) {
+	if c.inArea(a) {
+		c.pinned[a] = true
+	}
+}
+
+// run performs the evacuation after sweep, while the world is stopped:
+// copy every marked, unpinned object out of the area, then fix up the
+// remembered slots through the forwarding table, then free the vacated
+// ranges. It returns the virtual time consumed.
+func (c *compactor) run(w *machine.Worker) {
+	if !c.active {
+		return
+	}
+	start := w.Now()
+	fwd := make(map[heapsim.Addr]heapsim.Addr)
+
+	// Evacuate marked, unpinned objects.
+	mb := c.h.MarkBits
+	for i := mb.NextSet(int(c.from)); i >= 0 && i < int(c.to); i = mb.NextSet(i + 1) {
+		old := heapsim.Addr(i)
+		words := c.h.SizeOf(old)
+		if words <= 0 {
+			panic(fmt.Sprintf("core: compaction found marked word %d with corrupt header", old))
+		}
+		if c.pinned[old] {
+			c.Last.PinnedObjects++
+			i = int(old) + words - 1
+			continue
+		}
+		dst := c.h.AllocAvoiding(words, c.from, c.to)
+		if dst == heapsim.Nil {
+			// No room outside the area: leave the object in place.
+			c.Last.FailedMoves++
+			i = int(old) + words - 1
+			continue
+		}
+		c.h.MoveObject(old, dst)
+		mb.Set(int(dst))
+		fwd[old] = dst
+		c.Last.EvacuatedObjects++
+		c.Last.EvacuatedBytes += int64(words) * heapsim.WordBytes
+		w.Charge(machine.ForBytes(c.costs.TraceBytePs, int64(words)*heapsim.WordBytes))
+		i = int(old) + words - 1
+	}
+
+	// Fix up remembered slots. A holder that was itself evacuated is
+	// resolved through the forwarding table; dead holders are skipped.
+	c.Last.SlotsRemembered = len(c.slots)
+	for _, s := range c.slots {
+		holder := s.holder
+		if nh, ok := fwd[holder]; ok {
+			holder = nh
+		} else if !mb.Test(int(holder)) {
+			continue // holder died during the cycle; slot memory may be freed
+		}
+		v := c.h.RefAt(holder, int(s.slot))
+		if nv, ok := fwd[v]; ok {
+			c.h.SetRefRaw(holder, int(s.slot), nv)
+			c.Last.SlotsFixed++
+		}
+		w.Charge(c.costs.PacketOp)
+	}
+
+	// Free the vacated space as maximal coalesced runs: clear the moved
+	// objects' bits, pull the area's pre-existing free chunks off the
+	// list, then walk the area's remaining allocation bits emitting the
+	// gaps between survivors (pinned or failed moves) as single chunks.
+	// Returning per-object fragments instead would shred the free list —
+	// the opposite of what a compactor is for.
+	for old := range fwd {
+		c.h.AllocBits.Clear(int(old))
+		mb.Clear(int(old))
+	}
+	c.h.ExtractFreeRange(c.from, c.to)
+	cursor := c.from
+	// An object spanning in from before the area covers its prefix.
+	if p := c.h.AllocBits.PrevSet(int(c.from) - 1); p >= 0 {
+		if end := heapsim.Addr(p) + heapsim.Addr(c.h.SizeOf(heapsim.Addr(p))); end > cursor {
+			cursor = end
+		}
+	}
+	for cursor < c.to {
+		i := c.h.AllocBits.NextSet(int(cursor))
+		if i < 0 || i >= int(c.to) {
+			c.h.ReturnChunk(heapsim.Chunk{Addr: cursor, Words: int(c.to - cursor)})
+			break
+		}
+		if heapsim.Addr(i) > cursor {
+			c.h.ReturnChunk(heapsim.Chunk{Addr: cursor, Words: int(heapsim.Addr(i) - cursor)})
+		}
+		cursor = heapsim.Addr(i) + heapsim.Addr(c.h.SizeOf(heapsim.Addr(i)))
+	}
+
+	c.active = false
+	c.Last.Time = w.Now().Sub(start)
+	c.Total.AreaFrom, c.Total.AreaTo = c.Last.AreaFrom, c.Last.AreaTo
+	c.Total.EvacuatedObjects += c.Last.EvacuatedObjects
+	c.Total.EvacuatedBytes += c.Last.EvacuatedBytes
+	c.Total.PinnedObjects += c.Last.PinnedObjects
+	c.Total.SlotsRemembered += c.Last.SlotsRemembered
+	c.Total.SlotsFixed += c.Last.SlotsFixed
+	c.Total.FailedMoves += c.Last.FailedMoves
+	c.Total.Time += c.Last.Time
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"mcgc/internal/gctrace"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+)
+
+// Lazy sweep is the Section 7 future-work extension: sweeping is deferred
+// out of the stop-the-world pause and performed incrementally — "techniques
+// similar to those used for concurrent tracing to delay sweeping until
+// needed and spread sweeping work between mutator threads and idle low
+// priority background threads". After the mark phase the pause ends
+// immediately; allocation-cache refills then sweep a few sections ahead of
+// the allocator, and an allocation failure sweeps just far enough to
+// produce a chunk that satisfies the request.
+//
+// Sections are swept strictly in address order so the cross-boundary merge
+// state (cover/pending, as in sweep.go) can be carried incrementally.
+
+// lazySweeper is the sweep continuation left behind by a lazy-mode cycle.
+type lazySweeper struct {
+	s *sweeper
+	h *heapsim.Heap
+
+	k       int          // next section to sweep
+	cover   heapsim.Addr // end of live coverage seen so far
+	pending heapsim.Addr // start of an open free run, or Nil
+}
+
+// newLazySweeper invalidates the old free list (everything free will be
+// rediscovered section by section) and returns the continuation.
+func newLazySweeper(h *heapsim.Heap, costs machine.Costs, limitWords int) *lazySweeper {
+	h.InstallFreeList(nil, 0)
+	return &lazySweeper{s: newSweeper(h, costs, limitWords), h: h, cover: 1}
+}
+
+// done reports whether every section has been swept.
+func (ls *lazySweeper) done() bool { return ls.k >= ls.s.numSections() }
+
+// emit releases the free run [from, to): clears its dead allocation bits
+// and returns it to the free list (ReturnChunk files sub-minimum runs as
+// dark matter).
+func (ls *lazySweeper) emit(from, to heapsim.Addr) int {
+	if from >= to {
+		return 0
+	}
+	ls.h.AllocBits.ClearRange(int(from), int(to))
+	words := int(to - from)
+	ls.h.ReturnChunk(heapsim.Chunk{Addr: from, Words: words})
+	return words
+}
+
+// sweepOne sweeps the next section and feeds its free runs to the heap. It
+// returns the largest chunk (in words) made available by this call.
+func (ls *lazySweeper) sweepOne(ch charger) int {
+	if ls.done() {
+		return 0
+	}
+	k := ls.k
+	ls.k++
+	ls.s.sweepSection(ch, k)
+	res := &ls.s.sections[k]
+	secFrom, secTo := ls.s.sectionBounds(k)
+
+	largest := 0
+	if !res.hasLive {
+		if ls.cover < secTo && ls.pending == heapsim.Nil {
+			ls.pending = vmax(ls.cover, secFrom)
+		}
+	} else {
+		if ls.pending == heapsim.Nil && ls.cover < res.firstLive {
+			ls.pending = vmax(ls.cover, secFrom)
+		}
+		if ls.pending != heapsim.Nil && ls.pending < res.firstLive {
+			largest = max(largest, ls.emit(ls.pending, res.firstLive))
+		}
+		ls.pending = heapsim.Nil
+		for _, c := range res.interior {
+			// Interior gaps had their allocation bits cleared during
+			// sweepSection already.
+			ls.h.ReturnChunk(c)
+			largest = max(largest, c.Words)
+		}
+		if res.lastEnd > ls.cover {
+			ls.cover = res.lastEnd
+		}
+		if res.lastEnd < secTo {
+			ls.pending = res.lastEnd
+		}
+	}
+	if ls.done() && ls.pending != heapsim.Nil {
+		largest = max(largest, ls.emit(ls.pending, heapsim.Addr(ls.s.limitWords)))
+		ls.pending = heapsim.Nil
+	}
+	return largest
+}
+
+// lazySweepBytes advances the continuation by roughly `bytes` of heap; the
+// CGC calls it from every allocation pacing point.
+func (c *CGC) lazySweepBytes(ctx *machine.Context, bytes int64) {
+	if c.lazy == nil {
+		return
+	}
+	sections := int(bytes/(sweepSectionWords*heapsim.WordBytes)) + 1
+	for i := 0; i < sections && !c.lazy.done(); i++ {
+		c.lazy.sweepOne(ctx)
+	}
+	if c.lazy.done() {
+		c.lazy = nil
+		c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.LazySweepDone, FreeBytes: c.rt.Heap.FreeBytes()})
+	}
+}
+
+// lazyFinish drains the whole continuation (allocation failure, or a new
+// cycle is about to need the mark bits).
+func (c *CGC) lazyFinish(ctx *machine.Context) {
+	if c.lazy == nil {
+		return
+	}
+	for !c.lazy.done() {
+		c.lazy.sweepOne(ctx)
+	}
+	c.lazy = nil
+	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.LazySweepDone, FreeBytes: c.rt.Heap.FreeBytes()})
+}

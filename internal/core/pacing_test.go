@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKickoffFormula(t *testing.T) {
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5, InitialDirtyFraction: 0})
+	// Unprimed: L falls back to occupied bytes. Threshold = occupied/8.
+	if p.shouldKickoff(100, 640) {
+		t.Fatal("kickoff with free above threshold")
+	}
+	if !p.shouldKickoff(79, 640) {
+		t.Fatal("no kickoff with free below threshold")
+	}
+	// Priming L and M moves the threshold: (L+M)/K0 = (800+160)/8 = 120.
+	p.endCycle(800, 160)
+	if p.shouldKickoff(121, 0) {
+		t.Fatal("kickoff above primed threshold")
+	}
+	if !p.shouldKickoff(119, 0) {
+		t.Fatal("no kickoff below primed threshold")
+	}
+}
+
+func TestProgressFormulaBasic(t *testing.T) {
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5, C: 1})
+	p.endCycle(8000, 0) // L = 8000, M = 0
+	p.startCycle()
+	// T=0, F=1000: K = 8000/1000 = 8 = K0, no correction.
+	if k := p.rate(1000, 0); math.Abs(k-8) > 1e-9 {
+		t.Fatalf("rate = %v, want 8", k)
+	}
+	// Tracing ahead of schedule: T=6000, F=1000 => K = 2.
+	p.noteTraced(6000)
+	if k := p.rate(1000, 0); math.Abs(k-2) > 1e-9 {
+		t.Fatalf("rate = %v, want 2", k)
+	}
+}
+
+func TestProgressFormulaNegativeMeansKMax(t *testing.T) {
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5})
+	p.endCycle(1000, 0)
+	p.startCycle()
+	p.noteTraced(2000) // T > L+M: the predictions were underestimates
+	if k := p.rate(500, 0); k != 16 {
+		t.Fatalf("rate = %v, want KMax=16", k)
+	}
+	// Zero free memory is also the maximum rate.
+	if k := p.rate(0, 0); k != 16 {
+		t.Fatalf("rate at F=0 = %v, want KMax", k)
+	}
+}
+
+func TestProgressCorrectiveTerm(t *testing.T) {
+	// Behind schedule: K > K0 gets amplified by C.
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5, C: 1})
+	p.endCycle(10000, 0)
+	p.startCycle()
+	// K = 10000/1000 = 10 > K0=8 => K + (K-K0)*C = 12.
+	if k := p.rate(1000, 0); math.Abs(k-12) > 1e-9 {
+		t.Fatalf("rate = %v, want 12", k)
+	}
+	// Capped at KMax.
+	p2 := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5, C: 10})
+	p2.endCycle(10000, 0)
+	p2.startCycle()
+	if k := p2.rate(1000, 0); k != 16 {
+		t.Fatalf("rate = %v, want KMax cap 16", k)
+	}
+}
+
+func TestBackgroundDiscount(t *testing.T) {
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 1.0, C: 1})
+	p.endCycle(8000, 0)
+	p.startCycle()
+	// Background does 3 bytes per allocated byte: Best = 3.
+	p.noteBackground(3 << 20)
+	p.noteAllocation(1 << 20)
+	if b := p.best.Value(); math.Abs(b-3) > 1e-9 {
+		t.Fatalf("Best = %v, want 3", b)
+	}
+	// K would be 8; discounted by Best: 8-3 = 5 (below K0, no correction).
+	p.traced = 0
+	if k := p.rate(1000, 0); math.Abs(k-5) > 1e-9 {
+		t.Fatalf("discounted rate = %v, want 5", k)
+	}
+	// Background fully keeping up: K < Best => 0. (Fresh pacer so T stays
+	// small: noteBackground counts toward T too.)
+	p3 := newPacer(PacingConfig{K0: 8, SmoothAlpha: 1.0, C: 1})
+	p3.endCycle(8000, 0)
+	p3.startCycle()
+	p3.noteBackground(3 << 20)
+	p3.noteAllocation(1 << 20)
+	p3.traced = 0
+	// K = 8000/8000 = 1 < Best = 3.
+	if k := p3.rate(8000, 0); k != 0 {
+		t.Fatalf("rate = %v, want 0 when background keeps up", k)
+	}
+}
+
+func TestBackgroundWindowing(t *testing.T) {
+	p := newPacer(DefaultPacing())
+	p.startCycle()
+	p.noteBackground(512 << 10)
+	// Window not yet full: Best unprimed.
+	p.noteAllocation(bWindowBytes / 2)
+	if p.best.Primed() {
+		t.Fatal("Best sampled before the window filled")
+	}
+	p.noteAllocation(bWindowBytes / 2)
+	if !p.best.Primed() {
+		t.Fatal("Best not sampled after a full window")
+	}
+	if b := p.best.Value(); b <= 0 || b > 1 {
+		t.Fatalf("B sample = %v out of range", b)
+	}
+}
+
+func TestKMaxDefaults(t *testing.T) {
+	cfg := PacingConfig{K0: 5}
+	if cfg.kmax() != 10 {
+		t.Fatalf("default KMax = %v, want 2*K0", cfg.kmax())
+	}
+	cfg.KMax = 7
+	if cfg.kmax() != 7 {
+		t.Fatalf("explicit KMax = %v", cfg.kmax())
+	}
+}
+
+// Property: the rate is always within [0, KMax] whatever the state.
+func TestQuickRateBounded(t *testing.T) {
+	f := func(l, m, traced, free uint32, bg uint16) bool {
+		p := newPacer(DefaultPacing())
+		p.endCycle(int64(l), int64(m))
+		p.startCycle()
+		p.noteTraced(int64(traced))
+		p.noteBackground(int64(bg))
+		p.noteAllocation(bWindowBytes)
+		k := p.rate(int64(free), 0)
+		return k >= 0 && k <= p.cfg.kmax()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionsSeedFromHeap(t *testing.T) {
+	p := newPacer(PacingConfig{K0: 8, SmoothAlpha: 0.5, InitialDirtyFraction: 0.1})
+	l, m := p.predictions(1000)
+	if l != 1000 {
+		t.Fatalf("unprimed L = %v, want occupied", l)
+	}
+	if m != 100 {
+		t.Fatalf("unprimed M = %v, want 10%% of occupied", m)
+	}
+	p.endCycle(500, 50)
+	l, m = p.predictions(1000)
+	if l != 500 || m != 50 {
+		t.Fatalf("primed L,M = %v,%v", l, m)
+	}
+}
+
+func TestHeadroomShiftsKickoffAndCompletion(t *testing.T) {
+	cfg := PacingConfig{K0: 8, SmoothAlpha: 0.5, HeadroomBytes: 1000}
+	p := newPacer(cfg)
+	p.endCycle(8000, 0)
+	// Kickoff threshold = L/K0 + headroom = 1000 + 1000.
+	if !p.shouldKickoff(1999, 0) {
+		t.Fatal("kickoff should fire below threshold+headroom")
+	}
+	if p.shouldKickoff(2001, 0) {
+		t.Fatal("kickoff fired above threshold+headroom")
+	}
+	// The progress formula targets completion with headroom remaining:
+	// at free = headroom the rate is already maximal.
+	p.startCycle()
+	if k := p.rate(1000, 0); k != cfg.kmax() {
+		t.Fatalf("rate at free==headroom = %v, want KMax", k)
+	}
+	// Above the headroom the effective free memory is reduced.
+	if k := p.rate(2000, 0); math.Abs(k-8) > 1e-9 { // 8000/(2000-1000)=8
+		t.Fatalf("rate = %v, want 8", k)
+	}
+}

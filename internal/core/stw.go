@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/gctrace"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workpack"
+)
+
+// markQuantumBytes bounds one parallel-mark step so RunParallel interleaves
+// workers at a realistic granularity.
+const markQuantumBytes = 16 << 10
+
+// STW is the parallel stop-the-world mark-sweep collector: the mature
+// baseline the paper builds on and compares against (its parallel marker
+// follows Endo et al as cited in Section 2.2, here realized with work
+// packets; its sweep is the parallel bitwise sweep).
+type STW struct {
+	rt      *mutator.Runtime
+	m       *machine.Machine
+	eng     *engine
+	workers int
+
+	// Trace, when set, receives structured collection events.
+	Trace gctrace.Sink
+
+	Cycles []CycleStats
+}
+
+func (c *STW) emit(e gctrace.Event) {
+	if c.Trace != nil {
+		c.Trace.Emit(e)
+	}
+}
+
+// NewSTW creates the baseline collector. workers is the number of parallel
+// GC threads used during the pause; the paper uses one per processor.
+func NewSTW(rt *mutator.Runtime, m *machine.Machine, packets, packetCap, workers int) *STW {
+	if workers <= 0 {
+		workers = m.Processors()
+	}
+	return &STW{rt: rt, m: m, eng: newEngine(rt, packets, packetCap), workers: workers}
+}
+
+// Name implements mutator.Collector.
+func (c *STW) Name() string { return "stw" }
+
+// OnCacheRefill implements mutator.Collector; the baseline does no
+// incremental work.
+func (c *STW) OnCacheRefill(*machine.Context, *mutator.Thread, int64) {}
+
+// OnLargeAlloc implements mutator.Collector.
+func (c *STW) OnLargeAlloc(*machine.Context, *mutator.Thread, int64) {}
+
+// BarrierActive implements mutator.Collector: the baseline needs no write
+// barrier.
+func (c *STW) BarrierActive() bool { return false }
+
+// OnAllocFailure implements mutator.Collector: run a full collection.
+func (c *STW) OnAllocFailure(ctx *machine.Context, th *mutator.Thread) {
+	c.Collect(ctx, "alloc-failure")
+}
+
+// Collect performs one full stop-the-world collection.
+func (c *STW) Collect(ctx *machine.Context, reason string) {
+	var cs CycleStats
+	cs.Reason = reason
+	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.PauseStart, Reason: reason})
+	c.m.StopTheWorld(ctx, "stw:"+reason, func(stoppedAt vtime.Time) vtime.Time {
+		cs.RequestedAt = ctx.Now()
+		cs.StoppedAt = stoppedAt
+		c.rt.RetireAllCaches()
+		c.rt.Heap.MarkBits.ClearAll()
+		markEnd := stwMarkPhase(c.eng, c.rt, stoppedAt, c.workers)
+		cs.MarkEndAt = markEnd
+		cs.MarkTime = markEnd.Sub(stoppedAt)
+		c.emit(gctrace.Event{At: markEnd, Kind: gctrace.MarkEnd})
+		sweepEnd, _ := runParallelSweep(c.rt.Heap, c.rt.Costs, markEnd, c.workers, 0)
+		cs.SweepTime = sweepEnd.Sub(markEnd)
+		c.emit(gctrace.Event{At: sweepEnd, Kind: gctrace.SweepEnd, FreeBytes: c.rt.Heap.FreeBytes()})
+		return sweepEnd
+	})
+	cs.EndAt = ctx.Now()
+	cs.Pause = cs.EndAt.Sub(cs.RequestedAt)
+	cs.BytesTracedStw = c.eng.bytesTraced
+	cs.LiveAfter = c.rt.Heap.OccupiedBytes()
+	cs.FreeAfter = c.rt.Heap.FreeBytes()
+	cs.LargestFreeAfter = int64(c.rt.Heap.LargestFreeChunk()) * heapsimWordBytes
+	c.eng.bytesTraced = 0
+	c.Cycles = append(c.Cycles, cs)
+	c.emit(gctrace.Event{
+		At:            cs.EndAt,
+		Kind:          gctrace.PauseEnd,
+		Reason:        reason,
+		PauseDuration: cs.Pause,
+		LiveBytes:     cs.LiveAfter,
+		FreeBytes:     cs.FreeAfter,
+	})
+}
+
+// Engine exposes the tracing engine's pool for instrumentation.
+func (c *STW) Engine() *workpack.Pool { return c.eng.pool }
+
+// stwMarkPhase completes marking with parallel workers while the world is
+// stopped: scan all roots, drain the packets, then repeatedly clean any
+// cards dirtied by the overflow fallback (and, for the mostly concurrent
+// collector, by mutators since the last concurrent cleaning pass) until no
+// work remains. It returns the phase end time.
+func stwMarkPhase(e *engine, rt *mutator.Runtime, start vtime.Time, workers int) vtime.Time {
+	e.concurrentMode = false
+	tracers := make([]*workpack.Tracer, workers)
+	for i := range tracers {
+		tracers[i] = workpack.NewTracer(e.pool)
+	}
+
+	// Root-scan tasks: one per mutator thread stack, plus one for globals,
+	// plus (under the generational extension) one for the whole nursery.
+	threads := rt.Threads()
+	rootCursor := 0
+	nurSegs := e.nurserySegments()
+	rootTasks := len(threads) + 1 + nurSegs
+
+	// Card-clean tasks are (re)filled each outer round.
+	var cards []int
+	cardCursor := 0
+
+	end := start
+	for round := 0; ; round++ {
+		end = machine.RunParallel(end, workers, func(w *machine.Worker) bool {
+			tr := tracers[w.ID]
+			// Phase order per Section 2.2: clean dirty cards, rescan
+			// stacks, complete marking — all interleaved freely since
+			// each is just a source of grey objects.
+			if rootCursor < rootTasks {
+				task := rootCursor
+				rootCursor++
+				switch {
+				case task < len(threads):
+					e.scanThreadStack(w, tr, threads[task])
+				case task == len(threads):
+					e.scanGlobals(w, tr)
+				default:
+					e.scanNurserySegmentTask(w, tr, task-len(threads)-1)
+				}
+				return true
+			}
+			if cardCursor < len(cards) {
+				card := cards[cardCursor]
+				cardCursor++
+				e.cleanCard(w, tr, card)
+				return true
+			}
+			if e.traceFromPackets(w, tr, markQuantumBytes) > 0 {
+				return true
+			}
+			tr.Release()
+			// Releasing may have recirculated buffered work.
+			return e.pool.HasTracingWork()
+		})
+		for _, tr := range tracers {
+			tr.Release()
+		}
+		// The world is stopped, so registration needs no mutator fence.
+		cards = rt.Cards.RegisterAndClear(cards[:0])
+		cardCursor = 0
+		if len(cards) == 0 {
+			if !e.pool.TracingDone() {
+				panic("core: mark phase ended with tracing work outstanding")
+			}
+			return end
+		}
+		if round > 1000 {
+			panic(fmt.Sprintf("core: mark phase did not converge (%d dirty cards remain)", len(cards)))
+		}
+	}
+}
+
+// assertNoFloatingRoots is a debugging helper used by tests: it verifies
+// that every object reachable from the current roots is marked.
+func assertNoFloatingRoots(rt *mutator.Runtime) error {
+	h := rt.Heap
+	var stack []heapsim.Addr
+	seen := make(map[heapsim.Addr]bool)
+	rt.ForEachRoot(func(a heapsim.Addr) {
+		if !seen[a] {
+			seen[a] = true
+			stack = append(stack, a)
+		}
+	})
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !h.MarkBits.Test(int(a)) {
+			return fmt.Errorf("reachable object %d is unmarked", a)
+		}
+		refs := h.RefCount(a)
+		for i := 0; i < refs; i++ {
+			if c := h.RefAt(a, i); c != heapsim.Nil && !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/vtime"
+)
+
+func TestSTWCollectsGarbageAndPreservesLive(t *testing.T) {
+	env := newEnv(2<<20, 2)
+	col := NewSTW(env.rt, env.m, 64, 32, 2)
+	env.rt.SetCollector(col)
+	env.run(1, 2*vtime.Second)
+
+	if len(col.Cycles) < 2 {
+		t.Fatalf("only %d collections in a churning 2MB heap; expected several", len(col.Cycles))
+	}
+	reachable := env.ch.verify(t)
+	if reachable <= 0 {
+		t.Fatal("no reachable bytes; workload broken")
+	}
+	// Every cycle must have freed something and preserved marking sanity.
+	for i, cs := range col.Cycles {
+		if cs.Pause <= 0 {
+			t.Fatalf("cycle %d: non-positive pause %v", i, cs.Pause)
+		}
+		if cs.MarkTime <= 0 || cs.SweepTime <= 0 {
+			t.Fatalf("cycle %d: mark %v sweep %v", i, cs.MarkTime, cs.SweepTime)
+		}
+		if cs.FreeAfter <= 0 {
+			t.Fatalf("cycle %d: no memory recovered", i)
+		}
+		if cs.Pause != cs.EndAt.Sub(cs.RequestedAt) {
+			t.Fatalf("cycle %d: pause accounting inconsistent", i)
+		}
+	}
+}
+
+func TestSTWMarkCompleteness(t *testing.T) {
+	// Directly after a collection, every reachable object must be marked.
+	env := newEnv(1<<20, 1)
+	col := NewSTW(env.rt, env.m, 64, 32, 1)
+	env.rt.SetCollector(col)
+	th := env.rt.NewThread()
+	ch := newChurner(env.rt, th, 7)
+	var checked bool
+	env.m.AddThread("main", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+		for i := 0; i < 4000; i++ {
+			ch.step(ctx)
+		}
+		col.Collect(ctx, "forced")
+		if err := assertNoFloatingRoots(env.rt); err != nil {
+			t.Errorf("after forced collection: %v", err)
+		}
+		checked = true
+		return machine.Finish
+	})
+	env.m.Run(vtime.Time(10 * vtime.Second))
+	if !checked {
+		t.Fatal("program never ran to the check")
+	}
+	env.ch = ch
+	ch.verify(t)
+}
+
+func TestSTWByteConservation(t *testing.T) {
+	env := newEnv(1<<20, 2)
+	col := NewSTW(env.rt, env.m, 64, 32, 2)
+	env.rt.SetCollector(col)
+	env.run(3, vtime.Second)
+	reachable := env.ch.verify(t)
+	h := env.rt.Heap
+	// occupied >= reachable (occupied also counts unreachable-but-unswept
+	// and dark matter); and occupied + free == usable minus active cache.
+	if h.OccupiedBytes() < reachable {
+		t.Fatalf("occupied %d < reachable %d: over-collection", h.OccupiedBytes(), reachable)
+	}
+}
+
+func TestSTWPacketOverflowRecovery(t *testing.T) {
+	// A pool far too small for the live graph forces the overflow
+	// fallback (mark + dirty card); the mark phase must still complete
+	// via card cleaning rounds.
+	env := newEnv(1<<20, 2)
+	col := NewSTW(env.rt, env.m, 2, 4, 2) // 2 packets of 4 entries
+	env.rt.SetCollector(col)
+	env.run(5, vtime.Second)
+	if col.eng.overflows == 0 {
+		t.Fatal("expected overflow events with a starved pool")
+	}
+	env.ch.verify(t)
+}
+
+func TestSTWPauseScalesWithWorkers(t *testing.T) {
+	// Same workload, 1 vs 4 workers on a 4-processor machine: the pause
+	// must shrink substantially with parallel collection.
+	pause := func(workers int) vtime.Duration {
+		env := newEnv(4<<20, 4)
+		col := NewSTW(env.rt, env.m, 256, 64, workers)
+		env.rt.SetCollector(col)
+		env.run(11, 2*vtime.Second)
+		if len(col.Cycles) == 0 {
+			t.Fatal("no collections")
+		}
+		p, _, _ := SummarizePauses(col.Cycles)
+		return p.Avg
+	}
+	p1 := pause(1)
+	p4 := pause(4)
+	if float64(p4) > 0.6*float64(p1) {
+		t.Fatalf("4-worker pause %v not much faster than 1-worker %v", p4, p1)
+	}
+}
+
+func TestSTWNoBarrierActive(t *testing.T) {
+	env := newEnv(1<<20, 1)
+	col := NewSTW(env.rt, env.m, 64, 32, 1)
+	env.rt.SetCollector(col)
+	if col.BarrierActive() {
+		t.Fatal("baseline collector must not require a write barrier")
+	}
+	env.run(2, 500*vtime.Millisecond)
+	if env.rt.Cards.Stats.BarrierMarks != 0 {
+		t.Fatalf("write barrier dirtied %d cards under the STW collector", env.rt.Cards.Stats.BarrierMarks)
+	}
+	env.ch.verify(t)
+}
+
+func TestSTWCacheTailNotLeaked(t *testing.T) {
+	// After a collection, the space of retired caches must be back in
+	// circulation: repeated collections on a steady-state workload keep
+	// free space stable rather than draining.
+	env := newEnv(1<<20, 1)
+	col := NewSTW(env.rt, env.m, 64, 32, 1)
+	env.rt.SetCollector(col)
+	env.run(9, 2*vtime.Second)
+	if len(col.Cycles) < 3 {
+		t.Skipf("only %d cycles", len(col.Cycles))
+	}
+	first := col.Cycles[1].FreeAfter
+	last := col.Cycles[len(col.Cycles)-1].FreeAfter
+	if last < first/2 {
+		t.Fatalf("free space after GC drained from %d to %d: leak", first, last)
+	}
+}
+
+func TestDirectHeapSanity(t *testing.T) {
+	// The harness churner keeps its shadow in sync even without GC: run
+	// with a huge heap so no collection triggers, then verify.
+	env := newEnv(64<<20, 1)
+	col := NewSTW(env.rt, env.m, 64, 32, 1)
+	env.rt.SetCollector(col)
+	env.run(13, 200*vtime.Millisecond)
+	if len(col.Cycles) != 0 {
+		t.Fatalf("unexpected collections: %d", len(col.Cycles))
+	}
+	if env.ch.verify(t) == 0 {
+		t.Fatal("nothing reachable")
+	}
+	if env.ch.allocs == 0 {
+		t.Fatal("no allocations")
+	}
+	_ = heapsim.Nil
+}

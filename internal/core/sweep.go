@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/vtime"
+)
+
+// Bitwise sweep (Section 2.2): free memory is found as the ranges between
+// marked objects in the mark bit vector, in time essentially proportional
+// to the number of live objects, parallelized by dividing the heap into
+// sections that sweep workers claim.
+//
+// Because only object header words carry mark bits, a section's interior
+// gaps (bounded on both sides by live objects of the same section) are
+// definitely free, while its leading gap may be covered by a live object
+// spanning in from an earlier section; a sequential merge resolves leading
+// gaps and coalesces free runs across section boundaries.
+
+// sweepSectionWords is the section granularity: 64 KB of heap.
+const sweepSectionWords = 8192
+
+// sectionResult is one section's contribution to the sweep.
+type sectionResult struct {
+	hasLive      bool
+	firstLive    heapsim.Addr
+	lastEnd      heapsim.Addr // end of the last live object starting in the section
+	interior     []heapsim.Chunk
+	interiorDark int64 // words of sub-minimum interior gaps
+}
+
+// sweeper performs one parallel bitwise sweep over the heap (or, under the
+// generational extension, over the old space: limitWords excludes the
+// nursery region at the top of the heap).
+type sweeper struct {
+	h          *heapsim.Heap
+	costs      machine.Costs
+	limitWords int
+	sections   []sectionResult
+	nextSec    int // shared claim cursor (deterministic under RunParallel)
+}
+
+func newSweeper(h *heapsim.Heap, costs machine.Costs, limitWords int) *sweeper {
+	if limitWords <= 0 || limitWords > h.SizeWords() {
+		limitWords = h.SizeWords()
+	}
+	n := (limitWords + sweepSectionWords - 1) / sweepSectionWords
+	return &sweeper{h: h, costs: costs, limitWords: limitWords, sections: make([]sectionResult, n)}
+}
+
+func (s *sweeper) numSections() int { return len(s.sections) }
+
+func (s *sweeper) sectionBounds(k int) (from, to heapsim.Addr) {
+	from = heapsim.Addr(k * sweepSectionWords)
+	if from == 0 {
+		from = 1 // skip the heap sentinel word
+	}
+	to = heapsim.Addr((k + 1) * sweepSectionWords)
+	if int(to) > s.limitWords {
+		to = heapsim.Addr(s.limitWords)
+	}
+	return from, to
+}
+
+// claimSection hands out the next unswept section, or -1 when none remain.
+func (s *sweeper) claimSection() int {
+	if s.nextSec >= len(s.sections) {
+		return -1
+	}
+	k := s.nextSec
+	s.nextSec++
+	return k
+}
+
+// sweepSection scans one section's mark bits, recording interior free runs
+// and clearing the allocation bits of dead objects within them. The cost is
+// charged to ch.
+func (s *sweeper) sweepSection(ch charger, k int) {
+	from, to := s.sectionBounds(k)
+	res := &s.sections[k]
+	ch.Charge(machine.ForBytes(s.costs.SweepBytePs, int64(to-from)*heapsim.WordBytes))
+
+	mb := s.h.MarkBits
+	prevEnd := heapsim.Nil
+	for i := mb.NextSet(int(from)); i >= 0 && i < int(to); {
+		a := heapsim.Addr(i)
+		words := s.h.SizeOf(a)
+		if words <= 0 {
+			panic(fmt.Sprintf("core: sweep found marked word %d with corrupt header", a))
+		}
+		if !res.hasLive {
+			res.hasLive = true
+			res.firstLive = a
+		} else if prevEnd < a {
+			s.recordGap(ch, res, prevEnd, a)
+		}
+		prevEnd = a + heapsim.Addr(words)
+		res.lastEnd = prevEnd
+		next := mb.NextSet(i + 1)
+		if next >= 0 && next < int(prevEnd) {
+			// A marked word inside an object body means a reference to a
+			// non-header word was marked — heap corruption.
+			ow, or := s.h.Header(a)
+			iw, ir := s.h.Header(heapsim.Addr(next))
+			panic(fmt.Sprintf("core: mark bit inside object: outer %d (words=%d refs=%d alloc=%v) contains mark at %d (words=%d refs=%d alloc=%v)",
+				a, ow, or, s.h.AllocBits.Test(int(a)),
+				next, iw, ir, s.h.AllocBits.Test(next)))
+		}
+		i = next
+	}
+}
+
+// recordGap files an interior free run, clearing dead allocation bits.
+func (s *sweeper) recordGap(ch charger, res *sectionResult, from, to heapsim.Addr) {
+	s.h.AllocBits.ClearRange(int(from), int(to))
+	words := int(to - from)
+	if words < heapsim.MinChunkWords {
+		res.interiorDark += int64(words)
+		return
+	}
+	res.interior = append(res.interior, heapsim.Chunk{Addr: from, Words: words})
+	ch.Charge(s.costs.SweepChunk)
+}
+
+// merge resolves leading gaps, coalesces runs across section boundaries and
+// returns the complete address-ordered free list plus dark-matter words.
+// It must run after every section has been swept.
+func (s *sweeper) merge(ch charger) (chunks []heapsim.Chunk, dark int64) {
+	heapEnd := heapsim.Addr(s.limitWords)
+	cover := heapsim.Addr(1) // end of live coverage seen so far
+	pending := heapsim.Nil   // start of an open free run, or Nil
+	flush := func(to heapsim.Addr) {
+		if pending == heapsim.Nil || pending >= to {
+			pending = heapsim.Nil
+			return
+		}
+		s.h.AllocBits.ClearRange(int(pending), int(to))
+		words := int(to - pending)
+		if words < heapsim.MinChunkWords {
+			dark += int64(words)
+		} else {
+			chunks = append(chunks, heapsim.Chunk{Addr: pending, Words: words})
+			ch.Charge(s.costs.SweepChunk)
+		}
+		pending = heapsim.Nil
+	}
+	for k := range s.sections {
+		secFrom, secTo := s.sectionBounds(k)
+		res := &s.sections[k]
+		dark += res.interiorDark
+		if !res.hasLive {
+			// Entire section is free except where covered from the left.
+			if cover < secTo && pending == heapsim.Nil {
+				pending = vmax(cover, secFrom)
+			}
+			continue
+		}
+		// Resolve the leading gap [cover|secFrom, firstLive).
+		if pending == heapsim.Nil && cover < res.firstLive {
+			pending = vmax(cover, secFrom)
+		}
+		flush(res.firstLive)
+		chunks = append(chunks, res.interior...)
+		if res.lastEnd > cover {
+			cover = res.lastEnd
+		}
+		if res.lastEnd < secTo {
+			pending = res.lastEnd
+		}
+	}
+	flush(heapEnd)
+	return chunks, dark
+}
+
+func vmax(a, b heapsim.Addr) heapsim.Addr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runParallelSweep executes the full sweep with n workers starting at
+// virtual time start and installs the resulting free list. It returns the
+// finish time and the total free bytes recovered.
+func runParallelSweep(h *heapsim.Heap, costs machine.Costs, start vtime.Time, workers, limitWords int) (vtime.Time, int64) {
+	s := newSweeper(h, costs, limitWords)
+	end := machine.RunParallel(start, workers, func(w *machine.Worker) bool {
+		k := s.claimSection()
+		if k < 0 {
+			return false
+		}
+		s.sweepSection(w, k)
+		return true
+	})
+	// The merge is a short sequential pass; charge it to a single worker
+	// timeline after the parallel phase.
+	mw := &machine.Worker{}
+	chunks, dark := s.merge(mw)
+	h.InstallFreeList(chunks, dark)
+	end = end.Add(mw.Now().Sub(0))
+	return end, h.FreeBytes()
+}

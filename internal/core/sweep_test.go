@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+)
+
+// buildHeapWithLive allocates objects, marks the chosen ones, and returns
+// the survivors. Objects are allocated large (published immediately) so the
+// test controls layout exactly.
+func buildHeapWithLive(t *testing.T, heapBytes int64, objWords []int, liveIdx map[int]bool) (*heapsim.Heap, []heapsim.Addr) {
+	t.Helper()
+	h := heapsim.NewHeap(heapBytes)
+	var live []heapsim.Addr
+	for i, w := range objWords {
+		a := h.AllocLarge(w, 0)
+		if a == heapsim.Nil {
+			t.Fatalf("setup alloc %d failed", i)
+		}
+		if liveIdx[i] {
+			h.MarkBits.Set(int(a))
+			live = append(live, a)
+		}
+	}
+	return h, live
+}
+
+func sweepAndCheck(t *testing.T, h *heapsim.Heap, live []heapsim.Addr, workers int) {
+	t.Helper()
+	_, _ = runParallelSweep(h, machine.DefaultCosts(), 0, workers, 0)
+	// Live objects keep their allocation bits; everything else is clear.
+	liveSet := make(map[heapsim.Addr]bool, len(live))
+	var liveWords int64
+	for _, a := range live {
+		liveSet[a] = true
+		liveWords += int64(h.SizeOf(a))
+		if !h.AllocBits.Test(int(a)) {
+			t.Fatalf("live object %d lost its allocation bit", a)
+		}
+	}
+	h.ForEachObject(func(a heapsim.Addr) {
+		if !liveSet[a] {
+			t.Fatalf("dead object %d still has an allocation bit", a)
+		}
+	})
+	// Byte conservation: usable = live + free + dark.
+	total := int64(h.SizeWords()) - 1
+	free := h.FreeBytes() / heapsim.WordBytes
+	dark := h.Stats.DarkMatterWords
+	if liveWords+free+dark != total {
+		t.Fatalf("conservation: live %d + free %d + dark %d != %d", liveWords, free, dark, total)
+	}
+	// Free chunks must not overlap any live object.
+	for _, c := range h.FreeChunks() {
+		for _, a := range live {
+			end := a + heapsim.Addr(h.SizeOf(a))
+			if c.Addr < end && c.End() > a {
+				t.Fatalf("free chunk [%d,%d) overlaps live object [%d,%d)", c.Addr, c.End(), a, end)
+			}
+		}
+	}
+}
+
+func TestSweepAllDead(t *testing.T) {
+	h, live := buildHeapWithLive(t, 1<<16, []int{10, 20, 30}, nil)
+	sweepAndCheck(t, h, live, 2)
+	if h.FreeBytes() != h.UsableBytes() {
+		t.Fatalf("FreeBytes = %d after sweeping all-dead heap, want %d", h.FreeBytes(), h.UsableBytes())
+	}
+	if len(h.FreeChunks()) != 1 {
+		t.Fatalf("all-dead heap swept into %d chunks, want 1 coalesced run", len(h.FreeChunks()))
+	}
+}
+
+func TestSweepAllLive(t *testing.T) {
+	sizes := []int{10, 20, 30, 40}
+	liveIdx := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	h, live := buildHeapWithLive(t, 4096, sizes, liveIdx)
+	sweepAndCheck(t, h, live, 2)
+	if len(live) != 4 {
+		t.Fatal("setup")
+	}
+}
+
+func TestSweepAlternating(t *testing.T) {
+	sizes := make([]int, 40)
+	liveIdx := make(map[int]bool)
+	for i := range sizes {
+		sizes[i] = 10
+		if i%2 == 0 {
+			liveIdx[i] = true
+		}
+	}
+	h, live := buildHeapWithLive(t, 1<<16, sizes, liveIdx)
+	sweepAndCheck(t, h, live, 4)
+	// Each interior dead 10-word object becomes a 10-word chunk; the last
+	// object is dead too, so its gap coalesces with the heap tail.
+	const want = 19 + 1
+	chunks := h.FreeChunks()
+	if len(chunks) != want {
+		t.Fatalf("chunks = %d, want %d", len(chunks), want)
+	}
+}
+
+func TestSweepObjectSpanningSections(t *testing.T) {
+	// A live object bigger than a section must suppress the free runs of
+	// the sections it covers.
+	h := heapsim.NewHeap(int64(sweepSectionWords) * 4 * heapsim.WordBytes)
+	small := h.AllocLarge(8, 0)
+	big := h.AllocLarge(sweepSectionWords*2, 0) // spans >= 2 sections
+	tail := h.AllocLarge(8, 0)
+	h.MarkBits.Set(int(big))
+	h.MarkBits.Set(int(tail))
+	_ = small // dead
+	sweepAndCheck(t, h, []heapsim.Addr{big, tail}, 3)
+}
+
+func TestSweepDeadSpanningObject(t *testing.T) {
+	// A dead multi-section object coalesces into one big free run with
+	// its neighbours.
+	h := heapsim.NewHeap(int64(sweepSectionWords) * 4 * heapsim.WordBytes)
+	a := h.AllocLarge(16, 0)
+	dead := h.AllocLarge(sweepSectionWords*2+17, 0)
+	b := h.AllocLarge(16, 0)
+	_ = dead
+	h.MarkBits.Set(int(a))
+	h.MarkBits.Set(int(b))
+	sweepAndCheck(t, h, []heapsim.Addr{a, b}, 2)
+	// Between a and b there must be exactly one coalesced chunk.
+	count := 0
+	for _, c := range h.FreeChunks() {
+		if c.Addr >= a && c.End() <= b+heapsim.Addr(16) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("dead spanning object left %d chunks between survivors, want 1", count)
+	}
+}
+
+func TestSweepDarkMatter(t *testing.T) {
+	// A dead 2-word object between live neighbours is below MinChunkWords
+	// and becomes dark matter.
+	h := heapsim.NewHeap(1 << 14)
+	a := h.AllocLarge(8, 0)
+	tiny := h.AllocLarge(2, 0)
+	b := h.AllocLarge(8, 0)
+	_ = tiny
+	h.MarkBits.Set(int(a))
+	h.MarkBits.Set(int(b))
+	sweepAndCheck(t, h, []heapsim.Addr{a, b}, 1)
+	if h.Stats.DarkMatterWords != 2 {
+		t.Fatalf("DarkMatterWords = %d, want 2", h.Stats.DarkMatterWords)
+	}
+}
+
+func TestSweepEmptyHeap(t *testing.T) {
+	h := heapsim.NewHeap(1 << 14)
+	_, free := runParallelSweep(h, machine.DefaultCosts(), 0, 4, 0)
+	if free != h.UsableBytes() {
+		t.Fatalf("free = %d, want %d", free, h.UsableBytes())
+	}
+}
+
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	// The resulting free list must not depend on the worker count.
+	build := func() (*heapsim.Heap, []heapsim.Addr) {
+		r := rand.New(rand.NewSource(42))
+		sizes := make([]int, 300)
+		liveIdx := make(map[int]bool)
+		for i := range sizes {
+			sizes[i] = r.Intn(60) + 4
+			if r.Intn(3) > 0 {
+				liveIdx[i] = true
+			}
+		}
+		h := heapsim.NewHeap(1 << 20)
+		var live []heapsim.Addr
+		for _, w := range sizes {
+			a := h.AllocLarge(w, 0)
+			if _, ok := liveIdx[len(live)]; ok && a != heapsim.Nil {
+			}
+			live = append(live, a)
+		}
+		var marked []heapsim.Addr
+		for i, a := range live {
+			if liveIdx[i] {
+				h.MarkBits.Set(int(a))
+				marked = append(marked, a)
+			}
+		}
+		return h, marked
+	}
+	h1, _ := build()
+	h4, _ := build()
+	runParallelSweep(h1, machine.DefaultCosts(), 0, 1, 0)
+	runParallelSweep(h4, machine.DefaultCosts(), 0, 4, 0)
+	c1, c4 := h1.FreeChunks(), h4.FreeChunks()
+	if len(c1) != len(c4) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(c1), len(c4))
+	}
+	for i := range c1 {
+		if c1[i] != c4[i] {
+			t.Fatalf("chunk %d differs: %+v vs %+v", i, c1[i], c4[i])
+		}
+	}
+	if h1.FreeBytes() != h4.FreeBytes() {
+		t.Fatal("free bytes differ across worker counts")
+	}
+}
+
+func TestSweepMoreWorkersIsNotSlower(t *testing.T) {
+	// Parallel sweep makespan with 4 workers should be well under the
+	// single-worker makespan on a heap with many sections.
+	build := func() *heapsim.Heap {
+		h := heapsim.NewHeap(8 << 20)
+		for {
+			a := h.AllocLarge(32, 0)
+			if a == heapsim.Nil {
+				break
+			}
+			if a%3 != 0 {
+				h.MarkBits.Set(int(a))
+			}
+		}
+		return h
+	}
+	end1, _ := runParallelSweep(build(), machine.DefaultCosts(), 0, 1, 0)
+	end4, _ := runParallelSweep(build(), machine.DefaultCosts(), 0, 4, 0)
+	if float64(end4) > float64(end1)*0.5 {
+		t.Fatalf("4-worker sweep %v not appreciably faster than 1-worker %v", end4, end1)
+	}
+}
+
+// Property: random live/dead patterns always conserve bytes and never free
+// a marked object.
+func TestQuickSweepConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := heapsim.NewHeap(1 << 18)
+		var live []heapsim.Addr
+		var liveWords int64
+		for {
+			w := r.Intn(200) + 4
+			a := h.AllocLarge(w, 0)
+			if a == heapsim.Nil {
+				break
+			}
+			if r.Intn(2) == 0 {
+				h.MarkBits.Set(int(a))
+				live = append(live, a)
+				liveWords += int64(h.SizeOf(a))
+			}
+		}
+		workers := 1 + int(uint64(seed)%4)
+		runParallelSweep(h, machine.DefaultCosts(), 0, workers, 0)
+		for _, a := range live {
+			if !h.AllocBits.Test(int(a)) {
+				return false
+			}
+		}
+		total := int64(h.SizeWords()) - 1
+		return liveWords+h.FreeBytes()/heapsim.WordBytes+h.Stats.DarkMatterWords == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lazy sweep must produce exactly the same free space as the eager sweep.
+func TestLazySweepEquivalence(t *testing.T) {
+	build := func(seed int64) *heapsim.Heap {
+		r := rand.New(rand.NewSource(seed))
+		h := heapsim.NewHeap(1 << 18)
+		for {
+			a := h.AllocLarge(r.Intn(120)+4, 0)
+			if a == heapsim.Nil {
+				break
+			}
+			if r.Intn(3) > 0 {
+				h.MarkBits.Set(int(a))
+			}
+		}
+		return h
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		eager := build(seed)
+		lazy := build(seed)
+		runParallelSweep(eager, machine.DefaultCosts(), 0, 4, 0)
+		ls := newLazySweeper(lazy, machine.DefaultCosts(), 0)
+		w := &machine.Worker{}
+		for !ls.done() {
+			ls.sweepOne(w)
+		}
+		if eager.FreeBytes() != lazy.FreeBytes() {
+			t.Fatalf("seed %d: eager free %d != lazy free %d", seed, eager.FreeBytes(), lazy.FreeBytes())
+		}
+		ce, cl := eager.FreeChunks(), lazy.FreeChunks()
+		if len(ce) != len(cl) {
+			t.Fatalf("seed %d: chunk counts %d vs %d", seed, len(ce), len(cl))
+		}
+		for i := range ce {
+			if ce[i] != cl[i] {
+				t.Fatalf("seed %d: chunk %d %+v vs %+v", seed, i, ce[i], cl[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+// TestTortureConfigurations sweeps the collector's configuration space with
+// the shadow-model churner (non-moving configs) or the chain driver (moving
+// configs), asserting safety and heap invariants on each. It is the broad
+// insurance policy behind the targeted tests.
+func TestTortureConfigurations(t *testing.T) {
+	type tc struct {
+		name   string
+		moving bool
+		cfg    CGCConfig
+		procs  int
+		heap   int64
+	}
+	base := func() CGCConfig {
+		c := DefaultCGCConfig()
+		c.Packets = 128
+		c.PacketCap = 64
+		c.BackgroundThreads = 0
+		return c
+	}
+	var cases []tc
+	for _, k0 := range []float64{1, 8, 16} {
+		c := base()
+		c.Pacing.K0 = k0
+		cases = append(cases, tc{name: fmt.Sprintf("k0=%g", k0), cfg: c, procs: 2, heap: 2 << 20})
+	}
+	for _, packets := range []int{8, 64, 512} {
+		c := base()
+		c.Packets = packets
+		c.PacketCap = 32
+		cases = append(cases, tc{name: fmt.Sprintf("packets=%d", packets), cfg: c, procs: 2, heap: 2 << 20})
+	}
+	for _, bg := range []int{1, 4} {
+		c := base()
+		c.BackgroundThreads = bg
+		cases = append(cases, tc{name: fmt.Sprintf("bg=%d", bg), cfg: c, procs: 2, heap: 2 << 20})
+	}
+	{
+		c := base()
+		c.LazySweep = true
+		cases = append(cases, tc{name: "lazy", cfg: c, procs: 2, heap: 2 << 20})
+	}
+	{
+		c := base()
+		c.CardPasses = 3
+		cases = append(cases, tc{name: "threePasses", cfg: c, procs: 4, heap: 2 << 20})
+	}
+	{
+		c := base()
+		c.MutatorTracing = false
+		c.BackgroundThreads = 2
+		cases = append(cases, tc{name: "bgOnly", cfg: c, procs: 2, heap: 2 << 20})
+	}
+	{
+		c := base()
+		c.Compaction = true
+		c.CompactAreaWords = (2 << 20) / heapsim.WordBytes / 8
+		cases = append(cases, tc{name: "compaction", moving: true, cfg: c, procs: 2, heap: 2 << 20})
+	}
+	{
+		c := base()
+		c.Compaction = true
+		c.CardPasses = 2
+		c.BackgroundThreads = 2
+		cases = append(cases, tc{name: "kitchenSink", moving: true, cfg: c, procs: 4, heap: 4 << 20})
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if !c.moving {
+				env, col := runCGC(t, c.heap, c.procs, c.cfg, 7, 1200*vtime.Millisecond)
+				if len(col.Cycles) == 0 {
+					t.Fatal("no cycles")
+				}
+				env.ch.verify(t)
+				env.rt.RetireAllCaches()
+				if err := VerifyHeap(env.rt, false); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			// Moving configs: chain driver (content-stamped, address-free).
+			env := newEnv(c.heap, c.procs)
+			col := NewCGC(env.rt, env.m, c.cfg)
+			env.rt.SetCollector(col)
+			col.SpawnBackground()
+			th := env.rt.NewThread()
+			step, verify := tortureChainDriver(t, env.rt, th)
+			env.m.AddThread("chains", machine.PriorityNormal, step)
+			env.m.Run(vtime.Time(1200 * vtime.Millisecond))
+			if len(col.Cycles) == 0 {
+				t.Fatal("no cycles")
+			}
+			verify()
+			env.rt.RetireAllCaches()
+			if err := VerifyHeap(env.rt, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// tortureChainDriver rebuilds rotating chains with payload stamps that do
+// not depend on addresses (safe under compaction).
+func tortureChainDriver(t *testing.T, rt *mutator.Runtime, th *mutator.Thread) (machine.StepFunc, func()) {
+	const chains, nodes = 6, 500
+	th.Stack = make([]heapsim.Addr, chains)
+	round := 0
+	step := func(ctx *machine.Context) machine.Control {
+		slot := round % chains
+		round++
+		th.Stack[slot] = heapsim.Nil
+		for i := 0; i < nodes; i++ {
+			n := rt.Alloc(ctx, th, 1, 2)
+			rt.Heap.SetPayload(n, 0, 0x5151+uint64(i))
+			rt.SetRef(ctx, n, 0, th.Stack[slot])
+			th.Stack[slot] = n
+		}
+		return machine.Continue
+	}
+	verify := func() {
+		for slot := 0; slot < chains; slot++ {
+			n := th.Stack[slot]
+			count := 0
+			for n != heapsim.Nil {
+				want := 0x5151 + uint64(nodes-1-count)
+				if got := rt.Heap.PayloadAt(n, 0); got != want {
+					t.Fatalf("chain %d pos %d: payload %#x want %#x", slot, count, got, want)
+				}
+				n = rt.Heap.RefAt(n, 0)
+				count++
+			}
+			if count != 0 && count != nodes {
+				t.Fatalf("chain %d length %d", slot, count)
+			}
+		}
+	}
+	return step, verify
+}

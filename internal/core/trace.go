@@ -1,0 +1,290 @@
+// Package core implements the paper's collectors: the parallel
+// stop-the-world mark-sweep baseline (STW, the "mature collector" of the
+// IBM JVM the paper builds on) and the parallel, incremental, mostly
+// concurrent collector (CGC) that is the paper's contribution.
+//
+// The collectors share a tracing engine built on work packets
+// (internal/workpack), a parallel bitwise sweep, and the card-cleaning
+// machinery; the mostly concurrent collector adds the pacing formulas of
+// Section 3 and the background tracing threads.
+package core
+
+import (
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workpack"
+)
+
+// charger abstracts the two time sinks tracing work can be charged to: a
+// machine.Context (mutator increments, background threads) or a
+// machine.Worker (stop-the-world parallel phases).
+type charger interface {
+	Charge(d vtime.Duration)
+}
+
+// engine is the tracing core shared by both collectors.
+type engine struct {
+	rt    *mutator.Runtime
+	pool  *workpack.Pool
+	costs machine.Costs
+
+	// concurrentMode enables the Section 5.2 safe/unsafe allocation-bit
+	// protocol: during concurrent tracing a popped reference whose
+	// object's allocation bit is not yet published is deferred instead of
+	// traced. During stop-the-world phases every cache has been flushed,
+	// so the check is skipped.
+	concurrentMode bool
+
+	// comp, when non-nil, is the incremental compactor (Section 2.3): the
+	// engine records every scanned slot pointing into the evacuation area
+	// and pins root-referenced area objects.
+	comp *compactor
+
+	// nurFrom/nurTo bound the nursery region under the generational
+	// extension. The old-space collector never marks nursery addresses:
+	// the nursery is a root *source* (its objects' old-space targets are
+	// marked when the nursery is scanned at cycle start and rescanned in
+	// the pause), and nursery space is reclaimed by minor collections,
+	// not by sweep.
+	nurFrom, nurTo heapsim.Addr
+
+	// rememberedCards preserves the generational remembered set across
+	// card cleaning: cleaning clears a card's dirty indicator, but if the
+	// card still holds old-to-young pointers the next minor collection
+	// needs it. cleanCard records such cards here; minor collections scan
+	// them alongside the dirty cards, and the cycle end flushes them back
+	// to dirty indicators. Always empty without a nursery.
+	rememberedCards []int
+
+	// Counters for the fence/overflow accounting (Section 5, Table 4).
+	markFences   int64 // one per input packet pre-scanned in concurrent mode
+	deferred     int64 // objects deferred by the allocation-bit protocol
+	overflows    int64 // pushes degraded to mark-plus-dirty-card
+	bytesTraced  int64 // cumulative bytes of objects scanned
+	objsTraced   int64
+	cardsCleaned int64 // cards processed by cleanCard
+}
+
+func newEngine(rt *mutator.Runtime, packets, packetCap int) *engine {
+	return &engine{
+		rt:    rt,
+		pool:  workpack.NewPool(packets, packetCap),
+		costs: rt.Costs,
+	}
+}
+
+// markAndPush claims the object's mark bit; if this call claimed it, the
+// reference is queued for tracing. On packet overflow the object stays
+// marked and its card is dirtied so the card-cleaning pass retraces it
+// (Section 4.3). Returns the number of bytes of new tracing work created
+// (zero if already marked).
+func (e *engine) markAndPush(ch charger, tr *workpack.Tracer, a heapsim.Addr) {
+	if a == heapsim.Nil {
+		return
+	}
+	if a >= e.nurFrom && a < e.nurTo {
+		// Nursery objects are never marked by the old-space collector.
+		return
+	}
+	if !e.rt.Heap.MarkBits.TestAndSet(int(a)) {
+		return
+	}
+	ch.Charge(e.costs.CAS)
+	if !tr.Push(a) {
+		e.overflows++
+		e.rt.Cards.DirtyObject(a)
+	}
+}
+
+// traceObject scans every reference slot of a marked object, marking and
+// queueing unmarked children. It returns the object's size in bytes (the
+// unit of tracing work for the pacing formulas).
+func (e *engine) traceObject(ch charger, tr *workpack.Tracer, a heapsim.Addr) int64 {
+	words, refs := e.rt.Heap.Header(a)
+	bytes := int64(words) * heapsim.WordBytes
+	ch.Charge(machine.ForBytes(e.costs.TraceBytePs, bytes))
+	for i := 0; i < refs; i++ {
+		child := e.rt.Heap.RefAt(a, i)
+		if e.comp != nil && e.comp.inArea(child) {
+			e.comp.noteSlot(ch, a, i)
+		}
+		e.markAndPush(ch, tr, child)
+	}
+	e.bytesTraced += bytes
+	e.objsTraced++
+	return bytes
+}
+
+// traceFromPackets pops and traces references until budgetBytes of objects
+// have been scanned or no tracing work remains. It returns the bytes
+// actually traced. In concurrent mode it applies the Section 5.2 protocol:
+// before popping from a fresh input packet it tests the allocation bits of
+// all entries (one fence for the whole group), deferring the unsafe ones.
+func (e *engine) traceFromPackets(ch charger, tr *workpack.Tracer, budgetBytes int64) int64 {
+	var done int64
+	lastInput := tr.Input()
+	for done < budgetBytes {
+		a, ok := tr.Pop()
+		if tr.Input() != lastInput {
+			// A fresh input packet: in concurrent mode its entries'
+			// allocation bits are tested as a group behind one fence
+			// (Section 5.2).
+			lastInput = tr.Input()
+			if lastInput != nil {
+				e.prescanFence(ch)
+			}
+		}
+		if !ok {
+			break
+		}
+		if e.concurrentMode && !e.rt.Heap.AllocBits.Test(int(a)) {
+			// Unsafe: the object's initializing stores may not be
+			// visible yet. Defer it (Section 5.2).
+			e.deferred++
+			ch.Charge(e.costs.PacketOp)
+			if !tr.PushDeferred(a) {
+				// No packet available to defer into: fall back to the
+				// overflow treatment — the object is already marked, so
+				// dirty its card for retracing.
+				e.overflows++
+				e.rt.Cards.DirtyObject(a)
+			}
+			continue
+		}
+		done += e.traceObject(ch, tr, a)
+	}
+	return done
+}
+
+// prescanFence models the tracer-side fence of the Section 5.2 protocol:
+// one fence per group of objects (per input packet) rather than one per
+// object. Charged whenever a tracing participant starts on a new input
+// packet in concurrent mode.
+func (e *engine) prescanFence(ch charger) {
+	if e.concurrentMode {
+		e.markFences++
+		ch.Charge(e.costs.Fence)
+	}
+}
+
+// scanRoots pushes all current roots (globals and every thread stack).
+// Used by the stop-the-world phases, where the whole root set is rescanned.
+func (e *engine) scanRoots(ch charger, tr *workpack.Tracer) {
+	e.rt.ForEachRoot(func(a heapsim.Addr) {
+		e.markAndPush(ch, tr, a)
+	})
+	// Charge the conservative scan of every slot, including nil ones.
+	ch.Charge(e.costs.StackScanSlot * vtime.Duration(e.rt.RootCount()))
+}
+
+// scanThreadStack pushes one thread's stack slots (the concurrent phase
+// scans each stack exactly once, at the thread's first allocation).
+func (e *engine) scanThreadStack(ch charger, tr *workpack.Tracer, th *mutator.Thread) {
+	for _, a := range th.Stack {
+		if e.comp != nil {
+			e.comp.notePin(a) // conservatively scanned: unmovable
+		}
+		e.markAndPush(ch, tr, a)
+	}
+	ch.Charge(e.costs.StackScanSlot * vtime.Duration(len(th.Stack)))
+}
+
+// scanGlobals pushes the global roots.
+func (e *engine) scanGlobals(ch charger, tr *workpack.Tracer) {
+	for _, a := range e.rt.Globals() {
+		if e.comp != nil {
+			e.comp.notePin(a)
+		}
+		e.markAndPush(ch, tr, a)
+	}
+	ch.Charge(e.costs.StackScanSlot * vtime.Duration(len(e.rt.Globals())))
+}
+
+// cleanCard rescans the marked objects whose headers lie on the card,
+// retracing each (they may now reference unmarked objects). It returns the
+// bytes retraced.
+func (e *engine) cleanCard(ch charger, tr *workpack.Tracer, card int) int64 {
+	e.cardsCleaned++
+	ch.Charge(e.costs.CardScan)
+	from, to := e.rt.Cards.CardBounds(card)
+	if int(to) > e.rt.Heap.SizeWords() {
+		to = heapsim.Addr(e.rt.Heap.SizeWords())
+	}
+	var retraced int64
+	hasYoungRef := false
+	e.rt.Heap.ObjectsIn(from, to, func(a heapsim.Addr) {
+		if e.rt.Heap.MarkBits.Test(int(a)) {
+			retraced += e.traceObject(ch, tr, a)
+		}
+		if e.nurTo > 0 && !hasYoungRef {
+			refs := e.rt.Heap.RefCount(a)
+			for i := 0; i < refs; i++ {
+				if v := e.rt.Heap.RefAt(a, i); v >= e.nurFrom && v < e.nurTo {
+					hasYoungRef = true
+					break
+				}
+			}
+		}
+	})
+	if hasYoungRef {
+		// Keep the generational remembered set intact (see field doc).
+		e.rememberedCards = append(e.rememberedCards, card)
+	}
+	return retraced
+}
+
+// scanNursery treats the whole nursery as a root set: every published
+// nursery object's reference slots are scanned and their old-space targets
+// marked. Done at old-cycle start and again in the pause.
+func (e *engine) scanNursery(ch charger, tr *workpack.Tracer) {
+	e.scanNurserySegment(ch, tr, e.nurFrom, e.nurTo)
+}
+
+// nurserySegments returns how many segment tasks the nursery scan splits
+// into, so the stop-the-world rescan parallelizes across workers.
+func (e *engine) nurserySegments() int {
+	if e.nurTo == 0 {
+		return 0
+	}
+	const segWords = 64 << 10 / heapsim.WordBytes * 8 // 512 KB segments
+	n := (int(e.nurTo-e.nurFrom) + segWords - 1) / segWords
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scanNurserySegmentTask scans the k-th segment (see nurserySegments).
+func (e *engine) scanNurserySegmentTask(ch charger, tr *workpack.Tracer, k int) {
+	total := int(e.nurTo - e.nurFrom)
+	n := e.nurserySegments()
+	segWords := (total + n - 1) / n
+	from := e.nurFrom + heapsim.Addr(k*segWords)
+	to := from + heapsim.Addr(segWords)
+	if to > e.nurTo {
+		to = e.nurTo
+	}
+	e.scanNurserySegment(ch, tr, from, to)
+}
+
+func (e *engine) scanNurserySegment(ch charger, tr *workpack.Tracer, from, to heapsim.Addr) {
+	if e.nurTo == 0 || from >= to {
+		return
+	}
+	e.rt.Heap.ObjectsIn(from, to, func(a heapsim.Addr) {
+		words, refs := e.rt.Heap.Header(a)
+		ch.Charge(machine.ForBytes(e.costs.TraceBytePs, int64(words)*heapsim.WordBytes))
+		for i := 0; i < refs; i++ {
+			e.markAndPush(ch, tr, e.rt.Heap.RefAt(a, i))
+		}
+	})
+}
+
+// drainAll traces until the pool is exhausted (no budget). Stop-the-world
+// marking uses it via RunParallel workers.
+func (e *engine) drainAll(ch charger, tr *workpack.Tracer) int64 {
+	const unbounded = int64(1) << 62
+	return e.traceFromPackets(ch, tr, unbounded)
+}

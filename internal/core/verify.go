@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/mutator"
+)
+
+// VerifyHeap checks the full set of heap invariants the collectors rely
+// on. It is meant for tests and debugging (it walks the entire heap); the
+// collectors never need it for correctness.
+//
+// Invariants checked:
+//
+//  1. published objects do not overlap, have sane headers, and their
+//     reference slots hold nil or addresses of published objects;
+//  2. free-list chunks are address-ordered, non-overlapping, meet the
+//     minimum size, and overlap no published object;
+//  3. free byte accounting matches the free list;
+//  4. every mark bit lies on a published object header (when marksClean
+//     is false, i.e. between cycles mark bits are allowed to be stale on
+//     dead objects — pass marksMustBeAllocated=false then);
+//  5. every root refers to a published object.
+//
+// Allocation caches must be retired or flushed first (the runtime's
+// youngest objects are legitimately unpublished mid-cache).
+func VerifyHeap(rt *mutator.Runtime, marksMustBeAllocated bool) error {
+	h := rt.Heap
+	heapWords := h.SizeWords()
+
+	// 1. Walk published objects.
+	type span struct{ from, to int }
+	var objects []span
+	var walkErr error
+	prevEnd := 0
+	h.ForEachObject(func(a heapsim.Addr) {
+		if walkErr != nil {
+			return
+		}
+		words, refs := h.Header(a)
+		if words < heapsim.HeaderWords || int(a)+words > heapWords {
+			walkErr = fmt.Errorf("object %d: bad size %d", a, words)
+			return
+		}
+		if refs > words-heapsim.HeaderWords {
+			walkErr = fmt.Errorf("object %d: %d refs in %d words", a, refs, words)
+			return
+		}
+		if int(a) < prevEnd {
+			walkErr = fmt.Errorf("object %d overlaps previous object ending at %d", a, prevEnd)
+			return
+		}
+		prevEnd = int(a) + words
+		objects = append(objects, span{int(a), prevEnd})
+		for i := 0; i < refs; i++ {
+			v := h.RefAt(a, i)
+			if v == heapsim.Nil {
+				continue
+			}
+			if int(v) >= heapWords {
+				walkErr = fmt.Errorf("object %d slot %d: address %d out of range", a, i, v)
+				return
+			}
+			if !h.AllocBits.Test(int(v)) {
+				walkErr = fmt.Errorf("object %d slot %d: dangling reference to %d", a, i, v)
+				return
+			}
+		}
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+
+	inObject := func(w int) bool {
+		// Binary search over the sorted object spans.
+		lo, hi := 0, len(objects)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if objects[mid].to <= w {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(objects) && objects[lo].from <= w
+	}
+
+	// 2 + 3. Free list.
+	var freeWords int64
+	prev := heapsim.Chunk{}
+	for i, c := range h.FreeChunks() {
+		if c.Words < heapsim.MinChunkWords {
+			return fmt.Errorf("free chunk %d at %d: %d words below minimum", i, c.Addr, c.Words)
+		}
+		if int(c.End()) > heapWords {
+			return fmt.Errorf("free chunk %d at %d: extends past heap end", i, c.Addr)
+		}
+		if i > 0 && c.Addr < prev.End() {
+			return fmt.Errorf("free chunk %d at %d overlaps or disorders previous ending %d", i, c.Addr, prev.End())
+		}
+		for _, o := range []int{int(c.Addr), int(c.End()) - 1} {
+			if inObject(o) {
+				return fmt.Errorf("free chunk at %d overlaps a published object", c.Addr)
+			}
+		}
+		freeWords += int64(c.Words)
+		prev = c
+	}
+	if got := h.FreeBytes(); got != freeWords*heapsim.WordBytes {
+		return fmt.Errorf("free byte accounting %d != free list total %d", got, freeWords*heapsim.WordBytes)
+	}
+
+	// 4. Mark bits.
+	if marksMustBeAllocated {
+		for i := h.MarkBits.NextSet(0); i >= 0; i = h.MarkBits.NextSet(i + 1) {
+			if !h.AllocBits.Test(i) {
+				return fmt.Errorf("mark bit at %d without an allocation bit", i)
+			}
+		}
+	}
+
+	// 5. Roots.
+	var rootErr error
+	rt.ForEachRoot(func(a heapsim.Addr) {
+		if rootErr != nil {
+			return
+		}
+		if int(a) >= heapWords || !h.AllocBits.Test(int(a)) {
+			rootErr = fmt.Errorf("root %d does not refer to a published object", a)
+		}
+	})
+	return rootErr
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+)
+
+// AblationRow is one design-choice variant measured on the same workload.
+type AblationRow struct {
+	Name        string
+	AvgPauseMs  float64
+	MaxPauseMs  float64
+	AvgMarkMs   float64
+	AvgSweepMs  float64
+	Throughput  float64
+	ConcDonePct float64 // cycles whose concurrent phase finished its work
+	FinalCards  float64 // avg cards cleaned in the pause
+}
+
+// Ablations measures the design choices DESIGN.md calls out:
+//
+//   - lazy sweep (Section 7) vs sweeping inside the pause;
+//   - a second concurrent card-cleaning pass (Section 2.1 footnote 2);
+//   - incremental-only vs background-only vs combined tracing (Section 3);
+//   - packet capacity (the BFS-degree / overflow trade of Section 4.4).
+func Ablations(sc Scale) []AblationRow {
+	base := func() gcsim.Options {
+		return gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: 8,
+			WorkPackets: sc.Packets,
+		}
+	}
+	// Combined incremental+background needs idle time for background
+	// threads to matter: use a pBOB-flavoured workload.
+	jopts := gcsim.JBBOptions{
+		Warehouses:            8,
+		MaxWarehouses:         8,
+		ResidencyAtMax:        0.6,
+		TerminalsPerWarehouse: 4,
+		ThinkTime:             4 * vtime.Millisecond,
+		Seed:                  77,
+	}
+
+	variants := []struct {
+		name string
+		opts gcsim.Options
+	}{
+		{"baseline (combined, 1 card pass)", base()},
+		{"lazy sweep", func() gcsim.Options { o := base(); o.LazySweep = true; return o }()},
+		{"second card pass", func() gcsim.Options { o := base(); o.CardPasses = 2; return o }()},
+		{"incremental only (no bg threads)", func() gcsim.Options { o := base(); o.BackgroundThreads = -1; return o }()},
+		{"background only (no mutator tracing)", func() gcsim.Options { o := base(); o.NoMutatorTracing = true; return o }()},
+		{"small packets (cap 64)", func() gcsim.Options { o := base(); o.PacketCapacity = 64; return o }()},
+		{"large packets (cap 2048)", func() gcsim.Options { o := base(); o.PacketCapacity = 2048; return o }()},
+		{"incremental compaction", func() gcsim.Options { o := base(); o.IncrementalCompaction = true; return o }()},
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		r := runJBB(sc, v.opts, jopts)
+		p, m, sw := r.pauseSummaries()
+		row := AblationRow{
+			Name:       v.name,
+			AvgPauseMs: ms(p.Avg),
+			MaxPauseMs: ms(p.Max),
+			AvgMarkMs:  ms(m.Avg),
+			AvgSweepMs: ms(sw.Avg),
+			Throughput: r.Throughput(),
+		}
+		var concDone, finalCards int
+		for i := range r.Cycles {
+			if r.Cycles[i].ConcCompleted {
+				concDone++
+			}
+			finalCards += r.Cycles[i].CardsCleanedStw
+		}
+		if n := len(r.Cycles); n > 0 {
+			row.ConcDonePct = 100 * float64(concDone) / float64(n)
+			row.FinalCards = float64(finalCards) / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderAblations prints the comparison.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablations of the design choices (pBOB-flavoured workload, 4 terminals/wh, think time)\n\n")
+	tb := stats.NewTable("variant", "avg pause", "max pause", "avg mark", "avg sweep", "tx/s", "conc-done", "final cards")
+	for _, r := range rows {
+		tb.AddRow(r.Name,
+			fmt.Sprintf("%.2fms", r.AvgPauseMs),
+			fmt.Sprintf("%.2fms", r.MaxPauseMs),
+			fmt.Sprintf("%.2fms", r.AvgMarkMs),
+			fmt.Sprintf("%.2fms", r.AvgSweepMs),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.0f%%", r.ConcDonePct),
+			fmt.Sprintf("%.0f", r.FinalCards),
+		)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

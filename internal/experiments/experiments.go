@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment builds the same configuration the
+// paper describes — scaled by a Scale so a laptop run finishes in seconds —
+// runs it on the simulated machine, and reduces the cycle statistics to the
+// same rows or series the paper reports. cmd/gcbench prints them; the
+// benchmarks in the repository root re-run them under `go test -bench`.
+package experiments
+
+import (
+	"mcgc/gcsim"
+	"mcgc/internal/core"
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workload"
+)
+
+// Scale selects experiment sizing. The paper's hardware ran minutes-long
+// benchmarks on a 256 MB (SPECjbb) and 2.5 GB (pBOB) heap; the default
+// scale shrinks heaps and run lengths proportionally, which preserves every
+// shape the paper reports (the collectors' work is proportional to heap
+// contents, not wall time).
+type Scale struct {
+	// JBBHeap is the SPECjbb heap (paper: 256 MB).
+	JBBHeap int64
+	// PBOBHeap is the pBOB heap for Figure 2 (paper: 2.5 GB).
+	PBOBHeap int64
+	// Table4Heap is the pBOB heap for the load-balancing study
+	// (paper: 1.2 GB).
+	Table4Heap int64
+	// JavacHeap is the javac heap (paper: 25 MB — kept as is).
+	JavacHeap int64
+	// Measure is the virtual measurement window per configuration.
+	Measure vtime.Duration
+	// Warmup is the extra virtual time after the workload reports ready.
+	Warmup vtime.Duration
+	// Packets is the SPECjbb work packet pool size (paper: 1000).
+	Packets int
+	// PBOBPackets is Figure 2's pool size (paper: 3000).
+	PBOBPackets int
+	// PBOBThink is the per-transaction think time of the pBOB terminals
+	// (Figure 2; scaled with the heap so cycles still occur in the
+	// measurement window).
+	PBOBThink vtime.Duration
+}
+
+// DefaultScale finishes the full suite in a few minutes of real time.
+func DefaultScale() Scale {
+	return Scale{
+		JBBHeap:     64 << 20,
+		PBOBHeap:    192 << 20,
+		Table4Heap:  96 << 20,
+		JavacHeap:   25 << 20,
+		Measure:     4 * vtime.Second,
+		Warmup:      500 * vtime.Millisecond,
+		Packets:     1000,
+		PBOBPackets: 3000,
+		PBOBThink:   20 * vtime.Millisecond,
+	}
+}
+
+// PaperScale reproduces the paper's sizes exactly (minutes to hours of real
+// time on one host CPU).
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.JBBHeap = 256 << 20
+	s.PBOBHeap = 2560 << 20
+	s.Table4Heap = 1200 << 20
+	s.Measure = 8 * vtime.Second
+	return s
+}
+
+// QuickScale is for the Go benchmarks: small enough for -bench iterations.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.JBBHeap = 24 << 20
+	s.PBOBHeap = 48 << 20
+	s.Table4Heap = 32 << 20
+	s.JavacHeap = 12 << 20
+	s.Measure = 1500 * vtime.Millisecond
+	s.Warmup = 200 * vtime.Millisecond
+	s.Packets = 512
+	s.PBOBPackets = 512
+	s.PBOBThink = 4 * vtime.Millisecond
+	return s
+}
+
+// runResult is one measured configuration.
+type runResult struct {
+	VM      *gcsim.VM
+	JBB     *workload.JBB
+	Cycles  []core.CycleStats // cycles inside the measurement window
+	Tx      int64             // transactions inside the window
+	Elapsed vtime.Duration    // the window length
+}
+
+// Throughput returns transactions per virtual second.
+func (r runResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Tx) / r.Elapsed.Seconds()
+}
+
+// pauseSummaries reduces the window's cycles.
+func (r runResult) pauseSummaries() (pause, mark, sweep stats.DurationSummary) {
+	return core.SummarizePauses(r.Cycles)
+}
+
+// avgLiveAfter returns the mean post-GC occupancy in the window.
+func (r runResult) avgLiveAfter() float64 {
+	if len(r.Cycles) == 0 {
+		return 0
+	}
+	var sum int64
+	for i := range r.Cycles {
+		sum += r.Cycles[i].LiveAfter
+	}
+	return float64(sum) / float64(len(r.Cycles))
+}
+
+// runJBB builds a VM + warehouse workload, warms it up (populations built,
+// plus Scale.Warmup of steady running), and measures for Scale.Measure.
+func runJBB(sc Scale, opts gcsim.Options, jopts gcsim.JBBOptions) runResult {
+	vm := gcsim.New(opts)
+	jbb := vm.NewJBB(jopts)
+	// Warmup: run until every warehouse is built (bounded by a generous
+	// deadline), then the configured extra settle time.
+	for i := 0; i < 1000 && !jbb.Ready(); i++ {
+		vm.RunFor(100 * vtime.Millisecond)
+	}
+	if !jbb.Ready() {
+		panic("experiments: warehouses never became ready — heap too small for the configuration")
+	}
+	vm.RunFor(sc.Warmup)
+	cyclesBefore := len(vm.Cycles())
+	txBefore := jbb.Transactions()
+	start := vm.Now()
+	vm.RunFor(sc.Measure)
+	if err := jbb.CheckIntegrity(); err != nil {
+		panic("experiments: integrity failure: " + err.Error())
+	}
+	all := vm.Cycles()
+	return runResult{
+		VM:      vm,
+		JBB:     jbb,
+		Cycles:  all[cyclesBefore:],
+		Tx:      jbb.Transactions() - txBefore,
+		Elapsed: vm.Now().Sub(start),
+	}
+}
+
+func ms(d vtime.Duration) float64 { return d.Milliseconds() }

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at QuickScale and assert the paper's qualitative
+// shapes, not absolute numbers (EXPERIMENTS.md records both).
+
+func TestTracingRatesShapes(t *testing.T) {
+	rs := TracingRates(QuickScale(), []float64{1, 8}, 4)
+	if len(rs) != 3 { // STW + 2 rates
+		t.Fatalf("results = %d", len(rs))
+	}
+	t.Log("\n" + RenderTable1(rs))
+	t.Log("\n" + RenderTable2(rs))
+	t.Log("\n" + RenderTable3(rs))
+	stw, tr1, tr8 := rs[0], rs[1], rs[2]
+	// Pause: both CGC rates beat the baseline.
+	if tr8.AvgPauseMs >= stw.AvgPauseMs {
+		t.Errorf("TR8 pause %.2f not below STW %.2f", tr8.AvgPauseMs, stw.AvgPauseMs)
+	}
+	// Floating garbage: higher rate leaves less.
+	if tr8.FloatingGarbage > tr1.FloatingGarbage {
+		t.Errorf("floating garbage trend inverted: TR8 %.3f > TR1 %.3f", tr8.FloatingGarbage, tr1.FloatingGarbage)
+	}
+	// Utilization: lower rate leaves the mutators more headroom.
+	if tr1.Utilization > 0 && tr8.Utilization > 0 && tr1.Utilization < tr8.Utilization {
+		t.Errorf("utilization trend inverted: TR1 %.2f < TR8 %.2f", tr1.Utilization, tr8.Utilization)
+	}
+	for _, r := range rs[1:] {
+		if r.Cycles == 0 {
+			t.Errorf("%s: no cycles measured", r.Label)
+		}
+	}
+}
+
+func TestJavacShape(t *testing.T) {
+	r := Javac(QuickScale())
+	t.Log("\n" + RenderJavac(r))
+	if r.CGCUnits == 0 || r.STWUnits == 0 {
+		t.Fatal("no compilation throughput measured")
+	}
+	if r.CGCAvgMs >= r.STWAvgMs {
+		t.Errorf("javac CGC avg pause %.2f not below STW %.2f", r.CGCAvgMs, r.STWAvgMs)
+	}
+}
+
+func TestPacketMemBounds(t *testing.T) {
+	r := PacketMem(QuickScale())
+	t.Log("\n" + RenderPacketMem(r))
+	if r.MaxSlotsInUse <= 0 || r.MaxPacketsInUse <= 0 {
+		t.Fatal("watermarks not recorded")
+	}
+	if r.LowerBoundPct > r.UpperBoundPct {
+		t.Fatalf("bounds inverted: %.3f%% > %.3f%%", r.LowerBoundPct, r.UpperBoundPct)
+	}
+	// The mechanism must stay a small fraction of the heap (paper: below
+	// a quarter percent at full scale; allow slack at quick scale).
+	if r.LowerBoundPct > 5 {
+		t.Fatalf("packet slots use %.2f%% of the heap", r.LowerBoundPct)
+	}
+}
+
+func TestFencesShape(t *testing.T) {
+	r := Fences(QuickScale())
+	out := RenderFences(r)
+	t.Log("\n" + out)
+	if r.Acc.AllocFences == 0 || r.Acc.PacketFences == 0 {
+		t.Fatal("fence counters empty")
+	}
+	// Batching: far fewer allocation fences than objects allocated.
+	if r.Acc.AllocFences*10 > r.ObjectsAlloc {
+		t.Errorf("allocation fences %d not well below objects %d", r.Acc.AllocFences, r.ObjectsAlloc)
+	}
+	// The write barrier executed fences exactly never.
+	if !strings.Contains(out, "write barrier (5.3)") {
+		t.Error("render missing write barrier row")
+	}
+	// Model checking: fences sufficient, and necessary.
+	if r.PacketWith.Anomalies != 0 || r.AllocWith.Anomalies != 0 || r.CardWith.Anomalies != 0 {
+		t.Error("anomalies observed with the paper's fences in place")
+	}
+	if r.PacketWithout.Anomalies == 0 || r.AllocWithout.Anomalies == 0 || r.CardWithout.Anomalies == 0 {
+		t.Error("removing fences produced no anomalies; adversary too weak")
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	rows := Ablations(QuickScale())
+	t.Log("\n" + RenderAblations(rows))
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	base := byName["baseline (combined, 1 card pass)"]
+	lazy := byName["lazy sweep"]
+	if lazy.AvgPauseMs >= base.AvgPauseMs {
+		t.Errorf("lazy sweep pause %.2f not below baseline %.2f", lazy.AvgPauseMs, base.AvgPauseMs)
+	}
+	if lazy.AvgSweepMs != 0 {
+		t.Errorf("lazy sweep still has %.2fms sweep in the pause", lazy.AvgSweepMs)
+	}
+	second := byName["second card pass"]
+	if second.FinalCards > base.FinalCards*1.5 && base.FinalCards > 0 {
+		t.Errorf("second card pass left more cards (%.0f) than baseline (%.0f)", second.FinalCards, base.FinalCards)
+	}
+}
+
+func TestFig2SmallRange(t *testing.T) {
+	sc := QuickScale()
+	rows := Fig2(sc, 8, 16, 8) // scaled-down warehouse range for test speed
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + RenderFig2(rows))
+	for _, r := range rows {
+		if r.CGCAvgMs >= r.STWAvgMs {
+			t.Errorf("wh=%d: CGC avg %.2f not below STW %.2f", r.Warehouses, r.CGCAvgMs, r.STWAvgMs)
+		}
+		if r.CGCMarkAvgMs <= 0 {
+			t.Errorf("wh=%d: no mark time recorded", r.Warehouses)
+		}
+	}
+}
+
+func TestTable4SmallRange(t *testing.T) {
+	sc := QuickScale()
+	rows := Table4(sc, []int{2, 4}, 256)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	t.Log("\n" + RenderTable4(rows))
+	for _, r := range rows {
+		if r.AvgTracingFactor <= 0 {
+			t.Errorf("wh=%d: tracing factor %.3f", r.Warehouses, r.AvgTracingFactor)
+		}
+		if r.AvgCostPerMB <= 0 {
+			t.Errorf("wh=%d: no synchronization cost recorded", r.Warehouses)
+		}
+	}
+}
+
+func TestMMUShape(t *testing.T) {
+	r := MMU(QuickScale())
+	t.Log("\n" + RenderMMU(r))
+	if len(r.CGC) != len(r.WindowsMs) || len(r.STW) != len(r.WindowsMs) {
+		t.Fatal("curve lengths wrong")
+	}
+	// CGC dominates STW at every window (its pauses are strictly shorter),
+	// and both reach reasonable utilization at the largest window.
+	for i := range r.WindowsMs {
+		if r.CGC[i]+1e-9 < r.STW[i] {
+			t.Errorf("window %.0fms: CGC MMU %.2f below STW %.2f", r.WindowsMs[i], r.CGC[i], r.STW[i])
+		}
+	}
+	last := len(r.WindowsMs) - 1
+	if r.CGC[last] <= 0.5 {
+		t.Errorf("CGC MMU at %vms = %.2f; expected mostly-available mutators", r.WindowsMs[last], r.CGC[last])
+	}
+	// At small windows the stop-the-world collector must show zero
+	// availability (its pauses exceed the window).
+	if r.STW[0] != 0 {
+		t.Errorf("STW MMU at 1ms = %.2f, want 0 (pauses are tens of ms)", r.STW[0])
+	}
+}
+
+func TestGenerationalShape(t *testing.T) {
+	r := Generational(QuickScale())
+	t.Log("\n" + RenderGenerational(r))
+	if r.GenMinors == 0 {
+		t.Fatal("no minors")
+	}
+	// Minor pauses must be far below full collections, and the nursery
+	// must absorb enough allocation that the old space collects less
+	// often than under CGC alone.
+	if r.GenMinorAvgMs >= 0.5*r.STWAvgMs {
+		t.Errorf("minor avg %.2fms not well below STW %.2fms", r.GenMinorAvgMs, r.STWAvgMs)
+	}
+	if r.CGCAvgMs >= r.STWAvgMs {
+		t.Errorf("CGC avg %.2f not below STW %.2f", r.CGCAvgMs, r.STWAvgMs)
+	}
+	if r.GenOldCycles > r.CGCCycles {
+		t.Errorf("generational ran %d old cycles, more than CGC's %d", r.GenOldCycles, r.CGCCycles)
+	}
+	if r.GenTx <= 0 {
+		t.Error("no generational throughput")
+	}
+}
+
+func TestFragmentationShape(t *testing.T) {
+	r := Fragmentation(QuickScale())
+	t.Log("\n" + RenderFragmentation(r))
+	if r.EvacuatedMB <= 0 {
+		t.Fatal("compactor evacuated nothing")
+	}
+	// Compaction must leave the free memory less fragmented (bigger
+	// largest chunk relative to free, i.e. lower index).
+	if r.CompactIndex >= r.PlainIndex {
+		t.Errorf("compaction did not reduce fragmentation: %.3f vs %.3f",
+			r.CompactIndex, r.PlainIndex)
+	}
+}

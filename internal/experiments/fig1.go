@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+)
+
+// Fig1Row is one warehouse count of Figure 1: SPECjbb pause times under the
+// stop-the-world baseline and the mostly concurrent collector.
+type Fig1Row struct {
+	Warehouses int
+
+	STWAvgMs, STWMaxMs, STWMarkAvgMs float64
+	CGCAvgMs, CGCMaxMs, CGCMarkAvgMs float64
+
+	STWThroughput, CGCThroughput float64 // transactions / virtual second
+	STWCycles, CGCCycles         int
+}
+
+// Fig1 reproduces Figure 1: SPECjbb from 1 to maxWarehouses warehouses with
+// both collectors at tracing rate 8, plus the throughput comparison the
+// paper quotes in the text (CGC loses about 10%).
+func Fig1(sc Scale, maxWarehouses int) []Fig1Row {
+	if maxWarehouses <= 0 {
+		maxWarehouses = 8
+	}
+	rows := make([]Fig1Row, 0, maxWarehouses)
+	for wh := 1; wh <= maxWarehouses; wh++ {
+		row := Fig1Row{Warehouses: wh}
+		jopts := gcsim.JBBOptions{
+			Warehouses:     wh,
+			MaxWarehouses:  maxWarehouses,
+			ResidencyAtMax: 0.6,
+			Seed:           int64(100 + wh),
+		}
+		stw := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.STW,
+			WorkPackets: sc.Packets,
+		}, jopts)
+		p, m, _ := stw.pauseSummaries()
+		row.STWAvgMs, row.STWMaxMs, row.STWMarkAvgMs = ms(p.Avg), ms(p.Max), ms(m.Avg)
+		row.STWThroughput = stw.Throughput()
+		row.STWCycles = len(stw.Cycles)
+
+		cgc := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: 8,
+			WorkPackets: sc.Packets,
+		}, jopts)
+		p, m, _ = cgc.pauseSummaries()
+		row.CGCAvgMs, row.CGCMaxMs, row.CGCMarkAvgMs = ms(p.Avg), ms(p.Max), ms(m.Avg)
+		row.CGCThroughput = cgc.Throughput()
+		row.CGCCycles = len(cgc.Cycles)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderFig1 prints the table and an ASCII rendition of the figure.
+func RenderFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: SPECjbb pause times, tracing rate 8.0 (ms)\n\n")
+	tb := stats.NewTable("warehouses", "STW avg", "STW max", "STW mark", "CGC avg", "CGC max", "CGC mark", "tput ratio")
+	var xs, stwAvg, stwMax, cgcAvg, cgcMax []float64
+	for _, r := range rows {
+		ratio := 0.0
+		if r.STWThroughput > 0 {
+			ratio = r.CGCThroughput / r.STWThroughput
+		}
+		cell := func(cycles int, v float64) string {
+			if cycles == 0 {
+				return "-" // no collections in the window (few GCs at low load)
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Warehouses),
+			cell(r.STWCycles, r.STWAvgMs),
+			cell(r.STWCycles, r.STWMaxMs),
+			cell(r.STWCycles, r.STWMarkAvgMs),
+			cell(r.CGCCycles, r.CGCAvgMs),
+			cell(r.CGCCycles, r.CGCMaxMs),
+			cell(r.CGCCycles, r.CGCMarkAvgMs),
+			fmt.Sprintf("%.2f", ratio),
+		)
+		xs = append(xs, float64(r.Warehouses))
+		stwAvg = append(stwAvg, r.STWAvgMs)
+		stwMax = append(stwMax, r.STWMaxMs)
+		cgcAvg = append(cgcAvg, r.CGCAvgMs)
+		cgcMax = append(cgcMax, r.CGCMaxMs)
+	}
+	b.WriteString(tb.String())
+	b.WriteByte('\n')
+	plot := stats.NewPlot("Pause time (ms) vs warehouses", "warehouses", "ms", xs)
+	plot.AddSeries("STW max", 'S', stwMax)
+	plot.AddSeries("STW avg", 's', stwAvg)
+	plot.AddSeries("CGC max", 'C', cgcMax)
+	plot.AddSeries("CGC avg", 'c', cgcAvg)
+	b.WriteString(plot.String())
+	return b.String()
+}

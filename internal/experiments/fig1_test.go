@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestFig1QuickShape(t *testing.T) {
+	rows := Fig1(QuickScale(), 4)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := RenderFig1(rows)
+	t.Log("\n" + out)
+	last := rows[len(rows)-1]
+	if last.CGCAvgMs >= last.STWAvgMs {
+		t.Fatalf("CGC avg %.2f not below STW %.2f at max warehouses", last.CGCAvgMs, last.STWAvgMs)
+	}
+	if last.CGCMarkAvgMs >= last.STWMarkAvgMs {
+		t.Fatalf("CGC mark %.2f not below STW %.2f", last.CGCMarkAvgMs, last.STWMarkAvgMs)
+	}
+	if last.CGCThroughput > last.STWThroughput {
+		t.Logf("note: CGC throughput %.0f above STW %.0f (no GC overhead visible at this scale)", last.CGCThroughput, last.STWThroughput)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+)
+
+// Fig2Row is one warehouse count of Figure 2: pBOB with 25 terminals per
+// warehouse on a large heap, comparing pause times.
+type Fig2Row struct {
+	Warehouses int
+	Threads    int
+
+	STWAvgMs, STWMaxMs               float64
+	CGCAvgMs, CGCMaxMs, CGCMarkAvgMs float64
+	CGCSweepAvgMs                    float64 // the paper: sweep grows to 42% of the pause
+	OccupancyPct                     float64 // heap occupancy at the top of the range
+}
+
+// Fig2 reproduces Figure 2: pBOB from loWh to hiWh warehouses (the paper
+// plots 40..80) at 25 terminals per warehouse with think time (autoserver
+// mode idles the CPU), 4 processors and the larger packet pool.
+func Fig2(sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
+	if loWh == 0 {
+		loWh = 40
+	}
+	if hiWh == 0 {
+		hiWh = 80
+	}
+	if stepWh == 0 {
+		stepWh = 10
+	}
+	var rows []Fig2Row
+	for wh := loWh; wh <= hiWh; wh += stepWh {
+		row := Fig2Row{Warehouses: wh, Threads: wh * 25}
+		jopts := gcsim.JBBOptions{
+			Warehouses:            wh,
+			MaxWarehouses:         hiWh,
+			ResidencyAtMax:        0.85, // the paper reaches 85% at 80 warehouses
+			TerminalsPerWarehouse: 25,
+			ThinkTime:             sc.PBOBThink,
+			Seed:                  int64(200 + wh),
+		}
+		stw := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.PBOBHeap,
+			Processors:  4,
+			Collector:   gcsim.STW,
+			WorkPackets: sc.PBOBPackets,
+		}, jopts)
+		p, _, _ := stw.pauseSummaries()
+		row.STWAvgMs, row.STWMaxMs = ms(p.Avg), ms(p.Max)
+
+		cgc := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.PBOBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: 8,
+			WorkPackets: sc.PBOBPackets,
+		}, jopts)
+		p, m, sw := cgc.pauseSummaries()
+		row.CGCAvgMs, row.CGCMaxMs = ms(p.Avg), ms(p.Max)
+		row.CGCMarkAvgMs, row.CGCSweepAvgMs = ms(m.Avg), ms(sw.Avg)
+		row.OccupancyPct = 100 * cgc.avgLiveAfter() / float64(sc.PBOBHeap)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderFig2 prints the table and plot.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: pBOB (25 terminals/warehouse, think time), tracing rate 8.0 (ms)\n\n")
+	tb := stats.NewTable("warehouses", "threads", "STW avg", "STW max", "CGC avg", "CGC max", "CGC mark", "CGC sweep", "occupancy")
+	var xs, stwAvg, stwMax, cgcAvg, cgcMax, cgcMark []float64
+	for _, r := range rows {
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Warehouses),
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.1f", r.STWAvgMs),
+			fmt.Sprintf("%.1f", r.STWMaxMs),
+			fmt.Sprintf("%.1f", r.CGCAvgMs),
+			fmt.Sprintf("%.1f", r.CGCMaxMs),
+			fmt.Sprintf("%.1f", r.CGCMarkAvgMs),
+			fmt.Sprintf("%.1f", r.CGCSweepAvgMs),
+			fmt.Sprintf("%.0f%%", r.OccupancyPct),
+		)
+		xs = append(xs, float64(r.Warehouses))
+		stwAvg = append(stwAvg, r.STWAvgMs)
+		stwMax = append(stwMax, r.STWMaxMs)
+		cgcAvg = append(cgcAvg, r.CGCAvgMs)
+		cgcMax = append(cgcMax, r.CGCMaxMs)
+		cgcMark = append(cgcMark, r.CGCMarkAvgMs)
+	}
+	b.WriteString(tb.String())
+	b.WriteByte('\n')
+	plot := stats.NewPlot("pBOB pause time (ms) vs warehouses", "warehouses", "ms", xs)
+	plot.AddSeries("STW max", 'S', stwMax)
+	plot.AddSeries("STW avg", 's', stwAvg)
+	plot.AddSeries("CGC max", 'C', cgcMax)
+	plot.AddSeries("CGC avg", 'c', cgcAvg)
+	plot.AddSeries("CGC mark avg", 'm', cgcMark)
+	b.WriteString(plot.String())
+	return b.String()
+}

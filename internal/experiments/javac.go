@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+)
+
+// JavacResult compares the collectors on the javac workload: uniprocessor,
+// 25 MB heap, 70% peak occupancy, a single background collector thread
+// (Section 6.1's small-application measurement).
+type JavacResult struct {
+	STWAvgMs, STWMaxMs float64
+	CGCAvgMs, CGCMaxMs float64
+	STWUnits, CGCUnits int64 // whole compilation units (coarse)
+	STWNodes, CGCNodes int64 // AST nodes processed (fine-grained throughput)
+	ThroughputLossPct  float64
+}
+
+// Javac runs the comparison.
+func Javac(sc Scale) JavacResult {
+	run := func(col gcsim.Collector) (avg, max float64, units, nodes int64) {
+		vm := gcsim.New(gcsim.Options{
+			HeapBytes:         sc.JavacHeap,
+			Processors:        1,
+			Collector:         col,
+			WorkPackets:       sc.Packets,
+			BackgroundThreads: 1, // "a single background collector thread"
+		})
+		j := vm.NewJavac(0.7)
+		vm.RunFor(sc.Warmup)
+		cyclesBefore := len(vm.Cycles())
+		unitsBefore := j.Units
+		nodesBefore := j.NodesProcessed
+		vm.RunFor(sc.Measure * 2) // javac is single-threaded; give it time
+		if j.Err != nil {
+			panic("experiments: javac integrity failure: " + j.Err.Error())
+		}
+		cycles := vm.Cycles()[cyclesBefore:]
+		var ds []vtime.Duration
+		var dmax vtime.Duration
+		for i := range cycles {
+			ds = append(ds, cycles[i].Pause)
+			if cycles[i].Pause > dmax {
+				dmax = cycles[i].Pause
+			}
+		}
+		s := stats.Summarize(ds)
+		return ms(s.Avg), ms(s.Max), j.Units - unitsBefore, j.NodesProcessed - nodesBefore
+	}
+	var r JavacResult
+	r.STWAvgMs, r.STWMaxMs, r.STWUnits, r.STWNodes = run(gcsim.STW)
+	r.CGCAvgMs, r.CGCMaxMs, r.CGCUnits, r.CGCNodes = run(gcsim.CGC)
+	if r.STWNodes > 0 {
+		r.ThroughputLossPct = 100 * (1 - float64(r.CGCNodes)/float64(r.STWNodes))
+	}
+	return r
+}
+
+// RenderJavac prints the comparison.
+func RenderJavac(r JavacResult) string {
+	var b strings.Builder
+	b.WriteString("javac (uniprocessor, 25 MB heap, 1 background thread)\n\n")
+	tb := stats.NewTable("measurement", "STW", "CGC")
+	tb.AddRow("avg pause (ms)", fmt.Sprintf("%.1f", r.STWAvgMs), fmt.Sprintf("%.1f", r.CGCAvgMs))
+	tb.AddRow("max pause (ms)", fmt.Sprintf("%.1f", r.STWMaxMs), fmt.Sprintf("%.1f", r.CGCMaxMs))
+	tb.AddRow("units compiled", fmt.Sprintf("%d", r.STWUnits), fmt.Sprintf("%d", r.CGCUnits))
+	tb.AddRow("AST nodes processed", fmt.Sprintf("%d", r.STWNodes), fmt.Sprintf("%d", r.CGCNodes))
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nthroughput reduction for CGC: %.0f%% (paper: 12%%)\n", r.ThroughputLossPct)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+)
+
+// Table4Row is one thread-count configuration of the load balancing study.
+type Table4Row struct {
+	Warehouses int
+	Threads    int
+
+	AvgTracingFactor float64 // achieved/assigned per increment (starvation indicator)
+	Fairness         float64 // standard deviation of tracing factors
+	AvgCostPerMB     float64 // CAS operations per MB of live data, cycle average
+	MaxCostPerMB     float64
+}
+
+// Table4 reproduces the load balancing evaluation: pBOB without think time
+// (no idle), without background threads, 1000 packets, increasing terminal
+// counts. The paper runs 625..1000 threads and watches the tracing factor
+// stay flat, fairness degrade slowly until the packet pool is exhausted,
+// and the normalized synchronization cost grow only moderately.
+func Table4(sc Scale, warehouseCounts []int, packets int) []Table4Row {
+	if len(warehouseCounts) == 0 {
+		warehouseCounts = []int{25, 30, 34, 36, 38, 40}
+	}
+	if packets == 0 {
+		packets = 1000
+	}
+	maxWh := warehouseCounts[len(warehouseCounts)-1]
+	var rows []Table4Row
+	for _, wh := range warehouseCounts {
+		jopts := gcsim.JBBOptions{
+			Warehouses:            wh,
+			MaxWarehouses:         maxWh,
+			ResidencyAtMax:        0.6,
+			TerminalsPerWarehouse: 25,
+			Seed:                  int64(300 + wh),
+		}
+		r := runJBB(sc, gcsim.Options{
+			HeapBytes:         sc.Table4Heap,
+			Processors:        4,
+			Collector:         gcsim.CGC,
+			TracingRate:       8,
+			WorkPackets:       packets,
+			BackgroundThreads: -1, // the paper measures without background threads
+		}, jopts)
+
+		row := Table4Row{Warehouses: wh, Threads: wh * 25}
+		var tfSum, fairSum float64
+		var tfN int
+		var costSum, costMax float64
+		var costN int
+		for i := range r.Cycles {
+			cs := &r.Cycles[i]
+			if cs.TracingFactors.N() > 0 {
+				tfSum += cs.TracingFactors.Mean()
+				fairSum += cs.TracingFactors.StdDev()
+				tfN++
+			}
+			if cs.LiveAfter > 0 {
+				cost := float64(cs.CASAtEnd-cs.CASAtStart) / (float64(cs.LiveAfter) / (1 << 20))
+				costSum += cost
+				if cost > costMax {
+					costMax = cost
+				}
+				costN++
+			}
+		}
+		if tfN > 0 {
+			row.AvgTracingFactor = tfSum / float64(tfN)
+			row.Fairness = fairSum / float64(tfN)
+		}
+		if costN > 0 {
+			row.AvgCostPerMB = costSum / float64(costN)
+			row.MaxCostPerMB = costMax
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable4 prints the load balancing table.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: the quality of load balancing (pBOB, no idle time, no background threads)\n\n")
+	header := []string{"measurement"}
+	for _, r := range rows {
+		header = append(header, fmt.Sprintf("%dwh/%dthr", r.Warehouses, r.Threads))
+	}
+	tb := stats.NewTable(header...)
+	row := func(name string, f func(r Table4Row) string) {
+		cells := []string{name}
+		for _, r := range rows {
+			cells = append(cells, f(r))
+		}
+		tb.AddRow(cells...)
+	}
+	row("avg tracing factor", func(r Table4Row) string { return fmt.Sprintf("%.3f", r.AvgTracingFactor) })
+	row("fairness (stddev)", func(r Table4Row) string { return fmt.Sprintf("%.3f", r.Fairness) })
+	row("avg cost (CAS/MB live)", func(r Table4Row) string { return fmt.Sprintf("%.0f", r.AvgCostPerMB) })
+	row("max cost (CAS/MB live)", func(r Table4Row) string { return fmt.Sprintf("%.0f", r.MaxCostPerMB) })
+	b.WriteString(tb.String())
+	return b.String()
+}

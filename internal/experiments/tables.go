@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcgc/gcsim"
+	"mcgc/internal/stats"
+)
+
+// TracingRateResult holds everything Tables 1, 2 and 3 report about one
+// tracing-rate configuration of SPECjbb at the top warehouse count.
+type TracingRateResult struct {
+	Label string  // "STW", "TR 1", ...
+	K0    float64 // 0 for the baseline
+
+	// Table 1.
+	Throughput      float64 // transactions per virtual second
+	FloatingGarbage float64 // (avg occupancy after GC − STW's) / STW's
+	AvgFinalCards   float64 // cards cleaned in the stop-the-world phase
+	AvgPauseMs      float64
+	MaxPauseMs      float64
+
+	// Table 2 criteria (fractions of collections failing each one).
+	CCRateFailPct    float64 // stw/conc cleaned ratio above 20%
+	FreeSpaceFailPct float64 // >5% of heap free at concurrent completion
+	CardsLeftPct     float64 // halted by allocation failure with cards left
+
+	// Table 3.
+	PreConcKBms float64 // pre-concurrent allocation rate, KB per virtual ms
+	ConcKBms    float64 // allocation rate during the concurrent phase
+	Utilization float64 // conc / pre-conc
+
+	Cycles int
+
+	// preWindowDegenerate marks a configuration whose pre-concurrent
+	// windows were too short to measure (low tracing rates).
+	preWindowDegenerate bool
+}
+
+// TracingRates reproduces the Table 1/2/3 sweep: the stop-the-world
+// baseline plus the mostly concurrent collector at the given K0 values
+// (the paper uses 1, 4, 8, 10), all at maxWarehouses warehouses.
+func TracingRates(sc Scale, rates []float64, warehouses int) []TracingRateResult {
+	if len(rates) == 0 {
+		rates = []float64{1, 4, 8, 10}
+	}
+	if warehouses <= 0 {
+		warehouses = 8
+	}
+	jopts := gcsim.JBBOptions{
+		Warehouses:     warehouses,
+		MaxWarehouses:  warehouses,
+		ResidencyAtMax: 0.6,
+		Seed:           42,
+	}
+
+	stw := runJBB(sc, gcsim.Options{
+		HeapBytes:   sc.JBBHeap,
+		Processors:  4,
+		Collector:   gcsim.STW,
+		WorkPackets: sc.Packets,
+	}, jopts)
+	stwLive := stw.avgLiveAfter()
+	p, _, _ := stw.pauseSummaries()
+	results := []TracingRateResult{{
+		Label:      "STW",
+		Throughput: stw.Throughput(),
+		AvgPauseMs: ms(p.Avg),
+		MaxPauseMs: ms(p.Max),
+		Cycles:     len(stw.Cycles),
+	}}
+
+	for _, k0 := range rates {
+		r := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: k0,
+			WorkPackets: sc.Packets,
+		}, jopts)
+		res := TracingRateResult{
+			Label:      fmt.Sprintf("TR %g", k0),
+			K0:         k0,
+			Throughput: r.Throughput(),
+			Cycles:     len(r.Cycles),
+		}
+		p, _, _ := r.pauseSummaries()
+		res.AvgPauseMs, res.MaxPauseMs = ms(p.Avg), ms(p.Max)
+		if stwLive > 0 {
+			res.FloatingGarbage = (r.avgLiveAfter() - stwLive) / stwLive
+		}
+
+		heap := float64(sc.JBBHeap)
+		var finalCards, ccFail, freeFail, cardsLeft int
+		var preSum, concSum float64
+		var preWindow, concWindow float64
+		var rateN int
+		for i := range r.Cycles {
+			cs := &r.Cycles[i]
+			finalCards += cs.CardsCleanedStw
+			if cs.CardsCleanedConc == 0 ||
+				float64(cs.CardsCleanedStw)/float64(cs.CardsCleanedConc) > 0.20 {
+				ccFail++
+			}
+			if cs.ConcCompleted && float64(cs.FreeAtConcEnd) > 0.05*heap {
+				freeFail++
+			}
+			if cs.CardsLeft > 0 {
+				cardsLeft++
+			}
+			if pre, conc := cs.PreConcRate(), cs.ConcRate(); pre > 0 && conc > 0 {
+				preSum += pre
+				concSum += conc
+				preWindow += cs.ConcStartAt.Sub(cs.PrevEndAt).Seconds()
+				concWindow += cs.RequestedAt.Sub(cs.ConcStartAt).Seconds()
+				rateN++
+			}
+		}
+		// At low tracing rates the next concurrent phase starts almost
+		// immediately after the previous cycle, so the pre-concurrent
+		// window is too short to measure an allocation rate from (the
+		// paper's footnote 6: "there is no pre-concurrent allocation rate
+		// for tracing rate 1"). Mark such measurements degenerate; the
+		// caller substitutes a longer-window configuration's rate, as the
+		// paper substitutes tracing rate 4's.
+		res.preWindowDegenerate = rateN == 0 || preWindow < 0.5*concWindow
+		if n := len(r.Cycles); n > 0 {
+			res.AvgFinalCards = float64(finalCards) / float64(n)
+			res.CCRateFailPct = 100 * float64(ccFail) / float64(n)
+			res.FreeSpaceFailPct = 100 * float64(freeFail) / float64(n)
+			res.CardsLeftPct = 100 * float64(cardsLeft) / float64(n)
+		}
+		if rateN > 0 {
+			// Bytes per virtual second → KB per virtual ms.
+			res.PreConcKBms = preSum / float64(rateN) / 1024 / 1000
+			res.ConcKBms = concSum / float64(rateN) / 1024 / 1000
+		}
+		results = append(results, res)
+	}
+	// Resolve degenerate pre-concurrent rates against the highest-rate
+	// configuration with a healthy window, then compute utilizations.
+	var refPre float64
+	for i := len(results) - 1; i >= 1; i-- {
+		if !results[i].preWindowDegenerate && results[i].PreConcKBms > 0 {
+			refPre = results[i].PreConcKBms
+			break
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		r := &results[i]
+		if r.preWindowDegenerate && refPre > 0 {
+			r.PreConcKBms = refPre
+		}
+		if r.PreConcKBms > 0 {
+			r.Utilization = r.ConcKBms / r.PreConcKBms
+		}
+	}
+	return results
+}
+
+// RenderTable1 prints the Table 1 view of the sweep.
+func RenderTable1(rs []TracingRateResult) string {
+	var b strings.Builder
+	b.WriteString("Table 1: the effects of different tracing rates (SPECjbb, 8 warehouses)\n\n")
+	tb := stats.NewTable("measurement", rs[0].Label)
+	header := []string{"measurement"}
+	for _, r := range rs {
+		header = append(header, r.Label)
+	}
+	tb = stats.NewTable(header...)
+	row := func(name string, f func(r TracingRateResult) string) {
+		cells := []string{name}
+		for _, r := range rs {
+			cells = append(cells, f(r))
+		}
+		tb.AddRow(cells...)
+	}
+	row("Throughput (tx/s)", func(r TracingRateResult) string { return fmt.Sprintf("%.0f", r.Throughput) })
+	row("Floating garbage", func(r TracingRateResult) string {
+		if r.K0 == 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*r.FloatingGarbage)
+	})
+	row("Avg final card cleaning", func(r TracingRateResult) string {
+		if r.K0 == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", r.AvgFinalCards)
+	})
+	row("Average pause (ms)", func(r TracingRateResult) string { return fmt.Sprintf("%.1f", r.AvgPauseMs) })
+	row("Max pause (ms)", func(r TracingRateResult) string { return fmt.Sprintf("%.1f", r.MaxPauseMs) })
+	row("Cycles measured", func(r TracingRateResult) string { return fmt.Sprintf("%d", r.Cycles) })
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// RenderTable2 prints the metering-effectiveness criteria.
+func RenderTable2(rs []TracingRateResult) string {
+	var b strings.Builder
+	b.WriteString("Table 2: effectiveness of metering (fraction of collections failing each criterion)\n\n")
+	header := []string{"criterion"}
+	for _, r := range rs {
+		if r.K0 == 0 {
+			continue
+		}
+		header = append(header, r.Label)
+	}
+	tb := stats.NewTable(header...)
+	row := func(name string, f func(r TracingRateResult) string) {
+		cells := []string{name}
+		for _, r := range rs {
+			if r.K0 == 0 {
+				continue
+			}
+			cells = append(cells, f(r))
+		}
+		tb.AddRow(cells...)
+	}
+	row("CC Rate fails (>20% left to STW)", func(r TracingRateResult) string { return fmt.Sprintf("%.0f%%", r.CCRateFailPct) })
+	row("Free Space fails (>5% free at completion)", func(r TracingRateResult) string { return fmt.Sprintf("%.1f%%", r.FreeSpaceFailPct) })
+	row("Cards Left (halted with cards pending)", func(r TracingRateResult) string { return fmt.Sprintf("%.0f%%", r.CardsLeftPct) })
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// RenderTable3 prints the mutator-utilization measurement.
+func RenderTable3(rs []TracingRateResult) string {
+	var b strings.Builder
+	b.WriteString("Table 3: mutator utilization while the concurrent collector is active\n\n")
+	header := []string{"measurement"}
+	for _, r := range rs {
+		if r.K0 == 0 {
+			continue
+		}
+		header = append(header, r.Label)
+	}
+	tb := stats.NewTable(header...)
+	row := func(name string, f func(r TracingRateResult) string) {
+		cells := []string{name}
+		for _, r := range rs {
+			if r.K0 == 0 {
+				continue
+			}
+			cells = append(cells, f(r))
+		}
+		tb.AddRow(cells...)
+	}
+	row("pre-concurrent (KB/ms)", func(r TracingRateResult) string { return fmt.Sprintf("%.1f", r.PreConcKBms) })
+	row("concurrent (KB/ms)", func(r TracingRateResult) string { return fmt.Sprintf("%.1f", r.ConcKBms) })
+	row("utilization", func(r TracingRateResult) string { return fmt.Sprintf("%.0f%%", 100*r.Utilization) })
+	b.WriteString(tb.String())
+	return b.String()
+}

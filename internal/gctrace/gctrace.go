@@ -1,0 +1,156 @@
+// Package gctrace provides structured collection-event logging — the
+// equivalent of a JVM's -verbose:gc — for the collectors in internal/core.
+// A Sink receives one Event per phase transition; TextWriter renders the
+// classic one-line-per-cycle log, and Recorder keeps events in memory for
+// tests and tools.
+package gctrace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mcgc/internal/vtime"
+)
+
+// Kind identifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// CycleStart: a concurrent collection cycle began (kickoff).
+	CycleStart Kind = iota
+	// PauseStart: the world is being stopped.
+	PauseStart
+	// MarkEnd: in-pause marking (including final card cleaning) finished.
+	MarkEnd
+	// SweepEnd: in-pause sweeping finished.
+	SweepEnd
+	// PauseEnd: the world resumed.
+	PauseEnd
+	// MinorStart / MinorEnd: a generational nursery scavenge.
+	MinorStart
+	MinorEnd
+	// CardPass: a concurrent card-cleaning registration pass ran.
+	CardPass
+	// LazySweepDone: a deferred sweep continuation completed.
+	LazySweepDone
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CycleStart:
+		return "cycle-start"
+	case PauseStart:
+		return "pause-start"
+	case MarkEnd:
+		return "mark-end"
+	case SweepEnd:
+		return "sweep-end"
+	case PauseEnd:
+		return "pause-end"
+	case MinorStart:
+		return "minor-start"
+	case MinorEnd:
+		return "minor-end"
+	case CardPass:
+		return "card-pass"
+	case LazySweepDone:
+		return "lazy-sweep-done"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one collection lifecycle notification.
+type Event struct {
+	At     vtime.Time
+	Kind   Kind
+	Reason string // trigger for pauses/cycles ("kickoff", "alloc-failure", ...)
+
+	// Optional measurements, meaningful per kind.
+	FreeBytes     int64
+	LiveBytes     int64
+	PauseDuration vtime.Duration // PauseEnd, MinorEnd
+	Cards         int            // CardPass: registered; MarkEnd: cleaned in pause
+	PromotedBytes int64          // MinorEnd
+}
+
+// Sink consumes events. Implementations must be cheap: collectors call
+// Emit inline.
+type Sink interface {
+	Emit(Event)
+}
+
+// Multi fans an event out to several sinks.
+func Multi(sinks ...Sink) Sink { return multi(sinks) }
+
+type multi []Sink
+
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// Recorder stores events in memory.
+type Recorder struct {
+	mu     sync.Mutex
+	Events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.Events = append(r.Events, e)
+	r.mu.Unlock()
+}
+
+// Count returns how many events of kind k were recorded.
+func (r *Recorder) Count(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TextWriter renders events as single log lines, one per event.
+type TextWriter struct {
+	W io.Writer
+}
+
+// Emit implements Sink.
+func (t TextWriter) Emit(e Event) {
+	switch e.Kind {
+	case CycleStart:
+		fmt.Fprintf(t.W, "[gc %v] cycle start (%s) free=%dKB\n", e.At, e.Reason, e.FreeBytes>>10)
+	case PauseStart:
+		fmt.Fprintf(t.W, "[gc %v] pause start (%s)\n", e.At, e.Reason)
+	case MarkEnd:
+		fmt.Fprintf(t.W, "[gc %v] mark end, %d cards cleaned in pause\n", e.At, e.Cards)
+	case SweepEnd:
+		fmt.Fprintf(t.W, "[gc %v] sweep end, free=%dKB\n", e.At, e.FreeBytes>>10)
+	case PauseEnd:
+		fmt.Fprintf(t.W, "[gc %v] pause end: %v, live=%dKB free=%dKB\n",
+			e.At, e.PauseDuration, e.LiveBytes>>10, e.FreeBytes>>10)
+	case MinorStart:
+		fmt.Fprintf(t.W, "[gc %v] minor start, nursery=%dKB\n", e.At, e.LiveBytes>>10)
+	case MinorEnd:
+		fmt.Fprintf(t.W, "[gc %v] minor end: %v, promoted=%dKB\n",
+			e.At, e.PauseDuration, e.PromotedBytes>>10)
+	case CardPass:
+		fmt.Fprintf(t.W, "[gc %v] concurrent card pass: %d cards registered\n", e.At, e.Cards)
+	case LazySweepDone:
+		fmt.Fprintf(t.W, "[gc %v] lazy sweep complete, free=%dKB\n", e.At, e.FreeBytes>>10)
+	default:
+		fmt.Fprintf(t.W, "[gc %v] %s\n", e.At, e.Kind)
+	}
+}

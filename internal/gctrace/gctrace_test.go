@@ -1,0 +1,78 @@
+package gctrace
+
+import (
+	"strings"
+	"testing"
+
+	"mcgc/internal/vtime"
+)
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Emit(Event{Kind: CycleStart})
+	r.Emit(Event{Kind: PauseStart})
+	r.Emit(Event{Kind: PauseEnd})
+	r.Emit(Event{Kind: PauseStart})
+	if r.Count(PauseStart) != 2 || r.Count(CycleStart) != 1 || r.Count(MinorEnd) != 0 {
+		t.Fatalf("counts wrong: %+v", r.Events)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b Recorder
+	m := Multi(&a, nil, &b)
+	m.Emit(Event{Kind: MarkEnd})
+	if a.Count(MarkEnd) != 1 || b.Count(MarkEnd) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestTextWriterFormats(t *testing.T) {
+	var sb strings.Builder
+	w := TextWriter{W: &sb}
+	at := vtime.Time(3 * vtime.Millisecond)
+	events := []Event{
+		{At: at, Kind: CycleStart, Reason: "kickoff", FreeBytes: 2048},
+		{At: at, Kind: PauseStart, Reason: "conc-done"},
+		{At: at, Kind: MarkEnd, Cards: 7},
+		{At: at, Kind: SweepEnd, FreeBytes: 4096},
+		{At: at, Kind: PauseEnd, PauseDuration: vtime.Millisecond, LiveBytes: 1024, FreeBytes: 4096},
+		{At: at, Kind: MinorStart, LiveBytes: 8192},
+		{At: at, Kind: MinorEnd, PauseDuration: vtime.Millisecond, PromotedBytes: 1 << 20},
+		{At: at, Kind: CardPass, Cards: 42},
+		{At: at, Kind: LazySweepDone, FreeBytes: 2048},
+	}
+	for _, e := range events {
+		w.Emit(e)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cycle start (kickoff)",
+		"pause start (conc-done)",
+		"mark end, 7 cards",
+		"sweep end",
+		"pause end: 1.00ms",
+		"minor start, nursery=8KB",
+		"minor end: 1.00ms, promoted=1024KB",
+		"card pass: 42 cards",
+		"lazy sweep complete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != len(events) {
+		t.Fatalf("%d lines for %d events", lines, len(events))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := CycleStart; k <= LazySweepDone; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Fatal("unknown kind should fall back")
+	}
+}

@@ -1,0 +1,117 @@
+package heapsim
+
+import "fmt"
+
+// AllocCache is a thread-local allocation cache (a "TLH"): a contiguous
+// region carved from the heap that one mutator bump-allocates small objects
+// from. Cache refill is the collector's pacing point — each refill is where
+// an increment of concurrent tracing is performed (Section 3) — and the
+// cache is the batching unit for the allocation-bit publication protocol of
+// Section 5.2: objects are laid down with no allocation bit, and only when
+// the cache is exhausted does the mutator issue one fence and publish all of
+// the cache's allocation bits.
+type AllocCache struct {
+	h *Heap
+
+	base Addr // start of the current cache region
+	cur  Addr // next free word
+	end  Addr // first word past the region
+
+	published Addr // objects in [base, published) have allocation bits set
+
+	// ReturnTail, when set, receives the unused tail of a region on
+	// Refill/Retire instead of the heap free list. The generational
+	// extension uses it: nursery space must never leak into the old
+	// generation's free list.
+	ReturnTail func(Chunk)
+
+	// Unpublished is incremented for every object allocated and not yet
+	// published; tests use it to observe the protocol.
+	Unpublished int
+}
+
+// NewAllocCache returns an empty cache bound to h. The first allocation
+// attempt will fail, prompting the caller to Refill.
+func NewAllocCache(h *Heap) *AllocCache {
+	return &AllocCache{h: h}
+}
+
+// Remaining returns the words left in the cache.
+func (c *AllocCache) Remaining() int { return int(c.end) - int(c.cur) }
+
+// Bounds returns the cache's current region, for tests.
+func (c *AllocCache) Bounds() (base, cur, end Addr) { return c.base, c.cur, c.end }
+
+// TryAlloc bump-allocates an object of the given shape. It returns Nil when
+// the object does not fit in the remaining cache space; the caller then
+// refills (doing its increment of tracing work first) and retries.
+//
+// The returned object is initialized (header written, body zeroed) but not
+// yet published: its allocation bit stays clear until Flush.
+func (c *AllocCache) TryAlloc(words, refs int) Addr {
+	checkObjectShape(words, refs)
+	if int(c.cur)+words > int(c.end) {
+		return Nil
+	}
+	a := c.cur
+	c.h.writeObject(a, words, refs, 0)
+	c.cur += Addr(words)
+	c.Unpublished++
+	c.h.Stats.BytesAllocated += int64(words) * WordBytes
+	c.h.Stats.ObjectsAllocated++
+	return a
+}
+
+// Flush publishes every object allocated since the previous flush: one fence
+// (counted in heap stats), then the allocation bits for all of them. It
+// returns the number of objects published. Mutators flush when a cache
+// empties and when stopped for the stop-the-world phase.
+func (c *AllocCache) Flush() int {
+	if c.published == c.cur {
+		return 0
+	}
+	c.h.Stats.AllocFences++ // the single fence for the whole batch
+	n := 0
+	for a := c.published; a < c.cur; {
+		c.h.AllocBits.Set(int(a))
+		words := c.h.SizeOf(a)
+		if words <= 0 {
+			panic(fmt.Sprintf("heapsim: corrupt header at %d during flush", a))
+		}
+		a += Addr(words)
+		n++
+	}
+	c.published = c.cur
+	c.Unpublished = 0
+	return n
+}
+
+// Refill flushes any unpublished objects, returns the unused tail of the old
+// region to the heap, and installs the new region.
+func (c *AllocCache) Refill(chunk Chunk) {
+	c.Flush()
+	c.releaseTail()
+	c.base, c.cur, c.end = chunk.Addr, chunk.Addr, chunk.End()
+	c.published = chunk.Addr
+}
+
+// Retire flushes and releases the cache region entirely. The collector
+// retires all caches when stopping the world so that sweep sees a heap where
+// every word is either a published object or free-list space.
+func (c *AllocCache) Retire() {
+	c.Flush()
+	c.releaseTail()
+	c.base, c.cur, c.end, c.published = Nil, Nil, Nil, Nil
+}
+
+func (c *AllocCache) releaseTail() {
+	if c.cur < c.end {
+		tail := Chunk{Addr: c.cur, Words: int(c.end - c.cur)}
+		if c.ReturnTail != nil {
+			c.ReturnTail(tail)
+		} else {
+			c.h.ReturnChunk(tail)
+		}
+	}
+	c.end = c.cur
+}

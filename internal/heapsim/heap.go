@@ -1,0 +1,445 @@
+package heapsim
+
+import (
+	"fmt"
+
+	"mcgc/internal/bitvec"
+)
+
+// MinChunkWords is the smallest free range the free list tracks. Smaller
+// fragments are "dark matter": unusable until a neighbouring object dies and
+// sweep coalesces them into a larger range.
+const MinChunkWords = 4
+
+// Chunk describes a contiguous free range of the heap.
+type Chunk struct {
+	Addr  Addr
+	Words int
+}
+
+// Bytes returns the chunk size in bytes.
+func (c Chunk) Bytes() int64 { return int64(c.Words) * WordBytes }
+
+// End returns the first word past the chunk.
+func (c Chunk) End() Addr { return c.Addr + Addr(c.Words) }
+
+// Stats aggregates heap-level counters the experiments report.
+type Stats struct {
+	BytesAllocated   int64 // cumulative, all time
+	ObjectsAllocated int64
+	LargeAllocated   int64 // count of large-object allocations
+	CacheRefills     int64 // count of allocation-cache refills
+	AllocFences      int64 // fences issued by the Section 5.2 batching protocol
+	DarkMatterWords  int64 // free words too small for the free list, current
+}
+
+// Heap is the simulated heap: the arena, the allocation and mark bit
+// vectors, and the free-list allocator rebuilt by each sweep.
+//
+// Heap methods are not internally synchronized. Under the machine simulator
+// all accesses are interleaved at step granularity on one OS thread; tests
+// that exercise real parallelism synchronize externally or go through the
+// atomic bit-vector operations.
+type Heap struct {
+	arena []uint64
+
+	// AllocBits has one bit per word, set on the first word (header) of
+	// every published object. MarkBits is the collector's mark vector.
+	AllocBits *bitvec.Vector
+	MarkBits  *bitvec.Vector
+
+	words     int
+	freeWords int64
+
+	// freeChunks is kept in address order; allocCursor avoids rescanning
+	// chunks already consumed since the last sweep.
+	freeChunks  []Chunk
+	allocCursor int
+
+	Stats Stats
+}
+
+// NewHeap creates a heap of the given size. Sizes are rounded down to whole
+// words; the first word is a reserved sentinel so no object has address 0.
+func NewHeap(sizeBytes int64) *Heap {
+	words := int(sizeBytes / WordBytes)
+	if words < MinChunkWords+1 {
+		panic(fmt.Sprintf("heapsim: heap of %d bytes is too small", sizeBytes))
+	}
+	h := &Heap{
+		arena:     make([]uint64, words),
+		AllocBits: bitvec.New(words),
+		MarkBits:  bitvec.New(words),
+		words:     words,
+	}
+	h.freeChunks = []Chunk{{Addr: 1, Words: words - 1}}
+	h.freeWords = int64(words - 1)
+	return h
+}
+
+// SizeWords returns the arena length in words (including the sentinel).
+func (h *Heap) SizeWords() int { return h.words }
+
+// SizeBytes returns the heap size in bytes.
+func (h *Heap) SizeBytes() int64 { return int64(h.words) * WordBytes }
+
+// UsableBytes returns the allocatable heap size (excluding the sentinel).
+func (h *Heap) UsableBytes() int64 { return int64(h.words-1) * WordBytes }
+
+// FreeBytes returns the bytes currently on the free list.
+func (h *Heap) FreeBytes() int64 { return h.freeWords * WordBytes }
+
+// OccupiedBytes returns usable size minus free-list bytes. It includes dark
+// matter and floating garbage, mirroring how the paper measures occupancy.
+func (h *Heap) OccupiedBytes() int64 { return h.UsableBytes() - h.FreeBytes() }
+
+func (h *Heap) checkAddr(a Addr) {
+	if a == Nil || int(a) >= h.words {
+		panic(fmt.Sprintf("heapsim: address %d out of range (heap %d words)", a, h.words))
+	}
+}
+
+// Header returns the object's total size in words and its reference slot
+// count.
+func (h *Heap) Header(a Addr) (words, refs int) {
+	h.checkAddr(a)
+	hd := h.arena[a]
+	return int(hd >> sizeShift & sizeMask), int(hd >> refsShift & refsMask)
+}
+
+// SizeOf returns the object's total size in words.
+func (h *Heap) SizeOf(a Addr) int {
+	h.checkAddr(a)
+	return int(h.arena[a] >> sizeShift & sizeMask)
+}
+
+// RefCount returns the object's number of reference slots.
+func (h *Heap) RefCount(a Addr) int {
+	h.checkAddr(a)
+	return int(h.arena[a] >> refsShift & refsMask)
+}
+
+// Flags returns the object's flag bits.
+func (h *Heap) Flags(a Addr) uint16 {
+	h.checkAddr(a)
+	return uint16(h.arena[a] >> flagsShift)
+}
+
+// RefAt returns reference slot i of the object at a.
+func (h *Heap) RefAt(a Addr, i int) Addr {
+	h.checkAddr(a)
+	if i < 0 || i >= h.RefCount(a) {
+		panic(fmt.Sprintf("heapsim: ref slot %d out of range for object %d", i, a))
+	}
+	return Addr(h.arena[int(a)+HeaderWords+i])
+}
+
+// SetRefRaw stores v into reference slot i of the object at a with no write
+// barrier. Only the mutator runtime (which performs the barrier) and the
+// collector (fixing up after compaction) may call it.
+func (h *Heap) SetRefRaw(a Addr, i int, v Addr) {
+	h.checkAddr(a)
+	if i < 0 || i >= h.RefCount(a) {
+		panic(fmt.Sprintf("heapsim: ref slot %d out of range for object %d", i, a))
+	}
+	if v != Nil {
+		h.checkAddr(v)
+	}
+	h.arena[int(a)+HeaderWords+i] = uint64(v)
+}
+
+// PayloadAt returns payload word i (counted after the reference slots).
+func (h *Heap) PayloadAt(a Addr, i int) uint64 {
+	h.checkAddr(a)
+	words, refs := h.Header(a)
+	if i < 0 || HeaderWords+refs+i >= words {
+		panic(fmt.Sprintf("heapsim: payload slot %d out of range for object %d", i, a))
+	}
+	return h.arena[int(a)+HeaderWords+refs+i]
+}
+
+// SetPayload stores v into payload word i. Payload writes take no write
+// barrier: the mostly-concurrent barrier only tracks reference stores.
+func (h *Heap) SetPayload(a Addr, i int, v uint64) {
+	h.checkAddr(a)
+	words, refs := h.Header(a)
+	if i < 0 || HeaderWords+refs+i >= words {
+		panic(fmt.Sprintf("heapsim: payload slot %d out of range for object %d", i, a))
+	}
+	h.arena[int(a)+HeaderWords+refs+i] = v
+}
+
+// writeObject lays down a header and zeroes the body. The allocation bit is
+// NOT set here: publication is the caller's job (immediately for large
+// objects, batched per cache for small ones — Section 5.2).
+func (h *Heap) writeObject(a Addr, words, refs int, flags uint16) {
+	checkObjectShape(words, refs)
+	h.arena[a] = packHeader(words, refs, flags)
+	body := h.arena[int(a)+1 : int(a)+words]
+	clear(body)
+}
+
+// CarveCache removes a chunk of at least want words from the free list for
+// use as an allocation cache. It returns the largest available chunk if none
+// reaches want, and ok=false only when the free list is empty.
+func (h *Heap) CarveCache(want int) (Chunk, bool) {
+	for i := h.allocCursor; i < len(h.freeChunks); i++ {
+		c := h.freeChunks[i]
+		if c.Words >= want {
+			taken := Chunk{Addr: c.Addr, Words: want}
+			rest := Chunk{Addr: c.Addr + Addr(want), Words: c.Words - want}
+			if rest.Words >= MinChunkWords {
+				h.freeChunks[i] = rest
+			} else {
+				// Give the fragment to the cache rather than losing it.
+				taken.Words += rest.Words
+				h.removeChunk(i)
+			}
+			h.freeWords -= int64(taken.Words)
+			h.Stats.CacheRefills++
+			return taken, true
+		}
+	}
+	// No chunk big enough: hand out the largest remaining one.
+	best, bestIdx := -1, -1
+	for i := h.allocCursor; i < len(h.freeChunks); i++ {
+		if h.freeChunks[i].Words > best {
+			best, bestIdx = h.freeChunks[i].Words, i
+		}
+	}
+	if bestIdx < 0 {
+		return Chunk{}, false
+	}
+	taken := h.freeChunks[bestIdx]
+	h.removeChunk(bestIdx)
+	h.freeWords -= int64(taken.Words)
+	h.Stats.CacheRefills++
+	return taken, true
+}
+
+// AllocLarge allocates a large object directly from the free list (first
+// fit), publishing its allocation bit immediately. It returns Nil when no
+// chunk can satisfy the request — an allocation failure that triggers GC.
+func (h *Heap) AllocLarge(words, refs int) Addr {
+	checkObjectShape(words, refs)
+	for i := h.allocCursor; i < len(h.freeChunks); i++ {
+		c := h.freeChunks[i]
+		if c.Words < words {
+			continue
+		}
+		rest := Chunk{Addr: c.Addr + Addr(words), Words: c.Words - words}
+		if rest.Words >= MinChunkWords {
+			h.freeChunks[i] = rest
+		} else {
+			// Absorb the sub-minimum fragment into the object so sweep
+			// never sees an unaccounted gap.
+			words += rest.Words
+			h.removeChunk(i)
+		}
+		h.freeWords -= int64(words)
+		h.writeObject(c.Addr, words, refs, FlagLarge)
+		h.AllocBits.Set(int(c.Addr))
+		h.Stats.BytesAllocated += int64(words) * WordBytes
+		h.Stats.ObjectsAllocated++
+		h.Stats.LargeAllocated++
+		return c.Addr
+	}
+	return Nil
+}
+
+func (h *Heap) removeChunk(i int) {
+	h.freeChunks = append(h.freeChunks[:i], h.freeChunks[i+1:]...)
+	if h.allocCursor > i {
+		h.allocCursor--
+	}
+}
+
+// ReserveTop permanently removes the top `words` of a fresh heap from the
+// free list and returns the reserved region. The generational extension
+// uses it to carve out the nursery. It must be called before any
+// allocation: the free list must still be the single full-heap chunk.
+func (h *Heap) ReserveTop(words int) Chunk {
+	if len(h.freeChunks) != 1 || h.freeChunks[0].Addr != 1 || h.freeChunks[0].Words != h.words-1 {
+		panic("heapsim: ReserveTop requires a fresh heap")
+	}
+	if words <= 0 || words >= h.words-1-MinChunkWords {
+		panic(fmt.Sprintf("heapsim: bad reservation of %d words from a %d-word heap", words, h.words))
+	}
+	top := Chunk{Addr: Addr(h.words - words), Words: words}
+	h.freeChunks[0].Words -= words
+	h.freeWords -= int64(words)
+	return top
+}
+
+// AllocAvoiding reserves a words-sized region from a free chunk lying
+// entirely outside [avoidFrom, avoidTo) — the incremental compactor's
+// evacuation allocator. The region's contents are NOT initialized (the
+// caller copies an object into it) and no allocation bit is set (MoveObject
+// does that). Returns Nil when no suitable chunk exists.
+func (h *Heap) AllocAvoiding(words int, avoidFrom, avoidTo Addr) Addr {
+	if words <= 0 {
+		panic(fmt.Sprintf("heapsim: bad evacuation size %d", words))
+	}
+	for i := h.allocCursor; i < len(h.freeChunks); i++ {
+		c := h.freeChunks[i]
+		if c.Words < words {
+			continue
+		}
+		if c.Addr < avoidTo && c.End() > avoidFrom {
+			continue // overlaps the area being evacuated
+		}
+		rest := Chunk{Addr: c.Addr + Addr(words), Words: c.Words - words}
+		taken := words
+		if rest.Words >= MinChunkWords {
+			h.freeChunks[i] = rest
+		} else {
+			taken += rest.Words
+			h.Stats.DarkMatterWords += int64(rest.Words)
+			h.removeChunk(i)
+		}
+		h.freeWords -= int64(taken)
+		return c.Addr
+	}
+	return Nil
+}
+
+// MoveObject copies the object at src (header and body) to dst and
+// publishes dst's allocation bit. The source is left intact; the caller
+// clears its bits and frees its space after fixup.
+func (h *Heap) MoveObject(src, dst Addr) {
+	h.checkAddr(src)
+	h.checkAddr(dst)
+	words := h.SizeOf(src)
+	if words <= 0 {
+		panic(fmt.Sprintf("heapsim: moving object at %d with corrupt header", src))
+	}
+	copy(h.arena[dst:int(dst)+words], h.arena[src:int(src)+words])
+	h.AllocBits.Set(int(dst))
+}
+
+// ReturnChunk puts an unused region (for example the tail of a retired
+// allocation cache) back on the free list, keeping address order.
+func (h *Heap) ReturnChunk(c Chunk) {
+	if c.Words == 0 {
+		return
+	}
+	if c.Words < MinChunkWords {
+		h.Stats.DarkMatterWords += int64(c.Words)
+		return
+	}
+	// Binary search for the insertion point.
+	lo, hi := 0, len(h.freeChunks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.freeChunks[mid].Addr < c.Addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.freeChunks = append(h.freeChunks, Chunk{})
+	copy(h.freeChunks[lo+1:], h.freeChunks[lo:])
+	h.freeChunks[lo] = c
+	h.freeWords += int64(c.Words)
+	if h.allocCursor > lo {
+		h.allocCursor = lo
+	}
+}
+
+// InstallFreeList replaces the free list with the chunks produced by a
+// sweep. The chunks must be address-ordered and non-overlapping; dark-matter
+// accounting is reset because sweep re-derives it.
+func (h *Heap) InstallFreeList(chunks []Chunk, darkWords int64) {
+	var free int64
+	for i, c := range chunks {
+		if c.Words < MinChunkWords {
+			panic(fmt.Sprintf("heapsim: sweep chunk %d words below minimum", c.Words))
+		}
+		if i > 0 && c.Addr < chunks[i-1].End() {
+			panic("heapsim: sweep chunks overlap or out of order")
+		}
+		free += int64(c.Words)
+	}
+	h.freeChunks = chunks
+	h.allocCursor = 0
+	h.freeWords = free
+	h.Stats.DarkMatterWords = darkWords
+}
+
+// FreeChunks returns the current free list (shared slice; callers must not
+// modify it).
+func (h *Heap) FreeChunks() []Chunk { return h.freeChunks[h.allocCursor:] }
+
+// LargestFreeChunk returns the size in words of the largest free chunk, or
+// zero when the free list is empty.
+func (h *Heap) LargestFreeChunk() int {
+	best := 0
+	for i := h.allocCursor; i < len(h.freeChunks); i++ {
+		if h.freeChunks[i].Words > best {
+			best = h.freeChunks[i].Words
+		}
+	}
+	return best
+}
+
+// ObjectsIn calls fn for every published object whose header lies in
+// [from, to), in address order. Card cleaning and sweep verification use it.
+func (h *Heap) ObjectsIn(from, to Addr, fn func(Addr)) {
+	if from == Nil {
+		from = 1
+	}
+	for i := h.AllocBits.NextSet(int(from)); i >= 0 && i < int(to); i = h.AllocBits.NextSet(i + 1) {
+		fn(Addr(i))
+	}
+}
+
+// ForEachObject calls fn for every published object in the heap.
+func (h *Heap) ForEachObject(fn func(Addr)) {
+	h.ObjectsIn(1, Addr(h.words), fn)
+}
+
+// ExtractFreeRange removes the parts of free chunks lying inside [from, to)
+// from the free list, splitting chunks that straddle the boundaries, and
+// returns the words removed. The incremental compactor uses it before
+// rebuilding a vacated area's free runs as maximal coalesced chunks.
+func (h *Heap) ExtractFreeRange(from, to Addr) int64 {
+	var removed int64
+	var kept []Chunk
+	for _, c := range h.freeChunks {
+		if c.End() <= from || c.Addr >= to {
+			kept = append(kept, c)
+			continue
+		}
+		// Overlap: keep the outside parts (if any survive the minimum).
+		if c.Addr < from {
+			left := Chunk{Addr: c.Addr, Words: int(from - c.Addr)}
+			if left.Words >= MinChunkWords {
+				kept = append(kept, left)
+			} else {
+				h.Stats.DarkMatterWords += int64(left.Words)
+				removed += int64(left.Words) // accounted out of the free list
+			}
+		}
+		if c.End() > to {
+			right := Chunk{Addr: to, Words: int(c.End() - to)}
+			if right.Words >= MinChunkWords {
+				kept = append(kept, right)
+			} else {
+				h.Stats.DarkMatterWords += int64(right.Words)
+				removed += int64(right.Words)
+			}
+		}
+		inFrom, inTo := c.Addr, c.End()
+		if inFrom < from {
+			inFrom = from
+		}
+		if inTo > to {
+			inTo = to
+		}
+		removed += int64(inTo - inFrom)
+	}
+	h.freeChunks = kept
+	h.allocCursor = 0
+	h.freeWords -= removed
+	return removed
+}

@@ -1,0 +1,80 @@
+package heapsim
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// FragmentationReport describes the free list's shape: how usable the free
+// memory actually is. Mark-sweep collectors without compaction live and die
+// by this (the paper's base collector goes to great lengths for "compaction
+// avoidance"), and the incremental compactor's effect is measured with it.
+type FragmentationReport struct {
+	FreeBytes    int64
+	Chunks       int
+	LargestBytes int64
+	// ChunkSizeHist counts chunks by power-of-two size class:
+	// bucket i holds chunks of [2^i, 2^(i+1)) bytes.
+	ChunkSizeHist [32]int
+	// DarkMatterBytes is free space too fragmented for the free list.
+	DarkMatterBytes int64
+}
+
+// Fragmentation computes the report from the current free list.
+func (h *Heap) Fragmentation() FragmentationReport {
+	r := FragmentationReport{
+		FreeBytes:       h.FreeBytes(),
+		DarkMatterBytes: h.Stats.DarkMatterWords * WordBytes,
+	}
+	for _, c := range h.FreeChunks() {
+		r.Chunks++
+		b := c.Bytes()
+		if b > r.LargestBytes {
+			r.LargestBytes = b
+		}
+		bucket := bits.Len64(uint64(b)) - 1
+		if bucket >= 0 && bucket < len(r.ChunkSizeHist) {
+			r.ChunkSizeHist[bucket]++
+		}
+	}
+	return r
+}
+
+// FragmentationIndex returns 1 − largest/free: 0 means all free memory is
+// one chunk; values near 1 mean the free memory is confetti.
+func (r FragmentationReport) FragmentationIndex() float64 {
+	if r.FreeBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.LargestBytes)/float64(r.FreeBytes)
+}
+
+// String renders the report with a compact histogram.
+func (r FragmentationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "free=%dKB in %d chunks, largest=%dKB, dark=%dB, fragmentation index=%.3f\n",
+		r.FreeBytes>>10, r.Chunks, r.LargestBytes>>10, r.DarkMatterBytes, r.FragmentationIndex())
+	for i, n := range r.ChunkSizeHist {
+		if n == 0 {
+			continue
+		}
+		lo := int64(1) << i
+		fmt.Fprintf(&b, "  [%6dB..%6dB): %d\n", lo, lo<<1, n)
+	}
+	return b.String()
+}
+
+// ObjectSizeHistogram counts published objects by power-of-two size class.
+func (h *Heap) ObjectSizeHistogram() (hist [24]int, objects int, liveBytes int64) {
+	h.ForEachObject(func(a Addr) {
+		b := int64(h.SizeOf(a)) * WordBytes
+		objects++
+		liveBytes += b
+		bucket := bits.Len64(uint64(b)) - 1
+		if bucket >= 0 && bucket < len(hist) {
+			hist[bucket]++
+		}
+	})
+	return hist, objects, liveBytes
+}

@@ -1,0 +1,74 @@
+// Package heapsim implements the simulated heap the collectors manage: a
+// word-addressed arena with an object model, a free-list allocator,
+// thread-local allocation caches, and the allocation bit vector with the
+// batched publication protocol of Section 5.2 of the paper.
+//
+// The substitution this package embodies is recorded in DESIGN.md: the IBM
+// JVM's heap of Java objects becomes an arena of 8-byte words holding
+// objects with explicit headers and reference slots. Tracing, sweeping and
+// card marking operate on these real data structures; only elapsed time is
+// accounted virtually by internal/machine.
+package heapsim
+
+import "fmt"
+
+// WordBytes is the size of a heap word. Both bit vectors hold one bit per
+// word, matching the paper's "one bit per 8 bytes".
+const WordBytes = 8
+
+// Addr is a heap address: an index of a word in the arena. The zero Addr is
+// the nil reference; the arena's word 0 is a reserved sentinel so that no
+// object ever has address 0.
+type Addr uint32
+
+// Nil is the null reference.
+const Nil Addr = 0
+
+// Object header layout (one word at the object's address):
+//
+//	bits  0..23  total size in words, including the header
+//	bits 24..47  number of reference slots (slots 1..refs hold Addrs)
+//	bits 48..63  flags
+//
+// Reference slots come first so tracers scan a prefix; remaining slots are
+// opaque payload words the workloads use for application data.
+const (
+	sizeShift  = 0
+	sizeBits   = 24
+	refsShift  = 24
+	refsBits   = 24
+	flagsShift = 48
+
+	sizeMask = 1<<sizeBits - 1
+	refsMask = 1<<refsBits - 1
+
+	// MaxObjectWords is the largest encodable object size.
+	MaxObjectWords = sizeMask
+)
+
+// Object flag bits.
+const (
+	// FlagLarge marks objects allocated directly from the heap rather
+	// than from an allocation cache.
+	FlagLarge uint16 = 1 << iota
+)
+
+func packHeader(words, refs int, flags uint16) uint64 {
+	return uint64(words)<<sizeShift | uint64(refs)<<refsShift | uint64(flags)<<flagsShift
+}
+
+// HeaderWords is the per-object header overhead in words.
+const HeaderWords = 1
+
+// ObjectWords returns the total object size in words for an object with the
+// given number of reference and payload slots.
+func ObjectWords(refs, payload int) int { return HeaderWords + refs + payload }
+
+func checkObjectShape(words, refs int) {
+	if words < HeaderWords || words > MaxObjectWords {
+		panic(fmt.Sprintf("heapsim: bad object size %d words", words))
+	}
+	if refs < 0 || refs > words-HeaderWords {
+		panic(fmt.Sprintf("heapsim: %d ref slots do not fit in %d words", refs, words))
+	}
+}

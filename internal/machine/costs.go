@@ -1,0 +1,106 @@
+package machine
+
+import "mcgc/internal/vtime"
+
+// Costs is the virtual-time cost model: how many nanoseconds each primitive
+// operation of the mutator/collector system takes on one processor of the
+// simulated machine. The defaults are calibrated from the paper's own
+// measurements on the 4-way 550 MHz Pentium III (see DESIGN.md §6 and
+// EXPERIMENTS.md): they are chosen so the stop-the-world collector's pause
+// times and the mutators' allocation rates land in the same regime as the
+// paper's Figure 1 and Table 3, after which all comparisons between
+// collectors are shape-faithful.
+//
+// All per-byte costs are expressed in picoseconds to keep integer
+// arithmetic exact; use the ForBytes helper.
+type Costs struct {
+	// MutatorWorkPerAllocByte is the application work (transaction
+	// compute) per byte it allocates, in picoseconds. Calibrated from
+	// Table 3: 48.7 KB/ms aggregate pre-concurrent allocation rate on 4
+	// processors ≈ 82 ns of single-processor work per byte.
+	MutatorWorkPerAllocByte int64
+
+	// TraceBytePs is the cost of tracing (scanning and marking out of) one
+	// byte of a live object, in picoseconds. Calibrated from Figure 1:
+	// STW average mark 235 ms over ~150 MB live on 4 processors
+	// ≈ 6.3 ns/byte.
+	TraceBytePs int64
+
+	// SweepBytePs is the bitwise-sweep cost per byte of heap examined, in
+	// picoseconds. Bitwise sweep walks the mark bit vector, so its real
+	// per-heap-byte cost is small; calibrated so a 256 MB sweep takes
+	// ~30 ms on 4 processors (Figure 1's pause minus mark).
+	SweepBytePs int64
+
+	// SweepChunk is the fixed cost of recording one free chunk.
+	SweepChunk vtime.Duration
+
+	// AllocHeader is the fixed per-object allocation cost (header write,
+	// size-class logic).
+	AllocHeader vtime.Duration
+
+	// CacheRefill is the fixed cost of obtaining a new allocation cache
+	// (free-list synchronization, zeroing bookkeeping).
+	CacheRefill vtime.Duration
+
+	// WriteBarrier is the mutator cost of one reference-store barrier:
+	// the card-dirty store with — per Section 5.3 — no fence.
+	WriteBarrier vtime.Duration
+
+	// Fence is one memory synchronization instruction ("expensive
+	// multi-cycle"): ~100 cycles at 550 MHz.
+	Fence vtime.Duration
+
+	// CAS is one compare-and-swap (work packet get/put, mark-bit claim
+	// contention path).
+	CAS vtime.Duration
+
+	// PacketOp is the non-CAS bookkeeping of one packet get/put.
+	PacketOp vtime.Duration
+
+	// CardScan is the fixed cost of processing one card during cleaning
+	// (locating objects via allocation bits); retracing marked objects on
+	// the card is charged at TraceBytePs.
+	CardScan vtime.Duration
+
+	// CardRegister is the cost of registering one dirty card in the
+	// snapshot pass.
+	CardRegister vtime.Duration
+
+	// StackScanSlot is the conservative-scan cost per stack slot (root).
+	StackScanSlot vtime.Duration
+
+	// HandshakePerThread is the collector-side cost of forcing one
+	// mutator through a fence (Section 5.3 step 2): signalling plus the
+	// mutator's fence.
+	HandshakePerThread vtime.Duration
+
+	// ThinkPoll is the background tracer's cost for one "no work" poll.
+	ThinkPoll vtime.Duration
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		MutatorWorkPerAllocByte: 82_000, // 82 ns/byte
+		TraceBytePs:             6_300,  // 6.3 ns/byte
+		SweepBytePs:             450,    // 0.45 ns/byte of heap
+		SweepChunk:              60 * vtime.Nanosecond,
+		AllocHeader:             25 * vtime.Nanosecond,
+		CacheRefill:             400 * vtime.Nanosecond,
+		WriteBarrier:            6 * vtime.Nanosecond,
+		Fence:                   180 * vtime.Nanosecond,
+		CAS:                     45 * vtime.Nanosecond,
+		PacketOp:                30 * vtime.Nanosecond,
+		CardScan:                250 * vtime.Nanosecond,
+		CardRegister:            25 * vtime.Nanosecond,
+		StackScanSlot:           12 * vtime.Nanosecond,
+		HandshakePerThread:      1500 * vtime.Nanosecond,
+		ThinkPoll:               150 * vtime.Nanosecond,
+	}
+}
+
+// ForBytes converts a picosecond-per-byte rate into a duration for n bytes.
+func ForBytes(ps int64, n int64) vtime.Duration {
+	return vtime.Duration(ps * n / 1000)
+}

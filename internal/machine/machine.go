@@ -1,0 +1,375 @@
+// Package machine is the deterministic discrete-event simulator that stands
+// in for the paper's multiprocessor hardware (see DESIGN.md, substitution
+// table). It provides:
+//
+//   - P virtual processors and any number of threads;
+//   - two priorities — background GC threads run at PriorityLow and are
+//     dispatched only when no normal thread is runnable, reproducing the
+//     paper's "low-priority background threads soak up idle cycles";
+//   - virtual-time accounting: each thread step charges a cost, pause
+//     times and throughput fall out of the event schedule;
+//   - stop-the-world support: a step may stop the machine, run a
+//     collection (usually via RunParallel), and resume all threads at the
+//     pause end;
+//   - determinism: FIFO ready queues, index-ordered tie-breaks and no real
+//     time or randomness, so every experiment is exactly reproducible.
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mcgc/internal/vtime"
+)
+
+// Priority selects a thread's scheduling class.
+type Priority int
+
+const (
+	// PriorityNormal is used by mutator threads.
+	PriorityNormal Priority = iota
+	// PriorityLow is used by background GC threads: they receive a
+	// processor only when no normal thread is runnable at dispatch time.
+	PriorityLow
+)
+
+// Control is a step function's directive to the scheduler.
+type Control int
+
+const (
+	// Continue re-enqueues the thread for another step.
+	Continue Control = iota
+	// Finish removes the thread permanently.
+	Finish
+)
+
+// StepFunc performs one unit of a thread's work. It charges virtual time
+// through the Context and returns what the scheduler should do next. A call
+// models the code between two GC-points, so the world can only stop at step
+// boundaries — the simulator's analogue of the paper's observation that its
+// collector needs no compiler-inserted safe points.
+type StepFunc func(ctx *Context) Control
+
+// Thread is one simulated thread.
+type Thread struct {
+	id       int
+	name     string
+	priority Priority
+	step     StepFunc
+
+	state    threadState
+	wakeAt   vtime.Time
+	cpuTime  vtime.Duration
+	finished bool
+}
+
+// ID returns the thread's machine-assigned identifier.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// CPUTime returns the total virtual time the thread has been charged.
+func (t *Thread) CPUTime() vtime.Duration { return t.cpuTime }
+
+type threadState int
+
+const (
+	stateReady threadState = iota
+	stateSleeping
+	stateRunning
+	stateFinished
+)
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	procs    []vtime.Time // per-processor next-free time
+	busy     []vtime.Duration
+	threads  []*Thread
+	readyN   fifo // normal-priority ready queue
+	readyL   fifo // low-priority ready queue
+	sleepers sleeperHeap
+
+	now      vtime.Time // latest dispatch start (monotonic)
+	inStep   bool
+	stopping bool
+
+	// Pauses collects every stop-the-world interval for reporting.
+	Pauses []Pause
+}
+
+// Pause records one stop-the-world interval.
+type Pause struct {
+	RequestedAt vtime.Time // the moment the triggering thread requested the stop
+	StoppedAt   vtime.Time // all threads parked (in-flight steps drained)
+	ResumedAt   vtime.Time // mutators run again
+	Reason      string
+	StopLatency vtime.Duration // StoppedAt - RequestedAt
+}
+
+// Duration returns the mutator-observed pause: request to resume, which is
+// how the paper reports pause times.
+func (p Pause) Duration() vtime.Duration { return p.ResumedAt.Sub(p.RequestedAt) }
+
+// New creates a machine with the given number of processors.
+func New(processors int) *Machine {
+	if processors <= 0 {
+		panic(fmt.Sprintf("machine: need at least one processor, got %d", processors))
+	}
+	return &Machine{
+		procs: make([]vtime.Time, processors),
+		busy:  make([]vtime.Duration, processors),
+	}
+}
+
+// Processors returns the processor count.
+func (m *Machine) Processors() int { return len(m.procs) }
+
+// Now returns the current simulation frontier: the start time of the most
+// recent dispatch.
+func (m *Machine) Now() vtime.Time { return m.now }
+
+// AddThread registers a thread. Threads may be added before or during a
+// run; they become runnable immediately.
+func (m *Machine) AddThread(name string, prio Priority, step StepFunc) *Thread {
+	t := &Thread{id: len(m.threads), name: name, priority: prio, step: step}
+	m.threads = append(m.threads, t)
+	m.enqueue(t)
+	return t
+}
+
+func (m *Machine) enqueue(t *Thread) {
+	t.state = stateReady
+	if t.priority == PriorityNormal {
+		m.readyN.push(t)
+	} else {
+		m.readyL.push(t)
+	}
+}
+
+// Run dispatches steps until no thread can ever run again (all finished) or
+// the simulation frontier passes deadline. It returns the final frontier.
+func (m *Machine) Run(deadline vtime.Time) vtime.Time {
+	for {
+		p := m.earliestProc()
+		t0 := m.procs[p]
+		// Wake every sleeper due by the dispatch time.
+		m.wakeDue(t0)
+		th := m.pickReady()
+		if th == nil {
+			// Nothing runnable: advance to the next wake-up.
+			if m.sleepers.Len() == 0 {
+				return m.now
+			}
+			next := m.sleepers.peek().wakeAt
+			if m.procs[p] < next {
+				m.procs[p] = next
+			}
+			if next > deadline {
+				m.now = deadline
+				return m.now
+			}
+			continue
+		}
+		start := m.procs[p]
+		if start > deadline {
+			// Put the thread back; the run is over.
+			m.enqueue(th)
+			m.now = deadline
+			return m.now
+		}
+		m.now = start
+		ctx := Context{m: m, th: th, proc: p, now: start}
+		th.state = stateRunning
+		m.inStep = true
+		ctl := th.step(&ctx)
+		m.inStep = false
+		if ctx.now == start {
+			// Every dispatch costs at least a nanosecond; a zero-cost
+			// step would otherwise livelock virtual time.
+			ctx.now = start.Add(vtime.Nanosecond)
+		}
+		elapsed := ctx.now.Sub(start)
+		th.cpuTime += elapsed
+		m.busy[p] += elapsed
+		m.procs[p] = ctx.now
+		if ctl == Finish {
+			th.state = stateFinished
+			th.finished = true
+			continue
+		}
+		// The thread becomes ready only when its step's virtual time has
+		// elapsed (plus any requested sleep) — a thread's steps must never
+		// overlap themselves across processors.
+		th.state = stateSleeping
+		th.wakeAt = ctx.now.Add(ctx.sleep)
+		heap.Push(&m.sleepers, sleeper{t: th, wakeAt: th.wakeAt})
+	}
+}
+
+func (m *Machine) earliestProc() int {
+	best := 0
+	for i := 1; i < len(m.procs); i++ {
+		if m.procs[i] < m.procs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (m *Machine) wakeDue(t vtime.Time) {
+	for m.sleepers.Len() > 0 && !m.sleepers.peek().wakeAt.After(t) {
+		s := heap.Pop(&m.sleepers).(sleeper)
+		if s.t.state == stateSleeping && s.t.wakeAt == s.wakeAt {
+			m.enqueue(s.t)
+		}
+	}
+}
+
+func (m *Machine) pickReady() *Thread {
+	if th := m.readyN.pop(); th != nil {
+		return th
+	}
+	return m.readyL.pop()
+}
+
+// BusyTime returns the busy virtual time of processor p.
+func (m *Machine) BusyTime(p int) vtime.Duration { return m.busy[p] }
+
+// TotalBusy returns the busy time summed over all processors.
+func (m *Machine) TotalBusy() vtime.Duration {
+	var sum vtime.Duration
+	for _, b := range m.busy {
+		sum += b
+	}
+	return sum
+}
+
+// Context is a thread's handle during one step.
+type Context struct {
+	m     *Machine
+	th    *Thread
+	proc  int
+	now   vtime.Time
+	sleep vtime.Duration
+}
+
+// Now returns the thread's current virtual time within the step.
+func (c *Context) Now() vtime.Time { return c.now }
+
+// Charge advances the thread's clock by the cost of work it just performed.
+func (c *Context) Charge(d vtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("machine: negative charge %d", d))
+	}
+	c.now = c.now.Add(d)
+}
+
+// Sleep requests that after this step the thread sleeps for d.
+func (c *Context) Sleep(d vtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("machine: negative sleep %d", d))
+	}
+	c.sleep = d
+}
+
+// Thread returns the executing thread.
+func (c *Context) Thread() *Thread { return c.th }
+
+// Machine returns the owning machine.
+func (c *Context) Machine() *Machine { return c.m }
+
+// StopTheWorld stops every thread and runs collect while the world is
+// stopped. It is called from within a step (the thread that hit an
+// allocation failure or detected concurrent-phase termination drives the
+// collection). All in-flight steps on other processors complete first —
+// that drain is the stop latency. collect receives the time at which the
+// world is fully stopped and returns the time collection work finished;
+// every processor then resumes at that time.
+func (m *Machine) StopTheWorld(c *Context, reason string, collect func(stoppedAt vtime.Time) vtime.Time) {
+	if !m.inStep {
+		panic("machine: StopTheWorld outside a step")
+	}
+	if m.stopping {
+		panic("machine: recursive StopTheWorld")
+	}
+	m.stopping = true
+	defer func() { m.stopping = false }()
+
+	requested := c.now
+	stopped := requested
+	for p, free := range m.procs {
+		if p != c.proc && free > stopped {
+			stopped = free
+		}
+	}
+	end := collect(stopped)
+	if end < stopped {
+		panic("machine: collection ended before it began")
+	}
+	for p := range m.procs {
+		if p == c.proc {
+			continue
+		}
+		// Busy until their in-flight step completed, then paused.
+		m.procs[p] = end
+	}
+	c.now = end
+	m.Pauses = append(m.Pauses, Pause{
+		RequestedAt: requested,
+		StoppedAt:   stopped,
+		ResumedAt:   end,
+		Reason:      reason,
+		StopLatency: stopped.Sub(requested),
+	})
+}
+
+// fifo is a simple FIFO queue of threads.
+type fifo struct {
+	items []*Thread
+	head  int
+}
+
+func (q *fifo) push(t *Thread) { q.items = append(q.items, t) }
+
+func (q *fifo) pop() *Thread {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return t
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+// sleeper heap, ordered by wake time then thread id for determinism.
+type sleeper struct {
+	t      *Thread
+	wakeAt vtime.Time
+}
+
+type sleeperHeap []sleeper
+
+func (h sleeperHeap) Len() int { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool {
+	if h[i].wakeAt != h[j].wakeAt {
+		return h[i].wakeAt < h[j].wakeAt
+	}
+	return h[i].t.id < h[j].t.id
+}
+func (h sleeperHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sleeperHeap) Push(x any)   { *h = append(*h, x.(sleeper)) }
+func (h *sleeperHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+func (h sleeperHeap) peek() sleeper { return h[0] }

@@ -1,0 +1,413 @@
+package machine
+
+import (
+	"testing"
+
+	"mcgc/internal/vtime"
+)
+
+const ms = vtime.Millisecond
+
+func TestSingleThreadRun(t *testing.T) {
+	m := New(1)
+	steps := 0
+	m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+		steps++
+		ctx.Charge(1 * ms)
+		if steps == 5 {
+			return Finish
+		}
+		return Continue
+	})
+	end := m.Run(vtime.Time(1 * vtime.Second))
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+	if end != vtime.Time(4*ms) { // the 5th step starts at 4ms
+		t.Fatalf("end frontier = %v, want 4ms", end)
+	}
+	if got := m.threads[0].CPUTime(); got != 5*ms {
+		t.Fatalf("CPUTime = %v, want 5ms", got)
+	}
+}
+
+func TestTwoProcessorsParallelism(t *testing.T) {
+	// Two threads of 10 steps x 1ms each on 2 processors finish in 10ms
+	// of virtual time, not 20.
+	m := New(2)
+	var finish [2]vtime.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		steps := 0
+		m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+			steps++
+			ctx.Charge(1 * ms)
+			if steps == 10 {
+				finish[i] = ctx.Now()
+				return Finish
+			}
+			return Continue
+		})
+	}
+	m.Run(vtime.Time(vtime.Second))
+	for i, f := range finish {
+		if f != vtime.Time(10*ms) {
+			t.Fatalf("thread %d finished at %v, want 10ms", i, f)
+		}
+	}
+}
+
+func TestContention(t *testing.T) {
+	// Two threads on one processor: 10 steps x 1ms each => 20ms total,
+	// interleaved fairly (FIFO).
+	m := New(1)
+	var finish [2]vtime.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		steps := 0
+		m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+			steps++
+			ctx.Charge(1 * ms)
+			if steps == 10 {
+				finish[i] = ctx.Now()
+				return Finish
+			}
+			return Continue
+		})
+	}
+	m.Run(vtime.Time(vtime.Second))
+	if finish[0] != vtime.Time(19*ms) || finish[1] != vtime.Time(20*ms) {
+		t.Fatalf("finish times = %v, want 19ms/20ms", finish)
+	}
+}
+
+func TestLowPriorityRunsOnlyWhenIdle(t *testing.T) {
+	// One processor. A normal thread runs solidly for 10ms, then sleeps
+	// 10ms, repeatedly. A low-priority thread should accumulate CPU only
+	// during the sleeps.
+	m := New(1)
+	normalSteps, lowSteps := 0, 0
+	var lowDuringBusy int
+	busyUntil := vtime.Time(0)
+	m.AddThread("mutator", PriorityNormal, func(ctx *Context) Control {
+		normalSteps++
+		ctx.Charge(10 * ms)
+		busyUntil = ctx.Now()
+		ctx.Sleep(10 * ms)
+		if normalSteps == 5 {
+			return Finish
+		}
+		return Continue
+	})
+	m.AddThread("bg", PriorityLow, func(ctx *Context) Control {
+		if ctx.Now() < busyUntil {
+			lowDuringBusy++
+		}
+		lowSteps++
+		ctx.Charge(1 * ms)
+		return Continue
+	})
+	m.Run(vtime.Time(200 * ms))
+	if lowSteps == 0 {
+		t.Fatal("low-priority thread never ran despite idle time")
+	}
+	if lowDuringBusy != 0 {
+		t.Fatalf("low-priority thread ran %d times while the processor was owed to the mutator", lowDuringBusy)
+	}
+}
+
+func TestLowPriorityStarvedWhenSaturated(t *testing.T) {
+	// Two always-runnable normal threads on one processor leave no idle
+	// time: the low-priority thread must never run.
+	m := New(1)
+	for i := 0; i < 2; i++ {
+		m.AddThread("mutator", PriorityNormal, func(ctx *Context) Control {
+			ctx.Charge(1 * ms)
+			return Continue
+		})
+	}
+	lowRan := false
+	m.AddThread("bg", PriorityLow, func(ctx *Context) Control {
+		lowRan = true
+		ctx.Charge(1 * ms)
+		return Continue
+	})
+	m.Run(vtime.Time(100 * ms))
+	if lowRan {
+		t.Fatal("low-priority thread ran on a saturated machine")
+	}
+}
+
+func TestSleepWakesOnTime(t *testing.T) {
+	m := New(1)
+	var wakes []vtime.Time
+	steps := 0
+	m.AddThread("sleeper", PriorityNormal, func(ctx *Context) Control {
+		wakes = append(wakes, ctx.Now())
+		steps++
+		ctx.Charge(1 * ms)
+		ctx.Sleep(4 * ms)
+		if steps == 3 {
+			return Finish
+		}
+		return Continue
+	})
+	m.Run(vtime.Time(vtime.Second))
+	want := []vtime.Time{0, vtime.Time(5 * ms), vtime.Time(10 * ms)}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Fatalf("wake %d at %v, want %v", i, wakes[i], want[i])
+		}
+	}
+}
+
+func TestDeadlineStopsRun(t *testing.T) {
+	m := New(1)
+	steps := 0
+	m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+		steps++
+		ctx.Charge(1 * ms)
+		return Continue
+	})
+	m.Run(vtime.Time(10 * ms))
+	if steps < 9 || steps > 11 {
+		t.Fatalf("steps = %d, want about 10", steps)
+	}
+	// The run is resumable.
+	m.Run(vtime.Time(20 * ms))
+	if steps < 19 || steps > 22 {
+		t.Fatalf("steps after resume = %d, want about 20", steps)
+	}
+}
+
+func TestStopTheWorld(t *testing.T) {
+	// Three threads on two processors. One triggers a 50ms collection at
+	// its 5th step; afterwards everyone resumes at the pause end.
+	m := New(2)
+	var resumedAt vtime.Time
+	steps := 0
+	m.AddThread("trigger", PriorityNormal, func(ctx *Context) Control {
+		steps++
+		ctx.Charge(1 * ms)
+		if steps == 5 {
+			m.StopTheWorld(ctx, "test", func(stoppedAt vtime.Time) vtime.Time {
+				return stoppedAt.Add(50 * ms)
+			})
+			resumedAt = ctx.Now()
+			return Finish
+		}
+		return Continue
+	})
+	otherRunsDuringPause := 0
+	var pauseWindow [2]vtime.Time
+	m.AddThread("other", PriorityNormal, func(ctx *Context) Control {
+		if pauseWindow[1] != 0 && ctx.Now() > pauseWindow[0] && ctx.Now() < pauseWindow[1] {
+			otherRunsDuringPause++
+		}
+		ctx.Charge(1 * ms)
+		return Continue
+	})
+	m.Run(vtime.Time(200 * ms))
+	if len(m.Pauses) != 1 {
+		t.Fatalf("recorded %d pauses, want 1", len(m.Pauses))
+	}
+	p := m.Pauses[0]
+	pauseWindow[0], pauseWindow[1] = p.RequestedAt, p.ResumedAt
+	if p.Duration() < 50*ms {
+		t.Fatalf("pause duration %v, want >= 50ms", p.Duration())
+	}
+	if resumedAt != p.ResumedAt {
+		t.Fatalf("trigger resumed at %v, pause ended at %v", resumedAt, p.ResumedAt)
+	}
+	if p.StopLatency < 0 {
+		t.Fatalf("negative stop latency %v", p.StopLatency)
+	}
+	if otherRunsDuringPause != 0 {
+		t.Fatalf("other thread ran %d times during the pause", otherRunsDuringPause)
+	}
+}
+
+func TestStopTheWorldWaitsForInflightSteps(t *testing.T) {
+	// A long step in flight on the other processor delays the full stop.
+	m := New(2)
+	longDone := false
+	m.AddThread("long", PriorityNormal, func(ctx *Context) Control {
+		ctx.Charge(30 * ms)
+		longDone = true
+		return Finish
+	})
+	m.AddThread("trigger", PriorityNormal, func(ctx *Context) Control {
+		ctx.Charge(1 * ms)
+		m.StopTheWorld(ctx, "test", func(stoppedAt vtime.Time) vtime.Time {
+			return stoppedAt.Add(10 * ms)
+		})
+		return Finish
+	})
+	m.Run(vtime.Time(vtime.Second))
+	_ = longDone
+	p := m.Pauses[0]
+	if p.StopLatency != 29*ms {
+		t.Fatalf("stop latency = %v, want 29ms (in-flight step drain)", p.StopLatency)
+	}
+	if p.StoppedAt != vtime.Time(30*ms) {
+		t.Fatalf("StoppedAt = %v, want 30ms", p.StoppedAt)
+	}
+}
+
+func TestRunParallelBalancedWork(t *testing.T) {
+	// 100 items of 1ms each on 4 workers: makespan 25ms.
+	items := 100
+	end := RunParallel(0, 4, func(w *Worker) bool {
+		if items == 0 {
+			return false
+		}
+		items--
+		w.Charge(1 * ms)
+		return true
+	})
+	if end < vtime.Time(25*ms) || end > vtime.Time(26*ms) {
+		t.Fatalf("makespan = %v, want ~25ms", end)
+	}
+}
+
+func TestRunParallelProducedWorkIsSeen(t *testing.T) {
+	// A worker that goes idle must be revived when another produces work.
+	produced := false
+	var consumed bool
+	work := 1
+	end := RunParallel(0, 2, func(w *Worker) bool {
+		if work > 0 {
+			work--
+			w.Charge(10 * ms)
+			if !produced {
+				produced = true
+				work += 5 // new work appears late
+			} else {
+				consumed = true
+			}
+			return true
+		}
+		return false
+	})
+	if !consumed {
+		t.Fatal("late-produced work was never consumed")
+	}
+	if end == 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestRunParallelSingleWorker(t *testing.T) {
+	n := 10
+	end := RunParallel(vtime.Time(5*ms), 1, func(w *Worker) bool {
+		if n == 0 {
+			return false
+		}
+		n--
+		w.Charge(1 * ms)
+		return true
+	})
+	if end < vtime.Time(15*ms) {
+		t.Fatalf("end = %v, want >= 15ms", end)
+	}
+}
+
+func TestChargePanicsOnNegative(t *testing.T) {
+	m := New(1)
+	panicked := false
+	m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+		if !panicked {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				ctx.Charge(-1)
+			}()
+		}
+		return Finish
+	})
+	m.Run(vtime.Time(ms))
+	if !panicked {
+		t.Fatal("expected panic on negative charge")
+	}
+}
+
+func TestZeroCostStepStillAdvancesTime(t *testing.T) {
+	// A step that charges nothing must not livelock the machine.
+	m := New(1)
+	steps := 0
+	m.AddThread("spinner", PriorityNormal, func(ctx *Context) Control {
+		steps++
+		return Continue
+	})
+	m.Run(vtime.Time(10 * vtime.Microsecond))
+	if steps == 0 {
+		t.Fatal("spinner never ran")
+	}
+	if steps > 20000 {
+		t.Fatalf("spinner ran %d times in 10us; minimum dispatch cost not applied", steps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []vtime.Time {
+		m := New(3)
+		var order []vtime.Time
+		for i := 0; i < 5; i++ {
+			i := i
+			steps := 0
+			m.AddThread("w", PriorityNormal, func(ctx *Context) Control {
+				steps++
+				ctx.Charge(vtime.Duration(i+1) * 100 * vtime.Microsecond)
+				if steps%3 == 0 {
+					ctx.Sleep(vtime.Duration(i) * 50 * vtime.Microsecond)
+				}
+				order = append(order, ctx.Now())
+				if steps == 20 {
+					return Finish
+				}
+				return Continue
+			})
+		}
+		m.Run(vtime.Time(vtime.Second))
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForBytes(t *testing.T) {
+	if got := ForBytes(6300, 1000); got != vtime.Duration(6300) {
+		t.Fatalf("ForBytes(6300ps, 1000B) = %v, want 6300ns", got)
+	}
+	if got := ForBytes(450, 2); got != 0 { // truncates below 1ns
+		t.Fatalf("ForBytes small = %v, want 0", got)
+	}
+}
+
+func TestAddThreadDuringRunIsSchedulable(t *testing.T) {
+	m := New(1)
+	childRan := false
+	m.AddThread("parent", PriorityNormal, func(ctx *Context) Control {
+		ctx.Charge(ms)
+		m.AddThread("child", PriorityNormal, func(ctx *Context) Control {
+			childRan = true
+			ctx.Charge(ms)
+			return Finish
+		})
+		return Finish
+	})
+	m.Run(vtime.Time(100 * ms))
+	if !childRan {
+		t.Fatal("dynamically added thread never ran")
+	}
+}

@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"fmt"
+
+	"mcgc/internal/vtime"
+)
+
+// Worker is one participant of a RunParallel phase.
+type Worker struct {
+	ID    int
+	clock vtime.Time
+}
+
+// Now returns the worker's current virtual time.
+func (w *Worker) Now() vtime.Time { return w.clock }
+
+// Charge advances the worker's clock by the cost of work it performed.
+func (w *Worker) Charge(d vtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("machine: negative worker charge %d", d))
+	}
+	w.clock = w.clock.Add(d)
+}
+
+// pollCost is charged to a worker that looked for work and found none; it
+// models the cost of the termination check and prevents zero-time spinning.
+const pollCost = 200 * vtime.Nanosecond
+
+// RunParallel simulates n workers running from start until global
+// quiescence: the phase ends when every worker's most recent attempt (made
+// after the last productive step by any worker) found no work. step must
+// return true if the worker performed (and charged) some work, false if it
+// found none. The returned time is the clock of the last worker to go idle
+// — the parallel phase's makespan.
+//
+// The collectors use this for the stop-the-world mark and sweep phases: the
+// workers pull work packets (or sweep sections), so the makespan directly
+// reflects the load balancing quality of the work packet mechanism.
+func RunParallel(start vtime.Time, n int, step func(w *Worker) bool) vtime.Time {
+	if n <= 0 {
+		panic(fmt.Sprintf("machine: RunParallel needs at least one worker, got %d", n))
+	}
+	workers := make([]Worker, n)
+	idle := make([]bool, n)
+	for i := range workers {
+		workers[i] = Worker{ID: i, clock: start}
+	}
+	idleCount := 0
+	for idleCount < n {
+		// Pick the worker with the earliest clock (lowest ID breaks ties).
+		best := 0
+		for i := 1; i < n; i++ {
+			if workers[i].clock < workers[best].clock {
+				best = i
+			}
+		}
+		w := &workers[best]
+		if step(w) {
+			// New work may now exist for everyone; un-idle all workers
+			// so each must observe quiescence after this point.
+			if idle[best] {
+				idle[best] = false
+			}
+			if idleCount > 0 {
+				for i := range idle {
+					idle[i] = false
+				}
+				idleCount = 0
+			}
+		} else {
+			w.Charge(pollCost)
+			if !idle[best] {
+				idle[best] = true
+				idleCount++
+			}
+		}
+	}
+	end := start
+	for i := range workers {
+		if workers[i].clock > end {
+			end = workers[i].clock
+		}
+	}
+	return end
+}

@@ -1,0 +1,306 @@
+// Package mutator implements the simulated application runtime: mutator
+// threads with stacks (root sets), the allocation entry points that host
+// the collector's pacing hooks (Section 3), and the card-marking write
+// barrier with no fence (Sections 2 and 5.3).
+//
+// The package is collector-agnostic: a Collector implementation (the
+// stop-the-world baseline or the mostly concurrent collector in
+// internal/core) is attached to the Runtime and receives the allocation
+// hooks the paper's design revolves around — every allocation-cache refill
+// and every large-object allocation is an increment of concurrent
+// collection work.
+package mutator
+
+import (
+	"fmt"
+
+	"mcgc/internal/cardtable"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+)
+
+// Config holds the runtime knobs shared by all experiments.
+type Config struct {
+	// CacheBytes is the allocation-cache (TLH) size; refills of this
+	// amount are the incremental pacing points.
+	CacheBytes int
+	// LargeBytes is the direct-allocation threshold for large objects.
+	LargeBytes int
+}
+
+// DefaultConfig returns the defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{CacheBytes: 16 << 10, LargeBytes: 2 << 10}
+}
+
+// Collector is the hook interface a garbage collector implements. All hooks
+// run inside the calling thread's machine step and charge their costs to it.
+type Collector interface {
+	// Name identifies the collector in reports.
+	Name() string
+	// OnCacheRefill is invoked when th is about to obtain a new
+	// allocation cache of refillBytes. This is the main incremental
+	// pacing point: the mostly concurrent collector decides here whether
+	// to start a cycle and how much tracing th must perform.
+	OnCacheRefill(ctx *machine.Context, th *Thread, refillBytes int64)
+	// OnLargeAlloc is the pacing point for a large-object allocation.
+	OnLargeAlloc(ctx *machine.Context, th *Thread, bytes int64)
+	// OnAllocFailure runs a full stop-the-world collection because the
+	// heap could not satisfy an allocation.
+	OnAllocFailure(ctx *machine.Context, th *Thread)
+	// BarrierActive reports whether reference stores must dirty cards
+	// (true while a concurrent marking phase is in progress).
+	BarrierActive() bool
+}
+
+// Runtime is the shared mutator state: heap, card table, thread registry
+// and global roots.
+type Runtime struct {
+	Heap  *heapsim.Heap
+	Cards *cardtable.Table
+	Costs machine.Costs
+	Cfg   Config
+
+	collector Collector
+	threads   []*Thread
+	globals   []heapsim.Addr
+
+	// CacheSource, when set, overrides where allocation caches come from
+	// (default: the heap free list). The generational extension points it
+	// at the nursery's bump allocator.
+	CacheSource func(want int) (heapsim.Chunk, bool)
+	// CacheTailSink, when set, is installed as ReturnTail on every
+	// thread's allocation cache, so retired cache tails return to the
+	// cache source's space rather than the heap free list.
+	CacheTailSink func(heapsim.Chunk)
+
+	// BarrierNurseryFrom/To, when set, exempt stores into that region
+	// from the card-marking barrier: a nursery is scavenged (and, during
+	// old-space cycles, rescanned) wholesale, so dirtying its cards is
+	// pure overhead. Zero values disable the filter.
+	BarrierNurseryFrom, BarrierNurseryTo heapsim.Addr
+
+	// OOMs counts allocations that failed even after collection.
+	OOMs int64
+}
+
+// NewRuntime creates a runtime over a fresh heap of heapBytes.
+func NewRuntime(heapBytes int64, cfg Config, costs machine.Costs) *Runtime {
+	h := heapsim.NewHeap(heapBytes)
+	return &Runtime{
+		Heap:  h,
+		Cards: cardtable.New(h.SizeWords()),
+		Costs: costs,
+		Cfg:   cfg,
+	}
+}
+
+// SetCollector attaches the collector. It must be called before any
+// allocation.
+func (rt *Runtime) SetCollector(c Collector) { rt.collector = c }
+
+// Collector returns the attached collector.
+func (rt *Runtime) Collector() Collector { return rt.collector }
+
+// Thread is one mutator thread's runtime state.
+type Thread struct {
+	ID    int
+	Cache *heapsim.AllocCache
+
+	// Stack is the thread's simulated stack: every entry is a root. The
+	// owning workload pushes and pops references as it works.
+	Stack []heapsim.Addr
+
+	// StackScanned marks that this thread's stack was scanned during the
+	// current concurrent phase (each stack is scanned once, at the
+	// thread's first allocation after the phase starts — Section 2.1).
+	StackScanned bool
+
+	// BytesAllocated counts this thread's allocation, for the workload
+	// statistics and the tracing-rate bookkeeping.
+	BytesAllocated int64
+
+	// lastPaced is the BytesAllocated value at this thread's previous
+	// pacing event, so each hook receives the exact allocation since the
+	// last one regardless of how large the carved cache actually was.
+	lastPaced int64
+}
+
+// paceDelta returns (and consumes) the allocation since the last pacing
+// event.
+func (t *Thread) paceDelta() int64 {
+	d := t.BytesAllocated - t.lastPaced
+	t.lastPaced = t.BytesAllocated
+	return d
+}
+
+// NewThread registers a new mutator thread.
+func (rt *Runtime) NewThread() *Thread {
+	t := &Thread{ID: len(rt.threads), Cache: heapsim.NewAllocCache(rt.Heap)}
+	t.Cache.ReturnTail = rt.CacheTailSink
+	rt.threads = append(rt.threads, t)
+	return t
+}
+
+// Threads returns the registered threads.
+func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// AddGlobal registers a global root cell initialized to Nil and returns its
+// index.
+func (rt *Runtime) AddGlobal() int {
+	rt.globals = append(rt.globals, heapsim.Nil)
+	return len(rt.globals) - 1
+}
+
+// Global reads global root i.
+func (rt *Runtime) Global(i int) heapsim.Addr { return rt.globals[i] }
+
+// SetGlobal stores a reference into global root i. Globals are rescanned
+// during the final stop-the-world phase, so no barrier is needed, but the
+// store is charged like any reference store.
+func (rt *Runtime) SetGlobal(ctx *machine.Context, i int, v heapsim.Addr) {
+	rt.globals[i] = v
+	ctx.Charge(rt.Costs.WriteBarrier)
+}
+
+// Globals returns the global root cells.
+func (rt *Runtime) Globals() []heapsim.Addr { return rt.globals }
+
+// Alloc allocates an object with the given reference and payload slot
+// counts on behalf of th, charging the mutator's application work, running
+// the collector's pacing hooks, and triggering collection on allocation
+// failure. It panics on out-of-memory (the simulation is deterministic, so
+// an OOM means the experiment is misconfigured).
+func (rt *Runtime) Alloc(ctx *machine.Context, th *Thread, refs, payload int) heapsim.Addr {
+	words := heapsim.ObjectWords(refs, payload)
+	bytes := int64(words) * heapsim.WordBytes
+	ctx.Charge(rt.Costs.AllocHeader + machine.ForBytes(rt.Costs.MutatorWorkPerAllocByte, bytes))
+	th.BytesAllocated += bytes
+
+	if bytes >= int64(rt.Cfg.LargeBytes) {
+		return rt.allocLarge(ctx, th, words, refs, bytes)
+	}
+	if a := th.Cache.TryAlloc(words, refs); a != heapsim.Nil {
+		return a
+	}
+	// Cache exhausted: this is a GC point and a pacing point. The hook
+	// receives the exact bytes allocated since the previous pacing event
+	// (fragmentation can make actual caches much smaller than nominal).
+	rt.collector.OnCacheRefill(ctx, th, th.paceDelta())
+	if !rt.refillCache(ctx, th, words) {
+		// Two failure rounds: under lazy sweep the first may only
+		// complete the deferred sweep; the second runs a collection.
+		ok := false
+		for attempt := 0; attempt < 2 && !ok; attempt++ {
+			rt.collector.OnAllocFailure(ctx, th)
+			ok = rt.refillCache(ctx, th, words)
+		}
+		if !ok {
+			rt.oom(ctx, bytes)
+			return heapsim.Nil
+		}
+	}
+	a := th.Cache.TryAlloc(words, refs)
+	if a == heapsim.Nil {
+		rt.oom(ctx, bytes)
+	}
+	return a
+}
+
+// refillCache carves a new allocation cache; it fails when the heap cannot
+// provide a chunk that fits the pending allocation.
+func (rt *Runtime) refillCache(ctx *machine.Context, th *Thread, needWords int) bool {
+	ctx.Charge(rt.Costs.CacheRefill)
+	want := rt.Cfg.CacheBytes / heapsim.WordBytes
+	carve := rt.CacheSource
+	if carve == nil {
+		carve = rt.Heap.CarveCache
+	}
+	chunk, ok := carve(want)
+	if !ok {
+		return false
+	}
+	if chunk.Words < needWords {
+		// Too small to satisfy even the pending allocation; put it back
+		// and report failure so a collection runs.
+		if rt.CacheTailSink != nil {
+			rt.CacheTailSink(chunk)
+		} else {
+			rt.Heap.ReturnChunk(chunk)
+		}
+		return false
+	}
+	th.Cache.Refill(chunk)
+	return true
+}
+
+func (rt *Runtime) allocLarge(ctx *machine.Context, th *Thread, words, refs int, bytes int64) heapsim.Addr {
+	rt.collector.OnLargeAlloc(ctx, th, th.paceDelta())
+	if a := rt.Heap.AllocLarge(words, refs); a != heapsim.Nil {
+		return a
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		rt.collector.OnAllocFailure(ctx, th)
+		if a := rt.Heap.AllocLarge(words, refs); a != heapsim.Nil {
+			return a
+		}
+	}
+	rt.oom(ctx, bytes)
+	return heapsim.Nil
+}
+
+func (rt *Runtime) oom(ctx *machine.Context, bytes int64) {
+	rt.OOMs++
+	panic(fmt.Sprintf("mutator: out of memory allocating %d bytes at %v (heap %d MB, free %d KB, largest chunk %d KB)",
+		bytes, ctx.Now(), rt.Heap.SizeBytes()>>20, rt.Heap.FreeBytes()>>10,
+		int64(rt.Heap.LargestFreeChunk())*heapsim.WordBytes>>10))
+}
+
+// SetRef stores a reference into obj's slot i, executing the write barrier:
+// store the cell, then dirty the card — with no fence between them
+// (Sections 2, 5.3). The card store only happens while a concurrent phase
+// is active.
+func (rt *Runtime) SetRef(ctx *machine.Context, obj heapsim.Addr, i int, v heapsim.Addr) {
+	rt.Heap.SetRefRaw(obj, i, v)
+	if rt.collector.BarrierActive() &&
+		(obj < rt.BarrierNurseryFrom || obj >= rt.BarrierNurseryTo) {
+		rt.Cards.DirtyObject(obj)
+	}
+	ctx.Charge(rt.Costs.WriteBarrier)
+}
+
+// RetireAllCaches flushes and retires every thread's allocation cache. The
+// collectors call it when stopping the world so that sweep sees a heap
+// where every word is either a published object or free space.
+func (rt *Runtime) RetireAllCaches() {
+	for _, t := range rt.threads {
+		t.Cache.Retire()
+	}
+}
+
+// ForEachRoot calls fn for every root: all global cells and every slot of
+// every thread stack. Nil entries are skipped.
+func (rt *Runtime) ForEachRoot(fn func(heapsim.Addr)) {
+	for _, g := range rt.globals {
+		if g != heapsim.Nil {
+			fn(g)
+		}
+	}
+	for _, t := range rt.threads {
+		for _, a := range t.Stack {
+			if a != heapsim.Nil {
+				fn(a)
+			}
+		}
+	}
+}
+
+// RootCount returns the total number of root slots (for stack-scan cost
+// accounting).
+func (rt *Runtime) RootCount() int {
+	n := len(rt.globals)
+	for _, t := range rt.threads {
+		n += len(t.Stack)
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package mutator
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/vtime"
+)
+
+// recordingCollector captures hook invocations for assertions.
+type recordingCollector struct {
+	refills     []int64
+	larges      []int64
+	failures    int
+	barrier     bool
+	failureHook func()
+}
+
+func (c *recordingCollector) Name() string { return "recording" }
+func (c *recordingCollector) OnCacheRefill(_ *machine.Context, _ *Thread, b int64) {
+	c.refills = append(c.refills, b)
+}
+func (c *recordingCollector) OnLargeAlloc(_ *machine.Context, _ *Thread, b int64) {
+	c.larges = append(c.larges, b)
+}
+func (c *recordingCollector) OnAllocFailure(_ *machine.Context, _ *Thread) {
+	c.failures++
+	if c.failureHook != nil {
+		c.failureHook()
+	}
+}
+func (c *recordingCollector) BarrierActive() bool { return c.barrier }
+
+// drive runs fn as the single thread of a 1-processor machine.
+func drive(t *testing.T, rt *Runtime, fn func(ctx *machine.Context)) {
+	t.Helper()
+	m := machine.New(1)
+	ran := false
+	m.AddThread("t", machine.PriorityNormal, func(ctx *machine.Context) machine.Control {
+		fn(ctx)
+		ran = true
+		return machine.Finish
+	})
+	m.Run(vtime.Time(10 * vtime.Second))
+	if !ran {
+		t.Fatal("program did not run")
+	}
+}
+
+func newRT(heap int64) (*Runtime, *recordingCollector) {
+	rt := NewRuntime(heap, DefaultConfig(), machine.DefaultCosts())
+	col := &recordingCollector{}
+	rt.SetCollector(col)
+	return rt, col
+}
+
+func TestAllocSmallUsesCache(t *testing.T) {
+	rt, col := newRT(1 << 20)
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, th, 1, 2)
+		b := rt.Alloc(ctx, th, 1, 2)
+		if a == heapsim.Nil || b == heapsim.Nil {
+			t.Error("alloc failed")
+		}
+		if b != a+4 {
+			t.Errorf("expected bump allocation, got %d then %d", a, b)
+		}
+	})
+	// One refill (first allocation faulted the cache in), no failures.
+	if len(col.refills) != 1 || col.failures != 0 {
+		t.Fatalf("refills=%d failures=%d", len(col.refills), col.failures)
+	}
+	if th.BytesAllocated != 2*4*heapsim.WordBytes {
+		t.Fatalf("BytesAllocated = %d", th.BytesAllocated)
+	}
+}
+
+func TestPaceDeltaIsExactAllocation(t *testing.T) {
+	rt, col := newRT(1 << 20)
+	rt.Cfg.CacheBytes = 1 << 10 // small cache: several refills
+	th := rt.NewThread()
+	var total int64
+	drive(t, rt, func(ctx *machine.Context) {
+		for i := 0; i < 100; i++ {
+			rt.Alloc(ctx, th, 2, 5)
+			total += int64(heapsim.ObjectWords(2, 5)) * heapsim.WordBytes
+		}
+	})
+	var paced int64
+	for _, b := range col.refills {
+		paced += b
+	}
+	// Everything allocated before the last refill must have been paced.
+	if paced > total || total-paced > int64(rt.Cfg.CacheBytes)*2 {
+		t.Fatalf("paced %d of %d allocated", paced, total)
+	}
+}
+
+func TestLargeObjectBypassesCache(t *testing.T) {
+	rt, col := newRT(1 << 20)
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		words := rt.Cfg.LargeBytes / heapsim.WordBytes
+		a := rt.Alloc(ctx, th, 4, words) // comfortably over the threshold
+		if a == heapsim.Nil {
+			t.Error("large alloc failed")
+		}
+		if rt.Heap.Flags(a)&heapsim.FlagLarge == 0 {
+			t.Error("large object missing FlagLarge")
+		}
+		if !rt.Heap.AllocBits.Test(int(a)) {
+			t.Error("large object not published immediately")
+		}
+	})
+	if len(col.larges) != 1 {
+		t.Fatalf("large hooks = %d, want 1", len(col.larges))
+	}
+}
+
+func TestAllocFailureTriggersCollector(t *testing.T) {
+	rt, _ := newRT(64 << 10)
+	col := &recordingCollector{}
+	rt.SetCollector(col)
+	th := rt.NewThread()
+	// The failure hook "collects": free everything by resetting the heap
+	// free list to the whole heap (mark nothing, sweep everything).
+	col.failureHook = func() {
+		rt.RetireAllCaches()
+		rt.Heap.AllocBits.ClearAll()
+		rt.Heap.InstallFreeList([]heapsim.Chunk{{Addr: 1, Words: rt.Heap.SizeWords() - 1}}, 0)
+	}
+	drive(t, rt, func(ctx *machine.Context) {
+		for i := 0; i < 5000; i++ {
+			if rt.Alloc(ctx, th, 0, 6) == heapsim.Nil {
+				t.Error("alloc failed despite collector")
+				return
+			}
+		}
+	})
+	if col.failures == 0 {
+		t.Fatal("allocation failure never triggered the collector")
+	}
+}
+
+func TestOOMPanics(t *testing.T) {
+	rt, _ := newRT(32 << 10)
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected OOM panic")
+			}
+			if rt.OOMs != 1 {
+				t.Errorf("OOMs = %d", rt.OOMs)
+			}
+		}()
+		for i := 0; i < 100000; i++ {
+			rt.Alloc(ctx, th, 0, 6)
+		}
+	})
+}
+
+func TestWriteBarrierRespectsCollectorState(t *testing.T) {
+	rt, col := newRT(1 << 20)
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, th, 2, 1)
+		b := rt.Alloc(ctx, th, 0, 1)
+		col.barrier = false
+		rt.SetRef(ctx, a, 0, b)
+		if rt.Cards.Stats.BarrierMarks != 0 {
+			t.Error("card dirtied while barrier inactive")
+		}
+		col.barrier = true
+		rt.SetRef(ctx, a, 1, b)
+		if rt.Cards.Stats.BarrierMarks != 1 {
+			t.Error("card not dirtied while barrier active")
+		}
+		if rt.Heap.RefAt(a, 0) != b || rt.Heap.RefAt(a, 1) != b {
+			t.Error("reference stores lost")
+		}
+	})
+}
+
+func TestGlobalsAreRoots(t *testing.T) {
+	rt, _ := newRT(1 << 20)
+	th := rt.NewThread()
+	g := rt.AddGlobal()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, th, 0, 1)
+		rt.SetGlobal(ctx, g, a)
+		th.Stack = append(th.Stack, a, heapsim.Nil)
+		var roots []heapsim.Addr
+		rt.ForEachRoot(func(r heapsim.Addr) { roots = append(roots, r) })
+		if len(roots) != 2 {
+			t.Errorf("roots = %v, want global + stack entry (nil skipped)", roots)
+		}
+		if rt.Global(g) != a {
+			t.Error("global read back wrong")
+		}
+		if rt.RootCount() != 3 { // 1 global + 2 stack slots (incl. nil)
+			t.Errorf("RootCount = %d, want 3", rt.RootCount())
+		}
+	})
+}
+
+func TestRetireAllCaches(t *testing.T) {
+	rt, _ := newRT(1 << 20)
+	t1, t2 := rt.NewThread(), rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, t1, 0, 1)
+		b := rt.Alloc(ctx, t2, 0, 1)
+		if rt.Heap.AllocBits.Test(int(a)) || rt.Heap.AllocBits.Test(int(b)) {
+			t.Error("allocation bits published before flush")
+		}
+		rt.RetireAllCaches()
+		if !rt.Heap.AllocBits.Test(int(a)) || !rt.Heap.AllocBits.Test(int(b)) {
+			t.Error("RetireAllCaches did not publish allocation bits")
+		}
+	})
+}
+
+func TestThreadsRegistry(t *testing.T) {
+	rt, _ := newRT(1 << 20)
+	a := rt.NewThread()
+	b := rt.NewThread()
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("thread IDs %d,%d", a.ID, b.ID)
+	}
+	if len(rt.Threads()) != 2 {
+		t.Fatalf("Threads() = %d", len(rt.Threads()))
+	}
+}
+
+func TestCacheSourceOverride(t *testing.T) {
+	rt, _ := newRT(1 << 20)
+	// A fake nursery: a reserved chunk handed out by a custom source.
+	region, ok := rt.Heap.CarveCache(2048)
+	if !ok {
+		t.Fatal("carve failed")
+	}
+	cur := region.Addr
+	var sunk int
+	rt.CacheSource = func(want int) (heapsim.Chunk, bool) {
+		avail := int(region.End() - cur)
+		if avail <= 0 {
+			return heapsim.Chunk{}, false
+		}
+		if want > avail {
+			want = avail
+		}
+		c := heapsim.Chunk{Addr: cur, Words: want}
+		cur += heapsim.Addr(want)
+		return c, true
+	}
+	rt.CacheTailSink = func(heapsim.Chunk) { sunk++ }
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, th, 0, 2)
+		if a < region.Addr || a >= region.End() {
+			t.Errorf("allocation at %d outside the custom source region", a)
+		}
+		th.Cache.Retire()
+	})
+	if sunk == 0 {
+		t.Fatal("retired tail did not reach the sink")
+	}
+}
+
+func TestBarrierNurseryFilter(t *testing.T) {
+	rt, col := newRT(1 << 20)
+	col.barrier = true
+	th := rt.NewThread()
+	drive(t, rt, func(ctx *machine.Context) {
+		a := rt.Alloc(ctx, th, 1, 2)
+		b := rt.Alloc(ctx, th, 1, 2)
+		// Pretend [a, a+4) is nursery: stores into a are exempt.
+		rt.BarrierNurseryFrom, rt.BarrierNurseryTo = a, a+4
+		before := rt.Cards.Stats.BarrierMarks
+		rt.SetRef(ctx, a, 0, b) // young holder: filtered
+		if rt.Cards.Stats.BarrierMarks != before {
+			t.Error("store to nursery holder dirtied a card")
+		}
+		rt.SetRef(ctx, b, 0, a) // old holder: barrier fires
+		if rt.Cards.Stats.BarrierMarks != before+1 {
+			t.Error("store to old holder did not dirty a card")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"mcgc/internal/vtime"
+)
+
+// Interval is a half-open span of virtual time during which mutators were
+// stopped.
+type Interval struct {
+	Start, End vtime.Time
+}
+
+// MMU computes the Minimum Mutator Utilization for one window size: the
+// smallest fraction of any window of length w that was NOT spent inside a
+// stop-the-world pause, over [0, total). Cheng and Blelloch proposed the
+// metric; the paper (Section 6.2) notes it is very difficult to measure on
+// real hardware when threads outnumber processors — the simulator has the
+// exact pause timeline, so it can be computed directly.
+//
+// pauses must be non-overlapping. A window larger than the run measures the
+// whole run.
+func MMU(pauses []Interval, total vtime.Duration, w vtime.Duration) float64 {
+	if w <= 0 {
+		panic(fmt.Sprintf("stats: bad MMU window %d", w))
+	}
+	if total <= 0 {
+		return 1
+	}
+	if w > total {
+		w = total
+	}
+	ps := append([]Interval(nil), pauses...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+
+	// pauseIn returns the pause time intersecting [t, t+w).
+	pauseIn := func(t vtime.Time) vtime.Duration {
+		end := t.Add(w)
+		var sum vtime.Duration
+		for _, p := range ps {
+			if p.End <= t {
+				continue
+			}
+			if p.Start >= end {
+				break
+			}
+			s, e := p.Start, p.End
+			if s < t {
+				s = t
+			}
+			if e > end {
+				e = end
+			}
+			sum += e.Sub(s)
+		}
+		return sum
+	}
+
+	// The worst window either starts at a pause start or ends at a pause
+	// end (sliding the window otherwise only decreases its pause content).
+	worst := vtime.Duration(0)
+	consider := func(t vtime.Time) {
+		if t < 0 {
+			t = 0
+		}
+		if t.Add(w) > vtime.Time(total) {
+			t = vtime.Time(total - w)
+		}
+		if p := pauseIn(t); p > worst {
+			worst = p
+		}
+	}
+	for _, p := range ps {
+		consider(p.Start)
+		consider(p.End.Add(-w))
+	}
+	if worst > w {
+		worst = w
+	}
+	return 1 - float64(worst)/float64(w)
+}
+
+// MMUCurve evaluates MMU over a set of window sizes.
+func MMUCurve(pauses []Interval, total vtime.Duration, windows []vtime.Duration) []float64 {
+	out := make([]float64, len(windows))
+	for i, w := range windows {
+		out[i] = MMU(pauses, total, w)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcgc/internal/vtime"
+)
+
+const mmuMs = vtime.Millisecond
+
+func iv(s, e int64) Interval {
+	return Interval{Start: vtime.Time(s) * vtime.Time(mmuMs), End: vtime.Time(e) * vtime.Time(mmuMs)}
+}
+
+func TestMMUNoPauses(t *testing.T) {
+	if got := MMU(nil, 100*mmuMs, 10*mmuMs); got != 1 {
+		t.Fatalf("MMU with no pauses = %v, want 1", got)
+	}
+}
+
+func TestMMUSinglePause(t *testing.T) {
+	pauses := []Interval{iv(50, 60)} // 10ms pause in a 100ms run
+	// A 10ms window fully inside the pause: MMU = 0.
+	if got := MMU(pauses, 100*mmuMs, 10*mmuMs); got != 0 {
+		t.Fatalf("MMU(10ms) = %v, want 0", got)
+	}
+	// A 20ms window: worst case contains the whole pause: 1 - 10/20 = 0.5.
+	if got := MMU(pauses, 100*mmuMs, 20*mmuMs); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("MMU(20ms) = %v, want 0.5", got)
+	}
+	// The whole run: 1 - 10/100.
+	if got := MMU(pauses, 100*mmuMs, 100*mmuMs); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("MMU(100ms) = %v, want 0.9", got)
+	}
+}
+
+func TestMMUAdjacentPauses(t *testing.T) {
+	// Two 5ms pauses 5ms apart: a 15ms window catches both.
+	pauses := []Interval{iv(10, 15), iv(20, 25)}
+	if got := MMU(pauses, 100*mmuMs, 15*mmuMs); math.Abs(got-(1-10.0/15)) > 1e-9 {
+		t.Fatalf("MMU(15ms) = %v, want %v", got, 1-10.0/15)
+	}
+	// A 5ms window inside one pause: 0.
+	if got := MMU(pauses, 100*mmuMs, 5*mmuMs); got != 0 {
+		t.Fatalf("MMU(5ms) = %v, want 0", got)
+	}
+}
+
+func TestMMUWindowLargerThanRun(t *testing.T) {
+	pauses := []Interval{iv(0, 10)}
+	if got := MMU(pauses, 50*mmuMs, 500*mmuMs); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("MMU(clamped) = %v, want 0.8", got)
+	}
+}
+
+func TestMMUCurveMonotone(t *testing.T) {
+	// MMU is non-decreasing in the window size for isolated equal pauses.
+	pauses := []Interval{iv(10, 12), iv(40, 42), iv(70, 72)}
+	windows := []vtime.Duration{2 * mmuMs, 5 * mmuMs, 20 * mmuMs, 100 * mmuMs}
+	curve := MMUCurve(pauses, 100*mmuMs, windows)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("curve not monotone: %v", curve)
+		}
+	}
+	if curve[0] != 0 {
+		t.Fatalf("2ms window inside a 2ms pause should be 0, got %v", curve[0])
+	}
+}
+
+// Property: MMU matches a brute-force sliding window on small integers.
+func TestQuickMMUMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const total = 200
+		// Build non-overlapping unit pauses from the raw bytes.
+		used := make([]bool, total)
+		var pauses []Interval
+		for _, b := range raw {
+			s := int(b) % (total - 1)
+			if !used[s] {
+				used[s] = true
+				pauses = append(pauses, Interval{Start: vtime.Time(s), End: vtime.Time(s + 1)})
+			}
+		}
+		for _, w := range []int{1, 3, 7, 50} {
+			got := MMU(pauses, total, vtime.Duration(w))
+			// Brute force over every integer window start.
+			worst := 0
+			for s := 0; s+w <= total; s++ {
+				in := 0
+				for x := s; x < s+w; x++ {
+					if x < total && used[x] {
+						in++
+					}
+				}
+				if in > worst {
+					worst = in
+				}
+			}
+			want := 1 - float64(worst)/float64(w)
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMUPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MMU(nil, 100, 0)
+}

@@ -1,0 +1,271 @@
+// Package stats provides the measurement helpers the experiments share:
+// exponential smoothing (used by the collector's L, M and Best predictors),
+// streaming mean/deviation accumulators (tracing-factor fairness, Table 4),
+// pause-time summaries, and text rendering for the paper's tables and
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mcgc/internal/vtime"
+)
+
+// ExpSmooth is an exponential smoothing average: estimate ← a·sample +
+// (1−a)·estimate. The paper uses it for the predictions L (bytes to trace),
+// M (dirty-card bytes) and Best (background tracing rate).
+type ExpSmooth struct {
+	Alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewExpSmooth returns a smoother with the given blending factor in (0,1].
+func NewExpSmooth(alpha float64) *ExpSmooth {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: smoothing alpha %v out of (0,1]", alpha))
+	}
+	return &ExpSmooth{Alpha: alpha}
+}
+
+// Add feeds a sample. The first sample primes the estimate directly.
+func (e *ExpSmooth) Add(sample float64) {
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		return
+	}
+	e.value = e.Alpha*sample + (1-e.Alpha)*e.value
+}
+
+// Value returns the current estimate (zero before any sample).
+func (e *ExpSmooth) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been added.
+func (e *ExpSmooth) Primed() bool { return e.primed }
+
+// Welford is a streaming mean / standard-deviation accumulator.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add feeds a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (zero with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// DurationSummary summarizes a set of durations.
+type DurationSummary struct {
+	Count int
+	Avg   vtime.Duration
+	Max   vtime.Duration
+	Min   vtime.Duration
+	Total vtime.Duration
+}
+
+// Summarize reduces a slice of durations.
+func Summarize(ds []vtime.Duration) DurationSummary {
+	s := DurationSummary{Count: len(ds)}
+	if len(ds) == 0 {
+		return s
+	}
+	s.Min = ds[0]
+	for _, d := range ds {
+		s.Total += d
+		if d > s.Max {
+			s.Max = d
+		}
+		if d < s.Min {
+			s.Min = d
+		}
+	}
+	s.Avg = s.Total / vtime.Duration(len(ds))
+	return s
+}
+
+// Table renders aligned text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Plot renders a crude ASCII chart of one or more named series over a
+// shared x axis, mirroring the paper's figures well enough to eyeball
+// shapes in a terminal.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	xs     []float64
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	ys     []float64
+}
+
+// NewPlot creates a plot with shared x values.
+func NewPlot(title, xlabel, ylabel string, xs []float64) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, xs: xs}
+}
+
+// AddSeries attaches a series; ys must align with the plot's xs.
+func (p *Plot) AddSeries(name string, marker byte, ys []float64) {
+	if len(ys) != len(p.xs) {
+		panic(fmt.Sprintf("stats: series %q has %d points, plot has %d", name, len(ys), len(p.xs)))
+	}
+	p.series = append(p.series, plotSeries{name, marker, ys})
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	const (
+		width  = 64
+		height = 16
+	)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	if len(p.xs) == 0 || len(p.series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for _, y := range s.ys {
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := p.xs[0], p.xs[len(p.xs)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i, y := range s.ys {
+			col := int((p.xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = s.marker
+			}
+		}
+	}
+	for r, line := range grid {
+		label := ""
+		if r == 0 {
+			label = fmt.Sprintf("%8.1f", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.1f", ymin)
+		} else {
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.1f%*s%.1f   (%s)\n", strings.Repeat(" ", 8), xmin, width-24, "", xmax, p.XLabel)
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "          %c = %s\n", s.marker, s.name)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the durations using
+// nearest-rank on a sorted copy. Pause-time distributions are commonly
+// reported as p95/p99 alongside avg/max.
+func Percentile(ds []vtime.Duration, p float64) vtime.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
+	}
+	sorted := append([]vtime.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mcgc/internal/vtime"
+)
+
+func TestExpSmoothPrimesOnFirstSample(t *testing.T) {
+	e := NewExpSmooth(0.3)
+	if e.Primed() || e.Value() != 0 {
+		t.Fatal("fresh smoother not zero/unprimed")
+	}
+	e.Add(100)
+	if !e.Primed() || e.Value() != 100 {
+		t.Fatalf("after first sample: %v", e.Value())
+	}
+	e.Add(0)
+	if got := e.Value(); math.Abs(got-70) > 1e-9 {
+		t.Fatalf("after 0.3-blend: %v, want 70", got)
+	}
+}
+
+func TestExpSmoothConverges(t *testing.T) {
+	e := NewExpSmooth(0.5)
+	for i := 0; i < 50; i++ {
+		e.Add(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("did not converge: %v", e.Value())
+	}
+}
+
+func TestExpSmoothValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v did not panic", alpha)
+				}
+			}()
+			NewExpSmooth(alpha)
+		}()
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestWelfordFewSamples(t *testing.T) {
+	var w Welford
+	if w.StdDev() != 0 || w.Mean() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	w.Add(5)
+	if w.StdDev() != 0 {
+		t.Fatal("single-sample stddev not zero")
+	}
+}
+
+// Property: Welford agrees with the two-pass formulas.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		sd := math.Sqrt(ss / float64(len(xs)))
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(w.StdDev()-sd) < 1e-6*(1+sd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []vtime.Duration{3 * vtime.Millisecond, 1 * vtime.Millisecond, 2 * vtime.Millisecond}
+	s := Summarize(ds)
+	if s.Count != 3 || s.Min != vtime.Millisecond || s.Max != 3*vtime.Millisecond {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Avg != 2*vtime.Millisecond || s.Total != 6*vtime.Millisecond {
+		t.Fatalf("summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Avg != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("pause", "66 ms")
+	tb.AddRow("throughput-with-long-name", "17970")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	// Columns align: "value" appears at the same offset in all rows.
+	col := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col:], "66 ms") {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+	// Missing cells render blank, extra cells are dropped.
+	tb2 := NewTable("a", "b")
+	tb2.AddRow("x")
+	tb2.AddRow("1", "2", "3")
+	if !strings.Contains(tb2.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	p := NewPlot("Pause times", "warehouses", "ms", []float64{1, 2, 3, 4})
+	p.AddSeries("stw", '*', []float64{100, 200, 250, 280})
+	p.AddSeries("cgc", 'o', []float64{40, 60, 65, 66})
+	out := p.String()
+	if !strings.Contains(out, "Pause times") || !strings.Contains(out, "* = stw") {
+		t.Fatalf("plot missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("plot missing markers")
+	}
+	// Mismatched series length panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	p.AddSeries("bad", 'x', []float64{1})
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("t", "x", "y", nil)
+	if !strings.Contains(p.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []vtime.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, vtime.Duration(i))
+	}
+	if got := Percentile(ds, 0.5); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := Percentile(ds, 0.95); got != 95 {
+		t.Fatalf("p95 = %v, want 95", got)
+	}
+	if got := Percentile(ds, 1); got != 100 {
+		t.Fatalf("p100 = %v, want 100", got)
+	}
+	if got := Percentile(ds, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// The input must not be mutated (sorted copy).
+	shuffled := []vtime.Duration{5, 1, 4, 2, 3}
+	Percentile(shuffled, 0.5)
+	if shuffled[0] != 5 || shuffled[4] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad p")
+		}
+	}()
+	Percentile(ds, 1.5)
+}

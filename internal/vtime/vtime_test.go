@@ -1,0 +1,48 @@
+package vtime
+
+import "testing"
+
+func TestArithmetic(t *testing.T) {
+	var tm Time
+	tm = tm.Add(3 * Millisecond)
+	if tm != Time(3*Millisecond) {
+		t.Fatalf("Add: %v", tm)
+	}
+	if d := tm.Sub(Time(Millisecond)); d != 2*Millisecond {
+		t.Fatalf("Sub: %v", d)
+	}
+	if !Time(1).Before(Time(2)) || !Time(2).After(Time(1)) {
+		t.Fatal("Before/After")
+	}
+	if Max(Time(1), Time(2)) != 2 || Min(Time(1), Time(2)) != 1 {
+		t.Fatal("Max/Min")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if (2 * Millisecond).Milliseconds() != 2.0 {
+		t.Fatal("Milliseconds")
+	}
+	if (3 * Second).Seconds() != 3.0 {
+		t.Fatal("Seconds")
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, tc := range []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50us"},
+		{3 * Millisecond, "3.00ms"},
+		{1500 * Millisecond, "1.500s"},
+	} {
+		if got := tc.d.String(); got != tc.want {
+			t.Fatalf("%d.String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+	if got := Time(3 * Millisecond).String(); got != "3.00ms" {
+		t.Fatalf("Time.String = %q", got)
+	}
+}

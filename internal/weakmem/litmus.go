@@ -1,0 +1,120 @@
+package weakmem
+
+import "math/rand"
+
+// Litmus is a two-thread memory-model test in the classic litmus style:
+// each thread runs a short program of steps, the adversary interleaves
+// steps and drains store buffers randomly, and the outcome predicate is
+// evaluated on the observed values. Exploring many seeds shows which
+// outcomes the model permits — the standard way to characterize a memory
+// model, and the frame the Section 5 protocols are verified in.
+type Litmus struct {
+	Name string
+	// Cells is the shared-memory size.
+	Cells int
+	// T0 and T1 are the two programs; each step gets its CPU and an
+	// observation vector to record loads into.
+	T0, T1 []func(c *CPU, obs []int64)
+	// Outcome evaluates the observations (T0's then T1's, concatenated).
+	Outcome func(obs []int64) bool
+	// ObsLen is the observation vector length per thread.
+	ObsLen int
+}
+
+// Run executes the litmus test once under the given seed and reports
+// whether the outcome predicate held.
+func (l Litmus) Run(seed int64) bool {
+	m := New(l.Cells, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x7f4a7c15))
+	c0, c1 := m.CPU(), m.CPU()
+	obs0 := make([]int64, l.ObsLen)
+	obs1 := make([]int64, l.ObsLen)
+	i0, i1 := 0, 0
+	for i0 < len(l.T0) || i1 < len(l.T1) {
+		// Randomly interleave the two programs, draining buffers between
+		// steps.
+		pick0 := i1 >= len(l.T1) || (i0 < len(l.T0) && rng.Intn(2) == 0)
+		if pick0 {
+			l.T0[i0](c0, obs0)
+			i0++
+		} else {
+			l.T1[i1](c1, obs1)
+			i1++
+		}
+		m.DrainRandom(rng.Intn(3))
+	}
+	m.DrainAll()
+	return l.Outcome(append(append([]int64(nil), obs0...), obs1...))
+}
+
+// Permitted explores n seeds and reports how many runs satisfied the
+// outcome predicate.
+func (l Litmus) Permitted(n int) int {
+	count := 0
+	for s := 0; s < n; s++ {
+		if l.Run(int64(s)) {
+			count++
+		}
+	}
+	return count
+}
+
+// MessagePassing is the canonical MP litmus test: T0 stores data then flag;
+// T1 reads flag then data. The weak outcome (flag observed set but data
+// observed stale) is permitted without fences and forbidden when T0 fences
+// between its stores. withFence selects the variant.
+func MessagePassing(withFence bool) Litmus {
+	const (
+		data = 0
+		flag = 1
+	)
+	t0 := []func(c *CPU, obs []int64){
+		func(c *CPU, _ []int64) { c.Store(data, 1) },
+	}
+	if withFence {
+		t0 = append(t0, func(c *CPU, _ []int64) { c.Fence() })
+	}
+	t0 = append(t0, func(c *CPU, _ []int64) { c.Store(flag, 1) })
+	return Litmus{
+		Name:   "MP",
+		Cells:  2,
+		ObsLen: 2,
+		T0:     t0,
+		T1: []func(c *CPU, obs []int64){
+			func(c *CPU, obs []int64) { obs[0] = c.Load(flag) },
+			func(c *CPU, obs []int64) { obs[1] = c.Load(data) },
+		},
+		// The weak outcome: flag seen set, data seen unset.
+		Outcome: func(obs []int64) bool { return obs[2] == 1 && obs[3] == 0 },
+	}
+}
+
+// StoreBuffering is the canonical SB litmus test: each thread stores its
+// own cell then reads the other's. The weak outcome (both read zero) is
+// the signature of store buffers; fences between each thread's store and
+// load forbid it.
+func StoreBuffering(withFences bool) Litmus {
+	const (
+		x = 0
+		y = 1
+	)
+	prog := func(mine, theirs int, slot int) []func(c *CPU, obs []int64) {
+		p := []func(c *CPU, obs []int64){
+			func(c *CPU, _ []int64) { c.Store(mine, 1) },
+		}
+		if withFences {
+			p = append(p, func(c *CPU, _ []int64) { c.Fence() })
+		}
+		p = append(p, func(c *CPU, obs []int64) { obs[slot] = c.Load(theirs) })
+		return p
+	}
+	return Litmus{
+		Name:   "SB",
+		Cells:  2,
+		ObsLen: 1,
+		T0:     prog(x, y, 0),
+		T1:     prog(y, x, 0),
+		// The weak outcome: both threads read the other's old value.
+		Outcome: func(obs []int64) bool { return obs[0] == 0 && obs[1] == 0 },
+	}
+}

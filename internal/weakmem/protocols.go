@@ -1,0 +1,165 @@
+package weakmem
+
+import "math/rand"
+
+// This file expresses the three weak-ordering hazards of Section 5 as
+// explorable two-CPU programs. Each trial runs one adversarial drain
+// schedule (chosen by seed) and reports whether the anomaly the paper
+// describes was observed. The corresponding tests assert that with the
+// paper's fences no seed produces an anomaly, and with the fences removed
+// some seed does.
+
+// Result summarizes an exploration over many drain schedules.
+type Result struct {
+	Trials    int
+	Anomalies int
+	Fences    int // total fences executed across trials
+}
+
+// Explore runs trial for seeds [0, n) and accumulates the outcome.
+func Explore(n int, trial func(seed int64) (anomaly bool, fences int)) Result {
+	var r Result
+	for s := 0; s < n; s++ {
+		anomaly, fences := trial(int64(s))
+		r.Trials++
+		if anomaly {
+			r.Anomalies++
+		}
+		r.Fences += fences
+	}
+	return r
+}
+
+// PacketHandoffTrial models Section 5.1: a producer fills a work packet
+// (entries) and publishes it by storing the packet pointer into a pool
+// (head). The consumer that observes the head must see every entry. The
+// paper's fix is one fence before returning the packet; the consumer needs
+// none because its loads are data-dependent on the head load.
+func PacketHandoffTrial(seed int64, producerFence bool) (anomaly bool, fences int) {
+	const (
+		nEntries = 8
+		headAddr = nEntries
+		sentinel = 100
+	)
+	m := New(nEntries+1, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	producer := m.CPU()
+	consumer := m.CPU()
+
+	steps := make([]func(), 0, nEntries+2)
+	for i := 0; i < nEntries; i++ {
+		i := i
+		steps = append(steps, func() { producer.Store(i, sentinel+int64(i)) })
+	}
+	if producerFence {
+		steps = append(steps, func() { producer.Fence() })
+	}
+	steps = append(steps, func() { producer.Store(headAddr, 1) })
+
+	for _, step := range steps {
+		step()
+		m.DrainRandom(rng.Intn(3))
+		if consumer.Load(headAddr) == 1 {
+			for i := 0; i < nEntries; i++ {
+				if consumer.Load(i) != sentinel+int64(i) {
+					return true, producer.Fences + consumer.Fences
+				}
+			}
+		}
+	}
+	m.DrainAll()
+	return false, producer.Fences + consumer.Fences
+}
+
+// AllocPublishTrial models Section 5.2: a mutator initializes a batch of
+// objects from its allocation cache and then publishes their allocation
+// bits; a concurrent tracer must never trace an object whose initializing
+// stores are not yet visible. The paper's fix is one fence per batch on the
+// mutator side (and a matching fence on the tracer side between testing the
+// allocation bits of a whole input packet and tracing, which this
+// store-order model represents but cannot falsify).
+func AllocPublishTrial(seed int64, mutatorFence bool) (anomaly bool, fences int) {
+	const (
+		objWords = 4
+		bitAddr  = objWords
+		initVal  = 7 // cells start at 0 = "uninitialized garbage"
+	)
+	m := New(objWords+1, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x51ed2701))
+	mutator := m.CPU()
+	tracer := m.CPU()
+
+	steps := make([]func(), 0, objWords+2)
+	for i := 0; i < objWords; i++ {
+		i := i
+		steps = append(steps, func() { mutator.Store(i, initVal) })
+	}
+	if mutatorFence {
+		steps = append(steps, func() { mutator.Fence() })
+	}
+	steps = append(steps, func() { mutator.Store(bitAddr, 1) })
+
+	for _, step := range steps {
+		step()
+		m.DrainRandom(rng.Intn(3))
+		// Tracer protocol: test the allocation bit, fence, then trace.
+		if tracer.Load(bitAddr) == 1 {
+			tracer.Fence()
+			for i := 0; i < objWords; i++ {
+				if tracer.Load(i) != initVal {
+					return true, mutator.Fences + tracer.Fences
+				}
+			}
+		}
+	}
+	m.DrainAll()
+	return false, mutator.Fences + tracer.Fences
+}
+
+// CardCleanTrial models Section 5.3: the write barrier stores a reference
+// into a slot and then dirties the card, with no fence between them. The
+// collector registers-and-clears dirty indicators, optionally forces every
+// mutator through a fence, and only then cleans. Without the forced fence a
+// drain schedule exists where the collector cleans the card yet misses the
+// reference, and the card ends up clean — the object would be collected.
+func CardCleanTrial(seed int64, forceMutatorFence bool) (anomaly bool, fences int) {
+	const (
+		slotAddr  = 0
+		dirtyAddr = 1
+		refVal    = 42
+	)
+	m := New(2, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x2c1b3c6d))
+	mutator := m.CPU()
+	collector := m.CPU()
+
+	// Write barrier: slot store then card store, no fence.
+	mutator.Store(slotAddr, refVal)
+	mutator.Store(dirtyAddr, 1)
+
+	for round := 0; round < 16; round++ {
+		m.DrainRandom(rng.Intn(3))
+		if collector.Load(dirtyAddr) != 1 {
+			continue
+		}
+		// Step 1: register and clear the indicator. The collector's own
+		// store must be visible before cleaning; it fences (cheap: once
+		// per registration pass, not per barrier).
+		collector.Store(dirtyAddr, 0)
+		collector.Fence()
+		// Step 2: force the mutator through a fence.
+		if forceMutatorFence {
+			mutator.Fence()
+		}
+		// Step 3: clean the card — scan the slot.
+		sawRef := collector.Load(slotAddr) == refVal
+		// End of cycle: let everything drain and see what the world
+		// looks like. The anomaly is a missed reference with a clean
+		// card: nothing will ever rescan the slot.
+		m.DrainAll()
+		cardDirty := collector.Load(dirtyAddr) == 1
+		return !sawRef && !cardDirty, mutator.Fences + collector.Fences
+	}
+	m.DrainAll()
+	return false, mutator.Fences + collector.Fences
+}

@@ -1,0 +1,155 @@
+// Package weakmem simulates a weakly-ordered shared memory so the fence
+// protocols of Section 5 of the paper can be demonstrated and tested.
+//
+// Model: every CPU has a store buffer. Stores enter the buffer in program
+// order; they drain to shared memory at arbitrary later moments and may
+// drain out of order with respect to other locations (per-location program
+// order is preserved, as all weak-ordering architectures guarantee). Loads
+// first snoop the CPU's own buffer (store-to-load forwarding) and otherwise
+// read shared memory. Fence drains the buffer completely, making all
+// preceding stores globally visible before the fence returns.
+//
+// The model covers store reordering, which is what all three anomalies in
+// the paper are built from: stale packet contents (5.1), tracing an
+// uninitialized object (5.2), and a cleaned card that misses an update
+// (5.3). Load-side reordering is not modelled; the consumer-side fences the
+// paper discusses are represented so they can be counted, but their absence
+// cannot produce an anomaly in this model. Tests therefore exercise the
+// producer-side direction of each protocol both ways: with the fence no
+// interleaving shows the anomaly, and with the fence removed an adversarial
+// drain schedule finds it.
+package weakmem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// pendingStore is one entry of a store buffer.
+type pendingStore struct {
+	addr int
+	val  int64
+}
+
+// Memory is a shared memory of fixed size with some number of CPUs.
+type Memory struct {
+	cells []int64
+	cpus  []*CPU
+	rng   *rand.Rand
+}
+
+// New creates a memory of size cells, all zero, using the given seed for
+// drain scheduling decisions.
+func New(size int, seed int64) *Memory {
+	return &Memory{
+		cells: make([]int64, size),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// CPU adds a processor with an empty store buffer.
+func (m *Memory) CPU() *CPU {
+	c := &CPU{mem: m, id: len(m.cpus)}
+	m.cpus = append(m.cpus, c)
+	return c
+}
+
+// DrainRandom makes up to n pending stores (across all CPUs) visible, each
+// chosen uniformly among the drainable entries: an entry is drainable if no
+// older store to the same location from the same CPU is still buffered.
+// This is the adversary that produces weakly-ordered behaviours.
+func (m *Memory) DrainRandom(n int) {
+	for i := 0; i < n; i++ {
+		type choice struct {
+			cpu *CPU
+			idx int
+		}
+		var choices []choice
+		for _, c := range m.cpus {
+			seen := make(map[int]bool)
+			for j, s := range c.buf {
+				if !seen[s.addr] {
+					choices = append(choices, choice{c, j})
+				}
+				seen[s.addr] = true
+			}
+		}
+		if len(choices) == 0 {
+			return
+		}
+		ch := choices[m.rng.Intn(len(choices))]
+		ch.cpu.drainIndex(ch.idx)
+	}
+}
+
+// DrainAll flushes every store buffer (end-of-test quiescence). Unlike
+// Fence it is scheduler machinery, not a program action, so it does not
+// count toward any CPU's fence total.
+func (m *Memory) DrainAll() {
+	for _, c := range m.cpus {
+		c.drainAll()
+	}
+}
+
+// read returns the globally visible value of a cell.
+func (m *Memory) read(addr int) int64 {
+	m.check(addr)
+	return m.cells[addr]
+}
+
+func (m *Memory) check(addr int) {
+	if addr < 0 || addr >= len(m.cells) {
+		panic(fmt.Sprintf("weakmem: address %d out of range [0,%d)", addr, len(m.cells)))
+	}
+}
+
+// CPU is one processor with a private store buffer.
+type CPU struct {
+	mem    *Memory
+	id     int
+	buf    []pendingStore
+	Fences int // fences this CPU has executed (for the Section 5 accounting)
+}
+
+// Store buffers a store; it becomes globally visible at some later drain.
+func (c *CPU) Store(addr int, val int64) {
+	c.mem.check(addr)
+	c.buf = append(c.buf, pendingStore{addr, val})
+}
+
+// Load returns this CPU's view of a cell: the youngest buffered store to it,
+// if any, else the globally visible value.
+func (c *CPU) Load(addr int) int64 {
+	c.mem.check(addr)
+	for j := len(c.buf) - 1; j >= 0; j-- {
+		if c.buf[j].addr == addr {
+			return c.buf[j].val
+		}
+	}
+	return c.mem.read(addr)
+}
+
+// Fence makes every buffered store globally visible, in program order, and
+// counts itself.
+func (c *CPU) Fence() {
+	c.drainAll()
+	c.Fences++
+}
+
+func (c *CPU) drainAll() {
+	for _, s := range c.buf {
+		c.mem.cells[s.addr] = s.val
+	}
+	c.buf = c.buf[:0]
+}
+
+// Pending returns the number of stores still buffered.
+func (c *CPU) Pending() int { return len(c.buf) }
+
+// drainIndex makes the store at buffer index j visible and removes it.
+// Callers guarantee no older store to the same address remains buffered.
+func (c *CPU) drainIndex(j int) {
+	s := c.buf[j]
+	c.mem.cells[s.addr] = s.val
+	c.buf = append(c.buf[:j], c.buf[j+1:]...)
+}

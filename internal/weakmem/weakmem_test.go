@@ -1,0 +1,196 @@
+package weakmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreBufferForwarding(t *testing.T) {
+	m := New(4, 1)
+	c := m.CPU()
+	c.Store(0, 11)
+	if got := c.Load(0); got != 11 {
+		t.Fatalf("own Load = %d, want 11 (store-to-load forwarding)", got)
+	}
+	other := m.CPU()
+	if got := other.Load(0); got != 0 {
+		t.Fatalf("other CPU sees %d before drain, want 0", got)
+	}
+	c.Fence()
+	if got := other.Load(0); got != 11 {
+		t.Fatalf("other CPU sees %d after fence, want 11", got)
+	}
+	if c.Fences != 1 {
+		t.Fatalf("Fences = %d, want 1", c.Fences)
+	}
+}
+
+func TestSameLocationOrderPreserved(t *testing.T) {
+	// Per-location program order must hold under any drain schedule.
+	f := func(seed int64) bool {
+		m := New(1, seed)
+		c := m.CPU()
+		c.Store(0, 1)
+		c.Store(0, 2)
+		c.Store(0, 3)
+		m.DrainRandom(1)
+		v1 := m.read(0)
+		m.DrainRandom(1)
+		v2 := m.read(0)
+		m.DrainAll()
+		v3 := m.read(0)
+		// Visible values must be a non-decreasing prefix walk 0,1,2,3.
+		return v1 <= v2 && v2 <= v3 && v3 == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentLocationsCanReorder(t *testing.T) {
+	// The model must be able to exhibit weak ordering at all: for some
+	// seed the second store becomes visible before the first.
+	found := false
+	for seed := int64(0); seed < 200 && !found; seed++ {
+		m := New(2, seed)
+		c := m.CPU()
+		c.Store(0, 1)
+		c.Store(1, 1)
+		m.DrainRandom(1)
+		if m.read(1) == 1 && m.read(0) == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no seed reordered independent stores; model is too strong")
+	}
+}
+
+func TestLoadSeesYoungestOwnStore(t *testing.T) {
+	m := New(2, 3)
+	c := m.CPU()
+	c.Store(0, 1)
+	c.Store(0, 2)
+	if got := c.Load(0); got != 2 {
+		t.Fatalf("Load = %d, want youngest buffered store 2", got)
+	}
+}
+
+func TestPendingAndDrainAll(t *testing.T) {
+	m := New(4, 9)
+	c := m.CPU()
+	c.Store(0, 1)
+	c.Store(1, 2)
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", c.Pending())
+	}
+	m.DrainAll()
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d after DrainAll", c.Pending())
+	}
+	if m.read(0) != 1 || m.read(1) != 2 {
+		t.Fatal("DrainAll lost stores")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	m := New(2, 0)
+	c := m.CPU()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Store(2, 1)
+}
+
+const exploreTrials = 400
+
+// Each protocol: with the paper's fence, no drain schedule shows the
+// anomaly; with the fence removed, at least one schedule does. The "without"
+// direction proves the test has teeth (the fences are necessary, not
+// decorative).
+
+func TestPacketHandoffProtocol(t *testing.T) {
+	withFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return PacketHandoffTrial(seed, true)
+	})
+	if withFence.Anomalies != 0 {
+		t.Fatalf("fenced packet handoff showed %d anomalies", withFence.Anomalies)
+	}
+	withoutFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return PacketHandoffTrial(seed, false)
+	})
+	if withoutFence.Anomalies == 0 {
+		t.Fatal("unfenced packet handoff never failed; adversary too weak")
+	}
+}
+
+func TestAllocPublishProtocol(t *testing.T) {
+	withFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return AllocPublishTrial(seed, true)
+	})
+	if withFence.Anomalies != 0 {
+		t.Fatalf("fenced allocation publish showed %d anomalies", withFence.Anomalies)
+	}
+	withoutFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return AllocPublishTrial(seed, false)
+	})
+	if withoutFence.Anomalies == 0 {
+		t.Fatal("unfenced allocation publish never failed; adversary too weak")
+	}
+}
+
+func TestCardCleanProtocol(t *testing.T) {
+	withFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return CardCleanTrial(seed, true)
+	})
+	if withFence.Anomalies != 0 {
+		t.Fatalf("forced-fence card cleaning showed %d anomalies", withFence.Anomalies)
+	}
+	withoutFence := Explore(exploreTrials, func(seed int64) (bool, int) {
+		return CardCleanTrial(seed, false)
+	})
+	if withoutFence.Anomalies == 0 {
+		t.Fatal("card cleaning without the forced fence never failed; adversary too weak")
+	}
+}
+
+// The write barrier itself must execute zero fences in every schedule: the
+// whole point of Section 5.3 is moving the cost to the collector.
+func TestWriteBarrierIsFenceFree(t *testing.T) {
+	r := Explore(100, func(seed int64) (bool, int) {
+		m := New(2, seed)
+		mutator := m.CPU()
+		mutator.Store(0, 42) // slot
+		mutator.Store(1, 1)  // card
+		m.DrainAll()
+		return false, mutator.Fences
+	})
+	if r.Fences != 0 {
+		t.Fatalf("write barrier executed %d fences, want 0", r.Fences)
+	}
+}
+
+const litmusTrials = 500
+
+func TestMessagePassingLitmus(t *testing.T) {
+	// Without a fence the model must permit the weak MP outcome; with the
+	// fence it must forbid it. This characterizes the store-buffer model
+	// against the textbook litmus test.
+	if got := MessagePassing(false).Permitted(litmusTrials); got == 0 {
+		t.Fatal("weak MP outcome never observed without fences; model too strong")
+	}
+	if got := MessagePassing(true).Permitted(litmusTrials); got != 0 {
+		t.Fatalf("weak MP outcome observed %d times despite the fence", got)
+	}
+}
+
+func TestStoreBufferingLitmus(t *testing.T) {
+	if got := StoreBuffering(false).Permitted(litmusTrials); got == 0 {
+		t.Fatal("weak SB outcome never observed without fences; model too strong")
+	}
+	if got := StoreBuffering(true).Permitted(litmusTrials); got != 0 {
+		t.Fatalf("weak SB outcome observed %d times despite fences", got)
+	}
+}

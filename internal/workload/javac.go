@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+// Javac models the SPECjvm98 javac benchmark: a single-threaded compiler
+// that repeatedly parses a source unit into a tree (peak retention), walks
+// it allocating temporaries (attribution/codegen), and releases it. The
+// paper runs it on a uniprocessor with a 25 MB heap at 70% occupancy.
+//
+// Work is performed in bounded quanta (a few hundred nodes per machine
+// step) so the collector can stop the thread at realistic latitude — steps
+// are the simulation's GC points.
+type JavacConfig struct {
+	// TreeBytes is the peak size of one compilation unit's AST.
+	TreeBytes int64
+	// TreeFanout is the children per interior node.
+	TreeFanout int
+	// TempPerNode is how many temporaries the walk allocates per tree
+	// node visited.
+	TempPerNode int
+	// NodesPerStep bounds the work done between GC points.
+	NodesPerStep int
+	Seed         int64
+}
+
+// DefaultJavacConfig sizes the AST so that peak occupancy is about the
+// given fraction of the heap.
+func DefaultJavacConfig(heapBytes int64, peakResidency float64) JavacConfig {
+	return JavacConfig{
+		TreeBytes:    int64(peakResidency * float64(heapBytes) * 0.8),
+		TreeFanout:   4,
+		TempPerNode:  2,
+		NodesPerStep: 256,
+		Seed:         1,
+	}
+}
+
+type javacPhase int
+
+const (
+	javacParse javacPhase = iota
+	javacWalk
+)
+
+// Javac is the running workload.
+type Javac struct {
+	rt  *mutator.Runtime
+	cfg JavacConfig
+	th  *mutator.Thread
+	r   *rand.Rand
+
+	phase     javacPhase
+	nodesGoal int
+	built     int
+	frameBase int
+	// walkBase marks where the walk cursor segment begins on the thread
+	// stack. The walk cursor lives ON the simulated stack — it models the
+	// compiler's recursion frames — so its entries are roots, and under
+	// incremental compaction they pin their targets exactly as a
+	// conservatively scanned native stack would.
+	walkBase int
+
+	Units int64 // compilation units completed
+	// NodesProcessed counts parse+walk node visits: a fine-grained
+	// throughput measure (whole units are too coarse for short windows).
+	NodesProcessed int64
+	Err            error
+}
+
+// AST node shape: fanout refs + 3 payload words.
+const javacNodePayload = 3
+
+// NewJavac creates the workload and registers its single thread.
+func NewJavac(rt *mutator.Runtime, m *machine.Machine, cfg JavacConfig) *Javac {
+	if cfg.TreeFanout < 1 || cfg.TreeBytes <= 0 {
+		panic(fmt.Sprintf("workload: bad javac config %+v", cfg))
+	}
+	if cfg.NodesPerStep <= 0 {
+		cfg.NodesPerStep = 256
+	}
+	j := &Javac{
+		rt:  rt,
+		cfg: cfg,
+		th:  rt.NewThread(),
+		r:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nodeWords := heapsim.ObjectWords(cfg.TreeFanout, javacNodePayload)
+	j.nodesGoal = int(cfg.TreeBytes / (int64(nodeWords) * heapsim.WordBytes))
+	if j.nodesGoal < 1 {
+		j.nodesGoal = 1
+	}
+	j.frameBase = len(j.th.Stack)
+	m.AddThread("javac", machine.PriorityNormal, j.step)
+	return j
+}
+
+func (j *Javac) step(ctx *machine.Context) machine.Control {
+	if j.Err != nil {
+		return machine.Finish
+	}
+	var err error
+	switch j.phase {
+	case javacParse:
+		err = j.parseQuantum(ctx)
+	case javacWalk:
+		err = j.walkQuantum(ctx)
+	}
+	if err != nil {
+		j.Err = err
+		return machine.Finish
+	}
+	return machine.Continue
+}
+
+// parseQuantum builds a bounded number of AST nodes bottom-up, keeping the
+// frontier rooted on the stack (nodes are only reachable from locals until
+// linked to a parent).
+func (j *Javac) parseQuantum(ctx *machine.Context) error {
+	for q := 0; q < j.cfg.NodesPerStep && j.built < j.nodesGoal; q++ {
+		n := j.rt.Alloc(ctx, j.th, j.cfg.TreeFanout, javacNodePayload)
+		stamp(j.rt, n)
+		j.built++
+		j.NodesProcessed++
+		adopt := j.r.Intn(j.cfg.TreeFanout + 1)
+		for i := 0; i < adopt && len(j.th.Stack) > j.frameBase; i++ {
+			child := j.th.Stack[len(j.th.Stack)-1]
+			j.th.Stack = j.th.Stack[:len(j.th.Stack)-1]
+			j.rt.SetRef(ctx, n, i, child)
+		}
+		j.th.Stack = append(j.th.Stack, n)
+	}
+	if j.built >= j.nodesGoal {
+		// Parse complete: begin the attribution walk over the forest. The
+		// walk cursor segment starts as a copy of the forest roots.
+		j.phase = javacWalk
+		j.walkBase = len(j.th.Stack)
+		j.th.Stack = append(j.th.Stack, j.th.Stack[j.frameBase:j.walkBase]...)
+	}
+	return nil
+}
+
+// walkQuantum visits a bounded number of nodes, checking integrity and
+// allocating attribution temporaries; when the walk completes the unit is
+// released (the whole AST becomes garbage at once).
+func (j *Javac) walkQuantum(ctx *machine.Context) error {
+	for q := 0; q < j.cfg.NodesPerStep && len(j.th.Stack) > j.walkBase; q++ {
+		n := j.th.Stack[len(j.th.Stack)-1]
+		j.th.Stack = j.th.Stack[:len(j.th.Stack)-1]
+		j.NodesProcessed++
+		if !checkStamp(j.rt, n) {
+			return fmt.Errorf("workload: javac AST node %d corrupt", n)
+		}
+		for i := 0; i < j.cfg.TempPerNode; i++ {
+			j.rt.Alloc(ctx, j.th, 0, 1+j.r.Intn(4)) // immediately-dead temporary
+		}
+		for i := 0; i < j.cfg.TreeFanout; i++ {
+			if c := j.rt.Heap.RefAt(n, i); c != heapsim.Nil {
+				j.th.Stack = append(j.th.Stack, c)
+			}
+		}
+	}
+	if len(j.th.Stack) <= j.walkBase {
+		// Unit done: release the AST and pause briefly (I/O for the next
+		// source file) — on a uniprocessor this is where a background GC
+		// thread gets to run.
+		j.th.Stack = j.th.Stack[:j.frameBase]
+		j.built = 0
+		j.phase = javacParse
+		j.Units++
+		ctx.Sleep(200 * vtime.Microsecond)
+	}
+	return nil
+}

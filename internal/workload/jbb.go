@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+	"mcgc/internal/vtime"
+)
+
+// JBBConfig configures the warehouse transaction workload. With one
+// terminal per warehouse and no think time it models SPECjbb2000; with many
+// terminals and think time it models pBOB in autoserver mode.
+type JBBConfig struct {
+	// Warehouses is the number of warehouses (the SPECjbb load knob).
+	Warehouses int
+	// TerminalsPerWarehouse is the number of threads per warehouse
+	// (1 for SPECjbb; the paper's pBOB runs use 25).
+	TerminalsPerWarehouse int
+	// RetainedPerWarehouse is the steady-state live data per warehouse.
+	// The paper sizes heaps so that residency is 60% at the top warehouse
+	// count.
+	RetainedPerWarehouse int64
+	// ThinkTime is the mean per-transaction think time (zero: none).
+	// Think time idles the processor, which is what lets the collector's
+	// low-priority background threads soak up cycles.
+	ThinkTime vtime.Duration
+	// TxGarbageObjects is the number of temporary objects a transaction
+	// allocates.
+	TxGarbageObjects int
+	// BlockReplacePercent is the chance (0-100) a transaction replaces
+	// one block of its warehouse's data.
+	BlockReplacePercent int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultJBBConfig returns a SPECjbb-like configuration: heap residency is
+// reached at `warehouses` warehouses for the given heap size.
+func DefaultJBBConfig(warehouses int, heapBytes int64, residencyAtMax float64, maxWarehouses int) JBBConfig {
+	perWh := int64(residencyAtMax * float64(heapBytes) / float64(maxWarehouses))
+	return JBBConfig{
+		Warehouses:            warehouses,
+		TerminalsPerWarehouse: 1,
+		RetainedPerWarehouse:  perWh,
+		TxGarbageObjects:      24,
+		BlockReplacePercent:   30,
+		Seed:                  1,
+	}
+}
+
+// warehouse is one warehouse's retained data plus its transaction counter.
+type warehouse struct {
+	pop   *Population
+	ready bool
+	tx    int64
+}
+
+// JBB is a running warehouse workload bound to a runtime and machine.
+type JBB struct {
+	rt  *mutator.Runtime
+	cfg JBBConfig
+
+	warehouses []*warehouse
+
+	// Err records the first integrity failure observed by any terminal;
+	// the workload stops transacting once set.
+	Err error
+}
+
+// NewJBB creates the workload and registers its terminal threads on the
+// machine. Threads initialize their warehouse's population lazily on first
+// dispatch, then run transactions until the machine deadline.
+func NewJBB(rt *mutator.Runtime, m *machine.Machine, cfg JBBConfig) *JBB {
+	if cfg.Warehouses <= 0 || cfg.TerminalsPerWarehouse <= 0 {
+		panic(fmt.Sprintf("workload: bad JBB config %+v", cfg))
+	}
+	j := &JBB{rt: rt, cfg: cfg}
+	for w := 0; w < cfg.Warehouses; w++ {
+		wh := &warehouse{}
+		j.warehouses = append(j.warehouses, wh)
+		for t := 0; t < cfg.TerminalsPerWarehouse; t++ {
+			th := rt.NewThread()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w*1000+t)))
+			first := t == 0
+			name := fmt.Sprintf("wh%d-t%d", w, t)
+			m.AddThread(name, machine.PriorityNormal, j.terminalStep(wh, th, r, first))
+		}
+	}
+	return j
+}
+
+// terminalStep returns the step function of one terminal thread.
+func (j *JBB) terminalStep(wh *warehouse, th *mutator.Thread, r *rand.Rand, builder bool) machine.StepFunc {
+	return func(ctx *machine.Context) machine.Control {
+		if j.Err != nil {
+			return machine.Finish
+		}
+		if !wh.ready {
+			if !builder {
+				// Wait for the warehouse's first terminal to build the
+				// population.
+				ctx.Charge(100 * vtime.Nanosecond)
+				ctx.Sleep(50 * vtime.Microsecond)
+				return machine.Continue
+			}
+			if wh.pop == nil {
+				wh.pop = NewPopulation(j.rt, th, j.cfg.RetainedPerWarehouse)
+			}
+			// A few blocks per step keeps steps stoppable.
+			wh.ready = wh.pop.BuildSome(ctx, 4)
+			return machine.Continue
+		}
+		if err := j.transaction(ctx, wh, th, r); err != nil {
+			j.Err = err
+			return machine.Finish
+		}
+		if j.cfg.ThinkTime > 0 {
+			// Exponential-ish jitter around the mean keeps terminals from
+			// phase-locking.
+			jitter := vtime.Duration(r.Int63n(int64(j.cfg.ThinkTime)))
+			ctx.Sleep(j.cfg.ThinkTime/2 + jitter)
+		}
+		return machine.Continue
+	}
+}
+
+// transaction models one business transaction: read some warehouse data,
+// allocate temporaries (order forms, result sets — short-lived garbage),
+// update references, and occasionally replace a block of warehouse data.
+func (j *JBB) transaction(ctx *machine.Context, wh *warehouse, th *mutator.Thread, r *rand.Rand) error {
+	if err := wh.pop.ReadBlock(ctx, r); err != nil {
+		return err
+	}
+	// Temporaries: rooted in a transaction frame, dead when it returns.
+	base := len(th.Stack)
+	for i := 0; i < j.cfg.TxGarbageObjects; i++ {
+		refs := r.Intn(3)
+		payload := 2 + r.Intn(7)
+		a := j.rt.Alloc(ctx, th, refs, payload)
+		stamp(j.rt, a)
+		if refs > 0 && len(th.Stack) > base {
+			// Link to a previous temporary: small temp graphs.
+			j.rt.SetRef(ctx, a, 0, th.Stack[base+r.Intn(len(th.Stack)-base)])
+		}
+		th.Stack = append(th.Stack, a)
+	}
+	// Old-object mutation is sparse in SPECjbb-like workloads: most stores
+	// hit fresh transaction objects. A heavy rewrite rate re-dirties
+	// cleaned cards and inflates the stop-the-world cleaning share.
+	if r.Intn(4) == 0 {
+		wh.pop.RewriteEdges(ctx, r, 1)
+	}
+	if r.Intn(100) < j.cfg.BlockReplacePercent {
+		wh.pop.ReplaceBlock(ctx, th, r)
+	}
+	// Transaction frame pops: temporaries become garbage.
+	th.Stack = th.Stack[:base]
+	wh.tx++
+	return nil
+}
+
+// Transactions returns the total committed transactions.
+func (j *JBB) Transactions() int64 {
+	var n int64
+	for _, wh := range j.warehouses {
+		n += wh.tx
+	}
+	return n
+}
+
+// CheckIntegrity verifies every warehouse population.
+func (j *JBB) CheckIntegrity() error {
+	if j.Err != nil {
+		return j.Err
+	}
+	for w, wh := range j.warehouses {
+		if !wh.ready {
+			return fmt.Errorf("workload: warehouse %d never initialized", w)
+		}
+		if err := wh.pop.CheckIntegrity(); err != nil {
+			return fmt.Errorf("warehouse %d: %w", w, err)
+		}
+	}
+	return nil
+}
+
+// RetainedBytes returns the steady-state retained size across warehouses.
+func (j *JBB) RetainedBytes() int64 {
+	var n int64
+	for _, wh := range j.warehouses {
+		if wh.pop != nil {
+			n += wh.pop.RetainedBytes()
+		}
+	}
+	return n
+}
+
+// Ready reports whether every warehouse population has been built (the
+// warmup condition for throughput measurement).
+func (j *JBB) Ready() bool {
+	for _, wh := range j.warehouses {
+		if !wh.ready {
+			return false
+		}
+	}
+	return true
+}

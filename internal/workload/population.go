@@ -1,0 +1,244 @@
+// Package workload implements the benchmark applications of the paper's
+// evaluation as simulated mutator programs: a SPECjbb2000-like warehouse
+// transaction workload (JBB), its more tunable pBOB variant with terminals
+// and think times (PBOB), and a javac-like single-threaded compiler
+// workload (Javac). See DESIGN.md for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/machine"
+	"mcgc/internal/mutator"
+)
+
+// Population is a retained object graph shaped like middle-tier business
+// data: a directory object (a large reference array, like a hash table's
+// bucket array) points at blocks; each block is a linked list of nodes
+// allocated consecutively; node data edges point into an immortal leaf pool
+// (shared reference data). Blocks are replaced wholesale — object death is
+// clustered, as it is for real transaction working sets.
+type Population struct {
+	rt *mutator.Runtime
+
+	// The directory and anchor are rooted in fixed slots of the owner's
+	// stack and are always re-read through them: minor collections (the
+	// generational extension) move stack-referenced objects and update
+	// the slots precisely, so cached addresses would go stale. Leaves are
+	// reachable only through the anchor and are likewise re-read per use
+	// (see leaf).
+	anchorSlot  int
+	dirSlot     int
+	built       bool
+	numBlocks   int
+	builtBlocks int
+
+	// dirSlot and anchorSlot are the owning thread's stack slots that
+	// root the structure.
+	owner *mutator.Thread
+}
+
+// Node and pool shape parameters.
+const (
+	popNodeRefs    = 2 // next, leaf edge
+	popNodePayload = 4
+	popBlockNodes  = 64
+	popLeafCount   = 64
+	popLeafPayload = 6
+
+	// nodeMagic seeds the per-node integrity words: payload[1] holds a
+	// per-object creation nonce and payload[0] holds nodeMagic XOR that
+	// nonce. The scheme is stable under a moving collector (incremental
+	// compaction relocates objects, so an address-based stamp would break);
+	// address-reuse detection is covered separately by the shadow-model
+	// harness in internal/core's tests.
+	nodeMagic = 0x6d63676367632502
+)
+
+// stampNonce is the process-wide creation nonce source for integrity
+// stamps. Determinism does not require it to be seeded: checks only compare
+// payload[0] against payload[1].
+var stampNonce uint64
+
+// stamp writes the integrity words of a freshly created object. The object
+// must have at least two payload words.
+func stamp(rt *mutator.Runtime, a heapsim.Addr) {
+	stampNonce++
+	rt.Heap.SetPayload(a, 1, stampNonce)
+	rt.Heap.SetPayload(a, 0, nodeMagic^stampNonce)
+}
+
+// checkStamp verifies an object's integrity words.
+func checkStamp(rt *mutator.Runtime, a heapsim.Addr) bool {
+	return rt.Heap.PayloadAt(a, 0) == nodeMagic^rt.Heap.PayloadAt(a, 1)
+}
+
+// BlockBytes returns the retained bytes one block holds.
+func BlockBytes() int64 {
+	return int64(popBlockNodes*heapsim.ObjectWords(popNodeRefs, popNodePayload)) * heapsim.WordBytes
+}
+
+// NewPopulation prepares a population of roughly retainedBytes, rooted on
+// owner's stack. Construction is incremental: call BuildSome from the
+// owner's machine steps until it reports done, so a multi-megabyte build
+// does not become one unstoppable step (steps are the GC points).
+func NewPopulation(rt *mutator.Runtime, owner *mutator.Thread, retainedBytes int64) *Population {
+	p := &Population{rt: rt, owner: owner}
+	p.numBlocks = int(retainedBytes / BlockBytes())
+	if p.numBlocks < 2 {
+		p.numBlocks = 2
+	}
+	return p
+}
+
+// BuildSome advances construction by up to maxBlocks blocks and reports
+// whether the population is complete. The first call builds the leaf pool,
+// anchor and directory. Any allocation may trigger collection, so
+// construction roots its temporaries on the stack exactly as compiled code
+// would keep them in frames.
+func (p *Population) directory() heapsim.Addr { return p.owner.Stack[p.dirSlot] }
+func (p *Population) anchor() heapsim.Addr    { return p.owner.Stack[p.anchorSlot] }
+
+func (p *Population) BuildSome(ctx *machine.Context, maxBlocks int) bool {
+	owner, rt := p.owner, p.rt
+	if !p.built {
+		// Leaf pool first, rooted on the stack until anchored.
+		base := len(owner.Stack)
+		for i := 0; i < popLeafCount; i++ {
+			l := p.allocNode(ctx, 0, popLeafPayload)
+			owner.Stack = append(owner.Stack, l)
+		}
+		anchor := p.allocNode(ctx, popLeafCount, 2)
+		for i := 0; i < popLeafCount; i++ {
+			rt.SetRef(ctx, anchor, i, owner.Stack[base+i])
+		}
+		owner.Stack = owner.Stack[:base]
+		owner.Stack = append(owner.Stack, anchor)
+		p.anchorSlot = len(owner.Stack) - 1
+
+		dir := rt.Alloc(ctx, owner, p.numBlocks, 2)
+		stamp(rt, dir)
+		owner.Stack = append(owner.Stack, dir)
+		p.dirSlot = len(owner.Stack) - 1
+		p.built = true
+		return false
+	}
+	for i := 0; i < maxBlocks && p.builtBlocks < p.numBlocks; i++ {
+		p.installBlock(ctx, owner, p.builtBlocks)
+		p.builtBlocks++
+	}
+	return p.builtBlocks >= p.numBlocks
+}
+
+// leaf returns leaf i, re-read through the anchor on every use so that a
+// moving collector relocating the leaf pool is always observed.
+func (p *Population) leaf(i int) heapsim.Addr {
+	return p.rt.Heap.RefAt(p.anchor(), i)
+}
+
+// allocNode allocates an object on behalf of the population owner and
+// stamps its integrity word.
+func (p *Population) allocNode(ctx *machine.Context, refs, payload int) heapsim.Addr {
+	a := p.rt.Alloc(ctx, p.owner, refs, payload)
+	stamp(p.rt, a)
+	return a
+}
+
+// installBlock builds a fresh block on behalf of th and installs it in
+// directory slot b; the previous block (if any) becomes garbage.
+func (p *Population) installBlock(ctx *machine.Context, th *mutator.Thread, b int) {
+	// Root the under-construction list on th's stack, and always re-read
+	// through the slot: a minor collection during any of the allocations
+	// below may move the list head and update the slot precisely.
+	th.Stack = append(th.Stack, heapsim.Nil)
+	slot := len(th.Stack) - 1
+	r := uint64(b)
+	for i := 0; i < popBlockNodes; i++ {
+		n := p.rt.Alloc(ctx, th, popNodeRefs, popNodePayload)
+		stamp(p.rt, n)
+		p.rt.SetRef(ctx, n, 0, th.Stack[slot])
+		r = r*6364136223846793005 + 1442695040888963407
+		p.rt.SetRef(ctx, n, 1, p.leaf(int(r>>33)%popLeafCount))
+		th.Stack[slot] = n
+	}
+	p.rt.SetRef(ctx, p.directory(), b, th.Stack[slot])
+	th.Stack = th.Stack[:slot]
+}
+
+// ReplaceBlock rebuilds a random block on behalf of th (any terminal
+// thread). The old block becomes clustered garbage.
+func (p *Population) ReplaceBlock(ctx *machine.Context, th *mutator.Thread, r *rand.Rand) {
+	p.installBlock(ctx, th, r.Intn(p.numBlocks))
+}
+
+// RewriteEdges flips n leaf edges in random block heads: pure write-barrier
+// traffic with no allocation.
+func (p *Population) RewriteEdges(ctx *machine.Context, r *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		head := p.rt.Heap.RefAt(p.directory(), r.Intn(p.numBlocks))
+		if head == heapsim.Nil {
+			continue
+		}
+		p.rt.SetRef(ctx, head, 1, p.leaf(r.Intn(popLeafCount)))
+	}
+}
+
+// ReadBlock walks one block, verifying link integrity as it goes. It
+// models the read-mostly part of a transaction and doubles as a liveness
+// check: a collected-but-reachable node fails the magic test.
+func (p *Population) ReadBlock(ctx *machine.Context, r *rand.Rand) error {
+	b := r.Intn(p.numBlocks)
+	n := p.rt.Heap.RefAt(p.directory(), b)
+	count := 0
+	for n != heapsim.Nil {
+		if !checkStamp(p.rt, n) {
+			return fmt.Errorf("workload: block %d node %d failed integrity", b, n)
+		}
+		n = p.rt.Heap.RefAt(n, 0)
+		count++
+		if count > popBlockNodes {
+			return fmt.Errorf("workload: block %d list longer than built (%d)", b, count)
+		}
+	}
+	if count != popBlockNodes {
+		return fmt.Errorf("workload: block %d has %d nodes, want %d", b, count, popBlockNodes)
+	}
+	return nil
+}
+
+// CheckIntegrity verifies the whole population: every block reachable,
+// every node intact, every leaf intact.
+func (p *Population) CheckIntegrity() error {
+	h := p.rt.Heap
+	if !checkStamp(p.rt, p.directory()) {
+		return fmt.Errorf("workload: directory failed integrity")
+	}
+	for b := 0; b < p.numBlocks; b++ {
+		n := h.RefAt(p.directory(), b)
+		count := 0
+		for n != heapsim.Nil {
+			if !checkStamp(p.rt, n) {
+				return fmt.Errorf("workload: block %d node %d corrupt", b, n)
+			}
+			leaf := h.RefAt(n, 1)
+			if leaf != heapsim.Nil && !checkStamp(p.rt, leaf) {
+				return fmt.Errorf("workload: leaf %d corrupt", leaf)
+			}
+			n = h.RefAt(n, 0)
+			count++
+		}
+		if count != popBlockNodes {
+			return fmt.Errorf("workload: block %d has %d nodes, want %d", b, count, popBlockNodes)
+		}
+	}
+	return nil
+}
+
+// RetainedBytes returns the steady-state retained size of the population.
+func (p *Population) RetainedBytes() int64 {
+	return int64(p.numBlocks)*BlockBytes() +
+		int64(heapsim.ObjectWords(p.numBlocks, 1))*heapsim.WordBytes +
+		int64(popLeafCount*heapsim.ObjectWords(0, popLeafPayload))*heapsim.WordBytes
+}

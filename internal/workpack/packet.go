@@ -1,0 +1,137 @@
+// Package workpack implements the work packet load-balancing mechanism of
+// Section 4 of the paper: fixed-capacity packets of grey references,
+// organised in a global pool of occupancy-ranged sub-pools accessed with
+// lock-free versioned-head lists.
+//
+// The mechanism's three key points, all implemented here:
+//
+//  1. a tracing thread's input is separated from its output and threads
+//     compete for input, which yields load balancing by construction;
+//  2. synchronization is a single compare-and-swap per get/put (the ABA
+//     problem is avoided with a version tag in the list head, following
+//     the paper's reference to z/Architecture appendix A);
+//  3. the sub-pool packet counters identify the global tracing state —
+//     termination is detected when the empty sub-pool holds every packet.
+//
+// The package is safe for real concurrent use and is exercised by
+// goroutine stress tests; under the machine simulator its atomics are
+// uncontended and cheap.
+package workpack
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mcgc/internal/heapsim"
+)
+
+// DefaultCapacity is the per-packet entry capacity used in the paper's
+// evaluation ("each packet holds up to 493 entries").
+const DefaultCapacity = 493
+
+// Packet is a small bounded stack of grey object references. A packet is
+// owned by at most one thread at a time; only its owner may push or pop.
+// Ownership transfers through the Pool.
+type Packet struct {
+	id   int32
+	next atomic.Int32 // sub-pool list link: packet index, or -1
+
+	n       int
+	entries []heapsim.Addr
+
+	pool *Pool
+}
+
+// ID returns the packet's index within its pool.
+func (p *Packet) ID() int32 { return p.id }
+
+// Len returns the number of entries in the packet.
+func (p *Packet) Len() int { return p.n }
+
+// Cap returns the packet's capacity.
+func (p *Packet) Cap() int { return cap(p.entries) }
+
+// Empty reports whether the packet holds no entries.
+func (p *Packet) Empty() bool { return p.n == 0 }
+
+// Full reports whether the packet is at capacity.
+func (p *Packet) Full() bool { return p.n == cap(p.entries) }
+
+// Push appends a reference; it reports false when the packet is full.
+func (p *Packet) Push(a heapsim.Addr) bool {
+	if p.n == cap(p.entries) {
+		return false
+	}
+	p.entries = p.entries[:p.n+1]
+	p.entries[p.n] = a
+	p.n++
+	p.pool.noteEntries(1)
+	return true
+}
+
+// Pop removes and returns the most recently pushed reference.
+func (p *Packet) Pop() (heapsim.Addr, bool) {
+	if p.n == 0 {
+		return heapsim.Nil, false
+	}
+	p.n--
+	a := p.entries[p.n]
+	p.entries = p.entries[:p.n]
+	p.pool.noteEntries(-1)
+	return a, true
+}
+
+// Peek returns the entry that the next Pop will yield without removing it.
+// Work packets make the next object to trace known in advance, which the
+// paper exploits for prefetching; Peek models that property.
+func (p *Packet) Peek() (heapsim.Addr, bool) {
+	if p.n == 0 {
+		return heapsim.Nil, false
+	}
+	return p.entries[p.n-1], true
+}
+
+// Entries exposes the live entries for read-only iteration (the Section 5.2
+// allocation-bit pre-scan walks a whole input packet before popping).
+func (p *Packet) Entries() []heapsim.Addr { return p.entries[:p.n] }
+
+// SubPool identifies one of the pool's occupancy-ranged sub-pools.
+type SubPool int
+
+// The sub-pools of Section 4.2, plus the Deferred pool of Section 5.2 that
+// holds packets of objects whose allocation bits were not yet visible.
+const (
+	Empty      SubPool = iota // no entries
+	Nonempty                  // under half full
+	AlmostFull                // at least half full, including totally full
+	Deferred                  // deferred "unsafe" objects (weak ordering protocol)
+	numSubPools
+)
+
+// String returns the sub-pool's name.
+func (s SubPool) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case Nonempty:
+		return "non-empty"
+	case AlmostFull:
+		return "almost-full"
+	case Deferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("subpool(%d)", int(s))
+	}
+}
+
+// classify returns the sub-pool a packet belongs in by occupancy.
+func classify(p *Packet) SubPool {
+	switch {
+	case p.n == 0:
+		return Empty
+	case p.n*2 < cap(p.entries):
+		return Nonempty
+	default:
+		return AlmostFull
+	}
+}

@@ -1,0 +1,250 @@
+package workpack
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mcgc/internal/heapsim"
+)
+
+// PoolStats counts the synchronization and space costs the paper evaluates
+// in Sections 6.3 (Table 4 and the watermark measurements).
+type PoolStats struct {
+	CASAttempts   atomic.Int64 // compare-and-swap operations, including retries
+	Gets          atomic.Int64 // successful pops from any sub-pool
+	Puts          atomic.Int64 // pushes to any sub-pool
+	ReturnFences  atomic.Int64 // fences before returning a non-empty packet (Section 5.1)
+	MaxInUse      atomic.Int64 // high-water mark of packets held by threads
+	MaxSlotsInUse atomic.Int64 // high-water mark of occupied entries across all packets
+	entriesInUse  atomic.Int64
+}
+
+// subPool is a lock-free LIFO of packets. The head word packs a 32-bit
+// version tag (ABA avoidance) with a 32-bit packet index biased by one so
+// that zero means "empty list with version 0".
+type subPool struct {
+	head  atomic.Uint64
+	count atomic.Int64
+	_     [6]int64 // keep the hot words of adjacent sub-pools apart
+}
+
+func packHead(version uint32, idx int32) uint64 {
+	return uint64(version)<<32 | uint64(uint32(idx+1))
+}
+
+func unpackHead(h uint64) (version uint32, idx int32) {
+	return uint32(h >> 32), int32(uint32(h)) - 1
+}
+
+// Pool is the global shared pool of work packets, divided into sub-pools by
+// occupancy range. All methods are safe for concurrent use.
+type Pool struct {
+	packets []Packet
+	sub     [numSubPools]subPool
+	total   int
+
+	Stats PoolStats
+}
+
+// NewPool creates a pool of n packets with the given per-packet capacity
+// (DefaultCapacity if capacity is zero). All packets start in the Empty
+// sub-pool.
+func NewPool(n, capacity int) *Pool {
+	if n <= 0 {
+		panic(fmt.Sprintf("workpack: pool needs at least one packet, got %d", n))
+	}
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity < 1 {
+		panic(fmt.Sprintf("workpack: bad packet capacity %d", capacity))
+	}
+	p := &Pool{packets: make([]Packet, n), total: n}
+	for i := range p.packets {
+		pkt := &p.packets[i]
+		pkt.id = int32(i)
+		pkt.entries = make([]heapsim.Addr, 0, capacity)
+		pkt.pool = p
+		p.pushTo(Empty, pkt)
+	}
+	return p
+}
+
+// TotalPackets returns the number of packets the pool was created with.
+func (p *Pool) TotalPackets() int { return p.total }
+
+// Capacity returns the per-packet capacity.
+func (p *Pool) Capacity() int { return cap(p.packets[0].entries) }
+
+// Count returns the (racy but monotonic-per-op) packet count of a sub-pool.
+// Per Section 4.3 the counter is an estimate at any instant but exact when
+// the system is quiescent.
+func (p *Pool) Count(s SubPool) int { return int(p.sub[s].count.Load()) }
+
+// pushTo links a packet onto a sub-pool with a versioned-head CAS.
+func (p *Pool) pushTo(s SubPool, pkt *Packet) {
+	sp := &p.sub[s]
+	for {
+		old := sp.head.Load()
+		ver, idx := unpackHead(old)
+		pkt.next.Store(idx)
+		p.Stats.CASAttempts.Add(1)
+		if sp.head.CompareAndSwap(old, packHead(ver+1, pkt.id)) {
+			sp.count.Add(1)
+			return
+		}
+	}
+}
+
+// popFrom unlinks a packet from a sub-pool, or returns nil if it is empty.
+func (p *Pool) popFrom(s SubPool) *Packet {
+	sp := &p.sub[s]
+	for {
+		old := sp.head.Load()
+		ver, idx := unpackHead(old)
+		if idx < 0 {
+			return nil
+		}
+		pkt := &p.packets[idx]
+		next := pkt.next.Load()
+		p.Stats.CASAttempts.Add(1)
+		if sp.head.CompareAndSwap(old, packHead(ver+1, next)) {
+			sp.count.Add(-1)
+			return pkt
+		}
+	}
+}
+
+// GetInput obtains a packet to trace from: the highest-occupancy sub-pool
+// that has one (Section 4.2). It returns nil when no tracing work is
+// available in the pool.
+func (p *Pool) GetInput() *Packet {
+	for _, s := range [...]SubPool{AlmostFull, Nonempty} {
+		if pkt := p.popFrom(s); pkt != nil {
+			p.Stats.Gets.Add(1)
+			p.noteUsage()
+			return pkt
+		}
+	}
+	return nil
+}
+
+// GetOutput obtains a packet to push new work into: the lowest-occupancy
+// sub-pool that has one. It returns nil only when every packet is checked
+// out or deferred.
+func (p *Pool) GetOutput() *Packet {
+	for _, s := range [...]SubPool{Empty, Nonempty, AlmostFull} {
+		if pkt := p.popFrom(s); pkt != nil {
+			p.Stats.Gets.Add(1)
+			p.noteUsage()
+			return pkt
+		}
+	}
+	return nil
+}
+
+// GetEmpty obtains a packet from the Empty sub-pool only.
+func (p *Pool) GetEmpty() *Packet {
+	if pkt := p.popFrom(Empty); pkt != nil {
+		p.Stats.Gets.Add(1)
+		p.noteUsage()
+		return pkt
+	}
+	return nil
+}
+
+// Put returns a packet to the sub-pool matching its occupancy. Returning a
+// non-empty packet publishes its entries to other processors, so it is
+// preceded by one fence for the whole group of objects (Section 5.1) —
+// counted in Stats.ReturnFences. The thread that later gets the packet
+// needs no fence: the load of the packet pointer and the loads of its
+// entries are data-dependent.
+func (p *Pool) Put(pkt *Packet) {
+	p.putTo(classify(pkt), pkt)
+}
+
+// PutDeferred returns a packet holding deferred "unsafe" objects to the
+// Deferred sub-pool (Section 5.2).
+func (p *Pool) PutDeferred(pkt *Packet) {
+	if pkt.Empty() {
+		p.putTo(Empty, pkt)
+		return
+	}
+	p.putTo(Deferred, pkt)
+}
+
+func (p *Pool) putTo(s SubPool, pkt *Packet) {
+	if pkt.pool != p {
+		panic("workpack: packet returned to a foreign pool")
+	}
+	if !pkt.Empty() {
+		p.Stats.ReturnFences.Add(1)
+	}
+	p.Stats.Puts.Add(1)
+	p.pushTo(s, pkt)
+}
+
+// DrainDeferred moves every packet currently in the Deferred sub-pool back
+// into the regular sub-pools, giving its objects another chance to be
+// traced ("periodically, we return all packets in the Deferred Pool to the
+// other sub-pools"). It returns the number of packets moved.
+func (p *Pool) DrainDeferred() int {
+	n := 0
+	for {
+		pkt := p.popFrom(Deferred)
+		if pkt == nil {
+			return n
+		}
+		p.pushTo(classify(pkt), pkt)
+		n++
+	}
+}
+
+// DeferredEmpty reports whether the Deferred sub-pool holds no packets.
+func (p *Pool) DeferredEmpty() bool { return p.sub[Deferred].count.Load() == 0 }
+
+// TracingDone implements the Section 4.3 termination test: tracing work is
+// complete when the Empty sub-pool's counter equals the total number of
+// packets. Threads in the middle of getting an empty packet cannot find
+// objects to trace, so the test is safe given the get-before-return
+// replacement discipline that Tracer enforces.
+func (p *Pool) TracingDone() bool {
+	return p.sub[Empty].count.Load() == int64(p.total)
+}
+
+// HasTracingWork reports whether any non-empty packet is available in the
+// regular sub-pools (it ignores Deferred).
+func (p *Pool) HasTracingWork() bool {
+	return p.sub[Nonempty].count.Load() > 0 || p.sub[AlmostFull].count.Load() > 0
+}
+
+// noteUsage updates the "packets in use" high-water mark. Following the
+// paper's upper-bound watermark, a packet counts as in use when it is
+// checked out by a thread or holds entries — i.e. everything outside the
+// Empty sub-pool.
+func (p *Pool) noteUsage() {
+	inUse := int64(p.total) - p.sub[Empty].count.Load()
+	atomicMax(&p.Stats.MaxInUse, inUse)
+}
+
+// noteEntries tracks the global occupied-slot count for the Section 6.3
+// watermark measurement.
+func (p *Pool) noteEntries(delta int64) {
+	v := p.Stats.entriesInUse.Add(delta)
+	if delta > 0 {
+		atomicMax(&p.Stats.MaxSlotsInUse, v)
+	}
+}
+
+// EntriesInUse returns the current number of occupied slots across all
+// packets.
+func (p *Pool) EntriesInUse() int64 { return p.Stats.entriesInUse.Load() }
+
+func atomicMax(m *atomic.Int64, v int64) {
+	for {
+		old := m.Load()
+		if v <= old || m.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package workpack
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mcgc/internal/heapsim"
+)
+
+func TestPacketPushPop(t *testing.T) {
+	p := NewPool(4, 8)
+	pkt := p.GetEmpty()
+	if pkt == nil {
+		t.Fatal("GetEmpty failed on fresh pool")
+	}
+	for i := 1; i <= 8; i++ {
+		if !pkt.Push(heapsim.Addr(i)) {
+			t.Fatalf("Push %d failed", i)
+		}
+	}
+	if pkt.Push(9) {
+		t.Fatal("Push succeeded on full packet")
+	}
+	if !pkt.Full() || pkt.Len() != 8 {
+		t.Fatalf("Full=%v Len=%d", pkt.Full(), pkt.Len())
+	}
+	if a, ok := pkt.Peek(); !ok || a != 8 {
+		t.Fatalf("Peek = %d,%v", a, ok)
+	}
+	for i := 8; i >= 1; i-- {
+		a, ok := pkt.Pop()
+		if !ok || a != heapsim.Addr(i) {
+			t.Fatalf("Pop = %d,%v, want %d (LIFO)", a, ok, i)
+		}
+	}
+	if _, ok := pkt.Pop(); ok {
+		t.Fatal("Pop succeeded on empty packet")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := NewPool(1, 10)
+	pkt := p.GetEmpty()
+	if got := classify(pkt); got != Empty {
+		t.Fatalf("classify(empty) = %v", got)
+	}
+	pkt.Push(1)
+	if got := classify(pkt); got != Nonempty {
+		t.Fatalf("classify(1/10) = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		pkt.Push(1)
+	}
+	if got := classify(pkt); got != AlmostFull { // 5/10 is at least half
+		t.Fatalf("classify(5/10) = %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		pkt.Push(1)
+	}
+	if got := classify(pkt); got != AlmostFull {
+		t.Fatalf("classify(full) = %v", got)
+	}
+}
+
+func TestPoolRouting(t *testing.T) {
+	p := NewPool(3, 10)
+	a, b, c := p.GetEmpty(), p.GetEmpty(), p.GetEmpty()
+	for i := 0; i < 8; i++ {
+		a.Push(1) // almost full
+	}
+	b.Push(1) // non-empty
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // empty
+	if p.Count(Empty) != 1 || p.Count(Nonempty) != 1 || p.Count(AlmostFull) != 1 {
+		t.Fatalf("counts = %d/%d/%d", p.Count(Empty), p.Count(Nonempty), p.Count(AlmostFull))
+	}
+	// Input prefers the fullest; output prefers the emptiest.
+	in := p.GetInput()
+	if in != a {
+		t.Fatalf("GetInput returned %v, want the almost-full packet", in.ID())
+	}
+	out := p.GetOutput()
+	if out != c {
+		t.Fatalf("GetOutput returned %v, want the empty packet", out.ID())
+	}
+}
+
+func TestTracingDone(t *testing.T) {
+	p := NewPool(4, 8)
+	if !p.TracingDone() {
+		t.Fatal("fresh pool should report tracing done")
+	}
+	pkt := p.GetEmpty()
+	if p.TracingDone() {
+		t.Fatal("tracing done while a packet is checked out")
+	}
+	pkt.Push(7)
+	p.Put(pkt)
+	if p.TracingDone() {
+		t.Fatal("tracing done with a non-empty packet pooled")
+	}
+	in := p.GetInput()
+	in.Pop()
+	p.Put(in)
+	if !p.TracingDone() {
+		t.Fatal("tracing not done after all packets returned empty")
+	}
+}
+
+func TestDeferredPool(t *testing.T) {
+	p := NewPool(4, 8)
+	pkt := p.GetEmpty()
+	pkt.Push(42)
+	p.PutDeferred(pkt)
+	if p.DeferredEmpty() {
+		t.Fatal("deferred pool empty after PutDeferred")
+	}
+	if p.HasTracingWork() {
+		t.Fatal("deferred work must not count as tracing work")
+	}
+	if p.TracingDone() {
+		t.Fatal("tracing done with deferred work outstanding")
+	}
+	if n := p.DrainDeferred(); n != 1 {
+		t.Fatalf("DrainDeferred = %d, want 1", n)
+	}
+	if !p.HasTracingWork() {
+		t.Fatal("drained packet not recirculated")
+	}
+	// An empty packet put via PutDeferred goes to the Empty pool.
+	e := p.GetEmpty()
+	p.PutDeferred(e)
+	if p.Count(Deferred) != 0 {
+		t.Fatal("empty packet filed under Deferred")
+	}
+}
+
+func TestReturnFenceAccounting(t *testing.T) {
+	p := NewPool(2, 8)
+	pkt := p.GetEmpty()
+	p.Put(pkt) // empty: no fence
+	if got := p.Stats.ReturnFences.Load(); got != 0 {
+		t.Fatalf("fences after empty put = %d", got)
+	}
+	pkt = p.GetEmpty()
+	pkt.Push(1)
+	pkt.Push(2)
+	p.Put(pkt) // one fence for the whole group
+	if got := p.Stats.ReturnFences.Load(); got != 1 {
+		t.Fatalf("fences after non-empty put = %d, want 1", got)
+	}
+}
+
+func TestWatermarks(t *testing.T) {
+	p := NewPool(4, 8)
+	a := p.GetEmpty()
+	b := p.GetEmpty()
+	if got := p.Stats.MaxInUse.Load(); got != 2 {
+		t.Fatalf("MaxInUse = %d, want 2", got)
+	}
+	a.Push(1)
+	a.Push(2)
+	b.Push(3)
+	if got := p.Stats.MaxSlotsInUse.Load(); got != 3 {
+		t.Fatalf("MaxSlotsInUse = %d, want 3", got)
+	}
+	a.Pop()
+	a.Pop()
+	b.Pop()
+	if got := p.EntriesInUse(); got != 0 {
+		t.Fatalf("EntriesInUse = %d, want 0", got)
+	}
+	if got := p.Stats.MaxSlotsInUse.Load(); got != 3 {
+		t.Fatalf("watermark regressed to %d", got)
+	}
+}
+
+func TestHeadPacking(t *testing.T) {
+	for _, tc := range []struct {
+		ver uint32
+		idx int32
+	}{{0, -1}, {0, 0}, {7, 12345}, {^uint32(0), 1 << 30}} {
+		h := packHead(tc.ver, tc.idx)
+		ver, idx := unpackHead(h)
+		if ver != tc.ver || idx != tc.idx {
+			t.Fatalf("pack/unpack(%d,%d) = (%d,%d)", tc.ver, tc.idx, ver, idx)
+		}
+	}
+}
+
+// Packet conservation: after any storm of concurrent gets and puts, every
+// packet is back in exactly one sub-pool and none is duplicated or lost.
+func TestConcurrentPacketConservation(t *testing.T) {
+	const (
+		packets = 32
+		workers = 8
+		rounds  = 2000
+	)
+	p := NewPool(packets, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var pkt *Packet
+				switch (seed + r) % 3 {
+				case 0:
+					pkt = p.GetEmpty()
+				case 1:
+					pkt = p.GetOutput()
+				default:
+					pkt = p.GetInput()
+				}
+				if pkt == nil {
+					continue
+				}
+				// Mutate while held: only the owner touches entries.
+				if !pkt.Full() {
+					pkt.Push(heapsim.Addr(seed + 1))
+				}
+				if (seed+r)%2 == 0 {
+					pkt.Pop()
+				}
+				p.Put(pkt)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for s := SubPool(0); s < numSubPools; s++ {
+		total += p.Count(s)
+	}
+	if total != packets {
+		t.Fatalf("sub-pool counts sum to %d, want %d", total, packets)
+	}
+	// Walk the lists and verify each packet appears exactly once.
+	seen := make(map[int32]bool)
+	n := 0
+	for s := SubPool(0); s < numSubPools; s++ {
+		for pkt := p.popFrom(s); pkt != nil; pkt = p.popFrom(s) {
+			if seen[pkt.id] {
+				t.Fatalf("packet %d linked twice", pkt.id)
+			}
+			seen[pkt.id] = true
+			n++
+		}
+	}
+	if n != packets {
+		t.Fatalf("walked %d packets, want %d", n, packets)
+	}
+}
+
+// Entries survive a concurrent producer/consumer handoff intact: whatever
+// producers push is exactly what consumers pop, across packet transfers.
+func TestConcurrentHandoffIntegrity(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 5000
+	)
+	p := NewPool(64, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := NewTracer(p)
+			for i := 0; i < perProd; i++ {
+				v := heapsim.Addr(w*perProd + i + 1)
+				for !tr.Push(v) {
+					// Pool exhausted by backlog; release our buffered
+					// work so the consumers can drain it, then retry.
+					tr.Release()
+					runtime.Gosched()
+				}
+			}
+			tr.Release()
+		}(w)
+	}
+	var mu sync.Mutex
+	got := make(map[heapsim.Addr]int)
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			tr := NewTracer(p)
+			local := make(map[heapsim.Addr]int)
+			for {
+				a, ok := tr.Pop()
+				if !ok {
+					tr.Release()
+					select {
+					case <-done:
+						mu.Lock()
+						for k, v := range local {
+							got[k] += v
+						}
+						mu.Unlock()
+						return
+					default:
+						continue
+					}
+				}
+				local[a]++
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	// Drain anything left in the pool single-threaded.
+	tr := NewTracer(p)
+	for {
+		a, ok := tr.Pop()
+		if !ok {
+			break
+		}
+		got[a]++
+	}
+	tr.Release()
+	want := producers * perProd
+	if len(got) != want {
+		t.Fatalf("received %d distinct values, want %d", len(got), want)
+	}
+	for k, v := range got {
+		if v != 1 {
+			t.Fatalf("value %d received %d times", k, v)
+		}
+	}
+	if !p.TracingDone() {
+		t.Fatal("pool not quiescent after full drain")
+	}
+}
+
+// Property: for any sequence of pushes through a Tracer, popping yields a
+// permutation of the pushed values plus overflow fallbacks.
+func TestQuickTracerNoLoss(t *testing.T) {
+	f := func(vals []uint16) bool {
+		p := NewPool(8, 4)
+		tr := NewTracer(p)
+		pushed := make(map[heapsim.Addr]int)
+		overflowed := 0
+		for _, v := range vals {
+			a := heapsim.Addr(v) + 1
+			if tr.Push(a) {
+				pushed[a]++
+			} else {
+				overflowed++
+			}
+		}
+		// Drain fully: a failed Pop may leave work buffered in the
+		// tracer's own output packet, so release and retry until the
+		// pool is quiescent — the same quit-and-reacquire dance real
+		// tracing threads do.
+		for {
+			a, ok := tr.Pop()
+			if !ok {
+				tr.Release()
+				if p.TracingDone() {
+					break
+				}
+				continue
+			}
+			if pushed[a] == 0 {
+				return false
+			}
+			pushed[a]--
+		}
+		for _, n := range pushed {
+			if n != 0 {
+				return false
+			}
+		}
+		return p.TracingDone()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSwapException(t *testing.T) {
+	// With a tiny pool the tracer must fall back to swapping roles and
+	// finally to overflow.
+	p := NewPool(2, 2)
+	tr := NewTracer(p)
+	if !tr.Push(1) || !tr.Push(2) { // fills output
+		t.Fatal("initial pushes failed")
+	}
+	// Third push: replacement output available (second packet).
+	if !tr.Push(3) {
+		t.Fatal("push with replacement failed")
+	}
+	if !tr.Push(4) {
+		t.Fatal("push 4 failed")
+	}
+	// Both packets now out of the pool: one full returned, one held full.
+	// Pool holds the full one; GetOutput returns it, tracer puts it back,
+	// then swap is impossible (no input) -> overflow.
+	if tr.Push(5) {
+		t.Fatal("push 5 should overflow")
+	}
+	if tr.Overflows != 1 {
+		t.Fatalf("Overflows = %d, want 1", tr.Overflows)
+	}
+	// Popping creates input space; a push that finds the output full can
+	// now swap into the input.
+	if a, ok := tr.Pop(); !ok || a == 0 {
+		t.Fatal("pop failed")
+	}
+	if !tr.Push(6) {
+		t.Fatal("push after pop failed")
+	}
+	if tr.Swaps == 0 {
+		t.Fatal("expected a swap to have occurred")
+	}
+	tr.Release()
+}
+
+func TestTracerDeferred(t *testing.T) {
+	p := NewPool(4, 2)
+	tr := NewTracer(p)
+	if !tr.PushDeferred(11) || !tr.PushDeferred(12) || !tr.PushDeferred(13) {
+		t.Fatal("deferred pushes failed")
+	}
+	tr.Release()
+	if p.Count(Deferred) != 2 {
+		t.Fatalf("Deferred count = %d, want 2", p.Count(Deferred))
+	}
+	if p.DrainDeferred() != 2 {
+		t.Fatal("drain count wrong")
+	}
+	seen := 0
+	tr2 := NewTracer(p)
+	for {
+		_, ok := tr2.Pop()
+		if !ok {
+			break
+		}
+		seen++
+	}
+	tr2.Release()
+	if seen != 3 {
+		t.Fatalf("recirculated %d deferred entries, want 3", seen)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPool(0, 8) },
+		func() { NewPool(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	p := NewPool(2, 0)
+	if p.Capacity() != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", p.Capacity(), DefaultCapacity)
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := NewPool(64, 32)
+	for i := 0; i < b.N; i++ {
+		pkt := p.GetOutput()
+		pkt.Push(1)
+		p.Put(pkt)
+		in := p.GetInput()
+		in.Pop()
+		p.Put(in)
+	}
+}
+
+func BenchmarkPoolContended(b *testing.B) {
+	p := NewPool(256, 32)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			pkt := p.GetOutput()
+			if pkt == nil {
+				continue
+			}
+			if !pkt.Full() {
+				pkt.Push(1)
+			}
+			p.Put(pkt)
+		}
+	})
+}

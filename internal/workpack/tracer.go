@@ -1,0 +1,152 @@
+package workpack
+
+import "mcgc/internal/heapsim"
+
+// Tracer enforces the per-thread work packet discipline of Sections 4.1 and
+// 4.3: pops come only from the input packet, pushes go only to the output
+// packet, replacement always gets the new packet before returning the old
+// one (so termination detection never observes a transient all-empty
+// state), and a full-output/full-input condition degrades to the overflow
+// fallback instead of blocking.
+//
+// A Tracer belongs to a single thread. Mutators create one per tracing
+// increment (or keep one per thread and Release between increments);
+// background threads keep one for as long as they trace.
+type Tracer struct {
+	pool *Pool
+
+	in  *Packet // pops only
+	out *Packet // pushes only
+	def *Packet // deferred "unsafe" objects (Section 5.2), pushes only
+
+	// Overflows counts pushes that failed because both packets were full
+	// and the pool had no usable output; the caller treats each by marking
+	// the object and dirtying its card (Section 4.3).
+	Overflows int64
+	// Swaps counts input/output role swaps (the one exception to the
+	// no-swap rule).
+	Swaps int64
+}
+
+// NewTracer returns a tracer drawing packets from pool. It acquires nothing
+// until work demands it.
+func NewTracer(pool *Pool) *Tracer { return &Tracer{pool: pool} }
+
+// Pool returns the pool this tracer draws from.
+func (t *Tracer) Pool() *Pool { return t.pool }
+
+// HoldsPackets reports whether the tracer currently owns any packet.
+func (t *Tracer) HoldsPackets() bool { return t.in != nil || t.out != nil || t.def != nil }
+
+// Input exposes the current input packet (may be nil); the Section 5.2
+// allocation-bit pre-scan reads it wholesale before popping.
+func (t *Tracer) Input() *Packet { return t.in }
+
+// Pop returns the next reference to trace. It replaces an exhausted input
+// packet by first getting a new non-empty packet and only then returning
+// the old empty one. It reports false when the pool has no tracing work;
+// the caller then does other concurrent tasks (card cleaning), quits, or
+// yields (Section 4.3).
+func (t *Tracer) Pop() (heapsim.Addr, bool) {
+	for {
+		if t.in == nil {
+			t.in = t.pool.GetInput()
+			if t.in == nil {
+				return heapsim.Nil, false
+			}
+		}
+		if a, ok := t.in.Pop(); ok {
+			return a, true
+		}
+		// Input exhausted: get-new-before-return-old.
+		np := t.pool.GetInput()
+		if np == nil {
+			// Keep the empty input; if the output has work we may swap
+			// into it on the caller's next attempt, and Release will
+			// return it.
+			return heapsim.Nil, false
+		}
+		t.pool.Put(t.in)
+		t.in = np
+	}
+}
+
+// Push records a newly marked reference for later tracing. It reports false
+// on overflow — both packets full and no usable pool packet — in which case
+// the caller must dirty the object's card so the card-cleaning pass retraces
+// it.
+func (t *Tracer) Push(a heapsim.Addr) bool {
+	if t.out == nil {
+		t.out = t.pool.GetOutput()
+		if t.out == nil {
+			return t.pushBySwap(a)
+		}
+	}
+	if t.out.Push(a) {
+		return true
+	}
+	// Output full: get a replacement first, then return the full one.
+	if np := t.pool.GetOutput(); np != nil {
+		if !np.Full() {
+			t.pool.Put(t.out)
+			t.out = np
+			return t.out.Push(a)
+		}
+		// The pool could only offer another full packet; give it back.
+		t.pool.Put(np)
+	}
+	return t.pushBySwap(a)
+}
+
+// pushBySwap tries the input/output swap exception; failing that it records
+// an overflow.
+func (t *Tracer) pushBySwap(a heapsim.Addr) bool {
+	if t.in != nil && !t.in.Full() {
+		// After the swap the new output is the old (non-full) input, so
+		// this push always succeeds.
+		t.in, t.out = t.out, t.in
+		t.Swaps++
+		return t.out.Push(a)
+	}
+	t.Overflows++
+	return false
+}
+
+// PushDeferred stores a reference whose object's allocation bit was not yet
+// visible (Section 5.2). Deferred entries collect in a dedicated packet that
+// Release files into the Deferred sub-pool; DrainDeferred later recirculates
+// them.
+func (t *Tracer) PushDeferred(a heapsim.Addr) bool {
+	if t.def != nil && t.def.Full() {
+		np := t.pool.GetEmpty()
+		if np != nil {
+			t.pool.PutDeferred(t.def)
+			t.def = np
+		}
+	}
+	if t.def == nil {
+		t.def = t.pool.GetEmpty()
+		if t.def == nil {
+			return false
+		}
+	}
+	return t.def.Push(a)
+}
+
+// Release returns every held packet to the pool. Mutators call it at the
+// end of each tracing increment so their buffered work becomes available to
+// the other threads competing for input.
+func (t *Tracer) Release() {
+	if t.in != nil {
+		t.pool.Put(t.in)
+		t.in = nil
+	}
+	if t.out != nil {
+		t.pool.Put(t.out)
+		t.out = nil
+	}
+	if t.def != nil {
+		t.pool.PutDeferred(t.def)
+		t.def = nil
+	}
+}

@@ -1,0 +1,37 @@
+# Developer/CI entry points. `make ci` is the gate: vet, build, full test
+# suite, race detector on the concurrency-stressed packages, then a
+# quick-scale parallel run of the experiment suite as a runner smoke test.
+
+GO ?= go
+
+# Packages with real goroutine concurrency (lock-free packet pool, the
+# weak-memory checker, the parallel experiment runner) or that drive it.
+RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core
+
+.PHONY: ci vet build test race smoke bench fmt
+
+ci: vet build test race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Exercise the parallel harness end to end: a few experiments at quick
+# scale with 4 workers, emitting the JSON telemetry to a throwaway file.
+smoke:
+	$(GO) run ./cmd/gcbench -exp fig1,javac,packets -scale quick -j 4 -json /tmp/gcbench-smoke.json
+	@rm -f /tmp/gcbench-smoke.json
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"

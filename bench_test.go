@@ -14,7 +14,7 @@ import (
 
 func BenchmarkFig1SPECjbbPauses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig1(experiments.QuickScale(), 4)
+		rows := experiments.Fig1(nil, experiments.QuickScale(), 4)
 		last := rows[len(rows)-1]
 		b.ReportMetric(last.STWAvgMs, "ms-stw-avg-pause")
 		b.ReportMetric(last.CGCAvgMs, "ms-cgc-avg-pause")
@@ -27,7 +27,7 @@ func BenchmarkFig1SPECjbbPauses(b *testing.B) {
 
 func BenchmarkFig2PBOBPauses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig2(experiments.QuickScale(), 8, 16, 8)
+		rows := experiments.Fig2(nil, experiments.QuickScale(), 8, 16, 8)
 		last := rows[len(rows)-1]
 		b.ReportMetric(last.STWAvgMs, "ms-stw-avg-pause")
 		b.ReportMetric(last.CGCAvgMs, "ms-cgc-avg-pause")
@@ -37,7 +37,7 @@ func BenchmarkFig2PBOBPauses(b *testing.B) {
 
 func BenchmarkTable1TracingRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		rs := experiments.TracingRates(nil, experiments.QuickScale(), []float64{1, 8}, 4)
 		tr1, tr8 := rs[1], rs[2]
 		b.ReportMetric(100*tr1.FloatingGarbage, "pct-floating-tr1")
 		b.ReportMetric(100*tr8.FloatingGarbage, "pct-floating-tr8")
@@ -47,7 +47,7 @@ func BenchmarkTable1TracingRates(b *testing.B) {
 
 func BenchmarkTable2Metering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		rs := experiments.TracingRates(nil, experiments.QuickScale(), []float64{1, 8}, 4)
 		tr1, tr8 := rs[1], rs[2]
 		b.ReportMetric(tr1.CardsLeftPct, "pct-cards-left-tr1")
 		b.ReportMetric(tr8.CardsLeftPct, "pct-cards-left-tr8")
@@ -57,7 +57,7 @@ func BenchmarkTable2Metering(b *testing.B) {
 
 func BenchmarkTable3Utilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rs := experiments.TracingRates(experiments.QuickScale(), []float64{1, 8}, 4)
+		rs := experiments.TracingRates(nil, experiments.QuickScale(), []float64{1, 8}, 4)
 		tr1, tr8 := rs[1], rs[2]
 		b.ReportMetric(100*tr1.Utilization, "pct-utilization-tr1")
 		b.ReportMetric(100*tr8.Utilization, "pct-utilization-tr8")
@@ -66,7 +66,7 @@ func BenchmarkTable3Utilization(b *testing.B) {
 
 func BenchmarkTable4LoadBalancing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table4(experiments.QuickScale(), []int{2, 4}, 256)
+		rows := experiments.Table4(nil, experiments.QuickScale(), []int{2, 4}, 256)
 		last := rows[len(rows)-1]
 		b.ReportMetric(last.AvgTracingFactor, "tracing-factor")
 		b.ReportMetric(last.Fairness, "fairness-stddev")
@@ -76,7 +76,7 @@ func BenchmarkTable4LoadBalancing(b *testing.B) {
 
 func BenchmarkJavacSmallApp(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Javac(experiments.QuickScale())
+		r := experiments.Javac(nil, experiments.QuickScale())
 		b.ReportMetric(r.STWAvgMs, "ms-stw-avg-pause")
 		b.ReportMetric(r.CGCAvgMs, "ms-cgc-avg-pause")
 	}
@@ -84,7 +84,7 @@ func BenchmarkJavacSmallApp(b *testing.B) {
 
 func BenchmarkPacketMemory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.PacketMem(experiments.QuickScale())
+		r := experiments.PacketMem(nil, experiments.QuickScale())
 		b.ReportMetric(r.LowerBoundPct, "pct-heap-lower")
 		b.ReportMetric(r.UpperBoundPct, "pct-heap-upper")
 	}
@@ -92,7 +92,7 @@ func BenchmarkPacketMemory(b *testing.B) {
 
 func BenchmarkFenceAccounting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fences(experiments.QuickScale())
+		r := experiments.Fences(nil, experiments.QuickScale())
 		if r.Acc.AllocFences > 0 {
 			b.ReportMetric(float64(r.ObjectsAlloc)/float64(r.Acc.AllocFences), "objects-per-alloc-fence")
 		}
@@ -103,7 +103,7 @@ func BenchmarkFenceAccounting(b *testing.B) {
 
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Ablations(experiments.QuickScale())
+		rows := experiments.Ablations(nil, experiments.QuickScale())
 		for _, r := range rows {
 			switch r.Name {
 			case "baseline (combined, 1 card pass)":
@@ -117,7 +117,7 @@ func BenchmarkAblations(b *testing.B) {
 
 func BenchmarkMMUCurves(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.MMU(experiments.QuickScale())
+		r := experiments.MMU(nil, experiments.QuickScale())
 		last := len(r.WindowsMs) - 1
 		b.ReportMetric(100*r.STW[last], "pct-stw-mmu-large-window")
 		b.ReportMetric(100*r.CGC[last], "pct-cgc-mmu-large-window")
@@ -126,7 +126,7 @@ func BenchmarkMMUCurves(b *testing.B) {
 
 func BenchmarkGenerational(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Generational(experiments.QuickScale())
+		r := experiments.Generational(nil, experiments.QuickScale())
 		b.ReportMetric(r.GenMinorAvgMs, "ms-minor-avg-pause")
 		b.ReportMetric(r.GenMajorAvgMs, "ms-major-avg-pause")
 		b.ReportMetric(r.CGCAvgMs, "ms-cgc-avg-pause")

@@ -7,25 +7,67 @@
 //	gcbench -exp fig1,table1,javac # several
 //	gcbench -exp all               # everything
 //	gcbench -exp all -scale paper  # at the paper's heap sizes (slow)
+//	gcbench -exp all -j 8          # up to 8 simulator runs in parallel
+//	gcbench -exp all -json out.json # machine-readable results
+//
+// Every simulated VM is deterministic and single-goroutine, so the
+// experiment matrix fans out across host cores (-j, defaulting to
+// GOMAXPROCS) while the printed tables stay byte-identical to a
+// sequential run.
 //
 // Experiments: fig1, fig2, table1, table2, table3, table4, javac, packets,
 // fences, mmu, gen, frag, ablate. See EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"mcgc/internal/experiments"
+	"mcgc/internal/runner"
 )
+
+// expNames lists the valid experiments in suite order.
+var expNames = []string{
+	"fig1", "fig2", "table1", "table2", "table3", "table4",
+	"javac", "packets", "fences", "mmu", "gen", "frag", "ablate",
+}
+
+// expResult is one experiment's entry in the -json results file.
+type expResult struct {
+	Name        string             `json:"name"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Runner      []runner.Stats     `json:"runner,omitempty"`
+}
+
+// resultsFile is the -json schema: per-experiment wall-clock and headline
+// metrics, plus the runner telemetry (per-job wall-clock, host allocation,
+// peak heap, achieved speedup) for the perf trajectory.
+type resultsFile struct {
+	Scale        string      `json:"scale"`
+	J            int         `json:"j"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
+	StartedAt    string      `json:"started_at"`
+	TotalSeconds float64     `json:"total_seconds"`
+	Experiments  []expResult `json:"experiments"`
+}
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig1,fig2,table1,table2,table3,table4,javac,packets,fences,mmu,gen,frag,ablate,all")
-		scaleFlag = flag.String("scale", "default", "experiment sizing: quick, default, paper")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(expNames, ",")+",all")
+		scaleFlag  = flag.String("scale", "default", "experiment sizing: quick, default, paper")
+		jFlag      = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulator runs per experiment (1 = sequential)")
+		jsonFlag   = flag.String("json", "", "write machine-readable per-experiment results to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -42,49 +84,249 @@ func main() {
 		os.Exit(2)
 	}
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(e)] = true
+	valid := map[string]bool{"all": true}
+	for _, n := range expNames {
+		valid[n] = true
 	}
-	all := want["all"]
-	ran := 0
+	want := map[string]bool{}
+	var unknown []string
+	for _, e := range strings.Split(*expFlag, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !valid[e] {
+			unknown = append(unknown, e)
+			continue
+		}
+		want[e] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "gcbench: unknown experiment(s) %s\nvalid experiments: %s, all\n",
+			strings.Join(unknown, ", "), strings.Join(expNames, ", "))
+		os.Exit(2)
+	}
+	if len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "gcbench: no experiment matched %q\nvalid experiments: %s, all\n",
+			*expFlag, strings.Join(expNames, ", "))
+		os.Exit(2)
+	}
 
-	section := func(name string, f func()) {
+	if *jFlag <= 0 { // match the runner's fallback so reports show the effective value
+		*jFlag = runtime.GOMAXPROCS(0)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	ex := experiments.Parallel(*jFlag)
+	all := want["all"]
+	out := resultsFile{
+		Scale:      *scaleFlag,
+		J:          *jFlag,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	suiteStart := time.Now()
+
+	section := func(name string, f func() (render string, metrics map[string]float64)) {
 		if !all && !want[name] {
 			return
 		}
-		ran++
 		start := time.Now()
 		fmt.Printf("==== %s ====\n\n", name)
-		f()
-		fmt.Printf("\n(%s computed in %.1fs of real time)\n\n", name, time.Since(start).Seconds())
+		render, metrics := f()
+		fmt.Println(render)
+		wall := time.Since(start).Seconds()
+		fmt.Printf("\n(%s computed in %.1fs of real time)\n\n", name, wall)
+		out.Experiments = append(out.Experiments, expResult{
+			Name:        name,
+			WallSeconds: wall,
+			Metrics:     metrics,
+			Runner:      ex.TakeStats(),
+		})
 	}
 
-	// Tables 1-3 share their runs; compute lazily once.
+	// Tables 1-3 share their runs; compute lazily once (the shared sweep's
+	// wall-clock and telemetry land on whichever table runs first).
 	var rates []experiments.TracingRateResult
 	ratesOnce := func() []experiments.TracingRateResult {
 		if rates == nil {
-			rates = experiments.TracingRates(sc, nil, 8)
+			rates = experiments.TracingRates(ex, sc, nil, 8)
 		}
 		return rates
 	}
+	rateMetric := func(rs []experiments.TracingRateResult, pick func(experiments.TracingRateResult) float64) map[string]float64 {
+		m := map[string]float64{}
+		for _, r := range rs {
+			key := strings.ReplaceAll(strings.ToLower(r.Label), " ", "")
+			m[key] = pick(r)
+		}
+		return m
+	}
 
-	section("fig1", func() { fmt.Println(experiments.RenderFig1(experiments.Fig1(sc, 8))) })
-	section("fig2", func() { fmt.Println(experiments.RenderFig2(experiments.Fig2(sc, 40, 80, 10))) })
-	section("table1", func() { fmt.Println(experiments.RenderTable1(ratesOnce())) })
-	section("table2", func() { fmt.Println(experiments.RenderTable2(ratesOnce())) })
-	section("table3", func() { fmt.Println(experiments.RenderTable3(ratesOnce())) })
-	section("table4", func() { fmt.Println(experiments.RenderTable4(experiments.Table4(sc, nil, 1000))) })
-	section("javac", func() { fmt.Println(experiments.RenderJavac(experiments.Javac(sc))) })
-	section("packets", func() { fmt.Println(experiments.RenderPacketMem(experiments.PacketMem(sc))) })
-	section("fences", func() { fmt.Println(experiments.RenderFences(experiments.Fences(sc))) })
-	section("mmu", func() { fmt.Println(experiments.RenderMMU(experiments.MMU(sc))) })
-	section("gen", func() { fmt.Println(experiments.RenderGenerational(experiments.Generational(sc))) })
-	section("frag", func() { fmt.Println(experiments.RenderFragmentation(experiments.Fragmentation(sc))) })
-	section("ablate", func() { fmt.Println(experiments.RenderAblations(experiments.Ablations(sc))) })
+	section("fig1", func() (string, map[string]float64) {
+		rows := experiments.Fig1(ex, sc, 8)
+		last := rows[len(rows)-1]
+		m := map[string]float64{
+			"stw_avg_pause_ms": last.STWAvgMs,
+			"stw_max_pause_ms": last.STWMaxMs,
+			"cgc_avg_pause_ms": last.CGCAvgMs,
+			"cgc_max_pause_ms": last.CGCMaxMs,
+		}
+		if last.STWThroughput > 0 {
+			m["throughput_ratio"] = last.CGCThroughput / last.STWThroughput
+		}
+		return experiments.RenderFig1(rows), m
+	})
+	section("fig2", func() (string, map[string]float64) {
+		rows := experiments.Fig2(ex, sc, 40, 80, 10)
+		last := rows[len(rows)-1]
+		m := map[string]float64{
+			"stw_avg_pause_ms": last.STWAvgMs,
+			"cgc_avg_pause_ms": last.CGCAvgMs,
+			"occupancy_pct":    last.OccupancyPct,
+		}
+		if last.CGCAvgMs > 0 {
+			m["sweep_share_of_pause"] = last.CGCSweepAvgMs / last.CGCAvgMs
+		}
+		return experiments.RenderFig2(rows), m
+	})
+	section("table1", func() (string, map[string]float64) {
+		rs := ratesOnce()
+		return experiments.RenderTable1(rs), rateMetric(rs, func(r experiments.TracingRateResult) float64 { return r.AvgPauseMs })
+	})
+	section("table2", func() (string, map[string]float64) {
+		rs := ratesOnce()
+		return experiments.RenderTable2(rs), rateMetric(rs, func(r experiments.TracingRateResult) float64 { return r.CardsLeftPct })
+	})
+	section("table3", func() (string, map[string]float64) {
+		rs := ratesOnce()
+		return experiments.RenderTable3(rs), rateMetric(rs, func(r experiments.TracingRateResult) float64 { return 100 * r.Utilization })
+	})
+	section("table4", func() (string, map[string]float64) {
+		rows := experiments.Table4(ex, sc, nil, 1000)
+		last := rows[len(rows)-1]
+		return experiments.RenderTable4(rows), map[string]float64{
+			"tracing_factor":  last.AvgTracingFactor,
+			"fairness_stddev": last.Fairness,
+			"cas_per_mb_live": last.AvgCostPerMB,
+		}
+	})
+	section("javac", func() (string, map[string]float64) {
+		r := experiments.Javac(ex, sc)
+		return experiments.RenderJavac(r), map[string]float64{
+			"stw_avg_pause_ms":    r.STWAvgMs,
+			"cgc_avg_pause_ms":    r.CGCAvgMs,
+			"throughput_loss_pct": r.ThroughputLossPct,
+		}
+	})
+	section("packets", func() (string, map[string]float64) {
+		r := experiments.PacketMem(ex, sc)
+		return experiments.RenderPacketMem(r), map[string]float64{
+			"lower_bound_pct_heap": r.LowerBoundPct,
+			"upper_bound_pct_heap": r.UpperBoundPct,
+		}
+	})
+	section("fences", func() (string, map[string]float64) {
+		r := experiments.Fences(ex, sc)
+		m := map[string]float64{
+			"packet_fences":            float64(r.Acc.PacketFences),
+			"alloc_fences":             float64(r.Acc.AllocFences),
+			"anomalies_without_fences": float64(r.PacketWithout.Anomalies + r.AllocWithout.Anomalies + r.CardWithout.Anomalies),
+			"anomalies_with_fences":    float64(r.PacketWith.Anomalies + r.AllocWith.Anomalies + r.CardWith.Anomalies),
+		}
+		if r.Acc.AllocFences > 0 {
+			m["objects_per_alloc_fence"] = float64(r.ObjectsAlloc) / float64(r.Acc.AllocFences)
+		}
+		return experiments.RenderFences(r), m
+	})
+	section("mmu", func() (string, map[string]float64) {
+		r := experiments.MMU(ex, sc)
+		last := len(r.WindowsMs) - 1
+		return experiments.RenderMMU(r), map[string]float64{
+			"stw_mmu_large_window_pct": 100 * r.STW[last],
+			"cgc_mmu_large_window_pct": 100 * r.CGC[last],
+		}
+	})
+	section("gen", func() (string, map[string]float64) {
+		r := experiments.Generational(ex, sc)
+		return experiments.RenderGenerational(r), map[string]float64{
+			"minor_avg_pause_ms": r.GenMinorAvgMs,
+			"major_avg_pause_ms": r.GenMajorAvgMs,
+			"cgc_avg_pause_ms":   r.CGCAvgMs,
+			"promoted_mb":        r.GenPromotedMB,
+		}
+	})
+	section("frag", func() (string, map[string]float64) {
+		r := experiments.Fragmentation(ex, sc)
+		return experiments.RenderFragmentation(r), map[string]float64{
+			"plain_frag_index":   r.PlainIndex,
+			"compact_frag_index": r.CompactIndex,
+			"evacuated_mb":       r.EvacuatedMB,
+		}
+	})
+	section("ablate", func() (string, map[string]float64) {
+		rows := experiments.Ablations(ex, sc)
+		m := map[string]float64{}
+		for _, r := range rows {
+			switch r.Name {
+			case "baseline (combined, 1 card pass)":
+				m["baseline_avg_pause_ms"] = r.AvgPauseMs
+			case "lazy sweep":
+				m["lazysweep_avg_pause_ms"] = r.AvgPauseMs
+			}
+		}
+		return experiments.RenderAblations(rows), m
+	})
 
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "gcbench: no experiment matched %q\n", *expFlag)
-		os.Exit(2)
+	out.TotalSeconds = time.Since(suiteStart).Seconds()
+	var jobSeconds float64
+	for _, e := range out.Experiments {
+		for _, st := range e.Runner {
+			jobSeconds += st.JobSeconds
+		}
+	}
+	if out.TotalSeconds > 0 && jobSeconds > 0 {
+		fmt.Printf("suite: %d experiment(s) in %.1fs wall (%.1fs of simulator work, %.2fx speedup, -j %d)\n",
+			len(out.Experiments), out.TotalSeconds, jobSeconds, jobSeconds/out.TotalSeconds, *jFlag)
+	}
+
+	if *jsonFlag != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonFlag, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package bitvec
+
+// Baselines for the simulator's hottest bit-vector kernels: the sweep scans
+// runs of mark/alloc bits with NextSet/NextClear, and nursery resets clear
+// whole address ranges with ClearRange. Future kernel PRs compare against
+// these numbers.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const benchBits = 1 << 20
+
+func newStrided(stride int) *Vector {
+	v := New(benchBits)
+	for i := 0; i < benchBits; i += stride {
+		v.Set(i)
+	}
+	return v
+}
+
+func benchmarkNextSet(b *testing.B, stride int) {
+	v := newStrided(stride)
+	b.SetBytes(benchBits / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for c := v.NextSet(0); c >= 0; c = v.NextSet(c + 1) {
+			n++
+		}
+		if n != (benchBits+stride-1)/stride {
+			b.Fatalf("visited %d bits", n)
+		}
+	}
+}
+
+func BenchmarkNextSetDense(b *testing.B)  { benchmarkNextSet(b, 3) }    // live-heap-like
+func BenchmarkNextSetSparse(b *testing.B) { benchmarkNextSet(b, 4096) } // card-indicator-like
+
+func BenchmarkNextClear(b *testing.B) {
+	v := New(benchBits)
+	v.SetRange(0, benchBits)
+	for i := 0; i < benchBits; i += 512 {
+		v.Clear(i)
+	}
+	b.SetBytes(benchBits / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for c := v.NextClear(0); c >= 0; c = v.NextClear(c + 1) {
+			n++
+		}
+		if n != benchBits/512 {
+			b.Fatalf("visited %d bits", n)
+		}
+	}
+}
+
+func BenchmarkClearRange(b *testing.B) {
+	v := New(benchBits)
+	b.SetBytes(benchBits / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SetRange(0, benchBits)
+		v.ClearRange(7, benchBits-9) // unaligned ends exercise the partial-word paths
+	}
+}
+
+func BenchmarkTestAndSet(b *testing.B) {
+	v := New(benchBits)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.TestAndSet(r.Intn(benchBits))
+	}
+}

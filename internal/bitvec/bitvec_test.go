@@ -1,7 +1,6 @@
 package bitvec
 
 import (
-	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -283,27 +282,6 @@ func TestConcurrentSetClearDistinctWords(t *testing.T) {
 	wg.Wait()
 	if v.Count() != 64 {
 		t.Fatalf("Count = %d, want 64", v.Count())
-	}
-}
-
-func BenchmarkTestAndSet(b *testing.B) {
-	v := New(1 << 20)
-	r := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		v.TestAndSet(r.Intn(1 << 20))
-	}
-}
-
-func BenchmarkNextSetSparse(b *testing.B) {
-	v := New(1 << 20)
-	for i := 0; i < 1<<20; i += 4096 {
-		v.Set(i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := v.NextSet(0); j >= 0; j = v.NextSet(j + 1) {
-		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package cardtable
+
+// Baselines for the card-table kernels on the collector's hot paths: the
+// concurrent cleaning passes walk dirty indicators with ForEachDirty /
+// RegisterAndClear, and every barriered pointer store runs DirtyObject.
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+)
+
+const benchHeapWords = 1 << 20 // 16K cards at 64 words per card
+
+func newDirtied(every int) *Table {
+	t := New(benchHeapWords)
+	for c := 0; c < t.NumCards(); c += every {
+		t.DirtyCard(c)
+	}
+	return t
+}
+
+func BenchmarkForEachDirty(b *testing.B) {
+	t := newDirtied(16)
+	want := (t.NumCards() + 15) / 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		t.ForEachDirty(func(int) { n++ })
+		if n != want {
+			b.Fatalf("visited %d cards, want %d", n, want)
+		}
+	}
+}
+
+func BenchmarkRegisterAndClear(b *testing.B) {
+	t := New(benchHeapWords)
+	buf := make([]int, 0, t.NumCards())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for c := 0; c < t.NumCards(); c += 16 {
+			t.DirtyCard(c)
+		}
+		b.StartTimer()
+		buf = t.RegisterAndClear(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("no cards registered")
+	}
+}
+
+func BenchmarkDirtyObject(b *testing.B) {
+	t := New(benchHeapWords)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.DirtyObject(heapsim.Addr(i & (benchHeapWords - 1)))
+	}
+}

@@ -27,6 +27,26 @@ func TestGeometry(t *testing.T) {
 	}
 }
 
+// The card-cleaning passes reuse one registration buffer per collector
+// (cgc.cards, the STW mark phase's cards, gen's cardScratch); with a warm
+// buffer a whole register pass must not allocate on the host.
+func TestRegisterAndClearWarmBufferNoAllocs(t *testing.T) {
+	tb := New(64 * 512) // 512 cards
+	buf := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for c := 0; c < 48; c++ {
+			tb.DirtyCard(c * 10)
+		}
+		buf = tb.RegisterAndClear(buf[:0])
+	})
+	if len(buf) != 48 {
+		t.Fatalf("registered %d cards, want 48", len(buf))
+	}
+	if allocs != 0 {
+		t.Fatalf("RegisterAndClear with a warm buffer allocates %.1f times per pass, want 0", allocs)
+	}
+}
+
 func TestDirtyAndRegister(t *testing.T) {
 	tb := New(64 * 100)
 	tb.DirtyObject(heapsim.Addr(65))  // card 1

@@ -56,6 +56,11 @@ type Generational struct {
 	// incremental tracing tracks the old space's true consumption rate
 	// without post-minor bursts. It starts conservatively high.
 	promoRatio float64
+
+	// cardScratch is the remembered-set card buffer, reused across minor
+	// collections so the card-cleaning pass stops growing a fresh slice
+	// per scavenge.
+	cardScratch []int
 }
 
 // MinorStats records one minor collection.
@@ -258,11 +263,11 @@ func (g *Generational) minorCollect(ctx *machine.Context) {
 		// indicators are scanned WITHOUT clearing: the old collector
 		// still needs them for retracing, and clearing-then-redirtying
 		// would make the dirty set only ever grow across minors.
-		var cards []int
+		cards := g.cardScratch[:0]
 		if oldPhaseActive {
 			g.rt.Cards.ForEachDirty(func(c int) { cards = append(cards, c) })
 		} else {
-			cards = g.rt.Cards.RegisterAndClear(nil)
+			cards = g.rt.Cards.RegisterAndClear(cards)
 		}
 		cards = append(cards, g.old.eng.rememberedCards...)
 		g.old.eng.rememberedCards = g.old.eng.rememberedCards[:0]
@@ -291,6 +296,7 @@ func (g *Generational) minorCollect(ctx *machine.Context) {
 				}
 			})
 		}
+		g.cardScratch = cards // keep the grown buffer for the next minor
 		// Scavenge the promoted copies transitively. No cards are dirtied
 		// for the copies themselves: they are unmarked fresh old objects,
 		// reached by the old cycle through their holders (whose cards the

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 	"mcgc/internal/vtime"
 )
@@ -27,7 +28,9 @@ type AblationRow struct {
 //   - a second concurrent card-cleaning pass (Section 2.1 footnote 2);
 //   - incremental-only vs background-only vs combined tracing (Section 3);
 //   - packet capacity (the BFS-degree / overflow trade of Section 4.4).
-func Ablations(sc Scale) []AblationRow {
+//
+// One job per variant under ex.
+func Ablations(ex *Exec, sc Scale) []AblationRow {
 	base := func() gcsim.Options {
 		return gcsim.Options{
 			HeapBytes:   sc.JBBHeap,
@@ -62,32 +65,37 @@ func Ablations(sc Scale) []AblationRow {
 		{"incremental compaction", func() gcsim.Options { o := base(); o.IncrementalCompaction = true; return o }()},
 	}
 
-	var rows []AblationRow
+	var jobs []runner.Job[AblationRow]
 	for _, v := range variants {
-		r := runJBB(sc, v.opts, jopts)
-		p, m, sw := r.pauseSummaries()
-		row := AblationRow{
-			Name:       v.name,
-			AvgPauseMs: ms(p.Avg),
-			MaxPauseMs: ms(p.Max),
-			AvgMarkMs:  ms(m.Avg),
-			AvgSweepMs: ms(sw.Avg),
-			Throughput: r.Throughput(),
-		}
-		var concDone, finalCards int
-		for i := range r.Cycles {
-			if r.Cycles[i].ConcCompleted {
-				concDone++
-			}
-			finalCards += r.Cycles[i].CardsCleanedStw
-		}
-		if n := len(r.Cycles); n > 0 {
-			row.ConcDonePct = 100 * float64(concDone) / float64(n)
-			row.FinalCards = float64(finalCards) / float64(n)
-		}
-		rows = append(rows, row)
+		jobs = append(jobs, runner.Job[AblationRow]{
+			Name: "ablate/" + v.name,
+			Run: func() (AblationRow, error) {
+				r := runJBB(sc, v.opts, jopts)
+				p, m, sw := r.pauseSummaries()
+				row := AblationRow{
+					Name:       v.name,
+					AvgPauseMs: ms(p.Avg),
+					MaxPauseMs: ms(p.Max),
+					AvgMarkMs:  ms(m.Avg),
+					AvgSweepMs: ms(sw.Avg),
+					Throughput: r.Throughput(),
+				}
+				var concDone, finalCards int
+				for i := range r.Cycles {
+					if r.Cycles[i].ConcCompleted {
+						concDone++
+					}
+					finalCards += r.Cycles[i].CardsCleanedStw
+				}
+				if n := len(r.Cycles); n > 0 {
+					row.ConcDonePct = 100 * float64(concDone) / float64(n)
+					row.FinalCards = float64(finalCards) / float64(n)
+				}
+				return row, nil
+			},
+		})
 	}
-	return rows
+	return exec(ex, jobs)
 }
 
 // RenderAblations prints the comparison.

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mcgc/gcsim"
+	"mcgc/internal/core"
+	"mcgc/internal/runner"
+)
+
+// The parallel harness must not change results: every simulated VM is
+// deterministic and self-contained, so fanning the configuration matrix
+// across workers has to produce byte-identical tables and identical
+// per-cycle statistics to a sequential run.
+
+func TestFig1ParallelMatchesSequential(t *testing.T) {
+	sc := QuickScale()
+	seq := Fig1(Seq(), sc, 3)
+	par := Fig1(Parallel(4), sc, 3)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("rows differ between -j 1 and -j 4:\nseq: %+v\npar: %+v", seq, par)
+	}
+	seqRender, parRender := RenderFig1(seq), RenderFig1(par)
+	if seqRender != parRender {
+		t.Fatalf("rendered tables not byte-identical:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqRender, parRender)
+	}
+}
+
+func TestPerCycleStatsParallelMatchesSequential(t *testing.T) {
+	sc := QuickScale()
+	// Four distinct configurations, each returning its full per-cycle
+	// statistics; run the identical batch sequentially and with 4 workers.
+	batch := func() []runner.Job[[]core.CycleStats] {
+		var jobs []runner.Job[[]core.CycleStats]
+		for wh := 1; wh <= 4; wh++ {
+			jopts := gcsim.JBBOptions{
+				Warehouses:     wh,
+				MaxWarehouses:  4,
+				ResidencyAtMax: 0.6,
+				Seed:           int64(500 + wh),
+			}
+			jobs = append(jobs, runner.Job[[]core.CycleStats]{
+				Name: fmt.Sprintf("det/wh=%d", wh),
+				Run: func() ([]core.CycleStats, error) {
+					r := runJBB(sc, gcsim.Options{
+						HeapBytes:   sc.JBBHeap,
+						Processors:  4,
+						Collector:   gcsim.CGC,
+						TracingRate: 8,
+						WorkPackets: sc.Packets,
+					}, jopts)
+					return r.Cycles, nil
+				},
+			})
+		}
+		return jobs
+	}
+	seqResults, _ := runner.Run(1, batch())
+	parResults, _ := runner.Run(4, batch())
+	seq := runner.Values(seqResults)
+	par := runner.Values(parResults)
+	for i := range seq {
+		if len(seq[i]) == 0 {
+			t.Fatalf("job %d measured no cycles; the comparison is vacuous", i)
+		}
+		// Byte-level comparison of the formatted stats catches any field
+		// drifting, including unexported ones %+v reaches.
+		a, b := fmt.Sprintf("%+v", seq[i]), fmt.Sprintf("%+v", par[i])
+		if a != b {
+			t.Errorf("job %d per-cycle stats differ between -j 1 and -j 4:\nseq: %s\npar: %s", i, a, b)
+		}
+	}
+}

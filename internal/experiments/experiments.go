@@ -7,12 +7,77 @@
 package experiments
 
 import (
+	"sync"
+
 	"mcgc/gcsim"
 	"mcgc/internal/core"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workload"
 )
+
+// Exec is the execution policy for an experiment: how many independent
+// simulator runs may be in flight at once, and the accumulated runner
+// telemetry of every batch executed through it. Every experiment's
+// configuration matrix is expressed as a job list and executed through an
+// Exec; results always come back in submission order, so the rendered
+// tables are byte-identical whatever J is. A nil *Exec means sequential.
+type Exec struct {
+	// J is the maximum number of concurrent simulator runs (0 or 1 means
+	// sequential; runner.Run treats <= 0 as GOMAXPROCS, so Exec pins the
+	// default to 1 explicitly).
+	J int
+
+	mu    sync.Mutex
+	stats []runner.Stats
+}
+
+// Seq returns a sequential execution policy.
+func Seq() *Exec { return &Exec{J: 1} }
+
+// Parallel returns a policy running up to j simulator runs concurrently.
+func Parallel(j int) *Exec {
+	if j < 1 {
+		j = 1
+	}
+	return &Exec{J: j}
+}
+
+// TakeStats drains the telemetry accumulated since the last call: one
+// runner.Stats per executed batch, in execution order.
+func (ex *Exec) TakeStats() []runner.Stats {
+	if ex == nil {
+		return nil
+	}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	out := ex.stats
+	ex.stats = nil
+	return out
+}
+
+func (ex *Exec) note(st runner.Stats) {
+	if ex == nil {
+		return
+	}
+	ex.mu.Lock()
+	ex.stats = append(ex.stats, st)
+	ex.mu.Unlock()
+}
+
+// exec runs a job batch under the policy and unwraps the values (panicking
+// on job failure, matching the suite's historical behavior on integrity
+// errors).
+func exec[T any](ex *Exec, jobs []runner.Job[T]) []T {
+	j := 1
+	if ex != nil && ex.J > 1 {
+		j = ex.J
+	}
+	results, st := runner.Run(j, jobs)
+	ex.note(st)
+	return runner.Values(results)
+}
 
 // Scale selects experiment sizing. The paper's hardware ran minutes-long
 // benchmarks on a 256 MB (SPECjbb) and 2.5 GB (pBOB) heap; the default

@@ -9,7 +9,7 @@ import (
 // shapes, not absolute numbers (EXPERIMENTS.md records both).
 
 func TestTracingRatesShapes(t *testing.T) {
-	rs := TracingRates(QuickScale(), []float64{1, 8}, 4)
+	rs := TracingRates(nil, QuickScale(), []float64{1, 8}, 4)
 	if len(rs) != 3 { // STW + 2 rates
 		t.Fatalf("results = %d", len(rs))
 	}
@@ -37,7 +37,7 @@ func TestTracingRatesShapes(t *testing.T) {
 }
 
 func TestJavacShape(t *testing.T) {
-	r := Javac(QuickScale())
+	r := Javac(nil, QuickScale())
 	t.Log("\n" + RenderJavac(r))
 	if r.CGCUnits == 0 || r.STWUnits == 0 {
 		t.Fatal("no compilation throughput measured")
@@ -48,7 +48,7 @@ func TestJavacShape(t *testing.T) {
 }
 
 func TestPacketMemBounds(t *testing.T) {
-	r := PacketMem(QuickScale())
+	r := PacketMem(nil, QuickScale())
 	t.Log("\n" + RenderPacketMem(r))
 	if r.MaxSlotsInUse <= 0 || r.MaxPacketsInUse <= 0 {
 		t.Fatal("watermarks not recorded")
@@ -64,7 +64,7 @@ func TestPacketMemBounds(t *testing.T) {
 }
 
 func TestFencesShape(t *testing.T) {
-	r := Fences(QuickScale())
+	r := Fences(nil, QuickScale())
 	out := RenderFences(r)
 	t.Log("\n" + out)
 	if r.Acc.AllocFences == 0 || r.Acc.PacketFences == 0 {
@@ -88,7 +88,7 @@ func TestFencesShape(t *testing.T) {
 }
 
 func TestAblationShapes(t *testing.T) {
-	rows := Ablations(QuickScale())
+	rows := Ablations(nil, QuickScale())
 	t.Log("\n" + RenderAblations(rows))
 	byName := map[string]AblationRow{}
 	for _, r := range rows {
@@ -110,7 +110,7 @@ func TestAblationShapes(t *testing.T) {
 
 func TestFig2SmallRange(t *testing.T) {
 	sc := QuickScale()
-	rows := Fig2(sc, 8, 16, 8) // scaled-down warehouse range for test speed
+	rows := Fig2(nil, sc, 8, 16, 8) // scaled-down warehouse range for test speed
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -127,7 +127,7 @@ func TestFig2SmallRange(t *testing.T) {
 
 func TestTable4SmallRange(t *testing.T) {
 	sc := QuickScale()
-	rows := Table4(sc, []int{2, 4}, 256)
+	rows := Table4(nil, sc, []int{2, 4}, 256)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -143,7 +143,7 @@ func TestTable4SmallRange(t *testing.T) {
 }
 
 func TestMMUShape(t *testing.T) {
-	r := MMU(QuickScale())
+	r := MMU(nil, QuickScale())
 	t.Log("\n" + RenderMMU(r))
 	if len(r.CGC) != len(r.WindowsMs) || len(r.STW) != len(r.WindowsMs) {
 		t.Fatal("curve lengths wrong")
@@ -167,7 +167,7 @@ func TestMMUShape(t *testing.T) {
 }
 
 func TestGenerationalShape(t *testing.T) {
-	r := Generational(QuickScale())
+	r := Generational(nil, QuickScale())
 	t.Log("\n" + RenderGenerational(r))
 	if r.GenMinors == 0 {
 		t.Fatal("no minors")
@@ -190,7 +190,7 @@ func TestGenerationalShape(t *testing.T) {
 }
 
 func TestFragmentationShape(t *testing.T) {
-	r := Fragmentation(QuickScale())
+	r := Fragmentation(nil, QuickScale())
 	t.Log("\n" + RenderFragmentation(r))
 	if r.EvacuatedMB <= 0 {
 		t.Fatal("compactor evacuated nothing")

@@ -6,6 +6,7 @@ import (
 
 	"mcgc/gcsim"
 	"mcgc/internal/core"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 	"mcgc/internal/weakmem"
 )
@@ -27,36 +28,78 @@ type FenceResult struct {
 	CardWith, CardWithout     weakmem.Result
 }
 
-// Fences runs a CGC SPECjbb configuration and the weakmem exploration.
-func Fences(sc Scale) FenceResult {
-	vm := gcsim.New(gcsim.Options{
-		HeapBytes:   sc.JBBHeap,
-		Processors:  4,
-		Collector:   gcsim.CGC,
-		TracingRate: 8,
-		WorkPackets: sc.Packets,
-	})
-	jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8, MaxWarehouses: 8, ResidencyAtMax: 0.6, Seed: 9})
-	for i := 0; i < 1000 && !jbb.Ready(); i++ {
-		vm.RunFor(100 * gcsim.Millisecond)
-	}
-	vm.RunFor(sc.Measure)
-	if err := jbb.CheckIntegrity(); err != nil {
-		panic("experiments: " + err.Error())
-	}
-	var r FenceResult
-	r.Acc = vm.CGCCollector().Fences()
-	r.BarrierStores = vm.Runtime().Cards.Stats.BarrierMarks
-	r.CacheRefills = vm.Runtime().Heap.Stats.CacheRefills
-	r.ObjectsAlloc = vm.Runtime().Heap.Stats.ObjectsAllocated
+// fenceCounters is the collector-run half of the fence measurement.
+type fenceCounters struct {
+	Acc           core.FenceAccounting
+	BarrierStores int64
+	CacheRefills  int64
+	ObjectsAlloc  int64
+}
+
+// Fences runs a CGC SPECjbb configuration and the weakmem exploration:
+// the collector run is one job, each of the six model-checking
+// explorations another, all under ex.
+func Fences(ex *Exec, sc Scale) FenceResult {
+	counterJobs := []runner.Job[fenceCounters]{{
+		Name: "fences/counters",
+		Run: func() (fenceCounters, error) {
+			vm := gcsim.New(gcsim.Options{
+				HeapBytes:   sc.JBBHeap,
+				Processors:  4,
+				Collector:   gcsim.CGC,
+				TracingRate: 8,
+				WorkPackets: sc.Packets,
+			})
+			jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8, MaxWarehouses: 8, ResidencyAtMax: 0.6, Seed: 9})
+			for i := 0; i < 1000 && !jbb.Ready(); i++ {
+				vm.RunFor(100 * gcsim.Millisecond)
+			}
+			vm.RunFor(sc.Measure)
+			if err := jbb.CheckIntegrity(); err != nil {
+				panic("experiments: " + err.Error())
+			}
+			return fenceCounters{
+				Acc:           vm.CGCCollector().Fences(),
+				BarrierStores: vm.Runtime().Cards.Stats.BarrierMarks,
+				CacheRefills:  vm.Runtime().Heap.Stats.CacheRefills,
+				ObjectsAlloc:  vm.Runtime().Heap.Stats.ObjectsAllocated,
+			}, nil
+		},
+	}}
 
 	const trials = 300
-	r.PacketWith = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.PacketHandoffTrial(s, true) })
-	r.PacketWithout = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.PacketHandoffTrial(s, false) })
-	r.AllocWith = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.AllocPublishTrial(s, true) })
-	r.AllocWithout = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.AllocPublishTrial(s, false) })
-	r.CardWith = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.CardCleanTrial(s, true) })
-	r.CardWithout = weakmem.Explore(trials, func(s int64) (bool, int) { return weakmem.CardCleanTrial(s, false) })
+	protocols := []struct {
+		name  string
+		trial func(s int64, fenced bool) (bool, int)
+	}{
+		{"packet", weakmem.PacketHandoffTrial},
+		{"alloc", weakmem.AllocPublishTrial},
+		{"card", weakmem.CardCleanTrial},
+	}
+	var wmJobs []runner.Job[weakmem.Result]
+	for _, p := range protocols {
+		for _, fenced := range []bool{true, false} {
+			name := fmt.Sprintf("fences/model/%s/fenced=%t", p.name, fenced)
+			wmJobs = append(wmJobs, runner.Job[weakmem.Result]{
+				Name: name,
+				Run: func() (weakmem.Result, error) {
+					return weakmem.Explore(trials, func(s int64) (bool, int) { return p.trial(s, fenced) }), nil
+				},
+			})
+		}
+	}
+
+	counters := exec(ex, counterJobs)[0]
+	wm := exec(ex, wmJobs)
+
+	var r FenceResult
+	r.Acc = counters.Acc
+	r.BarrierStores = counters.BarrierStores
+	r.CacheRefills = counters.CacheRefills
+	r.ObjectsAlloc = counters.ObjectsAlloc
+	r.PacketWith, r.PacketWithout = wm[0], wm[1]
+	r.AllocWith, r.AllocWithout = wm[2], wm[3]
+	r.CardWith, r.CardWithout = wm[4], wm[5]
 	return r
 }
 

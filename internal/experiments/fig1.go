@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -20,45 +21,67 @@ type Fig1Row struct {
 	STWCycles, CGCCycles         int
 }
 
+// fig1Run is one collector's half of a Figure 1 row, reduced inside the
+// job so the VM can be collected as soon as the run ends.
+type fig1Run struct {
+	AvgMs, MaxMs, MarkAvgMs float64
+	Throughput              float64
+	Cycles                  int
+}
+
 // Fig1 reproduces Figure 1: SPECjbb from 1 to maxWarehouses warehouses with
 // both collectors at tracing rate 8, plus the throughput comparison the
-// paper quotes in the text (CGC loses about 10%).
-func Fig1(sc Scale, maxWarehouses int) []Fig1Row {
+// paper quotes in the text (CGC loses about 10%). The 2×maxWarehouses
+// configurations are independent jobs executed under ex.
+func Fig1(ex *Exec, sc Scale, maxWarehouses int) []Fig1Row {
 	if maxWarehouses <= 0 {
 		maxWarehouses = 8
 	}
-	rows := make([]Fig1Row, 0, maxWarehouses)
+	var jobs []runner.Job[fig1Run]
 	for wh := 1; wh <= maxWarehouses; wh++ {
-		row := Fig1Row{Warehouses: wh}
 		jopts := gcsim.JBBOptions{
 			Warehouses:     wh,
 			MaxWarehouses:  maxWarehouses,
 			ResidencyAtMax: 0.6,
 			Seed:           int64(100 + wh),
 		}
-		stw := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.JBBHeap,
-			Processors:  4,
-			Collector:   gcsim.STW,
-			WorkPackets: sc.Packets,
-		}, jopts)
-		p, m, _ := stw.pauseSummaries()
-		row.STWAvgMs, row.STWMaxMs, row.STWMarkAvgMs = ms(p.Avg), ms(p.Max), ms(m.Avg)
-		row.STWThroughput = stw.Throughput()
-		row.STWCycles = len(stw.Cycles)
-
-		cgc := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.JBBHeap,
-			Processors:  4,
-			Collector:   gcsim.CGC,
-			TracingRate: 8,
-			WorkPackets: sc.Packets,
-		}, jopts)
-		p, m, _ = cgc.pauseSummaries()
-		row.CGCAvgMs, row.CGCMaxMs, row.CGCMarkAvgMs = ms(p.Avg), ms(p.Max), ms(m.Avg)
-		row.CGCThroughput = cgc.Throughput()
-		row.CGCCycles = len(cgc.Cycles)
-		rows = append(rows, row)
+		for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+			opts := gcsim.Options{
+				HeapBytes:   sc.JBBHeap,
+				Processors:  4,
+				Collector:   col,
+				WorkPackets: sc.Packets,
+			}
+			if col == gcsim.CGC {
+				opts.TracingRate = 8
+			}
+			jobs = append(jobs, runner.Job[fig1Run]{
+				Name: fmt.Sprintf("fig1/wh=%d/%s", wh, col),
+				Run: func() (fig1Run, error) {
+					r := runJBB(sc, opts, jopts)
+					p, m, _ := r.pauseSummaries()
+					return fig1Run{
+						AvgMs:      ms(p.Avg),
+						MaxMs:      ms(p.Max),
+						MarkAvgMs:  ms(m.Avg),
+						Throughput: r.Throughput(),
+						Cycles:     len(r.Cycles),
+					}, nil
+				},
+			})
+		}
+	}
+	runs := exec(ex, jobs)
+	rows := make([]Fig1Row, 0, maxWarehouses)
+	for wh := 1; wh <= maxWarehouses; wh++ {
+		stw, cgc := runs[2*(wh-1)], runs[2*(wh-1)+1]
+		rows = append(rows, Fig1Row{
+			Warehouses: wh,
+			STWAvgMs:   stw.AvgMs, STWMaxMs: stw.MaxMs, STWMarkAvgMs: stw.MarkAvgMs,
+			CGCAvgMs: cgc.AvgMs, CGCMaxMs: cgc.MaxMs, CGCMarkAvgMs: cgc.MarkAvgMs,
+			STWThroughput: stw.Throughput, CGCThroughput: cgc.Throughput,
+			STWCycles: stw.Cycles, CGCCycles: cgc.Cycles,
+		})
 	}
 	return rows
 }

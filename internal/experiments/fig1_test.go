@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestFig1QuickShape(t *testing.T) {
-	rows := Fig1(QuickScale(), 4)
+	rows := Fig1(nil, QuickScale(), 4)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -20,10 +21,17 @@ type Fig2Row struct {
 	OccupancyPct                     float64 // heap occupancy at the top of the range
 }
 
+// fig2Run is one collector's half of a Figure 2 row.
+type fig2Run struct {
+	AvgMs, MaxMs, MarkAvgMs, SweepAvgMs float64
+	LiveAfter                           float64
+}
+
 // Fig2 reproduces Figure 2: pBOB from loWh to hiWh warehouses (the paper
 // plots 40..80) at 25 terminals per warehouse with think time (autoserver
-// mode idles the CPU), 4 processors and the larger packet pool.
-func Fig2(sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
+// mode idles the CPU), 4 processors and the larger packet pool. Every
+// (warehouse, collector) configuration is an independent job under ex.
+func Fig2(ex *Exec, sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
 	if loWh == 0 {
 		loWh = 40
 	}
@@ -33,9 +41,10 @@ func Fig2(sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
 	if stepWh == 0 {
 		stepWh = 10
 	}
-	var rows []Fig2Row
+	var whs []int
+	var jobs []runner.Job[fig2Run]
 	for wh := loWh; wh <= hiWh; wh += stepWh {
-		row := Fig2Row{Warehouses: wh, Threads: wh * 25}
+		whs = append(whs, wh)
 		jopts := gcsim.JBBOptions{
 			Warehouses:            wh,
 			MaxWarehouses:         hiWh,
@@ -44,27 +53,45 @@ func Fig2(sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
 			ThinkTime:             sc.PBOBThink,
 			Seed:                  int64(200 + wh),
 		}
-		stw := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.PBOBHeap,
-			Processors:  4,
-			Collector:   gcsim.STW,
-			WorkPackets: sc.PBOBPackets,
-		}, jopts)
-		p, _, _ := stw.pauseSummaries()
-		row.STWAvgMs, row.STWMaxMs = ms(p.Avg), ms(p.Max)
-
-		cgc := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.PBOBHeap,
-			Processors:  4,
-			Collector:   gcsim.CGC,
-			TracingRate: 8,
-			WorkPackets: sc.PBOBPackets,
-		}, jopts)
-		p, m, sw := cgc.pauseSummaries()
-		row.CGCAvgMs, row.CGCMaxMs = ms(p.Avg), ms(p.Max)
-		row.CGCMarkAvgMs, row.CGCSweepAvgMs = ms(m.Avg), ms(sw.Avg)
-		row.OccupancyPct = 100 * cgc.avgLiveAfter() / float64(sc.PBOBHeap)
-		rows = append(rows, row)
+		for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+			opts := gcsim.Options{
+				HeapBytes:   sc.PBOBHeap,
+				Processors:  4,
+				Collector:   col,
+				WorkPackets: sc.PBOBPackets,
+			}
+			if col == gcsim.CGC {
+				opts.TracingRate = 8
+			}
+			jobs = append(jobs, runner.Job[fig2Run]{
+				Name: fmt.Sprintf("fig2/wh=%d/%s", wh, col),
+				Run: func() (fig2Run, error) {
+					r := runJBB(sc, opts, jopts)
+					p, m, sw := r.pauseSummaries()
+					return fig2Run{
+						AvgMs:      ms(p.Avg),
+						MaxMs:      ms(p.Max),
+						MarkAvgMs:  ms(m.Avg),
+						SweepAvgMs: ms(sw.Avg),
+						LiveAfter:  r.avgLiveAfter(),
+					}, nil
+				},
+			})
+		}
+	}
+	runs := exec(ex, jobs)
+	rows := make([]Fig2Row, 0, len(whs))
+	for i, wh := range whs {
+		stw, cgc := runs[2*i], runs[2*i+1]
+		rows = append(rows, Fig2Row{
+			Warehouses: wh,
+			Threads:    wh * 25,
+			STWAvgMs:   stw.AvgMs, STWMaxMs: stw.MaxMs,
+			CGCAvgMs: cgc.AvgMs, CGCMaxMs: cgc.MaxMs,
+			CGCMarkAvgMs:  cgc.MarkAvgMs,
+			CGCSweepAvgMs: cgc.SweepAvgMs,
+			OccupancyPct:  100 * cgc.LiveAfter / float64(sc.PBOBHeap),
+		})
 	}
 	return rows
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -19,8 +20,17 @@ type FragResult struct {
 	EvacuatedMB                  float64
 }
 
-// Fragmentation runs the comparison.
-func Fragmentation(sc Scale) FragResult {
+// fragRun is one variant's measurement.
+type fragRun struct {
+	Index   float64
+	Chunks  int
+	Largest int64
+	PauseMs float64
+	EvacMB  float64
+}
+
+// Fragmentation runs the comparison, one job per variant under ex.
+func Fragmentation(ex *Exec, sc Scale) FragResult {
 	run := func(compact bool) (idx float64, chunks int, largest int64, pauseMs float64, evacMB float64) {
 		vm := gcsim.New(gcsim.Options{
 			HeapBytes:             sc.JBBHeap,
@@ -68,9 +78,22 @@ func Fragmentation(sc Scale) FragResult {
 		}
 		return idx, r.Chunks, r.LargestBytes, rep.Pause.Avg.Milliseconds(), evacMB
 	}
+	jobs := []runner.Job[fragRun]{
+		{Name: "frag/plain", Run: func() (fragRun, error) {
+			idx, chunks, largest, pauseMs, evacMB := run(false)
+			return fragRun{idx, chunks, largest, pauseMs, evacMB}, nil
+		}},
+		{Name: "frag/compact", Run: func() (fragRun, error) {
+			idx, chunks, largest, pauseMs, evacMB := run(true)
+			return fragRun{idx, chunks, largest, pauseMs, evacMB}, nil
+		}},
+	}
+	runs := exec(ex, jobs)
+	plain, compact := runs[0], runs[1]
 	var res FragResult
-	res.PlainIndex, res.PlainChunks, res.PlainLargest, res.PlainPauseMs, _ = run(false)
-	res.CompactIndex, res.CompactChunks, res.CompactLargest, res.CompactPauseMs, res.EvacuatedMB = run(true)
+	res.PlainIndex, res.PlainChunks, res.PlainLargest, res.PlainPauseMs = plain.Index, plain.Chunks, plain.Largest, plain.PauseMs
+	res.CompactIndex, res.CompactChunks, res.CompactLargest, res.CompactPauseMs = compact.Index, compact.Chunks, compact.Largest, compact.PauseMs
+	res.EvacuatedMB = compact.EvacMB
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -25,12 +26,24 @@ type GenResult struct {
 	STWTx, CGCTx, GenTx float64 // throughput, tx per virtual second
 }
 
-// Generational runs the comparison at 8 warehouses. The transaction mix is
-// tilted toward short-lived temporaries (high young mortality): that is the
-// regime a nursery exists for — under the default mix nearly half of all
-// allocation is long-lived block data and en-masse promotion erases the
-// generational advantage.
-func Generational(sc Scale) GenResult {
+// genRun is one collector's measurement; the generational fields are only
+// set for the GenCGC job.
+type genRun struct {
+	AvgMs, MaxMs float64
+	Tput         float64
+	Cycles       int
+
+	MinorAvgMs, MinorMaxMs float64
+	Minors, OldCycles      int
+	PromotedMB             float64
+}
+
+// Generational runs the comparison at 8 warehouses, one job per collector
+// under ex. The transaction mix is tilted toward short-lived temporaries
+// (high young mortality): that is the regime a nursery exists for — under
+// the default mix nearly half of all allocation is long-lived block data
+// and en-masse promotion erases the generational advantage.
+func Generational(ex *Exec, sc Scale) GenResult {
 	jopts := gcsim.JBBOptions{
 		Warehouses:          8,
 		MaxWarehouses:       8,
@@ -48,29 +61,48 @@ func Generational(sc Scale) GenResult {
 			WorkPackets: sc.Packets,
 		}
 	}
+	var jobs []runner.Job[genRun]
+	for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC, gcsim.GenCGC} {
+		opts := base(col)
+		if col == gcsim.GenCGC {
+			opts.NurseryBytes = sc.JBBHeap / 8
+		}
+		jobs = append(jobs, runner.Job[genRun]{
+			Name: "gen/" + string(col),
+			Run: func() (genRun, error) {
+				run := runJBB(sc, opts, jopts)
+				p, _, _ := run.pauseSummaries()
+				out := genRun{
+					AvgMs:  ms(p.Avg),
+					MaxMs:  ms(p.Max),
+					Tput:   run.Throughput(),
+					Cycles: len(run.Cycles),
+				}
+				if col == gcsim.GenCGC {
+					g := run.VM.Generational()
+					avg, max := g.MinorPauses()
+					out.MinorAvgMs, out.MinorMaxMs = ms(avg), ms(max)
+					out.Minors = len(g.Minors)
+					out.OldCycles = len(g.Old().Cycles)
+					out.PromotedMB = float64(g.PromotedBytes) / (1 << 20)
+				}
+				return out, nil
+			},
+		})
+	}
+	runs := exec(ex, jobs)
+	stw, cgc, gen := runs[0], runs[1], runs[2]
+
 	var r GenResult
-
-	stw := runJBB(sc, base(gcsim.STW), jopts)
-	p, _, _ := stw.pauseSummaries()
-	r.STWAvgMs, r.STWMaxMs, r.STWTx = ms(p.Avg), ms(p.Max), stw.Throughput()
-
-	cgc := runJBB(sc, base(gcsim.CGC), jopts)
-	p, _, _ = cgc.pauseSummaries()
-	r.CGCAvgMs, r.CGCMaxMs, r.CGCTx = ms(p.Avg), ms(p.Max), cgc.Throughput()
-	r.CGCCycles = len(cgc.Cycles)
-
-	opts := base(gcsim.GenCGC)
-	opts.NurseryBytes = sc.JBBHeap / 8
-	gen := runJBB(sc, opts, jopts)
-	p, _, _ = gen.pauseSummaries()
-	r.GenMajorAvgMs, r.GenMajorMaxMs = ms(p.Avg), ms(p.Max)
-	r.GenTx = gen.Throughput()
-	g := gen.VM.Generational()
-	avg, max := g.MinorPauses()
-	r.GenMinorAvgMs, r.GenMinorMaxMs = ms(avg), ms(max)
-	r.GenMinors = len(g.Minors)
-	r.GenOldCycles = len(g.Old().Cycles)
-	r.GenPromotedMB = float64(g.PromotedBytes) / (1 << 20)
+	r.STWAvgMs, r.STWMaxMs, r.STWTx = stw.AvgMs, stw.MaxMs, stw.Tput
+	r.CGCAvgMs, r.CGCMaxMs, r.CGCTx = cgc.AvgMs, cgc.MaxMs, cgc.Tput
+	r.CGCCycles = cgc.Cycles
+	r.GenMajorAvgMs, r.GenMajorMaxMs = gen.AvgMs, gen.MaxMs
+	r.GenTx = gen.Tput
+	r.GenMinorAvgMs, r.GenMinorMaxMs = gen.MinorAvgMs, gen.MinorMaxMs
+	r.GenMinors = gen.Minors
+	r.GenOldCycles = gen.OldCycles
+	r.GenPromotedMB = gen.PromotedMB
 	return r
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 	"mcgc/internal/vtime"
 )
@@ -20,8 +21,14 @@ type JavacResult struct {
 	ThroughputLossPct  float64
 }
 
-// Javac runs the comparison.
-func Javac(sc Scale) JavacResult {
+// javacRun is one collector's measurement.
+type javacRun struct {
+	AvgMs, MaxMs float64
+	Units, Nodes int64
+}
+
+// Javac runs the comparison, one job per collector under ex.
+func Javac(ex *Exec, sc Scale) JavacResult {
 	run := func(col gcsim.Collector) (avg, max float64, units, nodes int64) {
 		vm := gcsim.New(gcsim.Options{
 			HeapBytes:         sc.JavacHeap,
@@ -51,9 +58,20 @@ func Javac(sc Scale) JavacResult {
 		s := stats.Summarize(ds)
 		return ms(s.Avg), ms(s.Max), j.Units - unitsBefore, j.NodesProcessed - nodesBefore
 	}
+	var jobs []runner.Job[javacRun]
+	for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+		jobs = append(jobs, runner.Job[javacRun]{
+			Name: "javac/" + string(col),
+			Run: func() (javacRun, error) {
+				avg, max, units, nodes := run(col)
+				return javacRun{AvgMs: avg, MaxMs: max, Units: units, Nodes: nodes}, nil
+			},
+		})
+	}
+	runs := exec(ex, jobs)
 	var r JavacResult
-	r.STWAvgMs, r.STWMaxMs, r.STWUnits, r.STWNodes = run(gcsim.STW)
-	r.CGCAvgMs, r.CGCMaxMs, r.CGCUnits, r.CGCNodes = run(gcsim.CGC)
+	r.STWAvgMs, r.STWMaxMs, r.STWUnits, r.STWNodes = runs[0].AvgMs, runs[0].MaxMs, runs[0].Units, runs[0].Nodes
+	r.CGCAvgMs, r.CGCMaxMs, r.CGCUnits, r.CGCNodes = runs[1].AvgMs, runs[1].MaxMs, runs[1].Units, runs[1].Nodes
 	if r.STWNodes > 0 {
 		r.ThroughputLossPct = 100 * (1 - float64(r.CGCNodes)/float64(r.STWNodes))
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 	"mcgc/internal/vtime"
 )
@@ -21,8 +22,9 @@ type MMUResult struct {
 	STW, CGC  []float64
 }
 
-// MMU measures both collectors at 8 warehouses.
-func MMU(sc Scale) MMUResult {
+// MMU measures both collectors at 8 warehouses, one job per collector
+// under ex.
+func MMU(ex *Exec, sc Scale) MMUResult {
 	windows := []vtime.Duration{
 		1 * vtime.Millisecond,
 		2 * vtime.Millisecond,
@@ -69,8 +71,15 @@ func MMU(sc Scale) MMUResult {
 	for _, w := range windows {
 		res.WindowsMs = append(res.WindowsMs, w.Milliseconds())
 	}
-	res.STW = run(gcsim.STW)
-	res.CGC = run(gcsim.CGC)
+	var jobs []runner.Job[[]float64]
+	for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+		jobs = append(jobs, runner.Job[[]float64]{
+			Name: "mmu/" + string(col),
+			Run:  func() ([]float64, error) { return run(col), nil },
+		})
+	}
+	curves := exec(ex, jobs)
+	res.STW, res.CGC = curves[0], curves[1]
 	return res
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"mcgc/gcsim"
 	"mcgc/internal/heapsim"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -23,32 +24,40 @@ type PacketMemResult struct {
 }
 
 // PacketMem runs a SPECjbb configuration and reads the pool watermarks.
-func PacketMem(sc Scale) PacketMemResult {
-	vm := gcsim.New(gcsim.Options{
-		HeapBytes:   sc.JBBHeap,
-		Processors:  4,
-		Collector:   gcsim.CGC,
-		TracingRate: 8,
-		WorkPackets: sc.Packets,
-	})
-	jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8, MaxWarehouses: 8, ResidencyAtMax: 0.6, Seed: 5})
-	for i := 0; i < 1000 && !jbb.Ready(); i++ {
-		vm.RunFor(100 * gcsim.Millisecond)
-	}
-	vm.RunFor(sc.Measure)
-	if err := jbb.CheckIntegrity(); err != nil {
-		panic("experiments: " + err.Error())
-	}
-	pool := vm.CGCCollector().Pool()
-	r := PacketMemResult{
-		HeapBytes:       sc.JBBHeap,
-		MaxSlotsInUse:   pool.Stats.MaxSlotsInUse.Load(),
-		MaxPacketsInUse: pool.Stats.MaxInUse.Load(),
-		PacketCapacity:  pool.Capacity(),
-	}
-	r.LowerBoundPct = 100 * float64(r.MaxSlotsInUse*heapsim.WordBytes) / float64(r.HeapBytes)
-	r.UpperBoundPct = 100 * float64(r.MaxPacketsInUse*int64(r.PacketCapacity)*heapsim.WordBytes) / float64(r.HeapBytes)
-	return r
+// Its matrix is a single configuration, but it still goes through ex so
+// the run shows up in the harness telemetry.
+func PacketMem(ex *Exec, sc Scale) PacketMemResult {
+	jobs := []runner.Job[PacketMemResult]{{
+		Name: "packets/watermarks",
+		Run: func() (PacketMemResult, error) {
+			vm := gcsim.New(gcsim.Options{
+				HeapBytes:   sc.JBBHeap,
+				Processors:  4,
+				Collector:   gcsim.CGC,
+				TracingRate: 8,
+				WorkPackets: sc.Packets,
+			})
+			jbb := vm.NewJBB(gcsim.JBBOptions{Warehouses: 8, MaxWarehouses: 8, ResidencyAtMax: 0.6, Seed: 5})
+			for i := 0; i < 1000 && !jbb.Ready(); i++ {
+				vm.RunFor(100 * gcsim.Millisecond)
+			}
+			vm.RunFor(sc.Measure)
+			if err := jbb.CheckIntegrity(); err != nil {
+				panic("experiments: " + err.Error())
+			}
+			pool := vm.CGCCollector().Pool()
+			r := PacketMemResult{
+				HeapBytes:       sc.JBBHeap,
+				MaxSlotsInUse:   pool.Stats.MaxSlotsInUse.Load(),
+				MaxPacketsInUse: pool.Stats.MaxInUse.Load(),
+				PacketCapacity:  pool.Capacity(),
+			}
+			r.LowerBoundPct = 100 * float64(r.MaxSlotsInUse*heapsim.WordBytes) / float64(r.HeapBytes)
+			r.UpperBoundPct = 100 * float64(r.MaxPacketsInUse*int64(r.PacketCapacity)*heapsim.WordBytes) / float64(r.HeapBytes)
+			return r, nil
+		},
+	}}
+	return exec(ex, jobs)[0]
 }
 
 // RenderPacketMem prints the watermark analysis.

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/core"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -23,8 +25,9 @@ type Table4Row struct {
 // (no idle), without background threads, 1000 packets, increasing terminal
 // counts. The paper runs 625..1000 threads and watches the tracing factor
 // stay flat, fairness degrade slowly until the packet pool is exhausted,
-// and the normalized synchronization cost grow only moderately.
-func Table4(sc Scale, warehouseCounts []int, packets int) []Table4Row {
+// and the normalized synchronization cost grow only moderately. One job
+// per thread count under ex.
+func Table4(ex *Exec, sc Scale, warehouseCounts []int, packets int) []Table4Row {
 	if len(warehouseCounts) == 0 {
 		warehouseCounts = []int{25, 30, 34, 36, 38, 40}
 	}
@@ -32,7 +35,7 @@ func Table4(sc Scale, warehouseCounts []int, packets int) []Table4Row {
 		packets = 1000
 	}
 	maxWh := warehouseCounts[len(warehouseCounts)-1]
-	var rows []Table4Row
+	var jobs []runner.Job[[]core.CycleStats]
 	for _, wh := range warehouseCounts {
 		jopts := gcsim.JBBOptions{
 			Warehouses:            wh,
@@ -41,22 +44,33 @@ func Table4(sc Scale, warehouseCounts []int, packets int) []Table4Row {
 			TerminalsPerWarehouse: 25,
 			Seed:                  int64(300 + wh),
 		}
-		r := runJBB(sc, gcsim.Options{
-			HeapBytes:         sc.Table4Heap,
-			Processors:        4,
-			Collector:         gcsim.CGC,
-			TracingRate:       8,
-			WorkPackets:       packets,
-			BackgroundThreads: -1, // the paper measures without background threads
-		}, jopts)
+		jobs = append(jobs, runner.Job[[]core.CycleStats]{
+			Name: fmt.Sprintf("table4/wh=%d", wh),
+			Run: func() ([]core.CycleStats, error) {
+				r := runJBB(sc, gcsim.Options{
+					HeapBytes:         sc.Table4Heap,
+					Processors:        4,
+					Collector:         gcsim.CGC,
+					TracingRate:       8,
+					WorkPackets:       packets,
+					BackgroundThreads: -1, // the paper measures without background threads
+				}, jopts)
+				return r.Cycles, nil
+			},
+		})
+	}
+	runs := exec(ex, jobs)
 
+	var rows []Table4Row
+	for wi, wh := range warehouseCounts {
+		cycles := runs[wi]
 		row := Table4Row{Warehouses: wh, Threads: wh * 25}
 		var tfSum, fairSum float64
 		var tfN int
 		var costSum, costMax float64
 		var costN int
-		for i := range r.Cycles {
-			cs := &r.Cycles[i]
+		for i := range cycles {
+			cs := &cycles[i]
 			if cs.TracingFactors.N() > 0 {
 				tfSum += cs.TracingFactors.Mean()
 				fairSum += cs.TracingFactors.StdDev()

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"mcgc/gcsim"
+	"mcgc/internal/core"
+	"mcgc/internal/runner"
 	"mcgc/internal/stats"
 )
 
@@ -38,10 +40,23 @@ type TracingRateResult struct {
 	preWindowDegenerate bool
 }
 
+// rateRun is one configuration's measurement, detached from its VM: the
+// per-cycle stats are retained for the sequential reduction below, the VM
+// itself dies with the job.
+type rateRun struct {
+	Throughput             float64
+	AvgPauseMs, MaxPauseMs float64
+	LiveAfter              float64
+	Cycles                 []core.CycleStats
+}
+
 // TracingRates reproduces the Table 1/2/3 sweep: the stop-the-world
 // baseline plus the mostly concurrent collector at the given K0 values
-// (the paper uses 1, 4, 8, 10), all at maxWarehouses warehouses.
-func TracingRates(sc Scale, rates []float64, warehouses int) []TracingRateResult {
+// (the paper uses 1, 4, 8, 10), all at maxWarehouses warehouses. The
+// baseline and every rate are independent jobs under ex; the cross-run
+// reductions (floating garbage against the baseline, degenerate-window
+// substitution) happen sequentially once all runs are in.
+func TracingRates(ex *Exec, sc Scale, rates []float64, warehouses int) []TracingRateResult {
 	if len(rates) == 0 {
 		rates = []float64{1, 4, 8, 10}
 	}
@@ -55,40 +70,66 @@ func TracingRates(sc Scale, rates []float64, warehouses int) []TracingRateResult
 		Seed:           42,
 	}
 
-	stw := runJBB(sc, gcsim.Options{
-		HeapBytes:   sc.JBBHeap,
-		Processors:  4,
-		Collector:   gcsim.STW,
-		WorkPackets: sc.Packets,
-	}, jopts)
-	stwLive := stw.avgLiveAfter()
-	p, _, _ := stw.pauseSummaries()
+	measure := func(opts gcsim.Options) (rateRun, error) {
+		r := runJBB(sc, opts, jopts)
+		p, _, _ := r.pauseSummaries()
+		return rateRun{
+			Throughput: r.Throughput(),
+			AvgPauseMs: ms(p.Avg),
+			MaxPauseMs: ms(p.Max),
+			LiveAfter:  r.avgLiveAfter(),
+			Cycles:     r.Cycles,
+		}, nil
+	}
+	jobs := []runner.Job[rateRun]{{
+		Name: fmt.Sprintf("tables/wh=%d/stw", warehouses),
+		Run: func() (rateRun, error) {
+			return measure(gcsim.Options{
+				HeapBytes:   sc.JBBHeap,
+				Processors:  4,
+				Collector:   gcsim.STW,
+				WorkPackets: sc.Packets,
+			})
+		},
+	}}
+	for _, k0 := range rates {
+		jobs = append(jobs, runner.Job[rateRun]{
+			Name: fmt.Sprintf("tables/wh=%d/tr=%g", warehouses, k0),
+			Run: func() (rateRun, error) {
+				return measure(gcsim.Options{
+					HeapBytes:   sc.JBBHeap,
+					Processors:  4,
+					Collector:   gcsim.CGC,
+					TracingRate: k0,
+					WorkPackets: sc.Packets,
+				})
+			},
+		})
+	}
+	runs := exec(ex, jobs)
+
+	stw := runs[0]
+	stwLive := stw.LiveAfter
 	results := []TracingRateResult{{
 		Label:      "STW",
-		Throughput: stw.Throughput(),
-		AvgPauseMs: ms(p.Avg),
-		MaxPauseMs: ms(p.Max),
+		Throughput: stw.Throughput,
+		AvgPauseMs: stw.AvgPauseMs,
+		MaxPauseMs: stw.MaxPauseMs,
 		Cycles:     len(stw.Cycles),
 	}}
 
-	for _, k0 := range rates {
-		r := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.JBBHeap,
-			Processors:  4,
-			Collector:   gcsim.CGC,
-			TracingRate: k0,
-			WorkPackets: sc.Packets,
-		}, jopts)
+	for ri, k0 := range rates {
+		r := runs[ri+1]
 		res := TracingRateResult{
 			Label:      fmt.Sprintf("TR %g", k0),
 			K0:         k0,
-			Throughput: r.Throughput(),
+			Throughput: r.Throughput,
 			Cycles:     len(r.Cycles),
+			AvgPauseMs: r.AvgPauseMs,
+			MaxPauseMs: r.MaxPauseMs,
 		}
-		p, _, _ := r.pauseSummaries()
-		res.AvgPauseMs, res.MaxPauseMs = ms(p.Avg), ms(p.Max)
 		if stwLive > 0 {
-			res.FloatingGarbage = (r.avgLiveAfter() - stwLive) / stwLive
+			res.FloatingGarbage = (r.LiveAfter - stwLive) / stwLive
 		}
 
 		heap := float64(sc.JBBHeap)

@@ -1,0 +1,182 @@
+// Package runner is the host-parallel experiment harness. The evaluation
+// suite replays dozens of independent, deterministic VM configurations;
+// each one is single-goroutine and shares no state with its siblings, so
+// the configuration matrix is embarrassingly parallel across host cores.
+// The runner executes a slice of named, self-contained jobs on a bounded
+// worker pool and returns the results in submission order, so a parallel
+// run produces byte-identical output to a sequential one.
+//
+// Beyond scheduling, the runner records the telemetry the perf trajectory
+// needs: per-job wall-clock, approximate per-job host allocation, and the
+// pool-wide peak live heap sampled at job boundaries.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Job is one named, self-contained unit of work. Run must not share
+// mutable state with any other job in the batch: each job constructs its
+// own VM (or other world) from scratch.
+type Job[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// JobStat is the telemetry recorded for one executed job. AllocBytes is
+// the host bytes allocated while the job ran on its worker; with more than
+// one worker it includes sibling jobs' allocations and is only an upper
+// bound, so treat it as indicative rather than exact under parallelism.
+type JobStat struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  int64   `json:"alloc_bytes"`
+}
+
+// Result is the outcome of one job. A panic inside Job.Run is captured
+// into Err (with its stack) rather than tearing down sibling jobs.
+type Result[T any] struct {
+	JobStat
+	Value T
+	Err   error
+}
+
+// Stats summarizes one batch.
+type Stats struct {
+	Workers       int       `json:"workers"`
+	WallSeconds   float64   `json:"wall_seconds"`    // batch wall-clock
+	JobSeconds    float64   `json:"job_seconds"`     // sum of per-job wall-clock (≈ sequential cost)
+	PeakHeapBytes int64     `json:"peak_heap_bytes"` // max live heap sampled at job boundaries
+	Jobs          []JobStat `json:"jobs,omitempty"`
+}
+
+// Speedup returns the parallel speedup the batch achieved: the sum of the
+// per-job wall-clocks over the batch wall-clock. It is 0 when the batch
+// did no measurable work.
+func (s Stats) Speedup() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return s.JobSeconds / s.WallSeconds
+}
+
+const (
+	metricAllocBytes = "/gc/heap/allocs:bytes"
+	metricLiveBytes  = "/memory/classes/heap/objects:bytes"
+)
+
+func readMem() (allocs, live int64) {
+	samples := []metrics.Sample{{Name: metricAllocBytes}, {Name: metricLiveBytes}}
+	metrics.Read(samples)
+	for i := range samples {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			continue
+		}
+		v := int64(samples[i].Value.Uint64())
+		if samples[i].Name == metricAllocBytes {
+			allocs = v
+		} else {
+			live = v
+		}
+	}
+	return allocs, live
+}
+
+// Run executes jobs on at most workers concurrent goroutines (workers <= 0
+// means runtime.GOMAXPROCS(0)) and returns one Result per job, in
+// submission order. Panics are recovered into the job's Err. Run never
+// reorders, drops, or merges results, so output rendered from them is
+// byte-identical whatever the worker count.
+func Run[T any](workers int, jobs []Job[T]) ([]Result[T], Stats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	stats := Stats{Workers: workers}
+	if len(jobs) == 0 {
+		return nil, stats
+	}
+
+	results := make([]Result[T], len(jobs))
+	start := time.Now()
+
+	var mu sync.Mutex // guards peak-heap sampling
+	var peakHeap int64
+	samplePeak := func() {
+		_, live := readMem()
+		mu.Lock()
+		if live > peakHeap {
+			peakHeap = live
+		}
+		mu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(jobs[i])
+				samplePeak()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	stats.WallSeconds = time.Since(start).Seconds()
+	stats.PeakHeapBytes = peakHeap
+	stats.Jobs = make([]JobStat, len(results))
+	for i := range results {
+		stats.Jobs[i] = results[i].JobStat
+		stats.JobSeconds += results[i].WallSeconds
+	}
+	return results, stats
+}
+
+// runOne executes a single job, capturing panics and telemetry.
+func runOne[T any](job Job[T]) (res Result[T]) {
+	res.Name = job.Name
+	allocsBefore, _ := readMem()
+	start := time.Now()
+	defer func() {
+		res.WallSeconds = time.Since(start).Seconds()
+		allocsAfter, _ := readMem()
+		res.AllocBytes = allocsAfter - allocsBefore
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("job %q panicked: %v\n%s", job.Name, r, debug.Stack())
+		}
+	}()
+	res.Value, res.Err = job.Run()
+	if res.Err != nil {
+		res.Err = fmt.Errorf("job %q: %w", job.Name, res.Err)
+	}
+	return res
+}
+
+// Values unwraps a batch's values, preserving order. It panics on the
+// first failed job: experiment configurations are deterministic, so a
+// failure is a bug in the simulator or the configuration, not a runtime
+// condition to retry.
+func Values[T any](results []Result[T]) []T {
+	out := make([]T, len(results))
+	for i := range results {
+		if results[i].Err != nil {
+			panic(results[i].Err.Error())
+		}
+		out[i] = results[i].Value
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("square-%d", i),
+			Run:  func() (int, error) { return i * i, nil },
+		}
+	}
+	return jobs
+}
+
+func TestSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		results, stats := Run(workers, squareJobs(33))
+		if len(results) != 33 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if r.Value != i*i {
+				t.Errorf("workers=%d: result %d = %d, want %d (order not preserved)", workers, i, r.Value, i*i)
+			}
+			if r.Name != fmt.Sprintf("square-%d", i) {
+				t.Errorf("workers=%d: result %d named %q", workers, i, r.Name)
+			}
+		}
+		if len(stats.Jobs) != 33 {
+			t.Errorf("workers=%d: stats recorded %d jobs", workers, len(stats.Jobs))
+		}
+	}
+}
+
+func TestPanicCapturedAsError(t *testing.T) {
+	jobs := []Job[int]{
+		{Name: "ok", Run: func() (int, error) { return 7, nil }},
+		{Name: "boom", Run: func() (int, error) { panic("kapow") }},
+		{Name: "after", Run: func() (int, error) { return 9, nil }},
+	}
+	results, _ := Run(2, jobs)
+	if results[0].Err != nil || results[0].Value != 7 {
+		t.Errorf("job 0: %+v", results[0])
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kapow") {
+		t.Errorf("panic not captured: %v", results[1].Err)
+	}
+	if !strings.Contains(results[1].Err.Error(), `"boom"`) {
+		t.Errorf("error does not name the job: %v", results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Value != 9 {
+		t.Errorf("sibling of a panicking job affected: %+v", results[2])
+	}
+}
+
+func TestErrorsWrappedWithJobName(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	results, _ := Run(1, []Job[int]{
+		{Name: "failing", Run: func() (int, error) { return 0, sentinel }},
+	})
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Fatalf("wrapped error lost the cause: %v", results[0].Err)
+	}
+	if !strings.Contains(results[0].Err.Error(), `"failing"`) {
+		t.Fatalf("error does not name the job: %v", results[0].Err)
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	jobs := make([]Job[struct{}], 24)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{
+			Name: "n",
+			Run: func() (struct{}, error) {
+				n := cur.Add(1)
+				mu.Lock()
+				if n > max.Load() {
+					max.Store(n)
+				}
+				mu.Unlock()
+				defer cur.Add(-1)
+				return struct{}{}, nil
+			},
+		}
+	}
+	Run(workers, jobs)
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", m, workers)
+	}
+}
+
+func TestValuesPanicsOnError(t *testing.T) {
+	results, _ := Run(1, []Job[int]{
+		{Name: "bad", Run: func() (int, error) { return 0, errors.New("nope") }},
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Values did not panic on a failed job")
+		}
+		if !strings.Contains(fmt.Sprint(r), "bad") {
+			t.Fatalf("panic does not name the job: %v", r)
+		}
+	}()
+	Values(results)
+}
+
+func TestEmptyBatch(t *testing.T) {
+	results, stats := Run[int](4, nil)
+	if len(results) != 0 || stats.WallSeconds != 0 {
+		t.Fatalf("empty batch: %d results, stats %+v", len(results), stats)
+	}
+	if vs := Values(results); len(vs) != 0 {
+		t.Fatalf("Values on empty batch = %v", vs)
+	}
+}
+
+func TestTelemetryRecorded(t *testing.T) {
+	jobs := []Job[int]{{Name: "alloc", Run: func() (int, error) {
+		buf := make([]byte, 1<<20)
+		return int(buf[0]) + len(buf), nil
+	}}}
+	results, stats := Run(1, jobs)
+	if results[0].WallSeconds < 0 {
+		t.Errorf("negative wall-clock %v", results[0].WallSeconds)
+	}
+	if results[0].AllocBytes < 1<<20 {
+		t.Errorf("AllocBytes = %d, want >= 1 MiB", results[0].AllocBytes)
+	}
+	if stats.JobSeconds < results[0].WallSeconds {
+		t.Errorf("JobSeconds %v below the single job's wall %v", stats.JobSeconds, results[0].WallSeconds)
+	}
+	if stats.PeakHeapBytes <= 0 {
+		t.Errorf("PeakHeapBytes = %d", stats.PeakHeapBytes)
+	}
+	if stats.Speedup() <= 0 {
+		t.Errorf("Speedup = %v on a non-empty batch", stats.Speedup())
+	}
+}

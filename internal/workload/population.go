@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"mcgc/internal/heapsim"
 	"mcgc/internal/machine"
@@ -59,15 +60,17 @@ const (
 
 // stampNonce is the process-wide creation nonce source for integrity
 // stamps. Determinism does not require it to be seeded: checks only compare
-// payload[0] against payload[1].
-var stampNonce uint64
+// payload[0] against payload[1]. It is atomic because independent VMs run
+// concurrently under the experiment harness; each stamp must read its
+// nonce exactly once so the two payload words always agree.
+var stampNonce atomic.Uint64
 
 // stamp writes the integrity words of a freshly created object. The object
 // must have at least two payload words.
 func stamp(rt *mutator.Runtime, a heapsim.Addr) {
-	stampNonce++
-	rt.Heap.SetPayload(a, 1, stampNonce)
-	rt.Heap.SetPayload(a, 0, nodeMagic^stampNonce)
+	n := stampNonce.Add(1)
+	rt.Heap.SetPayload(a, 1, n)
+	rt.Heap.SetPayload(a, 0, nodeMagic^n)
 }
 
 // checkStamp verifies an object's integrity words.

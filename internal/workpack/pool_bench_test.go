@@ -1,0 +1,52 @@
+package workpack
+
+// Baselines for the work packet mechanism: tracing threads cycle packets
+// through the pool (one CAS per get/put) and push/pop grey references at
+// BFS rates. The parallel variant measures pool contention at host-core
+// counts.
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+)
+
+func BenchmarkPacketPushPop(b *testing.B) {
+	pool := NewPool(4, 0)
+	pkt := pool.GetEmpty()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.Push(heapsim.Addr(i))
+		if _, ok := pkt.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := NewPool(64, 32)
+	for i := 0; i < b.N; i++ {
+		pkt := p.GetOutput()
+		pkt.Push(1)
+		p.Put(pkt)
+		in := p.GetInput()
+		in.Pop()
+		p.Put(in)
+	}
+}
+
+func BenchmarkPoolContended(b *testing.B) {
+	p := NewPool(256, 32)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			pkt := p.GetOutput()
+			if pkt == nil {
+				continue
+			}
+			if !pkt.Full() {
+				pkt.Push(1)
+			}
+			p.Put(pkt)
+		}
+	})
+}

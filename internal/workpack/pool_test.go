@@ -468,31 +468,3 @@ func TestNewPoolValidation(t *testing.T) {
 		t.Fatalf("default capacity = %d, want %d", p.Capacity(), DefaultCapacity)
 	}
 }
-
-func BenchmarkPoolGetPut(b *testing.B) {
-	p := NewPool(64, 32)
-	for i := 0; i < b.N; i++ {
-		pkt := p.GetOutput()
-		pkt.Push(1)
-		p.Put(pkt)
-		in := p.GetInput()
-		in.Pop()
-		p.Put(in)
-	}
-}
-
-func BenchmarkPoolContended(b *testing.B) {
-	p := NewPool(256, 32)
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			pkt := p.GetOutput()
-			if pkt == nil {
-				continue
-			}
-			if !pkt.Full() {
-				pkt.Push(1)
-			}
-			p.Put(pkt)
-		}
-	})
-}

@@ -5,12 +5,13 @@
 GO ?= go
 
 # Packages with real goroutine concurrency (lock-free packet pool, the
-# weak-memory checker, the parallel experiment runner) or that drive it.
-RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core
+# weak-memory checker, the parallel experiment runner, the shared trace
+# emitter) or that drive it.
+RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace
 
-.PHONY: ci vet build test race smoke bench fmt
+.PHONY: ci vet build test race smoke trace-smoke bench fmt
 
-ci: vet build test race smoke
+ci: vet build test race smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +30,16 @@ race:
 smoke:
 	$(GO) run ./cmd/gcbench -exp fig1,javac,packets -scale quick -j 4 -json /tmp/gcbench-smoke.json
 	@rm -f /tmp/gcbench-smoke.json
+
+# Exercise the telemetry pipeline end to end: run one experiment with the
+# metrics and trace sinks attached, then validate both files with gcstats
+# (the trace check parses the file the way Perfetto would).
+trace-smoke:
+	$(GO) run ./cmd/gcbench -exp fig1 -scale quick -j 4 \
+		-metrics /tmp/gcbench-smoke.jsonl -trace /tmp/gcbench-smoke-trace.json
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcbench-smoke.jsonl -run wh=8
+	$(GO) run ./cmd/gcstats -trace /tmp/gcbench-smoke-trace.json -check
+	@rm -f /tmp/gcbench-smoke.jsonl /tmp/gcbench-smoke-trace.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

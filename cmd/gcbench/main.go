@@ -9,6 +9,8 @@
 //	gcbench -exp all -scale paper  # at the paper's heap sizes (slow)
 //	gcbench -exp all -j 8          # up to 8 simulator runs in parallel
 //	gcbench -exp all -json out.json # machine-readable results
+//	gcbench -exp fig1 -metrics m.jsonl -trace t.json
+//	                               # per-run telemetry + Chrome trace timeline
 //
 // Every simulated VM is deterministic and single-goroutine, so the
 // experiment matrix fans out across host cores (-j, defaulting to
@@ -31,7 +33,9 @@ import (
 	"time"
 
 	"mcgc/internal/experiments"
+	"mcgc/internal/runmeta"
 	"mcgc/internal/runner"
+	"mcgc/internal/telemetry"
 )
 
 // expNames lists the valid experiments in suite order.
@@ -50,24 +54,25 @@ type expResult struct {
 
 // resultsFile is the -json schema: per-experiment wall-clock and headline
 // metrics, plus the runner telemetry (per-job wall-clock, host allocation,
-// peak heap, achieved speedup) for the perf trajectory.
+// peak heap, achieved speedup) for the perf trajectory. The embedded
+// runmeta.Suite is the same struct the telemetry sinks stamp on -metrics
+// and -trace output, so the files cross-reference by identical fields.
 type resultsFile struct {
-	Scale        string      `json:"scale"`
-	J            int         `json:"j"`
-	GoMaxProcs   int         `json:"gomaxprocs"`
-	StartedAt    string      `json:"started_at"`
+	runmeta.Suite
 	TotalSeconds float64     `json:"total_seconds"`
 	Experiments  []expResult `json:"experiments"`
 }
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(expNames, ",")+",all")
-		scaleFlag  = flag.String("scale", "default", "experiment sizing: quick, default, paper")
-		jFlag      = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulator runs per experiment (1 = sequential)")
-		jsonFlag   = flag.String("json", "", "write machine-readable per-experiment results to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		expFlag     = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(expNames, ",")+",all")
+		scaleFlag   = flag.String("scale", "default", "experiment sizing: quick, default, paper")
+		jFlag       = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulator runs per experiment (1 = sequential)")
+		jsonFlag    = flag.String("json", "", "write machine-readable per-experiment results to this file")
+		metricsFlag = flag.String("metrics", "", "write per-run telemetry (counters, gauges, histograms) as JSONL to this file")
+		traceFlag   = flag.String("trace", "", "write a Chrome trace_event timeline (load in Perfetto or chrome://tracing) to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -132,14 +137,41 @@ func main() {
 	}
 
 	ex := experiments.Parallel(*jFlag)
+	var collector *telemetry.Collector
+	if *metricsFlag != "" || *traceFlag != "" {
+		collector = telemetry.NewCollector(*traceFlag != "")
+		ex.Telemetry = collector
+	}
 	all := want["all"]
 	out := resultsFile{
-		Scale:      *scaleFlag,
-		J:          *jFlag,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		Suite: runmeta.Suite{
+			Scale:      *scaleFlag,
+			J:          *jFlag,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		},
 	}
 	suiteStart := time.Now()
+
+	// noteHost folds the runner's wall-clock telemetry into the collector's
+	// host registry (host time is real, not virtual, so it lives apart from
+	// the per-run deterministic metrics).
+	hostSecondsBounds := []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500}
+	noteHost := func(sts []runner.Stats) {
+		if collector == nil {
+			return
+		}
+		host := collector.Host()
+		for _, st := range sts {
+			host.Counter("host.batches").Add(1)
+			host.Counter("host.jobs").Add(int64(len(st.Jobs)))
+			host.Histogram("host.batch_wall_seconds", hostSecondsBounds...).Observe(st.WallSeconds)
+			host.Histogram("host.batch_job_seconds", hostSecondsBounds...).Observe(st.JobSeconds)
+			if peak := host.Counter("host.peak_heap_bytes"); st.PeakHeapBytes > peak.Value() {
+				peak.Set(st.PeakHeapBytes)
+			}
+		}
+	}
 
 	section := func(name string, f func() (render string, metrics map[string]float64)) {
 		if !all && !want[name] {
@@ -151,11 +183,13 @@ func main() {
 		fmt.Println(render)
 		wall := time.Since(start).Seconds()
 		fmt.Printf("\n(%s computed in %.1fs of real time)\n\n", name, wall)
+		sts := ex.TakeStats()
+		noteHost(sts)
 		out.Experiments = append(out.Experiments, expResult{
 			Name:        name,
 			WallSeconds: wall,
 			Metrics:     metrics,
-			Runner:      ex.TakeStats(),
+			Runner:      sts,
 		})
 	}
 
@@ -313,6 +347,32 @@ func main() {
 		buf = append(buf, '\n')
 		if err := os.WriteFile(*jsonFlag, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "gcbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsFlag != "" {
+		f, err := os.Create(*metricsFlag)
+		if err == nil {
+			err = collector.WriteJSONL(f, out.Suite)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err == nil {
+			err = collector.WriteTrace(f, out.Suite)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: -trace: %v\n", err)
 			os.Exit(1)
 		}
 	}

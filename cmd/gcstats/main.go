@@ -1,0 +1,308 @@
+// Command gcstats reduces the telemetry files gcbench writes.
+//
+// Usage:
+//
+//	gcbench -exp fig1 -metrics m.jsonl -trace t.json
+//	gcstats -metrics m.jsonl                # pause percentiles, MMU, K trajectory per run
+//	gcstats -metrics m.jsonl -run wh=8      # only runs whose name contains "wh=8"
+//	gcstats -trace t.json -check            # validate the Chrome trace (CI smoke)
+//
+// The metrics report is computed entirely from the JSONL stream: pause
+// percentiles from the gc.pause_ns gauge, MMU from the same samples plus
+// the run.vtime_ns counter, and the tracing-rate trajectory from the
+// gc.pacing.k gauge. The -check mode parses the trace_event file the way a
+// viewer would and fails on structural problems (non-positive span
+// durations, time going backwards within a track, missing track names).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mcgc/internal/stats"
+	"mcgc/internal/vtime"
+)
+
+// line is the union of the JSONL record types the metrics sink emits.
+type line struct {
+	Type string `json:"type"`
+	Meta *struct {
+		Scale string `json:"scale"`
+		J     int    `json:"j"`
+	} `json:"meta,omitempty"`
+	// "run" is an object on run lines and a plain run-name string on metric
+	// lines; kept raw here and decoded per record type.
+	Run json.RawMessage `json:"run,omitempty"`
+
+	Name    string    `json:"name"`
+	Value   int64     `json:"value"`
+	AtNs    []int64   `json:"at_ns"`
+	V       []float64 `json:"v"`
+	Bounds  []float64 `json:"bounds"`
+	Counts  []int64   `json:"counts"`
+	N       int64     `json:"n"`
+	Sum     float64   `json:"sum"`
+	Dropped int64     `json:"dropped"`
+}
+
+// runData is everything gcstats keeps per run.
+type runData struct {
+	name      string
+	collector string
+	counters  map[string]int64
+	gauges    map[string]struct {
+		at []int64
+		v  []float64
+	}
+}
+
+var mmuWindows = []vtime.Duration{
+	1 * vtime.Millisecond,
+	10 * vtime.Millisecond,
+	50 * vtime.Millisecond,
+	200 * vtime.Millisecond,
+}
+
+func main() {
+	var (
+		metricsFlag = flag.String("metrics", "", "JSONL metrics file written by gcbench -metrics")
+		traceFlag   = flag.String("trace", "", "Chrome trace file written by gcbench -trace")
+		checkFlag   = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
+		runFlag     = flag.String("run", "", "only report runs whose name contains this substring")
+	)
+	flag.Parse()
+
+	switch {
+	case *checkFlag:
+		if *traceFlag == "" {
+			fmt.Fprintln(os.Stderr, "gcstats: -check needs -trace FILE")
+			os.Exit(2)
+		}
+		if err := checkTrace(*traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: trace check failed: %v\n", err)
+			os.Exit(1)
+		}
+	case *metricsFlag != "":
+		if err := report(*metricsFlag, *runFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// readRuns parses the JSONL stream into per-run metric maps, preserving the
+// file's (sorted) run order.
+func readRuns(path string) ([]*runData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var runs []*runData
+	byName := map[string]*runData{}
+	current := func(run string) *runData {
+		r := byName[run]
+		if r == nil {
+			r = &runData{
+				name:     run,
+				counters: map[string]int64{},
+				gauges: map[string]struct {
+					at []int64
+					v  []float64
+				}{},
+			}
+			byName[run] = r
+			runs = append(runs, r)
+		}
+		return r
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, ln, err)
+		}
+		switch l.Type {
+		case "suite":
+			// informational only
+		case "run":
+			var meta struct {
+				Name      string `json:"name"`
+				Collector string `json:"collector"`
+			}
+			if err := json.Unmarshal(l.Run, &meta); err != nil {
+				return nil, fmt.Errorf("%s:%d: run meta: %v", path, ln, err)
+			}
+			current(meta.Name).collector = meta.Collector
+		case "counter", "gauge", "hist":
+			var run string
+			if err := json.Unmarshal(l.Run, &run); err != nil {
+				return nil, fmt.Errorf("%s:%d: run key: %v", path, ln, err)
+			}
+			r := current(run)
+			switch l.Type {
+			case "counter":
+				r.counters[l.Name] = l.Value
+			case "gauge":
+				r.gauges[l.Name] = struct {
+					at []int64
+					v  []float64
+				}{l.AtNs, l.V}
+			}
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown record type %q", path, ln, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// report prints the per-run reduction.
+func report(path, filter string) error {
+	runs, err := readRuns(path)
+	if err != nil {
+		return err
+	}
+	reported := 0
+	for _, r := range runs {
+		if r.name == "host" || (filter != "" && !strings.Contains(r.name, filter)) {
+			continue
+		}
+		reported++
+		fmt.Printf("== %s (%s)\n", r.name, r.collector)
+
+		pauses := r.gauges["gc.pause_ns"]
+		if len(pauses.v) == 0 {
+			fmt.Printf("   no collections recorded\n")
+		} else {
+			qs := stats.QuantilesF(pauses.v, 0.5, 0.95, 1.0)
+			fmt.Printf("   pauses: %d  p50 %.2f ms  p95 %.2f ms  max %.2f ms\n",
+				len(pauses.v), qs[0]/1e6, qs[1]/1e6, qs[2]/1e6)
+		}
+
+		if total := vtime.Duration(r.counters["run.vtime_ns"]); total > 0 && len(pauses.v) > 0 {
+			var iv []stats.Interval
+			for i := range pauses.v {
+				start := vtime.Time(pauses.at[i])
+				iv = append(iv, stats.Interval{Start: start, End: start + vtime.Time(pauses.v[i])})
+			}
+			curve := stats.MMUCurve(iv, total, mmuWindows)
+			parts := make([]string, len(mmuWindows))
+			for i, w := range mmuWindows {
+				parts[i] = fmt.Sprintf("%.0fms %.0f%%", w.Milliseconds(), 100*curve[i])
+			}
+			fmt.Printf("   MMU: %s\n", strings.Join(parts, "  "))
+		}
+
+		if k := r.gauges["gc.pacing.k"]; len(k.v) > 0 {
+			min, max := k.v[0], k.v[0]
+			var sum float64
+			for _, v := range k.v {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+				sum += v
+			}
+			fmt.Printf("   K: %d increments  first %.2f  last %.2f  mean %.2f  range [%.2f, %.2f]\n",
+				len(k.v), k.v[0], k.v[len(k.v)-1], sum/float64(len(k.v)), min, max)
+		}
+		fmt.Println()
+	}
+	if reported == 0 {
+		return fmt.Errorf("no runs matched (file has %d runs)", len(runs))
+	}
+	return nil
+}
+
+// traceFile mirrors the subset of the trace_event schema -check inspects.
+type traceFile struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Pid  int64          `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Name string         `json:"name"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args,omitempty"`
+	} `json:"traceEvents"`
+}
+
+// checkTrace validates the trace the way a viewer would load it.
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	spanNames := map[string]bool{}
+	named := map[[2]int64]bool{} // (pid,tid) pairs covered by thread_name metadata
+	lastTs := map[[2]int64]float64{}
+	var spans, instants, counters int
+	for i, e := range tf.TraceEvents {
+		key := [2]int64{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[key] = true
+			}
+		case "X":
+			spans++
+			spanNames[e.Name] = true
+			if e.Dur <= 0 {
+				return fmt.Errorf("event %d (%q): non-positive span duration %g", i, e.Name, e.Dur)
+			}
+			if e.Ts < lastTs[key] {
+				return fmt.Errorf("event %d (%q): time goes backwards on track %v (%g < %g)", i, e.Name, key, e.Ts, lastTs[key])
+			}
+			lastTs[key] = e.Ts
+		case "i":
+			instants++
+		case "C":
+			counters++
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	for key := range lastTs {
+		if !named[key] {
+			return fmt.Errorf("track %v has events but no thread_name metadata", key)
+		}
+	}
+	if len(spanNames) < 5 {
+		names := make([]string, 0, len(spanNames))
+		for n := range spanNames {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("only %d distinct span types (%s); want >= 5", len(spanNames), strings.Join(names, ", "))
+	}
+	fmt.Printf("trace ok: %d spans (%d types), %d instants, %d counter samples, %d tracks\n",
+		spans, len(spanNames), instants, counters, len(lastTs))
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"mcgc/internal/machine"
 	"mcgc/internal/mutator"
 	"mcgc/internal/stats"
+	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workload"
 )
@@ -113,6 +114,14 @@ type Options struct {
 	// TraceSink, when set, receives the structured events directly
 	// (programmatic consumers; combined with GCTrace if both are set).
 	TraceSink gctrace.Sink
+
+	// Metrics and Timeline, when set, receive the collector's telemetry:
+	// Metrics accumulates counters/gauges/histograms, Timeline the span
+	// events for the Chrome-trace export. Telemetry only observes virtual
+	// time — enabling it changes no simulation result. Call
+	// VM.FinishTelemetry after the run to flush end-of-run counters.
+	Metrics  *telemetry.Registry
+	Timeline *telemetry.Timeline
 }
 
 func (o *Options) fill() {
@@ -156,9 +165,9 @@ func New(opts Options) *VM {
 	var sink gctrace.Sink
 	switch {
 	case opts.GCTrace != nil && opts.TraceSink != nil:
-		sink = gctrace.Multi(gctrace.TextWriter{W: opts.GCTrace}, opts.TraceSink)
+		sink = gctrace.Multi(&gctrace.TextWriter{W: opts.GCTrace}, opts.TraceSink)
 	case opts.GCTrace != nil:
-		sink = gctrace.TextWriter{W: opts.GCTrace}
+		sink = &gctrace.TextWriter{W: opts.GCTrace}
 	case opts.TraceSink != nil:
 		sink = opts.TraceSink
 	}
@@ -180,6 +189,7 @@ func New(opts Options) *VM {
 	case STW:
 		vm.stw = core.NewSTW(rt, m, opts.WorkPackets, opts.PacketCapacity, opts.Processors)
 		vm.stw.Trace = sink
+		vm.stw.AttachTelemetry(opts.Metrics, opts.Timeline)
 		rt.SetCollector(vm.stw)
 	case GenCGC:
 		cfg := core.DefaultCGCConfig()
@@ -195,6 +205,8 @@ func New(opts Options) *VM {
 		cfg.Compaction = opts.IncrementalCompaction
 		cfg.MutatorTracing = !opts.NoMutatorTracing
 		cfg.Trace = sink
+		cfg.Metrics = opts.Metrics
+		cfg.Timeline = opts.Timeline
 		vm.gen = core.NewGenerational(rt, m, core.GenConfig{
 			NurseryBytes: opts.NurseryBytes,
 			CGC:          cfg,
@@ -216,6 +228,8 @@ func New(opts Options) *VM {
 		cfg.Compaction = opts.IncrementalCompaction
 		cfg.MutatorTracing = !opts.NoMutatorTracing
 		cfg.Trace = sink
+		cfg.Metrics = opts.Metrics
+		cfg.Timeline = opts.Timeline
 		vm.cgc = core.NewCGC(rt, m, cfg)
 		rt.SetCollector(vm.cgc)
 		vm.cgc.SpawnBackground()
@@ -247,6 +261,18 @@ func (vm *VM) STWCollector() *core.STW { return vm.stw }
 
 // Now returns the current virtual time.
 func (vm *VM) Now() Time { return vm.m.Now() }
+
+// FinishTelemetry flushes the run's cumulative counters (pool CAS/contention
+// totals, card and fence accounting) into the configured metrics registry.
+// Call once after the last RunFor/RunUntil; a no-op when Options.Metrics and
+// Options.Timeline were nil.
+func (vm *VM) FinishTelemetry() {
+	if vm.cgc != nil {
+		vm.cgc.FinishTelemetry()
+	} else if vm.stw != nil {
+		vm.stw.FinishTelemetry()
+	}
+}
 
 // RunFor advances the simulation by d of virtual time.
 func (vm *VM) RunFor(d Duration) Time { return vm.m.Run(vm.m.Now().Add(d)) }

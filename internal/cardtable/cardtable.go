@@ -31,6 +31,7 @@ type Stats struct {
 	BarrierMarks    int64 // write-barrier executions (each dirties one card)
 	RegisterPasses  int64 // snapshot registration passes
 	CardsRegistered int64 // cumulative cards handed to cleaning
+	CardsCleaned    int64 // cumulative cards rescanned by the cleaning step
 }
 
 // Table tracks one dirty bit per card.
@@ -96,6 +97,11 @@ func (t *Table) ForEachDirty(fn func(card int)) {
 		fn(c)
 	}
 }
+
+// NoteCleaned records that n registered cards finished the rescan step
+// (step 3 of the cleaning protocol). The tracing engine calls it so
+// registered-vs-cleaned counts can be compared per pass.
+func (t *Table) NoteCleaned(n int) { t.Stats.CardsCleaned += int64(n) }
 
 // RegisterAndClear performs step 1 of the Section 5.3 cleaning protocol: it
 // scans the card table, appends every dirty card's index to into, and clears

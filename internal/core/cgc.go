@@ -8,6 +8,7 @@ import (
 	"mcgc/internal/heapsim"
 	"mcgc/internal/machine"
 	"mcgc/internal/mutator"
+	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workpack"
 )
@@ -66,6 +67,11 @@ type CGCConfig struct {
 	// Trace, when set, receives structured collection events (the
 	// equivalent of -verbose:gc).
 	Trace gctrace.Sink
+	// Metrics and Timeline, when set, receive the collector's telemetry
+	// (see internal/telemetry). Leaving both nil disables instrumentation
+	// at zero cost to the hot paths.
+	Metrics  *telemetry.Registry
+	Timeline *telemetry.Timeline
 }
 
 // DefaultCGCConfig returns the paper's default configuration.
@@ -89,6 +95,7 @@ type CGC struct {
 	eng   *engine
 	pacer *pacer
 	cfg   CGCConfig
+	tel   *coreTel
 
 	phase Phase
 
@@ -151,6 +158,7 @@ func NewCGC(rt *mutator.Runtime, m *machine.Machine, cfg CGCConfig) *CGC {
 		eng:   newEngine(rt, cfg.Packets, cfg.PacketCap),
 		pacer: newPacer(cfg.Pacing),
 		cfg:   cfg,
+		tel:   newCoreTel(cfg.Metrics, cfg.Timeline),
 	}
 	if cfg.Compaction && !cfg.LazySweep {
 		c.eng.comp = newCompactor(rt.Heap, rt.Costs, cfg.CompactAreaWords, cfg.OldSpaceWords)
@@ -239,11 +247,13 @@ func (c *CGC) SpawnBackground() {
 				ctx.Sleep(500 * vtime.Microsecond)
 				return machine.Continue
 			}
+			bgStart := ctx.Now()
 			done := c.doConcurrentWork(ctx, tr, c.cfg.BgQuantumBytes, nil)
 			tr.Release()
 			if done > 0 {
 				c.pacer.noteBackground(done)
 				c.cur.BgBytes += done
+				c.tel.noteBgQuantum(ctx, bgStart, done)
 			} else {
 				// Nothing to do: yield and try again (Section 4.3).
 				ctx.Charge(c.rt.Costs.ThinkPoll)
@@ -338,6 +348,10 @@ func (c *CGC) startCycle(ctx *machine.Context) {
 	c.cur.AllocAtPrevEnd = c.allocAtLastCycleEnd
 	c.cur.AllocAtConcStart = c.TotalAllocBytes
 	c.phase = PhaseConcurrent
+	if c.tel != nil {
+		c.tel.noteKickoff(ctx.Now(), c.rt.Heap.FreeBytes(),
+			c.pacer.kickoffThreshold(c.rt.Heap.OccupiedBytes()))
+	}
 	c.emit(gctrace.Event{
 		At:        ctx.Now(),
 		Kind:      gctrace.CycleStart,
@@ -350,7 +364,8 @@ func (c *CGC) startCycle(ctx *machine.Context) {
 // the progress formula, trace that much, and release the packets so other
 // threads can compete for them.
 func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int64) {
-	k := c.pacer.rate(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes())
+	start := ctx.Now()
+	k, corrective, best := c.pacer.rateDetail(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes())
 	if !c.cfg.MutatorTracing {
 		k = 0
 	}
@@ -373,6 +388,7 @@ func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int
 	}
 	if budget <= 0 {
 		tr.Release()
+		c.tel.noteIncrement(ctx, start, k, corrective, best, 0, 0, c.eng.pool)
 		return
 	}
 	done := c.doConcurrentWork(ctx, tr, budget, th)
@@ -380,6 +396,7 @@ func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int
 	c.pacer.noteTraced(done)
 	c.cur.Increments++
 	c.cur.TracingFactors.Add(float64(done) / float64(budget))
+	c.tel.noteIncrement(ctx, start, k, corrective, best, budget, done, c.eng.pool)
 	if c.phase == PhaseConcurrent && done < budget && c.terminationReady() {
 		c.finishCycle(ctx, "conc-done")
 	}
@@ -479,6 +496,7 @@ func (c *CGC) startCardPass(ctx *machine.Context) {
 	c.cards = c.rt.Cards.RegisterAndClear(c.cards[:0])
 	c.cardCursor = 0
 	ctx.Charge(c.rt.Costs.CardRegister * vtime.Duration(len(c.cards)+1))
+	c.tel.noteCardPass(ctx.Now(), len(c.cards), c.eng.pool)
 	c.emit(gctrace.Event{At: ctx.Now(), Kind: gctrace.CardPass, Cards: len(c.cards)})
 	// Step 2: one forced fence per mutator thread.
 	n := len(c.rt.Threads())
@@ -588,6 +606,7 @@ func (c *CGC) finishCycle(ctx *machine.Context, reason string) {
 	c.lastCycleEndAt = cs.EndAt
 	c.allocAtLastCycleEnd = c.TotalAllocBytes
 	c.Cycles = append(c.Cycles, cs)
+	c.tel.noteCycle(&cs, c.eng.pool)
 	c.emit(gctrace.Event{
 		At:            cs.EndAt,
 		Kind:          gctrace.PauseEnd,
@@ -652,6 +671,7 @@ func (c *CGC) directCollect(ctx *machine.Context) {
 	c.lastCycleEndAt = cs.EndAt
 	c.allocAtLastCycleEnd = c.TotalAllocBytes
 	c.Cycles = append(c.Cycles, cs)
+	c.tel.noteCycle(&cs, c.eng.pool)
 	c.emit(gctrace.Event{
 		At:            cs.EndAt,
 		Kind:          gctrace.PauseEnd,
@@ -660,4 +680,11 @@ func (c *CGC) directCollect(ctx *machine.Context) {
 		LiveBytes:     cs.LiveAfter,
 		FreeBytes:     cs.FreeAfter,
 	})
+}
+
+// FinishTelemetry flushes the run's cumulative pool/card/fence counters into
+// the configured metrics registry. Call once after the simulation stops; a
+// no-op when telemetry is disabled.
+func (c *CGC) FinishTelemetry() {
+	c.tel.finishRun(c.eng.pool, c.eng)
 }

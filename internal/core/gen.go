@@ -322,6 +322,7 @@ func (g *Generational) minorCollect(ctx *machine.Context) {
 		return w.Now()
 	})
 	ms.Pause = ctx.Now().Sub(ms.RequestedAt)
+	g.old.tel.noteMinor(&ms, ctx.Now())
 	g.old.emit(gctrace.Event{
 		At:            ctx.Now(),
 		Kind:          gctrace.MinorEnd,

@@ -92,11 +92,17 @@ func (p *pacer) predictions(occupiedBytes int64) (l, m float64) {
 	return l, m
 }
 
+// kickoffThreshold returns the free-memory level below which the concurrent
+// phase starts: (L+M)/K0 plus the configured headroom.
+func (p *pacer) kickoffThreshold(occupiedBytes int64) float64 {
+	l, m := p.predictions(occupiedBytes)
+	return (l+m)/p.cfg.K0 + float64(p.cfg.HeadroomBytes)
+}
+
 // shouldKickoff evaluates the kickoff formula: start the concurrent phase
 // when free memory drops below (L+M)/K0.
 func (p *pacer) shouldKickoff(freeBytes, occupiedBytes int64) bool {
-	l, m := p.predictions(occupiedBytes)
-	return float64(freeBytes) < (l+m)/p.cfg.K0+float64(p.cfg.HeadroomBytes)
+	return float64(freeBytes) < p.kickoffThreshold(occupiedBytes)
 }
 
 // startCycle resets the per-cycle progress state.
@@ -139,31 +145,40 @@ func (p *pacer) noteAllocation(bytes int64) {
 //	else:        K -= Best
 //	if K > K0:   K += (K-K0)*C, capped at KMax
 func (p *pacer) rate(freeBytes, occupiedBytes int64) float64 {
+	k, _, _ := p.rateDetail(freeBytes, occupiedBytes)
+	return k
+}
+
+// rateDetail is rate plus the intermediate terms the telemetry layer
+// records: the corrective addition applied when tracing fell behind K0, and
+// the Best discount in effect.
+func (p *pacer) rateDetail(freeBytes, occupiedBytes int64) (k, corrective, best float64) {
 	l, m := p.predictions(occupiedBytes)
 	kmax := p.cfg.kmax()
+	best = p.best.Value()
 	// The headroom shifts the completion target: tracing should finish
 	// while that much free memory remains (one promotion burst, under the
 	// generational extension), not at the exact moment of exhaustion.
 	freeBytes -= p.cfg.HeadroomBytes
 	if freeBytes <= 0 {
-		return kmax
+		return kmax, 0, best
 	}
-	k := (m + l - float64(p.traced)) / float64(freeBytes)
+	k = (m + l - float64(p.traced)) / float64(freeBytes)
 	if k < 0 {
-		return kmax
+		return kmax, 0, best
 	}
-	best := p.best.Value()
 	if k < best {
-		return 0
+		return 0, 0, best
 	}
 	k -= best
 	if k > p.cfg.K0 {
-		k += (k - p.cfg.K0) * p.cfg.C
+		corrective = (k - p.cfg.K0) * p.cfg.C
+		k += corrective
 	}
 	if k > kmax {
 		k = kmax
 	}
-	return k
+	return k, corrective, best
 }
 
 // endCycle records the cycle's actual traced volume and dirty-card volume

@@ -7,6 +7,7 @@ import (
 	"mcgc/internal/heapsim"
 	"mcgc/internal/machine"
 	"mcgc/internal/mutator"
+	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workpack"
 )
@@ -24,6 +25,7 @@ type STW struct {
 	m       *machine.Machine
 	eng     *engine
 	workers int
+	tel     *coreTel
 
 	// Trace, when set, receives structured collection events.
 	Trace gctrace.Sink
@@ -44,6 +46,17 @@ func NewSTW(rt *mutator.Runtime, m *machine.Machine, packets, packetCap, workers
 		workers = m.Processors()
 	}
 	return &STW{rt: rt, m: m, eng: newEngine(rt, packets, packetCap), workers: workers}
+}
+
+// AttachTelemetry connects a metrics registry and/or timeline (either may be
+// nil; both nil disables instrumentation entirely).
+func (c *STW) AttachTelemetry(reg *telemetry.Registry, tl *telemetry.Timeline) {
+	c.tel = newCoreTel(reg, tl)
+}
+
+// FinishTelemetry flushes the run's cumulative counters into the registry.
+func (c *STW) FinishTelemetry() {
+	c.tel.finishRun(c.eng.pool, c.eng)
 }
 
 // Name implements mutator.Collector.
@@ -92,6 +105,7 @@ func (c *STW) Collect(ctx *machine.Context, reason string) {
 	cs.LargestFreeAfter = int64(c.rt.Heap.LargestFreeChunk()) * heapsimWordBytes
 	c.eng.bytesTraced = 0
 	c.Cycles = append(c.Cycles, cs)
+	c.tel.noteCycle(&cs, c.eng.pool)
 	c.emit(gctrace.Event{
 		At:            cs.EndAt,
 		Kind:          gctrace.PauseEnd,

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"mcgc/internal/machine"
+	"mcgc/internal/telemetry"
+	"mcgc/internal/vtime"
+	"mcgc/internal/workpack"
+)
+
+// Timeline tracks for GC-global activity. Simulated threads use their small
+// machine IDs as track IDs; these live above telemetry.GlobalTrackBase so
+// they can never collide, even in thousand-thread configurations.
+const (
+	TrackPauses = telemetry.GlobalTrackBase + iota
+	TrackPhases
+	TrackCycles
+	TrackMinor
+	TrackCards
+	TrackPacing
+	TrackPool
+)
+
+// Pause-class histogram bounds in milliseconds, shared by major and minor
+// pause histograms (the paper's Figure 1 range runs from a few ms to ~1s).
+var pauseBucketBoundsMs = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// coreTel adapts a telemetry Registry/Timeline pair to the collectors'
+// instrumentation points. A nil *coreTel is the disabled state: every method
+// begins with a nil-receiver test, and the per-increment instruments are
+// pre-bound so the enabled hot path performs no map lookups. Telemetry only
+// observes — it never calls ctx.Charge — so enabling it cannot change any
+// experiment result.
+type coreTel struct {
+	reg *telemetry.Registry
+	tl  *telemetry.Timeline
+
+	// Pre-bound per-increment instruments.
+	gK          *telemetry.Gauge
+	gCorrective *telemetry.Gauge
+	gBest       *telemetry.Gauge
+	cIncrements *telemetry.Counter
+	cBgQuanta   *telemetry.Counter
+
+	lastBest     float64
+	bestPrimed   bool
+	occCountdown int
+}
+
+// occSampleEvery is the increment interval between periodic pool-occupancy
+// samples (occupancy is also sampled at every card pass and cycle boundary).
+const occSampleEvery = 64
+
+// newCoreTel returns nil — disabled telemetry — when both sinks are nil.
+func newCoreTel(reg *telemetry.Registry, tl *telemetry.Timeline) *coreTel {
+	if reg == nil && tl == nil {
+		return nil
+	}
+	t := &coreTel{reg: reg, tl: tl}
+	t.gK = reg.Gauge("gc.pacing.k")
+	t.gCorrective = reg.Gauge("gc.pacing.corrective")
+	t.gBest = reg.Gauge("gc.pacing.best")
+	t.cIncrements = reg.Counter("gc.increments")
+	t.cBgQuanta = reg.Counter("gc.bg_quanta")
+	tl.SetThreadName(TrackPauses, "gc/pauses")
+	tl.SetThreadName(TrackPhases, "gc/phases")
+	tl.SetThreadName(TrackCycles, "gc/cycles")
+	tl.SetThreadName(TrackCards, "gc/cards")
+	return t
+}
+
+// threadTrack names the calling thread's track (idempotent) and returns its
+// track ID.
+func (t *coreTel) threadTrack(ctx *machine.Context) int64 {
+	tid := int64(ctx.Thread().ID())
+	t.tl.SetThreadName(tid, ctx.Thread().Name())
+	return tid
+}
+
+// noteKickoff records the kickoff decision inputs at concurrent-phase start.
+func (t *coreTel) noteKickoff(at vtime.Time, freeBytes int64, threshold float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Gauge("gc.pacing.kickoff_free_bytes").Sample(at, float64(freeBytes))
+	t.reg.Gauge("gc.pacing.kickoff_target_bytes").Sample(at, threshold)
+	t.tl.Instant(TrackCycles, "kickoff", at,
+		telemetry.Arg{Key: "free_bytes", Val: float64(freeBytes)},
+		telemetry.Arg{Key: "target_bytes", Val: threshold})
+}
+
+// noteIncrement records one mutator tracing increment: the K trajectory
+// (with the corrective term and the background discount Best), a span on
+// the mutator's own track when the increment did real work, and a periodic
+// pool-occupancy sample.
+func (t *coreTel) noteIncrement(ctx *machine.Context, start vtime.Time, k, corrective, best float64, budget, done int64, pool *workpack.Pool) {
+	if t == nil {
+		return
+	}
+	at := ctx.Now()
+	t.cIncrements.Add(1)
+	t.gK.Sample(at, k)
+	if corrective != 0 {
+		t.gCorrective.Sample(at, corrective)
+	}
+	if !t.bestPrimed || best != t.lastBest {
+		t.bestPrimed = true
+		t.lastBest = best
+		t.gBest.Sample(at, best)
+	}
+	t.tl.Counter(TrackPacing, "K", at, telemetry.Arg{Key: "k", Val: k})
+	if budget > 0 {
+		t.tl.Span(t.threadTrack(ctx), "increment", start, at,
+			telemetry.Arg{Key: "k", Val: k},
+			telemetry.Arg{Key: "budget_bytes", Val: float64(budget)},
+			telemetry.Arg{Key: "done_bytes", Val: float64(done)})
+	}
+	if t.occCountdown--; t.occCountdown <= 0 {
+		t.occCountdown = occSampleEvery
+		t.samplePool(at, pool)
+	}
+}
+
+// noteBgQuantum records one background-thread tracing quantum.
+func (t *coreTel) noteBgQuantum(ctx *machine.Context, start vtime.Time, done int64) {
+	if t == nil {
+		return
+	}
+	t.cBgQuanta.Add(1)
+	t.tl.Span(t.threadTrack(ctx), "bg-quantum", start, ctx.Now(),
+		telemetry.Arg{Key: "done_bytes", Val: float64(done)})
+}
+
+// noteCardPass records a concurrent card registration pass and samples the
+// pool occupancy (card passes bracket the phase transitions where the
+// sub-pool distribution is most informative).
+func (t *coreTel) noteCardPass(at vtime.Time, registered int, pool *workpack.Pool) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter("cards.registered_passes").Add(1)
+	t.reg.Gauge("cards.per_pass").Sample(at, float64(registered))
+	t.tl.Instant(TrackCards, "card-pass", at,
+		telemetry.Arg{Key: "registered", Val: float64(registered)})
+	t.samplePool(at, pool)
+}
+
+// samplePool records the per-sub-pool packet counts as gauges and one
+// stacked counter track.
+func (t *coreTel) samplePool(at vtime.Time, pool *workpack.Pool) {
+	if t == nil || pool == nil {
+		return
+	}
+	occ := pool.Occupancy()
+	args := make([]telemetry.Arg, 0, int(workpack.NumSubPools))
+	for s := workpack.SubPool(0); s < workpack.NumSubPools; s++ {
+		t.reg.Gauge("pool.occupancy."+s.String()).Sample(at, float64(occ[s]))
+		args = append(args, telemetry.Arg{Key: s.String(), Val: float64(occ[s])})
+	}
+	t.tl.Counter(TrackPool, "pool-occupancy", at, args...)
+}
+
+// noteCycle records a completed collection cycle: pause/phase spans on the
+// global tracks, the cycle-level gauges and histograms, and a pool snapshot.
+// floating is the cycle's floating-garbage estimate in bytes (traced volume,
+// including card retracing, in excess of the surviving live bytes — an
+// upper bound).
+func (t *coreTel) noteCycle(cs *CycleStats, pool *workpack.Pool) {
+	if t == nil {
+		return
+	}
+	at := cs.EndAt
+	t.reg.Counter("gc.cycles").Add(1)
+	t.reg.Gauge("gc.pause_ns").Sample(cs.RequestedAt, float64(cs.Pause))
+	t.reg.Histogram("gc.pause_ms", pauseBucketBoundsMs...).Observe(cs.Pause.Milliseconds())
+	t.reg.Histogram("gc.mark_ms", pauseBucketBoundsMs...).Observe(cs.MarkTime.Milliseconds())
+	t.reg.Histogram("gc.sweep_ms", pauseBucketBoundsMs...).Observe(cs.SweepTime.Milliseconds())
+	t.reg.Gauge("gc.cycle.mark_ms").Sample(at, cs.MarkTime.Milliseconds())
+	t.reg.Gauge("gc.cycle.sweep_ms").Sample(at, cs.SweepTime.Milliseconds())
+	if cs.CompactTime > 0 {
+		t.reg.Gauge("gc.cycle.compact_ms").Sample(at, cs.CompactTime.Milliseconds())
+	}
+	traced := cs.BytesTracedConc + cs.BytesTracedStw
+	floating := traced - cs.LiveAfter
+	if floating < 0 {
+		floating = 0
+	}
+	t.reg.Gauge("gc.cycle.floating_bytes").Sample(at, float64(floating))
+	t.reg.Gauge("gc.cycle.live_after_bytes").Sample(at, float64(cs.LiveAfter))
+	t.reg.Gauge("gc.cycle.conc_bytes").Sample(at, float64(cs.BytesTracedConc))
+	t.reg.Gauge("gc.cycle.stw_bytes").Sample(at, float64(cs.BytesTracedStw))
+	t.reg.Gauge("gc.cycle.bg_bytes").Sample(at, float64(cs.BgBytes))
+	t.reg.Gauge("gc.cycle.cards_cleaned_conc").Sample(at, float64(cs.CardsCleanedConc))
+	t.reg.Gauge("gc.cycle.cards_cleaned_stw").Sample(at, float64(cs.CardsCleanedStw))
+
+	t.tl.Span(TrackPauses, "pause:"+cs.Reason, cs.RequestedAt, cs.EndAt,
+		telemetry.Arg{Key: "pause_ms", Val: cs.Pause.Milliseconds()})
+	markStart := cs.StoppedAt
+	t.tl.Span(TrackPhases, "mark", markStart, cs.MarkEndAt)
+	if cs.SweepTime > 0 {
+		t.tl.Span(TrackPhases, "sweep", cs.MarkEndAt, cs.MarkEndAt.Add(cs.SweepTime))
+	}
+	if cs.CompactTime > 0 {
+		compStart := cs.MarkEndAt.Add(cs.SweepTime)
+		t.tl.Span(TrackPhases, "compact", compStart, compStart.Add(cs.CompactTime))
+	}
+	if cs.ConcStartAt != 0 {
+		t.tl.Span(TrackCycles, "concurrent:"+cs.Reason, cs.ConcStartAt, cs.RequestedAt,
+			telemetry.Arg{Key: "conc_bytes", Val: float64(cs.BytesTracedConc)},
+			telemetry.Arg{Key: "increments", Val: float64(cs.Increments)})
+	}
+	t.samplePool(at, pool)
+}
+
+// noteMinor records one generational minor collection.
+func (t *coreTel) noteMinor(ms *MinorStats, endAt vtime.Time) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter("gc.minor.count").Add(1)
+	t.reg.Gauge("gc.minor.pause_ns").Sample(ms.RequestedAt, float64(ms.Pause))
+	t.reg.Histogram("gc.minor.pause_ms", pauseBucketBoundsMs...).Observe(ms.Pause.Milliseconds())
+	t.reg.Gauge("gc.minor.promoted_bytes").Sample(endAt, float64(ms.PromotedBytes))
+	t.tl.SetThreadName(TrackMinor, "gc/minor")
+	t.tl.Span(TrackMinor, "minor", ms.RequestedAt, endAt,
+		telemetry.Arg{Key: "promoted_bytes", Val: float64(ms.PromotedBytes)},
+		telemetry.Arg{Key: "cards_scanned", Val: float64(ms.CardsScanned)})
+}
+
+// finishRun copies the run's cumulative pool, card and fence counters into
+// the registry. Called once after the simulation stops (the atomics are
+// cheap to read but there is no need to mirror them continuously).
+func (t *coreTel) finishRun(pool *workpack.Pool, eng *engine) {
+	if t == nil {
+		return
+	}
+	ps := &pool.Stats
+	t.reg.Counter("pool.cas_attempts").Set(ps.CASAttempts.Load())
+	t.reg.Counter("pool.cas_retries").Set(ps.CASRetries.Load())
+	t.reg.Counter("pool.gets").Set(ps.Gets.Load())
+	t.reg.Counter("pool.puts").Set(ps.Puts.Load())
+	t.reg.Counter("pool.return_fences").Set(ps.ReturnFences.Load())
+	t.reg.Counter("pool.max_packets_in_use").Set(ps.MaxInUse.Load())
+	t.reg.Counter("pool.max_slots_in_use").Set(ps.MaxSlotsInUse.Load())
+	cards := &eng.rt.Cards.Stats
+	t.reg.Counter("cards.dirtied").Set(cards.BarrierMarks)
+	t.reg.Counter("cards.registered").Set(cards.CardsRegistered)
+	t.reg.Counter("cards.cleaned").Set(cards.CardsCleaned)
+	t.reg.Counter("gc.mark_fences").Set(eng.markFences)
+	t.reg.Counter("gc.deferred_objects").Set(eng.deferred)
+	t.reg.Counter("gc.overflows").Set(eng.overflows)
+	t.reg.Counter("gc.bytes_traced").Set(eng.bytesTraced)
+	t.reg.Counter("gc.objects_traced").Set(eng.objsTraced)
+}

@@ -207,6 +207,7 @@ func (e *engine) scanGlobals(ch charger, tr *workpack.Tracer) {
 // bytes retraced.
 func (e *engine) cleanCard(ch charger, tr *workpack.Tracer, card int) int64 {
 	e.cardsCleaned++
+	e.rt.Cards.NoteCleaned(1)
 	ch.Charge(e.costs.CardScan)
 	from, to := e.rt.Cards.CardBounds(card)
 	if int(to) > e.rt.Heap.SizeWords() {

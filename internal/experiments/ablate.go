@@ -67,8 +67,10 @@ func Ablations(ex *Exec, sc Scale) []AblationRow {
 
 	var jobs []runner.Job[AblationRow]
 	for _, v := range variants {
+		name := "ablate/" + v.name
+		ex.instrument(name, &v.opts, jopts.Seed)
 		jobs = append(jobs, runner.Job[AblationRow]{
-			Name: "ablate/" + v.name,
+			Name: name,
 			Run: func() (AblationRow, error) {
 				r := runJBB(sc, v.opts, jopts)
 				p, m, sw := r.pauseSummaries()

@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mcgc/gcsim"
 	"mcgc/internal/core"
+	"mcgc/internal/runmeta"
 	"mcgc/internal/runner"
+	"mcgc/internal/telemetry"
 )
 
 // The parallel harness must not change results: every simulated VM is
@@ -71,5 +74,53 @@ func TestPerCycleStatsParallelMatchesSequential(t *testing.T) {
 		if a != b {
 			t.Errorf("job %d per-cycle stats differ between -j 1 and -j 4:\nseq: %s\npar: %s", i, a, b)
 		}
+	}
+}
+
+// Telemetry output must be as deterministic as the tables: the collector
+// sorts runs by (exp, name) at write time, every metric is keyed by virtual
+// time, and nothing in the sinks consults the host clock, so the JSONL and
+// trace files must come out byte-identical whatever J is.
+func TestTelemetryDeterministicAcrossJ(t *testing.T) {
+	sc := QuickScale()
+	suite := runmeta.Suite{Scale: "quick"}
+	dump := func(j int) (jsonl, trace string) {
+		ex := Parallel(j)
+		ex.Telemetry = telemetry.NewCollector(true)
+		Fig1(ex, sc, 2)
+		var mb, tb strings.Builder
+		if err := ex.Telemetry.WriteJSONL(&mb, suite); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		if err := ex.Telemetry.WriteTrace(&tb, suite); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return mb.String(), tb.String()
+	}
+	seqJSONL, seqTrace := dump(1)
+	parJSONL, parTrace := dump(4)
+	if seqJSONL != parJSONL {
+		t.Errorf("telemetry JSONL differs between -j 1 and -j 4")
+	}
+	if seqTrace != parTrace {
+		t.Errorf("telemetry trace differs between -j 1 and -j 4")
+	}
+	if len(seqJSONL) == 0 || seqJSONL == "\n" {
+		t.Fatalf("telemetry JSONL is empty; the comparison is vacuous")
+	}
+}
+
+// Enabling telemetry must not perturb the simulation: the instrumentation
+// only observes virtual time and never charges it, so the rendered tables
+// have to be byte-identical with and without a collector attached.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	sc := QuickScale()
+	plain := Seq()
+	bare := RenderFig1(Fig1(plain, sc, 2))
+	instrumented := Seq()
+	instrumented.Telemetry = telemetry.NewCollector(true)
+	traced := RenderFig1(Fig1(instrumented, sc, 2))
+	if bare != traced {
+		t.Fatalf("enabling telemetry changed experiment results:\n--- bare ---\n%s\n--- instrumented ---\n%s", bare, traced)
 	}
 }

@@ -7,12 +7,15 @@
 package experiments
 
 import (
+	"strings"
 	"sync"
 
 	"mcgc/gcsim"
 	"mcgc/internal/core"
+	"mcgc/internal/runmeta"
 	"mcgc/internal/runner"
 	"mcgc/internal/stats"
+	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workload"
 )
@@ -28,6 +31,11 @@ type Exec struct {
 	// sequential; runner.Run treats <= 0 as GOMAXPROCS, so Exec pins the
 	// default to 1 explicitly).
 	J int
+
+	// Telemetry, when set, collects per-run metrics and timeline events:
+	// every instrumented run registers itself here, and the caller writes
+	// the collector out (JSONL and/or Chrome trace) after the suite.
+	Telemetry *telemetry.Collector
 
 	mu    sync.Mutex
 	stats []runner.Stats
@@ -64,6 +72,36 @@ func (ex *Exec) note(st runner.Stats) {
 	ex.mu.Lock()
 	ex.stats = append(ex.stats, st)
 	ex.mu.Unlock()
+}
+
+// instrument attaches a telemetry run to opts when ex carries a collector
+// (no-op otherwise, leaving opts.Metrics/Timeline nil so the simulator's
+// instrumented paths cost nothing). The run is keyed by the job name, whose
+// leading path segment is the experiment (e.g. "fig1/wh=3/cgc" → exp
+// "fig1"). Called at job-construction time, before the batch runs, so run
+// registration order is deterministic whatever J is.
+func (ex *Exec) instrument(name string, opts *gcsim.Options, seed int64) {
+	if ex == nil || ex.Telemetry == nil {
+		return
+	}
+	exp := name
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		exp = name[:i]
+	}
+	col := string(opts.Collector)
+	if col == "" {
+		col = string(gcsim.CGC)
+	}
+	run := ex.Telemetry.StartRun(runmeta.Run{
+		Exp:       exp,
+		Name:      name,
+		Collector: col,
+		Seed:      seed,
+		Workers:   opts.Processors,
+		HeapBytes: opts.HeapBytes,
+	})
+	opts.Metrics = run.Registry
+	opts.Timeline = run.Timeline
 }
 
 // exec runs a job batch under the policy and unwraps the values (panicking
@@ -203,6 +241,11 @@ func runJBB(sc Scale, opts gcsim.Options, jopts gcsim.JBBOptions) runResult {
 	vm.RunFor(sc.Measure)
 	if err := jbb.CheckIntegrity(); err != nil {
 		panic("experiments: integrity failure: " + err.Error())
+	}
+	vm.FinishTelemetry()
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("run.vtime_ns").Set(int64(vm.Now()))
+		opts.Metrics.Counter("run.transactions").Set(jbb.Transactions())
 	}
 	all := vm.Cycles()
 	return runResult{

@@ -55,8 +55,10 @@ func Fig1(ex *Exec, sc Scale, maxWarehouses int) []Fig1Row {
 			if col == gcsim.CGC {
 				opts.TracingRate = 8
 			}
+			name := fmt.Sprintf("fig1/wh=%d/%s", wh, col)
+			ex.instrument(name, &opts, jopts.Seed)
 			jobs = append(jobs, runner.Job[fig1Run]{
-				Name: fmt.Sprintf("fig1/wh=%d/%s", wh, col),
+				Name: name,
 				Run: func() (fig1Run, error) {
 					r := runJBB(sc, opts, jopts)
 					p, m, _ := r.pauseSummaries()

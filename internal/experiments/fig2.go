@@ -63,8 +63,10 @@ func Fig2(ex *Exec, sc Scale, loWh, hiWh, stepWh int) []Fig2Row {
 			if col == gcsim.CGC {
 				opts.TracingRate = 8
 			}
+			name := fmt.Sprintf("fig2/wh=%d/%s", wh, col)
+			ex.instrument(name, &opts, jopts.Seed)
 			jobs = append(jobs, runner.Job[fig2Run]{
-				Name: fmt.Sprintf("fig2/wh=%d/%s", wh, col),
+				Name: name,
 				Run: func() (fig2Run, error) {
 					r := runJBB(sc, opts, jopts)
 					p, m, sw := r.pauseSummaries()

@@ -67,8 +67,10 @@ func Generational(ex *Exec, sc Scale) GenResult {
 		if col == gcsim.GenCGC {
 			opts.NurseryBytes = sc.JBBHeap / 8
 		}
+		name := "gen/" + string(col)
+		ex.instrument(name, &opts, jopts.Seed)
 		jobs = append(jobs, runner.Job[genRun]{
-			Name: "gen/" + string(col),
+			Name: name,
 			Run: func() (genRun, error) {
 				run := runJBB(sc, opts, jopts)
 				p, _, _ := run.pauseSummaries()

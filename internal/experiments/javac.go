@@ -29,14 +29,8 @@ type javacRun struct {
 
 // Javac runs the comparison, one job per collector under ex.
 func Javac(ex *Exec, sc Scale) JavacResult {
-	run := func(col gcsim.Collector) (avg, max float64, units, nodes int64) {
-		vm := gcsim.New(gcsim.Options{
-			HeapBytes:         sc.JavacHeap,
-			Processors:        1,
-			Collector:         col,
-			WorkPackets:       sc.Packets,
-			BackgroundThreads: 1, // "a single background collector thread"
-		})
+	run := func(opts gcsim.Options) (avg, max float64, units, nodes int64) {
+		vm := gcsim.New(opts)
 		j := vm.NewJavac(0.7)
 		vm.RunFor(sc.Warmup)
 		cyclesBefore := len(vm.Cycles())
@@ -45,6 +39,10 @@ func Javac(ex *Exec, sc Scale) JavacResult {
 		vm.RunFor(sc.Measure * 2) // javac is single-threaded; give it time
 		if j.Err != nil {
 			panic("experiments: javac integrity failure: " + j.Err.Error())
+		}
+		vm.FinishTelemetry()
+		if opts.Metrics != nil {
+			opts.Metrics.Counter("run.vtime_ns").Set(int64(vm.Now()))
 		}
 		cycles := vm.Cycles()[cyclesBefore:]
 		var ds []vtime.Duration
@@ -60,10 +58,19 @@ func Javac(ex *Exec, sc Scale) JavacResult {
 	}
 	var jobs []runner.Job[javacRun]
 	for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+		name := "javac/" + string(col)
+		opts := gcsim.Options{
+			HeapBytes:         sc.JavacHeap,
+			Processors:        1,
+			Collector:         col,
+			WorkPackets:       sc.Packets,
+			BackgroundThreads: 1, // "a single background collector thread"
+		}
+		ex.instrument(name, &opts, 0)
 		jobs = append(jobs, runner.Job[javacRun]{
-			Name: "javac/" + string(col),
+			Name: name,
 			Run: func() (javacRun, error) {
-				avg, max, units, nodes := run(col)
+				avg, max, units, nodes := run(opts)
 				return javacRun{AvgMs: avg, MaxMs: max, Units: units, Nodes: nodes}, nil
 			},
 		})

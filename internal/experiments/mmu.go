@@ -36,15 +36,9 @@ func MMU(ex *Exec, sc Scale) MMUResult {
 		200 * vtime.Millisecond,
 		500 * vtime.Millisecond,
 	}
-	run := func(col gcsim.Collector) []float64 {
+	run := func(opts gcsim.Options) []float64 {
 		jopts := gcsim.JBBOptions{Warehouses: 8, MaxWarehouses: 8, ResidencyAtMax: 0.6, Seed: 6}
-		r := runJBB(sc, gcsim.Options{
-			HeapBytes:   sc.JBBHeap,
-			Processors:  4,
-			Collector:   col,
-			TracingRate: 8,
-			WorkPackets: sc.Packets,
-		}, jopts)
+		r := runJBB(sc, opts, jopts)
 		var pauses []stats.Interval
 		var t0, t1 vtime.Time
 		// Use the measurement window: from the first measured cycle's
@@ -73,9 +67,18 @@ func MMU(ex *Exec, sc Scale) MMUResult {
 	}
 	var jobs []runner.Job[[]float64]
 	for _, col := range []gcsim.Collector{gcsim.STW, gcsim.CGC} {
+		name := "mmu/" + string(col)
+		opts := gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   col,
+			TracingRate: 8,
+			WorkPackets: sc.Packets,
+		}
+		ex.instrument(name, &opts, 6)
 		jobs = append(jobs, runner.Job[[]float64]{
-			Name: "mmu/" + string(col),
-			Run:  func() ([]float64, error) { return run(col), nil },
+			Name: name,
+			Run:  func() ([]float64, error) { return run(opts), nil },
 		})
 	}
 	curves := exec(ex, jobs)

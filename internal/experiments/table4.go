@@ -44,17 +44,20 @@ func Table4(ex *Exec, sc Scale, warehouseCounts []int, packets int) []Table4Row 
 			TerminalsPerWarehouse: 25,
 			Seed:                  int64(300 + wh),
 		}
+		name := fmt.Sprintf("table4/wh=%d", wh)
+		opts := gcsim.Options{
+			HeapBytes:         sc.Table4Heap,
+			Processors:        4,
+			Collector:         gcsim.CGC,
+			TracingRate:       8,
+			WorkPackets:       packets,
+			BackgroundThreads: -1, // the paper measures without background threads
+		}
+		ex.instrument(name, &opts, jopts.Seed)
 		jobs = append(jobs, runner.Job[[]core.CycleStats]{
-			Name: fmt.Sprintf("table4/wh=%d", wh),
+			Name: name,
 			Run: func() ([]core.CycleStats, error) {
-				r := runJBB(sc, gcsim.Options{
-					HeapBytes:         sc.Table4Heap,
-					Processors:        4,
-					Collector:         gcsim.CGC,
-					TracingRate:       8,
-					WorkPackets:       packets,
-					BackgroundThreads: -1, // the paper measures without background threads
-				}, jopts)
+				r := runJBB(sc, opts, jopts)
 				return r.Cycles, nil
 			},
 		})

@@ -81,28 +81,34 @@ func TracingRates(ex *Exec, sc Scale, rates []float64, warehouses int) []Tracing
 			Cycles:     r.Cycles,
 		}, nil
 	}
+	stwName := fmt.Sprintf("tables/wh=%d/stw", warehouses)
+	stwOpts := gcsim.Options{
+		HeapBytes:   sc.JBBHeap,
+		Processors:  4,
+		Collector:   gcsim.STW,
+		WorkPackets: sc.Packets,
+	}
+	ex.instrument(stwName, &stwOpts, jopts.Seed)
 	jobs := []runner.Job[rateRun]{{
-		Name: fmt.Sprintf("tables/wh=%d/stw", warehouses),
+		Name: stwName,
 		Run: func() (rateRun, error) {
-			return measure(gcsim.Options{
-				HeapBytes:   sc.JBBHeap,
-				Processors:  4,
-				Collector:   gcsim.STW,
-				WorkPackets: sc.Packets,
-			})
+			return measure(stwOpts)
 		},
 	}}
 	for _, k0 := range rates {
+		name := fmt.Sprintf("tables/wh=%d/tr=%g", warehouses, k0)
+		opts := gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: k0,
+			WorkPackets: sc.Packets,
+		}
+		ex.instrument(name, &opts, jopts.Seed)
 		jobs = append(jobs, runner.Job[rateRun]{
-			Name: fmt.Sprintf("tables/wh=%d/tr=%g", warehouses, k0),
+			Name: name,
 			Run: func() (rateRun, error) {
-				return measure(gcsim.Options{
-					HeapBytes:   sc.JBBHeap,
-					Processors:  4,
-					Collector:   gcsim.CGC,
-					TracingRate: k0,
-					WorkPackets: sc.Packets,
-				})
+				return measure(opts)
 			},
 		})
 	}

@@ -8,6 +8,7 @@ package gctrace
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"mcgc/internal/vtime"
@@ -122,35 +123,43 @@ func (r *Recorder) Count(k Kind) int {
 	return n
 }
 
-// TextWriter renders events as single log lines, one per event.
+// TextWriter renders events as single log lines, one per event. Emits from
+// concurrent VMs sharing one writer are serialized by a mutex, and each line
+// is formatted into a private buffer before the single Write, so lines can
+// never interleave mid-field even on writers that split small writes.
 type TextWriter struct {
-	W io.Writer
+	W  io.Writer
+	mu sync.Mutex
 }
 
 // Emit implements Sink.
-func (t TextWriter) Emit(e Event) {
+func (t *TextWriter) Emit(e Event) {
+	var b strings.Builder
 	switch e.Kind {
 	case CycleStart:
-		fmt.Fprintf(t.W, "[gc %v] cycle start (%s) free=%dKB\n", e.At, e.Reason, e.FreeBytes>>10)
+		fmt.Fprintf(&b, "[gc %v] cycle start (%s) free=%dKB\n", e.At, e.Reason, e.FreeBytes>>10)
 	case PauseStart:
-		fmt.Fprintf(t.W, "[gc %v] pause start (%s)\n", e.At, e.Reason)
+		fmt.Fprintf(&b, "[gc %v] pause start (%s)\n", e.At, e.Reason)
 	case MarkEnd:
-		fmt.Fprintf(t.W, "[gc %v] mark end, %d cards cleaned in pause\n", e.At, e.Cards)
+		fmt.Fprintf(&b, "[gc %v] mark end, %d cards cleaned in pause\n", e.At, e.Cards)
 	case SweepEnd:
-		fmt.Fprintf(t.W, "[gc %v] sweep end, free=%dKB\n", e.At, e.FreeBytes>>10)
+		fmt.Fprintf(&b, "[gc %v] sweep end, free=%dKB\n", e.At, e.FreeBytes>>10)
 	case PauseEnd:
-		fmt.Fprintf(t.W, "[gc %v] pause end: %v, live=%dKB free=%dKB\n",
+		fmt.Fprintf(&b, "[gc %v] pause end: %v, live=%dKB free=%dKB\n",
 			e.At, e.PauseDuration, e.LiveBytes>>10, e.FreeBytes>>10)
 	case MinorStart:
-		fmt.Fprintf(t.W, "[gc %v] minor start, nursery=%dKB\n", e.At, e.LiveBytes>>10)
+		fmt.Fprintf(&b, "[gc %v] minor start, nursery=%dKB\n", e.At, e.LiveBytes>>10)
 	case MinorEnd:
-		fmt.Fprintf(t.W, "[gc %v] minor end: %v, promoted=%dKB\n",
+		fmt.Fprintf(&b, "[gc %v] minor end: %v, promoted=%dKB\n",
 			e.At, e.PauseDuration, e.PromotedBytes>>10)
 	case CardPass:
-		fmt.Fprintf(t.W, "[gc %v] concurrent card pass: %d cards registered\n", e.At, e.Cards)
+		fmt.Fprintf(&b, "[gc %v] concurrent card pass: %d cards registered\n", e.At, e.Cards)
 	case LazySweepDone:
-		fmt.Fprintf(t.W, "[gc %v] lazy sweep complete, free=%dKB\n", e.At, e.FreeBytes>>10)
+		fmt.Fprintf(&b, "[gc %v] lazy sweep complete, free=%dKB\n", e.At, e.FreeBytes>>10)
 	default:
-		fmt.Fprintf(t.W, "[gc %v] %s\n", e.At, e.Kind)
+		fmt.Fprintf(&b, "[gc %v] %s\n", e.At, e.Kind)
 	}
+	t.mu.Lock()
+	io.WriteString(t.W, b.String())
+	t.mu.Unlock()
 }

@@ -29,7 +29,7 @@ func TestMulti(t *testing.T) {
 
 func TestTextWriterFormats(t *testing.T) {
 	var sb strings.Builder
-	w := TextWriter{W: &sb}
+	w := &TextWriter{W: &sb}
 	at := vtime.Time(3 * vtime.Millisecond)
 	events := []Event{
 		{At: at, Kind: CycleStart, Reason: "kickoff", FreeBytes: 2048},

@@ -1,0 +1,81 @@
+package gctrace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mcgc/internal/vtime"
+)
+
+// chunkWriter writes one byte per Write call, maximizing the window for
+// interleaving if a sink ever issues more than one Write per line.
+type chunkWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, by := range p {
+		c.b.WriteByte(by)
+	}
+	return len(p), nil
+}
+
+// Concurrent background threads from independent VMs can share one trace
+// sink (e.g. both logging to the process stderr). Run under -race; also
+// checks no line is torn mid-field.
+func TestTextWriterConcurrentEmitDoesNotInterleave(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 200
+	)
+	cw := &chunkWriter{}
+	w := &TextWriter{W: cw}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				w.Emit(Event{
+					At:            vtime.Time(g*perG + i),
+					Kind:          PauseEnd,
+					PauseDuration: vtime.Duration(i) * vtime.Millisecond,
+					LiveBytes:     int64(g) << 20,
+					FreeBytes:     int64(i) << 10,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(cw.b.String(), "\n"), "\n")
+	if len(lines) != goroutines*perG {
+		t.Fatalf("got %d lines, want %d", len(lines), goroutines*perG)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "[gc ") || !strings.Contains(ln, "pause end:") {
+			t.Fatalf("torn line: %q", ln)
+		}
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Emit(Event{Kind: CardPass, Cards: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(CardPass); got != 8*500 {
+		t.Fatalf("recorded %d events, want %d", got, 8*500)
+	}
+}

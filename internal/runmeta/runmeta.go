@@ -1,0 +1,32 @@
+// Package runmeta defines the run-identification structs shared by every
+// machine-readable output of the suite: the gcbench -json results file, the
+// telemetry JSONL metrics sink, and the Chrome-trace export. Factoring them
+// here keeps the field names (experiment, seed, worker count, ...) agreeing
+// across sinks instead of being duplicated per writer.
+package runmeta
+
+// Suite identifies one gcbench invocation (one execution of the experiment
+// matrix).
+type Suite struct {
+	// Scale is the experiment sizing ("quick", "default", "paper").
+	Scale string `json:"scale"`
+	// J is the host-parallelism the suite ran with.
+	J int `json:"j"`
+	// GoMaxProcs is the host GOMAXPROCS at startup.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// StartedAt is the wall-clock start, RFC3339 UTC.
+	StartedAt string `json:"started_at"`
+}
+
+// Run identifies one simulator run within an experiment. Name is unique
+// within a suite (it is the runner job name, e.g. "fig1/wh=3/cgc").
+type Run struct {
+	Exp       string `json:"exp"`
+	Name      string `json:"name"`
+	Collector string `json:"collector,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Workers is the simulated processor count of the run (the parallel
+	// GC worker count follows it unless overridden).
+	Workers   int   `json:"workers,omitempty"`
+	HeapBytes int64 `json:"heap_bytes,omitempty"`
+}

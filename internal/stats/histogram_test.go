@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"testing"
+
+	"mcgc/internal/vtime"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	if h.N() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("fresh histogram not zero: n=%d sum=%v", h.N(), h.Sum())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	if len(h.Counts()) != 4 {
+		t.Fatalf("want 3 bounds + overflow bucket, got %d buckets", len(h.Counts()))
+	}
+}
+
+func TestHistogramSingleton(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	h.Observe(7)
+	if h.N() != 1 || h.Sum() != 7 || h.Mean() != 7 || h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("singleton stats wrong: n=%d sum=%v min=%v max=%v", h.N(), h.Sum(), h.Min(), h.Max())
+	}
+	// 7 lands in the (1,10] bucket.
+	if got := h.Counts()[1]; got != 1 {
+		t.Fatalf("counts = %v", h.Counts())
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(p); got != 10 {
+			t.Fatalf("singleton quantile(%v) = %v, want bucket bound 10", p, got)
+		}
+	}
+}
+
+func TestHistogramDuplicates(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for i := 0; i < 5; i++ {
+		h.Observe(10) // exactly on a bound: belongs to the (1,10] bucket
+	}
+	if h.Counts()[1] != 5 {
+		t.Fatalf("bound-valued samples landed wrong: %v", h.Counts())
+	}
+	if h.Min() != 10 || h.Max() != 10 || h.Mean() != 10 {
+		t.Fatalf("duplicate stats wrong: min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("duplicate quantile = %v, want 10", got)
+	}
+}
+
+func TestHistogramOverflowAndSpread(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	want := []int64{1, 1, 2}
+	for i, c := range h.Counts() {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts(), want)
+		}
+	}
+	if h.Min() != 0.5 || h.Max() != 500 {
+		t.Fatalf("extremes: min=%v max=%v", h.Min(), h.Max())
+	}
+	// p100 falls in the overflow bucket, reported as the exact max.
+	if got := h.Quantile(1); got != 500 {
+		t.Fatalf("overflow quantile = %v, want 500", got)
+	}
+	if got := h.Quantile(0.25); got != 1 {
+		t.Fatalf("p25 = %v, want first bound 1", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestQuantilesSharedSort(t *testing.T) {
+	var ds []vtime.Duration
+	for i := 100; i >= 1; i-- {
+		ds = append(ds, vtime.Duration(i))
+	}
+	got := Quantiles(ds, 0, 0.5, 0.95, 1)
+	want := []vtime.Duration{1, 50, 95, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quantiles = %v, want %v", got, want)
+		}
+	}
+	// Input not mutated.
+	if ds[0] != 100 {
+		t.Fatal("Quantiles mutated its input")
+	}
+	empty := Quantiles(nil, 0.5, 0.9)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("empty quantiles = %v", empty)
+	}
+}
+
+func TestQuantilesF(t *testing.T) {
+	xs := []float64{3, 3, 1, 2, 3}
+	got := QuantilesF(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 3 {
+		t.Fatalf("quantilesF = %v", got)
+	}
+	if out := QuantilesF(nil, 0.5); out[0] != 0 {
+		t.Fatalf("empty quantilesF = %v", out)
+	}
+	if out := QuantilesF([]float64{42}, 0, 1); out[0] != 42 || out[1] != 42 {
+		t.Fatalf("singleton quantilesF = %v", out)
+	}
+}

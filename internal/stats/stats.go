@@ -252,20 +252,137 @@ func (p *Plot) String() string {
 // nearest-rank on a sorted copy. Pause-time distributions are commonly
 // reported as p95/p99 alongside avg/max.
 func Percentile(ds []vtime.Duration, p float64) vtime.Duration {
+	return Quantiles(ds, p)[0]
+}
+
+// Quantiles returns the nearest-rank quantiles of the durations for every
+// requested p in [0,1], sorting the input once. Empty input yields zeros.
+func Quantiles(ds []vtime.Duration, ps ...float64) []vtime.Duration {
+	out := make([]vtime.Duration, len(ps))
 	if len(ds) == 0 {
-		return 0
-	}
-	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
+		return out
 	}
 	sorted := append([]vtime.Duration(nil), ds...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	for i, p := range ps {
+		out[i] = sorted[nearestRank(p, len(sorted))]
+	}
+	return out
+}
+
+// QuantilesF is Quantiles over float64 samples (the telemetry sinks store
+// gauge samples as float64).
+func QuantilesF(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = sorted[nearestRank(p, len(sorted))]
+	}
+	return out
+}
+
+// nearestRank maps quantile p over n sorted samples to an index.
+func nearestRank(p float64, n int) int {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
+	}
+	rank := int(math.Ceil(p*float64(n))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank >= n {
+		rank = n - 1
 	}
-	return sorted[rank]
+	return rank
+}
+
+// Histogram is a fixed-bucket histogram: bounds are ascending upper bounds,
+// sample i lands in the first bucket with v <= bounds[i], or the overflow
+// bucket past the last bound. It also tracks exact count/sum/min/max so the
+// mean is not bucket-quantized. The zero value is unusable; construct with
+// NewHistogram. Not safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records a sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the exact sample sum.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact sample mean (zero with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min and Max return the exact extremes (zero with no samples).
+func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Counts returns the per-bucket counts; the final entry is the overflow
+// bucket beyond the last bound.
+func (h *Histogram) Counts() []int64 { return h.counts }
+
+// Quantile returns an upper-bound estimate of the p-quantile: the bound of
+// the bucket containing the nearest-rank sample (Max for the overflow
+// bucket). Exact for the extremes when they fall on the recorded min/max.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(nearestRank(p, int(h.n)))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if rank < seen {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
 }

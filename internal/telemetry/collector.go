@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"mcgc/internal/runmeta"
+	"mcgc/internal/vtime"
+)
+
+// Run bundles one simulator run's identity with its instruments. The
+// Registry is always present; the Timeline only when the collector was
+// created with tracing on.
+type Run struct {
+	Meta     runmeta.Run
+	Registry *Registry
+	Timeline *Timeline
+}
+
+// Collector gathers the telemetry of a whole suite: one Run per simulator
+// run plus a host-level registry for wall-clock runner stats. StartRun is
+// safe to call from the runner's worker goroutines; each returned Run is
+// then owned by its single VM goroutine. Output is sorted by (Exp, Name) at
+// write time so it is byte-identical regardless of host parallelism; the
+// host registry is inherently nondeterministic and is emitted after all run
+// records, tagged "host", so deterministic consumers can stop early.
+type Collector struct {
+	withTrace bool
+
+	mu   sync.Mutex
+	runs []*Run
+	host *Registry
+}
+
+// NewCollector creates a collector; withTrace controls whether runs get a
+// Timeline.
+func NewCollector(withTrace bool) *Collector {
+	return &Collector{withTrace: withTrace, host: NewRegistry()}
+}
+
+// StartRun registers a run and returns its instrument bundle.
+func (c *Collector) StartRun(meta runmeta.Run) *Run {
+	r := &Run{Meta: meta, Registry: NewRegistry()}
+	if c.withTrace {
+		r.Timeline = NewTimeline()
+	}
+	c.mu.Lock()
+	c.runs = append(c.runs, r)
+	c.mu.Unlock()
+	return r
+}
+
+// Host returns the suite-level registry for nondeterministic host metrics
+// (wall-clock durations, worker utilization).
+func (c *Collector) Host() *Registry { return c.host }
+
+// Runs returns the registered runs sorted by (Exp, Name).
+func (c *Collector) Runs() []*Run {
+	c.mu.Lock()
+	out := append([]*Run(nil), c.runs...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Meta.Exp != out[j].Meta.Exp {
+			return out[i].Meta.Exp < out[j].Meta.Exp
+		}
+		return out[i].Meta.Name < out[j].Meta.Name
+	})
+	return out
+}
+
+// JSONL record shapes. Every line carries "type"; run-scoped lines carry the
+// run name so each line is self-contained.
+type jsonlSuite struct {
+	Type string        `json:"type"`
+	Meta runmeta.Suite `json:"meta"`
+}
+
+type jsonlRun struct {
+	Type string      `json:"type"`
+	Run  runmeta.Run `json:"run"`
+}
+
+type jsonlCounter struct {
+	Type  string `json:"type"`
+	Run   string `json:"run,omitempty"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonlGauge struct {
+	Type    string    `json:"type"`
+	Run     string    `json:"run,omitempty"`
+	Name    string    `json:"name"`
+	AtNs    []int64   `json:"at_ns"`
+	V       []float64 `json:"v"`
+	Dropped int64     `json:"dropped,omitempty"`
+}
+
+type jsonlHist struct {
+	Type   string    `json:"type"`
+	Run    string    `json:"run,omitempty"`
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	N      int64     `json:"n"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// WriteJSONL dumps the suite's metrics as JSON Lines: one suite line, then
+// per run (sorted) a run line followed by its counter/gauge/hist lines, then
+// the host registry tagged run="host".
+func (c *Collector) WriteJSONL(w io.Writer, suite runmeta.Suite) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlSuite{Type: "suite", Meta: suite}); err != nil {
+		return err
+	}
+	for _, r := range c.Runs() {
+		if err := enc.Encode(jsonlRun{Type: "run", Run: r.Meta}); err != nil {
+			return err
+		}
+		if err := writeRegistry(enc, r.Meta.Name, r.Registry); err != nil {
+			return err
+		}
+	}
+	if err := writeRegistry(enc, "host", c.host); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeRegistry(enc *json.Encoder, run string, reg *Registry) error {
+	for _, ctr := range reg.Counters() {
+		if err := enc.Encode(jsonlCounter{Type: "counter", Run: run, Name: ctr.Name(), Value: ctr.Value()}); err != nil {
+			return err
+		}
+	}
+	for _, g := range reg.Gauges() {
+		rec := jsonlGauge{Type: "gauge", Run: run, Name: g.Name(), Dropped: g.Dropped()}
+		samples := g.Samples()
+		rec.AtNs = make([]int64, len(samples))
+		rec.V = make([]float64, len(samples))
+		for i, s := range samples {
+			rec.AtNs[i] = int64(s.At)
+			rec.V[i] = s.V
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, h := range reg.Histograms() {
+		sh := h.Hist()
+		if err := enc.Encode(jsonlHist{
+			Type: "hist", Run: run, Name: h.Name(),
+			Bounds: sh.Bounds(), Counts: sh.Counts(),
+			N: sh.N(), Sum: sh.Sum(), Min: sh.Min(), Max: sh.Max(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chrome trace_event JSON shapes. ts/dur are in microseconds per the format;
+// virtual nanoseconds are divided down as floats (0.001µs resolution).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int64                  `json:"pid"`
+	Tid  int64                  `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+func usec(t vtime.Time) float64        { return float64(t) / 1e3 }
+func usecDur(d vtime.Duration) float64 { return float64(d) / 1e3 }
+
+// WriteTrace dumps the suite's timelines in Chrome trace_event format
+// (JSON object with a traceEvents array), loadable in Perfetto and
+// chrome://tracing. Each run becomes a process (pid = 1-based index in
+// sorted run order); each simulated thread or GC-global track becomes a
+// thread within it.
+func (c *Collector) WriteTrace(w io.Writer, suite runmeta.Suite) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"scale\":%q,\"j\":%d},\"traceEvents\":[", suite.Scale, suite.J); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(ev interface{}) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder.Encode appends '\n', which is harmless inside the array
+		// and keeps the file greppable.
+		return enc.Encode(ev)
+	}
+	for i, r := range c.Runs() {
+		pid := int64(i + 1)
+		if err := emit(metaEvent(pid, 0, "process_name", map[string]interface{}{"name": r.Meta.Exp + "/" + r.Meta.Name})); err != nil {
+			return err
+		}
+		tl := r.Timeline
+		if tl == nil {
+			continue
+		}
+		for _, tid := range tl.threadOrder {
+			if err := emit(metaEvent(pid, tid, "thread_name", map[string]interface{}{"name": tl.threadNames[tid]})); err != nil {
+				return err
+			}
+			if err := emit(metaEvent(pid, tid, "thread_sort_index", map[string]interface{}{"sort_index": tid})); err != nil {
+				return err
+			}
+		}
+		for _, ev := range tl.events {
+			ce := chromeEvent{Name: ev.name, Ph: string(ev.ph), Pid: pid, Tid: ev.tid, Ts: usec(ev.ts)}
+			switch ev.ph {
+			case phSpan:
+				ce.Dur = usecDur(ev.dur)
+			case phInstant:
+				ce.S = "t"
+			}
+			if len(ev.args) > 0 {
+				ce.Args = make(map[string]interface{}, len(ev.args))
+				for _, a := range ev.args {
+					ce.Args[a.Key] = a.Val
+				}
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func metaEvent(pid, tid int64, name string, args map[string]interface{}) chromeEvent {
+	return chromeEvent{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: args}
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcgc/internal/runmeta"
+	"mcgc/internal/vtime"
+)
+
+// The disabled path — nil registry, nil instruments, nil timeline — must add
+// zero allocations to the hot loops it instruments.
+func TestNoopPathAllocatesNothing(t *testing.T) {
+	var reg *Registry
+	var tl *Timeline
+	ctr := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", 1, 2)
+	if ctr != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr.Add(1)
+		ctr.Set(7)
+		g.Sample(5, 1.5)
+		h.Observe(3)
+		tl.Span(1, "s", 0, 10)
+		tl.Instant(1, "i", 5)
+		tl.Counter(1, "c", 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op telemetry path allocated %v per run, want 0", allocs)
+	}
+	if ctr.Value() != 0 || len(g.Samples()) != 0 || tl.Len() != 0 {
+		t.Fatal("nil instruments retained data")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a.count")
+	c.Add(2)
+	c.Add(3)
+	if reg.Counter("a.count") != c {
+		t.Fatal("counter not memoized by name")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	c.Set(9)
+	if c.Value() != 9 {
+		t.Fatalf("after Set: %d", c.Value())
+	}
+
+	g := reg.Gauge("b.gauge")
+	g.Sample(10, 1.0)
+	g.Sample(20, 2.0)
+	if s := g.Samples(); len(s) != 2 || s[1].At != 20 || s[1].V != 2.0 {
+		t.Fatalf("samples = %+v", g.Samples())
+	}
+
+	h := reg.Histogram("c.hist", 1, 10)
+	h.Observe(5)
+	if h.Hist().N() != 1 {
+		t.Fatal("histogram did not record")
+	}
+
+	names := []string{}
+	for _, ctr := range reg.Counters() {
+		names = append(names, ctr.Name())
+	}
+	if len(names) != 1 || names[0] != "a.count" {
+		t.Fatalf("counters = %v", names)
+	}
+}
+
+func TestGaugeRetentionCap(t *testing.T) {
+	g := NewRegistry().Gauge("big")
+	for i := 0; i < maxGaugeSamples+10; i++ {
+		g.Sample(vtime.Time(i), float64(i))
+	}
+	if len(g.Samples()) != maxGaugeSamples {
+		t.Fatalf("retained %d, want cap %d", len(g.Samples()), maxGaugeSamples)
+	}
+	if g.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", g.Dropped())
+	}
+}
+
+func TestTimelineCapAndZeroWidth(t *testing.T) {
+	tl := NewTimeline()
+	tl.Span(1, "zero", 5, 5)
+	if tl.events[0].dur != 1 {
+		t.Fatalf("zero-width span dur = %d, want widened to 1", tl.events[0].dur)
+	}
+	for i := 0; i < maxTimelineEvents+5; i++ {
+		tl.Instant(1, "i", vtime.Time(i))
+	}
+	if tl.Len() != maxTimelineEvents {
+		t.Fatalf("retained %d events, want cap %d", tl.Len(), maxTimelineEvents)
+	}
+	if tl.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tl.Dropped())
+	}
+}
+
+func buildCollector(order []int) *Collector {
+	runs := []runmeta.Run{
+		{Exp: "fig1", Name: "fig1/wh=1/cgc", Collector: "cgc", Seed: 1, Workers: 2},
+		{Exp: "fig1", Name: "fig1/wh=2/cgc", Collector: "cgc", Seed: 2, Workers: 2},
+		{Exp: "javac", Name: "javac/stw", Collector: "stw", Seed: 3, Workers: 1},
+	}
+	c := NewCollector(true)
+	for _, i := range order {
+		r := c.StartRun(runs[i])
+		reg, tl := r.Registry, r.Timeline
+		reg.Counter("gc.cycles").Add(int64(i + 1))
+		reg.Gauge("gc.pacing.k").Sample(vtime.Time(100*(i+1)), float64(i)+0.5)
+		reg.Histogram("gc.pause_ms", 1, 10, 100).Observe(float64(5 * (i + 1)))
+		tl.SetThreadName(1, "mutator-1")
+		tl.SetThreadName(GlobalTrackBase, "gc/pauses")
+		tl.Span(1, "increment", 10, 20, Arg{Key: "k", Val: 2.5})
+		tl.Span(1, "increment", 30, 45)
+		tl.Span(GlobalTrackBase, "pause:handle-full", 50, 60)
+		tl.Instant(GlobalTrackBase, "card-pass", 55)
+		tl.Counter(GlobalTrackBase+1, "K", 10, Arg{Key: "k", Val: 2.5})
+	}
+	return c
+}
+
+// JSONL output must be byte-identical no matter what order runs registered
+// in (the runner's completion order varies with -j), and every line must be
+// standalone-parseable JSON.
+func TestWriteJSONLDeterministicAcrossRegistrationOrder(t *testing.T) {
+	suite := runmeta.Suite{Scale: "quick", J: 4, GoMaxProcs: 8, StartedAt: "2026-01-01T00:00:00Z"}
+	var a, b bytes.Buffer
+	if err := buildCollector([]int{0, 1, 2}).WriteJSONL(&a, suite); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildCollector([]int{2, 0, 1}).WriteJSONL(&b, suite); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL differs with registration order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := bytes.Split(bytes.TrimSpace(a.Bytes()), []byte("\n"))
+	if len(lines) < 1+3*4 {
+		t.Fatalf("expected >= 13 lines, got %d", len(lines))
+	}
+	var first struct{ Type string }
+	for i, ln := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal(ln, &m); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		if i == 0 {
+			if err := json.Unmarshal(ln, &first); err != nil || first.Type != "suite" {
+				t.Fatalf("first line type %q, want suite", first.Type)
+			}
+		}
+	}
+}
+
+func TestWriteTraceValidOrderedAndNamed(t *testing.T) {
+	suite := runmeta.Suite{Scale: "quick", J: 1}
+	var buf bytes.Buffer
+	if err := buildCollector([]int{1, 2, 0}).WriteTrace(&buf, suite); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int64                  `json:"pid"`
+			Tid  int64                  `json:"tid"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spanNames := map[string]bool{}
+	threadNames := map[string]bool{}
+	lastStart := map[[2]int64]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spanNames[ev.Name] = true
+			if ev.Dur <= 0 {
+				t.Fatalf("span %q has dur %v", ev.Name, ev.Dur)
+			}
+			key := [2]int64{ev.Pid, ev.Tid}
+			if ev.Ts < lastStart[key] {
+				t.Fatalf("span %q out of order on track %v: ts %v after %v", ev.Name, key, ev.Ts, lastStart[key])
+			}
+			lastStart[key] = ev.Ts
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Args["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"increment", "pause:handle-full"} {
+		if !spanNames[want] {
+			t.Fatalf("missing span type %q; have %v", want, spanNames)
+		}
+	}
+	if !threadNames["mutator-1"] || !threadNames["gc/pauses"] {
+		t.Fatalf("missing thread names: %v", threadNames)
+	}
+	// pid assignment follows sorted (exp, name) order, not registration order.
+	var procs []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs = append(procs, ev.Args["name"].(string))
+		}
+	}
+	want := []string{"fig1/fig1/wh=1/cgc", "fig1/fig1/wh=2/cgc", "javac/javac/stw"}
+	if len(procs) != 3 {
+		t.Fatalf("process names = %v", procs)
+	}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Fatalf("process order = %v, want %v", procs, want)
+		}
+	}
+}

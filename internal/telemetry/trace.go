@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"mcgc/internal/vtime"
+)
+
+// maxTimelineEvents caps per-run event retention; Dropped reports overflow.
+// The cap is count-based, so it is deterministic for a given run.
+const maxTimelineEvents = 250_000
+
+// Track IDs below GlobalTrackBase belong to simulated machine threads (the
+// machine allocates small consecutive IDs). GC-global tracks — pauses,
+// phases, cycles, minor collections, card passes — live above the base so
+// they can never collide with a thread even in thousand-thread configs.
+const GlobalTrackBase int64 = 1 << 20
+
+// Arg is one numeric key/value attached to a trace event.
+type Arg struct {
+	Key string
+	Val float64
+}
+
+// Phases of the Chrome trace_event format used by the exporter.
+const (
+	phSpan    = 'X' // complete event: ts + dur
+	phInstant = 'i'
+	phCounter = 'C'
+)
+
+type traceEvent struct {
+	ph   byte
+	tid  int64
+	name string
+	ts   vtime.Time
+	dur  vtime.Duration
+	args []Arg
+}
+
+// Timeline accumulates the span/instant/counter events of one run for the
+// Chrome-trace export. A nil Timeline is the disabled state: every method
+// no-ops. Like Registry, a Timeline belongs to one single-goroutine VM and
+// is unsynchronized.
+type Timeline struct {
+	events      []traceEvent
+	threadNames map[int64]string
+	threadOrder []int64
+	dropped     int64
+}
+
+// NewTimeline creates an enabled timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{threadNames: make(map[int64]string)}
+}
+
+// SetThreadName names a track. First write wins; registration order is
+// preserved for the metadata section of the export.
+func (t *Timeline) SetThreadName(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	if _, ok := t.threadNames[tid]; ok {
+		return
+	}
+	t.threadNames[tid] = name
+	t.threadOrder = append(t.threadOrder, tid)
+}
+
+func (t *Timeline) push(ev traceEvent) {
+	if len(t.events) >= maxTimelineEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Span records a complete event on a track. Zero-length spans are widened to
+// 1ns so they stay visible (and valid) in viewers.
+func (t *Timeline) Span(tid int64, name string, start, end vtime.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d <= 0 {
+		d = 1
+	}
+	t.push(traceEvent{ph: phSpan, tid: tid, name: name, ts: start, dur: d, args: args})
+}
+
+// Instant records a point event on a track.
+func (t *Timeline) Instant(tid int64, name string, at vtime.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(traceEvent{ph: phInstant, tid: tid, name: name, ts: at, args: args})
+}
+
+// Counter records a counter-track sample; each Arg becomes a stacked series.
+func (t *Timeline) Counter(tid int64, name string, at vtime.Time, series ...Arg) {
+	if t == nil {
+		return
+	}
+	t.push(traceEvent{ph: phCounter, tid: tid, name: name, ts: at, args: series})
+}
+
+// Dropped returns how many events overflowed the retention cap.
+func (t *Timeline) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len returns the retained event count.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}

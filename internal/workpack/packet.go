@@ -105,7 +105,8 @@ const (
 	Nonempty                  // under half full
 	AlmostFull                // at least half full, including totally full
 	Deferred                  // deferred "unsafe" objects (weak ordering protocol)
-	numSubPools
+	// NumSubPools bounds the SubPool values; Pool.Occupancy is indexed by it.
+	NumSubPools
 )
 
 // String returns the sub-pool's name.

@@ -11,6 +11,7 @@ import (
 // in Sections 6.3 (Table 4 and the watermark measurements).
 type PoolStats struct {
 	CASAttempts   atomic.Int64 // compare-and-swap operations, including retries
+	CASRetries    atomic.Int64 // failed CAS operations (contention on a sub-pool head)
 	Gets          atomic.Int64 // successful pops from any sub-pool
 	Puts          atomic.Int64 // pushes to any sub-pool
 	ReturnFences  atomic.Int64 // fences before returning a non-empty packet (Section 5.1)
@@ -40,7 +41,7 @@ func unpackHead(h uint64) (version uint32, idx int32) {
 // occupancy range. All methods are safe for concurrent use.
 type Pool struct {
 	packets []Packet
-	sub     [numSubPools]subPool
+	sub     [NumSubPools]subPool
 	total   int
 
 	Stats PoolStats
@@ -93,6 +94,7 @@ func (p *Pool) pushTo(s SubPool, pkt *Packet) {
 			sp.count.Add(1)
 			return
 		}
+		p.Stats.CASRetries.Add(1)
 	}
 }
 
@@ -112,6 +114,7 @@ func (p *Pool) popFrom(s SubPool) *Packet {
 			sp.count.Add(-1)
 			return pkt
 		}
+		p.Stats.CASRetries.Add(1)
 	}
 }
 
@@ -239,6 +242,17 @@ func (p *Pool) noteEntries(delta int64) {
 // EntriesInUse returns the current number of occupied slots across all
 // packets.
 func (p *Pool) EntriesInUse() int64 { return p.Stats.entriesInUse.Load() }
+
+// Occupancy snapshots the per-sub-pool packet counts, indexed by SubPool.
+// Like Count, each entry is an estimate while threads are active and exact
+// at quiescence; the telemetry layer samples it at phase boundaries.
+func (p *Pool) Occupancy() [NumSubPools]int {
+	var occ [NumSubPools]int
+	for s := range occ {
+		occ[s] = int(p.sub[s].count.Load())
+	}
+	return occ
+}
 
 func atomicMax(m *atomic.Int64, v int64) {
 	for {

@@ -231,7 +231,7 @@ func TestConcurrentPacketConservation(t *testing.T) {
 	}
 	wg.Wait()
 	total := 0
-	for s := SubPool(0); s < numSubPools; s++ {
+	for s := SubPool(0); s < NumSubPools; s++ {
 		total += p.Count(s)
 	}
 	if total != packets {
@@ -240,7 +240,7 @@ func TestConcurrentPacketConservation(t *testing.T) {
 	// Walk the lists and verify each packet appears exactly once.
 	seen := make(map[int32]bool)
 	n := 0
-	for s := SubPool(0); s < numSubPools; s++ {
+	for s := SubPool(0); s < NumSubPools; s++ {
 		for pkt := p.popFrom(s); pkt != nil; pkt = p.popFrom(s) {
 			if seen[pkt.id] {
 				t.Fatalf("packet %d linked twice", pkt.id)

@@ -6,12 +6,13 @@ GO ?= go
 
 # Packages with real goroutine concurrency (lock-free packet pool, the
 # weak-memory checker, the parallel experiment runner, the shared trace
-# emitter) or that drive it.
-RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace
+# emitter, the live collector engine and its atomic bit/card layers) or
+# that drive it.
+RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable
 
-.PHONY: ci vet build test race smoke trace-smoke bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke bench fmt
 
-ci: vet build test race smoke trace-smoke
+ci: vet build test race smoke trace-smoke stress-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short $(RACE_PKGS)
 
 # Exercise the parallel harness end to end: a few experiments at quick
 # scale with 4 workers, emitting the JSON telemetry to a throwaway file.
@@ -40,6 +41,17 @@ trace-smoke:
 	$(GO) run ./cmd/gcstats -metrics /tmp/gcbench-smoke.jsonl -run wh=8
 	$(GO) run ./cmd/gcstats -trace /tmp/gcbench-smoke-trace.json -check
 	@rm -f /tmp/gcbench-smoke.jsonl /tmp/gcbench-smoke-trace.json
+
+# Exercise the live engine end to end under the race detector: a short
+# gcstress run on the real shared heap with both telemetry sinks, validated
+# by gcstats. The STW oracle inside the engine fails the run (exit 1) if any
+# cycle loses a live object.
+stress-smoke:
+	$(GO) run -race ./cmd/gcstress -duration 2s -packets 10 -packetcap 8 -roots 64 \
+		-metrics /tmp/gcstress-smoke.jsonl -trace /tmp/gcstress-smoke-trace.json
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcstress-smoke.jsonl
+	$(GO) run ./cmd/gcstats -trace /tmp/gcstress-smoke-trace.json -check
+	@rm -f /tmp/gcstress-smoke.jsonl /tmp/gcstress-smoke-trace.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

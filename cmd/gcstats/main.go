@@ -247,7 +247,19 @@ type traceFile struct {
 	} `json:"traceEvents"`
 }
 
-// checkTrace validates the trace the way a viewer would load it.
+// span is one complete ("X") event during -check validation.
+type span struct {
+	name     string
+	ts, dur  float64
+	fileLine int // index in traceEvents, for error messages
+}
+
+// checkTrace validates the trace the way a viewer would load it. Spans may
+// appear in any file order (writers that record a span at completion emit an
+// enclosing span after its children), so each track's spans are sorted by
+// timestamp and then required to nest properly: two spans on one track must
+// be disjoint or one must contain the other — partial overlap is the
+// structural error a viewer renders as garbage.
 func checkTrace(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -262,7 +274,7 @@ func checkTrace(path string) error {
 	}
 	spanNames := map[string]bool{}
 	named := map[[2]int64]bool{} // (pid,tid) pairs covered by thread_name metadata
-	lastTs := map[[2]int64]float64{}
+	tracks := map[[2]int64][]span{}
 	var spans, instants, counters int
 	for i, e := range tf.TraceEvents {
 		key := [2]int64{e.Pid, e.Tid}
@@ -274,13 +286,10 @@ func checkTrace(path string) error {
 		case "X":
 			spans++
 			spanNames[e.Name] = true
-			if e.Dur <= 0 {
-				return fmt.Errorf("event %d (%q): non-positive span duration %g", i, e.Name, e.Dur)
+			if e.Dur < 0 {
+				return fmt.Errorf("event %d (%q): negative span duration %g", i, e.Name, e.Dur)
 			}
-			if e.Ts < lastTs[key] {
-				return fmt.Errorf("event %d (%q): time goes backwards on track %v (%g < %g)", i, e.Name, key, e.Ts, lastTs[key])
-			}
-			lastTs[key] = e.Ts
+			tracks[key] = append(tracks[key], span{name: e.Name, ts: e.Ts, dur: e.Dur, fileLine: i})
 		case "i":
 			instants++
 		case "C":
@@ -289,9 +298,12 @@ func checkTrace(path string) error {
 			return fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
 		}
 	}
-	for key := range lastTs {
+	for key, tr := range tracks {
 		if !named[key] {
 			return fmt.Errorf("track %v has events but no thread_name metadata", key)
+		}
+		if err := checkNesting(key, tr); err != nil {
+			return err
 		}
 	}
 	if len(spanNames) < 5 {
@@ -303,6 +315,38 @@ func checkTrace(path string) error {
 		return fmt.Errorf("only %d distinct span types (%s); want >= 5", len(spanNames), strings.Join(names, ", "))
 	}
 	fmt.Printf("trace ok: %d spans (%d types), %d instants, %d counter samples, %d tracks\n",
-		spans, len(spanNames), instants, counters, len(lastTs))
+		spans, len(spanNames), instants, counters, len(tracks))
+	return nil
+}
+
+// checkNesting verifies that one track's spans form a forest: sorted by
+// start (ties: longest first, so a parent precedes the children sharing its
+// start), every span must begin at or after the enclosing span's start and
+// end at or before its end.
+func checkNesting(key [2]int64, tr []span) error {
+	sort.Slice(tr, func(i, j int) bool {
+		if tr[i].ts != tr[j].ts {
+			return tr[i].ts < tr[j].ts
+		}
+		return tr[i].dur > tr[j].dur
+	})
+	// Timestamps are nanoseconds divided down to float microseconds, so
+	// boundaries that were exactly equal in the writer can differ by float
+	// rounding; tolerate up to the 1ns quantum.
+	const eps = 1e-3
+	var stack []span
+	for _, s := range tr {
+		for len(stack) > 0 && stack[len(stack)-1].ts+stack[len(stack)-1].dur <= s.ts+eps {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			if top := stack[len(stack)-1]; s.ts+s.dur > top.ts+top.dur+eps {
+				return fmt.Errorf("track %v: span %q [%g,%g] (event %d) partially overlaps %q [%g,%g] (event %d)",
+					key, s.name, s.ts, s.ts+s.dur, s.fileLine,
+					top.name, top.ts, top.ts+top.dur, top.fileLine)
+			}
+		}
+		stack = append(stack, s)
+	}
 	return nil
 }

@@ -1,0 +1,155 @@
+package bitvec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTestAndSetAtomic(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if !v.TestAndSetAtomic(i) {
+			t.Fatalf("TestAndSetAtomic(%d) on clear bit = false", i)
+		}
+		if v.TestAndSetAtomic(i) {
+			t.Fatalf("TestAndSetAtomic(%d) on set bit = true", i)
+		}
+		if !v.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := v.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+}
+
+func TestWordOps(t *testing.T) {
+	v := New(128)
+	if v.Words() != 2 {
+		t.Fatalf("Words = %d, want 2", v.Words())
+	}
+	if old := v.OrWord(0, 0b1011); old != 0 {
+		t.Fatalf("OrWord old = %#x, want 0", old)
+	}
+	if old := v.OrWord(0, 0b0110); old != 0b1011 {
+		t.Fatalf("OrWord old = %#x, want 0b1011", old)
+	}
+	if got := v.LoadWord(0); got != 0b1111 {
+		t.Fatalf("LoadWord = %#x, want 0b1111", got)
+	}
+	v.OrWord(1, 1<<63)
+	if !v.Test(127) {
+		t.Fatal("OrWord(1, 1<<63) did not set bit 127")
+	}
+	if got := v.TakeWord(0); got != 0b1111 {
+		t.Fatalf("TakeWord = %#x, want 0b1111", got)
+	}
+	if got := v.LoadWord(0); got != 0 {
+		t.Fatalf("word not cleared by TakeWord: %#x", got)
+	}
+	if got := v.TakeWord(1); got != 1<<63 {
+		t.Fatalf("TakeWord(1) = %#x", got)
+	}
+}
+
+// Concurrent claim: every bit is claimed by exactly one of the racing
+// goroutines. Run with -race.
+func TestTestAndSetAtomicConcurrent(t *testing.T) {
+	const (
+		bits    = 1 << 12
+		workers = 8
+	)
+	v := New(bits)
+	wins := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < bits; i++ {
+				if v.TestAndSetAtomic(i) {
+					wins[w] = append(wins[w], i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, ws := range wins {
+		total += len(ws)
+	}
+	if total != bits {
+		t.Fatalf("claims = %d, want %d (each bit claimed exactly once)", total, bits)
+	}
+	if got := v.Count(); got != bits {
+		t.Fatalf("Count = %d, want %d", got, bits)
+	}
+}
+
+// Concurrent take-vs-or: whatever the setters set is seen by exactly one
+// TakeWord, with no lost or duplicated bits. Run with -race.
+func TestTakeWordConcurrent(t *testing.T) {
+	const (
+		words   = 64
+		setters = 4
+		rounds  = 2000
+	)
+	v := New(words * 64)
+	var wg sync.WaitGroup
+	var takenMu sync.Mutex
+	taken := make([]uint64, words) // accumulated bits observed by takers
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // taker
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				// Final sweep after all setters are done.
+				for w := 0; w < words; w++ {
+					bits := v.TakeWord(w)
+					takenMu.Lock()
+					if taken[w]&bits != 0 {
+						t.Errorf("word %d: bits %#x taken twice", w, taken[w]&bits)
+					}
+					taken[w] |= bits
+					takenMu.Unlock()
+				}
+				return
+			default:
+			}
+			for w := 0; w < words; w++ {
+				bits := v.TakeWord(w)
+				if bits == 0 {
+					continue
+				}
+				takenMu.Lock()
+				if taken[w]&bits != 0 {
+					t.Errorf("word %d: bits %#x taken twice", w, taken[w]&bits)
+				}
+				taken[w] |= bits
+				takenMu.Unlock()
+			}
+		}
+	}()
+	var swg sync.WaitGroup
+	for s := 0; s < setters; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			for r := 0; r < rounds; r++ {
+				w := (s*rounds + r) % words
+				v.OrWord(w, 1<<(uint(s*7+r)%64))
+			}
+		}(s)
+	}
+	swg.Wait()
+	close(stop)
+	wg.Wait()
+	// Every word must be fully drained.
+	for w := 0; w < words; w++ {
+		if got := v.LoadWord(w); got != 0 {
+			t.Fatalf("word %d still has bits %#x after final take", w, got)
+		}
+	}
+}

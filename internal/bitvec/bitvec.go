@@ -91,6 +91,42 @@ func (v *Vector) TestAndSet(i int) bool {
 	}
 }
 
+// TestAndSetAtomic atomically sets bit i with a single fetch-or (no CAS
+// retry loop) and reports whether this call changed it from clear to set.
+// It is the claim operation the live engine's tracers use under real
+// contention, where the CAS loop of TestAndSet would retry whenever two
+// tracers claim neighbouring bits of the same word.
+func (v *Vector) TestAndSetAtomic(i int) bool {
+	v.check(i)
+	mask := uint64(1) << (uint(i) & wordMask)
+	return atomic.OrUint64(&v.bits[i>>wordShift], mask)&mask == 0
+}
+
+// Words returns the number of 64-bit words backing the vector.
+func (v *Vector) Words() int { return len(v.bits) }
+
+// LoadWord atomically loads backing word w. Bit i of the result is bit
+// w*64+i of the vector.
+func (v *Vector) LoadWord(w int) uint64 {
+	return atomic.LoadUint64(&v.bits[w])
+}
+
+// OrWord atomically ors mask into backing word w and returns the word's
+// previous value. Concurrent writers sharing a word (e.g. card dirtying)
+// batch up to 64 bit-sets into one fetch-or.
+func (v *Vector) OrWord(w int, mask uint64) uint64 {
+	return atomic.OrUint64(&v.bits[w], mask)
+}
+
+// TakeWord atomically reads and clears backing word w, returning the bits
+// that were set. It is the register-and-clear primitive of the concurrent
+// card-cleaning path: every bit set at the instant of the swap is observed
+// by exactly one taker, and bits set afterwards are preserved for the next
+// pass — no set is ever lost between a separate load and clear.
+func (v *Vector) TakeWord(w int) uint64 {
+	return atomic.SwapUint64(&v.bits[w], 0)
+}
+
 // SetAtomic atomically sets bit i.
 func (v *Vector) SetAtomic(i int) {
 	v.check(i)

@@ -1,0 +1,135 @@
+package cardtable
+
+import (
+	"sync"
+	"testing"
+
+	"mcgc/internal/heapsim"
+)
+
+func TestRegisterAndClearAtomicBasic(t *testing.T) {
+	ct := New(4096)                         // 64 cards
+	ct.DirtyObjectAtomic(heapsim.Addr(10))  // card 0
+	ct.DirtyObjectAtomic(heapsim.Addr(100)) // card 1
+	ct.DirtyCardAtomic(63)
+	if !ct.IsDirtyAtomic(0) || !ct.IsDirtyAtomic(1) || !ct.IsDirtyAtomic(63) {
+		t.Fatal("dirty bits not set")
+	}
+	if got := ct.CountDirtyAtomic(); got != 3 {
+		t.Fatalf("CountDirtyAtomic = %d, want 3", got)
+	}
+	cards := ct.RegisterAndClearAtomic(nil)
+	if len(cards) != 3 || cards[0] != 0 || cards[1] != 1 || cards[2] != 63 {
+		t.Fatalf("registered %v, want [0 1 63]", cards)
+	}
+	if got := ct.CountDirtyAtomic(); got != 0 {
+		t.Fatalf("%d cards still dirty after register-and-clear", got)
+	}
+	if got := ct.AtomicStats.CardsRegistered.Load(); got != 3 {
+		t.Fatalf("CardsRegistered = %d, want 3", got)
+	}
+	if got := ct.AtomicStats.BarrierMarks.Load(); got != 2 {
+		t.Fatalf("BarrierMarks = %d, want 2", got)
+	}
+	ct.NoteCleanedAtomic(3)
+	if got := ct.AtomicStats.CardsCleaned.Load(); got != 3 {
+		t.Fatalf("CardsCleaned = %d, want 3", got)
+	}
+}
+
+// Concurrent dirtying races with registration passes; no dirtying is ever
+// lost: once the dirtiers stop, one final pass plus the accumulated passes
+// have registered every card that was ever dirtied. Run with -race.
+func TestConcurrentDirtyAndRegister(t *testing.T) {
+	const (
+		heapWords = 1 << 16 // 1024 cards
+		dirtiers  = 6
+		perWorker = 20000
+	)
+	ct := New(heapWords)
+	everDirtied := make([]bool, ct.NumCards())
+	var mu sync.Mutex
+
+	registered := make(map[int]int)
+	stop := make(chan struct{})
+	var cleanerWg sync.WaitGroup
+	cleanerWg.Add(1)
+	go func() { // cleaning passes race with the dirtiers
+		defer cleanerWg.Done()
+		var buf []int
+		for {
+			buf = ct.RegisterAndClearAtomic(buf[:0])
+			mu.Lock()
+			for _, c := range buf {
+				registered[c]++
+			}
+			mu.Unlock()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < dirtiers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]bool, ct.NumCards())
+			for i := 0; i < perWorker; i++ {
+				a := heapsim.Addr((w*perWorker + i*37) % heapWords)
+				ct.DirtyObjectAtomic(a)
+				local[ct.CardOf(a)] = true
+			}
+			mu.Lock()
+			for c, d := range local {
+				if d {
+					everDirtied[c] = true
+				}
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	cleanerWg.Wait()
+
+	// Final quiescent pass catches anything dirtied after the cleaner's
+	// last swap.
+	for _, c := range ct.RegisterAndClearAtomic(nil) {
+		registered[c]++
+	}
+	for c, d := range everDirtied {
+		if d && registered[c] == 0 {
+			t.Fatalf("card %d dirtied but never registered", c)
+		}
+	}
+	for c := range registered {
+		if !everDirtied[c] {
+			t.Fatalf("card %d registered but never dirtied", c)
+		}
+	}
+	if got := ct.CountDirtyAtomic(); got != 0 {
+		t.Fatalf("%d cards dirty at quiescence", got)
+	}
+	if got := ct.AtomicStats.BarrierMarks.Load(); got != dirtiers*perWorker {
+		t.Fatalf("BarrierMarks = %d, want %d", got, dirtiers*perWorker)
+	}
+}
+
+// The single-writer simulator path must stay allocation-free.
+func TestSimulatorPathAllocFree(t *testing.T) {
+	ct := New(1 << 14)
+	buf := make([]int, 0, ct.NumCards())
+	allocs := testing.AllocsPerRun(100, func() {
+		ct.DirtyObject(heapsim.Addr(123))
+		ct.DirtyCard(5)
+		buf = ct.RegisterAndClear(buf[:0])
+		ct.NoteCleaned(len(buf))
+	})
+	if allocs != 0 {
+		t.Fatalf("simulator card path allocates %v per run", allocs)
+	}
+}

@@ -12,6 +12,8 @@ package cardtable
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"mcgc/internal/bitvec"
 	"mcgc/internal/heapsim"
@@ -26,7 +28,10 @@ const (
 	cardShift = 6 // log2(CardWords)
 )
 
-// Stats counts card activity for the experiment tables.
+// Stats counts card activity for the experiment tables. These fields are
+// maintained by the single-writer simulator path; the concurrent live-engine
+// path counts into AtomicStats instead so the hot simulator loop stays free
+// of atomic read-modify-writes it does not need.
 type Stats struct {
 	BarrierMarks    int64 // write-barrier executions (each dirties one card)
 	RegisterPasses  int64 // snapshot registration passes
@@ -34,12 +39,22 @@ type Stats struct {
 	CardsCleaned    int64 // cumulative cards rescanned by the cleaning step
 }
 
+// AtomicStats is the concurrency-safe mirror of Stats, maintained by the
+// *Atomic methods, which many mutator and GC goroutines call at once.
+type AtomicStats struct {
+	BarrierMarks    atomic.Int64
+	RegisterPasses  atomic.Int64
+	CardsRegistered atomic.Int64
+	CardsCleaned    atomic.Int64
+}
+
 // Table tracks one dirty bit per card.
 type Table struct {
 	dirty *bitvec.Vector
 	cards int
 
-	Stats Stats
+	Stats       Stats
+	AtomicStats AtomicStats
 }
 
 // New creates a card table covering a heap of heapWords words.
@@ -102,6 +117,66 @@ func (t *Table) ForEachDirty(fn func(card int)) {
 // (step 3 of the cleaning protocol). The tracing engine calls it so
 // registered-vs-cleaned counts can be compared per pass.
 func (t *Table) NoteCleaned(n int) { t.Stats.CardsCleaned += int64(n) }
+
+// DirtyObjectAtomic is the write barrier's card store on the concurrent
+// path: many mutator goroutines dirty cards at once while a cleaning pass
+// may be registering. The dirty store itself is a single fetch-or; the
+// execution count goes to AtomicStats.
+func (t *Table) DirtyObjectAtomic(a heapsim.Addr) {
+	t.dirty.TestAndSetAtomic(int(a) >> cardShift)
+	t.AtomicStats.BarrierMarks.Add(1)
+}
+
+// DirtyCardAtomic dirties a card directly on the concurrent path (work
+// packet overflow and deferred-overflow fallbacks, Section 4.3).
+func (t *Table) DirtyCardAtomic(card int) {
+	t.dirty.TestAndSetAtomic(card)
+}
+
+// IsDirtyAtomic reports a card's dirty indicator with an atomic load, for
+// readers racing with concurrent dirtying.
+func (t *Table) IsDirtyAtomic(card int) bool { return t.dirty.TestAcquire(card) }
+
+// CountDirtyAtomic counts dirty cards with atomic word loads, safe against
+// concurrent dirtying. The result is a snapshot-estimate, exact at
+// quiescence.
+func (t *Table) CountDirtyAtomic() int {
+	n := 0
+	for w := 0; w < t.dirty.Words(); w++ {
+		n += bits.OnesCount64(t.dirty.LoadWord(w))
+	}
+	return n
+}
+
+// NoteCleanedAtomic is NoteCleaned for the concurrent path.
+func (t *Table) NoteCleanedAtomic(n int) { t.AtomicStats.CardsCleaned.Add(int64(n)) }
+
+// RegisterAndClearAtomic is step 1 of the cleaning protocol on the
+// concurrent path: it registers and clears every dirty indicator with one
+// atomic swap per table word, so a card dirtied at any instant is observed
+// by exactly one registration pass — a bit set between the pass's read and
+// clear cannot be lost, which the separate scan-then-clear of the simulator
+// path only guarantees single-threaded. Cards dirtied after their word is
+// swapped keep their indicator for the next pass. The caller must still
+// force every mutator through a fence (step 2) before rescanning the
+// returned cards (step 3).
+func (t *Table) RegisterAndClearAtomic(into []int) []int {
+	t.AtomicStats.RegisterPasses.Add(1)
+	registered := int64(0)
+	for w := 0; w < t.dirty.Words(); w++ {
+		word := t.dirty.TakeWord(w)
+		for word != 0 {
+			card := w*64 + bits.TrailingZeros64(word)
+			if card < t.cards {
+				into = append(into, card)
+				registered++
+			}
+			word &= word - 1
+		}
+	}
+	t.AtomicStats.CardsRegistered.Add(registered)
+	return into
+}
 
 // RegisterAndClear performs step 1 of the Section 5.3 cleaning protocol: it
 // scans the card table, appends every dirty card's index to into, and clears

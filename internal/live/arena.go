@@ -1,0 +1,168 @@
+// Package live is the second backend for the collector: where
+// internal/machine runs the CGC algorithms on a simulated SMP with virtual
+// time, this package runs them on a real shared heap mutated by real
+// goroutines, under Go's memory model and the race detector.
+//
+// The heap is an arena of uniform objects, each a fixed number of reference
+// slots stored as atomic words. Objects are addressed by heapsim.Addr
+// (index, 1-based; 0 is nil) so the existing lock-free workpack.Pool carries
+// live-engine grey references unchanged. N mutator goroutines allocate from
+// a lock-free versioned-head free list, rewire graph edges and drop roots;
+// M tracer goroutines (plus throttled background tracers) drain the packet
+// pool concurrently. Everything the simulator can only assert by
+// construction is exercised here under genuine contention: ABA-safe
+// versioned-head CAS, the get-before-return termination protocol, overflow
+// degrading to mark-and-dirty-card, atomic card dirtying against the
+// three-step cleaning protocol, and the Section 5.1/5.2 publication
+// protocols mapped onto sync/atomic.
+//
+// Correctness is established by an STW oracle: with mutators parked and the
+// concurrent mark closed, a sequential mark from the live roots must be a
+// subset of the concurrent mark set, and the difference is exactly floating
+// garbage. See Engine.
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mcgc/internal/bitvec"
+	"mcgc/internal/cardtable"
+	"mcgc/internal/heapsim"
+)
+
+// Arena is the live engine's shared heap: numObjects uniform objects of
+// refsPer reference slots each, plus the mark and allocation bit vectors
+// and the card table. Object addresses run 1..numObjects; address 0 is nil,
+// matching heapsim's reserved word 0.
+type Arena struct {
+	numObjects int
+	refsPer    int
+	slots      []atomic.Uint32 // (addr-1)*refsPer + slot
+
+	// Mark bits are set by concurrent tracers (TestAndSetAtomic claims);
+	// Alloc bits are published in batches by mutators (Section 5.2).
+	Mark  *bitvec.Vector
+	Alloc *bitvec.Vector
+	// Cards maps object addresses to 64-object cards; the concurrent
+	// dirtying/registration path of cardtable is used throughout.
+	Cards *cardtable.Table
+
+	// Free list: lock-free LIFO over object addresses with a versioned
+	// head (the same ABA discipline as workpack's sub-pools, here under
+	// allocation-rate contention from every mutator at once).
+	next     []atomic.Int32 // next[addr-1] = next free addr, or 0
+	freeHead atomic.Uint64  // version<<32 | addr (addr 0 = empty)
+	freeLen  atomic.Int64
+
+	// FreeListCAS / FreeListRetries count the allocation-path CAS traffic.
+	FreeListCAS     atomic.Int64
+	FreeListRetries atomic.Int64
+}
+
+// NewArena builds an arena with every object on the free list, all bits
+// clear and all slots nil.
+func NewArena(numObjects, refsPer int) *Arena {
+	if numObjects < 1 || numObjects > 1<<24 {
+		panic(fmt.Sprintf("live: bad arena size %d", numObjects))
+	}
+	if refsPer < 1 {
+		panic(fmt.Sprintf("live: bad refs-per-object %d", refsPer))
+	}
+	a := &Arena{
+		numObjects: numObjects,
+		refsPer:    refsPer,
+		slots:      make([]atomic.Uint32, numObjects*refsPer),
+		Mark:       bitvec.New(numObjects + 1),
+		Alloc:      bitvec.New(numObjects + 1),
+		Cards:      cardtable.New(numObjects + 1),
+		next:       make([]atomic.Int32, numObjects),
+	}
+	// Push in reverse so low addresses allocate first.
+	for i := numObjects; i >= 1; i-- {
+		a.PushFree(heapsim.Addr(i))
+	}
+	return a
+}
+
+// NumObjects returns the arena's object count.
+func (a *Arena) NumObjects() int { return a.numObjects }
+
+// RefsPerObject returns the number of reference slots per object.
+func (a *Arena) RefsPerObject() int { return a.refsPer }
+
+// FreeLen returns the current free-list length (racy estimate, exact at
+// quiescence).
+func (a *Arena) FreeLen() int64 { return a.freeLen.Load() }
+
+// LoadRef atomically loads slot j of the object at addr.
+func (a *Arena) LoadRef(addr heapsim.Addr, j int) heapsim.Addr {
+	return heapsim.Addr(a.slots[(int(addr)-1)*a.refsPer+j].Load())
+}
+
+// StoreRef atomically stores v into slot j of the object at addr. The
+// caller is responsible for the write barrier (Engine.writeBarrier).
+func (a *Arena) StoreRef(addr heapsim.Addr, j int, v heapsim.Addr) {
+	a.slots[(int(addr)-1)*a.refsPer+j].Store(uint32(v))
+}
+
+// PopFree takes an object off the free list, or returns Nil when the heap
+// is exhausted. The popped object's alloc bit is clear: it belongs to the
+// caller's allocation cache until published (Section 5.2).
+func (a *Arena) PopFree() heapsim.Addr {
+	for {
+		old := a.freeHead.Load()
+		addr := heapsim.Addr(uint32(old))
+		if addr == heapsim.Nil {
+			return heapsim.Nil
+		}
+		next := uint32(a.next[addr-1].Load())
+		a.FreeListCAS.Add(1)
+		if a.freeHead.CompareAndSwap(old, (old>>32+1)<<32|uint64(next)) {
+			a.freeLen.Add(-1)
+			return addr
+		}
+		a.FreeListRetries.Add(1)
+	}
+}
+
+// PushFree returns an object to the free list. The caller must have cleared
+// its alloc bit and nilled its slots (sweep does both).
+func (a *Arena) PushFree(addr heapsim.Addr) {
+	for {
+		old := a.freeHead.Load()
+		a.next[addr-1].Store(int32(uint32(old)))
+		a.FreeListCAS.Add(1)
+		if a.freeHead.CompareAndSwap(old, (old>>32+1)<<32|uint64(addr)) {
+			a.freeLen.Add(1)
+			return
+		}
+		a.FreeListRetries.Add(1)
+	}
+}
+
+// ZeroSlots nils every slot of the object at addr (sweep, before the object
+// returns to the free list; the stores are atomic, but only the sweeper
+// touches garbage).
+func (a *Arena) ZeroSlots(addr heapsim.Addr) {
+	base := (int(addr) - 1) * a.refsPer
+	for j := 0; j < a.refsPer; j++ {
+		a.slots[base+j].Store(0)
+	}
+}
+
+// CardRange returns the object addresses [from, to) covered by a card,
+// clipped to the arena.
+func (a *Arena) CardRange(card int) (from, to heapsim.Addr) {
+	lo, hi := a.Cards.CardBounds(card)
+	if lo < 1 {
+		lo = 1
+	}
+	if int(hi) > a.numObjects+1 {
+		hi = heapsim.Addr(a.numObjects + 1)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

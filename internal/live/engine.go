@@ -1,0 +1,459 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/telemetry"
+	"mcgc/internal/workpack"
+)
+
+// Config sizes one live-engine run. Zero fields take the defaults below.
+type Config struct {
+	Objects         int // arena size in objects
+	RefsPerObject   int // reference slots per object
+	RootsPerMutator int // root slots per mutator goroutine
+
+	Mutators  int // mutator goroutines
+	Tracers   int // dedicated tracing goroutines
+	BgTracers int // low-priority (throttled) tracing goroutines
+
+	Packets   int // work packet count (small values force overflow)
+	PacketCap int // entries per packet
+
+	AllocBatch int // allocation-bit publication batch (Section 5.2)
+	CardPasses int // concurrent cleaning passes per cycle (Section 5.3)
+
+	Duration   time.Duration // total run length (the last cycle may overrun)
+	IdlePeriod time.Duration // mutator-only churn between cycles
+	BgThrottle time.Duration // sleep between background-tracer packets
+
+	Seed  int64
+	Shape string // workload shape: "mixed", "churn" or "pointer"
+
+	// Optional driver-owned telemetry (nil disables; both are nil-safe).
+	Reg *telemetry.Registry
+	TL  *telemetry.Timeline
+}
+
+func (c Config) withDefaults() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.Objects, 1<<15)
+	def(&c.RefsPerObject, 4)
+	def(&c.RootsPerMutator, 16)
+	def(&c.Mutators, 4)
+	def(&c.Tracers, 2)
+	def(&c.Packets, 64)
+	def(&c.PacketCap, 32)
+	def(&c.AllocBatch, 16)
+	def(&c.CardPasses, 2)
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.IdlePeriod == 0 {
+		c.IdlePeriod = 2 * time.Millisecond
+	}
+	if c.BgThrottle == 0 {
+		c.BgThrottle = 200 * time.Microsecond
+	}
+	if c.Shape == "" {
+		c.Shape = "mixed"
+	}
+	return c
+}
+
+// Engine runs the mostly-concurrent collector on a real shared heap with
+// real goroutines. Construct with NewEngine, execute with Run.
+type Engine struct {
+	cfg   Config
+	arena *Arena
+	pool  *workpack.Pool
+
+	// markingActive gates the write barrier and wakes the tracers. It only
+	// changes while the world is stopped, so every mutator op sees a
+	// consistent value for its whole duration.
+	markingActive atomic.Bool
+	shutdown      atomic.Bool
+
+	// Safepoint machinery: stopFlag is the mutators' fast-path check;
+	// stopWorld/parked/activeMuts are the slow path under mu.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	stopWorld  bool
+	stopFlag   atomic.Bool
+	parked     int
+	activeMuts int
+
+	// fenceEpoch implements the card-cleaning handshake (Section 5.3 step
+	// 2): the driver bumps it, every mutator acknowledges with an atomic
+	// store at its next op boundary (publishing its allocation batch while
+	// at it), and the driver waits for all acknowledgements.
+	fenceEpoch atomic.Int64
+
+	muts    []*mutator
+	wg      sync.WaitGroup
+	start   time.Time
+	stats   engineStats
+	cardBuf []int
+
+	oracleMarks *oracleScratch
+	report      Report
+}
+
+// NewEngine validates the config and builds the arena, pool and workers.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if cfg.Mutators < 1 || cfg.Tracers < 0 || cfg.BgTracers < 0 {
+		panic(fmt.Sprintf("live: bad worker counts %+v", cfg))
+	}
+	if cfg.Tracers+cfg.BgTracers < 1 {
+		panic("live: need at least one tracing goroutine")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		arena: NewArena(cfg.Objects, cfg.RefsPerObject),
+		pool:  workpack.NewPool(cfg.Packets, cfg.PacketCap),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.oracleMarks = newOracleScratch(cfg.Objects)
+	for i := 0; i < cfg.Mutators; i++ {
+		e.muts = append(e.muts, newMutator(e, i))
+	}
+	return e
+}
+
+// Arena exposes the engine's heap (tests inspect it after Run).
+func (e *Engine) Arena() *Arena { return e.arena }
+
+// Pool exposes the engine's work packet pool.
+func (e *Engine) Pool() *workpack.Pool { return e.pool }
+
+func (e *Engine) now() int64 { return time.Since(e.start).Nanoseconds() }
+
+// Run executes the workload for cfg.Duration — collection cycles separated
+// by mutator-only idle periods — then shuts every goroutine down and
+// returns the report. Run blocks; it is not reentrant.
+func (e *Engine) Run() Report {
+	e.start = time.Now()
+	e.setupTelemetry()
+
+	e.mu.Lock()
+	e.activeMuts = len(e.muts)
+	e.mu.Unlock()
+	for _, m := range e.muts {
+		e.wg.Add(1)
+		go m.run()
+	}
+	for i := 0; i < e.cfg.Tracers; i++ {
+		e.wg.Add(1)
+		go e.traceLoop(i, false)
+	}
+	for i := 0; i < e.cfg.BgTracers; i++ {
+		e.wg.Add(1)
+		go e.traceLoop(e.cfg.Tracers+i, true)
+	}
+
+	deadline := e.start.Add(e.cfg.Duration)
+	for {
+		e.runCycle()
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(e.cfg.IdlePeriod)
+	}
+
+	e.shutdown.Store(true)
+	e.wg.Wait()
+	e.finishReport()
+	return e.report
+}
+
+// runCycle is one full collection: STW init (clear marks, scan roots), the
+// concurrent mark phase with card-cleaning passes and deferred drains, the
+// STW final phase (closure, oracle, garbage collection), then concurrent
+// sweep of the garbage back onto the free list.
+func (e *Engine) runCycle() {
+	drv := workpack.NewTracer(e.pool)
+	cycleStart := e.now()
+
+	// --- STW init: snapshot the roots under a stopped world. ---
+	e.stopTheWorld()
+	initStart := e.now()
+	e.arena.Mark.ClearAll()
+	e.arena.Cards.RegisterAndClearAtomic(e.cardBuf[:0]) // drop stale dirt
+	e.markingActive.Store(true)
+	e.scanRoots(drv)
+	drv.Release()
+	initEnd := e.now()
+	e.resumeWorld()
+	e.noteSTW(initStart, initEnd)
+	e.span("stw.init", initStart, initEnd)
+
+	// --- Concurrent mark: tracers drain the pool while mutators run. ---
+	passes := 0
+	stall := time.Duration(0)
+	for {
+		if !e.pool.DeferredEmpty() {
+			e.pool.DrainDeferred()
+			e.stats.deferredDrains.Add(1)
+		}
+		if e.pool.TracingDone() && e.pool.DeferredEmpty() {
+			if passes >= e.cfg.CardPasses {
+				break
+			}
+			// "As late as possible": clean cards only once tracing has
+			// drained, so each pass catches the most mutation.
+			passStart := e.now()
+			if e.cardPassConcurrent(drv) {
+				e.span("card.pass", passStart, e.now())
+			}
+			passes++
+			continue
+		}
+		time.Sleep(50 * time.Microsecond)
+		// If tracing stalls on deferred objects whose allocation batches
+		// have not filled, a handshake forces every mutator to publish.
+		if stall += 50 * time.Microsecond; stall >= time.Millisecond {
+			e.forceFences()
+			stall = 0
+		}
+	}
+	markEnd := e.now()
+	e.stats.markNs.Add(markEnd - initEnd)
+	e.span("mark.concurrent", initEnd, markEnd)
+
+	// --- STW final: close the mark, run the oracle, collect garbage. ---
+	e.stopTheWorld()
+	finalStart := e.now()
+	e.closeMark(drv)
+	res := e.runOracle()
+	toFree := e.collectGarbage()
+	e.markingActive.Store(false)
+	finalEnd := e.now()
+	e.resumeWorld()
+	e.noteSTW(finalStart, finalEnd)
+	e.span("stw.final", finalStart, finalEnd)
+	e.span("oracle", finalStart, finalEnd)
+
+	// --- Concurrent sweep: garbage is unreachable, so zeroing and
+	// free-listing it races with nothing. ---
+	for _, obj := range toFree {
+		e.arena.ZeroSlots(obj)
+		e.arena.PushFree(obj)
+	}
+	e.stats.objectsFreed.Add(int64(len(toFree)))
+	sweepEnd := e.now()
+	e.stats.sweepNs.Add(sweepEnd - finalEnd)
+	e.span("sweep", finalEnd, sweepEnd)
+	e.span("cycle", cycleStart, sweepEnd)
+	e.noteCycle(res, len(toFree), sweepEnd)
+}
+
+// closeMark reaches the marking fixpoint with the world stopped: caches are
+// already published (mutators publish as they park), so deferred work, the
+// remaining dirty cards and the roots are drained in rounds until nothing
+// moves. Registration needs no mutator fence here — the world is stopped.
+func (e *Engine) closeMark(drv *workpack.Tracer) {
+	const maxRounds = 1 << 20 // backstop: a hang in CI is worse than a panic
+	for round := 0; ; round++ {
+		if round == maxRounds {
+			panic("live: final marking phase did not converge")
+		}
+		work := false
+		if e.pool.DrainDeferred() > 0 {
+			work = true
+		}
+		e.cardBuf = e.arena.Cards.RegisterAndClearAtomic(e.cardBuf[:0])
+		if len(e.cardBuf) > 0 {
+			work = true
+			for _, c := range e.cardBuf {
+				e.rescanCard(c, drv)
+			}
+			e.arena.Cards.NoteCleanedAtomic(len(e.cardBuf))
+		}
+		e.scanRoots(drv)
+		drv.Release()
+		if !e.pool.TracingDone() || !e.pool.DeferredEmpty() {
+			// Tracers are still running during the pause; let them drain.
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		if !work && e.arena.Cards.CountDirtyAtomic() == 0 {
+			return
+		}
+	}
+}
+
+// cardPassConcurrent is the three-step cleaning protocol of Section 5.3
+// against running mutators: register-and-clear the dirty indicators, force
+// every mutator through one fence, then rescan marked objects on the
+// registered cards. Returns false when there was nothing to clean.
+func (e *Engine) cardPassConcurrent(drv *workpack.Tracer) bool {
+	e.cardBuf = e.arena.Cards.RegisterAndClearAtomic(e.cardBuf[:0]) // step 1
+	if len(e.cardBuf) == 0 {
+		return false
+	}
+	e.forceFences() // step 2
+	for _, c := range e.cardBuf {
+		e.rescanCard(c, drv) // step 3
+	}
+	e.arena.Cards.NoteCleanedAtomic(len(e.cardBuf))
+	drv.Release()
+	e.stats.cardPasses.Add(1)
+	return true
+}
+
+// rescanCard retraces the marked objects on one registered card. Unmarked
+// objects are skipped: they are either garbage or will be scanned with
+// fresh slot values when tracing reaches them. A marked object whose
+// allocation bits are not yet visible cannot be scanned; its card is
+// re-dirtied so a later pass (at the latest, the STW final phase, after
+// every cache has published) retries.
+func (e *Engine) rescanCard(card int, tr *workpack.Tracer) {
+	from, to := e.arena.CardRange(card)
+	for a := from; a < to; a++ {
+		if !e.arena.Mark.TestAcquire(int(a)) {
+			continue
+		}
+		if !e.arena.Alloc.TestAcquire(int(a)) {
+			e.arena.Cards.DirtyCardAtomic(card)
+			continue
+		}
+		for j := 0; j < e.arena.refsPer; j++ {
+			if c := e.arena.LoadRef(a, j); c != heapsim.Nil {
+				e.markAndPush(c, tr)
+			}
+		}
+		e.stats.rescans.Add(1)
+	}
+}
+
+// scanRoots marks and pushes every current root of every mutator. During
+// STW init this is the snapshot the cycle traces from; in the final phase
+// it is the root rescan that closes the cycle (marking is monotone, so
+// repeated scans are cheap no-ops).
+func (e *Engine) scanRoots(tr *workpack.Tracer) {
+	for _, m := range e.muts {
+		for i := range m.roots {
+			if c := heapsim.Addr(m.roots[i].Load()); c != heapsim.Nil {
+				e.markAndPush(c, tr)
+			}
+		}
+	}
+}
+
+// scanObject traces one grey object popped from the pool. If the object's
+// allocation bits are not yet visible (Section 5.2) it is deferred instead
+// of scanned; if even the deferred packet is unavailable, its card is
+// dirtied so the cleaning protocol retries it.
+func (e *Engine) scanObject(a heapsim.Addr, tr *workpack.Tracer) {
+	if !e.arena.Alloc.TestAcquire(int(a)) {
+		e.stats.deferred.Add(1)
+		if !tr.PushDeferred(a) {
+			e.arena.Cards.DirtyCardAtomic(e.arena.Cards.CardOf(a))
+			e.stats.deferOverflows.Add(1)
+		}
+		return
+	}
+	for j := 0; j < e.arena.refsPer; j++ {
+		if c := e.arena.LoadRef(a, j); c != heapsim.Nil {
+			e.markAndPush(c, tr)
+		}
+	}
+	e.stats.scans.Add(1)
+}
+
+// markAndPush claims an object with one atomic fetch-or and queues it for
+// scanning. On packet overflow (both packets full, pool exhausted) it
+// degrades per Section 4.3: the mark stands and the object's card is
+// dirtied so a cleaning pass rescans it.
+func (e *Engine) markAndPush(c heapsim.Addr, tr *workpack.Tracer) {
+	if !e.arena.Mark.TestAndSetAtomic(int(c)) {
+		return
+	}
+	e.stats.marks.Add(1)
+	if !tr.Push(c) {
+		e.arena.Cards.DirtyCardAtomic(e.arena.Cards.CardOf(c))
+		e.stats.overflows.Add(1)
+	}
+}
+
+// stopTheWorld requests a safepoint and blocks until every live mutator has
+// parked (publishing its allocation batch on the way in). Tracers are never
+// parked — they are the collector.
+func (e *Engine) stopTheWorld() {
+	e.mu.Lock()
+	e.stopWorld = true
+	e.stopFlag.Store(true)
+	for e.parked < e.activeMuts {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// resumeWorld releases the parked mutators.
+func (e *Engine) resumeWorld() {
+	e.mu.Lock()
+	e.stopWorld = false
+	e.stopFlag.Store(false)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// forceFences drives every mutator through one synchronization point: the
+// driver bumps the epoch and spins until each live mutator has stored an
+// acknowledgement (a release store the handshake counts as the one forced
+// fence per mutator of Section 5.3).
+func (e *Engine) forceFences() {
+	epoch := e.fenceEpoch.Add(1)
+	for _, m := range e.muts {
+		for m.ackEpoch.Load() < epoch && !m.exited.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// traceLoop is one tracing goroutine. Background tracers throttle between
+// packets, modelling the paper's low-priority threads that cede the
+// processor to mutators.
+func (e *Engine) traceLoop(id int, bg bool) {
+	defer e.wg.Done()
+	tr := workpack.NewTracer(e.pool)
+	idle := 20 * time.Microsecond
+	if bg {
+		idle = e.cfg.BgThrottle
+	}
+	for !e.shutdown.Load() {
+		if !e.markingActive.Load() {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		a, ok := tr.Pop()
+		if !ok {
+			// Get-before-return already happened inside Pop; releasing
+			// here is what lets TracingDone observe quiescence.
+			tr.Release()
+			time.Sleep(idle)
+			continue
+		}
+		e.scanObject(a, tr)
+		if bg {
+			time.Sleep(e.cfg.BgThrottle / 4)
+		}
+	}
+	tr.Release()
+}
+
+// newRNG hands each worker an independent deterministic stream.
+func (e *Engine) newRNG(id int) *rand.Rand {
+	return rand.New(rand.NewSource(e.cfg.Seed*1_000_003 + int64(id)))
+}

@@ -1,0 +1,127 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mcgc/internal/heapsim"
+)
+
+// Free-list conservation under contention: objects popped concurrently are
+// unique while held, and every object is back on the list at quiescence.
+func TestArenaFreeListConcurrent(t *testing.T) {
+	const (
+		objects = 4096
+		workers = 8
+		rounds  = 5000
+	)
+	a := NewArena(objects, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make([]heapsim.Addr, 0, 16)
+			for r := 0; r < rounds; r++ {
+				if len(held) < 16 {
+					if obj := a.PopFree(); obj != heapsim.Nil {
+						held = append(held, obj)
+					}
+				}
+				if r%3 == 0 && len(held) > 0 {
+					a.PushFree(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+			}
+			for _, obj := range held {
+				a.PushFree(obj)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.FreeLen(); got != objects {
+		t.Fatalf("free list has %d objects at quiescence, want %d", got, objects)
+	}
+	// Walk the list: every object exactly once.
+	seen := make(map[heapsim.Addr]bool)
+	for i := 0; i < objects; i++ {
+		obj := a.PopFree()
+		if obj == heapsim.Nil {
+			t.Fatalf("list ran out after %d pops (count said %d)", i, objects)
+		}
+		if seen[obj] {
+			t.Fatalf("object %d linked twice", obj)
+		}
+		seen[obj] = true
+	}
+	if a.PopFree() != heapsim.Nil {
+		t.Fatal("list still non-empty after full drain")
+	}
+}
+
+func TestArenaCardRange(t *testing.T) {
+	a := NewArena(100, 2)
+	from, to := a.CardRange(0)
+	if from != 1 || to != 64 {
+		t.Fatalf("card 0 covers [%d,%d), want [1,64)", from, to)
+	}
+	from, to = a.CardRange(1)
+	if from != 64 || to != 101 {
+		t.Fatalf("card 1 covers [%d,%d), want [64,101)", from, to)
+	}
+}
+
+// A short end-to-end run: cycles complete, the oracle is clean, and the
+// pool and free list are quiescent afterwards.
+func TestEngineShortRun(t *testing.T) {
+	e := NewEngine(Config{
+		Objects:  1 << 12,
+		Mutators: 3,
+		Tracers:  2,
+		Duration: 300 * time.Millisecond,
+		Seed:     42,
+	})
+	rep := e.Run()
+	if rep.Cycles < 1 {
+		t.Fatal("no cycles completed")
+	}
+	if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+		t.Fatalf("oracle violations: lost=%d %v", rep.LostObjects, rep.Violations)
+	}
+	if rep.ObjectsAllocated == 0 || rep.Marks == 0 || rep.Scans == 0 {
+		t.Fatalf("engine idle: %+v", rep)
+	}
+	if !e.Pool().TracingDone() || !e.Pool().DeferredEmpty() {
+		t.Fatal("packet pool not quiescent after Run")
+	}
+	// Conservation: allocated - freed - live-at-end floating remainder all
+	// stay inside the arena, and the free list accounts for the rest.
+	inUse := int64(e.Arena().NumObjects()) - e.Arena().FreeLen()
+	if allocLive := rep.ObjectsAllocated - rep.ObjectsFreed; allocLive != inUse {
+		t.Fatalf("allocated-freed = %d but %d objects off the free list", allocLive, inUse)
+	}
+}
+
+// Each workload shape runs clean.
+func TestEngineShapes(t *testing.T) {
+	for _, shape := range []string{"mixed", "churn", "pointer"} {
+		t.Run(shape, func(t *testing.T) {
+			e := NewEngine(Config{
+				Objects:  1 << 12,
+				Mutators: 2,
+				Tracers:  2,
+				Duration: 200 * time.Millisecond,
+				Seed:     7,
+				Shape:    shape,
+			})
+			rep := e.Run()
+			if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+				t.Fatalf("shape %s: lost=%d %v", shape, rep.LostObjects, rep.Violations)
+			}
+			if rep.Cycles < 1 || rep.ObjectsAllocated == 0 {
+				t.Fatalf("shape %s idle: %+v", shape, rep)
+			}
+		})
+	}
+}

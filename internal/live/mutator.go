@@ -1,0 +1,268 @@
+package live
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"mcgc/internal/heapsim"
+)
+
+// opKind enumerates the mutator operations the workload shapes weight.
+type opKind int
+
+const (
+	opAlloc  opKind = iota // allocate and install a new object
+	opLink                 // store a reference into a reachable object
+	opUnlink               // nil out a slot of a reachable object
+	opDrop                 // drop a root (creates garbage)
+	opWalk                 // read-only pointer chase
+	numOps
+)
+
+// shapeWeights returns the op mix for a workload shape. "churn" is
+// allocation-heavy (stresses publication, sweep and free-list CAS),
+// "pointer" is mutation-heavy (stresses the barrier and card cleaning),
+// "mixed" is in between.
+func shapeWeights(shape string) [numOps]int {
+	switch shape {
+	case "churn":
+		return [numOps]int{55, 15, 10, 15, 5}
+	case "pointer":
+		return [numOps]int{10, 40, 25, 5, 20}
+	default: // mixed
+		return [numOps]int{30, 25, 15, 10, 20}
+	}
+}
+
+// mutator is one application goroutine. All of its persistent references
+// live in roots — nothing is cached across ops — so a parked mutator's
+// reachable set is exactly what the root arrays say, which is what makes
+// the STW oracle's sequential mark an exact ground truth.
+type mutator struct {
+	e   *Engine
+	id  int
+	rng *rand.Rand
+
+	// roots is this mutator's thread stack: atomic slots the driver scans
+	// at STW init and rescans in the final phase.
+	roots []atomic.Uint32
+
+	// cache holds objects popped from the free list but not yet installed;
+	// pending holds installed objects whose allocation bits are not yet
+	// published (the Section 5.2 batch).
+	cache   []heapsim.Addr
+	pending []heapsim.Addr
+
+	lastEpoch int64
+	ackEpoch  atomic.Int64
+	exited    atomic.Bool
+
+	cum [numOps]int
+	ops int64
+}
+
+func newMutator(e *Engine, id int) *mutator {
+	m := &mutator{
+		e:     e,
+		id:    id,
+		rng:   e.newRNG(100 + id),
+		roots: make([]atomic.Uint32, e.cfg.RootsPerMutator),
+	}
+	w := shapeWeights(e.cfg.Shape)
+	sum := 0
+	for i, v := range w {
+		sum += v
+		m.cum[i] = sum
+	}
+	return m
+}
+
+func (m *mutator) run() {
+	defer m.e.wg.Done()
+	for !m.e.shutdown.Load() {
+		m.maybePark()
+		m.maybeAck()
+		m.step()
+		if m.ops++; m.ops&63 == 0 {
+			// Ops are sub-microsecond; on few-core hosts an unyielding
+			// mutator would starve the driver and tracers for a whole
+			// preemption slice.
+			runtime.Gosched()
+		}
+	}
+	// Exit: publish what is installed, return the uninstalled cache.
+	m.publish()
+	for _, obj := range m.cache {
+		m.e.arena.PushFree(obj)
+	}
+	m.cache = nil
+	m.e.stats.mutatorOps.Add(m.ops)
+	m.exited.Store(true)
+	m.e.mu.Lock()
+	m.e.activeMuts--
+	m.e.cond.Broadcast()
+	m.e.mu.Unlock()
+}
+
+// maybePark is the safepoint poll: one atomic load on the fast path. On the
+// slow path the mutator publishes its allocation batch (caches are retired
+// at a pause, as the paper's mutators do), then parks until the driver
+// resumes the world.
+func (m *mutator) maybePark() {
+	if !m.e.stopFlag.Load() {
+		return
+	}
+	m.publish()
+	m.e.mu.Lock()
+	m.e.parked++
+	m.e.cond.Broadcast()
+	for m.e.stopWorld {
+		m.e.cond.Wait()
+	}
+	m.e.parked--
+	m.e.mu.Unlock()
+}
+
+// maybeAck answers a pending fence handshake (Section 5.3 step 2). The
+// acknowledgement store is the forced fence; the batch publication rides on
+// it, which also bounds how long an allocation bit can stay unpublished.
+func (m *mutator) maybeAck() {
+	if epoch := m.e.fenceEpoch.Load(); epoch != m.lastEpoch {
+		m.lastEpoch = epoch
+		m.publish()
+		m.ackEpoch.Store(epoch)
+		m.e.stats.forcedFences.Add(1)
+	}
+}
+
+// publish makes the batch's allocation bits visible (Section 5.2: one fence
+// for a whole cache of objects). During a cycle new objects are also marked
+// — allocation is black, so the sweep cannot free an object whose contents
+// the cycle never traced.
+func (m *mutator) publish() {
+	if len(m.pending) == 0 {
+		return
+	}
+	marking := m.e.markingActive.Load()
+	for _, obj := range m.pending {
+		if marking {
+			m.e.arena.Mark.TestAndSetAtomic(int(obj))
+		}
+		m.e.arena.Alloc.SetAtomic(int(obj))
+	}
+	m.e.stats.objectsAllocated.Add(int64(len(m.pending)))
+	m.e.stats.allocFences.Add(1)
+	m.pending = m.pending[:0]
+}
+
+func (m *mutator) step() {
+	n := m.rng.Intn(m.cum[numOps-1])
+	var op opKind
+	for op = 0; n >= m.cum[op]; op++ {
+	}
+	switch op {
+	case opAlloc:
+		m.doAlloc()
+	case opLink:
+		if c := m.reachable(); c != heapsim.Nil {
+			m.store(c, m.rng.Intn(m.e.arena.refsPer), m.reachable())
+		}
+	case opUnlink:
+		if c := m.reachable(); c != heapsim.Nil {
+			m.store(c, m.rng.Intn(m.e.arena.refsPer), heapsim.Nil)
+		}
+	case opDrop:
+		m.roots[m.rng.Intn(len(m.roots))].Store(0)
+	case opWalk:
+		m.walk()
+	}
+}
+
+// doAlloc takes an object from the allocation cache (refilling from the
+// shared free list), links it into the graph, and queues its allocation bit
+// for batched publication. Until that batch publishes, a tracer reaching
+// the object takes the deferred path. On heap exhaustion the op degrades to
+// dropping a root, so sustained pressure turns into garbage for the next
+// cycle instead of a stall.
+func (m *mutator) doAlloc() {
+	obj := m.takeFromCache()
+	if obj == heapsim.Nil {
+		m.e.stats.allocFailed.Add(1)
+		// Allocation stall: publish the part-filled batch now — with the
+		// heap exhausted it may never fill, and an unpublished object would
+		// bounce through the deferred pool until the next handshake — then
+		// cede the processor so the collector can produce free memory.
+		m.publish()
+		runtime.Gosched()
+		return
+	}
+	// Seed the new object with an edge into the existing graph half the
+	// time, so the heap grows lists and trees rather than isolated cells.
+	if t := m.reachable(); t != heapsim.Nil && m.rng.Intn(2) == 0 {
+		m.store(obj, m.rng.Intn(m.e.arena.refsPer), t)
+	}
+	// Install: root it, or hang it off a reachable object.
+	if c := m.reachable(); c != heapsim.Nil && m.rng.Intn(2) == 0 {
+		m.store(c, m.rng.Intn(m.e.arena.refsPer), obj)
+	} else {
+		m.roots[m.rng.Intn(len(m.roots))].Store(uint32(obj))
+	}
+	m.pending = append(m.pending, obj)
+	if len(m.pending) >= m.e.cfg.AllocBatch {
+		m.publish()
+	}
+}
+
+func (m *mutator) takeFromCache() heapsim.Addr {
+	if len(m.cache) == 0 {
+		for i := 0; i < m.e.cfg.AllocBatch; i++ {
+			obj := m.e.arena.PopFree()
+			if obj == heapsim.Nil {
+				break
+			}
+			m.cache = append(m.cache, obj)
+		}
+		if len(m.cache) == 0 {
+			return heapsim.Nil
+		}
+	}
+	obj := m.cache[len(m.cache)-1]
+	m.cache = m.cache[:len(m.cache)-1]
+	return obj
+}
+
+// store writes a reference and runs the write barrier: dirty the card of
+// the stored-into object, with no fence (Section 5.3) — the slot store
+// itself is the only synchronized operation.
+func (m *mutator) store(c heapsim.Addr, j int, v heapsim.Addr) {
+	m.e.arena.StoreRef(c, j, v)
+	if m.e.markingActive.Load() {
+		m.e.arena.Cards.DirtyObjectAtomic(c)
+	}
+}
+
+// reachable returns some object reachable from this mutator's roots right
+// now: a random root, followed by a few random hops.
+func (m *mutator) reachable() heapsim.Addr {
+	cur := heapsim.Addr(m.roots[m.rng.Intn(len(m.roots))].Load())
+	if cur == heapsim.Nil {
+		return heapsim.Nil
+	}
+	for hop := m.rng.Intn(4); hop > 0; hop-- {
+		next := m.e.arena.LoadRef(cur, m.rng.Intn(m.e.arena.refsPer))
+		if next == heapsim.Nil {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// walk is a read-only pointer chase — load traffic racing the tracers.
+func (m *mutator) walk() {
+	cur := heapsim.Addr(m.roots[m.rng.Intn(len(m.roots))].Load())
+	for hop := 0; hop < 8 && cur != heapsim.Nil; hop++ {
+		cur = m.e.arena.LoadRef(cur, m.rng.Intn(m.e.arena.refsPer))
+	}
+}

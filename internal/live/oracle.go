@@ -1,0 +1,103 @@
+package live
+
+import (
+	"fmt"
+
+	"mcgc/internal/bitvec"
+	"mcgc/internal/heapsim"
+)
+
+// oracleScratch is the sequential marker's private state, reused across
+// cycles. It is touched only by the driver, with the world stopped.
+type oracleScratch struct {
+	marks *bitvec.Vector
+	stack []heapsim.Addr
+}
+
+func newOracleScratch(objects int) *oracleScratch {
+	return &oracleScratch{marks: bitvec.New(objects + 1)}
+}
+
+// OracleResult is one cycle's ground-truth comparison.
+type OracleResult struct {
+	// Live is the number of objects reachable from the roots at the
+	// closure point (the sequential mark).
+	Live int
+	// Floating is how many concurrently marked objects are unreachable —
+	// garbage the cycle retains, exactly the paper's floating garbage.
+	Floating int
+	// Lost counts reachable objects the concurrent mark missed. Any
+	// nonzero value is a collector bug: the object would have been swept.
+	Lost int
+}
+
+// runOracle validates the concurrent mark against a sequential one. It runs
+// in the STW final phase, after closeMark: mutators are parked (so the root
+// arrays are the entire reachable frontier — mutators hold no references
+// across safepoints) and tracing is quiescent. The concurrent mark set must
+// be a superset of the sequential one; the difference is floating garbage.
+// Violations are appended to the report (and counted in LostObjects).
+func (e *Engine) runOracle() OracleResult {
+	sc := e.oracleMarks
+	sc.marks.ClearAll()
+	sc.stack = sc.stack[:0]
+	for _, m := range e.muts {
+		for i := range m.roots {
+			if c := heapsim.Addr(m.roots[i].Load()); c != heapsim.Nil && !sc.marks.Test(int(c)) {
+				sc.marks.Set(int(c))
+				sc.stack = append(sc.stack, c)
+			}
+		}
+	}
+	live := 0
+	for len(sc.stack) > 0 {
+		a := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		live++
+		for j := 0; j < e.arena.refsPer; j++ {
+			if c := e.arena.LoadRef(a, j); c != heapsim.Nil && !sc.marks.Test(int(c)) {
+				sc.marks.Set(int(c))
+				sc.stack = append(sc.stack, c)
+			}
+		}
+	}
+
+	res := OracleResult{Live: live}
+	for a := 1; a <= e.arena.numObjects; a++ {
+		reachable := sc.marks.Test(a)
+		marked := e.arena.Mark.Test(a)
+		switch {
+		case reachable && !marked:
+			res.Lost++
+			e.violation("cycle %d: live object %d not marked by concurrent trace", e.report.Cycles, a)
+		case reachable && !e.arena.Alloc.Test(a):
+			e.violation("cycle %d: live object %d has no allocation bit", e.report.Cycles, a)
+		case marked && !reachable:
+			res.Floating++
+			if !e.arena.Alloc.Test(a) {
+				e.violation("cycle %d: marked object %d has no allocation bit", e.report.Cycles, a)
+			}
+		}
+	}
+	return res
+}
+
+// collectGarbage lists every allocated, unmarked object and retracts its
+// allocation bit, still under the stopped world. The returned objects are
+// unreachable by construction, so the caller frees them concurrently.
+func (e *Engine) collectGarbage() []heapsim.Addr {
+	var toFree []heapsim.Addr
+	for a := 1; a <= e.arena.numObjects; a++ {
+		if e.arena.Alloc.Test(a) && !e.arena.Mark.Test(a) {
+			e.arena.Alloc.Clear(a)
+			toFree = append(toFree, heapsim.Addr(a))
+		}
+	}
+	return toFree
+}
+
+func (e *Engine) violation(format string, args ...any) {
+	if len(e.report.Violations) < 20 {
+		e.report.Violations = append(e.report.Violations, fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,162 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mcgc/internal/vtime"
+)
+
+// engineStats are the counters shared by mutator, tracer and driver
+// goroutines; everything here is atomic. Driver-only measurements (pauses,
+// per-cycle oracle results) go straight into the Report.
+type engineStats struct {
+	marks          atomic.Int64 // objects claimed grey
+	scans          atomic.Int64 // objects scanned from the pool
+	rescans        atomic.Int64 // objects rescanned by card cleaning
+	deferred       atomic.Int64 // unsafe objects pushed to the deferred pool
+	deferredDrains atomic.Int64 // DrainDeferred invocations that found work
+	deferOverflows atomic.Int64 // deferred pushes degraded to card dirtying
+	overflows      atomic.Int64 // pushes degraded to mark+dirty (Section 4.3)
+	cardPasses     atomic.Int64 // concurrent cleaning passes
+
+	markNs  atomic.Int64 // concurrent mark phase wall time
+	sweepNs atomic.Int64 // concurrent sweep wall time
+
+	objectsAllocated atomic.Int64
+	objectsFreed     atomic.Int64
+	allocFailed      atomic.Int64
+	allocFences      atomic.Int64 // one per published batch (Section 5.2)
+	forcedFences     atomic.Int64 // one per mutator per handshake (5.3)
+	mutatorOps       atomic.Int64
+}
+
+// Report is what one Engine.Run hands back.
+type Report struct {
+	Cycles     int
+	MutatorOps int64
+
+	ObjectsAllocated int64
+	ObjectsFreed     int64
+	AllocFailed      int64
+
+	Marks    int64
+	Scans    int64
+	Rescans  int64
+	Deferred int64
+
+	DeferredDrains int64
+	Overflows      int64
+	DeferOverflows int64
+	CardPasses     int64
+
+	CardsRegistered int64
+	CardsCleaned    int64
+	BarrierMarks    int64
+
+	AllocFences  int64
+	ForcedFences int64
+
+	PoolCASRetries     int64
+	FreeListRetries    int64
+	PoolMaxInUse       int64
+	PoolReturnFences   int64
+	TracerSwapFallback int64
+
+	LiveAtEnd     int
+	FloatingTotal int64
+	FloatingMax   int64
+	LostObjects   int64
+	// Violations holds the first few oracle findings verbatim (empty on a
+	// correct run).
+	Violations []string
+
+	STWCount   int
+	STWTotal   time.Duration
+	STWMax     time.Duration
+	MarkTotal  time.Duration // concurrent mark phases
+	SweepTotal time.Duration
+}
+
+func (e *Engine) noteSTW(start, end int64) {
+	d := time.Duration(end - start)
+	e.report.STWCount++
+	e.report.STWTotal += d
+	if d > e.report.STWMax {
+		e.report.STWMax = d
+	}
+	// Same gauge name as the simulator backend, so gcstats -metrics computes
+	// pause percentiles and MMU for live runs unchanged.
+	e.cfg.Reg.Gauge("gc.pause_ns").Sample(vtime.Time(start), float64(end-start))
+}
+
+func (e *Engine) noteCycle(res OracleResult, freed int, at int64) {
+	e.report.Cycles++
+	e.report.LiveAtEnd = res.Live
+	e.report.FloatingTotal += int64(res.Floating)
+	if int64(res.Floating) > e.report.FloatingMax {
+		e.report.FloatingMax = int64(res.Floating)
+	}
+	e.report.LostObjects += int64(res.Lost)
+	e.sampleCycle(res, freed, at)
+}
+
+func (e *Engine) finishReport() {
+	r := &e.report
+	s := &e.stats
+	r.MutatorOps = s.mutatorOps.Load()
+	r.ObjectsAllocated = s.objectsAllocated.Load()
+	r.ObjectsFreed = s.objectsFreed.Load()
+	r.AllocFailed = s.allocFailed.Load()
+	r.Marks = s.marks.Load()
+	r.Scans = s.scans.Load()
+	r.Rescans = s.rescans.Load()
+	r.Deferred = s.deferred.Load()
+	r.DeferredDrains = s.deferredDrains.Load()
+	r.Overflows = s.overflows.Load()
+	r.DeferOverflows = s.deferOverflows.Load()
+	r.CardPasses = s.cardPasses.Load()
+	r.AllocFences = s.allocFences.Load()
+	r.ForcedFences = s.forcedFences.Load()
+	r.MarkTotal = time.Duration(s.markNs.Load())
+	r.SweepTotal = time.Duration(s.sweepNs.Load())
+
+	cs := &e.arena.Cards.AtomicStats
+	r.CardsRegistered = cs.CardsRegistered.Load()
+	r.CardsCleaned = cs.CardsCleaned.Load()
+	r.BarrierMarks = cs.BarrierMarks.Load()
+
+	ps := &e.pool.Stats
+	r.PoolCASRetries = ps.CASRetries.Load()
+	r.PoolMaxInUse = ps.MaxInUse.Load()
+	r.PoolReturnFences = ps.ReturnFences.Load()
+	r.FreeListRetries = e.arena.FreeListRetries.Load()
+
+	e.flushTelemetry()
+}
+
+// String formats the report the way gcstress prints it.
+func (r Report) String() string {
+	oracle := "oracle: every cycle's live set ⊆ concurrent mark set"
+	if r.LostObjects > 0 {
+		oracle = fmt.Sprintf("ORACLE FAILED: %d live objects lost", r.LostObjects)
+	}
+	return fmt.Sprintf(
+		"cycles %d  mutator ops %d  alloc %d  freed %d  (alloc failed %d)\n"+
+			"marks %d  scans %d  rescans %d  deferred %d\n"+
+			"overflows %d (defer %d)  card passes %d  cards reg/cleaned %d/%d  barrier marks %d\n"+
+			"fences: alloc %d  forced %d  pool-return %d\n"+
+			"contention: pool CAS retries %d  free-list retries %d  pool max in use %d\n"+
+			"floating garbage: total %d  max/cycle %d  live at end %d\n"+
+			"pauses: %d  total %v  max %v  (concurrent: mark %v  sweep %v)\n%s",
+		r.Cycles, r.MutatorOps, r.ObjectsAllocated, r.ObjectsFreed, r.AllocFailed,
+		r.Marks, r.Scans, r.Rescans, r.Deferred,
+		r.Overflows, r.DeferOverflows, r.CardPasses, r.CardsRegistered, r.CardsCleaned, r.BarrierMarks,
+		r.AllocFences, r.ForcedFences, r.PoolReturnFences,
+		r.PoolCASRetries, r.FreeListRetries, r.PoolMaxInUse,
+		r.FloatingTotal, r.FloatingMax, r.LiveAtEnd,
+		r.STWCount, r.STWTotal.Round(time.Microsecond), r.STWMax.Round(time.Microsecond),
+		r.MarkTotal.Round(time.Microsecond), r.SweepTotal.Round(time.Microsecond),
+		oracle)
+}

@@ -1,0 +1,98 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStressOracle is the acceptance run: a long stress under -race with a
+// configuration chosen to force every degradation path — packet overflow
+// (tiny pool), deferred publication (large alloc batches), termination races
+// (more tracers than packets can keep busy) — across many cycles. The STW
+// oracle must find zero lost live objects in every one of them.
+func TestStressOracle(t *testing.T) {
+	dur := 11 * time.Second
+	if testing.Short() {
+		dur = 1 * time.Second
+	}
+	e := NewEngine(Config{
+		Objects:         1 << 14,
+		RootsPerMutator: 64, // 256 roots total: a live graph worth tracing
+		Mutators:        4,
+		Tracers:         3,
+		BgTracers:       1,
+		Packets:         10, // 80 pool entries < root count: overflow is certain
+		PacketCap:       8,
+		AllocBatch:      48, // large batches: long-unpublished alloc bits
+		CardPasses:      3,
+		Duration:        dur,
+		Seed:            1,
+	})
+	rep := e.Run()
+	t.Logf("\n%s", rep)
+
+	if rep.LostObjects != 0 {
+		t.Errorf("oracle lost %d live objects", rep.LostObjects)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle: %s", v)
+	}
+	if !testing.Short() {
+		if rep.Cycles < 5 {
+			t.Errorf("only %d cycles completed, want >= 5", rep.Cycles)
+		}
+		// The configuration is built to hit the degradation paths; if it
+		// doesn't, the stress is not stressing what it claims to.
+		if rep.Overflows == 0 {
+			t.Error("no packet overflows — pool too large for the workload")
+		}
+		if rep.Deferred == 0 {
+			t.Error("no deferred objects — publication batching not exercised")
+		}
+		if rep.ForcedFences == 0 {
+			t.Error("no forced fences — card cleaning handshake not exercised")
+		}
+		if rep.CardsRegistered == 0 || rep.BarrierMarks == 0 {
+			t.Error("write barrier / card registration not exercised")
+		}
+		if rep.ObjectsFreed == 0 {
+			t.Error("nothing freed — sweep not exercised")
+		}
+	}
+	if !e.Pool().TracingDone() || !e.Pool().DeferredEmpty() {
+		t.Error("packet pool not quiescent after Run")
+	}
+}
+
+// TestTerminationRaces floods the termination protocol: many tracers against
+// a tiny heap and tiny packets, so tracers constantly race each other (and
+// the driver) through get-before-return, Release and TracingDone.
+func TestTerminationRaces(t *testing.T) {
+	dur := 3 * time.Second
+	if testing.Short() {
+		dur = 500 * time.Millisecond
+	}
+	e := NewEngine(Config{
+		Objects:    1 << 10,
+		Mutators:   2,
+		Tracers:    6,
+		BgTracers:  2,
+		Packets:    8,
+		PacketCap:  4,
+		AllocBatch: 4,
+		Duration:   dur,
+		IdlePeriod: 200 * time.Microsecond,
+		Seed:       3,
+		Shape:      "churn",
+	})
+	rep := e.Run()
+	if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+		t.Fatalf("oracle violations: lost=%d %v", rep.LostObjects, rep.Violations)
+	}
+	if rep.Cycles < 2 {
+		t.Fatalf("only %d cycles completed", rep.Cycles)
+	}
+	if !e.Pool().TracingDone() || !e.Pool().DeferredEmpty() {
+		t.Error("packet pool not quiescent after Run")
+	}
+}

@@ -1,0 +1,83 @@
+package live
+
+import (
+	"mcgc/internal/telemetry"
+	"mcgc/internal/vtime"
+)
+
+// Telemetry tracks. The live engine timestamps with wall-clock nanoseconds
+// since Run started (the vtime axis of the sinks is just "ns"). Only the
+// driver goroutine records, so the unsynchronized Registry/Timeline
+// contract holds. Spans are recorded at completion time, which puts an
+// enclosing span (cycle) after its children in the file — gcstats -check
+// orders and nests per track rather than assuming file order.
+const (
+	gcTrack   = telemetry.GlobalTrackBase     // cycle + phase spans
+	heapTrack = telemetry.GlobalTrackBase + 1 // heap occupancy counter
+)
+
+func (e *Engine) setupTelemetry() {
+	e.cfg.TL.SetThreadName(gcTrack, "gc driver")
+	e.cfg.TL.SetThreadName(heapTrack, "heap")
+}
+
+// span records a completed phase on the GC track.
+func (e *Engine) span(name string, start, end int64) {
+	e.cfg.TL.Span(gcTrack, name, vtime.Time(start), vtime.Time(end))
+}
+
+// sampleCycle records the per-cycle gauges and the heap counter track.
+func (e *Engine) sampleCycle(res OracleResult, freed int, at int64) {
+	t := vtime.Time(at)
+	reg := e.cfg.Reg
+	reg.Gauge("live.objects").Sample(t, float64(res.Live))
+	reg.Gauge("live.floating").Sample(t, float64(res.Floating))
+	reg.Gauge("live.freed").Sample(t, float64(freed))
+	reg.Gauge("live.free_list").Sample(t, float64(e.arena.FreeLen()))
+	e.cfg.TL.Counter(heapTrack, "heap", t,
+		telemetry.Arg{Key: "live", Val: float64(res.Live)},
+		telemetry.Arg{Key: "floating", Val: float64(res.Floating)},
+		telemetry.Arg{Key: "free", Val: float64(e.arena.FreeLen())})
+	e.cfg.TL.Instant(gcTrack, "oracle.verdict", t,
+		telemetry.Arg{Key: "lost", Val: float64(res.Lost)},
+		telemetry.Arg{Key: "floating", Val: float64(res.Floating)})
+}
+
+// flushTelemetry copies the end-of-run report counters into the registry,
+// mirroring the names the simulator backend emits where the concept is the
+// same (pool.*, cards.*) and using live.* for engine-only counters.
+func (e *Engine) flushTelemetry() {
+	reg := e.cfg.Reg
+	if reg == nil {
+		return
+	}
+	r := &e.report
+	set := func(name string, v int64) { reg.Counter(name).Set(v) }
+	// run.vtime_ns is what gcstats -metrics divides pauses by for MMU; the
+	// live engine's "virtual" time is wall time since Run started.
+	set("run.vtime_ns", e.now())
+	set("live.cycles", int64(r.Cycles))
+	set("live.mutator_ops", r.MutatorOps)
+	set("live.objects_allocated", r.ObjectsAllocated)
+	set("live.objects_freed", r.ObjectsFreed)
+	set("live.alloc_failed", r.AllocFailed)
+	set("live.marks", r.Marks)
+	set("live.scans", r.Scans)
+	set("live.rescans", r.Rescans)
+	set("live.deferred", r.Deferred)
+	set("live.lost_objects", r.LostObjects)
+	set("live.floating_total", r.FloatingTotal)
+	set("live.stw_ns_total", r.STWTotal.Nanoseconds())
+	set("live.stw_ns_max", r.STWMax.Nanoseconds())
+	set("gc.overflows", r.Overflows)
+	set("gc.card_passes", r.CardPasses)
+	set("gc.forced_fences", r.ForcedFences)
+	set("gc.alloc_fences", r.AllocFences)
+	set("cards.registered", r.CardsRegistered)
+	set("cards.cleaned", r.CardsCleaned)
+	set("cards.barrier_marks", r.BarrierMarks)
+	set("pool.cas_retries", r.PoolCASRetries)
+	set("pool.return_fences", r.PoolReturnFences)
+	set("pool.max_in_use", r.PoolMaxInUse)
+	set("live.freelist_retries", r.FreeListRetries)
+}

@@ -6,6 +6,9 @@ package workpack
 // counts.
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"mcgc/internal/heapsim"
@@ -32,6 +35,85 @@ func BenchmarkPoolGetPut(b *testing.B) {
 		in := p.GetInput()
 		in.Pop()
 		p.Put(in)
+	}
+}
+
+// BenchmarkPoolMatrix measures the lock-free sub-pools under explicit
+// contention levels: GOMAXPROCS 1/2/4/8 crossed with three get/put mixes.
+// Each run reports the CAS retry rate (failed head CASes per operation) next
+// to ns/op, which is the contention signal the versioned-head design is
+// supposed to keep low. The committed baseline lives in BENCH_workpack.json.
+func BenchmarkPoolMatrix(b *testing.B) {
+	mixes := []struct {
+		name string
+		run  func(p *Pool, id, n int)
+	}{
+		// cycle: bare packet circulation, one get + one put per op — the
+		// hottest path of the pool itself.
+		{"cycle", func(p *Pool, id, n int) {
+			for i := 0; i < n; i++ {
+				pkt := p.GetOutput()
+				if pkt == nil {
+					continue
+				}
+				if !pkt.Full() {
+					pkt.Push(heapsim.Addr(id + 1))
+				}
+				p.Put(pkt)
+			}
+		}},
+		// pushpop: the tracer discipline at BFS rates, 1 push : 1 pop, so
+		// packets migrate between sub-pools as they fill and drain.
+		{"pushpop", func(p *Pool, id, n int) {
+			tr := NewTracer(p)
+			for i := 0; i < n; i++ {
+				tr.Push(heapsim.Addr(id*n + i + 1))
+				tr.Pop()
+			}
+			tr.Release()
+		}},
+		// handoff: disjoint producers and consumers, so every entry crosses
+		// goroutines through the pool.
+		{"handoff", func(p *Pool, id, n int) {
+			tr := NewTracer(p)
+			if id%2 == 0 {
+				for i := 0; i < n; i++ {
+					if !tr.Push(heapsim.Addr(id*n + i + 1)) {
+						tr.Release()
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if _, ok := tr.Pop(); !ok {
+						tr.Release()
+						runtime.Gosched()
+					}
+				}
+			}
+			tr.Release()
+		}},
+	}
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, mix := range mixes {
+			b.Run(fmt.Sprintf("%s/procs=%d", mix.name, procs), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				p := NewPool(256, 32)
+				perG := b.N/procs + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < procs; g++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						mix.run(p, id, perG)
+					}(g)
+				}
+				wg.Wait()
+				b.StopTimer()
+				ops := int64(perG) * int64(procs)
+				b.ReportMetric(float64(p.Stats.CASRetries.Load())/float64(ops), "retries/op")
+			})
+		}
 	}
 }
 

@@ -237,6 +237,11 @@ func TestConcurrentPacketConservation(t *testing.T) {
 	if total != packets {
 		t.Fatalf("sub-pool counts sum to %d, want %d", total, packets)
 	}
+	// At quiescence every successful get was matched by a put: no packet is
+	// outstanding, so the two counters must agree exactly.
+	if gets, puts := p.Stats.Gets.Load(), p.Stats.Puts.Load(); gets != puts {
+		t.Fatalf("gets %d != puts %d at quiescence", gets, puts)
+	}
 	// Walk the lists and verify each packet appears exactly once.
 	seen := make(map[int32]bool)
 	n := 0
@@ -334,6 +339,15 @@ func TestConcurrentHandoffIntegrity(t *testing.T) {
 	}
 	if !p.TracingDone() {
 		t.Fatal("pool not quiescent after full drain")
+	}
+	// Quiescence invariants: the termination condition holds structurally
+	// (every packet back in the Empty sub-pool) and every get was matched by
+	// a put.
+	if p.Count(Empty) != p.TotalPackets() {
+		t.Fatalf("empty sub-pool holds %d packets, want all %d", p.Count(Empty), p.TotalPackets())
+	}
+	if gets, puts := p.Stats.Gets.Load(), p.Stats.Puts.Load(); gets != puts {
+		t.Fatalf("gets %d != puts %d at quiescence", gets, puts)
 	}
 }
 

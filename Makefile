@@ -10,9 +10,9 @@ GO ?= go
 # that drive it.
 RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,36 @@ stress-smoke:
 	$(GO) run ./cmd/gcstats -metrics /tmp/gcstress-smoke.jsonl
 	$(GO) run ./cmd/gcstats -trace /tmp/gcstress-smoke-trace.json -check
 	@rm -f /tmp/gcstress-smoke.jsonl /tmp/gcstress-smoke-trace.json
+
+# Exercise the fault-injection layer end to end under the race detector: one
+# race-enabled gcstress run per fault class with fixed seeds. -require-faults
+# makes each run fail unless its configured fault actually fired, the STW
+# oracle fails it on any lost object, and -timeout backstops a hang with a
+# goroutine dump (exit 2). The last run injects a total tracing wedge and
+# asserts the termination watchdog aborts it with exit 2 instead of hanging.
+CHAOS_RUN = $(GO) run -race ./cmd/gcstress -duration 1s -packets 12 -packetcap 8 -roots 48 \
+	-chaos-seed 7 -require-faults -timeout 120s -wedge-timeout 30s
+
+chaos-smoke:
+	$(CHAOS_RUN) -chaos "pool.exhaust=1/3" -metrics /tmp/gcchaos-smoke.jsonl
+	$(CHAOS_RUN) -chaos "pool.cas=1/3,jitter=1/16"
+	$(CHAOS_RUN) -chaos "pool.deferstall=2:100us" -allocbatch 48
+	$(CHAOS_RUN) -chaos "card.cleanstall=1/4:50us" -shape pointer
+	$(CHAOS_RUN) -chaos "live.tracerstall=4:200us"
+	$(CHAOS_RUN) -chaos "live.fencedelay=3:300us" -shape pointer
+	$(CHAOS_RUN) -chaos "live.allocfail=1/2"
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcchaos-smoke.jsonl
+	@rm -f /tmp/gcchaos-smoke.jsonl
+	@echo "chaos-smoke: verifying the watchdog aborts a wedged run..."
+	@$(GO) build -race -o /tmp/gcstress-chaos ./cmd/gcstress
+	@/tmp/gcstress-chaos -duration 60s -chaos "live.wedge=on" -chaos-seed 7 \
+		-wedge-timeout 2s -timeout 120s >/tmp/gcchaos-wedge.out 2>&1; \
+	status=$$?; rm -f /tmp/gcstress-chaos; \
+	if [ $$status -ne 2 ]; then \
+		echo "chaos-smoke: wedge run exited $$status, want 2"; cat /tmp/gcchaos-wedge.out; rm -f /tmp/gcchaos-wedge.out; exit 1; \
+	fi; \
+	grep -q "WEDGED in" /tmp/gcchaos-wedge.out || { echo "chaos-smoke: no wedge diagnosis in output"; cat /tmp/gcchaos-wedge.out; rm -f /tmp/gcchaos-wedge.out; exit 1; }; \
+	rm -f /tmp/gcchaos-wedge.out; echo "chaos-smoke: watchdog ok"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

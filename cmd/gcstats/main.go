@@ -211,6 +211,17 @@ func report(path, filter string) error {
 			fmt.Printf("   MMU: %s\n", strings.Join(parts, "  "))
 		}
 
+		if faults := faultCounters(r.counters); len(faults) > 0 {
+			fmt.Printf("   faults:")
+			for _, f := range faults {
+				fmt.Printf("  %s %d/%d", f.site, f.fires, f.hits)
+			}
+			fmt.Println()
+			if r.counters["live.wedged"] > 0 {
+				fmt.Printf("   WEDGED: run aborted by the termination watchdog\n")
+			}
+		}
+
 		if k := r.gauges["gc.pacing.k"]; len(k.v) > 0 {
 			min, max := k.v[0], k.v[0]
 			var sum float64
@@ -232,6 +243,48 @@ func report(path, filter string) error {
 		return fmt.Errorf("no runs matched (file has %d runs)", len(runs))
 	}
 	return nil
+}
+
+// faultCounter is one fault site's fires/hits pair pulled back out of the
+// fault.<site>.{fires,hits} counters a chaos run emits.
+type faultCounter struct {
+	site        string
+	fires, hits int64
+}
+
+// faultCounters extracts and sorts the fault-injection counters of one run.
+// Site names contain dots ("pool.exhaust"), so the metric kind is whatever
+// follows the last dot.
+func faultCounters(counters map[string]int64) []faultCounter {
+	bySite := map[string]*faultCounter{}
+	for name, v := range counters {
+		rest, ok := strings.CutPrefix(name, "fault.")
+		if !ok {
+			continue
+		}
+		i := strings.LastIndexByte(rest, '.')
+		if i < 0 {
+			continue
+		}
+		site, kind := rest[:i], rest[i+1:]
+		fc := bySite[site]
+		if fc == nil {
+			fc = &faultCounter{site: site}
+			bySite[site] = fc
+		}
+		switch kind {
+		case "hits":
+			fc.hits = v
+		case "fires":
+			fc.fires = v
+		}
+	}
+	out := make([]faultCounter, 0, len(bySite))
+	for _, fc := range bySite {
+		out = append(out, *fc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].site < out[j].site })
+	return out
 }
 
 // traceFile mirrors the subset of the trace_event schema -check inspects.

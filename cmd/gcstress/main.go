@@ -5,11 +5,19 @@
 // the built-in STW oracle independently verifies that no cycle loses a live
 // object.
 //
+// The -chaos flag arms the deterministic fault-injection layer
+// (internal/faultinject): a spec like "pool.exhaust=1/4,live.tracerstall=3:2ms"
+// forces the collector's rare paths at a chosen, seeded rate. Per-fault
+// trigger counts are printed after the run and land in the metrics JSONL as
+// fault.<site>.{hits,fires} counters. "-chaos list" prints every site.
+//
 // Examples:
 //
 //	gcstress -mutators 4 -tracers 2 -duration 5s
 //	gcstress -shape pointer -packets 10 -packetcap 8 -duration 10s
 //	gcstress -duration 2s -metrics stress.jsonl -trace stress.trace.json
+//	gcstress -chaos "pool.exhaust=1/4" -chaos-seed 7 -require-faults
+//	gcstress -chaos "live.wedge=on" -wedge-timeout 500ms   # exits 2, no hang
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"mcgc/internal/faultinject"
 	"mcgc/internal/live"
 	"mcgc/internal/runmeta"
 	"mcgc/internal/telemetry"
@@ -41,8 +50,27 @@ func main() {
 		shape      = flag.String("shape", "mixed", "workload shape: mixed, churn or pointer")
 		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
+
+		chaos     = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
+		wedgeTO   = flag.Duration("wedge-timeout", 5*time.Second, "abort a cycle making no tracing progress for this long")
+		timeout   = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
+		reqFaults = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
 	)
 	flag.Parse()
+
+	if *chaos == "list" {
+		for _, line := range faultinject.Sites() {
+			fmt.Println(line)
+		}
+		fmt.Println("jitter               schedule perturbator applied at every site's every hit")
+		return
+	}
+	plan, err := faultinject.Parse(*chaos, *chaosSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcstress: %v\n", err)
+		os.Exit(1)
+	}
 
 	cfg := live.Config{
 		Objects:         *objects,
@@ -58,6 +86,8 @@ func main() {
 		Duration:        *duration,
 		Seed:            *seed,
 		Shape:           *shape,
+		Faults:          plan,
+		WedgeTimeout:    *wedgeTO,
 	}
 
 	// Telemetry rides the same sinks as the simulator suite so gcstats can
@@ -79,6 +109,19 @@ func main() {
 		StartedAt:  time.Now().UTC().Format(time.RFC3339),
 	}
 
+	// The hard watchdog backstops everything else: if the engine's own wedge
+	// detection is itself broken, the process still dies with a stack dump
+	// instead of hanging the harness.
+	if *timeout > 0 {
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "gcstress: run exceeded -timeout %v; goroutine dump follows\n", *timeout)
+			buf := make([]byte, 1<<20)
+			os.Stderr.Write(buf[:runtime.Stack(buf, true)])
+			os.Exit(2)
+		}()
+	}
+
 	rep := live.NewEngine(cfg).Run()
 	fmt.Println(rep)
 
@@ -89,11 +132,33 @@ func main() {
 		writeSink(*traceOut, func(f *os.File) error { return col.WriteTrace(f, suite) })
 	}
 
+	if rep.Wedged {
+		fmt.Fprintf(os.Stderr, "gcstress: %s\n", rep.WedgeDiagnosis)
+		fmt.Fprintf(os.Stderr, "gcstress: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
+			*seed, plan.String(), plan.Seed())
+		os.Exit(2)
+	}
 	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
 		for _, v := range rep.Violations {
 			fmt.Fprintf(os.Stderr, "gcstress: oracle: %s\n", v)
 		}
+		if plan != nil {
+			fmt.Fprintf(os.Stderr, "gcstress: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
+				*seed, plan.String(), plan.Seed())
+		}
 		os.Exit(1)
+	}
+	if *reqFaults {
+		ok := true
+		for _, p := range rep.Faults {
+			if p.Explicit && p.Fires == 0 {
+				fmt.Fprintf(os.Stderr, "gcstress: fault point %s never fired (%d hits)\n", p.Name, p.Hits)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	}
 }
 

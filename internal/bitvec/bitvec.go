@@ -11,6 +11,7 @@ package bitvec
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -73,6 +74,16 @@ func (v *Vector) Clear(i int) {
 	v.bits[i>>wordShift] &^= 1 << (uint(i) & wordMask)
 }
 
+// casBackoff yields the processor once a word-CAS loop has lost a few
+// rounds: neighbouring-bit writers sharing a word resolve in a try or two,
+// so persistent failure means a sustained contender that needs cycles to
+// finish (fault injection can amplify contention arbitrarily).
+func casBackoff(retries int) {
+	if retries >= 4 {
+		runtime.Gosched()
+	}
+}
+
 // TestAndSet atomically sets bit i and reports whether this call changed it
 // from clear to set. Concurrent tracers use this to claim an object: exactly
 // one of the racing callers receives true.
@@ -80,7 +91,7 @@ func (v *Vector) TestAndSet(i int) bool {
 	v.check(i)
 	addr := &v.bits[i>>wordShift]
 	mask := uint64(1) << (uint(i) & wordMask)
-	for {
+	for retries := 0; ; retries++ {
 		old := atomic.LoadUint64(addr)
 		if old&mask != 0 {
 			return false
@@ -88,6 +99,7 @@ func (v *Vector) TestAndSet(i int) bool {
 		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
 			return true
 		}
+		casBackoff(retries)
 	}
 }
 
@@ -132,11 +144,12 @@ func (v *Vector) SetAtomic(i int) {
 	v.check(i)
 	addr := &v.bits[i>>wordShift]
 	mask := uint64(1) << (uint(i) & wordMask)
-	for {
+	for retries := 0; ; retries++ {
 		old := atomic.LoadUint64(addr)
 		if old&mask != 0 || atomic.CompareAndSwapUint64(addr, old, old|mask) {
 			return
 		}
+		casBackoff(retries)
 	}
 }
 
@@ -145,11 +158,12 @@ func (v *Vector) ClearAtomic(i int) {
 	v.check(i)
 	addr := &v.bits[i>>wordShift]
 	mask := uint64(1) << (uint(i) & wordMask)
-	for {
+	for retries := 0; ; retries++ {
 		old := atomic.LoadUint64(addr)
 		if old&mask == 0 || atomic.CompareAndSwapUint64(addr, old, old&^mask) {
 			return
 		}
+		casBackoff(retries)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"mcgc/internal/bitvec"
+	"mcgc/internal/faultinject"
 	"mcgc/internal/heapsim"
 )
 
@@ -46,12 +47,22 @@ type AtomicStats struct {
 	RegisterPasses  atomic.Int64
 	CardsRegistered atomic.Int64
 	CardsCleaned    atomic.Int64
+	// DirectDirties counts DirtyCardAtomic calls — card dirtying that did
+	// not come through the write barrier but from a degradation path (packet
+	// overflow, deferred overflow, unpublished-object redirty). The tracing
+	// engine's own degradation counters must reconcile with this total.
+	DirectDirties atomic.Int64
 }
 
 // Table tracks one dirty bit per card.
 type Table struct {
 	dirty *bitvec.Vector
 	cards int
+
+	// cleanStall is an optional fault point fired between word registrations
+	// inside RegisterAndClearAtomic, widening the window in which concurrent
+	// dirtying races the register-and-clear pass. Nil (the default) is free.
+	cleanStall *faultinject.Point
 
 	Stats       Stats
 	AtomicStats AtomicStats
@@ -65,6 +76,10 @@ func New(heapWords int) *Table {
 	cards := (heapWords + CardWords - 1) / CardWords
 	return &Table{dirty: bitvec.New(cards), cards: cards}
 }
+
+// InjectCleanFault installs the register-and-clear stall point (nil
+// restores the disabled state). Call before the table is shared.
+func (t *Table) InjectCleanFault(pt *faultinject.Point) { t.cleanStall = pt }
 
 // NumCards returns the number of cards in the table.
 func (t *Table) NumCards() int { return t.cards }
@@ -131,6 +146,7 @@ func (t *Table) DirtyObjectAtomic(a heapsim.Addr) {
 // packet overflow and deferred-overflow fallbacks, Section 4.3).
 func (t *Table) DirtyCardAtomic(card int) {
 	t.dirty.TestAndSetAtomic(card)
+	t.AtomicStats.DirectDirties.Add(1)
 }
 
 // IsDirtyAtomic reports a card's dirty indicator with an atomic load, for
@@ -164,6 +180,12 @@ func (t *Table) RegisterAndClearAtomic(into []int) []int {
 	t.AtomicStats.RegisterPasses.Add(1)
 	registered := int64(0)
 	for w := 0; w < t.dirty.Words(); w++ {
+		if t.cleanStall != nil {
+			// Mid-pass stall: words taken so far are registered while later
+			// words are still accepting dirt — the exact interleaving the
+			// take-word protocol must survive.
+			t.cleanStall.Stall()
+		}
 		word := t.dirty.TakeWord(w)
 		for word != 0 {
 			card := w*64 + bits.TrailingZeros64(word)

@@ -1,0 +1,209 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nope=1",                // unknown site
+		"pool.cas",              // no rate
+		"pool.cas=",             // empty rate
+		"pool.cas=0",            // every-0
+		"pool.cas=-3",           // negative
+		"pool.cas=2/1",          // probability > 1
+		"pool.cas=1/0",          // zero denominator
+		"pool.cas=1:xyz",        // bad delay
+		"pool.cas=1@0",          // bad limit
+		"pool.cas=1,pool.cas=2", // duplicate
+		"jitter=1/4,jitter=1/8", // duplicate jitter
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseEmptyDisables(t *testing.T) {
+	pl, err := Parse("  ", 1)
+	if err != nil || pl != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", pl, err)
+	}
+	// The whole nil chain must no-op.
+	pt := pl.Point(PoolCAS)
+	if pt != nil {
+		t.Fatal("nil plan handed out a point")
+	}
+	if pt.Fire() || pt.Hits() != 0 || pt.Fires() != 0 || pt.Name() != "" {
+		t.Fatal("nil point not inert")
+	}
+	pt.Stall()
+	pt.Sleep()
+	if pl.Snapshot() != nil || pl.String() != "" || pl.Seed() != 0 {
+		t.Fatal("nil plan not inert")
+	}
+}
+
+func TestEveryNIsExact(t *testing.T) {
+	pl := MustParse("pool.cas=3", 42)
+	pt := pl.Point(PoolCAS)
+	fires := 0
+	for i := 0; i < 300; i++ {
+		if pt.Fire() {
+			fires++
+		}
+	}
+	if fires != 100 {
+		t.Fatalf("every-3 fired %d/300 times, want exactly 100", fires)
+	}
+	if pt.Hits() != 300 || pt.Fires() != 100 {
+		t.Fatalf("counters hits=%d fires=%d, want 300/100", pt.Hits(), pt.Fires())
+	}
+}
+
+func TestOnAndLimit(t *testing.T) {
+	pt := MustParse("pool.exhaust=on@5", 1).Point(PoolExhaust)
+	fires := 0
+	for i := 0; i < 50; i++ {
+		if pt.Fire() {
+			fires++
+		}
+	}
+	if fires != 5 {
+		t.Fatalf("on@5 fired %d times, want 5", fires)
+	}
+	if pt.Fires() != 5 {
+		t.Fatalf("Fires() = %d, want clamped to limit 5", pt.Fires())
+	}
+}
+
+// Probability triggers are a pure function of (seed, hit index): the same
+// plan replayed gives the identical fire pattern, and a different seed gives
+// a different one.
+func TestProbabilityDeterminism(t *testing.T) {
+	pattern := func(seed int64) string {
+		pt := MustParse("live.tracerstall=1/4", seed).Point(LiveTracerStall)
+		var b strings.Builder
+		for i := 0; i < 400; i++ {
+			if pt.Fire() {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Fatal("same seed produced different fire patterns")
+	}
+	if c := pattern(8); c == a {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+	// Rate sanity: 1/4 over 400 hits should land broadly near 100.
+	n := strings.Count(a, "x")
+	if n < 60 || n > 140 {
+		t.Fatalf("1/4 trigger fired %d/400 times, far from expectation", n)
+	}
+}
+
+// Sites are decorrelated: the same seed drives independent streams per site.
+func TestSitesDecorrelated(t *testing.T) {
+	pl := MustParse("pool.cas=1/2,pool.exhaust=1/2", 9)
+	a, b := pl.Point(PoolCAS), pl.Point(PoolExhaust)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Fire() == b.Fire() {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("two 1/2 sites fired in lockstep; per-site seeds not mixed")
+	}
+}
+
+func TestJitterOnlyPoints(t *testing.T) {
+	pl := MustParse("jitter=1/2", 3)
+	// Every known site gets a jitter-carrying point; none of them ever fires.
+	for _, line := range Sites() {
+		name := strings.Fields(line)[0]
+		pt := pl.Point(name)
+		if pt == nil {
+			t.Fatalf("site %s has no jitter point", name)
+		}
+		for i := 0; i < 64; i++ {
+			if pt.Fire() {
+				t.Fatalf("jitter-only point %s fired", name)
+			}
+		}
+		if pt.Jitters() == 0 {
+			t.Errorf("site %s drew no jitter in 64 hits at rate 1/2", name)
+		}
+	}
+	// Jitter-only points are not "configured": none is Explicit.
+	for _, st := range pl.Snapshot() {
+		if st.Explicit {
+			t.Errorf("jitter-only point %s marked explicit", st.Name)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	pl := MustParse("pool.cas=2,live.allocfail=1/8:1ms", 5)
+	pl.Point(PoolCAS).Fire()
+	pl.Point(PoolCAS).Fire()
+	snap := pl.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d points, want 2 explicit: %+v", len(snap), snap)
+	}
+	if snap[0].Name != LiveAllocFail || snap[1].Name != PoolCAS {
+		t.Fatalf("snapshot not sorted by name: %+v", snap)
+	}
+	if snap[1].Hits != 2 || snap[1].Fires != 1 {
+		t.Fatalf("pool.cas counters %+v, want hits=2 fires=1", snap[1])
+	}
+	if !snap[0].Explicit || snap[0].Hits != 0 {
+		t.Fatalf("unreached explicit point %+v, want explicit with 0 hits", snap[0])
+	}
+	if d := pl.Point(LiveAllocFail).Delay(); d != time.Millisecond {
+		t.Fatalf("delay = %v, want 1ms", d)
+	}
+}
+
+// Concurrent hits never lose counts and never fire beyond the limit.
+func TestConcurrentCounts(t *testing.T) {
+	pt := MustParse("pool.putstall=2@100", 11).Point(PoolPutStall)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	var fires atomic64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if pt.Fire() {
+					fires.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := pt.Hits(); got != goroutines*per {
+		t.Fatalf("hits = %d, want %d", got, goroutines*per)
+	}
+	if got := fires.load(); got != 100 {
+		t.Fatalf("fired %d times, want exactly the limit 100", got)
+	}
+}
+
+// atomic64 avoids importing sync/atomic's Int64 just for the test.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -24,6 +24,7 @@ package live
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"mcgc/internal/bitvec"
@@ -106,11 +107,20 @@ func (a *Arena) StoreRef(addr heapsim.Addr, j int, v heapsim.Addr) {
 	a.slots[(int(addr)-1)*a.refsPer+j].Store(uint32(v))
 }
 
+// casBackoff yields the processor once a free-list CAS loop has lost a few
+// rounds, bounding the busy-spin when every mutator allocates at once (or
+// when fault injection amplifies the contention).
+func casBackoff(retries int) {
+	if retries >= 4 {
+		runtime.Gosched()
+	}
+}
+
 // PopFree takes an object off the free list, or returns Nil when the heap
 // is exhausted. The popped object's alloc bit is clear: it belongs to the
 // caller's allocation cache until published (Section 5.2).
 func (a *Arena) PopFree() heapsim.Addr {
-	for {
+	for retries := 0; ; retries++ {
 		old := a.freeHead.Load()
 		addr := heapsim.Addr(uint32(old))
 		if addr == heapsim.Nil {
@@ -123,13 +133,14 @@ func (a *Arena) PopFree() heapsim.Addr {
 			return addr
 		}
 		a.FreeListRetries.Add(1)
+		casBackoff(retries)
 	}
 }
 
 // PushFree returns an object to the free list. The caller must have cleared
 // its alloc bit and nilled its slots (sweep does both).
 func (a *Arena) PushFree(addr heapsim.Addr) {
-	for {
+	for retries := 0; ; retries++ {
 		old := a.freeHead.Load()
 		a.next[addr-1].Store(int32(uint32(old)))
 		a.FreeListCAS.Add(1)
@@ -138,6 +149,7 @@ func (a *Arena) PushFree(addr heapsim.Addr) {
 			return
 		}
 		a.FreeListRetries.Add(1)
+		casBackoff(retries)
 	}
 }
 

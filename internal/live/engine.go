@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcgc/internal/faultinject"
 	"mcgc/internal/heapsim"
 	"mcgc/internal/telemetry"
 	"mcgc/internal/workpack"
@@ -35,6 +36,15 @@ type Config struct {
 
 	Seed  int64
 	Shape string // workload shape: "mixed", "churn" or "pointer"
+
+	// Faults is an optional fault-injection plan (nil disables). Its points
+	// are threaded through the engine, the packet pool and the card table.
+	Faults *faultinject.Plan
+
+	// WedgeTimeout is how long tracing may make zero progress mid-cycle
+	// before the watchdog declares the cycle wedged, dumps diagnostics and
+	// aborts the run. It must exceed any injected stall delay.
+	WedgeTimeout time.Duration
 
 	// Optional driver-owned telemetry (nil disables; both are nil-safe).
 	Reg *telemetry.Registry
@@ -67,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shape == "" {
 		c.Shape = "mixed"
+	}
+	if c.WedgeTimeout == 0 {
+		c.WedgeTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -105,8 +118,30 @@ type Engine struct {
 	stats   engineStats
 	cardBuf []int
 
+	// fi holds the engine's resolved fault points (each nil when disabled).
+	fi engineFaults
+	// memPressure is set by mutators on allocation failure; the driver's
+	// inter-cycle wait polls it and kicks off the next collection early
+	// (trigger-collection-and-retry instead of spinning on a full heap).
+	memPressure atomic.Bool
+	// worldStopped tracks whether the driver currently holds the world at a
+	// safepoint; only the driver touches it (the wedge abort path must know
+	// whether to resume before shutting down).
+	worldStopped bool
+
 	oracleMarks *oracleScratch
 	report      Report
+}
+
+// engineFaults are the live-engine-level fault points, resolved once at
+// construction. Nil pointers are individually disabled sites.
+type engineFaults struct {
+	tracerStall    *faultinject.Point
+	fenceDelay     *faultinject.Point
+	safepointStall *faultinject.Point
+	bgStarve       *faultinject.Point
+	allocFail      *faultinject.Point
+	wedge          *faultinject.Point
 }
 
 // NewEngine validates the config and builds the arena, pool and workers.
@@ -125,6 +160,24 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.oracleMarks = newOracleScratch(cfg.Objects)
+	if pl := cfg.Faults; pl != nil {
+		e.pool.InjectFaults(&workpack.PoolFaults{
+			CAS:        pl.Point(faultinject.PoolCAS),
+			Exhaust:    pl.Point(faultinject.PoolExhaust),
+			GetStall:   pl.Point(faultinject.PoolGetStall),
+			PutStall:   pl.Point(faultinject.PoolPutStall),
+			DeferStall: pl.Point(faultinject.PoolDeferStall),
+		})
+		e.arena.Cards.InjectCleanFault(pl.Point(faultinject.CardCleanStall))
+		e.fi = engineFaults{
+			tracerStall:    pl.Point(faultinject.LiveTracerStall),
+			fenceDelay:     pl.Point(faultinject.LiveFenceDelay),
+			safepointStall: pl.Point(faultinject.LiveSafepointStall),
+			bgStarve:       pl.Point(faultinject.LiveBgStarve),
+			allocFail:      pl.Point(faultinject.LiveAllocFail),
+			wedge:          pl.Point(faultinject.LiveWedge),
+		}
+	}
 	for i := 0; i < cfg.Mutators; i++ {
 		e.muts = append(e.muts, newMutator(e, i))
 	}
@@ -164,11 +217,16 @@ func (e *Engine) Run() Report {
 
 	deadline := e.start.Add(e.cfg.Duration)
 	for {
-		e.runCycle()
+		if !e.runCycle() {
+			// Wedged: the watchdog already resumed the world, recorded the
+			// diagnosis and shut the workers down.
+			e.finishReport()
+			return e.report
+		}
 		if time.Now().After(deadline) {
 			break
 		}
-		time.Sleep(e.cfg.IdlePeriod)
+		e.idleWait()
 	}
 
 	e.shutdown.Store(true)
@@ -177,11 +235,30 @@ func (e *Engine) Run() Report {
 	return e.report
 }
 
+// idleWait is the mutator-only churn window between cycles. Allocation
+// failure anywhere cuts it short: a mutator that found the free list empty
+// has signalled memPressure, and the right response is to start collecting,
+// not to keep churning on a full heap.
+func (e *Engine) idleWait() {
+	deadline := time.Now().Add(e.cfg.IdlePeriod)
+	for {
+		if e.memPressure.Swap(false) {
+			e.stats.pressureKicks.Add(1)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 // runCycle is one full collection: STW init (clear marks, scan roots), the
 // concurrent mark phase with card-cleaning passes and deferred drains, the
 // STW final phase (closure, oracle, garbage collection), then concurrent
-// sweep of the garbage back onto the free list.
-func (e *Engine) runCycle() {
+// sweep of the garbage back onto the free list. It reports false when the
+// termination watchdog declared the cycle wedged and aborted the run.
+func (e *Engine) runCycle() bool {
 	drv := workpack.NewTracer(e.pool)
 	cycleStart := e.now()
 
@@ -201,6 +278,7 @@ func (e *Engine) runCycle() {
 	// --- Concurrent mark: tracers drain the pool while mutators run. ---
 	passes := 0
 	stall := time.Duration(0)
+	watch := e.newWedgeWatch()
 	for {
 		if !e.pool.DeferredEmpty() {
 			e.pool.DrainDeferred()
@@ -213,17 +291,29 @@ func (e *Engine) runCycle() {
 			// "As late as possible": clean cards only once tracing has
 			// drained, so each pass catches the most mutation.
 			passStart := e.now()
-			if e.cardPassConcurrent(drv) {
+			cleaned, ok := e.cardPassConcurrent(drv)
+			if !ok {
+				e.abortWedged(drv, "card-pass fence handshake")
+				return false
+			}
+			if cleaned {
 				e.span("card.pass", passStart, e.now())
 			}
 			passes++
 			continue
 		}
 		time.Sleep(50 * time.Microsecond)
+		if watch.stalled() {
+			e.abortWedged(drv, "concurrent mark")
+			return false
+		}
 		// If tracing stalls on deferred objects whose allocation batches
 		// have not filled, a handshake forces every mutator to publish.
 		if stall += 50 * time.Microsecond; stall >= time.Millisecond {
-			e.forceFences()
+			if !e.forceFences() {
+				e.abortWedged(drv, "mark-phase fence handshake")
+				return false
+			}
 			stall = 0
 		}
 	}
@@ -234,7 +324,10 @@ func (e *Engine) runCycle() {
 	// --- STW final: close the mark, run the oracle, collect garbage. ---
 	e.stopTheWorld()
 	finalStart := e.now()
-	e.closeMark(drv)
+	if !e.closeMark(drv) {
+		e.abortWedged(drv, "final marking phase")
+		return false
+	}
 	res := e.runOracle()
 	toFree := e.collectGarbage()
 	e.markingActive.Store(false)
@@ -256,18 +349,19 @@ func (e *Engine) runCycle() {
 	e.span("sweep", finalEnd, sweepEnd)
 	e.span("cycle", cycleStart, sweepEnd)
 	e.noteCycle(res, len(toFree), sweepEnd)
+	return true
 }
 
 // closeMark reaches the marking fixpoint with the world stopped: caches are
 // already published (mutators publish as they park), so deferred work, the
 // remaining dirty cards and the roots are drained in rounds until nothing
 // moves. Registration needs no mutator fence here — the world is stopped.
-func (e *Engine) closeMark(drv *workpack.Tracer) {
-	const maxRounds = 1 << 20 // backstop: a hang in CI is worse than a panic
-	for round := 0; ; round++ {
-		if round == maxRounds {
-			panic("live: final marking phase did not converge")
-		}
+// It reports false when the fixpoint made no progress for the wedge
+// deadline (e.g. a tracer holding a packet hostage keeps TracingDone false
+// forever); the caller aborts via the watchdog instead of hanging CI.
+func (e *Engine) closeMark(drv *workpack.Tracer) bool {
+	watch := e.newWedgeWatch()
+	for {
 		work := false
 		if e.pool.DrainDeferred() > 0 {
 			work = true
@@ -283,12 +377,16 @@ func (e *Engine) closeMark(drv *workpack.Tracer) {
 		e.scanRoots(drv)
 		drv.Release()
 		if !e.pool.TracingDone() || !e.pool.DeferredEmpty() {
-			// Tracers are still running during the pause; let them drain.
+			// Tracers are still running during the pause; let them drain —
+			// but not forever.
+			if watch.stalled() {
+				return false
+			}
 			time.Sleep(20 * time.Microsecond)
 			continue
 		}
 		if !work && e.arena.Cards.CountDirtyAtomic() == 0 {
-			return
+			return true
 		}
 	}
 }
@@ -296,20 +394,24 @@ func (e *Engine) closeMark(drv *workpack.Tracer) {
 // cardPassConcurrent is the three-step cleaning protocol of Section 5.3
 // against running mutators: register-and-clear the dirty indicators, force
 // every mutator through one fence, then rescan marked objects on the
-// registered cards. Returns false when there was nothing to clean.
-func (e *Engine) cardPassConcurrent(drv *workpack.Tracer) bool {
+// registered cards. cleaned is false when there was nothing to clean; ok is
+// false when the fence handshake timed out (the run is wedged — a registered
+// card must not be rescanned without its fence).
+func (e *Engine) cardPassConcurrent(drv *workpack.Tracer) (cleaned, ok bool) {
 	e.cardBuf = e.arena.Cards.RegisterAndClearAtomic(e.cardBuf[:0]) // step 1
 	if len(e.cardBuf) == 0 {
-		return false
+		return false, true
 	}
-	e.forceFences() // step 2
+	if !e.forceFences() { // step 2
+		return false, false
+	}
 	for _, c := range e.cardBuf {
 		e.rescanCard(c, drv) // step 3
 	}
 	e.arena.Cards.NoteCleanedAtomic(len(e.cardBuf))
 	drv.Release()
 	e.stats.cardPasses.Add(1)
-	return true
+	return true, true
 }
 
 // rescanCard retraces the marked objects on one registered card. Unmarked
@@ -326,6 +428,7 @@ func (e *Engine) rescanCard(card int, tr *workpack.Tracer) {
 		}
 		if !e.arena.Alloc.TestAcquire(int(a)) {
 			e.arena.Cards.DirtyCardAtomic(card)
+			e.stats.rescanRedirty.Add(1)
 			continue
 		}
 		for j := 0; j < e.arena.refsPer; j++ {
@@ -398,10 +501,12 @@ func (e *Engine) stopTheWorld() {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()
+	e.worldStopped = true
 }
 
 // resumeWorld releases the parked mutators.
 func (e *Engine) resumeWorld() {
+	e.worldStopped = false
 	e.mu.Lock()
 	e.stopWorld = false
 	e.stopFlag.Store(false)
@@ -412,14 +517,23 @@ func (e *Engine) resumeWorld() {
 // forceFences drives every mutator through one synchronization point: the
 // driver bumps the epoch and spins until each live mutator has stored an
 // acknowledgement (a release store the handshake counts as the one forced
-// fence per mutator of Section 5.3).
-func (e *Engine) forceFences() {
+// fence per mutator of Section 5.3). It reports false when some mutator
+// failed to acknowledge within the wedge deadline — a registered card set
+// must not be rescanned on the strength of a fence that never happened.
+func (e *Engine) forceFences() bool {
 	epoch := e.fenceEpoch.Add(1)
+	deadline := time.Now().Add(e.cfg.WedgeTimeout)
 	for _, m := range e.muts {
-		for m.ackEpoch.Load() < epoch && !m.exited.Load() {
+		for spins := 0; m.ackEpoch.Load() < epoch && !m.exited.Load(); spins++ {
 			runtime.Gosched()
+			// Check the clock only every so often: the handshake usually
+			// completes in microseconds and time.Now is not free.
+			if spins&1023 == 1023 && time.Now().After(deadline) {
+				return false
+			}
 		}
 	}
+	return true
 }
 
 // traceLoop is one tracing goroutine. Background tracers throttle between
@@ -437,6 +551,22 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}
+		if bg && e.fi.bgStarve.Fire() {
+			// Starved background tracer: the scheduler never gives it a
+			// slice while marking is active. Dedicated tracers must finish
+			// the cycle without it.
+			time.Sleep(max(e.fi.bgStarve.Delay(), e.cfg.BgThrottle))
+			continue
+		}
+		if e.fi.wedge.Fire() {
+			// A wedged tracer: it holds whatever packets it has checked out
+			// and makes no progress until shutdown. This is the watchdog's
+			// reason to exist — TracingDone stays false forever.
+			for !e.shutdown.Load() {
+				time.Sleep(100 * time.Microsecond)
+			}
+			break
+		}
 		a, ok := tr.Pop()
 		if !ok {
 			// Get-before-return already happened inside Pop; releasing
@@ -445,6 +575,7 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			time.Sleep(idle)
 			continue
 		}
+		e.fi.tracerStall.Stall()
 		e.scanObject(a, tr)
 		if bg {
 			time.Sleep(e.cfg.BgThrottle / 4)

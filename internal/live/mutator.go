@@ -113,6 +113,9 @@ func (m *mutator) maybePark() {
 	if !m.e.stopFlag.Load() {
 		return
 	}
+	// A stalling mutator stretches the STW latency for everyone: the driver
+	// cannot proceed until the last straggler parks.
+	m.e.fi.safepointStall.Stall()
 	m.publish()
 	m.e.mu.Lock()
 	m.e.parked++
@@ -131,6 +134,9 @@ func (m *mutator) maybeAck() {
 	if epoch := m.e.fenceEpoch.Load(); epoch != m.lastEpoch {
 		m.lastEpoch = epoch
 		m.publish()
+		// A delay here holds the driver's forceFences spin mid-handshake:
+		// the batch above is published but the ack is withheld.
+		m.e.fi.fenceDelay.Stall()
 		m.ackEpoch.Store(epoch)
 		m.e.stats.forcedFences.Add(1)
 	}
@@ -192,8 +198,10 @@ func (m *mutator) doAlloc() {
 		// Allocation stall: publish the part-filled batch now — with the
 		// heap exhausted it may never fill, and an unpublished object would
 		// bounce through the deferred pool until the next handshake — then
-		// cede the processor so the collector can produce free memory.
+		// signal for an early collection and cede the processor so the
+		// collector can produce free memory (trigger-and-retry, not spin).
 		m.publish()
+		m.e.memPressure.Store(true)
 		runtime.Gosched()
 		return
 	}
@@ -216,6 +224,12 @@ func (m *mutator) doAlloc() {
 
 func (m *mutator) takeFromCache() heapsim.Addr {
 	if len(m.cache) == 0 {
+		// Injected heap exhaustion: the refill reports failure exactly as a
+		// genuinely empty free list would, so the whole degradation chain
+		// (publish part-filled batch, signal pressure, retry next op) runs.
+		if m.e.fi.allocFail.Fire() {
+			return heapsim.Nil
+		}
 		for i := 0; i < m.e.cfg.AllocBatch; i++ {
 			obj := m.e.arena.PopFree()
 			if obj == heapsim.Nil {

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"strings"
 
 	"mcgc/internal/bitvec"
 	"mcgc/internal/heapsim"
@@ -63,23 +64,67 @@ func (e *Engine) runOracle() OracleResult {
 	}
 
 	res := OracleResult{Live: live}
+	hadViolations := len(e.report.Violations)
 	for a := 1; a <= e.arena.numObjects; a++ {
 		reachable := sc.marks.Test(a)
 		marked := e.arena.Mark.Test(a)
 		switch {
 		case reachable && !marked:
 			res.Lost++
-			e.violation("cycle %d: live object %d not marked by concurrent trace", e.report.Cycles, a)
+			e.violation("cycle %d: live object %d not marked by concurrent trace (%s)",
+				e.report.Cycles, a, e.describeObject(heapsim.Addr(a)))
 		case reachable && !e.arena.Alloc.Test(a):
-			e.violation("cycle %d: live object %d has no allocation bit", e.report.Cycles, a)
+			e.violation("cycle %d: live object %d has no allocation bit (%s)",
+				e.report.Cycles, a, e.describeObject(heapsim.Addr(a)))
 		case marked && !reachable:
 			res.Floating++
 			if !e.arena.Alloc.Test(a) {
-				e.violation("cycle %d: marked object %d has no allocation bit", e.report.Cycles, a)
+				e.violation("cycle %d: marked object %d has no allocation bit (%s)",
+					e.report.Cycles, a, e.describeObject(heapsim.Addr(a)))
 			}
 		}
 	}
+	if len(e.report.Violations) > hadViolations {
+		// One context line per failing cycle: the collector-wide state the
+		// per-object lines are read against.
+		e.violation("cycle %d context: %s", e.report.Cycles, e.oracleContext())
+	}
 	return res
+}
+
+// describeObject renders the collector's view of one address for an oracle
+// violation: its mark and allocation bits, its card and that card's dirty
+// state, and its outgoing references. Bounded output — violations are capped,
+// and each line is one object.
+func (e *Engine) describeObject(a heapsim.Addr) string {
+	card := e.arena.Cards.CardOf(a)
+	var b strings.Builder
+	fmt.Fprintf(&b, "mark=%t alloc=%t card=%d dirty=%t refs=[",
+		e.arena.Mark.Test(int(a)), e.arena.Alloc.Test(int(a)),
+		card, e.arena.Cards.IsDirty(card))
+	for j := 0; j < e.arena.refsPer; j++ {
+		if j > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", e.arena.LoadRef(a, j))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// oracleContext summarizes the collector state at a failing oracle: packet
+// pool occupancy, fence epoch, and card-table counters. It runs in the STW
+// final phase, so the counts are exact.
+func (e *Engine) oracleContext() string {
+	occ := e.pool.Occupancy()
+	cs := &e.arena.Cards.AtomicStats
+	return fmt.Sprintf(
+		"pool occupancy %v (total %d, entries in flight %d), fence epoch %d, "+
+			"cards dirty %d registered %d cleaned %d, marks %d scans %d deferred %d overflows %d",
+		occ, e.pool.TotalPackets(), e.pool.EntriesInUse(), e.fenceEpoch.Load(),
+		e.arena.Cards.CountDirtyAtomic(), cs.CardsRegistered.Load(), cs.CardsCleaned.Load(),
+		e.stats.marks.Load(), e.stats.scans.Load(), e.stats.deferred.Load(),
+		e.stats.overflows.Load())
 }
 
 // collectGarbage lists every allocated, unmarked object and retracts its

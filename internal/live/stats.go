@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcgc/internal/faultinject"
 	"mcgc/internal/vtime"
 )
 
@@ -30,6 +31,9 @@ type engineStats struct {
 	allocFences      atomic.Int64 // one per published batch (Section 5.2)
 	forcedFences     atomic.Int64 // one per mutator per handshake (5.3)
 	mutatorOps       atomic.Int64
+
+	pressureKicks atomic.Int64 // idle waits cut short by allocation pressure
+	rescanRedirty atomic.Int64 // card rescans re-dirtied for unpublished objects
 }
 
 // Report is what one Engine.Run hands back.
@@ -77,6 +81,25 @@ type Report struct {
 	STWMax     time.Duration
 	MarkTotal  time.Duration // concurrent mark phases
 	SweepTotal time.Duration
+
+	// PressureKicks counts idle periods cut short because a mutator hit
+	// allocation failure and signalled for an early collection.
+	PressureKicks int64
+	// DirectDirties is the card table's count of degradation-path dirtying
+	// (DirtyCardAtomic); it must reconcile with Overflows + DeferOverflows +
+	// RescanRedirties, the engine-side counts of the same three callers.
+	DirectDirties   int64
+	RescanRedirties int64
+
+	// Wedged reports that the termination watchdog aborted the run;
+	// WedgePhase and WedgeDiagnosis say where and what the state looked like.
+	Wedged         bool
+	WedgePhase     string
+	WedgeDiagnosis string
+
+	// Faults holds the per-site fault-injection counters (nil when the run
+	// had no chaos plan).
+	Faults []faultinject.PointStat
 }
 
 func (e *Engine) noteSTW(start, end int64) {
@@ -122,10 +145,16 @@ func (e *Engine) finishReport() {
 	r.MarkTotal = time.Duration(s.markNs.Load())
 	r.SweepTotal = time.Duration(s.sweepNs.Load())
 
+	r.PressureKicks = s.pressureKicks.Load()
+	r.RescanRedirties = s.rescanRedirty.Load()
+
 	cs := &e.arena.Cards.AtomicStats
 	r.CardsRegistered = cs.CardsRegistered.Load()
 	r.CardsCleaned = cs.CardsCleaned.Load()
 	r.BarrierMarks = cs.BarrierMarks.Load()
+	r.DirectDirties = cs.DirectDirties.Load()
+
+	r.Faults = e.cfg.Faults.Snapshot()
 
 	ps := &e.pool.Stats
 	r.PoolCASRetries = ps.CASRetries.Load()
@@ -142,21 +171,34 @@ func (r Report) String() string {
 	if r.LostObjects > 0 {
 		oracle = fmt.Sprintf("ORACLE FAILED: %d live objects lost", r.LostObjects)
 	}
-	return fmt.Sprintf(
-		"cycles %d  mutator ops %d  alloc %d  freed %d  (alloc failed %d)\n"+
+	out := fmt.Sprintf(
+		"cycles %d  mutator ops %d  alloc %d  freed %d  (alloc failed %d, pressure kicks %d)\n"+
 			"marks %d  scans %d  rescans %d  deferred %d\n"+
-			"overflows %d (defer %d)  card passes %d  cards reg/cleaned %d/%d  barrier marks %d\n"+
+			"overflows %d (defer %d, rescan redirty %d)  card passes %d  cards reg/cleaned %d/%d  barrier marks %d\n"+
 			"fences: alloc %d  forced %d  pool-return %d\n"+
 			"contention: pool CAS retries %d  free-list retries %d  pool max in use %d\n"+
 			"floating garbage: total %d  max/cycle %d  live at end %d\n"+
 			"pauses: %d  total %v  max %v  (concurrent: mark %v  sweep %v)\n%s",
-		r.Cycles, r.MutatorOps, r.ObjectsAllocated, r.ObjectsFreed, r.AllocFailed,
+		r.Cycles, r.MutatorOps, r.ObjectsAllocated, r.ObjectsFreed, r.AllocFailed, r.PressureKicks,
 		r.Marks, r.Scans, r.Rescans, r.Deferred,
-		r.Overflows, r.DeferOverflows, r.CardPasses, r.CardsRegistered, r.CardsCleaned, r.BarrierMarks,
+		r.Overflows, r.DeferOverflows, r.RescanRedirties, r.CardPasses, r.CardsRegistered, r.CardsCleaned, r.BarrierMarks,
 		r.AllocFences, r.ForcedFences, r.PoolReturnFences,
 		r.PoolCASRetries, r.FreeListRetries, r.PoolMaxInUse,
 		r.FloatingTotal, r.FloatingMax, r.LiveAtEnd,
 		r.STWCount, r.STWTotal.Round(time.Microsecond), r.STWMax.Round(time.Microsecond),
 		r.MarkTotal.Round(time.Microsecond), r.SweepTotal.Round(time.Microsecond),
 		oracle)
+	if len(r.Faults) > 0 {
+		out += "\nfaults:"
+		for _, p := range r.Faults {
+			out += fmt.Sprintf("  %s %d/%d", p.Name, p.Fires, p.Hits)
+			if p.Jitters > 0 {
+				out += fmt.Sprintf(" (jitter %d)", p.Jitters)
+			}
+		}
+	}
+	if r.Wedged {
+		out += "\n" + r.WedgeDiagnosis
+	}
+	return out
 }

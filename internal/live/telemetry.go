@@ -80,4 +80,20 @@ func (e *Engine) flushTelemetry() {
 	set("pool.return_fences", r.PoolReturnFences)
 	set("pool.max_in_use", r.PoolMaxInUse)
 	set("live.freelist_retries", r.FreeListRetries)
+	set("live.pressure_kicks", r.PressureKicks)
+	set("cards.direct_dirties", r.DirectDirties)
+	set("live.rescan_redirties", r.RescanRedirties)
+	if r.Wedged {
+		set("live.wedged", 1)
+	}
+	// Per-site fault-injection counters, so a chaos run's metrics file records
+	// which faults actually fired (gcstats -metrics prints them; chaos-smoke
+	// asserts them nonzero).
+	for _, p := range r.Faults {
+		set("fault."+p.Name+".hits", p.Hits)
+		set("fault."+p.Name+".fires", p.Fires)
+		if p.Jitters > 0 {
+			set("fault."+p.Name+".jitters", p.Jitters)
+		}
+	}
 }

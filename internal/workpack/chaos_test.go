@@ -1,0 +1,227 @@
+package workpack
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/heapsim"
+)
+
+// poolWithFaults builds a pool with the given chaos spec armed.
+func poolWithFaults(t *testing.T, packets, capacity int, spec string) (*Pool, *faultinject.Plan) {
+	t.Helper()
+	plan := faultinject.MustParse(spec, 7)
+	p := NewPool(packets, capacity)
+	p.InjectFaults(&PoolFaults{
+		CAS:        plan.Point(faultinject.PoolCAS),
+		Exhaust:    plan.Point(faultinject.PoolExhaust),
+		GetStall:   plan.Point(faultinject.PoolGetStall),
+		PutStall:   plan.Point(faultinject.PoolPutStall),
+		DeferStall: plan.Point(faultinject.PoolDeferStall),
+	})
+	return p, plan
+}
+
+// checkQuiescent asserts the pool's quiescence invariants: every packet in
+// exactly one sub-pool, gets matched by puts, and the occupancy counters
+// exact (the paper's Section 4.3 counter estimates are exact at rest).
+func checkQuiescent(t *testing.T, p *Pool, packets int) {
+	t.Helper()
+	total := 0
+	for s := SubPool(0); s < NumSubPools; s++ {
+		total += p.Count(s)
+	}
+	if total != packets {
+		t.Fatalf("sub-pool counts sum to %d, want %d", total, packets)
+	}
+	if gets, puts := p.Stats.Gets.Load(), p.Stats.Puts.Load(); gets != puts {
+		t.Fatalf("gets %d != puts %d at quiescence", gets, puts)
+	}
+	seen := make(map[int32]bool)
+	n := 0
+	for s := SubPool(0); s < NumSubPools; s++ {
+		for pkt := p.popFrom(s); pkt != nil; pkt = p.popFrom(s) {
+			if seen[pkt.id] {
+				t.Fatalf("packet %d linked twice", pkt.id)
+			}
+			seen[pkt.id] = true
+			n++
+		}
+	}
+	if n != packets {
+		t.Fatalf("walked %d packets, want %d", n, packets)
+	}
+}
+
+// TestPoolForcedExhaustion drives tracers against a pool whose Get paths are
+// forced to fail a third of the time. Every push the tracers could not place
+// is an overflow the caller must account for; at quiescence the entries
+// still in packets plus the overflowed pushes must equal everything pushed,
+// and the pool's structural invariants must be intact.
+func TestPoolForcedExhaustion(t *testing.T) {
+	const (
+		packets = 8
+		pktCap  = 4
+		workers = 6
+		rounds  = 3000
+	)
+	p, plan := poolWithFaults(t, packets, pktCap, "pool.exhaust=1/3")
+
+	var pushed, popped, overflowed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			tr := NewTracer(p)
+			for r := 0; r < rounds; r++ {
+				if (seed+r)%2 == 0 {
+					if tr.Push(heapsim.Addr(seed*rounds + r + 1)) {
+						pushed.Add(1)
+					} else {
+						overflowed.Add(1)
+					}
+				} else if _, ok := tr.Pop(); ok {
+					popped.Add(1)
+				}
+			}
+			tr.Release()
+		}(w)
+	}
+	wg.Wait()
+
+	if plan.Point(faultinject.PoolExhaust).Fires() == 0 {
+		t.Fatal("exhaustion fault never fired — the test exercised nothing")
+	}
+	if overflowed.Load() == 0 {
+		t.Error("forced exhaustion produced no overflows")
+	}
+	// Conservation: every successful push was either popped or is still
+	// sitting in a packet.
+	if want := pushed.Load() - popped.Load(); p.EntriesInUse() != want {
+		t.Errorf("entries in packets %d != pushed %d - popped %d",
+			p.EntriesInUse(), pushed.Load(), popped.Load())
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestPoolCASAmplification forces the head-CAS loops to lose at a fixed rate
+// and checks the retries are accounted and the structure survives: forced
+// losses land in CASRetries exactly like real contention.
+func TestPoolCASAmplification(t *testing.T) {
+	const (
+		packets = 16
+		workers = 4
+		rounds  = 2000
+	)
+	p, plan := poolWithFaults(t, packets, 8, "pool.cas=1/4")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pkt := p.GetOutput()
+				if pkt == nil {
+					continue
+				}
+				if !pkt.Full() {
+					pkt.Push(heapsim.Addr(seed + 1))
+				}
+				if (seed+r)%2 == 0 {
+					pkt.Pop()
+				}
+				p.Put(pkt)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fires := plan.Point(faultinject.PoolCAS).Fires()
+	if fires == 0 {
+		t.Fatal("CAS fault never fired")
+	}
+	if retries := p.Stats.CASRetries.Load(); retries < fires {
+		t.Errorf("CAS retries %d < forced losses %d — amplified contention not accounted", retries, fires)
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestPoolDeferStallRecirculation holds deferred packets outside every
+// sub-pool mid-drain (the DeferStall window) while other goroutines file new
+// deferred work, then verifies the drain recirculated everything and the
+// Deferred sub-pool reads empty.
+func TestPoolDeferStallRecirculation(t *testing.T) {
+	const packets = 16
+	p, plan := poolWithFaults(t, packets, 4, "pool.deferstall=on:100us")
+
+	var wg sync.WaitGroup
+	var filed atomic.Int64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			tr := NewTracer(p)
+			for r := 0; r < 200; r++ {
+				if tr.PushDeferred(heapsim.Addr(seed*1000 + r + 1)) {
+					filed.Add(1)
+				}
+				if r%8 == 7 {
+					tr.Release()
+				}
+			}
+			tr.Release()
+		}(w)
+	}
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for i := 0; i < 50; i++ {
+			p.DrainDeferred()
+		}
+	}()
+	wg.Wait()
+	<-drainDone
+	p.DrainDeferred() // final sweep after all producers stopped
+
+	if plan.Point(faultinject.PoolDeferStall).Fires() == 0 {
+		t.Fatal("defer stall never fired")
+	}
+	if !p.DeferredEmpty() {
+		t.Errorf("deferred sub-pool still holds %d packets after drains", p.Count(Deferred))
+	}
+	if filed.Load() == 0 {
+		t.Fatal("no deferred entries filed")
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestPoolFaultsDisabledZeroImpact verifies the nil-discipline end to end at
+// the pool API: a pool with no faults injected behaves byte-identically on
+// the counters to one with an armed-but-never-firing plan absent entirely.
+func TestPoolFaultsDisabledZeroImpact(t *testing.T) {
+	run := func(inject bool) (gets, puts, retries int64) {
+		p := NewPool(8, 4)
+		if inject {
+			p.InjectFaults(nil) // explicit nil: the documented disabled state
+		}
+		tr := NewTracer(p)
+		for i := 1; i <= 500; i++ {
+			tr.Push(heapsim.Addr(i))
+			if i%3 == 0 {
+				tr.Pop()
+			}
+		}
+		tr.Release()
+		return p.Stats.Gets.Load(), p.Stats.Puts.Load(), p.Stats.CASRetries.Load()
+	}
+	g1, p1, r1 := run(false)
+	g2, p2, r2 := run(true)
+	if g1 != g2 || p1 != p2 || r1 != r2 {
+		t.Errorf("nil fault injection changed behavior: (%d,%d,%d) vs (%d,%d,%d)",
+			g1, p1, r1, g2, p2, r2)
+	}
+}

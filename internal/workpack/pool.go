@@ -2,8 +2,10 @@ package workpack
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
+	"mcgc/internal/faultinject"
 	"mcgc/internal/heapsim"
 )
 
@@ -37,6 +39,24 @@ func unpackHead(h uint64) (version uint32, idx int32) {
 	return uint32(h >> 32), int32(uint32(h)) - 1
 }
 
+// PoolFaults is the pool's set of optional fault-injection points. Each nil
+// point is an individually disabled site; a nil *PoolFaults (the default)
+// disables the whole layer at the cost of one pointer test per operation.
+type PoolFaults struct {
+	// CAS amplifies head-CAS contention: a firing hit is treated as a lost
+	// CAS (counted in Stats.CASRetries) and the loop retries.
+	CAS *faultinject.Point
+	// Exhaust forces GetInput/GetOutput/GetEmpty to report an empty pool,
+	// driving the callers' overflow degradations.
+	Exhaust *faultinject.Point
+	// GetStall stalls at the top of the Get paths.
+	GetStall *faultinject.Point
+	// PutStall stalls at the top of Put/PutDeferred.
+	PutStall *faultinject.Point
+	// DeferStall stalls between packets inside DrainDeferred.
+	DeferStall *faultinject.Point
+}
+
 // Pool is the global shared pool of work packets, divided into sub-pools by
 // occupancy range. All methods are safe for concurrent use.
 type Pool struct {
@@ -45,6 +65,10 @@ type Pool struct {
 	total   int
 
 	Stats PoolStats
+
+	// faults sits after the hot Stats block so arming the (rarely consulted
+	// when nil) pointer does not shift the counters' cache-line offsets.
+	faults *PoolFaults
 }
 
 // NewPool creates a pool of n packets with the given per-packet capacity
@@ -71,6 +95,10 @@ func NewPool(n, capacity int) *Pool {
 	return p
 }
 
+// InjectFaults installs fault-injection points. Call before the pool is
+// shared between goroutines; passing nil restores the disabled state.
+func (p *Pool) InjectFaults(f *PoolFaults) { p.faults = f }
+
 // TotalPackets returns the number of packets the pool was created with.
 func (p *Pool) TotalPackets() int { return p.total }
 
@@ -82,26 +110,44 @@ func (p *Pool) Capacity() int { return cap(p.packets[0].entries) }
 // the system is quiescent.
 func (p *Pool) Count(s SubPool) int { return int(p.sub[s].count.Load()) }
 
+// casBackoff bounds the cost of a contended head-CAS loop: the first few
+// retries spin (natural contention resolves in a try or two), after which the
+// loser yields the processor so the winner can finish — without this, fault-
+// amplified contention turns the loop into a scheduler-hostile busy spin.
+func casBackoff(retries int) {
+	if retries >= 4 {
+		runtime.Gosched()
+	}
+}
+
 // pushTo links a packet onto a sub-pool with a versioned-head CAS.
 func (p *Pool) pushTo(s SubPool, pkt *Packet) {
 	sp := &p.sub[s]
-	for {
+	for retries := 0; ; retries++ {
 		old := sp.head.Load()
 		ver, idx := unpackHead(old)
 		pkt.next.Store(idx)
 		p.Stats.CASAttempts.Add(1)
+		if f := p.faults; f != nil && f.CAS.Fire() {
+			// Amplified contention: this attempt loses as if another thread
+			// won the head.
+			p.Stats.CASRetries.Add(1)
+			casBackoff(retries)
+			continue
+		}
 		if sp.head.CompareAndSwap(old, packHead(ver+1, pkt.id)) {
 			sp.count.Add(1)
 			return
 		}
 		p.Stats.CASRetries.Add(1)
+		casBackoff(retries)
 	}
 }
 
 // popFrom unlinks a packet from a sub-pool, or returns nil if it is empty.
 func (p *Pool) popFrom(s SubPool) *Packet {
 	sp := &p.sub[s]
-	for {
+	for retries := 0; ; retries++ {
 		old := sp.head.Load()
 		ver, idx := unpackHead(old)
 		if idx < 0 {
@@ -110,11 +156,17 @@ func (p *Pool) popFrom(s SubPool) *Packet {
 		pkt := &p.packets[idx]
 		next := pkt.next.Load()
 		p.Stats.CASAttempts.Add(1)
+		if f := p.faults; f != nil && f.CAS.Fire() {
+			p.Stats.CASRetries.Add(1)
+			casBackoff(retries)
+			continue
+		}
 		if sp.head.CompareAndSwap(old, packHead(ver+1, next)) {
 			sp.count.Add(-1)
 			return pkt
 		}
 		p.Stats.CASRetries.Add(1)
+		casBackoff(retries)
 	}
 }
 
@@ -122,6 +174,12 @@ func (p *Pool) popFrom(s SubPool) *Packet {
 // that has one (Section 4.2). It returns nil when no tracing work is
 // available in the pool.
 func (p *Pool) GetInput() *Packet {
+	if f := p.faults; f != nil {
+		f.GetStall.Stall()
+		if f.Exhaust.Fire() {
+			return nil
+		}
+	}
 	for _, s := range [...]SubPool{AlmostFull, Nonempty} {
 		if pkt := p.popFrom(s); pkt != nil {
 			p.Stats.Gets.Add(1)
@@ -136,6 +194,12 @@ func (p *Pool) GetInput() *Packet {
 // sub-pool that has one. It returns nil only when every packet is checked
 // out or deferred.
 func (p *Pool) GetOutput() *Packet {
+	if f := p.faults; f != nil {
+		f.GetStall.Stall()
+		if f.Exhaust.Fire() {
+			return nil
+		}
+	}
 	for _, s := range [...]SubPool{Empty, Nonempty, AlmostFull} {
 		if pkt := p.popFrom(s); pkt != nil {
 			p.Stats.Gets.Add(1)
@@ -148,6 +212,12 @@ func (p *Pool) GetOutput() *Packet {
 
 // GetEmpty obtains a packet from the Empty sub-pool only.
 func (p *Pool) GetEmpty() *Packet {
+	if f := p.faults; f != nil {
+		f.GetStall.Stall()
+		if f.Exhaust.Fire() {
+			return nil
+		}
+	}
 	if pkt := p.popFrom(Empty); pkt != nil {
 		p.Stats.Gets.Add(1)
 		p.noteUsage()
@@ -180,6 +250,9 @@ func (p *Pool) putTo(s SubPool, pkt *Packet) {
 	if pkt.pool != p {
 		panic("workpack: packet returned to a foreign pool")
 	}
+	if f := p.faults; f != nil {
+		f.PutStall.Stall()
+	}
 	if !pkt.Empty() {
 		p.Stats.ReturnFences.Add(1)
 	}
@@ -197,6 +270,12 @@ func (p *Pool) DrainDeferred() int {
 		pkt := p.popFrom(Deferred)
 		if pkt == nil {
 			return n
+		}
+		if f := p.faults; f != nil {
+			// A stall here holds a deferred packet outside every sub-pool,
+			// stretching the window where TracingDone and DeferredEmpty race
+			// with the recirculation.
+			f.DeferStall.Stall()
 		}
 		p.pushTo(classify(pkt), pkt)
 		n++

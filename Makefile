@@ -10,9 +10,9 @@ GO ?= go
 # that drive it.
 RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,19 @@ chaos-smoke:
 	fi; \
 	grep -q "WEDGED in" /tmp/gcchaos-wedge.out || { echo "chaos-smoke: no wedge diagnosis in output"; cat /tmp/gcchaos-wedge.out; rm -f /tmp/gcchaos-wedge.out; exit 1; }; \
 	rm -f /tmp/gcchaos-wedge.out; echo "chaos-smoke: watchdog ok"
+
+# Exercise the Section 3 pacer end to end under the race detector: a paced
+# gcstress run where cycles start via the kickoff formula and mutators repay
+# allocation tax by draining work packets. -require-paced fails the run
+# unless at least one paced increment happened and no allocation failed;
+# gcstats must then show a non-trivial K trajectory from the emitted metrics.
+pacing-smoke:
+	$(GO) run -race ./cmd/gcstress -pacing -objects 65536 -kickoff-headroom 8192 \
+		-duration 2s -seed 5 -require-paced -metrics /tmp/gcpacing-smoke.jsonl
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcpacing-smoke.jsonl | tee /tmp/gcpacing-smoke.out
+	@grep -q "K: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no K trajectory in gcstats output"; exit 1; }
+	@grep -q "kickoffs: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no kickoff count in gcstats output"; exit 1; }
+	@rm -f /tmp/gcpacing-smoke.jsonl /tmp/gcpacing-smoke.out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"mcgc/internal/experiments"
+	"mcgc/internal/pacing"
 	"mcgc/internal/runmeta"
 	"mcgc/internal/runner"
 	"mcgc/internal/telemetry"
@@ -74,6 +75,11 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
+	// -k0 (shared pacing vocabulary, see internal/pacing) sets the tracing
+	// rate for the single-rate experiments; the Tables 1-3 sweep spans its
+	// own rate grid regardless.
+	k0 := 8.0
+	pacing.BindRate(flag.CommandLine, &k0)
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -198,7 +204,7 @@ func main() {
 	var rates []experiments.TracingRateResult
 	ratesOnce := func() []experiments.TracingRateResult {
 		if rates == nil {
-			rates = experiments.TracingRates(ex, sc, nil, 8)
+			rates = experiments.TracingRates(ex, sc, nil, int(k0))
 		}
 		return rates
 	}
@@ -212,7 +218,7 @@ func main() {
 	}
 
 	section("fig1", func() (string, map[string]float64) {
-		rows := experiments.Fig1(ex, sc, 8)
+		rows := experiments.Fig1(ex, sc, int(k0))
 		last := rows[len(rows)-1]
 		m := map[string]float64{
 			"stw_avg_pause_ms": last.STWAvgMs,

@@ -4,7 +4,7 @@
 //
 // Examples:
 //
-//	gcsim -collector cgc -heap 64 -warehouses 8 -rate 8 -duration 5
+//	gcsim -collector cgc -heap 64 -warehouses 8 -k0 8 -duration 5
 //	gcsim -collector stw -heap 64 -warehouses 8
 //	gcsim -collector cgc -workload javac -heap 25 -procs 1 -bg 1
 //	gcsim -collector cgc -lazysweep -verbose
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mcgc/gcsim"
+	"mcgc/internal/pacing"
 	"mcgc/internal/vtime"
 )
 
@@ -29,7 +30,6 @@ func main() {
 		warehouses = flag.Int("warehouses", 8, "jbb/pbob warehouses")
 		terminals  = flag.Int("terminals", 0, "terminals per warehouse (default 1; pbob default 25)")
 		think      = flag.Int64("think", 0, "pbob think time in ms (pbob default 20)")
-		rate       = flag.Float64("rate", 8, "tracing rate K0")
 		packets    = flag.Int("packets", 1000, "work packets in the pool")
 		packetCap  = flag.Int("packetcap", 0, "entries per packet (default 493)")
 		bg         = flag.Int("bg", 4, "background tracing threads (0 disables)")
@@ -44,7 +44,14 @@ func main() {
 		trace      = flag.Bool("gctrace", false, "stream -verbose:gc style lines as the run progresses")
 		heapstats  = flag.Bool("heapstats", false, "print fragmentation and object-size statistics at the end")
 	)
+	// The Section 3 pacing parameters use the shared vocabulary of
+	// internal/pacing; the original -rate spelling still parses but
+	// suggests -k0.
+	pacingCfg := pacing.Default()
+	pacingFlags := pacing.Bind(flag.CommandLine, &pacingCfg)
+	pacingFlags.Alias("rate", "k0")
 	flag.Parse()
+	pacingFlags.PrintHints(os.Stderr, "gcsim")
 
 	bgThreads := *bg
 	if bgThreads == 0 {
@@ -59,7 +66,8 @@ func main() {
 		HeapBytes:             *heapMB << 20,
 		Processors:            *procs,
 		Collector:             gcsim.Collector(*collector),
-		TracingRate:           *rate,
+		TracingRate:           pacingCfg.K0,
+		Pacing:                &pacingCfg,
 		WorkPackets:           *packets,
 		PacketCapacity:        *packetCap,
 		BackgroundThreads:     bgThreads,

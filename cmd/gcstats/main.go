@@ -236,6 +236,11 @@ func report(path, filter string) error {
 			}
 			fmt.Printf("   K: %d increments  first %.2f  last %.2f  mean %.2f  range [%.2f, %.2f]\n",
 				len(k.v), k.v[0], k.v[len(k.v)-1], sum/float64(len(k.v)), min, max)
+			if kicks := r.counters["gc.kickoffs"]; kicks > 0 {
+				fmt.Printf("   kickoffs: %d  paced increments: %d  trace words: mutator %d  bg %d  dedicated %d\n",
+					kicks, r.counters["gc.increments"],
+					r.counters["trace.mutator_words"], r.counters["trace.bg_words"], r.counters["trace.dedicated_words"])
+			}
 		}
 		fmt.Println()
 	}

@@ -14,6 +14,7 @@
 // Examples:
 //
 //	gcstress -mutators 4 -tracers 2 -duration 5s
+//	gcstress -pacing -kickoff-headroom 4096 -duration 5s -require-paced
 //	gcstress -shape pointer -packets 10 -packetcap 8 -duration 10s
 //	gcstress -duration 2s -metrics stress.jsonl -trace stress.trace.json
 //	gcstress -chaos "pool.exhaust=1/4" -chaos-seed 7 -require-faults
@@ -29,6 +30,7 @@ import (
 
 	"mcgc/internal/faultinject"
 	"mcgc/internal/live"
+	"mcgc/internal/pacing"
 	"mcgc/internal/runmeta"
 	"mcgc/internal/telemetry"
 )
@@ -56,7 +58,15 @@ func main() {
 		wedgeTO   = flag.Duration("wedge-timeout", 5*time.Second, "abort a cycle making no tracing progress for this long")
 		timeout   = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
 		reqFaults = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
+
+		pacingOn = flag.Bool("pacing", false, "enable Section 3 pacing: kickoff-driven cycles and a mutator allocation tax")
+		reqPaced = flag.Bool("require-paced", false, "exit 1 unless pacing did real work: >=1 paced increment and zero allocation failures")
 	)
+	// The pacing knobs use the shared vocabulary of internal/pacing, so the
+	// same -k0/-kickoff-headroom spellings work across gcsim, gcbench and
+	// gcstress. The pacing word unit for the live engine is one object.
+	pacingCfg := pacing.Default()
+	pacing.Bind(flag.CommandLine, &pacingCfg)
 	flag.Parse()
 
 	if *chaos == "list" {
@@ -88,6 +98,9 @@ func main() {
 		Shape:           *shape,
 		Faults:          plan,
 		WedgeTimeout:    *wedgeTO,
+	}
+	if *pacingOn {
+		cfg.Pacing = &pacingCfg
 	}
 
 	// Telemetry rides the same sinks as the simulator suite so gcstats can
@@ -147,6 +160,20 @@ func main() {
 				*seed, plan.String(), plan.Seed())
 		}
 		os.Exit(1)
+	}
+	if *reqPaced {
+		ok := true
+		if rep.PacedIncrements == 0 {
+			fmt.Fprintln(os.Stderr, "gcstress: -require-paced: no paced increments (is -pacing on?)")
+			ok = false
+		}
+		if rep.AllocFailed > 0 {
+			fmt.Fprintf(os.Stderr, "gcstress: -require-paced: %d allocation failures — pacing did not keep tracing ahead of allocation\n", rep.AllocFailed)
+			ok = false
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	}
 	if *reqFaults {
 		ok := true

@@ -31,6 +31,7 @@ import (
 	"mcgc/internal/gctrace"
 	"mcgc/internal/machine"
 	"mcgc/internal/mutator"
+	"mcgc/internal/pacing"
 	"mcgc/internal/stats"
 	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
@@ -79,6 +80,10 @@ type Options struct {
 	// TracingRate is the desired allocator tracing rate K0 (default 8.0,
 	// the paper's default runs).
 	TracingRate float64
+	// Pacing optionally overrides the full Section 3 pacing configuration
+	// (nil keeps the defaults). TracingRate still wins for K0, so the two
+	// knobs cannot disagree.
+	Pacing *pacing.Config
 	// WorkPackets is the pool size (default 1000); PacketCapacity is the
 	// per-packet entry count (default 493).
 	WorkPackets    int
@@ -197,6 +202,9 @@ func New(opts Options) *VM {
 		cfg.PacketCap = opts.PacketCapacity
 		cfg.Workers = opts.Processors
 		cfg.BackgroundThreads = opts.BackgroundThreads
+		if opts.Pacing != nil {
+			cfg.Pacing = *opts.Pacing
+		}
 		cfg.Pacing.K0 = opts.TracingRate
 		if opts.CardPasses > 0 {
 			cfg.CardPasses = opts.CardPasses
@@ -220,6 +228,9 @@ func New(opts Options) *VM {
 		cfg.PacketCap = opts.PacketCapacity
 		cfg.Workers = opts.Processors
 		cfg.BackgroundThreads = opts.BackgroundThreads
+		if opts.Pacing != nil {
+			cfg.Pacing = *opts.Pacing
+		}
 		cfg.Pacing.K0 = opts.TracingRate
 		if opts.CardPasses > 0 {
 			cfg.CardPasses = opts.CardPasses

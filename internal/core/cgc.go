@@ -8,6 +8,7 @@ import (
 	"mcgc/internal/heapsim"
 	"mcgc/internal/machine"
 	"mcgc/internal/mutator"
+	"mcgc/internal/pacing"
 	"mcgc/internal/telemetry"
 	"mcgc/internal/vtime"
 	"mcgc/internal/workpack"
@@ -93,7 +94,7 @@ type CGC struct {
 	rt    *mutator.Runtime
 	m     *machine.Machine
 	eng   *engine
-	pacer *pacer
+	pacer *pacing.Pacer
 	cfg   CGCConfig
 	tel   *coreTel
 
@@ -156,7 +157,7 @@ func NewCGC(rt *mutator.Runtime, m *machine.Machine, cfg CGCConfig) *CGC {
 		rt:    rt,
 		m:     m,
 		eng:   newEngine(rt, cfg.Packets, cfg.PacketCap),
-		pacer: newPacer(cfg.Pacing),
+		pacer: newPacer(cfg.Pacing, rt.Heap),
 		cfg:   cfg,
 		tel:   newCoreTel(cfg.Metrics, cfg.Timeline),
 	}
@@ -224,7 +225,7 @@ func (c *CGC) Fences() FenceAccounting {
 }
 
 // Pacer counters for tests.
-func (c *CGC) TracedThisCycle() int64 { return c.pacer.tracedBytes() }
+func (c *CGC) TracedThisCycle() int64 { return c.pacer.TracedWords() }
 
 // SpawnBackground starts n low-priority background tracing threads on the
 // machine (Section 3: "background threads run at low priority and make
@@ -251,7 +252,7 @@ func (c *CGC) SpawnBackground() {
 			done := c.doConcurrentWork(ctx, tr, c.cfg.BgQuantumBytes, nil)
 			tr.Release()
 			if done > 0 {
-				c.pacer.noteBackground(done)
+				c.pacer.NoteBackgroundWork(done)
 				c.cur.BgBytes += done
 				c.tel.noteBgQuantum(ctx, bgStart, done)
 			} else {
@@ -288,12 +289,12 @@ func (c *CGC) onAllocation(ctx *machine.Context, th *mutator.Thread, bytes int64
 	}
 	switch c.phase {
 	case PhaseIdle:
-		if c.lazy == nil && c.pacer.shouldKickoff(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes()) {
+		if c.lazy == nil && c.pacer.Kickoff() {
 			c.startCycle(ctx)
 			c.increment(ctx, th, bytes)
 		}
 	case PhaseConcurrent:
-		c.pacer.noteAllocation(bytes)
+		c.pacer.NoteAllocation(bytes)
 		c.increment(ctx, th, bytes)
 	}
 }
@@ -331,7 +332,7 @@ func (c *CGC) startCycle(ctx *machine.Context) {
 		c.eng.comp.beginCycle()
 	}
 	c.eng.concurrentMode = true
-	c.pacer.startCycle()
+	c.pacer.StartCycle()
 	c.stacksScanned = 0
 	for _, t := range c.rt.Threads() {
 		t.StackScanned = false
@@ -350,7 +351,7 @@ func (c *CGC) startCycle(ctx *machine.Context) {
 	c.phase = PhaseConcurrent
 	if c.tel != nil {
 		c.tel.noteKickoff(ctx.Now(), c.rt.Heap.FreeBytes(),
-			c.pacer.kickoffThreshold(c.rt.Heap.OccupiedBytes()))
+			c.pacer.KickoffThreshold())
 	}
 	c.emit(gctrace.Event{
 		At:        ctx.Now(),
@@ -365,7 +366,7 @@ func (c *CGC) startCycle(ctx *machine.Context) {
 // threads can compete for them.
 func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int64) {
 	start := ctx.Now()
-	k, corrective, best := c.pacer.rateDetail(c.rt.Heap.FreeBytes(), c.rt.Heap.OccupiedBytes())
+	k, corrective, best := c.pacer.RateDetail()
 	if !c.cfg.MutatorTracing {
 		k = 0
 	}
@@ -393,7 +394,7 @@ func (c *CGC) increment(ctx *machine.Context, th *mutator.Thread, allocBytes int
 	}
 	done := c.doConcurrentWork(ctx, tr, budget, th)
 	tr.Release()
-	c.pacer.noteTraced(done)
+	c.pacer.NoteTraced(done)
 	c.cur.Increments++
 	c.cur.TracingFactors.Add(float64(done) / float64(budget))
 	c.tel.noteIncrement(ctx, start, k, corrective, best, budget, done, c.eng.pool)
@@ -538,7 +539,7 @@ func (c *CGC) finishCycle(ctx *machine.Context, reason string) {
 	cs := c.cur
 	cs.Reason = reason
 	cs.ConcCompleted = reason == "conc-done"
-	cs.BytesTracedConc = c.pacer.tracedBytes()
+	cs.BytesTracedConc = c.pacer.TracedWords()
 	cs.AllocAtStw = c.TotalAllocBytes
 	if cs.ConcCompleted {
 		cs.FreeAtConcEnd = c.rt.Heap.FreeBytes()
@@ -599,7 +600,7 @@ func (c *CGC) finishCycle(ctx *machine.Context, reason string) {
 	cs.CASAtEnd = c.eng.pool.Stats.CASAttempts.Load()
 
 	dirtyBytes := int64(cs.CardsCleanedConc+cs.CardsCleanedStw) * cardtable.CardBytes
-	c.pacer.endCycle(cs.BytesTracedConc+cs.BytesTracedStw, dirtyBytes)
+	c.pacer.EndCycle(cs.BytesTracedConc+cs.BytesTracedStw, dirtyBytes)
 	c.cards = c.cards[:0]
 	c.cardCursor = 0
 	c.flushRememberedCards()
@@ -666,7 +667,7 @@ func (c *CGC) directCollect(ctx *machine.Context) {
 	cs.FreeAfter = c.rt.Heap.FreeBytes()
 	cs.LargestFreeAfter = int64(c.rt.Heap.LargestFreeChunk()) * heapsimWordBytes
 	// Prime the predictors from what a concurrent phase would have seen.
-	c.pacer.endCycle(cs.BytesTracedStw, 0)
+	c.pacer.EndCycle(cs.BytesTracedStw, 0)
 	c.flushRememberedCards()
 	c.lastCycleEndAt = cs.EndAt
 	c.allocAtLastCycleEnd = c.TotalAllocBytes

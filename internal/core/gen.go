@@ -98,7 +98,7 @@ func NewGenerational(rt *mutator.Runtime, m *machine.Machine, cfg GenConfig) *Ge
 	cgcCfg.OldSpaceWords = int(region.Addr)
 	// Old-space consumption arrives in whole-nursery bursts; the kickoff
 	// must leave room for one.
-	cgcCfg.Pacing.HeadroomBytes = cfg.NurseryBytes
+	cgcCfg.Pacing.Headroom = cfg.NurseryBytes
 	// Promotion bursts need a wider adaptive range than steady allocation.
 	if cgcCfg.Pacing.KMax == 0 {
 		cgcCfg.Pacing.KMax = 4 * cgcCfg.Pacing.K0

@@ -1,192 +1,30 @@
 package core
 
 import (
-	"mcgc/internal/stats"
+	"mcgc/internal/heapsim"
+	"mcgc/internal/pacing"
 )
 
-// PacingConfig holds the Section 3 tuning parameters.
-type PacingConfig struct {
-	// K0 is the desired allocator tracing rate: bytes traced per byte
-	// allocated ("typically 5 to 10"; the paper's default runs use 8.0).
-	K0 float64
-	// KMax caps the adaptive rate; "typically 2*K0". Zero means 2*K0.
-	KMax float64
-	// C is the corrective term applied when tracing is behind schedule:
-	// the rate used is K + (K-K0)*C.
-	C float64
-	// SmoothAlpha is the exponential smoothing factor for the L, M and
-	// Best predictors.
-	SmoothAlpha float64
-	// InitialDirtyFraction seeds the M predictor before any history: the
-	// fraction of occupied bytes expected to be on dirty cards (the paper
-	// observes about 10% of the heap dirty when cleaning is deferred).
-	InitialDirtyFraction float64
-	// HeadroomBytes is added to the kickoff threshold. The generational
-	// extension sets it to the nursery size: old-space consumption
-	// arrives in whole-nursery promotion bursts, so the concurrent phase
-	// must start early enough to absorb one.
-	HeadroomBytes int64
-}
+// The Section 3 pacing machinery lives in the backend-neutral
+// internal/pacing package; this file is the simulator backend's thin
+// adapter onto it. The simulator's pacing "word" is one byte of simulated
+// heap, so the configuration and every pacer call are in bytes here.
+
+// PacingConfig holds the Section 3 tuning parameters (see pacing.Config;
+// word-valued fields are heap bytes for this backend).
+type PacingConfig = pacing.Config
 
 // DefaultPacing returns the configuration used in the paper's default runs.
-func DefaultPacing() PacingConfig {
-	return PacingConfig{
-		K0:                   8.0,
-		C:                    1.0,
-		SmoothAlpha:          0.4,
-		InitialDirtyFraction: 0.05,
-	}
+func DefaultPacing() PacingConfig { return pacing.Default() }
+
+// heapBytesView feeds the simulated heap's free/occupied bytes to the
+// pacer: the narrow HeapView the formulas sample at every decision point.
+type heapBytesView struct{ h *heapsim.Heap }
+
+func (v heapBytesView) FreeWords() int64     { return v.h.FreeBytes() }
+func (v heapBytesView) OccupiedWords() int64 { return v.h.OccupiedBytes() }
+
+// newPacer builds the shared pacer over the simulated heap.
+func newPacer(cfg PacingConfig, h *heapsim.Heap) *pacing.Pacer {
+	return pacing.New(cfg, heapBytesView{h})
 }
-
-func (p PacingConfig) kmax() float64 {
-	if p.KMax > 0 {
-		return p.KMax
-	}
-	return 2 * p.K0
-}
-
-// pacer implements the kickoff and progress formulas of Section 3.1 and the
-// background-tracing accounting of Section 3.2.
-type pacer struct {
-	cfg PacingConfig
-
-	// L predicts the bytes to be traced in the concurrent phase; M
-	// predicts the bytes on dirty cards that must additionally be
-	// scanned. Both are exponential smoothing averages of past cycles.
-	l *stats.ExpSmooth
-	m *stats.ExpSmooth
-
-	// best is the smoothed ratio of background tracing to mutator
-	// allocation ("Best ... used as a prediction for the near-future
-	// tracing rate of the background threads").
-	best *stats.ExpSmooth
-
-	// Per-cycle progress state.
-	traced int64 // T: bytes traced since the concurrent phase began
-
-	// Background measurement window.
-	windowAlloc int64
-	windowBg    int64
-}
-
-func newPacer(cfg PacingConfig) *pacer {
-	return &pacer{
-		cfg:  cfg,
-		l:    stats.NewExpSmooth(cfg.SmoothAlpha),
-		m:    stats.NewExpSmooth(cfg.SmoothAlpha),
-		best: stats.NewExpSmooth(cfg.SmoothAlpha),
-	}
-}
-
-// predictions returns the current L and M estimates, seeding them from the
-// heap state when no history exists.
-func (p *pacer) predictions(occupiedBytes int64) (l, m float64) {
-	l = p.l.Value()
-	if !p.l.Primed() {
-		l = float64(occupiedBytes)
-	}
-	m = p.m.Value()
-	if !p.m.Primed() {
-		m = p.cfg.InitialDirtyFraction * float64(occupiedBytes)
-	}
-	return l, m
-}
-
-// kickoffThreshold returns the free-memory level below which the concurrent
-// phase starts: (L+M)/K0 plus the configured headroom.
-func (p *pacer) kickoffThreshold(occupiedBytes int64) float64 {
-	l, m := p.predictions(occupiedBytes)
-	return (l+m)/p.cfg.K0 + float64(p.cfg.HeadroomBytes)
-}
-
-// shouldKickoff evaluates the kickoff formula: start the concurrent phase
-// when free memory drops below (L+M)/K0.
-func (p *pacer) shouldKickoff(freeBytes, occupiedBytes int64) bool {
-	return float64(freeBytes) < p.kickoffThreshold(occupiedBytes)
-}
-
-// startCycle resets the per-cycle progress state.
-func (p *pacer) startCycle() {
-	p.traced = 0
-	p.windowAlloc = 0
-	p.windowBg = 0
-}
-
-// noteTraced accounts tracing work from any participant (T accumulates
-// both mutator and background tracing).
-func (p *pacer) noteTraced(bytes int64) { p.traced += bytes }
-
-// noteBackground accounts background-thread tracing for the B window.
-func (p *pacer) noteBackground(bytes int64) {
-	p.traced += bytes
-	p.windowBg += bytes
-}
-
-// noteAllocation feeds the allocation side of the B window; when the window
-// is full, B is sampled into Best.
-const bWindowBytes = 1 << 20
-
-func (p *pacer) noteAllocation(bytes int64) {
-	p.windowAlloc += bytes
-	if p.windowAlloc >= bWindowBytes {
-		b := float64(p.windowBg) / float64(p.windowAlloc)
-		p.best.Add(b)
-		p.windowAlloc = 0
-		p.windowBg = 0
-	}
-}
-
-// rate evaluates the progress formula and the background discount, and
-// returns the tracing rate a mutator must apply to its current allocation:
-// bytes of tracing per byte allocated.
-//
-//	K = (M + L - T) / F      (negative => KMax: L or M were underestimated)
-//	if K < Best: K = 0       (background threads are keeping up)
-//	else:        K -= Best
-//	if K > K0:   K += (K-K0)*C, capped at KMax
-func (p *pacer) rate(freeBytes, occupiedBytes int64) float64 {
-	k, _, _ := p.rateDetail(freeBytes, occupiedBytes)
-	return k
-}
-
-// rateDetail is rate plus the intermediate terms the telemetry layer
-// records: the corrective addition applied when tracing fell behind K0, and
-// the Best discount in effect.
-func (p *pacer) rateDetail(freeBytes, occupiedBytes int64) (k, corrective, best float64) {
-	l, m := p.predictions(occupiedBytes)
-	kmax := p.cfg.kmax()
-	best = p.best.Value()
-	// The headroom shifts the completion target: tracing should finish
-	// while that much free memory remains (one promotion burst, under the
-	// generational extension), not at the exact moment of exhaustion.
-	freeBytes -= p.cfg.HeadroomBytes
-	if freeBytes <= 0 {
-		return kmax, 0, best
-	}
-	k = (m + l - float64(p.traced)) / float64(freeBytes)
-	if k < 0 {
-		return kmax, 0, best
-	}
-	if k < best {
-		return 0, 0, best
-	}
-	k -= best
-	if k > p.cfg.K0 {
-		corrective = (k - p.cfg.K0) * p.cfg.C
-		k += corrective
-	}
-	if k > kmax {
-		k = kmax
-	}
-	return k, corrective, best
-}
-
-// endCycle records the cycle's actual traced volume and dirty-card volume
-// into the L and M predictors.
-func (p *pacer) endCycle(tracedBytes, dirtyCardBytes int64) {
-	p.l.Add(float64(tracedBytes))
-	p.m.Add(float64(dirtyCardBytes))
-}
-
-// tracedBytes returns T.
-func (p *pacer) tracedBytes() int64 { return p.traced }

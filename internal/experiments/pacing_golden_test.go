@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcgc/gcsim"
+)
+
+// The Section 3 pacing machinery was extracted from internal/core into the
+// backend-neutral internal/pacing package. This golden test pins the
+// refactor: a fixed simulator configuration must produce byte-identical
+// per-cycle statistics to a fixture captured before the extraction. Any
+// drift in the kickoff formula, the progress formula, the Best discount or
+// the corrective term moves a cycle boundary and fails the comparison.
+//
+// Regenerate (only for a deliberate pacing-behaviour change) with:
+//
+//	UPDATE_PACING_GOLDEN=1 go test ./internal/experiments -run TestPacingGoldenFixture
+func TestPacingGoldenFixture(t *testing.T) {
+	sc := QuickScale()
+	var b strings.Builder
+	for _, wh := range []int{2, 4} {
+		r := runJBB(sc, gcsim.Options{
+			HeapBytes:   sc.JBBHeap,
+			Processors:  4,
+			Collector:   gcsim.CGC,
+			TracingRate: 8,
+			WorkPackets: sc.Packets,
+		}, gcsim.JBBOptions{
+			Warehouses:     wh,
+			MaxWarehouses:  4,
+			ResidencyAtMax: 0.6,
+			Seed:           int64(900 + wh),
+		})
+		if len(r.Cycles) == 0 {
+			t.Fatalf("wh=%d measured no cycles; the fixture would be vacuous", wh)
+		}
+		fmt.Fprintf(&b, "== wh=%d cycles=%d\n", wh, len(r.Cycles))
+		for i, cs := range r.Cycles {
+			fmt.Fprintf(&b, "%3d %+v\n", i, cs)
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "pacing_golden.txt")
+	if os.Getenv("UPDATE_PACING_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with UPDATE_PACING_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		// Locate the first differing line for a readable failure.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("pacing output diverged from the pre-refactor fixture at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("pacing output diverged from the fixture: got %d lines, want %d", len(gl), len(wl))
+	}
+}

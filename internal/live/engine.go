@@ -8,8 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mcgc/internal/cardtable"
 	"mcgc/internal/faultinject"
 	"mcgc/internal/heapsim"
+	"mcgc/internal/pacing"
 	"mcgc/internal/telemetry"
 	"mcgc/internal/workpack"
 )
@@ -36,6 +38,15 @@ type Config struct {
 
 	Seed  int64
 	Shape string // workload shape: "mixed", "churn" or "pointer"
+
+	// Pacing enables the Section 3 pacer (nil disables). With pacing on,
+	// cycles start when the kickoff formula fires instead of on the idle
+	// timer, mutators pay a tracing tax at every allocation-cache refill
+	// (IncrementBudget, repaid by draining work packets inline before the
+	// refill returns), and background tracers report through
+	// NoteBackgroundWork so Best discounts them. The pacing word unit for
+	// this backend is one heap object.
+	Pacing *pacing.Config
 
 	// Faults is an optional fault-injection plan (nil disables). Its points
 	// are threaded through the engine, the packet pool and the card table.
@@ -112,6 +123,10 @@ type Engine struct {
 	// at it), and the driver waits for all acknowledgements.
 	fenceEpoch atomic.Int64
 
+	// pacer is the Section 3 pacer behind its serialization gate; nil when
+	// Config.Pacing is nil (cycles then start on the idle timer).
+	pacer *livePacer
+
 	muts    []*mutator
 	wg      sync.WaitGroup
 	start   time.Time
@@ -160,6 +175,9 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.oracleMarks = newOracleScratch(cfg.Objects)
+	if cfg.Pacing != nil {
+		e.pacer = newLivePacer(*cfg.Pacing, e.arena)
+	}
 	if pl := cfg.Faults; pl != nil {
 		e.pool.InjectFaults(&workpack.PoolFaults{
 			CAS:        pl.Point(faultinject.PoolCAS),
@@ -226,7 +244,11 @@ func (e *Engine) Run() Report {
 		if time.Now().After(deadline) {
 			break
 		}
-		e.idleWait()
+		if e.pacer != nil {
+			e.kickoffWait(deadline)
+		} else {
+			e.idleWait()
+		}
 	}
 
 	e.shutdown.Store(true)
@@ -253,6 +275,29 @@ func (e *Engine) idleWait() {
 	}
 }
 
+// kickoffWait replaces the fixed idle timer when pacing is enabled: the
+// mutators churn until the kickoff formula fires (free < (L+M)/K0).
+// Allocation pressure still preempts the formula — a mutator that found the
+// free list empty must not wait for a threshold crossing that effectively
+// already happened — and the run deadline bounds the wait on workloads that
+// never fill the heap.
+func (e *Engine) kickoffWait(deadline time.Time) {
+	for {
+		if e.memPressure.Swap(false) {
+			e.stats.pressureKicks.Add(1)
+			return
+		}
+		if e.pacer.kickoff(e.now()) {
+			e.stats.kickoffs.Add(1)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 // runCycle is one full collection: STW init (clear marks, scan roots), the
 // concurrent mark phase with card-cleaning passes and deferred drains, the
 // STW final phase (closure, oracle, garbage collection), then concurrent
@@ -261,6 +306,13 @@ func (e *Engine) idleWait() {
 func (e *Engine) runCycle() bool {
 	drv := workpack.NewTracer(e.pool)
 	cycleStart := e.now()
+
+	var cleanedAtStart int64
+	if e.pacer != nil {
+		e.samplePacingKickoff(cycleStart)
+		e.pacer.startCycle()
+		cleanedAtStart = e.arena.Cards.AtomicStats.CardsCleaned.Load()
+	}
 
 	// --- STW init: snapshot the roots under a stopped world. ---
 	e.stopTheWorld()
@@ -349,6 +401,13 @@ func (e *Engine) runCycle() bool {
 	e.span("sweep", finalEnd, sweepEnd)
 	e.span("cycle", cycleStart, sweepEnd)
 	e.noteCycle(res, len(toFree), sweepEnd)
+	if e.pacer != nil {
+		// Feed the predictors the cycle's actuals, mirroring the simulator
+		// backend: L learns the traced volume, M the dirty-card volume
+		// (cleaned cards times the card's object span).
+		cleaned := e.arena.Cards.AtomicStats.CardsCleaned.Load() - cleanedAtStart
+		e.pacer.endCycle(cleaned * cardtable.CardWords)
+	}
 	return true
 }
 
@@ -457,15 +516,19 @@ func (e *Engine) scanRoots(tr *workpack.Tracer) {
 // scanObject traces one grey object popped from the pool. If the object's
 // allocation bits are not yet visible (Section 5.2) it is deferred instead
 // of scanned; if even the deferred packet is unavailable, its card is
-// dirtied so the cleaning protocol retries it.
-func (e *Engine) scanObject(a heapsim.Addr, tr *workpack.Tracer) {
+// dirtied so the cleaning protocol retries it. It reports whether the
+// object was actually scanned, so the caller — a dedicated tracer, a
+// background tracer or a mutator paying its allocation tax — can attribute
+// the work to exactly one party; the per-party word counters summed must
+// equal scans times the per-object slot count.
+func (e *Engine) scanObject(a heapsim.Addr, tr *workpack.Tracer) bool {
 	if !e.arena.Alloc.TestAcquire(int(a)) {
 		e.stats.deferred.Add(1)
 		if !tr.PushDeferred(a) {
 			e.arena.Cards.DirtyCardAtomic(e.arena.Cards.CardOf(a))
 			e.stats.deferOverflows.Add(1)
 		}
-		return
+		return false
 	}
 	for j := 0; j < e.arena.refsPer; j++ {
 		if c := e.arena.LoadRef(a, j); c != heapsim.Nil {
@@ -473,6 +536,36 @@ func (e *Engine) scanObject(a heapsim.Addr, tr *workpack.Tracer) {
 		}
 	}
 	e.stats.scans.Add(1)
+	return true
+}
+
+// payAllocTax implements the incremental half of Section 3 for the live
+// backend: the refilling mutator asks the pacer for a tracing budget
+// proportional to its allocation (K objects traced per object allocated)
+// and repays it by draining work packets inline before the refill returns.
+// Only the budget decision takes the pacer gate; the scanning itself runs
+// lock-free against the shared pool like any tracer's. A budget the pool
+// cannot cover (tracing already drained) is simply underpaid — EndIncrement
+// reports what was done and the progress formula compensates.
+func (e *Engine) payAllocTax(allocObjs int64) {
+	b := e.pacer.incrementBudget(e.now(), allocObjs)
+	var done int64
+	if b.Words > 0 {
+		tr := workpack.NewTracer(e.pool)
+		for done < b.Words {
+			a, ok := tr.Pop()
+			if !ok {
+				break
+			}
+			if e.scanObject(a, tr) {
+				e.stats.traceMutatorWords.Add(int64(e.arena.refsPer))
+				done++
+			}
+		}
+		tr.Release()
+	}
+	e.pacer.endIncrement(done)
+	e.stats.pacedIncrements.Add(1)
 }
 
 // markAndPush claims an object with one atomic fetch-or and queues it for
@@ -576,7 +669,20 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			continue
 		}
 		e.fi.tracerStall.Stall()
-		e.scanObject(a, tr)
+		if e.scanObject(a, tr) {
+			words := int64(e.arena.refsPer)
+			if bg {
+				e.stats.traceBgWords.Add(words)
+				if e.pacer != nil {
+					e.pacer.noteBackground(1)
+				}
+			} else {
+				e.stats.traceDedicatedWords.Add(words)
+				if e.pacer != nil {
+					e.pacer.noteTraced(1)
+				}
+			}
+		}
 		if bg {
 			time.Sleep(e.cfg.BgThrottle / 4)
 		}

@@ -240,6 +240,14 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 		if len(m.cache) == 0 {
 			return heapsim.Nil
 		}
+		// The allocation tax (Section 3.1): every cache refill is this
+		// mutator's allocation increment, and the tracing budget it owes is
+		// repaid inline before the refill returns. markingActive only flips
+		// while the world is stopped, so its value is stable for the whole
+		// tax payment.
+		if m.e.pacer != nil && m.e.markingActive.Load() {
+			m.e.payAllocTax(int64(len(m.cache)))
+		}
 	}
 	obj := m.cache[len(m.cache)-1]
 	m.cache = m.cache[:len(m.cache)-1]

@@ -34,6 +34,16 @@ type engineStats struct {
 
 	pressureKicks atomic.Int64 // idle waits cut short by allocation pressure
 	rescanRedirty atomic.Int64 // card rescans re-dirtied for unpublished objects
+
+	// Per-party tracing attribution: each successful scanObject charges its
+	// slot words to exactly one of these, so their sum reconciles with
+	// scans times the per-object slot count.
+	traceMutatorWords   atomic.Int64 // scans paid as mutator allocation tax
+	traceBgWords        atomic.Int64 // scans by throttled background tracers
+	traceDedicatedWords atomic.Int64 // scans by dedicated tracers
+
+	kickoffs        atomic.Int64 // cycles started by the kickoff formula
+	pacedIncrements atomic.Int64 // allocation increments that consulted the pacer
 }
 
 // Report is what one Engine.Run hands back.
@@ -90,6 +100,21 @@ type Report struct {
 	// RescanRedirties, the engine-side counts of the same three callers.
 	DirectDirties   int64
 	RescanRedirties int64
+
+	// Per-party tracing attribution (the counters behind trace.mutator_words
+	// / trace.bg_words / trace.dedicated_words): TraceMutatorWords +
+	// TraceBgWords + TraceDedicatedWords == Scans * RefsPerObject.
+	TraceMutatorWords   int64
+	TraceBgWords        int64
+	TraceDedicatedWords int64
+
+	// Pacing (Section 3) results; meaningful when PacingEnabled.
+	PacingEnabled   bool
+	Kickoffs        int64   // cycles started by free < (L+M)/K0
+	PacedIncrements int64   // allocation increments that consulted the pacer
+	KFirst, KLast   float64 // progress-formula rate at the first/last increment
+	KMin, KMax      float64 // rate range over the run
+	CorrectiveMax   float64 // largest (K-K0)*C catch-up addition applied
 
 	// Wedged reports that the termination watchdog aborted the run;
 	// WedgePhase and WedgeDiagnosis say where and what the state looked like.
@@ -148,6 +173,19 @@ func (e *Engine) finishReport() {
 	r.PressureKicks = s.pressureKicks.Load()
 	r.RescanRedirties = s.rescanRedirty.Load()
 
+	r.TraceMutatorWords = s.traceMutatorWords.Load()
+	r.TraceBgWords = s.traceBgWords.Load()
+	r.TraceDedicatedWords = s.traceDedicatedWords.Load()
+	if e.pacer != nil {
+		r.PacingEnabled = true
+		r.Kickoffs = s.kickoffs.Load()
+		sum := e.pacer.summary()
+		r.PacedIncrements = sum.increments
+		r.KFirst, r.KLast = sum.kFirst, sum.kLast
+		r.KMin, r.KMax = sum.kMin, sum.kMax
+		r.CorrectiveMax = sum.correctiveMax
+	}
+
 	cs := &e.arena.Cards.AtomicStats
 	r.CardsRegistered = cs.CardsRegistered.Load()
 	r.CardsCleaned = cs.CardsCleaned.Load()
@@ -174,6 +212,7 @@ func (r Report) String() string {
 	out := fmt.Sprintf(
 		"cycles %d  mutator ops %d  alloc %d  freed %d  (alloc failed %d, pressure kicks %d)\n"+
 			"marks %d  scans %d  rescans %d  deferred %d\n"+
+			"trace words: mutator %d  bg %d  dedicated %d\n"+
 			"overflows %d (defer %d, rescan redirty %d)  card passes %d  cards reg/cleaned %d/%d  barrier marks %d\n"+
 			"fences: alloc %d  forced %d  pool-return %d\n"+
 			"contention: pool CAS retries %d  free-list retries %d  pool max in use %d\n"+
@@ -181,6 +220,7 @@ func (r Report) String() string {
 			"pauses: %d  total %v  max %v  (concurrent: mark %v  sweep %v)\n%s",
 		r.Cycles, r.MutatorOps, r.ObjectsAllocated, r.ObjectsFreed, r.AllocFailed, r.PressureKicks,
 		r.Marks, r.Scans, r.Rescans, r.Deferred,
+		r.TraceMutatorWords, r.TraceBgWords, r.TraceDedicatedWords,
 		r.Overflows, r.DeferOverflows, r.RescanRedirties, r.CardPasses, r.CardsRegistered, r.CardsCleaned, r.BarrierMarks,
 		r.AllocFences, r.ForcedFences, r.PoolReturnFences,
 		r.PoolCASRetries, r.FreeListRetries, r.PoolMaxInUse,
@@ -188,6 +228,10 @@ func (r Report) String() string {
 		r.STWCount, r.STWTotal.Round(time.Microsecond), r.STWMax.Round(time.Microsecond),
 		r.MarkTotal.Round(time.Microsecond), r.SweepTotal.Round(time.Microsecond),
 		oracle)
+	if r.PacingEnabled {
+		out += fmt.Sprintf("\npacing: kickoffs %d  increments %d  K first %.2f  last %.2f  range [%.2f, %.2f]  corrective max %.2f",
+			r.Kickoffs, r.PacedIncrements, r.KFirst, r.KLast, r.KMin, r.KMax, r.CorrectiveMax)
+	}
 	if len(r.Faults) > 0 {
 		out += "\nfaults:"
 		for _, p := range r.Faults {

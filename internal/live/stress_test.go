@@ -62,6 +62,12 @@ func TestStressOracle(t *testing.T) {
 	if !e.Pool().TracingDone() || !e.Pool().DeferredEmpty() {
 		t.Error("packet pool not quiescent after Run")
 	}
+	// Every scan is attributed to exactly one tracing party, pacing or not
+	// (without pacing the mutator share is zero).
+	checkTraceWords(t, rep, e.arena.refsPer)
+	if rep.TraceMutatorWords != 0 {
+		t.Errorf("mutator-paid tracing %d without pacing enabled", rep.TraceMutatorWords)
+	}
 }
 
 // TestTerminationRaces floods the termination protocol: many tracers against

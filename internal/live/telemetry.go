@@ -43,6 +43,20 @@ func (e *Engine) sampleCycle(res OracleResult, freed int, at int64) {
 		telemetry.Arg{Key: "floating", Val: float64(res.Floating)})
 }
 
+// samplePacingKickoff records the kickoff decision inputs at cycle start,
+// mirroring the simulator backend's instant (units are objects here, not
+// bytes). Driver only.
+func (e *Engine) samplePacingKickoff(at int64) {
+	t := vtime.Time(at)
+	free := float64(e.arena.FreeLen())
+	threshold := e.pacer.threshold()
+	e.cfg.Reg.Gauge("gc.pacing.kickoff_free_objs").Sample(t, free)
+	e.cfg.Reg.Gauge("gc.pacing.kickoff_target_objs").Sample(t, threshold)
+	e.cfg.TL.Instant(gcTrack, "kickoff", t,
+		telemetry.Arg{Key: "free_objs", Val: free},
+		telemetry.Arg{Key: "target_objs", Val: threshold})
+}
+
 // flushTelemetry copies the end-of-run report counters into the registry,
 // mirroring the names the simulator backend emits where the concept is the
 // same (pool.*, cards.*) and using live.* for engine-only counters.
@@ -83,6 +97,28 @@ func (e *Engine) flushTelemetry() {
 	set("live.pressure_kicks", r.PressureKicks)
 	set("cards.direct_dirties", r.DirectDirties)
 	set("live.rescan_redirties", r.RescanRedirties)
+	set("trace.mutator_words", r.TraceMutatorWords)
+	set("trace.bg_words", r.TraceBgWords)
+	set("trace.dedicated_words", r.TraceDedicatedWords)
+	if e.pacer != nil {
+		set("gc.kickoffs", r.Kickoffs)
+		set("gc.increments", r.PacedIncrements)
+		// The buffered K trajectory drains here, under the same names the
+		// simulator backend samples live, so gcstats reads both identically.
+		// Mutators cannot touch the unsynchronized Registry mid-run; the
+		// pacer gate buffered these for the driver.
+		gK := reg.Gauge("gc.pacing.k")
+		gCorr := reg.Gauge("gc.pacing.corrective")
+		gBest := reg.Gauge("gc.pacing.best")
+		for _, s := range e.pacer.trajectory() {
+			t := vtime.Time(s.at)
+			gK.Sample(t, s.k)
+			if s.corrective != 0 {
+				gCorr.Sample(t, s.corrective)
+			}
+			gBest.Sample(t, s.best)
+		}
+	}
 	if r.Wedged {
 		set("live.wedged", 1)
 	}

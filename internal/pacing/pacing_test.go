@@ -1,0 +1,400 @@
+package pacing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fakeHeap is a mutable HeapView for driving the formulas directly.
+type fakeHeap struct {
+	free, occupied int64
+}
+
+func (h *fakeHeap) FreeWords() int64     { return h.free }
+func (h *fakeHeap) OccupiedWords() int64 { return h.occupied }
+
+func newTestPacer(cfg Config, free, occupied int64) (*Pacer, *fakeHeap) {
+	h := &fakeHeap{free: free, occupied: occupied}
+	return New(cfg, h), h
+}
+
+func TestKickoffFormula(t *testing.T) {
+	p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, InitialDirtyFraction: 0}, 100, 640)
+	// Unprimed: L falls back to occupied words. Threshold = occupied/8.
+	if p.Kickoff() {
+		t.Fatal("kickoff with free above threshold")
+	}
+	h.free = 79
+	if !p.Kickoff() {
+		t.Fatal("no kickoff with free below threshold")
+	}
+	// Priming L and M moves the threshold: (L+M)/K0 = (800+160)/8 = 120.
+	p.EndCycle(800, 160)
+	h.occupied = 0
+	h.free = 121
+	if p.Kickoff() {
+		t.Fatal("kickoff above primed threshold")
+	}
+	h.free = 119
+	if !p.Kickoff() {
+		t.Fatal("no kickoff below primed threshold")
+	}
+}
+
+func TestProgressFormulaBasic(t *testing.T) {
+	p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, C: 1}, 1000, 0)
+	p.EndCycle(8000, 0) // L = 8000, M = 0
+	p.StartCycle()
+	// T=0, F=1000: K = 8000/1000 = 8 = K0, no correction.
+	if k := p.Rate(); math.Abs(k-8) > 1e-9 {
+		t.Fatalf("rate = %v, want 8", k)
+	}
+	// Tracing ahead of schedule: T=6000, F=1000 => K = 2.
+	p.NoteTraced(6000)
+	if k := p.Rate(); math.Abs(k-2) > 1e-9 {
+		t.Fatalf("rate = %v, want 2", k)
+	}
+	_ = h
+}
+
+func TestProgressFormulaNegativeMeansKMax(t *testing.T) {
+	// T > M+L: the predictions were underestimates; the formula goes
+	// negative and must clamp to KMax, not to zero or a negative budget.
+	p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5}, 500, 0)
+	p.EndCycle(1000, 0)
+	p.StartCycle()
+	p.NoteTraced(2000)
+	if k := p.Rate(); k != 16 {
+		t.Fatalf("rate = %v, want KMax=16", k)
+	}
+	// Zero free memory (F -> 0) is also the maximum rate, with no division.
+	h.free = 0
+	if k := p.Rate(); k != 16 {
+		t.Fatalf("rate at F=0 = %v, want KMax", k)
+	}
+	// Negative free memory (over-committed heap) clamps the same way.
+	h.free = -100
+	if k := p.Rate(); k != 16 {
+		t.Fatalf("rate at F<0 = %v, want KMax", k)
+	}
+}
+
+func TestProgressCorrectiveTerm(t *testing.T) {
+	// Behind schedule: K > K0 gets amplified by C.
+	p, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, C: 1}, 1000, 0)
+	p.EndCycle(10000, 0)
+	p.StartCycle()
+	// K = 10000/1000 = 10 > K0=8 => K + (K-K0)*C = 12.
+	if k := p.Rate(); math.Abs(k-12) > 1e-9 {
+		t.Fatalf("rate = %v, want 12", k)
+	}
+	k, corrective, _ := p.RateDetail()
+	if math.Abs(corrective-2) > 1e-9 {
+		t.Fatalf("corrective = %v, want 2 (k=%v)", corrective, k)
+	}
+	// Capped at KMax.
+	p2, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, C: 10}, 1000, 0)
+	p2.EndCycle(10000, 0)
+	p2.StartCycle()
+	if k := p2.Rate(); k != 16 {
+		t.Fatalf("rate = %v, want KMax cap 16", k)
+	}
+}
+
+// TestCorrectiveCatchUp drives a cycle where tracing stalls while the heap
+// drains, and requires the corrective term to grow monotonically: the
+// further behind schedule, the harder the tax.
+func TestCorrectiveCatchUp(t *testing.T) {
+	p, h := newTestPacer(Config{K0: 4, KMax: 100, SmoothAlpha: 0.5, C: 1}, 2000, 0)
+	p.EndCycle(10000, 0)
+	p.StartCycle()
+	var lastK, lastCorr float64
+	for _, free := range []int64{2000, 1500, 1000, 500} {
+		h.free = free
+		k, corr, _ := p.RateDetail()
+		if k < lastK || corr < lastCorr {
+			t.Fatalf("K/corrective not monotone under a stall: free=%d K=%v (prev %v) corrective=%v (prev %v)",
+				free, k, lastK, corr, lastCorr)
+		}
+		lastK, lastCorr = k, corr
+	}
+	if lastCorr == 0 {
+		t.Fatal("corrective term never engaged while tracing was behind schedule")
+	}
+}
+
+func TestBackgroundDiscount(t *testing.T) {
+	p, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 1.0, C: 1}, 1000, 0)
+	p.EndCycle(8000, 0)
+	p.StartCycle()
+	// Background does 3 words per allocated word: Best = 3.
+	p.NoteBackgroundWork(3 << 20)
+	p.NoteAllocation(1 << 20)
+	if b := p.Best(); math.Abs(b-3) > 1e-9 {
+		t.Fatalf("Best = %v, want 3", b)
+	}
+	// K would be 8; discounted by Best: 8-3 = 5 (below K0, no correction).
+	p.traced = 0
+	if k := p.Rate(); math.Abs(k-5) > 1e-9 {
+		t.Fatalf("discounted rate = %v, want 5", k)
+	}
+	// Background fully keeping up: K < Best => 0. (Fresh pacer so T stays
+	// small: NoteBackgroundWork counts toward T too.)
+	p3, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 1.0, C: 1}, 8000, 0)
+	p3.EndCycle(8000, 0)
+	p3.StartCycle()
+	p3.NoteBackgroundWork(3 << 20)
+	p3.NoteAllocation(1 << 20)
+	p3.traced = 0
+	// K = 8000/8000 = 1 < Best = 3.
+	if k := p3.Rate(); k != 0 {
+		t.Fatalf("rate = %v, want 0 when background keeps up", k)
+	}
+}
+
+func TestBackgroundWindowing(t *testing.T) {
+	p, _ := newTestPacer(Default(), 0, 0)
+	p.StartCycle()
+	p.NoteBackgroundWork(512 << 10)
+	// Window not yet full: Best unprimed.
+	p.NoteAllocation(DefaultBestWindow / 2)
+	if p.BestPrimed() {
+		t.Fatal("Best sampled before the window filled")
+	}
+	p.NoteAllocation(DefaultBestWindow / 2)
+	if !p.BestPrimed() {
+		t.Fatal("Best not sampled after a full window")
+	}
+	if b := p.Best(); b <= 0 || b > 1 {
+		t.Fatalf("B sample = %v out of range", b)
+	}
+}
+
+// TestBestSmoothing checks the exponential blend across windows: with
+// alpha=0.5, a window of B=1 followed by a window of B=0 must leave 0.5.
+func TestBestSmoothing(t *testing.T) {
+	p, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, BestWindow: 100}, 0, 0)
+	p.StartCycle()
+	p.NoteBackgroundWork(100)
+	p.NoteAllocation(100) // B = 1 primes Best
+	if b := p.Best(); math.Abs(b-1) > 1e-9 {
+		t.Fatalf("Best after first window = %v, want 1", b)
+	}
+	p.NoteAllocation(100) // B = 0: Best <- 0.5*0 + 0.5*1
+	if b := p.Best(); math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("Best after second window = %v, want 0.5", b)
+	}
+}
+
+func TestConfiguredBestWindow(t *testing.T) {
+	// A backend whose words are objects shrinks the window; the sampling
+	// boundary must follow the configuration, not the 1MB byte default.
+	p, _ := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, BestWindow: 64}, 0, 0)
+	p.StartCycle()
+	p.NoteBackgroundWork(32)
+	p.NoteAllocation(63)
+	if p.BestPrimed() {
+		t.Fatal("Best sampled before the configured window filled")
+	}
+	p.NoteAllocation(1)
+	if !p.BestPrimed() {
+		t.Fatal("Best not sampled after the configured window filled")
+	}
+}
+
+func TestKMaxDefaults(t *testing.T) {
+	cfg := Config{K0: 5}
+	if cfg.EffectiveKMax() != 10 {
+		t.Fatalf("default KMax = %v, want 2*K0", cfg.EffectiveKMax())
+	}
+	cfg.KMax = 7
+	if cfg.EffectiveKMax() != 7 {
+		t.Fatalf("explicit KMax = %v", cfg.EffectiveKMax())
+	}
+}
+
+// Property: the rate is always within [0, KMax] whatever the state.
+func TestQuickRateBounded(t *testing.T) {
+	f := func(l, m, traced, free uint32, bg uint16) bool {
+		p, h := newTestPacer(Default(), int64(free), 0)
+		p.EndCycle(int64(l), int64(m))
+		p.StartCycle()
+		p.NoteTraced(int64(traced))
+		p.NoteBackgroundWork(int64(bg))
+		p.NoteAllocation(DefaultBestWindow)
+		h.free = int64(free)
+		k := p.Rate()
+		return k >= 0 && k <= p.cfg.EffectiveKMax()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionsSeedFromHeap(t *testing.T) {
+	p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, InitialDirtyFraction: 0.1}, 0, 1000)
+	l, m := p.Predictions()
+	if l != 1000 {
+		t.Fatalf("unprimed L = %v, want occupied", l)
+	}
+	if m != 100 {
+		t.Fatalf("unprimed M = %v, want 10%% of occupied", m)
+	}
+	p.EndCycle(500, 50)
+	l, m = p.Predictions()
+	if l != 500 || m != 50 {
+		t.Fatalf("primed L,M = %v,%v", l, m)
+	}
+	_ = h
+}
+
+func TestHeadroomShiftsKickoffAndCompletion(t *testing.T) {
+	cfg := Config{K0: 8, SmoothAlpha: 0.5, Headroom: 1000}
+	p, h := newTestPacer(cfg, 1999, 0)
+	p.EndCycle(8000, 0)
+	// Kickoff threshold = L/K0 + headroom = 1000 + 1000.
+	if !p.Kickoff() {
+		t.Fatal("kickoff should fire below threshold+headroom")
+	}
+	h.free = 2001
+	if p.Kickoff() {
+		t.Fatal("kickoff fired above threshold+headroom")
+	}
+	// The progress formula targets completion with headroom remaining:
+	// at free = headroom the rate is already maximal.
+	p.StartCycle()
+	h.free = 1000
+	if k := p.Rate(); k != cfg.EffectiveKMax() {
+		t.Fatalf("rate at free==headroom = %v, want KMax", k)
+	}
+	// Above the headroom the effective free memory is reduced.
+	h.free = 2000
+	if k := p.Rate(); math.Abs(k-8) > 1e-9 { // 8000/(2000-1000)=8
+		t.Fatalf("rate = %v, want 8", k)
+	}
+}
+
+// TestIncrementBudgetComposition: IncrementBudget must be exactly
+// NoteAllocation followed by RateDetail — the two call styles may never
+// diverge, because internal/core uses the fine-grained methods and
+// internal/live uses the composed one.
+func TestIncrementBudgetComposition(t *testing.T) {
+	build := func() (*Pacer, *fakeHeap) {
+		p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, C: 1, BestWindow: 1000}, 1000, 0)
+		p.EndCycle(10000, 100)
+		p.StartCycle()
+		p.NoteBackgroundWork(700)
+		return p, h
+	}
+	a, _ := build()
+	b, _ := build()
+	for i := 0; i < 10; i++ {
+		alloc := int64(100 + 37*i)
+		got := a.IncrementBudget(alloc)
+		b.NoteAllocation(alloc)
+		k, corr, best := b.RateDetail()
+		want := Budget{Words: int64(k * float64(alloc)), K: k, Corrective: corr, Best: best}
+		if got != want {
+			t.Fatalf("step %d: IncrementBudget %+v != composed %+v", i, got, want)
+		}
+		a.EndIncrement(got.Words / 2)
+		b.NoteTraced(want.Words / 2)
+	}
+	if a.TracedWords() != b.TracedWords() {
+		t.Fatalf("T diverged: %d vs %d", a.TracedWords(), b.TracedWords())
+	}
+}
+
+// syntheticRun drives the full protocol over a seeded allocate/trace
+// workload against a simulated heap and records every kickoff point (the
+// allocation index at which Kickoff turned true) plus the K value of every
+// increment.
+func syntheticRun(seed int64) (kickoffs []int, ks []float64) {
+	const heap = 1 << 20
+	rng := rand.New(rand.NewSource(seed))
+	h := &fakeHeap{free: heap, occupied: 0}
+	p := New(Config{K0: 6, C: 1, SmoothAlpha: 0.4, InitialDirtyFraction: 0.05, BestWindow: 4096}, h)
+	inCycle := false
+	for i := 0; i < 20000; i++ {
+		alloc := int64(rng.Intn(200) + 1)
+		h.free -= alloc
+		h.occupied += alloc
+		if h.free < 0 {
+			h.free = 0
+		}
+		if !inCycle {
+			if p.Kickoff() {
+				kickoffs = append(kickoffs, i)
+				p.StartCycle()
+				inCycle = true
+			}
+			continue
+		}
+		// Background threads contribute stochastically.
+		if bg := int64(rng.Intn(100)); bg > 40 {
+			p.NoteBackgroundWork(bg)
+		}
+		b := p.IncrementBudget(alloc)
+		ks = append(ks, b.K)
+		// Repay a seeded fraction of the budget.
+		done := b.Words * int64(rng.Intn(100)+1) / 100
+		p.EndIncrement(done)
+		// Cycle completes once T covers the prediction; reclaim garbage.
+		l, m := p.Predictions()
+		if float64(p.TracedWords()) >= l+m || h.free == 0 {
+			live := h.occupied * int64(rng.Intn(40)+30) / 100
+			h.free += h.occupied - live
+			h.occupied = live
+			p.EndCycle(p.TracedWords(), int64(rng.Intn(int(m)+1)))
+			inCycle = false
+		}
+	}
+	return kickoffs, ks
+}
+
+// TestDeterministicKickoffPoints: the pacer is a pure function of its
+// inputs — the same seeded workload must yield identical kickoff points and
+// an identical K trajectory, and a different seed must not.
+func TestDeterministicKickoffPoints(t *testing.T) {
+	k1, ks1 := syntheticRun(11)
+	k2, ks2 := syntheticRun(11)
+	if len(k1) == 0 || len(ks1) == 0 {
+		t.Fatalf("synthetic run produced no kickoffs (%d) or increments (%d); vacuous", len(k1), len(ks1))
+	}
+	if !equalInts(k1, k2) {
+		t.Fatalf("same seed, different kickoff points:\n%v\n%v", k1, k2)
+	}
+	if !equalFloats(ks1, ks2) {
+		t.Fatal("same seed, different K trajectories")
+	}
+	k3, _ := syntheticRun(12)
+	if equalInts(k1, k3) {
+		t.Fatal("different seeds produced identical kickoff points — the workload is not exercising the formulas")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

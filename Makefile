@@ -70,6 +70,10 @@ chaos-smoke:
 	$(CHAOS_RUN) -chaos "live.tracerstall=4:200us"
 	$(CHAOS_RUN) -chaos "live.fencedelay=3:300us" -shape pointer
 	$(CHAOS_RUN) -chaos "live.allocfail=1/2"
+	$(CHAOS_RUN) -chaos "pool.localspill=1/2"
+	$(CHAOS_RUN) -chaos "pool.stealmiss=1/2"
+	$(CHAOS_RUN) -chaos "pool.refillstall=1/4:50us"
+	$(CHAOS_RUN) -chaos "pool.exhaust=1/3" -localcache -1 -freeshards -1 -cardbuf -1
 	$(GO) run ./cmd/gcstats -metrics /tmp/gcchaos-smoke.jsonl
 	@rm -f /tmp/gcchaos-smoke.jsonl
 	@echo "chaos-smoke: verifying the watchdog aborts a wedged run..."

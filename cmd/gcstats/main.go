@@ -211,6 +211,13 @@ func report(path, filter string) error {
 			fmt.Printf("   MMU: %s\n", strings.Join(parts, "  "))
 		}
 
+		if lh, st, sp, ss, cf := r.counters["pool.local_hits"], r.counters["pool.steals"],
+			r.counters["pool.spills"], r.counters["arena.shard_steals"],
+			r.counters["card.buffer_flushes"]; lh+st+sp+ss+cf > 0 {
+			fmt.Printf("   sharding: local hits %d  steals %d  spills %d  shard steals %d  card flushes %d\n",
+				lh, st, sp, ss, cf)
+		}
+
 		if faults := faultCounters(r.counters); len(faults) > 0 {
 			fmt.Printf("   faults:")
 			for _, f := range faults {

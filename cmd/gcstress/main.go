@@ -49,6 +49,9 @@ func main() {
 		packetCap  = flag.Int("packetcap", 32, "entries per packet")
 		allocBatch = flag.Int("allocbatch", 16, "allocation-bit publication batch size")
 		cardPasses = flag.Int("cardpasses", 2, "concurrent card cleaning passes per cycle")
+		localCache = flag.Int("localcache", 0, "per-worker packet cache per class (0 = default, negative disables the local tier)")
+		freeShards = flag.Int("freeshards", 0, "free-list shards (0 = default, negative forces one shard)")
+		cardBuf    = flag.Int("cardbuf", 0, "per-mutator write-barrier card buffer (0 = default, negative dirties directly)")
 		shape      = flag.String("shape", "mixed", "workload shape: mixed, churn or pointer")
 		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
@@ -93,6 +96,9 @@ func main() {
 		PacketCap:       *packetCap,
 		AllocBatch:      *allocBatch,
 		CardPasses:      *cardPasses,
+		LocalCache:      *localCache,
+		FreeShards:      *freeShards,
+		CardBuffer:      *cardBuf,
 		Duration:        *duration,
 		Seed:            *seed,
 		Shape:           *shape,

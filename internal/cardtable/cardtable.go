@@ -52,6 +52,8 @@ type AtomicStats struct {
 	// overflow, deferred overflow, unpublished-object redirty). The tracing
 	// engine's own degradation counters must reconcile with this total.
 	DirectDirties atomic.Int64
+	// BufferFlushes counts non-empty DirtyBuffer flushes into the table.
+	BufferFlushes atomic.Int64
 }
 
 // Table tracks one dirty bit per card.
@@ -166,6 +168,80 @@ func (t *Table) CountDirtyAtomic() int {
 
 // NoteCleanedAtomic is NoteCleaned for the concurrent path.
 func (t *Table) NoteCleanedAtomic(n int) { t.AtomicStats.CardsCleaned.Add(int64(n)) }
+
+// DirtyBuffer batches one mutator's write-barrier card stores: instead of a
+// fetch-or on the shared table per barrier, the card index is appended to a
+// private buffer that is flushed — one fetch-or per distinct buffered card —
+// when full and at every fence handshake and safepoint park. Only the
+// fence-free barrier path may be buffered: the degradation paths
+// (DirtyCardAtomic) stay direct, so the DirectDirties reconciliation
+// identity is untouched. Delaying barrier dirt until the next handshake is
+// safe for the three-step cleaning protocol: a card that misses one
+// registration pass keeps its (buffered) indicator for the next pass or for
+// the stop-the-world close, exactly like a card dirtied just after its
+// table word was registered — and because every mutator flushes before
+// parking, all buffers are empty whenever the world is stopped.
+//
+// A DirtyBuffer belongs to one goroutine; methods are nil-safe no-ops so
+// disabled configurations need no branches at the call sites.
+type DirtyBuffer struct {
+	t       *Table
+	cards   []int
+	last    int   // last appended card + 1 (0 = none): adjacent-store dedup
+	appends int64 // barrier executions since the last flush
+}
+
+// NewDirtyBuffer creates a write-barrier buffer of the given capacity over
+// the table (minimum 1).
+func (t *Table) NewDirtyBuffer(capacity int) *DirtyBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DirtyBuffer{t: t, cards: make([]int, 0, capacity)}
+}
+
+// DirtyObject records the write barrier's card store into the buffer,
+// flushing when the buffer fills. Consecutive stores into the same card — a
+// mutator initialising an object's slots — collapse to one entry.
+func (b *DirtyBuffer) DirtyObject(a heapsim.Addr) {
+	if b == nil {
+		return
+	}
+	c := int(a) >> cardShift
+	b.appends++
+	if c+1 == b.last {
+		return
+	}
+	b.last = c + 1
+	b.cards = append(b.cards, c)
+	if len(b.cards) == cap(b.cards) {
+		b.Flush()
+	}
+}
+
+// Flush publishes every buffered card to the shared table and credits the
+// batched barrier executions to AtomicStats.BarrierMarks.
+func (b *DirtyBuffer) Flush() {
+	if b == nil || b.appends == 0 {
+		return
+	}
+	for _, c := range b.cards {
+		b.t.dirty.TestAndSetAtomic(c)
+	}
+	b.t.AtomicStats.BarrierMarks.Add(b.appends)
+	b.t.AtomicStats.BufferFlushes.Add(1)
+	b.cards = b.cards[:0]
+	b.last = 0
+	b.appends = 0
+}
+
+// Pending returns the number of distinct cards currently buffered.
+func (b *DirtyBuffer) Pending() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.cards)
+}
 
 // RegisterAndClearAtomic is step 1 of the cleaning protocol on the
 // concurrent path: it registers and clears every dirty indicator with one

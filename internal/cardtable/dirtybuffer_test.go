@@ -1,0 +1,146 @@
+package cardtable
+
+import (
+	"testing"
+
+	"mcgc/internal/heapsim"
+)
+
+func TestDirtyBufferBasics(t *testing.T) {
+	tab := New(1024) // 16 cards
+	b := tab.NewDirtyBuffer(8)
+
+	// Nothing reaches the shared table until a flush.
+	b.DirtyObject(heapsim.Addr(0))
+	b.DirtyObject(heapsim.Addr(CardWords))
+	if got := tab.CountDirtyAtomic(); got != 0 {
+		t.Fatalf("table shows %d dirty cards before flush, want 0", got)
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", b.Pending())
+	}
+	b.Flush()
+	if got := tab.CountDirtyAtomic(); got != 2 {
+		t.Fatalf("table shows %d dirty cards after flush, want 2", got)
+	}
+	if !tab.IsDirtyAtomic(0) || !tab.IsDirtyAtomic(1) {
+		t.Fatal("wrong cards dirtied")
+	}
+	if got := tab.AtomicStats.BufferFlushes.Load(); got != 1 {
+		t.Fatalf("BufferFlushes = %d, want 1", got)
+	}
+	// An empty re-flush is free: no counter motion.
+	b.Flush()
+	if got := tab.AtomicStats.BufferFlushes.Load(); got != 1 {
+		t.Fatalf("empty flush counted: BufferFlushes = %d, want 1", got)
+	}
+}
+
+// TestDirtyBufferDedupAndBarrierMarks checks the adjacent-store dedup and the
+// batched BarrierMarks credit: every barrier execution is counted even when
+// consecutive stores collapse to one buffered card.
+func TestDirtyBufferDedupAndBarrierMarks(t *testing.T) {
+	tab := New(1024)
+	b := tab.NewDirtyBuffer(8)
+
+	// A mutator initialising an object: many stores, one card.
+	for i := 0; i < 5; i++ {
+		b.DirtyObject(heapsim.Addr(i))
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("adjacent stores buffered %d cards, want 1", b.Pending())
+	}
+	// Alternating cards defeat the last-card dedup (by design: it only
+	// collapses runs, the common initialisation pattern).
+	b.DirtyObject(heapsim.Addr(CardWords))
+	b.DirtyObject(heapsim.Addr(0))
+	if b.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", b.Pending())
+	}
+	b.Flush()
+	if got := tab.AtomicStats.BarrierMarks.Load(); got != 7 {
+		t.Fatalf("BarrierMarks = %d, want 7 (every execution counted)", got)
+	}
+	if got := tab.CountDirtyAtomic(); got != 2 {
+		t.Fatalf("dirty cards = %d, want 2 (duplicates collapse in the table)", got)
+	}
+}
+
+// TestDirtyBufferFlushOnFull fills the buffer to capacity and checks the
+// automatic flush: the table is updated without an explicit Flush call.
+func TestDirtyBufferFlushOnFull(t *testing.T) {
+	tab := New(CardWords * 64)
+	const capacity = 4
+	b := tab.NewDirtyBuffer(capacity)
+	for i := 0; i < capacity; i++ {
+		b.DirtyObject(heapsim.Addr(i * 2 * CardWords)) // distinct, non-adjacent cards
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending = %d after filling to capacity, want 0 (auto-flush)", b.Pending())
+	}
+	if got := tab.CountDirtyAtomic(); got != capacity {
+		t.Fatalf("dirty cards = %d, want %d", got, capacity)
+	}
+	if got := tab.AtomicStats.BufferFlushes.Load(); got != 1 {
+		t.Fatalf("BufferFlushes = %d, want 1", got)
+	}
+}
+
+// TestDirtyBufferNilSafe pins the nil-discipline: every method on a nil
+// buffer is a no-op, so disabled configurations need no branches at fence
+// and park call sites.
+func TestDirtyBufferNilSafe(t *testing.T) {
+	var b *DirtyBuffer
+	b.DirtyObject(heapsim.Addr(1))
+	b.Flush()
+	if b.Pending() != 0 {
+		t.Fatal("nil buffer pending != 0")
+	}
+}
+
+// TestDirtyBufferRegisterInterleave drives the buffer against the three-step
+// cleaning protocol: a card buffered across a registration pass is not lost —
+// it surfaces in the next pass after the flush, exactly like a card dirtied
+// just after its table word was registered.
+func TestDirtyBufferRegisterInterleave(t *testing.T) {
+	tab := New(CardWords * 16)
+	b := tab.NewDirtyBuffer(16)
+
+	b.DirtyObject(heapsim.Addr(3 * CardWords))
+	// Pass 1 runs while the dirt is still private: sees nothing.
+	if got := tab.RegisterAndClearAtomic(nil); len(got) != 0 {
+		t.Fatalf("pass 1 registered %v, want none (dirt still buffered)", got)
+	}
+	b.Flush() // the fence handshake
+	got := tab.RegisterAndClearAtomic(nil)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("pass 2 registered %v, want [3]", got)
+	}
+	if tab.CountDirtyAtomic() != 0 {
+		t.Fatal("register-and-clear left dirt behind")
+	}
+}
+
+// TestDirtyBufferZeroAllocSteadyState pins the barrier fast path and the
+// flush at zero heap allocations once the buffer exists.
+func TestDirtyBufferZeroAllocSteadyState(t *testing.T) {
+	tab := New(CardWords * 64)
+	b := tab.NewDirtyBuffer(16)
+	var a heapsim.Addr
+	if avg := testing.AllocsPerRun(200, func() {
+		b.DirtyObject(a)
+		a += CardWords
+		if a >= CardWords*60 {
+			a = 0
+		}
+	}); avg != 0 {
+		t.Fatalf("buffered barrier allocates %.1f per op, want 0", avg)
+	}
+	b.Flush()
+	if avg := testing.AllocsPerRun(50, func() {
+		b.DirtyObject(1)
+		b.Flush()
+	}); avg != 0 {
+		t.Fatalf("flush allocates %.1f per op, want 0", avg)
+	}
+}

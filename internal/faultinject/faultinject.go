@@ -59,6 +59,17 @@ const (
 	// PoolDeferStall stalls between packets while DrainDeferred recirculates
 	// the Deferred sub-pool.
 	PoolDeferStall = "pool.deferstall"
+	// PoolLocalSpill forces a worker's local packet cache to spill to the
+	// global pool even when the cache has room — a local-spill storm that
+	// degrades the local tier back to global-CAS traffic.
+	PoolLocalSpill = "pool.localspill"
+	// PoolStealMiss forces the sibling-cache steal scan to report a miss, so
+	// callers take the pool-exhausted degradation even while a sibling hoards
+	// ready packets.
+	PoolStealMiss = "pool.stealmiss"
+	// PoolRefillStall stalls a worker's batch refill from the global Empty
+	// sub-pool, widening the window where the local tier runs dry.
+	PoolRefillStall = "pool.refillstall"
 	// CardCleanStall stalls between word registrations inside the concurrent
 	// register-and-clear pass, widening the dirty-during-clean race window.
 	CardCleanStall = "card.cleanstall"
@@ -95,6 +106,9 @@ var siteDocs = map[string]string{
 	PoolGetStall:       "stall inside pool Get paths",
 	PoolPutStall:       "stall inside pool Put paths",
 	PoolDeferStall:     "stall between packets in DrainDeferred",
+	PoolLocalSpill:     "force local packet caches to spill to the global pool",
+	PoolStealMiss:      "force the sibling-cache steal scan to miss",
+	PoolRefillStall:    "stall a local cache's batch refill from the global pool",
 	CardCleanStall:     "stall inside register-and-clear (dirty-during-clean races)",
 	LiveTracerStall:    "stall a tracer between pop and scan",
 	LiveFenceDelay:     "delay a mutator's fence acknowledgement",

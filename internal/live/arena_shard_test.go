@@ -1,0 +1,285 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"mcgc/internal/heapsim"
+)
+
+func TestDefaultFreeShards(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1},
+		{256, 1},
+		{512, 2},
+		{1 << 12, 8},
+		{1 << 15, 8}, // capped at 8 regardless of size
+		{1 << 20, 8},
+	} {
+		if got := DefaultFreeShards(tc.n); got != tc.want {
+			t.Errorf("DefaultFreeShards(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNewArenaShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, {1, 1}, {3, 2}, {4, 4}, {7, 4}, {64, 64}, {100, 64},
+	} {
+		a := NewArenaShards(1024, 2, tc.in)
+		if got := a.NumFreeShards(); got != tc.want {
+			t.Errorf("NewArenaShards(shards=%d): %d shards, want %d", tc.in, got, tc.want)
+		}
+		if got := a.FreeLen(); got != 1024 {
+			t.Errorf("NewArenaShards(shards=%d): seeded %d free, want 1024", tc.in, got)
+		}
+	}
+}
+
+// TestShardResidueInvariant walks every shard and checks the sharding
+// function: an object only ever lives on the shard its address residue names,
+// and the seeded per-shard counts partition the arena exactly.
+func TestShardResidueInvariant(t *testing.T) {
+	const objects = 1000 // deliberately not a multiple of the shard count
+	a := NewArenaShards(objects, 2, 4)
+
+	var total int64
+	for s := 0; s < a.NumFreeShards(); s++ {
+		total += a.ShardLen(s)
+	}
+	if total != objects {
+		t.Fatalf("shard counts sum to %d, want %d", total, objects)
+	}
+
+	seen := make(map[heapsim.Addr]bool)
+	var buf []heapsim.Addr
+	for s := 0; s < a.NumFreeShards(); s++ {
+		want := a.ShardLen(s)
+		buf = a.popBatchFrom(s, objects, buf[:0])
+		if int64(len(buf)) != want {
+			t.Fatalf("shard %d drained %d objects, count said %d", s, len(buf), want)
+		}
+		for _, o := range buf {
+			if a.shardOf(o) != s {
+				t.Fatalf("object %d (residue %d) found on shard %d", o, a.shardOf(o), s)
+			}
+			if seen[o] {
+				t.Fatalf("object %d linked twice", o)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != objects {
+		t.Fatalf("drained %d distinct objects, want %d", len(seen), objects)
+	}
+}
+
+// TestPopFreeBatchHomeAndSteal pins the scan order: a pop is served by the
+// home shard while it has objects (no steal counted), and falls over to the
+// next shard — counting one steal — only on home exhaustion. The empty result
+// comes only when every shard is empty, preserving the single-list
+// alloc-failure signal.
+func TestPopFreeBatchHomeAndSteal(t *testing.T) {
+	const objects = 64
+	a := NewArenaShards(objects, 2, 4)
+	const home = 1
+
+	var buf []heapsim.Addr
+	// Drain the home shard: every batch comes from residue class 1.
+	homeLen := a.ShardLen(home)
+	for a.ShardLen(home) > 0 {
+		buf = a.PopFreeBatch(home, 4, buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("pop failed with home shard non-empty")
+		}
+		for _, o := range buf {
+			if a.shardOf(o) != home {
+				t.Fatalf("home pop returned object %d from shard %d", o, a.shardOf(o))
+			}
+		}
+	}
+	if homeLen == 0 {
+		t.Fatal("home shard seeded empty")
+	}
+	if got := a.ShardSteals(); got != 0 {
+		t.Fatalf("%d steals while home shard had objects, want 0", got)
+	}
+
+	// Next pop must steal from a sibling shard.
+	buf = a.PopFreeBatch(home, 4, buf[:0])
+	if len(buf) == 0 {
+		t.Fatal("pop failed with sibling shards non-empty")
+	}
+	if a.shardOf(buf[0]) == home {
+		t.Fatal("steal returned a home-shard object after home drain")
+	}
+	if got := a.ShardSteals(); got != 1 {
+		t.Fatalf("steals = %d, want 1", got)
+	}
+
+	// Exhaust everything: only then may the batch come back empty.
+	for {
+		got := a.PopFreeBatch(home, 16, buf[:0])
+		if len(got) == 0 {
+			break
+		}
+	}
+	if a.FreeLen() != 0 {
+		t.Fatalf("free len %d after exhaustion, want 0", a.FreeLen())
+	}
+	if got := a.PopFree(); got != heapsim.Nil {
+		t.Fatalf("PopFree on empty arena returned %d, want Nil", got)
+	}
+}
+
+// TestPushFreeAllShardConservation round-trips the whole arena through the
+// batch push: drain every shard, return everything with PushFreeAll, and
+// require the exact seeded state back — per-shard counts, residue discipline
+// and no duplicates. This is the sweep path's conservation identity.
+func TestPushFreeAllShardConservation(t *testing.T) {
+	const objects = 777
+	a := NewArenaShards(objects, 2, 8)
+	seedLens := make([]int64, a.NumFreeShards())
+	for s := range seedLens {
+		seedLens[s] = a.ShardLen(s)
+	}
+
+	var all []heapsim.Addr
+	var buf []heapsim.Addr
+	for s := 0; s < a.NumFreeShards(); s++ {
+		for {
+			buf = a.popBatchFrom(s, 32, buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			all = append(all, buf...)
+		}
+	}
+	if len(all) != objects || a.FreeLen() != 0 {
+		t.Fatalf("drained %d (free len %d), want %d and 0", len(all), a.FreeLen(), objects)
+	}
+
+	a.PushFreeAll(all)
+	if got := a.FreeLen(); got != objects {
+		t.Fatalf("free len %d after PushFreeAll, want %d", got, objects)
+	}
+	for s := 0; s < a.NumFreeShards(); s++ {
+		if got := a.ShardLen(s); got != seedLens[s] {
+			t.Fatalf("shard %d holds %d after round trip, want %d", s, got, seedLens[s])
+		}
+	}
+	// Full walk: every object exactly once, each on its home shard.
+	seen := make(map[heapsim.Addr]bool)
+	for s := 0; s < a.NumFreeShards(); s++ {
+		for {
+			buf = a.popBatchFrom(s, 64, buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			for _, o := range buf {
+				if a.shardOf(o) != s {
+					t.Fatalf("object %d on shard %d, want %d", o, s, a.shardOf(o))
+				}
+				if seen[o] {
+					t.Fatalf("object %d linked twice", o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+	if len(seen) != objects {
+		t.Fatalf("walked %d objects, want %d", len(seen), objects)
+	}
+}
+
+// TestShardedFreeListConcurrent is the sharded twin of
+// TestArenaFreeListConcurrent: workers with distinct home shards hammer
+// batch pops and batch pushes; at quiescence the list holds every object
+// exactly once.
+func TestShardedFreeListConcurrent(t *testing.T) {
+	const (
+		objects = 4096
+		workers = 8
+		rounds  = 3000
+	)
+	a := NewArenaShards(objects, 2, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(home int) {
+			defer wg.Done()
+			var held []heapsim.Addr
+			for r := 0; r < rounds; r++ {
+				if len(held) < 24 {
+					held = append(held, a.PopFreeBatch(home, 8, nil)...)
+				}
+				if r%3 == 0 && len(held) >= 8 {
+					a.PushFreeAll(held[len(held)-8:])
+					held = held[:len(held)-8]
+				}
+				if r%7 == 0 && len(held) > 0 {
+					a.PushFree(held[len(held)-1])
+					held = held[:len(held)-1]
+				}
+			}
+			a.PushFreeAll(held)
+		}(w)
+	}
+	wg.Wait()
+
+	if got := a.FreeLen(); got != objects {
+		t.Fatalf("free list has %d objects at quiescence, want %d", got, objects)
+	}
+	seen := make(map[heapsim.Addr]bool)
+	var buf []heapsim.Addr
+	for s := 0; s < a.NumFreeShards(); s++ {
+		for {
+			buf = a.popBatchFrom(s, 64, buf[:0])
+			if len(buf) == 0 {
+				break
+			}
+			for _, o := range buf {
+				if a.shardOf(o) != s {
+					t.Fatalf("object %d migrated to shard %d", o, s)
+				}
+				if seen[o] {
+					t.Fatalf("object %d linked twice", o)
+				}
+				seen[o] = true
+			}
+		}
+	}
+	if len(seen) != objects {
+		t.Fatalf("walked %d objects, want %d", len(seen), objects)
+	}
+}
+
+// TestSingleShardZeroPerturbation pins the disabled path: a one-shard arena
+// (the pre-sharding configuration) runs pop/push with zero heap allocations
+// and never counts a shard steal.
+func TestSingleShardZeroPerturbation(t *testing.T) {
+	a := NewArenaShards(1024, 2, -1)
+	var held [8]heapsim.Addr
+	if avg := testing.AllocsPerRun(200, func() {
+		got := a.PopFreeBatch(0, 8, held[:0])
+		a.PushFreeAll(got)
+	}); avg != 0 {
+		t.Fatalf("single-shard pop/push allocates %.1f per op, want 0", avg)
+	}
+	if got := a.ShardSteals(); got != 0 {
+		t.Fatalf("single-shard arena counted %d steals, want 0", got)
+	}
+	if got := a.FreeLen(); got != 1024 {
+		t.Fatalf("free len %d after round trips, want 1024", got)
+	}
+}
+
+// TestFreeShardLayout pins the anti-false-sharing padding: one shard per
+// cache line.
+func TestFreeShardLayout(t *testing.T) {
+	var sh freeShard
+	if size := unsafe.Sizeof(sh); size != 64 {
+		t.Errorf("freeShard size %d, want 64 (one cache line)", size)
+	}
+}

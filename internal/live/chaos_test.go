@@ -53,8 +53,11 @@ func TestChaosMatrix(t *testing.T) {
 		{"safepoint-stall", "live.safepointstall=5:200us"},
 		{"bg-starve", "live.bgstarve=on:1ms"},
 		{"alloc-failure", "live.allocfail=1/2"},
+		{"local-spill", "pool.localspill=1/2"},
+		{"steal-miss", "pool.stealmiss=1/2"},
+		{"refill-stall", "pool.refillstall=1/4:50us"},
 		{"jitter", "jitter=1/8"},
-		{"everything", "pool.exhaust=1/5,pool.cas=1/4,card.cleanstall=1/8:20us,live.tracerstall=8:100us,live.allocfail=1/6,jitter=1/16"},
+		{"everything", "pool.exhaust=1/5,pool.cas=1/4,card.cleanstall=1/8:20us,live.tracerstall=8:100us,live.allocfail=1/6,pool.localspill=1/6,pool.stealmiss=1/6,jitter=1/16"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

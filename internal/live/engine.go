@@ -32,6 +32,21 @@ type Config struct {
 	AllocBatch int // allocation-bit publication batch (Section 5.2)
 	CardPasses int // concurrent cleaning passes per cycle (Section 5.3)
 
+	// LocalCache sizes the per-worker packet caches (workpack.LocalPool):
+	// each tracing goroutine — and, with pacing, each mutator — fronts the
+	// shared pool with a cache of this many packets per class. 0 picks
+	// DefaultLocalCache clamped so the caches together cannot hoard more
+	// than half the pool; negative disables the local tier.
+	LocalCache int
+	// FreeShards is the arena free-list shard count (rounded down to a
+	// power of two, capped at MaxFreeShards). 0 picks DefaultFreeShards;
+	// negative forces a single shard — the pre-sharding layout.
+	FreeShards int
+	// CardBuffer sizes the per-mutator write-barrier card buffers, flushed
+	// at fence handshakes and safepoints. 0 picks the default (64);
+	// negative disables buffering (every barrier dirties the table).
+	CardBuffer int
+
 	Duration   time.Duration // total run length (the last cycle may overrun)
 	IdlePeriod time.Duration // mutator-only churn between cycles
 	BgThrottle time.Duration // sleep between background-tracer packets
@@ -133,6 +148,12 @@ type Engine struct {
 	stats   engineStats
 	cardBuf []int
 
+	// localCap is the resolved per-worker packet cache capacity (0 when the
+	// local tier is disabled); cardBufCap likewise for the write-barrier
+	// card buffers.
+	localCap   int
+	cardBufCap int
+
 	// fi holds the engine's resolved fault points (each nil when disabled).
 	fi engineFaults
 	// memPressure is set by mutators on allocation failure; the driver's
@@ -170,7 +191,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e := &Engine{
 		cfg:   cfg,
-		arena: NewArena(cfg.Objects, cfg.RefsPerObject),
+		arena: NewArenaShards(cfg.Objects, cfg.RefsPerObject, cfg.FreeShards),
 		pool:  workpack.NewPool(cfg.Packets, cfg.PacketCap),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -178,13 +199,24 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Pacing != nil {
 		e.pacer = newLivePacer(*cfg.Pacing, e.arena)
 	}
+	e.localCap = resolveLocalCache(cfg)
+	e.cardBufCap = cfg.CardBuffer
+	if e.cardBufCap == 0 {
+		e.cardBufCap = 64
+	}
+	if e.cardBufCap < 0 {
+		e.cardBufCap = 0
+	}
 	if pl := cfg.Faults; pl != nil {
 		e.pool.InjectFaults(&workpack.PoolFaults{
-			CAS:        pl.Point(faultinject.PoolCAS),
-			Exhaust:    pl.Point(faultinject.PoolExhaust),
-			GetStall:   pl.Point(faultinject.PoolGetStall),
-			PutStall:   pl.Point(faultinject.PoolPutStall),
-			DeferStall: pl.Point(faultinject.PoolDeferStall),
+			CAS:         pl.Point(faultinject.PoolCAS),
+			Exhaust:     pl.Point(faultinject.PoolExhaust),
+			GetStall:    pl.Point(faultinject.PoolGetStall),
+			PutStall:    pl.Point(faultinject.PoolPutStall),
+			DeferStall:  pl.Point(faultinject.PoolDeferStall),
+			LocalSpill:  pl.Point(faultinject.PoolLocalSpill),
+			StealMiss:   pl.Point(faultinject.PoolStealMiss),
+			RefillStall: pl.Point(faultinject.PoolRefillStall),
 		})
 		e.arena.Cards.InjectCleanFault(pl.Point(faultinject.CardCleanStall))
 		e.fi = engineFaults{
@@ -200,6 +232,35 @@ func NewEngine(cfg Config) *Engine {
 		e.muts = append(e.muts, newMutator(e, i))
 	}
 	return e
+}
+
+// resolveLocalCache turns Config.LocalCache into the per-worker cache
+// capacity: negative disables the local tier, zero picks the default, and
+// the result is clamped so the workers' empty caches together cannot park
+// more than half the pool (a floor of one packet keeps tiny chaos configs
+// exercising the tier — worst case they hoard like an exhausted pool, a
+// degradation the overflow paths already survive).
+func resolveLocalCache(cfg Config) int {
+	if cfg.LocalCache < 0 {
+		return 0
+	}
+	c := cfg.LocalCache
+	if c == 0 {
+		c = workpack.DefaultLocalCache
+	}
+	workers := cfg.Tracers + cfg.BgTracers
+	if cfg.Pacing != nil {
+		workers += cfg.Mutators
+	}
+	if workers > 0 {
+		if lim := cfg.Packets / (2 * workers); c > lim {
+			c = lim
+		}
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Arena exposes the engine's heap (tests inspect it after Run).
@@ -382,6 +443,7 @@ func (e *Engine) runCycle() bool {
 	}
 	res := e.runOracle()
 	toFree := e.collectGarbage()
+	e.checkFreeConservation(len(toFree))
 	e.markingActive.Store(false)
 	finalEnd := e.now()
 	e.resumeWorld()
@@ -390,11 +452,12 @@ func (e *Engine) runCycle() bool {
 	e.span("oracle", finalStart, finalEnd)
 
 	// --- Concurrent sweep: garbage is unreachable, so zeroing and
-	// free-listing it races with nothing. ---
+	// free-listing it races with nothing. The batch push costs one CAS per
+	// free-list shard instead of one per object. ---
 	for _, obj := range toFree {
 		e.arena.ZeroSlots(obj)
-		e.arena.PushFree(obj)
 	}
+	e.arena.PushFreeAll(toFree)
 	e.stats.objectsFreed.Add(int64(len(toFree)))
 	sweepEnd := e.now()
 	e.stats.sweepNs.Add(sweepEnd - finalEnd)
@@ -547,11 +610,16 @@ func (e *Engine) scanObject(a heapsim.Addr, tr *workpack.Tracer) bool {
 // lock-free against the shared pool like any tracer's. A budget the pool
 // cannot cover (tracing already drained) is simply underpaid — EndIncrement
 // reports what was done and the progress formula compensates.
-func (e *Engine) payAllocTax(allocObjs int64) {
+func (e *Engine) payAllocTax(m *mutator, allocObjs int64) {
 	b := e.pacer.incrementBudget(e.now(), allocObjs)
 	var done int64
 	if b.Words > 0 {
-		tr := workpack.NewTracer(e.pool)
+		var tr *workpack.Tracer
+		if m.local != nil {
+			tr = workpack.NewLocalTracer(m.local)
+		} else {
+			tr = workpack.NewTracer(e.pool)
+		}
 		for done < b.Words {
 			a, ok := tr.Pop()
 			if !ok {
@@ -634,7 +702,14 @@ func (e *Engine) forceFences() bool {
 // processor to mutators.
 func (e *Engine) traceLoop(id int, bg bool) {
 	defer e.wg.Done()
-	tr := workpack.NewTracer(e.pool)
+	var lp *workpack.LocalPool
+	var tr *workpack.Tracer
+	if e.localCap > 0 {
+		lp = e.pool.NewLocal(e.localCap)
+		tr = workpack.NewLocalTracer(lp)
+	} else {
+		tr = workpack.NewTracer(e.pool)
+	}
 	idle := 20 * time.Microsecond
 	if bg {
 		idle = e.cfg.BgThrottle
@@ -687,7 +762,36 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			time.Sleep(e.cfg.BgThrottle / 4)
 		}
 	}
+	// Every exit path — normal shutdown or a wedge abort — returns the
+	// held packets and spills the whole local cache, so post-run quiescence
+	// checks account for every packet in the global pool.
 	tr.Release()
+	if lp != nil {
+		lp.Flush()
+	}
+}
+
+// checkFreeConservation verifies, with the world stopped at the end of a
+// cycle's STW final phase, that every arena object is in exactly one place:
+// on a free-list shard, in the garbage batch about to be swept, published
+// (alloc bit set), or parked in a mutator's allocation cache. Mutator caches
+// are safe to read — their owners parked under mu after their last write —
+// and pending batches are empty because every mutator publishes on the way
+// into the safepoint. A mismatch means a shard lost or duplicated objects
+// and is reported as an oracle violation.
+func (e *Engine) checkFreeConservation(pendingFree int) {
+	free := e.arena.FreeLen()
+	allocated := int64(e.arena.Alloc.Count())
+	var cached int64
+	for _, m := range e.muts {
+		cached += int64(len(m.cache))
+	}
+	got := free + int64(pendingFree) + allocated + cached
+	if got != int64(e.arena.numObjects) {
+		e.violation(
+			"cycle %d: free-list conservation: free %d + pending %d + allocated %d + cached %d = %d, want %d",
+			e.report.Cycles, free, pendingFree, allocated, cached, got, e.arena.numObjects)
+	}
 }
 
 // newRNG hands each worker an independent deterministic stream.

@@ -103,6 +103,58 @@ func TestEngineShortRun(t *testing.T) {
 	}
 }
 
+// TestEngineShardingTiers runs the engine with each sharding tier forced on
+// and forced off: both configurations must pass the oracle and the
+// conservation checks, the sharded run must actually exercise the tiers
+// (nonzero local hits, buffer flushes) and the unsharded run must not touch
+// them at all (the pre-sharding behavior is still reachable).
+func TestEngineShardingTiers(t *testing.T) {
+	base := Config{
+		Objects:  1 << 12,
+		Mutators: 3,
+		Tracers:  2,
+		Duration: 300 * time.Millisecond,
+		Seed:     11,
+	}
+	t.Run("sharded", func(t *testing.T) {
+		cfg := base
+		cfg.LocalCache, cfg.FreeShards, cfg.CardBuffer = 4, 4, 32
+		e := NewEngine(cfg)
+		rep := e.Run()
+		if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+			t.Fatalf("sharded: lost=%d %v", rep.LostObjects, rep.Violations)
+		}
+		if e.Arena().NumFreeShards() != 4 {
+			t.Fatalf("free shards = %d, want 4", e.Arena().NumFreeShards())
+		}
+		if rep.PoolLocalHits == 0 {
+			t.Error("local packet caches never hit")
+		}
+		if rep.CardBufferFlushes == 0 {
+			t.Error("card buffers never flushed")
+		}
+		if ce, cr := e.Pool().LocalCached(); ce != 0 || cr != 0 {
+			t.Fatalf("local caches hold %d empty + %d ready after Run, want 0", ce, cr)
+		}
+	})
+	t.Run("unsharded", func(t *testing.T) {
+		cfg := base
+		cfg.LocalCache, cfg.FreeShards, cfg.CardBuffer = -1, -1, -1
+		e := NewEngine(cfg)
+		rep := e.Run()
+		if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+			t.Fatalf("unsharded: lost=%d %v", rep.LostObjects, rep.Violations)
+		}
+		if e.Arena().NumFreeShards() != 1 {
+			t.Fatalf("free shards = %d, want 1", e.Arena().NumFreeShards())
+		}
+		if sum := rep.PoolLocalHits + rep.PoolSteals + rep.PoolSpills +
+			rep.ArenaShardSteals + rep.CardBufferFlushes; sum != 0 {
+			t.Fatalf("disabled tiers still counted traffic: %+v", rep)
+		}
+	})
+}
+
 // Each workload shape runs clean.
 func TestEngineShapes(t *testing.T) {
 	for _, shape := range []string{"mixed", "churn", "pointer"} {

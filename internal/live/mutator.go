@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"mcgc/internal/cardtable"
 	"mcgc/internal/heapsim"
+	"mcgc/internal/workpack"
 )
 
 // opKind enumerates the mutator operations the workload shapes weight.
@@ -54,6 +56,16 @@ type mutator struct {
 	cache   []heapsim.Addr
 	pending []heapsim.Addr
 
+	// home is this mutator's free-list shard: refills batch-pop from it and
+	// steal from the other shards only on exhaustion.
+	home int
+	// cardBuf batches the write barrier's card stores; nil dirties the
+	// shared table directly. It is flushed before every park and fence ack.
+	cardBuf *cardtable.DirtyBuffer
+	// local is the packet cache behind this mutator's allocation-tax
+	// tracing (nil without pacing or with the local tier disabled).
+	local *workpack.LocalPool
+
 	lastEpoch int64
 	ackEpoch  atomic.Int64
 	exited    atomic.Bool
@@ -68,6 +80,13 @@ func newMutator(e *Engine, id int) *mutator {
 		id:    id,
 		rng:   e.newRNG(100 + id),
 		roots: make([]atomic.Uint32, e.cfg.RootsPerMutator),
+		home:  id,
+	}
+	if e.cardBufCap > 0 {
+		m.cardBuf = e.arena.Cards.NewDirtyBuffer(e.cardBufCap)
+	}
+	if e.pacer != nil && e.localCap > 0 {
+		m.local = e.pool.NewLocal(e.localCap)
 	}
 	w := shapeWeights(e.cfg.Shape)
 	sum := 0
@@ -91,12 +110,15 @@ func (m *mutator) run() {
 			runtime.Gosched()
 		}
 	}
-	// Exit: publish what is installed, return the uninstalled cache.
+	// Exit: publish what is installed, flush the buffered cards, return the
+	// uninstalled cache in one batch and spill the packet cache.
 	m.publish()
-	for _, obj := range m.cache {
-		m.e.arena.PushFree(obj)
-	}
+	m.cardBuf.Flush()
+	m.e.arena.PushFreeAll(m.cache)
 	m.cache = nil
+	if m.local != nil {
+		m.local.Flush()
+	}
 	m.e.stats.mutatorOps.Add(m.ops)
 	m.exited.Store(true)
 	m.e.mu.Lock()
@@ -117,6 +139,7 @@ func (m *mutator) maybePark() {
 	// cannot proceed until the last straggler parks.
 	m.e.fi.safepointStall.Stall()
 	m.publish()
+	m.cardBuf.Flush()
 	m.e.mu.Lock()
 	m.e.parked++
 	m.e.cond.Broadcast()
@@ -134,6 +157,10 @@ func (m *mutator) maybeAck() {
 	if epoch := m.e.fenceEpoch.Load(); epoch != m.lastEpoch {
 		m.lastEpoch = epoch
 		m.publish()
+		// The handshake is also the card buffer's bound: a registered card
+		// set is rescanned only after every mutator acked, so flushing here
+		// guarantees buffered dirt never outlives one cleaning pass.
+		m.cardBuf.Flush()
 		// A delay here holds the driver's forceFences spin mid-handshake:
 		// the batch above is published but the ack is withheld.
 		m.e.fi.fenceDelay.Stall()
@@ -230,13 +257,7 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 		if m.e.fi.allocFail.Fire() {
 			return heapsim.Nil
 		}
-		for i := 0; i < m.e.cfg.AllocBatch; i++ {
-			obj := m.e.arena.PopFree()
-			if obj == heapsim.Nil {
-				break
-			}
-			m.cache = append(m.cache, obj)
-		}
+		m.cache = m.e.arena.PopFreeBatch(m.home, m.e.cfg.AllocBatch, m.cache[:0])
 		if len(m.cache) == 0 {
 			return heapsim.Nil
 		}
@@ -246,7 +267,7 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 		// while the world is stopped, so its value is stable for the whole
 		// tax payment.
 		if m.e.pacer != nil && m.e.markingActive.Load() {
-			m.e.payAllocTax(int64(len(m.cache)))
+			m.e.payAllocTax(m, int64(len(m.cache)))
 		}
 	}
 	obj := m.cache[len(m.cache)-1]
@@ -260,7 +281,11 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 func (m *mutator) store(c heapsim.Addr, j int, v heapsim.Addr) {
 	m.e.arena.StoreRef(c, j, v)
 	if m.e.markingActive.Load() {
-		m.e.arena.Cards.DirtyObjectAtomic(c)
+		if m.cardBuf != nil {
+			m.cardBuf.DirtyObject(c)
+		} else {
+			m.e.arena.Cards.DirtyObjectAtomic(c)
+		}
 	}
 }
 

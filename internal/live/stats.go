@@ -78,6 +78,17 @@ type Report struct {
 	PoolReturnFences   int64
 	TracerSwapFallback int64
 
+	// Sharding-tier counters: the local packet caches (hits, steals from
+	// sibling caches, batch spills to the global pool), the free-list
+	// shards (batch pops served by a non-home shard) and the write-barrier
+	// card buffers (non-empty flushes).
+	PoolLocalHits     int64
+	PoolSteals        int64
+	PoolSpills        int64
+	PoolRefills       int64
+	ArenaShardSteals  int64
+	CardBufferFlushes int64
+
 	LiveAtEnd     int
 	FloatingTotal int64
 	FloatingMax   int64
@@ -198,7 +209,15 @@ func (e *Engine) finishReport() {
 	r.PoolCASRetries = ps.CASRetries.Load()
 	r.PoolMaxInUse = ps.MaxInUse.Load()
 	r.PoolReturnFences = ps.ReturnFences.Load()
-	r.FreeListRetries = e.arena.FreeListRetries.Load()
+	r.FreeListRetries = e.arena.FreeListRetries()
+
+	ls := e.pool.LocalStatsSum()
+	r.PoolLocalHits = ls.Hits
+	r.PoolSteals = ls.Steals
+	r.PoolSpills = ls.Spills
+	r.PoolRefills = ls.Refills
+	r.ArenaShardSteals = e.arena.ShardSteals()
+	r.CardBufferFlushes = cs.BufferFlushes.Load()
 
 	e.flushTelemetry()
 }
@@ -228,6 +247,10 @@ func (r Report) String() string {
 		r.STWCount, r.STWTotal.Round(time.Microsecond), r.STWMax.Round(time.Microsecond),
 		r.MarkTotal.Round(time.Microsecond), r.SweepTotal.Round(time.Microsecond),
 		oracle)
+	if r.PoolLocalHits+r.PoolSteals+r.PoolSpills+r.ArenaShardSteals+r.CardBufferFlushes > 0 {
+		out += fmt.Sprintf("\nsharding: local hits %d  steals %d  spills %d (refills %d)  shard steals %d  card flushes %d",
+			r.PoolLocalHits, r.PoolSteals, r.PoolSpills, r.PoolRefills, r.ArenaShardSteals, r.CardBufferFlushes)
+	}
 	if r.PacingEnabled {
 		out += fmt.Sprintf("\npacing: kickoffs %d  increments %d  K first %.2f  last %.2f  range [%.2f, %.2f]  corrective max %.2f",
 			r.Kickoffs, r.PacedIncrements, r.KFirst, r.KLast, r.KMin, r.KMax, r.CorrectiveMax)

@@ -93,6 +93,11 @@ func (e *Engine) flushTelemetry() {
 	set("pool.cas_retries", r.PoolCASRetries)
 	set("pool.return_fences", r.PoolReturnFences)
 	set("pool.max_in_use", r.PoolMaxInUse)
+	set("pool.local_hits", r.PoolLocalHits)
+	set("pool.steals", r.PoolSteals)
+	set("pool.spills", r.PoolSpills)
+	set("arena.shard_steals", r.ArenaShardSteals)
+	set("card.buffer_flushes", r.CardBufferFlushes)
 	set("live.freelist_retries", r.FreeListRetries)
 	set("live.pressure_kicks", r.PressureKicks)
 	set("cards.direct_dirties", r.DirectDirties)

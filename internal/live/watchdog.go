@@ -50,10 +50,15 @@ func (w *wedgeWatch) stalled() bool {
 func (e *Engine) traceProgress() int64 {
 	s := &e.stats
 	ps := &e.pool.Stats
+	ls := e.pool.LocalStatsSum()
 	return s.marks.Load() + s.scans.Load() + s.rescans.Load() +
 		s.deferred.Load() + s.deferredDrains.Load() +
 		s.overflows.Load() + s.deferOverflows.Load() +
-		ps.Gets.Load() + ps.Puts.Load()
+		ps.Gets.Load() + ps.Puts.Load() +
+		// Local-tier traffic is progress too: a tracer living entirely off
+		// its cache (hits) or off siblings (steals) never touches the
+		// global Gets/Puts counters.
+		ls.Hits + ls.Steals + ls.Spills + ls.Refills
 }
 
 // abortWedged is the fail-loudly path: capture a diagnosis while the wedged
@@ -92,11 +97,16 @@ func (e *Engine) wedgeDiagnosis(phase string) string {
 	for s := workpack.SubPool(0); s < workpack.NumSubPools; s++ {
 		fmt.Fprintf(&b, " %s %d", s, occ[s])
 	}
-	fmt.Fprintf(&b, "; checked out %d; entries in flight %d\n",
-		e.pool.TotalPackets()-inPools, e.pool.EntriesInUse())
+	cachedEmpty, cachedReady := e.pool.LocalCached()
+	fmt.Fprintf(&b, "; locally cached %d empty + %d ready; checked out %d; entries in flight %d\n",
+		cachedEmpty, cachedReady,
+		int64(e.pool.TotalPackets())-int64(inPools)-cachedEmpty-cachedReady,
+		e.pool.EntriesInUse())
 	ps := &e.pool.Stats
-	fmt.Fprintf(&b, "  pool ops: gets %d  puts %d  CAS retries %d\n",
-		ps.Gets.Load(), ps.Puts.Load(), ps.CASRetries.Load())
+	ls := e.pool.LocalStatsSum()
+	fmt.Fprintf(&b, "  pool ops: gets %d  puts %d  CAS retries %d  local hits %d  steals %d  spills %d\n",
+		ps.Gets.Load(), ps.Puts.Load(), ps.CASRetries.Load(),
+		ls.Hits, ls.Steals, ls.Spills)
 
 	s := &e.stats
 	fmt.Fprintf(&b, "  trace: marks %d  scans %d  rescans %d  deferred %d (drains %d)  overflows %d (defer %d)\n",
@@ -118,8 +128,9 @@ func (e *Engine) wedgeDiagnosis(phase string) string {
 	fmt.Fprintf(&b, "  cards: dirty now %d; registered %d  cleaned %d  direct dirties %d\n",
 		e.arena.Cards.CountDirtyAtomic(), cs.CardsRegistered.Load(),
 		cs.CardsCleaned.Load(), cs.DirectDirties.Load())
-	fmt.Fprintf(&b, "  heap: free list %d of %d objects\n",
-		e.arena.FreeLen(), e.arena.NumObjects())
+	fmt.Fprintf(&b, "  heap: free list %d of %d objects (%d shards, %d shard steals)\n",
+		e.arena.FreeLen(), e.arena.NumObjects(),
+		e.arena.NumFreeShards(), e.arena.ShardSteals())
 
 	if snap := e.cfg.Faults.Snapshot(); len(snap) > 0 {
 		fmt.Fprintf(&b, "  faults (spec %q seed %d):", e.cfg.Faults.String(), e.cfg.Faults.Seed())

@@ -15,11 +15,14 @@ func poolWithFaults(t *testing.T, packets, capacity int, spec string) (*Pool, *f
 	plan := faultinject.MustParse(spec, 7)
 	p := NewPool(packets, capacity)
 	p.InjectFaults(&PoolFaults{
-		CAS:        plan.Point(faultinject.PoolCAS),
-		Exhaust:    plan.Point(faultinject.PoolExhaust),
-		GetStall:   plan.Point(faultinject.PoolGetStall),
-		PutStall:   plan.Point(faultinject.PoolPutStall),
-		DeferStall: plan.Point(faultinject.PoolDeferStall),
+		CAS:         plan.Point(faultinject.PoolCAS),
+		Exhaust:     plan.Point(faultinject.PoolExhaust),
+		GetStall:    plan.Point(faultinject.PoolGetStall),
+		PutStall:    plan.Point(faultinject.PoolPutStall),
+		DeferStall:  plan.Point(faultinject.PoolDeferStall),
+		LocalSpill:  plan.Point(faultinject.PoolLocalSpill),
+		StealMiss:   plan.Point(faultinject.PoolStealMiss),
+		RefillStall: plan.Point(faultinject.PoolRefillStall),
 	})
 	return p, plan
 }
@@ -197,6 +200,104 @@ func TestPoolDeferStallRecirculation(t *testing.T) {
 		t.Fatal("no deferred entries filed")
 	}
 	checkQuiescent(t, p, packets)
+}
+
+// TestPoolForcedLocalSpill arms the local-spill fault at full rate: every
+// put through a LocalPool must go straight to the global pool, so the caches
+// stay empty and the tier degrades to exactly the pre-sharding behavior —
+// with the degradation visible in the spill counter.
+func TestPoolForcedLocalSpill(t *testing.T) {
+	const packets = 16
+	p, plan := poolWithFaults(t, packets, 4, "pool.localspill=on")
+	lp := p.NewLocal(4)
+
+	for i := 0; i < 50; i++ {
+		pkt := lp.GetOutput()
+		if pkt == nil {
+			t.Fatal("GetOutput failed")
+		}
+		if i%2 == 0 {
+			pkt.Push(heapsim.Addr(i + 1))
+			lp.Put(pkt)
+			// A forced ready-put bypasses the steal window entirely.
+			if lp.CachedReady() != 0 {
+				t.Fatalf("round %d: forced spill parked a ready packet", i)
+			}
+			// The spilled ready packet is in the global pool; drain it so the
+			// next round starts clean.
+			in := p.GetInput()
+			in.Pop()
+			p.Put(in)
+		} else {
+			lp.Put(pkt)
+			// A forced empty-put dumps the whole cache (refills may restock
+			// it on the next get, but a put never leaves anything behind).
+			if lp.CachedEmpty() != 0 {
+				t.Fatalf("round %d: forced spill left %d empties cached",
+					i, lp.CachedEmpty())
+			}
+		}
+	}
+	if plan.Point(faultinject.PoolLocalSpill).Fires() == 0 {
+		t.Fatal("local-spill fault never fired")
+	}
+	if lp.Stats.Spills.Load() == 0 {
+		t.Fatal("forced spills not accounted")
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestPoolForcedStealMiss parks work in a local steal window and arms the
+// steal-miss fault: Pool.GetInput must come back empty-handed even though a
+// sibling holds a stealable packet — the degradation TracingDone's
+// conservative accounting must survive (the cached packet still holds
+// termination off).
+func TestPoolForcedStealMiss(t *testing.T) {
+	p, plan := poolWithFaults(t, 8, 4, "pool.stealmiss=on")
+	victim := p.NewLocal(4)
+
+	pkt := victim.GetOutput()
+	pkt.Push(heapsim.Addr(7))
+	victim.Put(pkt)
+	if victim.CachedReady() != 1 {
+		t.Fatalf("victim caches %d ready, want 1", victim.CachedReady())
+	}
+	if got := p.GetInput(); got != nil {
+		t.Fatalf("GetInput returned packet %d despite forced steal miss", got.ID())
+	}
+	if plan.Point(faultinject.PoolStealMiss).Fires() == 0 {
+		t.Fatal("steal-miss fault never fired")
+	}
+	if p.TracingDone() {
+		t.Fatal("steal miss faked termination — cached ready packet not accounted")
+	}
+	// The owner's own window read is not a steal and must still work.
+	if got := victim.GetInput(); got != pkt {
+		t.Fatal("owner could not reclaim its own ready packet under steal miss")
+	}
+	pkt.Pop()
+	victim.Put(pkt)
+	victim.Flush()
+	checkQuiescent(t, p, 8)
+}
+
+// TestPoolRefillStallSurvives stalls every batch refill and checks the local
+// get path still completes (slowly) with the batch accounting intact.
+func TestPoolRefillStallSurvives(t *testing.T) {
+	p, plan := poolWithFaults(t, 8, 4, "pool.refillstall=on:50us")
+	lp := p.NewLocal(4)
+	for i := 0; i < 5; i++ {
+		pkt := lp.GetOutput()
+		if pkt == nil {
+			t.Fatal("GetOutput failed under refill stall")
+		}
+		lp.Put(pkt)
+		lp.Flush() // force the next get back through refill
+	}
+	if plan.Point(faultinject.PoolRefillStall).Fires() == 0 {
+		t.Fatal("refill stall never fired")
+	}
+	checkQuiescent(t, p, 8)
 }
 
 // TestPoolFaultsDisabledZeroImpact verifies the nil-discipline end to end at

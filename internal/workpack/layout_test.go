@@ -1,0 +1,65 @@
+package workpack
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestPoolStatsLayout pins the memory layout the padding comments promise.
+// The Stats block's counters live at fixed offsets from the start of Pool so
+// the hot words stay on the cache lines the comments describe; the faults
+// pointer and the local-tier accounting words sit strictly after the whole
+// Stats block, so arming fault injection or registering local caches cannot
+// shift a counter's line. If a field is added or reordered, this test fails
+// before a benchmark silently regresses.
+func TestPoolStatsLayout(t *testing.T) {
+	var s PoolStats
+	for _, f := range []struct {
+		name string
+		off  uintptr
+		want uintptr
+	}{
+		{"CASAttempts", unsafe.Offsetof(s.CASAttempts), 0},
+		{"CASRetries", unsafe.Offsetof(s.CASRetries), 8},
+		{"Gets", unsafe.Offsetof(s.Gets), 16},
+		{"Puts", unsafe.Offsetof(s.Puts), 24},
+		{"ReturnFences", unsafe.Offsetof(s.ReturnFences), 32},
+		{"MaxInUse", unsafe.Offsetof(s.MaxInUse), 40},
+		{"MaxSlotsInUse", unsafe.Offsetof(s.MaxSlotsInUse), 48},
+		{"entriesInUse", unsafe.Offsetof(s.entriesInUse), 56},
+	} {
+		if f.off != f.want {
+			t.Errorf("PoolStats.%s at offset %d, want %d", f.name, f.off, f.want)
+		}
+	}
+	if size := unsafe.Sizeof(s); size != 64 {
+		t.Errorf("PoolStats size %d, want 64 (one cache line)", size)
+	}
+
+	var p Pool
+	stats := unsafe.Offsetof(p.Stats)
+	if faults := unsafe.Offsetof(p.faults); faults < stats+unsafe.Sizeof(s) {
+		t.Errorf("faults at %d overlaps or precedes the Stats block [%d, %d)",
+			faults, stats, stats+unsafe.Sizeof(s))
+	}
+	for _, f := range []struct {
+		name string
+		off  uintptr
+	}{
+		{"localEmpty", unsafe.Offsetof(p.localEmpty)},
+		{"localReady", unsafe.Offsetof(p.localReady)},
+		{"steals", unsafe.Offsetof(p.steals)},
+	} {
+		if f.off < stats+unsafe.Sizeof(s) {
+			t.Errorf("local-tier word %s at %d shifts the Stats block [%d, %d)",
+				f.name, f.off, stats, stats+unsafe.Sizeof(s))
+		}
+	}
+
+	// Each sub-pool occupies one full cache line so adjacent heads never
+	// false-share.
+	var sp subPool
+	if size := unsafe.Sizeof(sp); size != 64 {
+		t.Errorf("subPool size %d, want 64", size)
+	}
+}

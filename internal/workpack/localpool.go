@@ -1,0 +1,317 @@
+package workpack
+
+// The local packet tier: a bounded per-worker cache in front of the global
+// sub-pools. The paper's occupancy-ranged sub-pool split (Section 4.2)
+// generalises per worker — each tracing or allocating thread keeps a few
+// empty packets (its private Empty class) and a few non-empty packets (its
+// private Nonempty/AlmostFull class), so the common get/put cycle touches no
+// shared cache line at all. The global pool stays the home of every packet:
+// locals refill and spill in batches of K packets per CAS, and cached
+// non-empty packets are exposed in per-slot steal windows that any thread can
+// claim through Pool.GetInput, so no worker idles — or declares termination —
+// while a sibling hoards work.
+
+import "sync/atomic"
+
+// DefaultLocalCache is the per-class cache capacity a LocalPool gets when
+// the caller does not choose one.
+const DefaultLocalCache = 4
+
+// maxReadySlots bounds the per-worker steal window: non-empty packets beyond
+// this many go straight back to the global pool.
+const maxReadySlots = 4
+
+// LocalStats counts one worker's local-tier traffic. All fields are written
+// by the owner (except Stolen, written by thieves), so the atomics are
+// uncontended; Pool.LocalStatsSum aggregates across workers.
+type LocalStats struct {
+	Hits    atomic.Int64 // gets satisfied from this worker's own cache
+	Spills  atomic.Int64 // packets batch-returned to the global pool
+	Refills atomic.Int64 // batch refills taken from the global Empty sub-pool
+	Stolen  atomic.Int64 // packets siblings claimed from this cache
+}
+
+// LocalStatsSum is the pool-wide aggregate of the local tier's counters.
+type LocalStatsSum struct {
+	Hits    int64 // local cache hits across all workers
+	Steals  int64 // packets claimed from sibling caches
+	Spills  int64 // packets batch-spilled to the global pool
+	Refills int64 // batch refills from the global Empty sub-pool
+}
+
+// LocalPool is one worker's bounded packet cache. All methods except the
+// steal window are owner-only; the ready slots are single-producer (the
+// owner stores) and multi-consumer (owner and thieves claim by CAS).
+type LocalPool struct {
+	pool *Pool
+	cap  int
+
+	// empty is the owner-only LIFO of cached empty packets.
+	empty []*Packet
+	// scratch is the owner-only batch buffer for refills and spills.
+	scratch []*Packet
+	// ready exposes cached non-empty packets to thieves: each slot holds a
+	// packet index biased by one, zero meaning free. The owner's entry
+	// writes happen-before the slot store, and a claimant's CAS
+	// happens-before its entry reads, so packet contents transfer safely.
+	ready []atomic.Int32
+
+	Stats LocalStats
+}
+
+// NewLocal creates a local cache of the given per-class capacity
+// (DefaultLocalCache if capacity is zero or negative) and registers it for
+// stealing. Locals are never unregistered; a flushed local is an empty steal
+// window, so long-lived pools should create one per worker, not per task.
+func (p *Pool) NewLocal(capacity int) *LocalPool {
+	if capacity < 1 {
+		capacity = DefaultLocalCache
+	}
+	slots := capacity
+	if slots > maxReadySlots {
+		slots = maxReadySlots
+	}
+	lp := &LocalPool{
+		pool:    p,
+		cap:     capacity,
+		empty:   make([]*Packet, 0, capacity+1),
+		scratch: make([]*Packet, 0, capacity+1),
+		ready:   make([]atomic.Int32, slots),
+	}
+	p.localsMu.Lock()
+	old := p.locals.Load()
+	var next []*LocalPool
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, lp)
+	p.locals.Store(&next)
+	p.localsMu.Unlock()
+	return lp
+}
+
+// Pool returns the global pool this cache fronts.
+func (lp *LocalPool) Pool() *Pool { return lp.pool }
+
+// Cap returns the per-class cache capacity.
+func (lp *LocalPool) Cap() int { return lp.cap }
+
+// takeReady claims a packet from the owner's own steal window (the owner
+// competes with thieves by the same CAS).
+func (lp *LocalPool) takeReady() *Packet {
+	for i := range lp.ready {
+		id := lp.ready[i].Load()
+		if id != 0 && lp.ready[i].CompareAndSwap(id, 0) {
+			lp.pool.localReady.Add(-1)
+			return &lp.pool.packets[id-1]
+		}
+	}
+	return nil
+}
+
+// takeEmpty pops a cached empty packet. The pool-level counter is
+// decremented before the packet leaves the cache so TracingDone can only
+// undercount (delay), never overcount (fake) termination.
+func (lp *LocalPool) takeEmpty() *Packet {
+	n := len(lp.empty)
+	if n == 0 {
+		return nil
+	}
+	lp.pool.localEmpty.Add(-1)
+	pkt := lp.empty[n-1]
+	lp.empty = lp.empty[:n-1]
+	return pkt
+}
+
+// refill batch-pops up to cap/2+1 packets from the global Empty sub-pool
+// with one CAS, returning the first and caching the rest.
+func (lp *LocalPool) refill() *Packet {
+	p := lp.pool
+	if f := p.faults; f != nil {
+		f.RefillStall.Stall()
+		if f.Exhaust.Fire() {
+			return nil
+		}
+	}
+	want := lp.cap/2 + 1
+	if room := lp.cap - len(lp.empty); want > room+1 {
+		want = room + 1
+	}
+	lp.scratch = p.popBatchFrom(Empty, want, lp.scratch[:0])
+	got := len(lp.scratch)
+	if got == 0 {
+		return nil
+	}
+	p.Stats.Gets.Add(int64(got))
+	lp.Stats.Refills.Add(1)
+	pkt := lp.scratch[0]
+	lp.empty = append(lp.empty, lp.scratch[1:]...)
+	if got > 1 {
+		p.localEmpty.Add(int64(got - 1))
+	}
+	p.noteUsage()
+	return pkt
+}
+
+// GetInput obtains a packet to trace from: the worker's own steal window
+// first, then the global pool (which itself falls back to stealing from
+// siblings).
+func (lp *LocalPool) GetInput() *Packet {
+	if pkt := lp.takeReady(); pkt != nil {
+		lp.Stats.Hits.Add(1)
+		return pkt
+	}
+	return lp.pool.GetInput()
+}
+
+// GetOutput obtains a packet to push new work into: the local empty cache,
+// then a batch refill from the global Empty sub-pool, then the global
+// lowest-occupancy scan.
+func (lp *LocalPool) GetOutput() *Packet {
+	if pkt := lp.takeEmpty(); pkt != nil {
+		lp.Stats.Hits.Add(1)
+		return pkt
+	}
+	if pkt := lp.refill(); pkt != nil {
+		return pkt
+	}
+	return lp.pool.GetOutput()
+}
+
+// GetEmpty obtains an empty packet from the local cache or, in a batch, from
+// the global Empty sub-pool.
+func (lp *LocalPool) GetEmpty() *Packet {
+	if pkt := lp.takeEmpty(); pkt != nil {
+		lp.Stats.Hits.Add(1)
+		return pkt
+	}
+	return lp.refill()
+}
+
+// Put returns a packet to the local tier: empties into the bounded empty
+// cache (spilling a batch when full), non-empties into the steal window
+// (going global when the window is full).
+func (lp *LocalPool) Put(pkt *Packet) {
+	if pkt.pool != lp.pool {
+		panic("workpack: packet returned to a foreign pool")
+	}
+	if pkt.Empty() {
+		lp.putEmpty(pkt)
+		return
+	}
+	lp.putReady(pkt)
+}
+
+// PutDeferred passes deferred packets straight through: the Deferred
+// sub-pool is scanned globally by DrainDeferred, so caching it locally would
+// only hide unsafe objects from recirculation.
+func (lp *LocalPool) PutDeferred(pkt *Packet) { lp.pool.PutDeferred(pkt) }
+
+func (lp *LocalPool) putEmpty(pkt *Packet) {
+	p := lp.pool
+	forced := false
+	if f := p.faults; f != nil && f.LocalSpill.Fire() {
+		forced = true
+	}
+	if !forced && len(lp.empty) < lp.cap {
+		lp.empty = append(lp.empty, pkt)
+		p.localEmpty.Add(1)
+		return
+	}
+	// Spill the incoming packet plus half the cache in one batch push. A
+	// forced spill (fault injection) dumps the whole cache — the local-spill
+	// storm degradation.
+	lp.scratch = append(lp.scratch[:0], pkt)
+	drop := lp.cap / 2
+	if forced {
+		drop = len(lp.empty)
+	}
+	for i := 0; i < drop && len(lp.empty) > 0; i++ {
+		n := len(lp.empty)
+		lp.scratch = append(lp.scratch, lp.empty[n-1])
+		lp.empty = lp.empty[:n-1]
+	}
+	if cached := len(lp.scratch) - 1; cached > 0 {
+		p.localEmpty.Add(-int64(cached))
+	}
+	p.pushBatchTo(Empty, lp.scratch)
+	p.Stats.Puts.Add(int64(len(lp.scratch)))
+	lp.Stats.Spills.Add(int64(len(lp.scratch)))
+}
+
+func (lp *LocalPool) putReady(pkt *Packet) {
+	p := lp.pool
+	if f := p.faults; f == nil || !f.LocalSpill.Fire() {
+		for i := range lp.ready {
+			if lp.ready[i].Load() == 0 {
+				p.localReady.Add(1)
+				lp.ready[i].Store(pkt.id + 1)
+				return
+			}
+		}
+	}
+	// Window full (or spill forced): hand the packet to the global pool,
+	// which counts the publication fence.
+	p.Put(pkt)
+	lp.Stats.Spills.Add(1)
+}
+
+// Flush returns every cached packet to the global pool. Workers call it on
+// every exit path so post-run quiescence checks see the whole pool; the
+// local remains registered and usable afterwards.
+func (lp *LocalPool) Flush() {
+	p := lp.pool
+	for {
+		pkt := lp.takeReady()
+		if pkt == nil {
+			break
+		}
+		p.Put(pkt)
+	}
+	if n := len(lp.empty); n > 0 {
+		p.localEmpty.Add(-int64(n))
+		lp.scratch = append(lp.scratch[:0], lp.empty...)
+		lp.empty = lp.empty[:0]
+		p.pushBatchTo(Empty, lp.scratch)
+		p.Stats.Puts.Add(int64(n))
+		lp.Stats.Spills.Add(int64(n))
+	}
+}
+
+// CachedEmpty returns the number of empty packets currently cached.
+func (lp *LocalPool) CachedEmpty() int { return len(lp.empty) }
+
+// CachedReady returns the number of packets currently in the steal window
+// (racy: thieves may claim concurrently).
+func (lp *LocalPool) CachedReady() int {
+	n := 0
+	for i := range lp.ready {
+		if lp.ready[i].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LocalCached returns the pool-wide counts of packets parked in local
+// caches: empty-class and ready-class. Estimates while threads run, exact at
+// quiescence.
+func (p *Pool) LocalCached() (empty, ready int64) {
+	return p.localEmpty.Load(), p.localReady.Load()
+}
+
+// LocalStatsSum aggregates the local tier's counters across every registered
+// local cache plus the pool-level steal count.
+func (p *Pool) LocalStatsSum() LocalStatsSum {
+	sum := LocalStatsSum{Steals: p.steals.Load()}
+	lps := p.locals.Load()
+	if lps == nil {
+		return sum
+	}
+	for _, lp := range *lps {
+		sum.Hits += lp.Stats.Hits.Load()
+		sum.Spills += lp.Stats.Spills.Load()
+		sum.Refills += lp.Stats.Refills.Load()
+	}
+	return sum
+}

@@ -1,0 +1,360 @@
+package workpack
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"mcgc/internal/heapsim"
+)
+
+// flushAll returns every registered local cache's packets to the global pool.
+func flushAll(p *Pool) {
+	if lps := p.locals.Load(); lps != nil {
+		for _, lp := range *lps {
+			lp.Flush()
+		}
+	}
+}
+
+// checkLocalQuiescent asserts the extended quiescence invariants of a pool
+// with local caches still holding packets: every packet is in exactly one
+// place (a global sub-pool or a local cache), and after flushing the locals
+// the classic global invariants (all packets pooled, Gets == Puts) hold.
+func checkLocalQuiescent(t *testing.T, p *Pool, packets int) {
+	t.Helper()
+	inPools := 0
+	for s := SubPool(0); s < NumSubPools; s++ {
+		inPools += p.Count(s)
+	}
+	cachedEmpty, cachedReady := p.LocalCached()
+	if got := int64(inPools) + cachedEmpty + cachedReady; got != int64(packets) {
+		t.Fatalf("pooled %d + cached %d empty + %d ready = %d, want %d",
+			inPools, cachedEmpty, cachedReady, got, packets)
+	}
+	flushAll(p)
+	checkQuiescent(t, p, packets)
+}
+
+// TestLocalPoolCacheCycle drives the owner-only fast path: after the first
+// refill, a get/put cycle of empty packets never touches the global pool.
+func TestLocalPoolCacheCycle(t *testing.T) {
+	p := NewPool(16, 8)
+	lp := p.NewLocal(4)
+
+	pkt := lp.GetOutput() // first get: batch refill from the global Empty pool
+	if pkt == nil {
+		t.Fatal("GetOutput failed on fresh pool")
+	}
+	if lp.Stats.Refills.Load() != 1 {
+		t.Fatalf("refills = %d, want 1", lp.Stats.Refills.Load())
+	}
+	if lp.CachedEmpty() == 0 {
+		t.Fatal("batch refill cached nothing beyond the returned packet")
+	}
+	lp.Put(pkt)
+
+	getsBefore := p.Stats.Gets.Load()
+	for i := 0; i < 100; i++ {
+		pkt := lp.GetOutput()
+		if pkt == nil {
+			t.Fatal("cached GetOutput failed")
+		}
+		lp.Put(pkt)
+	}
+	if got := p.Stats.Gets.Load(); got != getsBefore {
+		t.Fatalf("cached cycle did %d global gets, want 0", got-getsBefore)
+	}
+	if lp.Stats.Hits.Load() < 100 {
+		t.Fatalf("hits = %d, want >= 100", lp.Stats.Hits.Load())
+	}
+	checkLocalQuiescent(t, p, 16)
+}
+
+// TestLocalPoolTracingDoneAccounting pins the termination accounting: cached
+// empty packets count toward TracingDone, cached ready packets hold it false.
+func TestLocalPoolTracingDoneAccounting(t *testing.T) {
+	p := NewPool(8, 4)
+	lp := p.NewLocal(4)
+
+	// An empty packet parked in the cache still counts as "empty" for the
+	// termination test.
+	pkt := lp.GetEmpty()
+	lp.Put(pkt)
+	if lp.CachedEmpty() == 0 {
+		t.Fatal("empty packet not cached")
+	}
+	if !p.TracingDone() {
+		t.Fatal("TracingDone false with all packets empty (some cached)")
+	}
+
+	// A non-empty packet in the steal window must hold termination off.
+	pkt = lp.GetOutput()
+	pkt.Push(heapsim.Addr(1))
+	lp.Put(pkt)
+	if lp.CachedReady() != 1 {
+		t.Fatalf("ready window holds %d, want 1", lp.CachedReady())
+	}
+	if p.TracingDone() {
+		t.Fatal("TracingDone true with a ready packet cached locally")
+	}
+	if !p.HasTracingWork() {
+		t.Fatal("HasTracingWork false with a stealable packet cached")
+	}
+
+	// Draining it (via the owner's own GetInput) and returning it empty
+	// re-enables termination.
+	in := lp.GetInput()
+	if in == nil {
+		t.Fatal("owner could not reclaim its own ready packet")
+	}
+	in.Pop()
+	lp.Put(in)
+	if !p.TracingDone() {
+		t.Fatal("TracingDone false after all work drained")
+	}
+	checkLocalQuiescent(t, p, 8)
+}
+
+// TestLocalPoolSiblingSteal verifies the steal window end to end: work parked
+// in one worker's cache is claimable by a sibling through the plain global
+// Pool.GetInput, and the steal is not double-counted as a global get.
+func TestLocalPoolSiblingSteal(t *testing.T) {
+	p := NewPool(8, 4)
+	victim := p.NewLocal(4)
+
+	pkt := victim.GetOutput()
+	pkt.Push(heapsim.Addr(42))
+	victim.Put(pkt)
+	if victim.CachedReady() != 1 {
+		t.Fatalf("victim caches %d ready, want 1", victim.CachedReady())
+	}
+
+	getsBefore := p.Stats.Gets.Load()
+	stolen := p.GetInput() // a thief with no local cache of its own
+	if stolen != pkt {
+		t.Fatalf("GetInput stole %v, want packet %d", stolen, pkt.ID())
+	}
+	if got := p.Stats.Gets.Load(); got != getsBefore {
+		t.Fatal("steal counted as a global get — Gets/Puts symmetry broken")
+	}
+	if p.steals.Load() != 1 || victim.Stats.Stolen.Load() != 1 {
+		t.Fatalf("steals = %d, victim stolen = %d, want 1/1",
+			p.steals.Load(), victim.Stats.Stolen.Load())
+	}
+	if a, ok := stolen.Pop(); !ok || a != 42 {
+		t.Fatalf("stolen packet pops %d,%v, want 42", a, ok)
+	}
+	p.Put(stolen)
+	checkLocalQuiescent(t, p, 8)
+}
+
+// TestLocalTracerConservation runs the full concurrent storm through
+// local-tier tracers and checks the extended conservation identity: at
+// quiescence every packet is pooled or cached, and after the workers' exit
+// flushes the global invariants close exactly.
+func TestLocalTracerConservation(t *testing.T) {
+	const (
+		packets = 32
+		workers = 8
+		rounds  = 2000
+	)
+	p := NewPool(packets, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			lp := p.NewLocal(4)
+			tr := NewLocalTracer(lp)
+			for r := 0; r < rounds; r++ {
+				v := heapsim.Addr(seed*rounds + r + 1)
+				if (seed+r)%2 == 0 {
+					if !tr.Push(v) {
+						tr.Release()
+						runtime.Gosched()
+					}
+				} else {
+					tr.Pop()
+				}
+			}
+			tr.Release()
+			lp.Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for s := SubPool(0); s < NumSubPools; s++ {
+		total += p.Count(s)
+	}
+	cachedEmpty, cachedReady := p.LocalCached()
+	if cachedEmpty != 0 || cachedReady != 0 {
+		t.Fatalf("caches hold %d empty + %d ready after flush, want 0",
+			cachedEmpty, cachedReady)
+	}
+	if total != packets {
+		t.Fatalf("sub-pool counts sum to %d, want %d", total, packets)
+	}
+	if gets, puts := p.Stats.Gets.Load(), p.Stats.Puts.Load(); gets != puts {
+		t.Fatalf("gets %d != puts %d at quiescence", gets, puts)
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestLocalTracerDrainTerminates is the termination-safety test: two local
+// tracers pushing through their caches must still reach TracingDone once
+// everything is popped and released, with no packet hiding in a cache.
+func TestLocalTracerDrainTerminates(t *testing.T) {
+	p := NewPool(8, 4)
+	a := p.NewLocal(2)
+	b := p.NewLocal(2)
+	ta, tb := NewLocalTracer(a), NewLocalTracer(b)
+
+	for i := 1; i <= 20; i++ {
+		if !ta.Push(heapsim.Addr(i)) {
+			break
+		}
+	}
+	ta.Release()
+
+	// b drains everything a produced — through steals where needed.
+	seen := 0
+	for {
+		_, ok := tb.Pop()
+		if !ok {
+			tb.Release()
+			if !p.HasTracingWork() {
+				break
+			}
+			continue
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("b drained nothing")
+	}
+	a.Flush()
+	b.Flush()
+	if !p.TracingDone() {
+		cachedEmpty, cachedReady := p.LocalCached()
+		t.Fatalf("tracing not done after full drain (cached %d empty, %d ready)",
+			cachedEmpty, cachedReady)
+	}
+	checkQuiescent(t, p, 8)
+}
+
+// TestLocalPoolSpillBounded fills the cache past capacity and checks the
+// batch spill: the cache never exceeds cap and the spilled packets land in
+// the global Empty sub-pool with Puts accounted.
+func TestLocalPoolSpillBounded(t *testing.T) {
+	p := NewPool(32, 4)
+	lp := p.NewLocal(4)
+
+	// Check out more empties than the cache can hold, then return them all.
+	var held []*Packet
+	for i := 0; i < 12; i++ {
+		pkt := p.GetEmpty()
+		if pkt == nil {
+			t.Fatalf("pool ran out at %d", i)
+		}
+		held = append(held, pkt)
+	}
+	for _, pkt := range held {
+		lp.Put(pkt)
+		if lp.CachedEmpty() > lp.Cap() {
+			t.Fatalf("cache holds %d > cap %d", lp.CachedEmpty(), lp.Cap())
+		}
+	}
+	if lp.Stats.Spills.Load() == 0 {
+		t.Fatal("overfull cache never spilled")
+	}
+	checkLocalQuiescent(t, p, 32)
+}
+
+// TestLocalPoolZeroAllocSteadyState pins the steady-state get/put cycle —
+// the hot path the tier exists for — at zero heap allocations.
+func TestLocalPoolZeroAllocSteadyState(t *testing.T) {
+	p := NewPool(16, 8)
+	lp := p.NewLocal(4)
+	// Warm the cache so the measured loop is pure cache traffic.
+	pkt := lp.GetOutput()
+	lp.Put(pkt)
+
+	if avg := testing.AllocsPerRun(200, func() {
+		pkt := lp.GetOutput()
+		pkt.Push(heapsim.Addr(1))
+		pkt.Pop()
+		lp.Put(pkt)
+	}); avg != 0 {
+		t.Fatalf("steady-state local cycle allocates %.1f per op, want 0", avg)
+	}
+	// Refill/spill batches reuse the scratch buffer: a cold get (cache
+	// emptied by Flush) must not allocate either once scratch has grown.
+	lp.Flush()
+	if avg := testing.AllocsPerRun(50, func() {
+		pkt := lp.GetOutput()
+		lp.Put(pkt)
+		lp.Flush()
+	}); avg != 0 {
+		t.Fatalf("refill+flush cycle allocates %.1f per op, want 0", avg)
+	}
+	checkLocalQuiescent(t, p, 16)
+}
+
+// TestDisabledLocalTierZeroPerturbation pins the no-perturbation guarantee:
+// a pool with no local caches registered runs the global get/put cycle with
+// zero heap allocations and zero motion on the local-tier counters — the
+// pre-sharding fast path is untouched by the tier's existence.
+func TestDisabledLocalTierZeroPerturbation(t *testing.T) {
+	p := NewPool(16, 8)
+	if avg := testing.AllocsPerRun(200, func() {
+		pkt := p.GetOutput()
+		pkt.Push(heapsim.Addr(1))
+		pkt.Pop()
+		p.Put(pkt)
+		if in := p.GetInput(); in != nil { // exercises the stealReady nil path
+			p.Put(in)
+		}
+	}); avg != 0 {
+		t.Fatalf("global cycle allocates %.1f per op with locals disabled, want 0", avg)
+	}
+	ls := p.LocalStatsSum()
+	cachedEmpty, cachedReady := p.LocalCached()
+	if ls != (LocalStatsSum{}) || cachedEmpty != 0 || cachedReady != 0 {
+		t.Fatalf("local-tier counters moved without locals: %+v, cached %d/%d",
+			ls, cachedEmpty, cachedReady)
+	}
+	checkQuiescent(t, p, 16)
+}
+
+// TestBatchPopPushRoundTrip exercises the batch primitives directly: a batch
+// pop of k packets takes exactly min(k, available) and a batch push returns
+// them, preserving the walk invariants checkQuiescent verifies.
+func TestBatchPopPushRoundTrip(t *testing.T) {
+	const packets = 8
+	p := NewPool(packets, 4)
+	for _, k := range []int{1, 3, packets, packets + 5} {
+		got := p.popBatchFrom(Empty, k, nil)
+		want := k
+		if want > packets {
+			want = packets
+		}
+		if len(got) != want {
+			t.Fatalf("popBatchFrom(k=%d) returned %d, want %d", k, len(got), want)
+		}
+		if p.Count(Empty) != packets-want {
+			t.Fatalf("count after batch pop = %d, want %d", p.Count(Empty), packets-want)
+		}
+		p.pushBatchTo(Empty, got)
+		if p.Count(Empty) != packets {
+			t.Fatalf("count after batch push = %d, want %d", p.Count(Empty), packets)
+		}
+	}
+	// Gets/Puts untouched: the batch primitives are accounting-free; the
+	// callers (refill, spill) own the counter updates.
+	if g, pu := p.Stats.Gets.Load(), p.Stats.Puts.Load(); g != 0 || pu != 0 {
+		t.Fatalf("batch primitives touched Gets/Puts: %d/%d", g, pu)
+	}
+	checkQuiescent(t, p, packets)
+}

@@ -3,6 +3,7 @@ package workpack
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"mcgc/internal/faultinject"
@@ -55,6 +56,13 @@ type PoolFaults struct {
 	PutStall *faultinject.Point
 	// DeferStall stalls between packets inside DrainDeferred.
 	DeferStall *faultinject.Point
+	// LocalSpill forces a LocalPool to spill to the global pool even when
+	// its cache has room, degrading the local tier back to global traffic.
+	LocalSpill *faultinject.Point
+	// StealMiss forces stealReady to report no stealable packets.
+	StealMiss *faultinject.Point
+	// RefillStall stalls a LocalPool's batch refill from the Empty sub-pool.
+	RefillStall *faultinject.Point
 }
 
 // Pool is the global shared pool of work packets, divided into sub-pools by
@@ -69,6 +77,19 @@ type Pool struct {
 	// faults sits after the hot Stats block so arming the (rarely consulted
 	// when nil) pointer does not shift the counters' cache-line offsets.
 	faults *PoolFaults
+
+	// Local-tier accounting lives after faults for the same reason: these
+	// words are touched only on cache transitions, steals and termination
+	// tests, never on the global fast path.
+	localEmpty atomic.Int64 // empty packets parked in local caches
+	_          [7]int64
+	localReady atomic.Int64 // non-empty packets parked in local caches
+	_          [7]int64
+	steals     atomic.Int64 // packets claimed from sibling local caches
+	_          [7]int64
+
+	localsMu sync.Mutex
+	locals   atomic.Pointer[[]*LocalPool]
 }
 
 // NewPool creates a pool of n packets with the given per-packet capacity
@@ -170,9 +191,76 @@ func (p *Pool) popFrom(s SubPool) *Packet {
 	}
 }
 
+// popBatchFrom unlinks up to k packets from a sub-pool with a single
+// versioned-head CAS: it walks the next links of the head snapshot and then
+// swings the head past the whole run. The version tag makes the walk safe —
+// if any push or pop touched the sub-pool since the head was loaded, the
+// final CAS fails and the (possibly garbage) walk is discarded. The result
+// slice aliases into's backing array.
+func (p *Pool) popBatchFrom(s SubPool, k int, into []*Packet) []*Packet {
+	sp := &p.sub[s]
+	for retries := 0; ; retries++ {
+		into = into[:0]
+		old := sp.head.Load()
+		ver, idx := unpackHead(old)
+		if idx < 0 {
+			return into
+		}
+		next := idx
+		for len(into) < k && next >= 0 {
+			pkt := &p.packets[next]
+			into = append(into, pkt)
+			next = pkt.next.Load()
+		}
+		p.Stats.CASAttempts.Add(1)
+		if f := p.faults; f != nil && f.CAS.Fire() {
+			p.Stats.CASRetries.Add(1)
+			casBackoff(retries)
+			continue
+		}
+		if sp.head.CompareAndSwap(old, packHead(ver+1, next)) {
+			sp.count.Add(-int64(len(into)))
+			return into
+		}
+		p.Stats.CASRetries.Add(1)
+		casBackoff(retries)
+	}
+}
+
+// pushBatchTo links a chain of packets onto a sub-pool with a single CAS.
+// The internal links are written once; only the tail link is rewritten per
+// retry.
+func (p *Pool) pushBatchTo(s SubPool, pkts []*Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	for i := 0; i < len(pkts)-1; i++ {
+		pkts[i].next.Store(pkts[i+1].id)
+	}
+	sp := &p.sub[s]
+	for retries := 0; ; retries++ {
+		old := sp.head.Load()
+		ver, idx := unpackHead(old)
+		pkts[len(pkts)-1].next.Store(idx)
+		p.Stats.CASAttempts.Add(1)
+		if f := p.faults; f != nil && f.CAS.Fire() {
+			p.Stats.CASRetries.Add(1)
+			casBackoff(retries)
+			continue
+		}
+		if sp.head.CompareAndSwap(old, packHead(ver+1, pkts[0].id)) {
+			sp.count.Add(int64(len(pkts)))
+			return
+		}
+		p.Stats.CASRetries.Add(1)
+		casBackoff(retries)
+	}
+}
+
 // GetInput obtains a packet to trace from: the highest-occupancy sub-pool
-// that has one (Section 4.2). It returns nil when no tracing work is
-// available in the pool.
+// that has one (Section 4.2), falling back to stealing from sibling local
+// caches so no thread idles — or terminates tracing — while a local tier
+// hoards ready work. It returns nil when no tracing work is available.
 func (p *Pool) GetInput() *Packet {
 	if f := p.faults; f != nil {
 		f.GetStall.Stall()
@@ -185,6 +273,32 @@ func (p *Pool) GetInput() *Packet {
 			p.Stats.Gets.Add(1)
 			p.noteUsage()
 			return pkt
+		}
+	}
+	return p.stealReady()
+}
+
+// stealReady claims a cached non-empty packet from any registered local
+// cache. A steal is not a global get: the packet never re-entered the
+// global sub-pools, so Gets/Puts symmetry is preserved by the victim's
+// original Get and the thief's eventual Put.
+func (p *Pool) stealReady() *Packet {
+	lps := p.locals.Load()
+	if lps == nil {
+		return nil
+	}
+	if f := p.faults; f != nil && f.StealMiss.Fire() {
+		return nil
+	}
+	for _, lp := range *lps {
+		for i := range lp.ready {
+			id := lp.ready[i].Load()
+			if id != 0 && lp.ready[i].CompareAndSwap(id, 0) {
+				p.localReady.Add(-1)
+				p.steals.Add(1)
+				lp.Stats.Stolen.Add(1)
+				return &p.packets[id-1]
+			}
 		}
 	}
 	return nil
@@ -286,26 +400,30 @@ func (p *Pool) DrainDeferred() int {
 func (p *Pool) DeferredEmpty() bool { return p.sub[Deferred].count.Load() == 0 }
 
 // TracingDone implements the Section 4.3 termination test: tracing work is
-// complete when the Empty sub-pool's counter equals the total number of
-// packets. Threads in the middle of getting an empty packet cannot find
-// objects to trace, so the test is safe given the get-before-return
-// replacement discipline that Tracer enforces.
+// complete when every packet is empty — in the Empty sub-pool or parked
+// empty in a local cache. Threads in the middle of getting an empty packet
+// cannot find objects to trace, so the test is safe given the
+// get-before-return replacement discipline that Tracer enforces; the local
+// tier preserves it by decrementing localEmpty before handing out a cached
+// empty packet (conservative: a transient undercount can only delay
+// termination, never fake it) and by never counting cached ready packets.
 func (p *Pool) TracingDone() bool {
-	return p.sub[Empty].count.Load() == int64(p.total)
+	return p.sub[Empty].count.Load()+p.localEmpty.Load() == int64(p.total)
 }
 
 // HasTracingWork reports whether any non-empty packet is available in the
-// regular sub-pools (it ignores Deferred).
+// regular sub-pools or stealable from a local cache (it ignores Deferred).
 func (p *Pool) HasTracingWork() bool {
-	return p.sub[Nonempty].count.Load() > 0 || p.sub[AlmostFull].count.Load() > 0
+	return p.sub[Nonempty].count.Load() > 0 || p.sub[AlmostFull].count.Load() > 0 ||
+		p.localReady.Load() > 0
 }
 
 // noteUsage updates the "packets in use" high-water mark. Following the
 // paper's upper-bound watermark, a packet counts as in use when it is
 // checked out by a thread or holds entries — i.e. everything outside the
-// Empty sub-pool.
+// Empty sub-pool and the local empty caches.
 func (p *Pool) noteUsage() {
-	inUse := int64(p.total) - p.sub[Empty].count.Load()
+	inUse := int64(p.total) - p.sub[Empty].count.Load() - p.localEmpty.Load()
 	atomicMax(&p.Stats.MaxInUse, inUse)
 }
 

@@ -39,33 +39,46 @@ func BenchmarkPoolGetPut(b *testing.B) {
 }
 
 // BenchmarkPoolMatrix measures the lock-free sub-pools under explicit
-// contention levels: GOMAXPROCS 1/2/4/8 crossed with three get/put mixes.
-// Each run reports the CAS retry rate (failed head CASes per operation) next
-// to ns/op, which is the contention signal the versioned-head design is
-// supposed to keep low. The committed baseline lives in BENCH_workpack.json.
+// contention levels: GOMAXPROCS 1..64 crossed with three get/put mixes and
+// with the local packet tier off (every op on the shared sub-pool heads) and
+// on (per-worker caches with batch refill/spill and steal windows). Each run
+// reports the CAS retry rate (failed head CASes per operation) next to
+// ns/op, which is the contention signal the sharding is supposed to keep
+// flat as procs grow. The committed baseline lives in BENCH_workpack.json.
 func BenchmarkPoolMatrix(b *testing.B) {
+	// Each mix runs with lp == nil (global tier) or a per-goroutine local
+	// cache (local tier).
 	mixes := []struct {
 		name string
-		run  func(p *Pool, id, n int)
+		run  func(p *Pool, lp *LocalPool, id, n int)
 	}{
 		// cycle: bare packet circulation, one get + one put per op — the
 		// hottest path of the pool itself.
-		{"cycle", func(p *Pool, id, n int) {
+		{"cycle", func(p *Pool, lp *LocalPool, id, n int) {
 			for i := 0; i < n; i++ {
-				pkt := p.GetOutput()
+				var pkt *Packet
+				if lp != nil {
+					pkt = lp.GetOutput()
+				} else {
+					pkt = p.GetOutput()
+				}
 				if pkt == nil {
 					continue
 				}
 				if !pkt.Full() {
 					pkt.Push(heapsim.Addr(id + 1))
 				}
-				p.Put(pkt)
+				if lp != nil {
+					lp.Put(pkt)
+				} else {
+					p.Put(pkt)
+				}
 			}
 		}},
 		// pushpop: the tracer discipline at BFS rates, 1 push : 1 pop, so
 		// packets migrate between sub-pools as they fill and drain.
-		{"pushpop", func(p *Pool, id, n int) {
-			tr := NewTracer(p)
+		{"pushpop", func(p *Pool, lp *LocalPool, id, n int) {
+			tr := newMatrixTracer(p, lp)
 			for i := 0; i < n; i++ {
 				tr.Push(heapsim.Addr(id*n + i + 1))
 				tr.Pop()
@@ -73,9 +86,9 @@ func BenchmarkPoolMatrix(b *testing.B) {
 			tr.Release()
 		}},
 		// handoff: disjoint producers and consumers, so every entry crosses
-		// goroutines through the pool.
-		{"handoff", func(p *Pool, id, n int) {
-			tr := NewTracer(p)
+		// goroutines through the pool (or a steal window).
+		{"handoff", func(p *Pool, lp *LocalPool, id, n int) {
+			tr := newMatrixTracer(p, lp)
 			if id%2 == 0 {
 				for i := 0; i < n; i++ {
 					if !tr.Push(heapsim.Addr(id*n + i + 1)) {
@@ -93,28 +106,48 @@ func BenchmarkPoolMatrix(b *testing.B) {
 			tr.Release()
 		}},
 	}
-	for _, procs := range []int{1, 2, 4, 8} {
-		for _, mix := range mixes {
-			b.Run(fmt.Sprintf("%s/procs=%d", mix.name, procs), func(b *testing.B) {
-				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
-				p := NewPool(256, 32)
-				perG := b.N/procs + 1
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				for g := 0; g < procs; g++ {
-					wg.Add(1)
-					go func(id int) {
-						defer wg.Done()
-						mix.run(p, id, perG)
-					}(g)
-				}
-				wg.Wait()
-				b.StopTimer()
-				ops := int64(perG) * int64(procs)
-				b.ReportMetric(float64(p.Stats.CASRetries.Load())/float64(ops), "retries/op")
-			})
+	for _, tier := range []string{"global", "local"} {
+		for _, procs := range []int{1, 2, 4, 8, 16, 32, 64} {
+			for _, mix := range mixes {
+				b.Run(fmt.Sprintf("%s/%s/procs=%d", mix.name, tier, procs), func(b *testing.B) {
+					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+					p := NewPool(256, 32)
+					perG := b.N/procs + 1
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for g := 0; g < procs; g++ {
+						wg.Add(1)
+						go func(id int) {
+							defer wg.Done()
+							var lp *LocalPool
+							if tier == "local" {
+								lp = p.NewLocal(DefaultLocalCache)
+							}
+							mix.run(p, lp, id, perG)
+							if lp != nil {
+								lp.Flush()
+							}
+						}(g)
+					}
+					wg.Wait()
+					b.StopTimer()
+					ops := int64(perG) * int64(procs)
+					b.ReportMetric(float64(p.Stats.CASRetries.Load())/float64(ops), "retries/op")
+					if tier == "local" {
+						b.ReportMetric(float64(p.LocalStatsSum().Hits)/float64(ops), "localhits/op")
+					}
+				})
+			}
 		}
 	}
+}
+
+// newMatrixTracer builds the benchmark's tracer facade for the chosen tier.
+func newMatrixTracer(p *Pool, lp *LocalPool) *Tracer {
+	if lp != nil {
+		return NewLocalTracer(lp)
+	}
+	return NewTracer(p)
 }
 
 func BenchmarkPoolContended(b *testing.B) {

@@ -13,7 +13,8 @@ import "mcgc/internal/heapsim"
 // increment (or keep one per thread and Release between increments);
 // background threads keep one for as long as they trace.
 type Tracer struct {
-	pool *Pool
+	pool  *Pool
+	local *LocalPool // optional per-worker cache; nil routes straight to pool
 
 	in  *Packet // pops only
 	out *Packet // pushes only
@@ -32,8 +33,54 @@ type Tracer struct {
 // until work demands it.
 func NewTracer(pool *Pool) *Tracer { return &Tracer{pool: pool} }
 
+// NewLocalTracer returns a tracer that routes packet traffic through a
+// worker's LocalPool cache; misses fall through to the shared pool.
+func NewLocalTracer(lp *LocalPool) *Tracer {
+	return &Tracer{pool: lp.Pool(), local: lp}
+}
+
 // Pool returns the pool this tracer draws from.
 func (t *Tracer) Pool() *Pool { return t.pool }
+
+// Local returns the tracer's local cache, or nil.
+func (t *Tracer) Local() *LocalPool { return t.local }
+
+func (t *Tracer) getInput() *Packet {
+	if t.local != nil {
+		return t.local.GetInput()
+	}
+	return t.pool.GetInput()
+}
+
+func (t *Tracer) getOutput() *Packet {
+	if t.local != nil {
+		return t.local.GetOutput()
+	}
+	return t.pool.GetOutput()
+}
+
+func (t *Tracer) getEmpty() *Packet {
+	if t.local != nil {
+		return t.local.GetEmpty()
+	}
+	return t.pool.GetEmpty()
+}
+
+func (t *Tracer) put(pkt *Packet) {
+	if t.local != nil {
+		t.local.Put(pkt)
+		return
+	}
+	t.pool.Put(pkt)
+}
+
+func (t *Tracer) putDeferred(pkt *Packet) {
+	if t.local != nil {
+		t.local.PutDeferred(pkt)
+		return
+	}
+	t.pool.PutDeferred(pkt)
+}
 
 // HoldsPackets reports whether the tracer currently owns any packet.
 func (t *Tracer) HoldsPackets() bool { return t.in != nil || t.out != nil || t.def != nil }
@@ -50,7 +97,7 @@ func (t *Tracer) Input() *Packet { return t.in }
 func (t *Tracer) Pop() (heapsim.Addr, bool) {
 	for {
 		if t.in == nil {
-			t.in = t.pool.GetInput()
+			t.in = t.getInput()
 			if t.in == nil {
 				return heapsim.Nil, false
 			}
@@ -59,14 +106,14 @@ func (t *Tracer) Pop() (heapsim.Addr, bool) {
 			return a, true
 		}
 		// Input exhausted: get-new-before-return-old.
-		np := t.pool.GetInput()
+		np := t.getInput()
 		if np == nil {
 			// Keep the empty input; if the output has work we may swap
 			// into it on the caller's next attempt, and Release will
 			// return it.
 			return heapsim.Nil, false
 		}
-		t.pool.Put(t.in)
+		t.put(t.in)
 		t.in = np
 	}
 }
@@ -77,7 +124,7 @@ func (t *Tracer) Pop() (heapsim.Addr, bool) {
 // it.
 func (t *Tracer) Push(a heapsim.Addr) bool {
 	if t.out == nil {
-		t.out = t.pool.GetOutput()
+		t.out = t.getOutput()
 		if t.out == nil {
 			return t.pushBySwap(a)
 		}
@@ -86,14 +133,14 @@ func (t *Tracer) Push(a heapsim.Addr) bool {
 		return true
 	}
 	// Output full: get a replacement first, then return the full one.
-	if np := t.pool.GetOutput(); np != nil {
+	if np := t.getOutput(); np != nil {
 		if !np.Full() {
-			t.pool.Put(t.out)
+			t.put(t.out)
 			t.out = np
 			return t.out.Push(a)
 		}
 		// The pool could only offer another full packet; give it back.
-		t.pool.Put(np)
+		t.put(np)
 	}
 	return t.pushBySwap(a)
 }
@@ -118,14 +165,14 @@ func (t *Tracer) pushBySwap(a heapsim.Addr) bool {
 // them.
 func (t *Tracer) PushDeferred(a heapsim.Addr) bool {
 	if t.def != nil && t.def.Full() {
-		np := t.pool.GetEmpty()
+		np := t.getEmpty()
 		if np != nil {
-			t.pool.PutDeferred(t.def)
+			t.putDeferred(t.def)
 			t.def = np
 		}
 	}
 	if t.def == nil {
-		t.def = t.pool.GetEmpty()
+		t.def = t.getEmpty()
 		if t.def == nil {
 			return false
 		}
@@ -138,15 +185,15 @@ func (t *Tracer) PushDeferred(a heapsim.Addr) bool {
 // the other threads competing for input.
 func (t *Tracer) Release() {
 	if t.in != nil {
-		t.pool.Put(t.in)
+		t.put(t.in)
 		t.in = nil
 	}
 	if t.out != nil {
-		t.pool.Put(t.out)
+		t.put(t.out)
 		t.out = nil
 	}
 	if t.def != nil {
-		t.pool.PutDeferred(t.def)
+		t.putDeferred(t.def)
 		t.def = nil
 	}
 }

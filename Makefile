@@ -10,9 +10,9 @@ GO ?= go
 # that drive it.
 RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke
 
 vet:
 	$(GO) vet ./...
@@ -99,6 +99,63 @@ pacing-smoke:
 	@grep -q "K: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no K trajectory in gcstats output"; exit 1; }
 	@grep -q "kickoffs: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no kickoff count in gcstats output"; exit 1; }
 	@rm -f /tmp/gcpacing-smoke.jsonl /tmp/gcpacing-smoke.out
+
+# Exercise the per-tracer work-flow accounting end to end, in two legs.
+# Leg 1 puts the accounting itself under the race detector: a paced gcstress
+# run at 8 tracers (plus a background tracer and mutator-tax workers) with
+# both sinks attached; gcstats -balance must report the skew and termination
+# fields, and -check must accept the per-worker trace tracks (proper nesting,
+# one worker per track). Leg 2 is the hoard A/B gate on the regular binary —
+# the race detector's ~10x slowdown would drown the microsecond-scale
+# termination timing — three fixed seeds per arm cat'ed into one file, then
+# -check-hoard requires the pool.hoard runs to show strictly worse words-Gini
+# AND strictly worse mean termination latency than the clean runs, while the
+# engine's own STW oracle and quiescence identities still pass inside every
+# run.
+BALANCE_AB = -duration 1s -mutators 3 -tracers 4 -bg 0 -objects 8192 -roots 48 \
+	-packets 32 -packetcap 8 -localcache -1 -timeout 120s
+
+balance-smoke:
+	$(GO) run -race ./cmd/gcstress -pacing -duration 1s -mutators 3 -tracers 8 -bg 1 \
+		-objects 8192 -roots 48 -packets 32 -packetcap 8 -localcache -1 -seed 11 \
+		-name paced8 -metrics /tmp/gcbalance-paced.jsonl -trace /tmp/gcbalance-paced.trace
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcbalance-paced.jsonl -balance | tee /tmp/gcbalance-paced.out
+	@grep -q "skew max/mean" /tmp/gcbalance-paced.out || { echo "balance-smoke: no skew field in -balance output"; exit 1; }
+	@grep -q "termination:" /tmp/gcbalance-paced.out || { echo "balance-smoke: no termination field in -balance output"; exit 1; }
+	$(GO) run ./cmd/gcstats -trace /tmp/gcbalance-paced.trace -check
+	@$(GO) build -o /tmp/gcstress-balance ./cmd/gcstress
+	@rm -f /tmp/gcbalance-ab.jsonl
+	@for s in 11 12 13; do \
+		/tmp/gcstress-balance $(BALANCE_AB) -seed $$s -name clean$$s \
+			-metrics /tmp/gcbalance-run.jsonl || exit 1; \
+		cat /tmp/gcbalance-run.jsonl >> /tmp/gcbalance-ab.jsonl; \
+		/tmp/gcstress-balance $(BALANCE_AB) -seed $$s -name hoard$$s \
+			-chaos "pool.hoard=on:1ms" -chaos-seed 7 -require-faults \
+			-metrics /tmp/gcbalance-run.jsonl || exit 1; \
+		cat /tmp/gcbalance-run.jsonl >> /tmp/gcbalance-ab.jsonl; \
+	done
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcbalance-ab.jsonl -check-hoard
+	@rm -f /tmp/gcbalance-paced.jsonl /tmp/gcbalance-paced.trace /tmp/gcbalance-paced.out \
+		/tmp/gcbalance-run.jsonl /tmp/gcbalance-ab.jsonl /tmp/gcstress-balance
+
+# Sweep tracer counts x local-tier on/off and reduce each cell to its balance
+# quantities (skew, Gini, idle fraction, steal-hit rate, termination latency
+# percentiles). One JSON object per cell lands in BENCH_balance.json.
+balance-bench:
+	@$(GO) build -o /tmp/gcstress-bb ./cmd/gcstress
+	@$(GO) build -o /tmp/gcstats-bb ./cmd/gcstats
+	@rm -f /tmp/gcbalance-bench.jsonl
+	@for t in 4 8 16 32 64; do for tier in on off; do \
+		lc=0; [ $$tier = off ] && lc=-1; \
+		echo "balance-bench: tracers=$$t local-tier=$$tier"; \
+		/tmp/gcstress-bb -duration 1s -mutators 3 -tracers $$t -bg 0 -objects 8192 \
+			-roots 48 -packets 32 -packetcap 8 -localcache $$lc -seed 11 \
+			-name "t=$$t/local=$$tier" -metrics /tmp/gcbalance-cell.jsonl >/dev/null || exit 1; \
+		cat /tmp/gcbalance-cell.jsonl >> /tmp/gcbalance-bench.jsonl; \
+	done; done
+	/tmp/gcstats-bb -metrics /tmp/gcbalance-bench.jsonl -balance -json > BENCH_balance.json
+	@rm -f /tmp/gcbalance-cell.jsonl /tmp/gcbalance-bench.jsonl /tmp/gcstress-bb /tmp/gcstats-bb
+	@echo "balance-bench: wrote BENCH_balance.json"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,14 +5,21 @@
 //	gcbench -exp fig1 -metrics m.jsonl -trace t.json
 //	gcstats -metrics m.jsonl                # pause percentiles, MMU, K trajectory per run
 //	gcstats -metrics m.jsonl -run wh=8      # only runs whose name contains "wh=8"
+//	gcstats -metrics m.jsonl -balance       # per-tracer load-balance view (Section 6.3)
+//	gcstats -metrics m.jsonl -balance -json # same, one JSON object per run
+//	gcstats -metrics m.jsonl -check-hoard   # clean vs pool.hoard runs must separate
 //	gcstats -trace t.json -check            # validate the Chrome trace (CI smoke)
 //
 // The metrics report is computed entirely from the JSONL stream: pause
 // percentiles from the gc.pause_ns gauge, MMU from the same samples plus
 // the run.vtime_ns counter, and the tracing-rate trajectory from the
-// gc.pacing.k gauge. The -check mode parses the trace_event file the way a
+// gc.pacing.k gauge. The -balance view reduces the trace.worker.* counters
+// to skew, Gini, idle fraction, steal-hit rate and termination-latency
+// percentiles; -check-hoard gates CI on a hoard fault measurably moving
+// those numbers. The -check mode parses the trace_event file the way a
 // viewer would and fails on structural problems (non-positive span
-// durations, time going backwards within a track, missing track names).
+// durations, time going backwards within a track, missing or conflicting
+// track names, tracer lanes shared between workers).
 package main
 
 import (
@@ -70,10 +77,13 @@ var mmuWindows = []vtime.Duration{
 
 func main() {
 	var (
-		metricsFlag = flag.String("metrics", "", "JSONL metrics file written by gcbench -metrics")
-		traceFlag   = flag.String("trace", "", "Chrome trace file written by gcbench -trace")
-		checkFlag   = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
-		runFlag     = flag.String("run", "", "only report runs whose name contains this substring")
+		metricsFlag    = flag.String("metrics", "", "JSONL metrics file written by gcbench -metrics")
+		traceFlag      = flag.String("trace", "", "Chrome trace file written by gcbench -trace")
+		checkFlag      = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
+		balanceFlag    = flag.Bool("balance", false, "per-tracer load-balance view of the -metrics file")
+		jsonFlag       = flag.Bool("json", false, "with -balance: emit one JSON object per run")
+		checkHoardFlag = flag.Bool("check-hoard", false, "require pool.hoard runs in -metrics to worsen balance vs clean runs")
+		runFlag        = flag.String("run", "", "only report runs whose name contains this substring")
 	)
 	flag.Parse()
 
@@ -85,6 +95,24 @@ func main() {
 		}
 		if err := checkTrace(*traceFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "gcstats: trace check failed: %v\n", err)
+			os.Exit(1)
+		}
+	case *checkHoardFlag:
+		if *metricsFlag == "" {
+			fmt.Fprintln(os.Stderr, "gcstats: -check-hoard needs -metrics FILE")
+			os.Exit(2)
+		}
+		if err := checkHoard(*metricsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: hoard check failed: %v\n", err)
+			os.Exit(1)
+		}
+	case *balanceFlag:
+		if *metricsFlag == "" {
+			fmt.Fprintln(os.Stderr, "gcstats: -balance needs -metrics FILE")
+			os.Exit(2)
+		}
+		if err := balance(*metricsFlag, *runFlag, *jsonFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
 			os.Exit(1)
 		}
 	case *metricsFlag != "":
@@ -324,7 +352,11 @@ type span struct {
 // enclosing span after its children), so each track's spans are sorted by
 // timestamp and then required to nest properly: two spans on one track must
 // be disjoint or one must contain the other — partial overlap is the
-// structural error a viewer renders as garbage.
+// structural error a viewer renders as garbage. Per-tracer lanes get extra
+// checks: a (pid,tid) pair must carry exactly one thread name, and the
+// "worker" argument of tracer.cycle spans must be one-to-one with its track —
+// two workers sharing a lane (or one worker smeared over two lanes) is how a
+// track-assignment bug renders as interleaved garbage.
 func checkTrace(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -338,7 +370,9 @@ func checkTrace(path string) error {
 		return fmt.Errorf("no trace events")
 	}
 	spanNames := map[string]bool{}
-	named := map[[2]int64]bool{} // (pid,tid) pairs covered by thread_name metadata
+	named := map[[2]int64]string{}         // (pid,tid) -> thread_name metadata
+	workerOfTrack := map[[2]int64]string{} // tracer.cycle "worker" arg per lane
+	trackOfWorker := map[string][2]int64{}
 	tracks := map[[2]int64][]span{}
 	var spans, instants, counters int
 	for i, e := range tf.TraceEvents {
@@ -346,7 +380,11 @@ func checkTrace(path string) error {
 		switch e.Ph {
 		case "M":
 			if e.Name == "thread_name" {
-				named[key] = true
+				name, _ := e.Args["name"].(string)
+				if prev, ok := named[key]; ok && prev != name {
+					return fmt.Errorf("event %d: track %v renamed from %q to %q", i, key, prev, name)
+				}
+				named[key] = name
 			}
 		case "X":
 			spans++
@@ -355,6 +393,19 @@ func checkTrace(path string) error {
 				return fmt.Errorf("event %d (%q): negative span duration %g", i, e.Name, e.Dur)
 			}
 			tracks[key] = append(tracks[key], span{name: e.Name, ts: e.Ts, dur: e.Dur, fileLine: i})
+			if e.Name == "tracer.cycle" {
+				w := fmt.Sprint(e.Args["worker"])
+				if prev, ok := workerOfTrack[key]; ok && prev != w {
+					return fmt.Errorf("event %d: track %v carries tracer.cycle spans for workers %s and %s",
+						i, key, prev, w)
+				}
+				workerOfTrack[key] = w
+				if prev, ok := trackOfWorker[w]; ok && prev != key {
+					return fmt.Errorf("event %d: worker %s has tracer.cycle spans on tracks %v and %v",
+						i, w, prev, key)
+				}
+				trackOfWorker[w] = key
+			}
 		case "i":
 			instants++
 		case "C":
@@ -364,10 +415,10 @@ func checkTrace(path string) error {
 		}
 	}
 	for key, tr := range tracks {
-		if !named[key] {
+		if _, ok := named[key]; !ok {
 			return fmt.Errorf("track %v has events but no thread_name metadata", key)
 		}
-		if err := checkNesting(key, tr); err != nil {
+		if err := checkNesting(key, named[key], tr); err != nil {
 			return err
 		}
 	}
@@ -388,7 +439,7 @@ func checkTrace(path string) error {
 // start (ties: longest first, so a parent precedes the children sharing its
 // start), every span must begin at or after the enclosing span's start and
 // end at or before its end.
-func checkNesting(key [2]int64, tr []span) error {
+func checkNesting(key [2]int64, trackName string, tr []span) error {
 	sort.Slice(tr, func(i, j int) bool {
 		if tr[i].ts != tr[j].ts {
 			return tr[i].ts < tr[j].ts
@@ -406,8 +457,8 @@ func checkNesting(key [2]int64, tr []span) error {
 		}
 		if len(stack) > 0 {
 			if top := stack[len(stack)-1]; s.ts+s.dur > top.ts+top.dur+eps {
-				return fmt.Errorf("track %v: span %q [%g,%g] (event %d) partially overlaps %q [%g,%g] (event %d)",
-					key, s.name, s.ts, s.ts+s.dur, s.fileLine,
+				return fmt.Errorf("track %v (%q): span %q [%g,%g] (event %d) partially overlaps %q [%g,%g] (event %d)",
+					key, trackName, s.name, s.ts, s.ts+s.dur, s.fileLine,
 					top.name, top.ts, top.ts+top.dur, top.fileLine)
 			}
 		}

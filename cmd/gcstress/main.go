@@ -55,6 +55,7 @@ func main() {
 		shape      = flag.String("shape", "mixed", "workload shape: mixed, churn or pointer")
 		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
+		runName    = flag.String("name", "", "override the run name in the sinks (so cat'ed JSONL files keep distinct runs)")
 
 		chaos     = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
@@ -112,9 +113,13 @@ func main() {
 	// Telemetry rides the same sinks as the simulator suite so gcstats can
 	// read both; the live engine's time axis is wall-clock nanoseconds.
 	col := telemetry.NewCollector(*traceOut != "")
+	name := *runName
+	if name == "" {
+		name = fmt.Sprintf("%s/m=%d/t=%d", *shape, *mutators, *tracers+*bg)
+	}
 	run := col.StartRun(runmeta.Run{
 		Exp:     "gcstress",
-		Name:    fmt.Sprintf("%s/m=%d/t=%d", *shape, *mutators, *tracers+*bg),
+		Name:    name,
 		Seed:    *seed,
 		Workers: *mutators + *tracers + *bg,
 	})

@@ -70,6 +70,14 @@ const (
 	// PoolRefillStall stalls a worker's batch refill from the global Empty
 	// sub-pool, widening the window where the local tier runs dry.
 	PoolRefillStall = "pool.refillstall"
+	// PoolHoard makes a tracer retain almost-full packets instead of
+	// returning them: a firing hit on a non-empty Put withholds the packet
+	// in a private hoard that neither the sub-pools nor the steal windows
+	// can see. The hoarder eventually traces its hoard itself, so no work is
+	// lost — but siblings idle, the work distribution skews toward the
+	// hoarder and termination detection is delayed, which is exactly what
+	// the per-tracer ledgers and gcstats -balance must make visible.
+	PoolHoard = "pool.hoard"
 	// CardCleanStall stalls between word registrations inside the concurrent
 	// register-and-clear pass, widening the dirty-during-clean race window.
 	CardCleanStall = "card.cleanstall"
@@ -109,6 +117,7 @@ var siteDocs = map[string]string{
 	PoolLocalSpill:     "force local packet caches to spill to the global pool",
 	PoolStealMiss:      "force the sibling-cache steal scan to miss",
 	PoolRefillStall:    "stall a local cache's batch refill from the global pool",
+	PoolHoard:          "make a tracer withhold non-empty packets (skews load balance)",
 	CardCleanStall:     "stall inside register-and-clear (dirty-during-clean races)",
 	LiveTracerStall:    "stall a tracer between pop and scan",
 	LiveFenceDelay:     "delay a mutator's fence acknowledgement",

@@ -55,6 +55,7 @@ func TestChaosMatrix(t *testing.T) {
 		{"alloc-failure", "live.allocfail=1/2"},
 		{"local-spill", "pool.localspill=1/2"},
 		{"steal-miss", "pool.stealmiss=1/2"},
+		{"hoard", "pool.hoard=on"},
 		{"refill-stall", "pool.refillstall=1/4:50us"},
 		{"jitter", "jitter=1/8"},
 		{"everything", "pool.exhaust=1/5,pool.cas=1/4,card.cleanstall=1/8:20us,live.tracerstall=8:100us,live.allocfail=1/6,pool.localspill=1/6,pool.stealmiss=1/6,jitter=1/16"},
@@ -165,7 +166,7 @@ func TestWatchdogCatchesWedge(t *testing.T) {
 	if rep.WedgeDiagnosis == "" {
 		t.Error("wedged report carries no diagnosis")
 	}
-	for _, want := range []string{"WEDGED", "pool:", "trace:", "fence:", "cards:", "live.wedge"} {
+	for _, want := range []string{"WEDGED", "pool:", "trace:", "fence:", "cards:", "workers:", "live.wedge"} {
 		if !strings.Contains(rep.WedgeDiagnosis, want) {
 			t.Errorf("diagnosis missing %q:\n%s", want, rep.WedgeDiagnosis)
 		}

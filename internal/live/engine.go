@@ -156,6 +156,22 @@ type Engine struct {
 
 	// fi holds the engine's resolved fault points (each nil when disabled).
 	fi engineFaults
+
+	// accounts holds the per-worker work-flow ledgers (nil when accounting
+	// is off — no Reg, no TL, no fault plan).
+	accounts []*workerAccount
+	// cycleScanBase snapshots the scan counter at each cycle's STW init;
+	// firstDoneNs is CAS-claimed by the first tracer that contributed scans
+	// this cycle and then found the pool dry, and reset by the driver when
+	// recirculation (deferred drains, card passes) hands work back. The gap
+	// to the driver's TracingDone observation is the cycle's
+	// termination-detection latency.
+	cycleScanBase atomic.Int64
+	firstDoneNs   atomic.Int64
+	// cycleSeq increments at every mark kickoff; a tracer only charges an
+	// idle nap to its ledger when the nap ends in the same cycle it began,
+	// so naps straddling a phase boundary never bill non-mark time as idle.
+	cycleSeq atomic.Int64
 	// memPressure is set by mutators on allocation failure; the driver's
 	// inter-cycle wait polls it and kicks off the next collection early
 	// (trigger-collection-and-retry instead of spinning on a full heap).
@@ -178,6 +194,7 @@ type engineFaults struct {
 	bgStarve       *faultinject.Point
 	allocFail      *faultinject.Point
 	wedge          *faultinject.Point
+	hoard          *faultinject.Point
 }
 
 // NewEngine validates the config and builds the arena, pool and workers.
@@ -226,8 +243,10 @@ func NewEngine(cfg Config) *Engine {
 			bgStarve:       pl.Point(faultinject.LiveBgStarve),
 			allocFail:      pl.Point(faultinject.LiveAllocFail),
 			wedge:          pl.Point(faultinject.LiveWedge),
+			hoard:          pl.Point(faultinject.PoolHoard),
 		}
 	}
+	e.setupAccounting()
 	for i := 0; i < cfg.Mutators; i++ {
 		e.muts = append(e.muts, newMutator(e, i))
 	}
@@ -380,6 +399,10 @@ func (e *Engine) runCycle() bool {
 	initStart := e.now()
 	e.arena.Mark.ClearAll()
 	e.arena.Cards.RegisterAndClearAtomic(e.cardBuf[:0]) // drop stale dirt
+	e.cycleScanBase.Store(e.stats.scans.Load())
+	e.firstDoneNs.Store(0)
+	activeStart := e.now()
+	e.cycleSeq.Add(1)
 	e.markingActive.Store(true)
 	e.scanRoots(drv)
 	drv.Release()
@@ -396,6 +419,9 @@ func (e *Engine) runCycle() bool {
 		if !e.pool.DeferredEmpty() {
 			e.pool.DrainDeferred()
 			e.stats.deferredDrains.Add(1)
+			// Recirculated work re-opens the cycle: the next dry spell is a
+			// fresh termination-detection interval.
+			e.firstDoneNs.Store(0)
 		}
 		if e.pool.TracingDone() && e.pool.DeferredEmpty() {
 			if passes >= e.cfg.CardPasses {
@@ -411,6 +437,7 @@ func (e *Engine) runCycle() bool {
 			}
 			if cleaned {
 				e.span("card.pass", passStart, e.now())
+				e.firstDoneNs.Store(0)
 			}
 			passes++
 			continue
@@ -433,6 +460,8 @@ func (e *Engine) runCycle() bool {
 	markEnd := e.now()
 	e.stats.markNs.Add(markEnd - initEnd)
 	e.span("mark.concurrent", initEnd, markEnd)
+	e.noteTermLatency(markEnd)
+	e.flushWorkerCycle(cycleStart, markEnd)
 
 	// --- STW final: close the mark, run the oracle, collect garbage. ---
 	e.stopTheWorld()
@@ -445,6 +474,7 @@ func (e *Engine) runCycle() bool {
 	toFree := e.collectGarbage()
 	e.checkFreeConservation(len(toFree))
 	e.markingActive.Store(false)
+	e.stats.activeNs.Add(e.now() - activeStart)
 	finalEnd := e.now()
 	e.resumeWorld()
 	e.noteSTW(finalStart, finalEnd)
@@ -620,12 +650,15 @@ func (e *Engine) payAllocTax(m *mutator, allocObjs int64) {
 		} else {
 			tr = workpack.NewTracer(e.pool)
 		}
+		led := e.mutatorLedger(m.id)
+		tr.SetLedger(led)
 		for done < b.Words {
 			a, ok := tr.Pop()
 			if !ok {
 				break
 			}
 			if e.scanObject(a, tr) {
+				led.NoteTraced(int64(e.arena.refsPer))
 				e.stats.traceMutatorWords.Add(int64(e.arena.refsPer))
 				done++
 			}
@@ -710,6 +743,14 @@ func (e *Engine) traceLoop(id int, bg bool) {
 	} else {
 		tr = workpack.NewTracer(e.pool)
 	}
+	led := e.tracerLedger(id)
+	tr.SetLedger(led)
+	if e.fi.hoard != nil && id == 0 && !bg {
+		// The hoard fault elects the first dedicated tracer: one asymmetric
+		// worker is what skews the balance; all of them hoarding is just a
+		// smaller pool.
+		tr.InjectHoard(e.fi.hoard)
+	}
 	idle := 20 * time.Microsecond
 	if bg {
 		idle = e.cfg.BgThrottle
@@ -740,12 +781,34 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			// Get-before-return already happened inside Pop; releasing
 			// here is what lets TracingDone observe quiescence.
 			tr.Release()
-			time.Sleep(idle)
+			if led != nil {
+				// A tracer that already contributed scans this cycle and now
+				// finds the pool dry stamps the termination clock: the gap to
+				// the driver's TracingDone observation is the cycle's
+				// detection latency.
+				if e.markingActive.Load() && e.stats.scans.Load() > e.cycleScanBase.Load() {
+					e.firstDoneNs.CompareAndSwap(0, e.now())
+				}
+				seq := e.cycleSeq.Load()
+				idleStart := time.Now()
+				time.Sleep(idle)
+				// Only charge the nap if it ended inside the cycle it began:
+				// the last nap of a phase straddles the boundary, and on an
+				// oversubscribed box the late wake-up would bill the whole
+				// STW final and sweep (or the inter-cycle gap) as tracer
+				// idle, pushing the idle fraction past 100%.
+				if e.markingActive.Load() && e.cycleSeq.Load() == seq {
+					led.NoteIdle(time.Since(idleStart).Nanoseconds())
+				}
+			} else {
+				time.Sleep(idle)
+			}
 			continue
 		}
 		e.fi.tracerStall.Stall()
 		if e.scanObject(a, tr) {
 			words := int64(e.arena.refsPer)
+			led.NoteTraced(words)
 			if bg {
 				e.stats.traceBgWords.Add(words)
 				if e.pacer != nil {
@@ -763,9 +826,11 @@ func (e *Engine) traceLoop(id int, bg bool) {
 		}
 	}
 	// Every exit path — normal shutdown or a wedge abort — returns the
-	// held packets and spills the whole local cache, so post-run quiescence
-	// checks account for every packet in the global pool.
+	// held packets, drains any hoard the fault built up, and spills the
+	// whole local cache, so post-run quiescence checks account for every
+	// packet in the global pool.
 	tr.Release()
+	tr.DrainHoard()
 	if lp != nil {
 		lp.Flush()
 	}

@@ -22,8 +22,9 @@ type engineStats struct {
 	overflows      atomic.Int64 // pushes degraded to mark+dirty (Section 4.3)
 	cardPasses     atomic.Int64 // concurrent cleaning passes
 
-	markNs  atomic.Int64 // concurrent mark phase wall time
-	sweepNs atomic.Int64 // concurrent sweep wall time
+	markNs   atomic.Int64 // concurrent mark phase wall time
+	sweepNs  atomic.Int64 // concurrent sweep wall time
+	activeNs atomic.Int64 // full markingActive window (mark + STW final + oracle)
 
 	objectsAllocated atomic.Int64
 	objectsFreed     atomic.Int64
@@ -102,6 +103,10 @@ type Report struct {
 	STWMax     time.Duration
 	MarkTotal  time.Duration // concurrent mark phases
 	SweepTotal time.Duration
+	// TracerActiveTotal is the full markingActive window — concurrent mark
+	// plus STW final and the oracle — during which tracers may accrue idle
+	// time. It is the denominator of the -balance idle fraction.
+	TracerActiveTotal time.Duration
 
 	// PressureKicks counts idle periods cut short because a mutator hit
 	// allocation failure and signalled for an early collection.
@@ -136,6 +141,13 @@ type Report struct {
 	// Faults holds the per-site fault-injection counters (nil when the run
 	// had no chaos plan).
 	Faults []faultinject.PointStat
+
+	// Workers holds each tracing party's full-run work-flow ledger (nil when
+	// accounting is off — no registry, timeline or fault plan); TermLatencyNs
+	// holds one termination-detection latency sample per cycle where some
+	// tracer drained early.
+	Workers       []WorkerAccount
+	TermLatencyNs []int64
 }
 
 func (e *Engine) noteSTW(start, end int64) {
@@ -180,6 +192,7 @@ func (e *Engine) finishReport() {
 	r.ForcedFences = s.forcedFences.Load()
 	r.MarkTotal = time.Duration(s.markNs.Load())
 	r.SweepTotal = time.Duration(s.sweepNs.Load())
+	r.TracerActiveTotal = time.Duration(s.activeNs.Load())
 
 	r.PressureKicks = s.pressureKicks.Load()
 	r.RescanRedirties = s.rescanRedirty.Load()
@@ -219,6 +232,7 @@ func (e *Engine) finishReport() {
 	r.ArenaShardSteals = e.arena.ShardSteals()
 	r.CardBufferFlushes = cs.BufferFlushes.Load()
 
+	e.finishAccounting()
 	e.flushTelemetry()
 }
 
@@ -254,6 +268,9 @@ func (r Report) String() string {
 	if r.PacingEnabled {
 		out += fmt.Sprintf("\npacing: kickoffs %d  increments %d  K first %.2f  last %.2f  range [%.2f, %.2f]  corrective max %.2f",
 			r.Kickoffs, r.PacedIncrements, r.KFirst, r.KLast, r.KMin, r.KMax, r.CorrectiveMax)
+	}
+	if bal := r.balanceSummary(); bal != "" {
+		out += "\n" + bal
 	}
 	if len(r.Faults) > 0 {
 		out += "\nfaults:"

@@ -19,6 +19,9 @@ const (
 func (e *Engine) setupTelemetry() {
 	e.cfg.TL.SetThreadName(gcTrack, "gc driver")
 	e.cfg.TL.SetThreadName(heapTrack, "heap")
+	for _, a := range e.accounts {
+		e.cfg.TL.SetThreadName(a.track, a.trackName())
+	}
 }
 
 // span records a completed phase on the GC track.
@@ -83,6 +86,9 @@ func (e *Engine) flushTelemetry() {
 	set("live.floating_total", r.FloatingTotal)
 	set("live.stw_ns_total", r.STWTotal.Nanoseconds())
 	set("live.stw_ns_max", r.STWMax.Nanoseconds())
+	// The concurrent-mark wall total is what -balance divides idle time by.
+	set("live.mark_ns_total", r.MarkTotal.Nanoseconds())
+	set("live.tracer_active_ns_total", r.TracerActiveTotal.Nanoseconds())
 	set("gc.overflows", r.Overflows)
 	set("gc.card_passes", r.CardPasses)
 	set("gc.forced_fences", r.ForcedFences)
@@ -127,6 +133,7 @@ func (e *Engine) flushTelemetry() {
 	if r.Wedged {
 		set("live.wedged", 1)
 	}
+	e.flushWorkerTelemetry()
 	// Per-site fault-injection counters, so a chaos run's metrics file records
 	// which faults actually fired (gcstats -metrics prints them; chaos-smoke
 	// asserts them nonzero).

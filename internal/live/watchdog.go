@@ -51,7 +51,7 @@ func (e *Engine) traceProgress() int64 {
 	s := &e.stats
 	ps := &e.pool.Stats
 	ls := e.pool.LocalStatsSum()
-	return s.marks.Load() + s.scans.Load() + s.rescans.Load() +
+	stamp := s.marks.Load() + s.scans.Load() + s.rescans.Load() +
 		s.deferred.Load() + s.deferredDrains.Load() +
 		s.overflows.Load() + s.deferOverflows.Load() +
 		ps.Gets.Load() + ps.Puts.Load() +
@@ -59,6 +59,12 @@ func (e *Engine) traceProgress() int64 {
 		// its cache (hits) or off siblings (steals) never touches the
 		// global Gets/Puts counters.
 		ls.Hits + ls.Steals + ls.Spills + ls.Refills
+	// A hoarding tracer withholds puts, so its cumulative hoard count stands
+	// in for the pool traffic it suppressed.
+	for _, a := range e.accounts {
+		stamp += a.led.Hoarded.Load()
+	}
+	return stamp
 }
 
 // abortWedged is the fail-loudly path: capture a diagnosis while the wedged
@@ -123,6 +129,20 @@ func (e *Engine) wedgeDiagnosis(phase string) string {
 		fmt.Fprintf(&b, " m%d=%d%s", m.id, m.ackEpoch.Load(), state)
 	}
 	b.WriteByte('\n')
+
+	// Per-worker ledgers pinpoint an asymmetric tracer — one hoarding (held
+	// packets the sub-pools cannot see) or starving (all idle, no words)
+	// while the aggregates above look plausible.
+	for _, a := range e.accounts {
+		w := a.led.Snap()
+		fmt.Fprintf(&b, "  workers: %s acq g/l/s %d/%d/%d  produced %d  words %d  idle %.1fms  steals %d/%d",
+			a.key, w.AcqGlobal, w.AcqLocal, w.AcqSteal, w.Produced, w.Words,
+			float64(w.IdleNs)/1e6, w.StealHits, w.StealAttempts)
+		if w.Hoarded > 0 || w.HoardHeld > 0 {
+			fmt.Fprintf(&b, "  HOARDING %d held (%d lifetime)", w.HoardHeld, w.Hoarded)
+		}
+		b.WriteByte('\n')
+	}
 
 	cs := &e.arena.Cards.AtomicStats
 	fmt.Fprintf(&b, "  cards: dirty now %d; registered %d  cleaned %d  direct dirties %d\n",

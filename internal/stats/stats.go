@@ -105,6 +105,33 @@ func Summarize(ds []vtime.Duration) DurationSummary {
 	return s
 }
 
+// Gini returns the Gini coefficient of the given non-negative values: 0 for
+// a perfectly even distribution, approaching 1 as one value dominates. The
+// balance view uses it over per-tracer traced words because, unlike the
+// max/mean skew ratio, it also exposes a *starved* worker (a min-side
+// outlier leaves max/mean untouched). Returns 0 for fewer than two values or
+// an all-zero set; panics on negative input.
+func Gini(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	if xs[0] < 0 {
+		panic(fmt.Sprintf("stats: negative value %v in Gini input", xs[0]))
+	}
+	var sum, weighted float64
+	for i, x := range xs {
+		sum += x
+		weighted += float64(i+1) * x
+	}
+	if sum == 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	return 2*weighted/(n*sum) - (n+1)/n
+}
+
 // Table renders aligned text tables for the experiment reports.
 type Table struct {
 	header []string

@@ -1,0 +1,249 @@
+package workpack
+
+import (
+	"testing"
+	"unsafe"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/heapsim"
+)
+
+// TestLedgerAccounting drives one instrumented tracer through a
+// produce/consume cycle and checks the ledger agrees with the pool's own
+// aggregate counters.
+func TestLedgerAccounting(t *testing.T) {
+	p := NewPool(8, 4)
+	led := &Ledger{}
+	tr := NewTracer(p)
+	tr.SetLedger(led)
+
+	// Produce: push enough work to cycle several output packets.
+	for i := 1; i <= 10; i++ {
+		if !tr.Push(heapsim.Addr(i)) {
+			t.Fatalf("Push %d overflowed with an idle pool", i)
+		}
+	}
+	tr.Release()
+
+	// Consume: pop everything back, charging traced words.
+	for {
+		_, ok := tr.Pop()
+		if !ok {
+			break
+		}
+		led.NoteTraced(2)
+	}
+	tr.Release()
+
+	s := led.Snap()
+	if s.AcqLocal != 0 || s.AcqSteal != 0 {
+		t.Fatalf("local/steal acquisitions %d/%d on a tracer with no local tier", s.AcqLocal, s.AcqSteal)
+	}
+	if gets := p.Stats.Gets.Load(); s.AcqGlobal != gets {
+		t.Fatalf("ledger AcqGlobal %d != pool Gets %d", s.AcqGlobal, gets)
+	}
+	if s.Produced == 0 {
+		t.Fatal("no Produced packets recorded after pushing 10 refs across 4-cap packets")
+	}
+	if s.Objects != 10 || s.Words != 20 {
+		t.Fatalf("traced %d objects / %d words, want 10 / 20", s.Objects, s.Words)
+	}
+	if s.PoolNs <= 0 {
+		t.Fatal("PoolNs never charged on an instrumented tracer")
+	}
+	// The final failed Pop reached the steal scan (no locals registered, so
+	// no hit is possible).
+	if s.StealAttempts == 0 {
+		t.Fatal("steal scan never attempted")
+	}
+	if s.StealHits != 0 {
+		t.Fatalf("%d steal hits without sibling caches", s.StealHits)
+	}
+	checkQuiescent(t, p, 8)
+}
+
+// TestLedgerStealClassification parks work in one worker's steal window and
+// has a sibling acquire it: the sibling's ledger must classify the packet as
+// stolen, the owner's as locally produced.
+func TestLedgerStealClassification(t *testing.T) {
+	p := NewPool(8, 4)
+	victim := p.NewLocal(4)
+	vled := &Ledger{}
+	vtr := NewLocalTracer(victim)
+	vtr.SetLedger(vled)
+	for i := 1; i <= 4; i++ {
+		if !vtr.Push(heapsim.Addr(i)) {
+			t.Fatalf("Push %d failed", i)
+		}
+	}
+	vtr.Release() // full output parks in the victim's steal window
+
+	thief := p.NewLocal(4)
+	tled := &Ledger{}
+	ttr := NewLocalTracer(thief)
+	ttr.SetLedger(tled)
+	if _, ok := ttr.Pop(); !ok {
+		t.Fatal("thief found no work with a loaded sibling window")
+	}
+	ts := tled.Snap()
+	if ts.AcqSteal != 1 || ts.StealHits != 1 || ts.StealAttempts != 1 {
+		t.Fatalf("thief snap %+v, want one steal attempt, hit and acquisition", ts)
+	}
+	if vs := vled.Snap(); vs.Produced != 1 {
+		t.Fatalf("victim Produced %d, want 1", vs.Produced)
+	}
+	ttr.Release()
+	flushAll(p)
+	checkQuiescent(t, p, 8)
+}
+
+// TestLedgerLocalClassification checks that cache hits are charged to
+// SrcLocal and batch refills to SrcGlobal.
+func TestLedgerLocalClassification(t *testing.T) {
+	p := NewPool(8, 4)
+	lp := p.NewLocal(4)
+	led := &Ledger{}
+	tr := NewLocalTracer(lp)
+	tr.SetLedger(led)
+
+	// First acquisition misses the empty cache and batch-refills: global.
+	if !tr.Push(1) {
+		t.Fatal("Push failed")
+	}
+	s := led.Snap()
+	if s.AcqGlobal != 1 || s.AcqLocal != 0 {
+		t.Fatalf("first acquisition global/local = %d/%d, want 1/0 (refill)", s.AcqGlobal, s.AcqLocal)
+	}
+	// Fill the output; its replacement should come from the refilled cache.
+	for i := 2; i <= 6; i++ {
+		if !tr.Push(heapsim.Addr(i)) {
+			t.Fatalf("Push %d failed", i)
+		}
+	}
+	s = led.Snap()
+	if s.AcqLocal == 0 {
+		t.Fatal("no SrcLocal acquisition after a batch refill primed the cache")
+	}
+	tr.Release()
+	lp.Flush()
+	checkQuiescent(t, p, 8)
+}
+
+// TestLedgerDisabledZeroAlloc pins the zero-perturbation guarantee: a tracer
+// without a ledger allocates nothing and reads only one extra pointer on its
+// packet paths.
+func TestLedgerDisabledZeroAlloc(t *testing.T) {
+	p := NewPool(8, 8)
+	tr := NewTracer(p)
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 1; i <= 12; i++ {
+			tr.Push(heapsim.Addr(i))
+		}
+		for {
+			if _, ok := tr.Pop(); !ok {
+				break
+			}
+		}
+		tr.Release()
+	}); allocs != 0 {
+		t.Fatalf("uninstrumented tracer cycle allocates %.1f objects per run, want 0", allocs)
+	}
+	// Nil-receiver methods must be safe no-ops.
+	var nl *Ledger
+	nl.noteAcq(SrcGlobal)
+	nl.NoteTraced(8)
+	nl.NoteIdle(100)
+	if s := nl.Snap(); s.Active() {
+		t.Fatalf("nil ledger snapshots active: %+v", s)
+	}
+}
+
+// TestHoardFaultConservation arms pool.hoard on one tracer and checks the
+// degradation contract: packets are withheld (skewing the flow), but the
+// hoarder self-serves from its hoard when the pool runs dry, and Release
+// restores full pool conservation — Gets==Puts and every packet walkable.
+func TestHoardFaultConservation(t *testing.T) {
+	const packets, cap = 12, 4
+	p := NewPool(packets, cap)
+	plan := faultinject.MustParse("pool.hoard=on", 7)
+	led := &Ledger{}
+	tr := NewTracer(p)
+	tr.SetLedger(led)
+	tr.InjectHoard(plan.Point(faultinject.PoolHoard))
+
+	pushed := 0
+	for i := 1; i <= packets*cap; i++ {
+		if tr.Push(heapsim.Addr(i)) {
+			pushed++
+		}
+	}
+	if tr.HoardHeld() == 0 {
+		t.Fatal("pool.hoard=on never hoarded a full output packet")
+	}
+	if got := led.HoardHeld.Load(); got != int64(tr.HoardHeld()) {
+		t.Fatalf("ledger HoardHeld %d != tracer hoard %d", got, tr.HoardHeld())
+	}
+
+	// Drain: the hoarder must eventually self-serve every withheld packet,
+	// so no pushed reference is lost. Self-serve starts only after a
+	// sustained dry streak, so a failed Pop with a non-empty hoard means
+	// "try again", not "done".
+	popped := 0
+	for {
+		if _, ok := tr.Pop(); !ok {
+			// Swap exception may leave work in the output packet.
+			if tr.out != nil && !tr.out.Empty() {
+				tr.in, tr.out = tr.out, tr.in
+				continue
+			}
+			if tr.HoardHeld() > 0 {
+				continue
+			}
+			break
+		}
+		popped++
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d of %d pushed refs through a hoarding tracer", popped, pushed)
+	}
+	tr.Release()
+	tr.DrainHoard()
+	if tr.HoardHeld() != 0 || led.HoardHeld.Load() != 0 {
+		t.Fatalf("hoard not drained: tracer %d, ledger %d", tr.HoardHeld(), led.HoardHeld.Load())
+	}
+	if led.Hoarded.Load() == 0 {
+		t.Fatal("cumulative Hoarded counter empty after observed hoarding")
+	}
+	checkQuiescent(t, p, packets)
+}
+
+// TestLedgerLayout pins the Ledger field order so trace tooling and the
+// accounting flush can rely on a stable block of owner-written counters.
+func TestLedgerLayout(t *testing.T) {
+	var l Ledger
+	want := []struct {
+		name string
+		off  uintptr
+	}{
+		{"AcqGlobal", unsafe.Offsetof(l.AcqGlobal)},
+		{"AcqLocal", unsafe.Offsetof(l.AcqLocal)},
+		{"AcqSteal", unsafe.Offsetof(l.AcqSteal)},
+		{"Produced", unsafe.Offsetof(l.Produced)},
+		{"Objects", unsafe.Offsetof(l.Objects)},
+		{"Words", unsafe.Offsetof(l.Words)},
+		{"StealAttempts", unsafe.Offsetof(l.StealAttempts)},
+		{"StealHits", unsafe.Offsetof(l.StealHits)},
+		{"IdleNs", unsafe.Offsetof(l.IdleNs)},
+		{"PoolNs", unsafe.Offsetof(l.PoolNs)},
+		{"Hoarded", unsafe.Offsetof(l.Hoarded)},
+		{"HoardHeld", unsafe.Offsetof(l.HoardHeld)},
+	}
+	for i, f := range want {
+		if got, exp := f.off, uintptr(i*8); got != exp {
+			t.Errorf("Ledger.%s at offset %d, want %d", f.name, got, exp)
+		}
+	}
+	if size := unsafe.Sizeof(l); size != 96 {
+		t.Errorf("Ledger size %d, want 96 (12 packed words)", size)
+	}
+}

@@ -156,36 +156,52 @@ func (lp *LocalPool) refill() *Packet {
 // GetInput obtains a packet to trace from: the worker's own steal window
 // first, then the global pool (which itself falls back to stealing from
 // siblings).
-func (lp *LocalPool) GetInput() *Packet {
+func (lp *LocalPool) GetInput() *Packet { return lp.getInput(nil) }
+
+func (lp *LocalPool) getInput(led *Ledger) *Packet {
 	if pkt := lp.takeReady(); pkt != nil {
 		lp.Stats.Hits.Add(1)
+		led.noteAcq(SrcLocal)
 		return pkt
 	}
-	return lp.pool.GetInput()
+	return lp.pool.getInput(led)
 }
 
 // GetOutput obtains a packet to push new work into: the local empty cache,
 // then a batch refill from the global Empty sub-pool, then the global
 // lowest-occupancy scan.
-func (lp *LocalPool) GetOutput() *Packet {
+func (lp *LocalPool) GetOutput() *Packet { return lp.getOutput(nil) }
+
+func (lp *LocalPool) getOutput(led *Ledger) *Packet {
 	if pkt := lp.takeEmpty(); pkt != nil {
 		lp.Stats.Hits.Add(1)
+		led.noteAcq(SrcLocal)
 		return pkt
 	}
+	// A batch refill is global traffic by another name: one packet returned
+	// now, the rest cached for future SrcLocal hits.
 	if pkt := lp.refill(); pkt != nil {
+		led.noteAcq(SrcGlobal)
 		return pkt
 	}
-	return lp.pool.GetOutput()
+	return lp.pool.getOutput(led)
 }
 
 // GetEmpty obtains an empty packet from the local cache or, in a batch, from
 // the global Empty sub-pool.
-func (lp *LocalPool) GetEmpty() *Packet {
+func (lp *LocalPool) GetEmpty() *Packet { return lp.getEmpty(nil) }
+
+func (lp *LocalPool) getEmpty(led *Ledger) *Packet {
 	if pkt := lp.takeEmpty(); pkt != nil {
 		lp.Stats.Hits.Add(1)
+		led.noteAcq(SrcLocal)
 		return pkt
 	}
-	return lp.refill()
+	if pkt := lp.refill(); pkt != nil {
+		led.noteAcq(SrcGlobal)
+		return pkt
+	}
+	return nil
 }
 
 // Put returns a packet to the local tier: empties into the bounded empty

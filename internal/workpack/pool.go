@@ -261,7 +261,12 @@ func (p *Pool) pushBatchTo(s SubPool, pkts []*Packet) {
 // that has one (Section 4.2), falling back to stealing from sibling local
 // caches so no thread idles — or terminates tracing — while a local tier
 // hoards ready work. It returns nil when no tracing work is available.
-func (p *Pool) GetInput() *Packet {
+func (p *Pool) GetInput() *Packet { return p.getInput(nil) }
+
+// getInput is GetInput with work-flow accounting: a non-nil ledger is
+// charged for the acquisition source and for steal attempts vs. hits. The
+// led == nil path is byte-for-byte the uninstrumented behavior.
+func (p *Pool) getInput(led *Ledger) *Packet {
 	if f := p.faults; f != nil {
 		f.GetStall.Stall()
 		if f.Exhaust.Fire() {
@@ -272,10 +277,19 @@ func (p *Pool) GetInput() *Packet {
 		if pkt := p.popFrom(s); pkt != nil {
 			p.Stats.Gets.Add(1)
 			p.noteUsage()
+			led.noteAcq(SrcGlobal)
 			return pkt
 		}
 	}
-	return p.stealReady()
+	if led != nil {
+		led.StealAttempts.Add(1)
+	}
+	pkt := p.stealReady()
+	if pkt != nil && led != nil {
+		led.StealHits.Add(1)
+		led.AcqSteal.Add(1)
+	}
+	return pkt
 }
 
 // stealReady claims a cached non-empty packet from any registered local
@@ -307,7 +321,9 @@ func (p *Pool) stealReady() *Packet {
 // GetOutput obtains a packet to push new work into: the lowest-occupancy
 // sub-pool that has one. It returns nil only when every packet is checked
 // out or deferred.
-func (p *Pool) GetOutput() *Packet {
+func (p *Pool) GetOutput() *Packet { return p.getOutput(nil) }
+
+func (p *Pool) getOutput(led *Ledger) *Packet {
 	if f := p.faults; f != nil {
 		f.GetStall.Stall()
 		if f.Exhaust.Fire() {
@@ -318,6 +334,7 @@ func (p *Pool) GetOutput() *Packet {
 		if pkt := p.popFrom(s); pkt != nil {
 			p.Stats.Gets.Add(1)
 			p.noteUsage()
+			led.noteAcq(SrcGlobal)
 			return pkt
 		}
 	}
@@ -325,7 +342,9 @@ func (p *Pool) GetOutput() *Packet {
 }
 
 // GetEmpty obtains a packet from the Empty sub-pool only.
-func (p *Pool) GetEmpty() *Packet {
+func (p *Pool) GetEmpty() *Packet { return p.getEmpty(nil) }
+
+func (p *Pool) getEmpty(led *Ledger) *Packet {
 	if f := p.faults; f != nil {
 		f.GetStall.Stall()
 		if f.Exhaust.Fire() {
@@ -335,6 +354,7 @@ func (p *Pool) GetEmpty() *Packet {
 	if pkt := p.popFrom(Empty); pkt != nil {
 		p.Stats.Gets.Add(1)
 		p.noteUsage()
+		led.noteAcq(SrcGlobal)
 		return pkt
 	}
 	return nil

@@ -1,6 +1,27 @@
 package workpack
 
-import "mcgc/internal/heapsim"
+import (
+	"time"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/heapsim"
+)
+
+// hoardCap bounds the pool.hoard fault so the hoard slice cannot grow without
+// limit. The bound is deliberately larger than any realistic pool: the fault
+// is only convincing when the hoarder can absorb the whole tracing frontier —
+// sibling tracers then starve mid-phase exactly as a real work-hogging thread
+// would starve them, and the pool's exhaustion degradations (overflow to
+// mark+dirty-card) carry the cycle.
+const hoardCap = 256
+
+// hoardDrainStreak is how many consecutive dry input acquisitions a hoarding
+// tracer waits before it starts serving its own hoard. Transient mid-phase
+// dry spells (refilled within a driver poll by barrier or recirculated work)
+// stay below the streak, so the hoard survives to the end of the phase and
+// drains as a solo stalled tail — the shape a real work-hogging thread gives
+// the termination detector.
+const hoardDrainStreak = 8
 
 // Tracer enforces the per-thread work packet discipline of Sections 4.1 and
 // 4.3: pops come only from the input packet, pushes go only to the output
@@ -27,6 +48,22 @@ type Tracer struct {
 	// Swaps counts input/output role swaps (the one exception to the
 	// no-swap rule).
 	Swaps int64
+
+	// led is the optional work-flow ledger (nil: accounting off, hot paths
+	// cost one pointer test). Set before the tracer does work.
+	led *Ledger
+
+	// hoardPt arms the pool.hoard fault: a firing hit on a non-empty put
+	// withholds the packet in hoard instead of returning it. The hoard is
+	// invisible to the sub-pools and the steal windows; Pop falls back to
+	// it only when no other work exists, so the hoarder eventually does the
+	// withheld work itself and Release drains any remainder — Gets==Puts
+	// and packet conservation still close at quiescence.
+	hoardPt *faultinject.Point
+	hoard   []*Packet
+	// dryStreak counts consecutive dry input acquisitions; the hoard only
+	// drains once it reaches hoardDrainStreak (any global hit resets it).
+	dryStreak int
 }
 
 // NewTracer returns a tracer drawing packets from pool. It acquires nothing
@@ -45,45 +82,190 @@ func (t *Tracer) Pool() *Pool { return t.pool }
 // Local returns the tracer's local cache, or nil.
 func (t *Tracer) Local() *LocalPool { return t.local }
 
+// SetLedger attaches a work-flow ledger (nil detaches). Owner-only; call
+// before the tracer is used.
+func (t *Tracer) SetLedger(l *Ledger) { t.led = l }
+
+// Ledger returns the attached ledger, or nil.
+func (t *Tracer) Ledger() *Ledger { return t.led }
+
+// InjectHoard arms the pool.hoard fault point on this tracer (nil leaves it
+// disabled). Owner-only; call before the tracer is used.
+func (t *Tracer) InjectHoard(p *faultinject.Point) { t.hoardPt = p }
+
+// HoardHeld returns how many packets the tracer currently withholds.
+func (t *Tracer) HoardHeld() int { return len(t.hoard) }
+
 func (t *Tracer) getInput() *Packet {
-	if t.local != nil {
-		return t.local.GetInput()
+	led := t.led
+	if led == nil {
+		if t.local != nil {
+			return t.local.GetInput()
+		}
+		return t.pool.GetInput()
 	}
-	return t.pool.GetInput()
+	start := time.Now()
+	var pkt *Packet
+	if t.local != nil {
+		pkt = t.local.getInput(led)
+	} else {
+		pkt = t.pool.getInput(led)
+	}
+	led.PoolNs.Add(time.Since(start).Nanoseconds())
+	return pkt
 }
 
 func (t *Tracer) getOutput() *Packet {
-	if t.local != nil {
-		return t.local.GetOutput()
+	led := t.led
+	if led == nil {
+		if t.local != nil {
+			return t.local.GetOutput()
+		}
+		return t.pool.GetOutput()
 	}
-	return t.pool.GetOutput()
+	start := time.Now()
+	var pkt *Packet
+	if t.local != nil {
+		pkt = t.local.getOutput(led)
+	} else {
+		pkt = t.pool.getOutput(led)
+	}
+	led.PoolNs.Add(time.Since(start).Nanoseconds())
+	return pkt
 }
 
 func (t *Tracer) getEmpty() *Packet {
-	if t.local != nil {
-		return t.local.GetEmpty()
+	led := t.led
+	if led == nil {
+		if t.local != nil {
+			return t.local.GetEmpty()
+		}
+		return t.pool.GetEmpty()
 	}
-	return t.pool.GetEmpty()
+	start := time.Now()
+	var pkt *Packet
+	if t.local != nil {
+		pkt = t.local.getEmpty(led)
+	} else {
+		pkt = t.pool.getEmpty(led)
+	}
+	led.PoolNs.Add(time.Since(start).Nanoseconds())
+	return pkt
 }
 
 func (t *Tracer) put(pkt *Packet) {
-	if t.local != nil {
-		t.local.Put(pkt)
+	if t.hoardPt != nil && !pkt.Empty() && len(t.hoard) < hoardCap && t.hoardPt.Fire() {
+		t.hoardPacket(pkt)
 		return
 	}
-	t.pool.Put(pkt)
+	t.putThrough(pkt)
+}
+
+func (t *Tracer) hoardPacket(pkt *Packet) {
+	t.hoard = append(t.hoard, pkt)
+	if led := t.led; led != nil {
+		led.Hoarded.Add(1)
+		led.HoardHeld.Add(1)
+	}
+}
+
+// putThrough returns a packet to the tier without consulting the hoard fault
+// (Release drains the hoard through here, so a firing point cannot re-hoard
+// its own drain).
+func (t *Tracer) putThrough(pkt *Packet) {
+	led := t.led
+	if led == nil {
+		if t.local != nil {
+			t.local.Put(pkt)
+			return
+		}
+		t.pool.Put(pkt)
+		return
+	}
+	if !pkt.Empty() {
+		led.Produced.Add(1)
+	}
+	start := time.Now()
+	if t.local != nil {
+		t.local.Put(pkt)
+	} else {
+		t.pool.Put(pkt)
+	}
+	led.PoolNs.Add(time.Since(start).Nanoseconds())
 }
 
 func (t *Tracer) putDeferred(pkt *Packet) {
-	if t.local != nil {
-		t.local.PutDeferred(pkt)
+	led := t.led
+	if led == nil {
+		if t.local != nil {
+			t.local.PutDeferred(pkt)
+			return
+		}
+		t.pool.PutDeferred(pkt)
 		return
 	}
-	t.pool.PutDeferred(pkt)
+	if !pkt.Empty() {
+		led.Produced.Add(1)
+	}
+	start := time.Now()
+	if t.local != nil {
+		t.local.PutDeferred(pkt)
+	} else {
+		t.pool.PutDeferred(pkt)
+	}
+	led.PoolNs.Add(time.Since(start).Nanoseconds())
+}
+
+// takeHoard returns the most recently withheld packet, if any.
+func (t *Tracer) takeHoard() *Packet {
+	n := len(t.hoard)
+	if n == 0 {
+		return nil
+	}
+	pkt := t.hoard[n-1]
+	t.hoard = t.hoard[:n-1]
+	if led := t.led; led != nil {
+		led.HoardHeld.Add(-1)
+	}
+	return pkt
+}
+
+// acquireForPop is Pop's packet source. The hoard-armed path models the
+// Section 6.3 load-balance failure: whenever the hoarder needs input it
+// batch-claims every packet it can see into its private hoard — work that
+// becomes invisible to the sub-pools and steal windows and keeps TracingDone
+// false. The hoard is only traced back out once the shared tier has been dry
+// for a sustained streak (the end of the phase, in practice), by the hoarder
+// alone, with an optional per-packet stall from the fault spec
+// ("pool.hoard=on:100us") — so the phase ends in a solo stalled tail that
+// the termination detector must wait out while the siblings idle.
+func (t *Tracer) acquireForPop() *Packet {
+	pkt := t.getInput()
+	if pkt != nil {
+		t.dryStreak = 0
+		if t.hoardPt != nil && len(t.hoard) < hoardCap && t.hoardPt.Fire() {
+			for len(t.hoard) < hoardCap {
+				vp := t.getInput()
+				if vp == nil {
+					break
+				}
+				t.hoardPacket(vp)
+			}
+		}
+		return pkt
+	}
+	if t.dryStreak++; t.dryStreak >= hoardDrainStreak {
+		if pkt = t.takeHoard(); pkt != nil {
+			t.hoardPt.Sleep()
+		}
+	}
+	return pkt
 }
 
 // HoldsPackets reports whether the tracer currently owns any packet.
-func (t *Tracer) HoldsPackets() bool { return t.in != nil || t.out != nil || t.def != nil }
+func (t *Tracer) HoldsPackets() bool {
+	return t.in != nil || t.out != nil || t.def != nil || len(t.hoard) > 0
+}
 
 // Input exposes the current input packet (may be nil); the Section 5.2
 // allocation-bit pre-scan reads it wholesale before popping.
@@ -93,11 +275,12 @@ func (t *Tracer) Input() *Packet { return t.in }
 // packet by first getting a new non-empty packet and only then returning
 // the old empty one. It reports false when the pool has no tracing work;
 // the caller then does other concurrent tasks (card cleaning), quits, or
-// yields (Section 4.3).
+// yields (Section 4.3). A hoarding tracer (pool.hoard) serves its own hoard
+// first, so withheld work is done by the hoarder itself rather than lost.
 func (t *Tracer) Pop() (heapsim.Addr, bool) {
 	for {
 		if t.in == nil {
-			t.in = t.getInput()
+			t.in = t.acquireForPop()
 			if t.in == nil {
 				return heapsim.Nil, false
 			}
@@ -106,7 +289,7 @@ func (t *Tracer) Pop() (heapsim.Addr, bool) {
 			return a, true
 		}
 		// Input exhausted: get-new-before-return-old.
-		np := t.getInput()
+		np := t.acquireForPop()
 		if np == nil {
 			// Keep the empty input; if the output has work we may swap
 			// into it on the caller's next attempt, and Release will
@@ -180,9 +363,12 @@ func (t *Tracer) PushDeferred(a heapsim.Addr) bool {
 	return t.def.Push(a)
 }
 
-// Release returns every held packet to the pool. Mutators call it at the
-// end of each tracing increment so their buffered work becomes available to
-// the other threads competing for input.
+// Release returns the working packets (input, output, deferred) to the pool.
+// Mutators call it at the end of each tracing increment so their buffered
+// work becomes available to the other threads competing for input. A hoard
+// deliberately survives Release — releasing on every dry spell would hand the
+// withheld work straight back — so a worker that is done for good must also
+// call DrainHoard.
 func (t *Tracer) Release() {
 	if t.in != nil {
 		t.put(t.in)
@@ -195,5 +381,18 @@ func (t *Tracer) Release() {
 	if t.def != nil {
 		t.putDeferred(t.def)
 		t.def = nil
+	}
+}
+
+// DrainHoard returns every hoarded packet to the pool, bypassing the hoard
+// fault. Workers call it on shutdown (after the final Release) so every exit
+// path — including a wedge abort — restores pool conservation.
+func (t *Tracer) DrainHoard() {
+	for {
+		pkt := t.takeHoard()
+		if pkt == nil {
+			return
+		}
+		t.putThrough(pkt)
 	}
 }

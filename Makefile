@@ -8,11 +8,11 @@ GO ?= go
 # weak-memory checker, the parallel experiment runner, the shared trace
 # emitter, the live collector engine and its atomic bit/card layers) or
 # that drive it.
-RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable
+RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable ./internal/server
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench serve-smoke serve-bench bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -156,6 +156,40 @@ balance-bench:
 	/tmp/gcstats-bb -metrics /tmp/gcbalance-bench.jsonl -balance -json > BENCH_balance.json
 	@rm -f /tmp/gcbalance-cell.jsonl /tmp/gcbalance-bench.jsonl /tmp/gcstress-bb /tmp/gcstats-bb
 	@echo "balance-bench: wrote BENCH_balance.json"
+
+# Exercise the server workload end to end under the race detector: a short
+# gcserve run (closed-loop clients with Zipfian skew and churn driving the
+# sharded store on the live heap) that must complete real requests
+# (-min-ops), keep the request accounting identity, and pass the per-cycle
+# STW oracle; gcstats -latency must then reduce the metrics to throughput,
+# the latency tail and the pause correlation.
+serve-smoke:
+	$(GO) run -race ./cmd/gcserve -clients 16 -duration 2s -objects 32768 \
+		-churn 300 -min-ops 1000 -metrics /tmp/gcserve-smoke.jsonl
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcserve-smoke.jsonl -latency | tee /tmp/gcserve-smoke.out
+	@grep -q "throughput: " /tmp/gcserve-smoke.out || { echo "serve-smoke: no throughput in -latency output"; exit 1; }
+	@grep -q "p999 " /tmp/gcserve-smoke.out || { echo "serve-smoke: no p999 in -latency output"; exit 1; }
+	@grep -q "lost objects 0" /tmp/gcserve-smoke.out || { echo "serve-smoke: oracle reported lost objects"; exit 1; }
+	@rm -f /tmp/gcserve-smoke.jsonl /tmp/gcserve-smoke.out
+
+# Client-scaling sweep: client counts x local-tier on/off, each cell reduced
+# to throughput, latency tail, MMU and the pause-latency correlation. One
+# JSON object per cell lands in BENCH_serve.json.
+serve-bench:
+	@$(GO) build -o /tmp/gcserve-sb ./cmd/gcserve
+	@$(GO) build -o /tmp/gcstats-sb ./cmd/gcstats
+	@rm -f /tmp/gcserve-bench.jsonl
+	@for c in 32 64 128 256 512; do for tier in on off; do \
+		lc=0; [ $$tier = off ] && lc=-1; \
+		echo "serve-bench: clients=$$c local-tier=$$tier"; \
+		/tmp/gcserve-sb -clients $$c -duration 2s -objects 65536 -seed 11 \
+			-localcache $$lc -name "serve/c=$$c/local=$$tier" \
+			-metrics /tmp/gcserve-cell.jsonl >/dev/null || exit 1; \
+		cat /tmp/gcserve-cell.jsonl >> /tmp/gcserve-bench.jsonl; \
+	done; done
+	/tmp/gcstats-sb -metrics /tmp/gcserve-bench.jsonl -latency -json > BENCH_serve.json
+	@rm -f /tmp/gcserve-cell.jsonl /tmp/gcserve-bench.jsonl /tmp/gcserve-sb /tmp/gcstats-sb
+	@echo "serve-bench: wrote BENCH_serve.json"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,225 @@
+// Command gcserve drives the live collector with a server-shaped workload:
+// a sharded in-memory KV/session store whose values live in the collected
+// arena, hammered by a closed loop of concurrent clients with Zipfian key
+// skew, a configurable read/write mix, phase-locked request bursts and
+// connection churn (internal/server). Every request is timed; the run's
+// server.req_ns latency histogram and server.* counters land in the metrics
+// JSONL next to the collector's own counters, and gcstats -latency reads
+// them back to correlate GC pauses with request-latency tails.
+//
+// The per-cycle STW oracle stays armed: a run that loses a live store entry
+// or session object exits 1, a wedged run exits 2, exactly like gcstress.
+//
+// Examples:
+//
+//	gcserve -clients 128 -duration 5s
+//	gcserve -clients 64 -readfrac 0.9 -churn 500 -metrics serve.jsonl
+//	gcserve -clients 256 -burst-period 100ms -burst-duty 0.4 -pacing
+//	gcserve -clients 32 -chaos "pool.exhaust=1/4" -require-faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/live"
+	"mcgc/internal/runmeta"
+	"mcgc/internal/server"
+	"mcgc/internal/telemetry"
+)
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 128, "concurrent client goroutines (each is one external mutator)")
+		shards   = flag.Int("shards", 8, "store shards (rounded up to a power of two)")
+		buckets  = flag.Int("buckets", 64, "bucket-chain root slots per shard")
+		keys     = flag.Int("keys", 4096, "key-space size")
+		zipf     = flag.Float64("zipf", 0.99, "Zipfian key skew theta (0 = uniform)")
+		readFrac = flag.Float64("readfrac", 0.70, "fraction of requests that are GETs")
+		delFrac  = flag.Float64("deletefrac", 0.05, "fraction of requests that are DELETEs")
+		tchFrac  = flag.Float64("touchfrac", 0.10, "fraction of requests that are session touches")
+		valSize  = flag.Int("valsize", 2, "arena objects per stored value")
+		burstP   = flag.Duration("burst-period", 0, "request burst period (0 = steady load)")
+		burstD   = flag.Float64("burst-duty", 0.5, "fraction of each burst period spent issuing")
+		churn    = flag.Int("churn", 400, "mean completed requests between connection churns (0 disables)")
+		duration = flag.Duration("duration", 2*time.Second, "run length")
+		seed     = flag.Int64("seed", 1, "workload seed")
+
+		objects    = flag.Int("objects", 1<<15, "arena size in objects")
+		refs       = flag.Int("refs", 4, "reference slots per object (store needs >= 3)")
+		roots      = flag.Int("roots", 8, "root slots per client")
+		tracers    = flag.Int("tracers", 2, "dedicated tracer goroutines")
+		bg         = flag.Int("bg", 1, "low-priority background tracer goroutines")
+		packets    = flag.Int("packets", 256, "work packets in the pool")
+		packetCap  = flag.Int("packetcap", 32, "entries per packet")
+		allocBatch = flag.Int("allocbatch", 16, "allocation-bit publication batch size")
+		cardPasses = flag.Int("cardpasses", 2, "concurrent card cleaning passes per cycle")
+
+		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
+		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
+
+		chaos     = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
+		wedgeTO   = flag.Duration("wedge-timeout", 5*time.Second, "abort a cycle making no tracing progress for this long")
+		timeout   = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
+		reqFaults = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
+		minOps    = flag.Int64("min-ops", 0, "exit 1 unless at least this many requests completed")
+	)
+	// Shared knob vocabulary with gcstress: -localcache/-freeshards/-cardbuf,
+	// -name and the full pacing flag set, all bound through the common
+	// helper so the same spellings mean the same thing in both CLIs.
+	common := live.BindCommonFlags(flag.CommandLine, false)
+	flag.Parse()
+	common.PrintHints(os.Stderr, "gcserve")
+
+	if *chaos == "list" {
+		for _, line := range faultinject.Sites() {
+			fmt.Println(line)
+		}
+		return
+	}
+	plan, err := faultinject.Parse(*chaos, *chaosSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := live.Config{
+		Objects:         *objects,
+		RefsPerObject:   *refs,
+		RootsPerMutator: *roots,
+		Mutators:        0,
+		ExtMutators:     *clients,
+		Tracers:         *tracers,
+		BgTracers:       *bg,
+		Packets:         *packets,
+		PacketCap:       *packetCap,
+		AllocBatch:      *allocBatch,
+		CardPasses:      *cardPasses,
+		Duration:        *duration,
+		Seed:            *seed,
+		Faults:          plan,
+		WedgeTimeout:    *wedgeTO,
+	}
+	common.Apply(&cfg)
+
+	col := telemetry.NewCollector(*traceOut != "")
+	name := common.RunName(fmt.Sprintf("serve/c=%d/k=%d/z=%.2f", *clients, *keys, *zipf))
+	run := col.StartRun(runmeta.Run{
+		Exp:     "gcserve",
+		Name:    name,
+		Seed:    *seed,
+		Workers: *clients + *tracers + *bg,
+	})
+	cfg.Reg = run.Registry
+	cfg.TL = run.Timeline
+
+	suite := runmeta.Suite{
+		Scale:      "live",
+		J:          1,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	if *timeout > 0 {
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "gcserve: run exceeded -timeout %v; goroutine dump follows\n", *timeout)
+			buf := make([]byte, 1<<20)
+			os.Stderr.Write(buf[:runtime.Stack(buf, true)])
+			os.Exit(2)
+		}()
+	}
+
+	eng := live.NewEngine(cfg)
+	st := server.NewStore(eng, server.StoreConfig{
+		Shards:    *shards,
+		Buckets:   *buckets,
+		ValueObjs: *valSize,
+	})
+	lg := server.NewLoadGen(eng, st, server.LoadConfig{
+		Clients:     *clients,
+		Keys:        *keys,
+		Theta:       *zipf,
+		ReadFrac:    *readFrac,
+		DeleteFrac:  *delFrac,
+		TouchFrac:   *tchFrac,
+		BurstPeriod: *burstP,
+		BurstDuty:   *burstD,
+		ChurnOps:    *churn,
+		Seed:        uint64(*seed),
+		Duration:    *duration,
+	})
+
+	lg.Start()
+	rep := eng.Run()
+	res := lg.Wait()
+	// The registry is unsynchronized and driver-owned: the server results
+	// flush into it only now, after every client and engine worker is done.
+	res.Flush(run.Registry)
+
+	fmt.Println(rep)
+	fmt.Printf("store: %d entries live in %d shards\n", st.Len(), st.Config().Shards)
+	fmt.Println(res)
+
+	if *metricsOut != "" {
+		writeSink(*metricsOut, func(f *os.File) error { return col.WriteJSONL(f, suite) })
+	}
+	if *traceOut != "" {
+		writeSink(*traceOut, func(f *os.File) error { return col.WriteTrace(f, suite) })
+	}
+
+	if rep.Wedged {
+		fmt.Fprintf(os.Stderr, "gcserve: %s\n", rep.WedgeDiagnosis)
+		fmt.Fprintf(os.Stderr, "gcserve: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
+			*seed, plan.String(), plan.Seed())
+		os.Exit(2)
+	}
+	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "gcserve: oracle: %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "gcserve: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
+			*seed, plan.String(), plan.Seed())
+		os.Exit(1)
+	}
+	if res.Issued != res.Completed+res.Failed {
+		fmt.Fprintf(os.Stderr, "gcserve: request accounting broken: issued %d != completed %d + failed %d\n",
+			res.Issued, res.Completed, res.Failed)
+		os.Exit(1)
+	}
+	if *minOps > 0 && res.Completed < *minOps {
+		fmt.Fprintf(os.Stderr, "gcserve: only %d requests completed (-min-ops %d)\n", res.Completed, *minOps)
+		os.Exit(1)
+	}
+	if *reqFaults {
+		ok := true
+		for _, p := range rep.Faults {
+			if p.Explicit && p.Fires == 0 {
+				fmt.Fprintf(os.Stderr, "gcserve: fault point %s never fired (%d hits)\n", p.Name, p.Hits)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+func writeSink(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcserve: %v\n", err)
+		os.Exit(1)
+	}
+}

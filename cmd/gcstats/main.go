@@ -7,6 +7,7 @@
 //	gcstats -metrics m.jsonl -run wh=8      # only runs whose name contains "wh=8"
 //	gcstats -metrics m.jsonl -balance       # per-tracer load-balance view (Section 6.3)
 //	gcstats -metrics m.jsonl -balance -json # same, one JSON object per run
+//	gcstats -metrics serve.jsonl -latency   # gcserve view: throughput, request-latency tail, pause correlation
 //	gcstats -metrics m.jsonl -check-hoard   # clean vs pool.hoard runs must separate
 //	gcstats -trace t.json -check            # validate the Chrome trace (CI smoke)
 //
@@ -54,6 +55,8 @@ type line struct {
 	Counts  []int64   `json:"counts"`
 	N       int64     `json:"n"`
 	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
 	Dropped int64     `json:"dropped"`
 }
 
@@ -66,6 +69,7 @@ type runData struct {
 		at []int64
 		v  []float64
 	}
+	hists map[string]*stats.Histogram
 }
 
 var mmuWindows = []vtime.Duration{
@@ -81,7 +85,8 @@ func main() {
 		traceFlag      = flag.String("trace", "", "Chrome trace file written by gcbench -trace")
 		checkFlag      = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
 		balanceFlag    = flag.Bool("balance", false, "per-tracer load-balance view of the -metrics file")
-		jsonFlag       = flag.Bool("json", false, "with -balance: emit one JSON object per run")
+		latencyFlag    = flag.Bool("latency", false, "server-workload view of the -metrics file (throughput, request-latency tail, pause correlation)")
+		jsonFlag       = flag.Bool("json", false, "with -balance or -latency: emit one JSON object per run")
 		checkHoardFlag = flag.Bool("check-hoard", false, "require pool.hoard runs in -metrics to worsen balance vs clean runs")
 		runFlag        = flag.String("run", "", "only report runs whose name contains this substring")
 	)
@@ -104,6 +109,15 @@ func main() {
 		}
 		if err := checkHoard(*metricsFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "gcstats: hoard check failed: %v\n", err)
+			os.Exit(1)
+		}
+	case *latencyFlag:
+		if *metricsFlag == "" {
+			fmt.Fprintln(os.Stderr, "gcstats: -latency needs -metrics FILE")
+			os.Exit(2)
+		}
+		if err := latency(*metricsFlag, *runFlag, *jsonFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
 			os.Exit(1)
 		}
 	case *balanceFlag:
@@ -147,6 +161,7 @@ func readRuns(path string) ([]*runData, error) {
 					at []int64
 					v  []float64
 				}{},
+				hists: map[string]*stats.Histogram{},
 			}
 			byName[run] = r
 			runs = append(runs, r)
@@ -191,6 +206,8 @@ func readRuns(path string) ([]*runData, error) {
 					at []int64
 					v  []float64
 				}{l.AtNs, l.V}
+			case "hist":
+				r.hists[l.Name] = stats.RestoreHistogram(l.Bounds, l.Counts, l.Sum, l.Min, l.Max)
 			}
 		default:
 			return nil, fmt.Errorf("%s:%d: unknown record type %q", path, ln, l.Type)

@@ -30,7 +30,6 @@ import (
 
 	"mcgc/internal/faultinject"
 	"mcgc/internal/live"
-	"mcgc/internal/pacing"
 	"mcgc/internal/runmeta"
 	"mcgc/internal/telemetry"
 )
@@ -49,13 +48,9 @@ func main() {
 		packetCap  = flag.Int("packetcap", 32, "entries per packet")
 		allocBatch = flag.Int("allocbatch", 16, "allocation-bit publication batch size")
 		cardPasses = flag.Int("cardpasses", 2, "concurrent card cleaning passes per cycle")
-		localCache = flag.Int("localcache", 0, "per-worker packet cache per class (0 = default, negative disables the local tier)")
-		freeShards = flag.Int("freeshards", 0, "free-list shards (0 = default, negative forces one shard)")
-		cardBuf    = flag.Int("cardbuf", 0, "per-mutator write-barrier card buffer (0 = default, negative dirties directly)")
 		shape      = flag.String("shape", "mixed", "workload shape: mixed, churn or pointer")
 		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
-		runName    = flag.String("name", "", "override the run name in the sinks (so cat'ed JSONL files keep distinct runs)")
 
 		chaos     = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
@@ -63,15 +58,15 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
 		reqFaults = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
 
-		pacingOn = flag.Bool("pacing", false, "enable Section 3 pacing: kickoff-driven cycles and a mutator allocation tax")
 		reqPaced = flag.Bool("require-paced", false, "exit 1 unless pacing did real work: >=1 paced increment and zero allocation failures")
 	)
-	// The pacing knobs use the shared vocabulary of internal/pacing, so the
-	// same -k0/-kickoff-headroom spellings work across gcsim, gcbench and
-	// gcstress. The pacing word unit for the live engine is one object.
-	pacingCfg := pacing.Default()
-	pacing.Bind(flag.CommandLine, &pacingCfg)
+	// The sharding knobs, -name, -pacing and the pacing vocabulary of
+	// internal/pacing are bound through the helper gcserve shares, so the
+	// same -localcache/-k0 spellings mean the same thing in both CLIs. The
+	// pacing word unit for the live engine is one object.
+	common := live.BindCommonFlags(flag.CommandLine, false)
 	flag.Parse()
+	common.PrintHints(os.Stderr, "gcstress")
 
 	if *chaos == "list" {
 		for _, line := range faultinject.Sites() {
@@ -97,26 +92,18 @@ func main() {
 		PacketCap:       *packetCap,
 		AllocBatch:      *allocBatch,
 		CardPasses:      *cardPasses,
-		LocalCache:      *localCache,
-		FreeShards:      *freeShards,
-		CardBuffer:      *cardBuf,
 		Duration:        *duration,
 		Seed:            *seed,
 		Shape:           *shape,
 		Faults:          plan,
 		WedgeTimeout:    *wedgeTO,
 	}
-	if *pacingOn {
-		cfg.Pacing = &pacingCfg
-	}
+	common.Apply(&cfg)
 
 	// Telemetry rides the same sinks as the simulator suite so gcstats can
 	// read both; the live engine's time axis is wall-clock nanoseconds.
 	col := telemetry.NewCollector(*traceOut != "")
-	name := *runName
-	if name == "" {
-		name = fmt.Sprintf("%s/m=%d/t=%d", *shape, *mutators, *tracers+*bg)
-	}
+	name := common.RunName(fmt.Sprintf("%s/m=%d/t=%d", *shape, *mutators, *tracers+*bg))
 	run := col.StartRun(runmeta.Run{
 		Exp:     "gcstress",
 		Name:    name,

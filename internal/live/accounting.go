@@ -59,9 +59,10 @@ func (e *Engine) setupAccounting() {
 	if cfg.Reg == nil && cfg.TL == nil && cfg.Faults == nil {
 		return
 	}
+	muts := cfg.Mutators + cfg.ExtMutators // external mutators pay tax too
 	n := cfg.Tracers + cfg.BgTracers
 	if cfg.Pacing != nil {
-		n += cfg.Mutators
+		n += muts
 	}
 	e.accounts = make([]*workerAccount, n)
 	for i := 0; i < cfg.Tracers; i++ {
@@ -72,7 +73,7 @@ func (e *Engine) setupAccounting() {
 		e.accounts[id] = &workerAccount{key: fmt.Sprintf("b%d", id), kind: "bg"}
 	}
 	if cfg.Pacing != nil {
-		for i := 0; i < cfg.Mutators; i++ {
+		for i := 0; i < muts; i++ {
 			id := cfg.Tracers + cfg.BgTracers + i
 			e.accounts[id] = &workerAccount{key: fmt.Sprintf("m%d", i), kind: "tax"}
 		}

@@ -1,0 +1,74 @@
+package live
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mcgc/internal/pacing"
+)
+
+// CommonFlags is the flag vocabulary the live-engine CLIs (gcstress,
+// gcserve) share: the sharding-tier knobs, the run-name override and the
+// whole pacing flag set. Binding it from one place keeps the two commands
+// from drifting — the same -localcache or -k0 spelling must mean the same
+// thing whether the workload is synthetic churn or server traffic.
+type CommonFlags struct {
+	LocalCache int
+	FreeShards int
+	CardBuffer int
+	Name       string
+
+	// PacingOn gates whether Apply installs the pacing config; the knobs
+	// themselves always parse so "-k0 3" without "-pacing" is not an error.
+	PacingOn bool
+	Pacing   pacing.Config
+
+	pf *pacing.Flags
+}
+
+// BindCommonFlags registers the shared vocabulary on fs. pacingDefault is
+// the -pacing default: gcstress keeps the historical opt-in false, gcserve
+// paces by default (a server without an allocation tax just measures the
+// free list draining).
+func BindCommonFlags(fs *flag.FlagSet, pacingDefault bool) *CommonFlags {
+	cf := &CommonFlags{Pacing: pacing.Default()}
+	fs.IntVar(&cf.LocalCache, "localcache", 0, "per-worker packet cache per class (0 = default, negative disables the local tier)")
+	fs.IntVar(&cf.FreeShards, "freeshards", 0, "free-list shards (0 = default, negative forces one shard)")
+	fs.IntVar(&cf.CardBuffer, "cardbuf", 0, "per-mutator write-barrier card buffer (0 = default, negative dirties directly)")
+	fs.StringVar(&cf.Name, "name", "", "override the run name in the sinks (so cat'ed JSONL files keep distinct runs)")
+	fs.BoolVar(&cf.PacingOn, "pacing", pacingDefault, "enable Section 3 pacing: kickoff-driven cycles and a mutator allocation tax")
+	cf.pf = pacing.Bind(fs, &cf.Pacing)
+	return cf
+}
+
+// Apply copies the shared knobs onto an engine config (call after Parse).
+func (cf *CommonFlags) Apply(cfg *Config) {
+	cfg.LocalCache = cf.LocalCache
+	cfg.FreeShards = cf.FreeShards
+	cfg.CardBuffer = cf.CardBuffer
+	if cf.PacingOn {
+		p := cf.Pacing
+		cfg.Pacing = &p
+	}
+}
+
+// RunName returns the -name override, or fallback when none was given.
+func (cf *CommonFlags) RunName(fallback string) string {
+	if cf.Name != "" {
+		return cf.Name
+	}
+	return fallback
+}
+
+// PrintHints forwards the pacing vocabulary's deprecated-alias migration
+// hints (call after Parse, before using the values).
+func (cf *CommonFlags) PrintHints(w io.Writer, prog string) {
+	cf.pf.PrintHints(w, prog)
+}
+
+// String renders the sharding knobs for debug output.
+func (cf *CommonFlags) String() string {
+	return fmt.Sprintf("localcache=%d freeshards=%d cardbuf=%d pacing=%t",
+		cf.LocalCache, cf.FreeShards, cf.CardBuffer, cf.PacingOn)
+}

@@ -26,6 +26,17 @@ type Config struct {
 	Tracers   int // dedicated tracing goroutines
 	BgTracers int // low-priority (throttled) tracing goroutines
 
+	// ExtMutators is the number of externally driven mutators: the engine
+	// builds their per-mutator state (roots, allocation cache, card buffer,
+	// tax ledger) but spawns no goroutine for them. The caller obtains a
+	// handle per slot via ExtMutator and drives it from its own goroutine —
+	// the server workload's request handlers are mutators of this heap. Every
+	// external mutator counts toward safepoints and fence handshakes from the
+	// moment Run starts, so each one must be actively polled (Mut.Poll) for
+	// the whole run and retired (Mut.Retire) once ShuttingDown reports true;
+	// Run does not return until all of them have retired.
+	ExtMutators int
+
 	Packets   int // work packet count (small values force overflow)
 	PacketCap int // entries per packet
 
@@ -86,7 +97,11 @@ func (c Config) withDefaults() Config {
 	def(&c.Objects, 1<<15)
 	def(&c.RefsPerObject, 4)
 	def(&c.RootsPerMutator, 16)
-	def(&c.Mutators, 4)
+	if c.Mutators == 0 && c.ExtMutators == 0 {
+		// A run driven entirely by external mutators keeps Mutators at zero;
+		// the synthetic-churn default only applies when nobody else mutates.
+		c.Mutators = 4
+	}
 	def(&c.Tracers, 2)
 	def(&c.Packets, 64)
 	def(&c.PacketCap, 32)
@@ -142,11 +157,22 @@ type Engine struct {
 	// Config.Pacing is nil (cycles then start on the idle timer).
 	pacer *livePacer
 
+	// muts holds every mutator: indices [0,cfg.Mutators) run the synthetic
+	// workload on engine goroutines; the rest are externally driven (Mut
+	// handles). extWG tracks the external ones — Run cannot finish its
+	// report until every handle has retired, because retirement is what
+	// returns their allocation caches and flushes their card buffers.
 	muts    []*mutator
 	wg      sync.WaitGroup
+	extWG   sync.WaitGroup
 	start   time.Time
 	stats   engineStats
 	cardBuf []int
+
+	// extraRoots are collector root blocks owned by external code (a server
+	// store's per-shard bucket heads), registered via NewRootSet before Run.
+	extraRoots []*RootSet
+	running    atomic.Bool
 
 	// localCap is the resolved per-worker packet cache capacity (0 when the
 	// local tier is disabled); cardBufCap likewise for the write-barrier
@@ -200,7 +226,8 @@ type engineFaults struct {
 // NewEngine validates the config and builds the arena, pool and workers.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	if cfg.Mutators < 1 || cfg.Tracers < 0 || cfg.BgTracers < 0 {
+	if cfg.Mutators < 0 || cfg.ExtMutators < 0 || cfg.Mutators+cfg.ExtMutators < 1 ||
+		cfg.Tracers < 0 || cfg.BgTracers < 0 {
 		panic(fmt.Sprintf("live: bad worker counts %+v", cfg))
 	}
 	if cfg.Tracers+cfg.BgTracers < 1 {
@@ -247,9 +274,10 @@ func NewEngine(cfg Config) *Engine {
 		}
 	}
 	e.setupAccounting()
-	for i := 0; i < cfg.Mutators; i++ {
+	for i := 0; i < cfg.Mutators+cfg.ExtMutators; i++ {
 		e.muts = append(e.muts, newMutator(e, i))
 	}
+	e.extWG.Add(cfg.ExtMutators)
 	return e
 }
 
@@ -269,7 +297,7 @@ func resolveLocalCache(cfg Config) int {
 	}
 	workers := cfg.Tracers + cfg.BgTracers
 	if cfg.Pacing != nil {
-		workers += cfg.Mutators
+		workers += cfg.Mutators + cfg.ExtMutators
 	}
 	if workers > 0 {
 		if lim := cfg.Packets / (2 * workers); c > lim {
@@ -295,12 +323,15 @@ func (e *Engine) now() int64 { return time.Since(e.start).Nanoseconds() }
 // returns the report. Run blocks; it is not reentrant.
 func (e *Engine) Run() Report {
 	e.start = time.Now()
+	e.running.Store(true)
 	e.setupTelemetry()
 
 	e.mu.Lock()
 	e.activeMuts = len(e.muts)
 	e.mu.Unlock()
-	for _, m := range e.muts {
+	// External mutators (indices past cfg.Mutators) are counted in activeMuts
+	// but driven by caller goroutines, which must already be polling.
+	for _, m := range e.muts[:e.cfg.Mutators] {
 		e.wg.Add(1)
 		go m.run()
 	}
@@ -333,6 +364,9 @@ func (e *Engine) Run() Report {
 
 	e.shutdown.Store(true)
 	e.wg.Wait()
+	// External mutators retire themselves once they observe ShuttingDown;
+	// their caches and card buffers are only accounted for after Retire.
+	e.extWG.Wait()
 	e.finishReport()
 	return e.report
 }
@@ -600,6 +634,13 @@ func (e *Engine) scanRoots(tr *workpack.Tracer) {
 	for _, m := range e.muts {
 		for i := range m.roots {
 			if c := heapsim.Addr(m.roots[i].Load()); c != heapsim.Nil {
+				e.markAndPush(c, tr)
+			}
+		}
+	}
+	for _, rs := range e.extraRoots {
+		for i := range rs.slots {
+			if c := heapsim.Addr(rs.slots[i].Load()); c != heapsim.Nil {
 				e.markAndPush(c, tr)
 			}
 		}

@@ -110,8 +110,16 @@ func (m *mutator) run() {
 			runtime.Gosched()
 		}
 	}
-	// Exit: publish what is installed, flush the buffered cards, return the
-	// uninstalled cache in one batch and spill the packet cache.
+	m.exit()
+}
+
+// exit is the common retirement path of engine-driven and external mutators:
+// publish what is installed, flush the buffered cards, return the uninstalled
+// cache in one batch, spill the packet cache and leave the safepoint
+// population. It must run outside any STW window the mutator has not parked
+// for — callers reach it only after observing shutdown, which the driver
+// sets with the world running.
+func (m *mutator) exit() {
 	m.publish()
 	m.cardBuf.Flush()
 	m.e.arena.PushFreeAll(m.cache)

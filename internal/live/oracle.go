@@ -50,6 +50,17 @@ func (e *Engine) runOracle() OracleResult {
 			}
 		}
 	}
+	// External root blocks (a server store's live set) are ground truth too:
+	// an object reachable only through a RootSet that the concurrent mark
+	// missed is exactly the lost-object bug the oracle exists to catch.
+	for _, rs := range e.extraRoots {
+		for i := range rs.slots {
+			if c := heapsim.Addr(rs.slots[i].Load()); c != heapsim.Nil && !sc.marks.Test(int(c)) {
+				sc.marks.Set(int(c))
+				sc.stack = append(sc.stack, c)
+			}
+		}
+	}
 	live := 0
 	for len(sc.stack) > 0 {
 		a := sc.stack[len(sc.stack)-1]

@@ -82,6 +82,9 @@ func (e *Engine) abortWedged(drv *workpack.Tracer, phase string) {
 		e.resumeWorld()
 	}
 	e.wg.Wait()
+	// External mutators see ShuttingDown on their next poll and retire;
+	// the report must not be finalized while their caches are outstanding.
+	e.extWG.Wait()
 	e.markingActive.Store(false)
 	drv.Release()
 }

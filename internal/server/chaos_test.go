@@ -1,0 +1,102 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/live"
+)
+
+// TestServerChaosMatrix runs the server workload once per fault class: the
+// store and its clients ride the same rare paths the gcstress matrix forces
+// — packet exhaustion, stalls, contention, allocation failure — and under
+// every one of them the STW oracle must hold, the packet pool must end
+// quiescent, and the request accounting identity (issued == completed +
+// failed) must survive. One representative spec per class keeps the matrix
+// affordable under -race on small hosts.
+func TestServerChaosMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"overflow", "pool.exhaust=1/3"},
+		{"cas-contention", "pool.cas=1/2"},
+		{"get-put-stalls", "pool.getstall=1/8:50us,pool.putstall=1/8:50us"},
+		{"deferral", "pool.deferstall=2:100us"},
+		{"clean-race", "card.cleanstall=1/4:50us"},
+		{"tracer-stall", "live.tracerstall=4:200us"},
+		{"fence-stall", "live.fencedelay=3:300us"},
+		{"safepoint-stall", "live.safepointstall=5:200us"},
+		{"bg-starve", "live.bgstarve=on:1ms"},
+		{"alloc-failure", "live.allocfail=1/2"},
+		{"local-spill", "pool.localspill=1/2"},
+		{"refill-stall", "pool.refillstall=1/4:50us"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const clients = 4
+			dur := 400 * time.Millisecond
+			if testing.Short() {
+				dur = 150 * time.Millisecond
+			}
+			eng := live.NewEngine(live.Config{
+				Objects:         1 << 13,
+				RootsPerMutator: 8,
+				Mutators:        0,
+				ExtMutators:     clients,
+				Tracers:         2,
+				BgTracers:       1,
+				Packets:         12,
+				PacketCap:       8,
+				Duration:        dur,
+				Seed:            3,
+				Faults:          faultinject.MustParse(tc.spec, 7),
+				WedgeTimeout:    15 * time.Second, // fault stalls must not trip it
+			})
+			st := NewStore(eng, StoreConfig{Shards: 4, Buckets: 16})
+			lg := NewLoadGen(eng, st, LoadConfig{
+				Clients:  clients,
+				Keys:     512,
+				ChurnOps: 120,
+				Seed:     3,
+				Duration: dur,
+			})
+			lg.Start()
+			rep := eng.Run()
+			res := lg.Wait()
+			t.Logf("\n%s\n%s", rep, res)
+
+			if rep.Wedged {
+				t.Fatalf("run wedged in %s:\n%s", rep.WedgePhase, rep.WedgeDiagnosis)
+			}
+			if rep.LostObjects != 0 {
+				t.Errorf("oracle lost %d live objects under %q", rep.LostObjects, tc.spec)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("oracle: %s", v)
+			}
+			if rep.Cycles < 1 {
+				t.Error("no cycle completed")
+			}
+			if !eng.Pool().TracingDone() || !eng.Pool().DeferredEmpty() {
+				t.Error("packet pool not quiescent after Run")
+			}
+			if got := eng.Pool().EntriesInUse(); got != 0 {
+				t.Errorf("%d packet entries still in flight after Run", got)
+			}
+			if res.Issued != res.Completed+res.Failed {
+				t.Errorf("request accounting broken under %q: issued %d != completed %d + failed %d",
+					tc.spec, res.Issued, res.Completed, res.Failed)
+			}
+			if res.Completed == 0 {
+				t.Error("no request completed — the fault starved the server entirely")
+			}
+			for _, p := range rep.Faults {
+				if p.Explicit && p.Fires == 0 {
+					t.Errorf("fault %s configured but never fired (%d hits)", p.Name, p.Hits)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"mcgc/internal/heapsim"
+	"mcgc/internal/live"
+)
+
+// testEngine builds a small engine shaped for the store tests: external
+// mutators only, arena sized so churned garbage forces real cycles.
+func testEngine(clients int, dur time.Duration, seed int64) *live.Engine {
+	return live.NewEngine(live.Config{
+		Objects:         1 << 12,
+		RefsPerObject:   4,
+		RootsPerMutator: 8,
+		Mutators:        0,
+		ExtMutators:     clients,
+		Tracers:         2,
+		BgTracers:       1,
+		Packets:         16,
+		PacketCap:       8,
+		Duration:        dur,
+		Seed:            seed,
+		WedgeTimeout:    20 * time.Second,
+	})
+}
+
+// Store semantics, driven single-threaded through an external mutator with
+// the engine idle — no collector in play, just the data structure.
+func TestStoreBasics(t *testing.T) {
+	eng := testEngine(1, time.Hour, 1)
+	st := NewStore(eng, StoreConfig{Shards: 3, Buckets: 4, ValueObjs: 3})
+	if st.Config().Shards != 4 {
+		t.Fatalf("shards not rounded to power of two: %d", st.Config().Shards)
+	}
+	m := eng.ExtMutator(0)
+
+	if st.Get(m, 1, rootPin) {
+		t.Fatal("get on empty store hit")
+	}
+	if st.Delete(m, 1) {
+		t.Fatal("delete on empty store reported existing key")
+	}
+	// Collide many keys into few buckets so the chains actually chain.
+	const keys = 64
+	for k := uint64(0); k < keys; k++ {
+		if !st.Put(m, k) {
+			t.Fatalf("put %d failed with an empty heap", k)
+		}
+	}
+	if st.Len() != keys {
+		t.Fatalf("Len %d after %d puts", st.Len(), keys)
+	}
+	for k := uint64(0); k < keys; k++ {
+		if !st.Get(m, k, rootPin) {
+			t.Fatalf("get %d missed", k)
+		}
+		if m.Root(rootPin) == heapsim.Nil {
+			t.Fatalf("get %d did not pin the entry", k)
+		}
+	}
+	// Replacement: the index must point at a new head afterwards.
+	st.Get(m, 5, rootPin)
+	before := m.Root(rootPin)
+	if !st.Put(m, 5) {
+		t.Fatal("replacement put failed")
+	}
+	st.Get(m, 5, rootPin)
+	if m.Root(rootPin) == before {
+		t.Fatal("put did not replace the entry")
+	}
+	if st.Len() != keys {
+		t.Fatalf("Len %d after replacement", st.Len())
+	}
+	// Delete every key, in an order that exercises head/middle/tail unlinks.
+	for k := uint64(0); k < keys; k += 2 {
+		if !st.Delete(m, k) {
+			t.Fatalf("delete %d missed", k)
+		}
+	}
+	for k := uint64(1); k < keys; k += 2 {
+		if !st.Delete(m, k) {
+			t.Fatalf("delete %d missed", k)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len %d after deleting everything", st.Len())
+	}
+	seen := 0
+	st.Entries(func(uint64, heapsim.Addr) { seen++ })
+	if seen != 0 {
+		t.Fatalf("Entries walked %d entries on an empty store", seen)
+	}
+}
+
+// The full workload under the live collector: clients hammer the store with
+// the default mix plus churn, cycles run, and afterwards the request
+// accounting identity holds and everything the index references is still
+// allocated.
+func TestServerWorkloadLive(t *testing.T) {
+	const clients = 4
+	dur := 500 * time.Millisecond
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	eng := testEngine(clients, dur, 7)
+	st := NewStore(eng, StoreConfig{Shards: 4, Buckets: 16, ValueObjs: 2})
+	lg := NewLoadGen(eng, st, LoadConfig{
+		Clients:  clients,
+		Keys:     512,
+		ChurnOps: 150,
+		Seed:     7,
+		Duration: dur,
+	})
+	lg.Start()
+	rep := eng.Run()
+	res := lg.Wait()
+	t.Logf("\n%s\n%s", rep, res)
+
+	if rep.Wedged {
+		t.Fatalf("wedged: %s", rep.WedgeDiagnosis)
+	}
+	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("oracle: lost %d, violations %v", rep.LostObjects, rep.Violations)
+	}
+	if rep.Cycles < 1 {
+		t.Fatal("no collection cycle completed")
+	}
+	if res.Issued == 0 || res.Completed == 0 {
+		t.Fatalf("load generator idle: issued %d completed %d", res.Issued, res.Completed)
+	}
+	if res.Issued != res.Completed+res.Failed {
+		t.Fatalf("request accounting broken: issued %d != completed %d + failed %d",
+			res.Issued, res.Completed, res.Failed)
+	}
+	if res.Hist.N() != res.Issued {
+		t.Fatalf("latency histogram has %d samples for %d issued requests", res.Hist.N(), res.Issued)
+	}
+	if res.Churns == 0 {
+		t.Error("no connection churn despite ChurnOps")
+	}
+	if rep.ObjectsFreed == 0 {
+		t.Error("churned sessions and dead entries never became garbage")
+	}
+	if len(res.WindowMax) == 0 {
+		t.Error("no windowed latency maxima recorded")
+	}
+	// Post-run liveness: every entry the index still references must carry
+	// its allocation bit, along with its whole payload chain.
+	checked := 0
+	st.Entries(func(key uint64, head heapsim.Addr) {
+		checked++
+		if !eng.Arena().Alloc.Test(int(head)) {
+			t.Fatalf("entry %d head %d was collected while indexed", key, head)
+		}
+		for p := eng.Arena().LoadRef(head, slotPayload); p != heapsim.Nil; p = eng.Arena().LoadRef(p, slotNext) {
+			if !eng.Arena().Alloc.Test(int(p)) {
+				t.Fatalf("entry %d payload %d was collected while indexed", key, p)
+			}
+		}
+	})
+	if checked == 0 {
+		t.Error("store empty after the run — nothing survived to verify")
+	}
+}
+
+// Burst duty cycle: phase-locked on/off load with churn. The identity and
+// oracle must hold and the off-phases must not wedge safepoints.
+func TestServerBurstLoad(t *testing.T) {
+	const clients = 3
+	dur := 400 * time.Millisecond
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	eng := testEngine(clients, dur, 13)
+	st := NewStore(eng, StoreConfig{Shards: 2, Buckets: 8})
+	lg := NewLoadGen(eng, st, LoadConfig{
+		Clients:     clients,
+		Keys:        256,
+		BurstPeriod: 40 * time.Millisecond,
+		BurstDuty:   0.5,
+		ChurnOps:    100,
+		Seed:        13,
+		Duration:    dur,
+	})
+	lg.Start()
+	rep := eng.Run()
+	res := lg.Wait()
+
+	if rep.Wedged {
+		t.Fatalf("wedged during burst off-phase: %s", rep.WedgeDiagnosis)
+	}
+	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("oracle: lost %d, violations %v", rep.LostObjects, rep.Violations)
+	}
+	if res.Issued != res.Completed+res.Failed {
+		t.Fatalf("request accounting broken: issued %d != completed %d + failed %d",
+			res.Issued, res.Completed, res.Failed)
+	}
+	if res.Completed == 0 {
+		t.Fatal("burst gate starved the clients entirely")
+	}
+}
+
+func TestLoadGenValidation(t *testing.T) {
+	eng := testEngine(1, time.Hour, 1)
+	st := NewStore(eng, StoreConfig{})
+	for name, f := range map[string]func(){
+		"zero clients": func() { NewLoadGen(eng, st, LoadConfig{Clients: 0}) },
+		"bad fraction": func() { NewLoadGen(eng, st, LoadConfig{Clients: 1, ReadFrac: 1.5}) },
+		"mix over 1":   func() { NewLoadGen(eng, st, LoadConfig{Clients: 1, ReadFrac: 0.8, DeleteFrac: 0.3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

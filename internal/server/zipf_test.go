@@ -1,0 +1,104 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// Distribution shape: over many draws the hottest key's observed frequency
+// must sit within tolerance of the theoretical 1/H(n,theta), and the ranked
+// frequencies must be monotone-ish (hot keys hotter than cold ones).
+func TestZipfDistributionShape(t *testing.T) {
+	const (
+		n     = 100
+		theta = 0.99
+		draws = 200_000
+	)
+	z := NewZipf(12345, n, theta)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	top := float64(counts[0]) / draws
+	want := z.TopFraction()
+	if math.Abs(top-want) > 0.10*want {
+		t.Fatalf("top-1 frequency %.4f outside ±10%% of theoretical %.4f", top, want)
+	}
+	// Coarse monotonicity: the hot decile must out-draw the cold decile by a
+	// wide margin (pointwise monotonicity is too noisy at this sample size).
+	hot, cold := 0, 0
+	for k := 0; k < n/10; k++ {
+		hot += counts[k]
+		cold += counts[n-1-k]
+	}
+	if hot < 5*cold {
+		t.Fatalf("hot decile %d not dominating cold decile %d", hot, cold)
+	}
+	// Every key should be reachable at this sample size.
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn in %d draws", k, draws)
+		}
+	}
+}
+
+// Seed stability: the exact draw sequence is pinned. If this golden breaks,
+// the generator changed and every recorded benchmark's key sequence with it.
+func TestZipfSeedStability(t *testing.T) {
+	z := NewZipf(42, 16, 0.9)
+	want := []uint64{7, 0, 1, 1, 0, 10, 0, 8, 1, 4, 0, 2}
+	for i, w := range want {
+		if got := z.Next(); got != w {
+			t.Fatalf("draw %d: got %d, want %d", i, got, w)
+		}
+	}
+	// Same seed, fresh generator: identical prefix.
+	z2 := NewZipf(42, 16, 0.9)
+	if g := z2.Next(); g != want[0] {
+		t.Fatalf("fresh generator diverged: %d vs %d", g, want[0])
+	}
+	// Different seed: the prefix must differ somewhere.
+	z3 := NewZipf(43, 16, 0.9)
+	same := true
+	for _, w := range want {
+		if z3.Next() != w {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 43 reproduced seed 42's draws")
+	}
+}
+
+func TestZipfThetaZeroIsUniformish(t *testing.T) {
+	const n, draws = 8, 80_000
+	z := NewZipf(9, n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		f := float64(c) / draws
+		if math.Abs(f-1.0/n) > 0.02 {
+			t.Fatalf("theta=0 key %d frequency %.4f, want ~%.4f", k, f, 1.0/n)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(1, 0, 1) },
+		func() { NewZipf(1, 10, -1) },
+		func() { NewZipf(1, 10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad zipf params did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mcgc/internal/vtime"
+)
+
+// p999 over a large exact set: nearest-rank picks the ceil(0.999*2000) =
+// 1998th smallest sample.
+func TestQuantilesP999LargeSample(t *testing.T) {
+	ds := make([]vtime.Duration, 2000)
+	for i := range ds {
+		ds[i] = vtime.Duration(i + 1) // 1..2000, already sorted values
+	}
+	qs := Quantiles(ds, P50, P99, P999, 1.0)
+	want := []vtime.Duration{1000, 1980, 1998, 2000}
+	for i, w := range want {
+		if qs[i] != w {
+			t.Fatalf("quantile %d: got %v, want %v", i, qs[i], w)
+		}
+	}
+}
+
+// With fewer samples than the quantile resolves, nearest-rank must degrade
+// to the max — never index past the slice.
+func TestQuantilesP999SmallSamples(t *testing.T) {
+	cases := []struct {
+		ds   []vtime.Duration
+		want vtime.Duration
+	}{
+		{[]vtime.Duration{7}, 7},
+		{[]vtime.Duration{3, 9}, 9},
+		{[]vtime.Duration{5, 1, 3}, 5},
+	}
+	for _, c := range cases {
+		if got := Quantiles(c.ds, P999)[0]; got != c.want {
+			t.Fatalf("p999 of %v: got %v, want %v", c.ds, got, c.want)
+		}
+		// Every p on a single-element-ish set stays in range.
+		for _, p := range []float64{0, P50, P95, P99, P999, 1} {
+			q := Quantiles(c.ds, p)[0]
+			if q < 1 || q > 9 {
+				t.Fatalf("quantile %v of %v out of sample range: %v", p, c.ds, q)
+			}
+		}
+	}
+}
+
+func TestQuantilesEmptyAndInvalid(t *testing.T) {
+	if got := Quantiles(nil, P50, P999); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty input: got %v, want zeros", got)
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("quantile p=%v did not panic", p)
+				}
+			}()
+			Quantiles([]vtime.Duration{1}, p)
+		}()
+	}
+}
+
+func TestQuantilesFP999(t *testing.T) {
+	xs := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	// ceil(0.999*1500)-1 = 1498
+	if got := QuantilesF(xs, P999)[0]; got != 1498 {
+		t.Fatalf("p999: got %v, want 1498", got)
+	}
+}
+
+func TestHistogramQuantileP999(t *testing.T) {
+	h := NewHistogram(10, 100, 1000, 10000)
+	for i := 0; i < 2000; i++ {
+		h.Observe(5) // bucket <=10
+	}
+	h.Observe(50000) // overflow bucket: the single tail sample
+	h.Observe(50000)
+	h.Observe(50000)
+	// rank ceil(0.999*2003)-1 = 2001, which lands in the overflow bucket;
+	// the estimate for the overflow bucket is the recorded max.
+	if got := h.Quantile(P999); got != 50000 {
+		t.Fatalf("p999: got %v, want 50000 (max)", got)
+	}
+	if got := h.Quantile(P50); got != 10 {
+		t.Fatalf("p50: got %v, want bucket bound 10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 100)
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(500)
+	b.Observe(2)
+	a.Merge(b)
+	if a.N() != 4 || a.Sum() != 557 || a.Min() != 2 || a.Max() != 500 {
+		t.Fatalf("merged stats: n=%d sum=%v min=%v max=%v", a.N(), a.Sum(), a.Min(), a.Max())
+	}
+	wantCounts := []int64{2, 1, 1}
+	for i, w := range wantCounts {
+		if a.Counts()[i] != w {
+			t.Fatalf("bucket %d: got %d, want %d", i, a.Counts()[i], w)
+		}
+	}
+	// Merging an empty histogram is a no-op and must not disturb min/max.
+	a.Merge(NewHistogram(10, 100))
+	a.Merge(nil)
+	if a.N() != 4 || a.Min() != 2 {
+		t.Fatalf("empty merge disturbed state: n=%d min=%v", a.N(), a.Min())
+	}
+	// Merging into an empty histogram adopts the other's extremes.
+	c := NewHistogram(10, 100)
+	c.Merge(a)
+	if c.N() != 4 || c.Min() != 2 || c.Max() != 500 {
+		t.Fatalf("merge into empty: n=%d min=%v max=%v", c.N(), c.Min(), c.Max())
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	a := NewHistogram(10, 100)
+	for _, b := range []*Histogram{NewHistogram(10), NewHistogram(10, 200)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("mismatched merge did not panic")
+				}
+			}()
+			b.Observe(1)
+			a.Merge(b)
+		}()
+	}
+}
+
+func TestRestoreHistogramRoundTrip(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{1, 5, 50, 500, 5000, 7, 70} {
+		h.Observe(v)
+	}
+	r := RestoreHistogram(h.Bounds(), h.Counts(), h.Sum(), h.Min(), h.Max())
+	if r.N() != h.N() || r.Sum() != h.Sum() || r.Min() != h.Min() || r.Max() != h.Max() {
+		t.Fatalf("round trip lost exact stats: %v vs %v", r, h)
+	}
+	for _, p := range []float64{0, P50, P95, P99, P999, 1} {
+		if r.Quantile(p) != h.Quantile(p) {
+			t.Fatalf("quantile %v diverged after restore: %v vs %v", p, r.Quantile(p), h.Quantile(p))
+		}
+	}
+}
+
+func TestRestoreHistogramValidation(t *testing.T) {
+	for _, counts := range [][]int64{{1, 2}, {1, 2, 3, 4}, {1, -1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("restore with counts %v did not panic", counts)
+				}
+			}()
+			RestoreHistogram([]float64{10, 100}, counts, 0, 0, 0)
+		}()
+	}
+}

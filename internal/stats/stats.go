@@ -275,6 +275,16 @@ func (p *Plot) String() string {
 	return b.String()
 }
 
+// Canonical quantile points the reducers report. Request-latency tails go
+// out to p999 (the paper's server evaluation is worst-case transaction time;
+// Monk argues p99/p999 is what server scheduling actually keys on).
+const (
+	P50  = 0.50
+	P95  = 0.95
+	P99  = 0.99
+	P999 = 0.999
+)
+
 // Percentile returns the p-quantile (0 <= p <= 1) of the durations using
 // nearest-rank on a sorted copy. Pause-time distributions are commonly
 // reported as p95/p99 alongside avg/max.
@@ -312,9 +322,12 @@ func QuantilesF(xs []float64, ps ...float64) []float64 {
 	return out
 }
 
-// nearestRank maps quantile p over n sorted samples to an index.
+// nearestRank maps quantile p over n sorted samples to an index. The small-n
+// edge cases matter for p999: with fewer than 1000 samples ceil(p*n) rounds
+// to n, so every extreme quantile degrades to the max rather than reading
+// past the slice, and a sample count of 1 answers every p with that sample.
 func nearestRank(p float64, n int) int {
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
 	}
 	rank := int(math.Ceil(p*float64(n))) - 1
@@ -412,4 +425,55 @@ func (h *Histogram) Quantile(p float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// Merge folds other's samples into h. Both histograms must have identical
+// bucket bounds — merging is how per-client latency recorders (each owned by
+// one goroutine during a run) combine into the single histogram the
+// telemetry sink serializes, and resampling across mismatched buckets would
+// silently corrupt the tails.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if len(h.bounds) != len(other.bounds) {
+		panic(fmt.Sprintf("stats: merging histograms with %d vs %d bounds", len(h.bounds), len(other.bounds)))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			panic(fmt.Sprintf("stats: merging histograms with different bounds at %d: %v != %v",
+				i, h.bounds[i], other.bounds[i]))
+		}
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// RestoreHistogram rebuilds a Histogram from its serialized parts (the JSONL
+// "hist" record), so offline reducers can query quantiles against the same
+// bucket estimate the live side would have produced. counts must have one
+// entry per bound plus the overflow bucket.
+func RestoreHistogram(bounds []float64, counts []int64, sum, min, max float64) *Histogram {
+	h := NewHistogram(bounds...)
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("stats: restoring histogram with %d counts for %d bounds", len(counts), len(bounds)))
+	}
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("stats: negative bucket count %d at %d", c, i))
+		}
+		h.counts[i] = c
+		h.n += c
+	}
+	h.sum, h.min, h.max = sum, min, max
+	return h
 }

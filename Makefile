@@ -10,9 +10,9 @@ GO ?= go
 # that drive it.
 RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable ./internal/server
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench serve-smoke serve-bench bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench serve-smoke serve-bench overload-smoke overload-bench bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke serve-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke serve-smoke overload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -190,6 +190,62 @@ serve-bench:
 	/tmp/gcstats-sb -metrics /tmp/gcserve-bench.jsonl -latency -json > BENCH_serve.json
 	@rm -f /tmp/gcserve-cell.jsonl /tmp/gcserve-bench.jsonl /tmp/gcserve-sb /tmp/gcstats-sb
 	@echo "serve-bench: wrote BENCH_serve.json"
+
+# Exercise the graceful-degradation ladder end to end under the race
+# detector: a gcserve run at 2x offered load (live.overload doubles every
+# client's allocation rate) with all three rungs armed — allocation
+# backpressure, hair-trigger emergency escalation (any pressured cycle that
+# cannot free the whole-heap floor escalates), and admission control at a
+# 10% headroom watermark. -require-degraded fails the run unless load was
+# actually shed AND an emergency collection actually ran, -require-faults
+# fails it unless the amplifier fired, the STW oracle fails it on any lost
+# object, and the watchdog must never trip. gcstats -degradation must then
+# reduce the metrics to the time-in-state ladder view.
+OVERLOAD_LADDER = -ladder -bp-wait 2ms -emergency-min 16384 -emergency-after 1 \
+	-admission -shed-watermark 0.10
+
+overload-smoke:
+	$(GO) run -race ./cmd/gcserve -clients 16 -duration 2s -objects 16384 \
+		-churn 300 -min-ops 500 -seed 11 \
+		-chaos "live.overload=on" -chaos-seed 7 -require-faults \
+		$(OVERLOAD_LADDER) -require-degraded -timeout 120s \
+		-metrics /tmp/gcoverload-smoke.jsonl
+	$(GO) run ./cmd/gcstats -metrics /tmp/gcoverload-smoke.jsonl -degradation | tee /tmp/gcoverload-smoke.out
+	@grep -q "ladder on" /tmp/gcoverload-smoke.out || { echo "overload-smoke: -degradation does not show the ladder armed"; exit 1; }
+	@grep -Eq "collections: [0-9]+ cycles, [1-9][0-9]* emergency" /tmp/gcoverload-smoke.out || { echo "overload-smoke: no emergency collections in -degradation output"; exit 1; }
+	@grep -q "admission: shed " /tmp/gcoverload-smoke.out || { echo "overload-smoke: no sheds in -degradation output"; exit 1; }
+	@grep -q "outcome: survived" /tmp/gcoverload-smoke.out || { echo "overload-smoke: run did not survive the overload"; exit 1; }
+	@rm -f /tmp/gcoverload-smoke.jsonl /tmp/gcoverload-smoke.out
+
+# Overload sweep: offered load 1x/1.5x/2x (the live.overload amplifier off,
+# at 1/2, and always-on) crossed with ladder+admission on/off. Each cell
+# reduces to the time-in-state fractions, stall percentiles, emergency and
+# shed counts, and the survival verdict. The ladder-off overload cells are
+# allowed to exit nonzero — unbounded allocation failure without the ladder
+# is exactly what the sweep documents — but their metrics still land in the
+# file. One JSON object per cell lands in BENCH_overload.json.
+overload-bench:
+	@$(GO) build -o /tmp/gcserve-ob ./cmd/gcserve
+	@$(GO) build -o /tmp/gcstats-ob ./cmd/gcstats
+	@rm -f /tmp/gcoverload-bench.jsonl
+	@for load in 1x 1.5x 2x; do for ladder in on off; do \
+		chaos=""; \
+		[ $$load = 1.5x ] && chaos="-chaos live.overload=1/2 -chaos-seed 7"; \
+		[ $$load = 2x ] && chaos="-chaos live.overload=on -chaos-seed 7"; \
+		lflags=""; [ $$ladder = on ] && lflags="$(OVERLOAD_LADDER)"; \
+		echo "overload-bench: load=$$load ladder=$$ladder"; \
+		/tmp/gcserve-ob -clients 16 -duration 2s -objects 16384 -churn 300 -seed 11 \
+			$$chaos $$lflags -name "overload/load=$$load/ladder=$$ladder" \
+			-metrics /tmp/gcoverload-cell.jsonl >/dev/null 2>&1; \
+		status=$$?; \
+		if [ $$status -ne 0 ] && [ $$ladder = on ]; then \
+			echo "overload-bench: ladder-on cell failed (exit $$status)"; exit 1; \
+		fi; \
+		cat /tmp/gcoverload-cell.jsonl >> /tmp/gcoverload-bench.jsonl; \
+	done; done
+	/tmp/gcstats-ob -metrics /tmp/gcoverload-bench.jsonl -degradation -json > BENCH_overload.json
+	@rm -f /tmp/gcoverload-cell.jsonl /tmp/gcoverload-bench.jsonl /tmp/gcserve-ob /tmp/gcstats-ob
+	@echo "overload-bench: wrote BENCH_overload.json"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

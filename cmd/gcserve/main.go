@@ -62,12 +62,19 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write metrics JSONL to this file")
 		traceOut   = flag.String("trace", "", "write Chrome trace_event JSON to this file")
 
-		chaos     = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
-		wedgeTO   = flag.Duration("wedge-timeout", 5*time.Second, "abort a cycle making no tracing progress for this long")
-		timeout   = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
-		reqFaults = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
-		minOps    = flag.Int64("min-ops", 0, "exit 1 unless at least this many requests completed")
+		admitOn  = flag.Bool("admission", false, "enable admission control: shed allocating requests when free-heap headroom drops below the watermark")
+		shedWM   = flag.Float64("shed-watermark", 0, "free-heap headroom fraction below which PUTs are shed, touches at twice this (0 = default 0.04)")
+		evictN   = flag.Int("evict-batch", 0, "oldest store entries evicted when a PUT hits heap exhaustion (0 = default 16)")
+		putRetry = flag.Int("put-retries", 0, "backoff-and-retry rounds a shed PUT gets before giving up (0 = default 2)")
+		retryBO  = flag.Duration("retry-backoff", 0, "base of the jittered backoff between shed-put retries (0 = default 200µs)")
+
+		chaos       = flag.String("chaos", "", `fault-injection spec ("list" prints the sites)`)
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-injection seed (independent of -seed)")
+		wedgeTO     = flag.Duration("wedge-timeout", 5*time.Second, "abort a cycle making no tracing progress for this long")
+		timeout     = flag.Duration("timeout", 0, "kill the whole run after this long with a goroutine dump (0 disables)")
+		reqFaults   = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
+		minOps      = flag.Int64("min-ops", 0, "exit 1 unless at least this many requests completed")
+		reqDegraded = flag.Bool("require-degraded", false, "exit 1 unless the overload ladder visibly engaged: nonzero sheds and emergency cycles")
 	)
 	// Shared knob vocabulary with gcstress: -localcache/-freeshards/-cardbuf,
 	// -name and the full pacing flag set, all bound through the common
@@ -153,6 +160,13 @@ func main() {
 		ChurnOps:    *churn,
 		Seed:        uint64(*seed),
 		Duration:    *duration,
+		Admission: server.AdmissionConfig{
+			Enabled:       *admitOn,
+			ShedWatermark: *shedWM,
+			RetryBackoff:  *retryBO,
+			MaxRetries:    *putRetry,
+			EvictBatch:    *evictN,
+		},
 	})
 
 	lg.Start()
@@ -173,40 +187,73 @@ func main() {
 		writeSink(*traceOut, func(f *os.File) error { return col.WriteTrace(f, suite) })
 	}
 
+	// Every failure path funnels through one exit: the engine verdict maps to
+	// the shared exit-code conventions (live.ExitOK/ExitInvariant/ExitWedge),
+	// CLI-level assertions raise ExitInvariant on top, and any nonzero exit
+	// prints the one-line repro command — seeds, chaos spec and the non-default
+	// shared flags — so a CI failure is rerunnable from the log alone.
+	code := live.ReportExit(&rep)
+	raise := func(c int) {
+		if c > code {
+			code = c
+		}
+	}
+	var admRepro []string
+	if *admitOn {
+		admRepro = append(admRepro, "-admission")
+		if *shedWM != 0 {
+			admRepro = append(admRepro, fmt.Sprintf("-shed-watermark %g", *shedWM))
+		}
+		if *evictN != 0 {
+			admRepro = append(admRepro, fmt.Sprintf("-evict-batch %d", *evictN))
+		}
+		if *putRetry != 0 {
+			admRepro = append(admRepro, fmt.Sprintf("-put-retries %d", *putRetry))
+		}
+		if *retryBO != 0 {
+			admRepro = append(admRepro, fmt.Sprintf("-retry-backoff %s", *retryBO))
+		}
+	}
 	if rep.Wedged {
 		fmt.Fprintf(os.Stderr, "gcserve: %s\n", rep.WedgeDiagnosis)
-		fmt.Fprintf(os.Stderr, "gcserve: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
-			*seed, plan.String(), plan.Seed())
-		os.Exit(2)
 	}
-	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
-		for _, v := range rep.Violations {
-			fmt.Fprintf(os.Stderr, "gcserve: oracle: %s\n", v)
-		}
-		fmt.Fprintf(os.Stderr, "gcserve: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
-			*seed, plan.String(), plan.Seed())
-		os.Exit(1)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "gcserve: oracle: %s\n", v)
+	}
+	if rep.LostObjects > 0 {
+		fmt.Fprintf(os.Stderr, "gcserve: oracle lost %d live objects\n", rep.LostObjects)
 	}
 	if res.Issued != res.Completed+res.Failed {
 		fmt.Fprintf(os.Stderr, "gcserve: request accounting broken: issued %d != completed %d + failed %d\n",
 			res.Issued, res.Completed, res.Failed)
-		os.Exit(1)
+		raise(live.ExitInvariant)
 	}
 	if *minOps > 0 && res.Completed < *minOps {
 		fmt.Fprintf(os.Stderr, "gcserve: only %d requests completed (-min-ops %d)\n", res.Completed, *minOps)
-		os.Exit(1)
+		raise(live.ExitInvariant)
 	}
 	if *reqFaults {
-		ok := true
 		for _, p := range rep.Faults {
 			if p.Explicit && p.Fires == 0 {
 				fmt.Fprintf(os.Stderr, "gcserve: fault point %s never fired (%d hits)\n", p.Name, p.Hits)
-				ok = false
+				raise(live.ExitInvariant)
 			}
 		}
-		if !ok {
-			os.Exit(1)
+	}
+	if *reqDegraded {
+		if res.Shed == 0 {
+			fmt.Fprintln(os.Stderr, "gcserve: -require-degraded: no requests shed (is -admission on and the load high enough?)")
+			raise(live.ExitInvariant)
 		}
+		if rep.EmergencyCycles == 0 {
+			fmt.Fprintln(os.Stderr, "gcserve: -require-degraded: no emergency collections (is -ladder on and the load high enough?)")
+			raise(live.ExitInvariant)
+		}
+	}
+	if code != live.ExitOK {
+		extra := append([]string{common.ReproFlags()}, admRepro...)
+		fmt.Fprintln(os.Stderr, live.ReproLine("gcserve", *seed, plan, extra...))
+		os.Exit(code)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	gcstats -metrics m.jsonl -balance       # per-tracer load-balance view (Section 6.3)
 //	gcstats -metrics m.jsonl -balance -json # same, one JSON object per run
 //	gcstats -metrics serve.jsonl -latency   # gcserve view: throughput, request-latency tail, pause correlation
+//	gcstats -metrics serve.jsonl -degradation # overload view: ladder time-in-state, stalls, emergency cycles, sheds
 //	gcstats -metrics m.jsonl -check-hoard   # clean vs pool.hoard runs must separate
 //	gcstats -trace t.json -check            # validate the Chrome trace (CI smoke)
 //
@@ -86,7 +87,8 @@ func main() {
 		checkFlag      = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
 		balanceFlag    = flag.Bool("balance", false, "per-tracer load-balance view of the -metrics file")
 		latencyFlag    = flag.Bool("latency", false, "server-workload view of the -metrics file (throughput, request-latency tail, pause correlation)")
-		jsonFlag       = flag.Bool("json", false, "with -balance or -latency: emit one JSON object per run")
+		degradeFlag    = flag.Bool("degradation", false, "overload-survival view of the -metrics file (ladder time-in-state, backpressure stalls, emergency cycles, sheds)")
+		jsonFlag       = flag.Bool("json", false, "with -balance, -latency or -degradation: emit one JSON object per run")
 		checkHoardFlag = flag.Bool("check-hoard", false, "require pool.hoard runs in -metrics to worsen balance vs clean runs")
 		runFlag        = flag.String("run", "", "only report runs whose name contains this substring")
 	)
@@ -117,6 +119,15 @@ func main() {
 			os.Exit(2)
 		}
 		if err := latency(*metricsFlag, *runFlag, *jsonFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			os.Exit(1)
+		}
+	case *degradeFlag:
+		if *metricsFlag == "" {
+			fmt.Fprintln(os.Stderr, "gcstats: -degradation needs -metrics FILE")
+			os.Exit(2)
+		}
+		if err := degradation(*metricsFlag, *runFlag, *jsonFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
 			os.Exit(1)
 		}

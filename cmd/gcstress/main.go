@@ -143,47 +143,47 @@ func main() {
 		writeSink(*traceOut, func(f *os.File) error { return col.WriteTrace(f, suite) })
 	}
 
+	// One funnel for every failure path, shared with gcserve: the engine
+	// verdict maps onto live.ExitOK/ExitInvariant/ExitWedge, -require-*
+	// assertions raise ExitInvariant, and any nonzero exit prints the
+	// one-line repro command so the failure reruns from the log alone.
+	code := live.ReportExit(&rep)
+	raise := func(c int) {
+		if c > code {
+			code = c
+		}
+	}
 	if rep.Wedged {
 		fmt.Fprintf(os.Stderr, "gcstress: %s\n", rep.WedgeDiagnosis)
-		fmt.Fprintf(os.Stderr, "gcstress: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
-			*seed, plan.String(), plan.Seed())
-		os.Exit(2)
 	}
-	if rep.LostObjects > 0 || len(rep.Violations) > 0 {
-		for _, v := range rep.Violations {
-			fmt.Fprintf(os.Stderr, "gcstress: oracle: %s\n", v)
-		}
-		if plan != nil {
-			fmt.Fprintf(os.Stderr, "gcstress: reproduce with -seed %d -chaos %q -chaos-seed %d\n",
-				*seed, plan.String(), plan.Seed())
-		}
-		os.Exit(1)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(os.Stderr, "gcstress: oracle: %s\n", v)
+	}
+	if rep.LostObjects > 0 {
+		fmt.Fprintf(os.Stderr, "gcstress: oracle lost %d live objects\n", rep.LostObjects)
 	}
 	if *reqPaced {
-		ok := true
 		if rep.PacedIncrements == 0 {
 			fmt.Fprintln(os.Stderr, "gcstress: -require-paced: no paced increments (is -pacing on?)")
-			ok = false
+			raise(live.ExitInvariant)
 		}
 		if rep.AllocFailed > 0 {
 			fmt.Fprintf(os.Stderr, "gcstress: -require-paced: %d allocation failures — pacing did not keep tracing ahead of allocation\n", rep.AllocFailed)
-			ok = false
-		}
-		if !ok {
-			os.Exit(1)
+			raise(live.ExitInvariant)
 		}
 	}
 	if *reqFaults {
-		ok := true
 		for _, p := range rep.Faults {
 			if p.Explicit && p.Fires == 0 {
 				fmt.Fprintf(os.Stderr, "gcstress: fault point %s never fired (%d hits)\n", p.Name, p.Hits)
-				ok = false
+				raise(live.ExitInvariant)
 			}
 		}
-		if !ok {
-			os.Exit(1)
-		}
+	}
+	if code != live.ExitOK {
+		fmt.Fprintln(os.Stderr, live.ReproLine("gcstress", *seed, plan,
+			common.ReproFlags(), fmt.Sprintf("-shape %s", *shape)))
+		os.Exit(code)
 	}
 }
 

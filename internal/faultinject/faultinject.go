@@ -101,6 +101,16 @@ const (
 	// trace. With rate "on" tracing never progresses and the engine's
 	// termination watchdog must fire. Exists to prove the watchdog works.
 	LiveWedge = "live.wedge"
+	// LiveOverload amplifies the allocation rate: a firing allocation-cache
+	// refill additionally burns a whole extra batch of free objects as
+	// instant garbage, so offered allocation outruns what tracing frees and
+	// the degradation ladder (backpressure, emergency collection, admission
+	// control) must carry the run. Rate "on" is ~2x sustained overload.
+	LiveOverload = "live.overload"
+	// LiveEmergencyStall stalls the driver inside an emergency STW
+	// collection, right after the world has parked — stretching the one
+	// pause the ladder is supposed to keep rare and bounded.
+	LiveEmergencyStall = "live.emergencystall"
 	// Jitter is the pseudo-site for the schedule perturbator (see package
 	// doc). It is not a hook of its own.
 	Jitter = "jitter"
@@ -125,6 +135,8 @@ var siteDocs = map[string]string{
 	LiveBgStarve:       "starve a background tracer for its delay",
 	LiveAllocFail:      "inject allocation failure (free-list refill fails)",
 	LiveWedge:          "wedge tracing so the termination watchdog must fire",
+	LiveOverload:       "amplify the allocation rate: a firing refill burns an extra batch",
+	LiveEmergencyStall: "stall inside an emergency STW collection",
 }
 
 // Sites returns every real fault site name, sorted, with its description —

@@ -40,30 +40,44 @@ func chaosConfig(plan *faultinject.Plan) Config {
 // proves nothing.
 func TestChaosMatrix(t *testing.T) {
 	cases := []struct {
-		name string
-		spec string
+		name   string
+		spec   string
+		ladder *LadderConfig // non-nil arms the degradation ladder for the run
 	}{
-		{"overflow", "pool.exhaust=1/3"},
-		{"cas-contention", "pool.cas=1/2"},
-		{"get-put-stalls", "pool.getstall=1/8:50us,pool.putstall=1/8:50us"},
-		{"deferral", "pool.deferstall=2:100us"},
-		{"clean-race", "card.cleanstall=1/4:50us"},
-		{"tracer-stall", "live.tracerstall=4:200us"},
-		{"fence-stall", "live.fencedelay=3:300us"},
-		{"safepoint-stall", "live.safepointstall=5:200us"},
-		{"bg-starve", "live.bgstarve=on:1ms"},
-		{"alloc-failure", "live.allocfail=1/2"},
-		{"local-spill", "pool.localspill=1/2"},
-		{"steal-miss", "pool.stealmiss=1/2"},
-		{"hoard", "pool.hoard=on"},
-		{"refill-stall", "pool.refillstall=1/4:50us"},
-		{"jitter", "jitter=1/8"},
-		{"everything", "pool.exhaust=1/5,pool.cas=1/4,card.cleanstall=1/8:20us,live.tracerstall=8:100us,live.allocfail=1/6,pool.localspill=1/6,pool.stealmiss=1/6,jitter=1/16"},
+		{"overflow", "pool.exhaust=1/3", nil},
+		{"cas-contention", "pool.cas=1/2", nil},
+		{"get-put-stalls", "pool.getstall=1/8:50us,pool.putstall=1/8:50us", nil},
+		{"deferral", "pool.deferstall=2:100us", nil},
+		{"clean-race", "card.cleanstall=1/4:50us", nil},
+		{"tracer-stall", "live.tracerstall=4:200us", nil},
+		{"fence-stall", "live.fencedelay=3:300us", nil},
+		{"safepoint-stall", "live.safepointstall=5:200us", nil},
+		{"bg-starve", "live.bgstarve=on:1ms", nil},
+		{"alloc-failure", "live.allocfail=1/2", nil},
+		{"local-spill", "pool.localspill=1/2", nil},
+		{"steal-miss", "pool.stealmiss=1/2", nil},
+		{"hoard", "pool.hoard=on", nil},
+		{"refill-stall", "pool.refillstall=1/4:50us", nil},
+		{"jitter", "jitter=1/8", nil},
+		{"everything", "pool.exhaust=1/5,pool.cas=1/4,card.cleanstall=1/8:20us,live.tracerstall=8:100us,live.allocfail=1/6,pool.localspill=1/6,pool.stealmiss=1/6,jitter=1/16", nil},
+		// The overload classes run with the degradation ladder armed: the
+		// amplifier must drive real backpressure, and the hair-trigger
+		// escalation guarantees live.emergencystall gets an emergency pause to
+		// fire in.
+		{"overload", "live.overload=1/2",
+			&LadderConfig{Enabled: true}},
+		{"emergency-stall", "live.overload=on,live.emergencystall=on:100us",
+			&LadderConfig{Enabled: true, BackpressureWait: 2 * time.Millisecond,
+				EmergencyMinFree: 1 << 13, EmergencyAfter: 1}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			plan := faultinject.MustParse(tc.spec, 7)
-			e := NewEngine(chaosConfig(plan))
+			cfg := chaosConfig(plan)
+			if tc.ladder != nil {
+				cfg.Ladder = *tc.ladder
+			}
+			e := NewEngine(cfg)
 			rep := e.Run()
 			t.Logf("\n%s", rep)
 

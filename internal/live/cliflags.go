@@ -4,7 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
+	"mcgc/internal/faultinject"
 	"mcgc/internal/pacing"
 )
 
@@ -24,6 +26,11 @@ type CommonFlags struct {
 	PacingOn bool
 	Pacing   pacing.Config
 
+	// LadderOn gates the graceful-degradation ladder (degrade.go); the
+	// tuning knobs parse regardless, like the pacing ones.
+	LadderOn bool
+	Ladder   LadderConfig
+
 	pf *pacing.Flags
 }
 
@@ -38,6 +45,10 @@ func BindCommonFlags(fs *flag.FlagSet, pacingDefault bool) *CommonFlags {
 	fs.IntVar(&cf.CardBuffer, "cardbuf", 0, "per-mutator write-barrier card buffer (0 = default, negative dirties directly)")
 	fs.StringVar(&cf.Name, "name", "", "override the run name in the sinks (so cat'ed JSONL files keep distinct runs)")
 	fs.BoolVar(&cf.PacingOn, "pacing", pacingDefault, "enable Section 3 pacing: kickoff-driven cycles and a mutator allocation tax")
+	fs.BoolVar(&cf.LadderOn, "ladder", false, "enable the graceful-degradation ladder: allocation backpressure and emergency STW fallback")
+	fs.DurationVar(&cf.Ladder.BackpressureWait, "bp-wait", 0, "deadline for one backpressured allocation (0 = default 20ms)")
+	fs.IntVar(&cf.Ladder.EmergencyMinFree, "emergency-min", 0, "freed-object floor below which a pressured cycle counts as starved (0 = allocation batch)")
+	fs.IntVar(&cf.Ladder.EmergencyAfter, "emergency-after", 0, "consecutive starved cycles before an emergency STW collection (0 = default 2)")
 	cf.pf = pacing.Bind(fs, &cf.Pacing)
 	return cf
 }
@@ -50,6 +61,10 @@ func (cf *CommonFlags) Apply(cfg *Config) {
 	if cf.PacingOn {
 		p := cf.Pacing
 		cfg.Pacing = &p
+	}
+	if cf.LadderOn {
+		cfg.Ladder = cf.Ladder
+		cfg.Ladder.Enabled = true
 	}
 }
 
@@ -69,6 +84,80 @@ func (cf *CommonFlags) PrintHints(w io.Writer, prog string) {
 
 // String renders the sharding knobs for debug output.
 func (cf *CommonFlags) String() string {
-	return fmt.Sprintf("localcache=%d freeshards=%d cardbuf=%d pacing=%t",
-		cf.LocalCache, cf.FreeShards, cf.CardBuffer, cf.PacingOn)
+	return fmt.Sprintf("localcache=%d freeshards=%d cardbuf=%d pacing=%t ladder=%t",
+		cf.LocalCache, cf.FreeShards, cf.CardBuffer, cf.PacingOn, cf.LadderOn)
+}
+
+// The exit-code conventions every live-engine CLI follows (README "Exit
+// codes"): 0 for a clean run, 1 for an invariant failure — oracle loss,
+// broken accounting, an unmet -require-* assertion — and 2 for a wedge or
+// hang, whether detected by the engine's watchdog or the CLI's hard timeout.
+const (
+	ExitOK        = 0
+	ExitInvariant = 1
+	ExitWedge     = 2
+)
+
+// ReproLine renders the one-line repro command a failing run prints: the
+// program with the seeds and any extra flags that shaped the failure. The
+// fault spec is included only when a plan was armed.
+func ReproLine(prog string, seed int64, plan *faultinject.Plan, extra ...string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: reproduce with -seed %d", prog, seed)
+	if plan.String() != "" {
+		fmt.Fprintf(&b, " -chaos %q -chaos-seed %d", plan.String(), plan.Seed())
+	}
+	for _, e := range extra {
+		if e != "" {
+			b.WriteByte(' ')
+			b.WriteString(e)
+		}
+	}
+	return b.String()
+}
+
+// ReproFlags reconstructs the shared-vocabulary flags that differ from their
+// defaults, for ReproLine's extra arguments — so the printed command really
+// reproduces a run that had -ladder or -pacing on.
+func (cf *CommonFlags) ReproFlags() string {
+	var parts []string
+	if cf.PacingOn {
+		parts = append(parts, "-pacing")
+	}
+	if cf.LadderOn {
+		parts = append(parts, "-ladder")
+	}
+	if cf.Ladder.BackpressureWait != 0 {
+		parts = append(parts, fmt.Sprintf("-bp-wait %s", cf.Ladder.BackpressureWait))
+	}
+	if cf.Ladder.EmergencyMinFree != 0 {
+		parts = append(parts, fmt.Sprintf("-emergency-min %d", cf.Ladder.EmergencyMinFree))
+	}
+	if cf.Ladder.EmergencyAfter != 0 {
+		parts = append(parts, fmt.Sprintf("-emergency-after %d", cf.Ladder.EmergencyAfter))
+	}
+	if cf.LocalCache != 0 {
+		parts = append(parts, fmt.Sprintf("-localcache %d", cf.LocalCache))
+	}
+	if cf.FreeShards != 0 {
+		parts = append(parts, fmt.Sprintf("-freeshards %d", cf.FreeShards))
+	}
+	if cf.CardBuffer != 0 {
+		parts = append(parts, fmt.Sprintf("-cardbuf %d", cf.CardBuffer))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ReportExit maps a run report onto the exit-code conventions: ExitWedge for
+// a watchdog abort, ExitInvariant for an oracle failure, ExitOK otherwise.
+// CLI-specific assertions (-min-ops, -require-faults) layer ExitInvariant on
+// top; a hard -timeout layers ExitWedge.
+func ReportExit(rep *Report) int {
+	switch {
+	case rep.Wedged:
+		return ExitWedge
+	case rep.LostObjects > 0 || len(rep.Violations) > 0:
+		return ExitInvariant
+	}
+	return ExitOK
 }

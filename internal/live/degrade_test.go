@@ -1,0 +1,236 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mcgc/internal/faultinject"
+	"mcgc/internal/heapsim"
+)
+
+// ladderConfig is the shared baseline for the overload runs: a heap small
+// enough that the live.overload amplifier actually exhausts it, with the
+// ladder armed so exhaustion becomes backpressure instead of failed allocs.
+func ladderConfig(plan *faultinject.Plan) Config {
+	dur := 600 * time.Millisecond
+	if testing.Short() {
+		dur = 250 * time.Millisecond
+	}
+	return Config{
+		Objects:         1 << 12,
+		RootsPerMutator: 32,
+		Mutators:        3,
+		Tracers:         2,
+		BgTracers:       1,
+		Packets:         16,
+		PacketCap:       8,
+		AllocBatch:      32,
+		CardPasses:      2,
+		Duration:        dur,
+		Seed:            1,
+		Faults:          plan,
+		WedgeTimeout:    10 * time.Second,
+		Ladder:          LadderConfig{Enabled: true},
+	}
+}
+
+// TestOverloadBackpressure drives the collector at roughly double the real
+// allocation rate (live.overload burns an extra batch per firing refill) with
+// rung 1 armed: mutators must visibly block in backpressure waits instead of
+// spinning on failed allocations, and the run must survive — no wedge, no
+// lost objects, free-list conservation intact.
+func TestOverloadBackpressure(t *testing.T) {
+	plan := faultinject.MustParse("live.overload=on", 7)
+	rep := NewEngine(ladderConfig(plan)).Run()
+	t.Logf("\n%s", rep)
+
+	if rep.Wedged {
+		t.Fatalf("run wedged in %s:\n%s", rep.WedgePhase, rep.WedgeDiagnosis)
+	}
+	if rep.LostObjects != 0 {
+		t.Errorf("oracle lost %d live objects under overload", rep.LostObjects)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle: %s", v)
+	}
+	if rep.Cycles < 1 {
+		t.Error("no cycle completed")
+	}
+	if rep.BackpressureWaits == 0 {
+		t.Error("2x overload never drove a mutator into a backpressure wait")
+	}
+	if rep.BackpressureTotal == 0 {
+		t.Error("backpressure waits recorded but no stall time accumulated")
+	}
+	if rep.TimeBackpressure == 0 {
+		t.Error("ladder never spent time in the backpressure state")
+	}
+}
+
+// TestOverloadEmergencyCollection arms rung 2 with a hair trigger — every
+// pressured cycle counts as starved (EmergencyMinFree is the whole heap) and
+// one starved cycle escalates — so sustained overload must produce emergency
+// STW collections. The emergency path is held to the full correctness bar:
+// the oracle runs inside its pause, so a lost object or conservation break
+// fails the run exactly as in a concurrent cycle. The emergencystall fault
+// rides along to widen the emergency pause window under -race.
+func TestOverloadEmergencyCollection(t *testing.T) {
+	plan := faultinject.MustParse("live.overload=on,live.emergencystall=1/2:200us", 7)
+	cfg := ladderConfig(plan)
+	cfg.Ladder.BackpressureWait = 2 * time.Millisecond
+	cfg.Ladder.EmergencyMinFree = cfg.Objects
+	cfg.Ladder.EmergencyAfter = 1
+	rep := NewEngine(cfg).Run()
+	t.Logf("\n%s", rep)
+
+	if rep.Wedged {
+		t.Fatalf("run wedged in %s:\n%s", rep.WedgePhase, rep.WedgeDiagnosis)
+	}
+	if rep.LostObjects != 0 {
+		t.Errorf("oracle lost %d live objects across emergency collections", rep.LostObjects)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("oracle: %s", v)
+	}
+	if rep.EmergencyCycles == 0 {
+		t.Fatal("hair-trigger escalation never ran an emergency collection")
+	}
+	if rep.TimeEmergency == 0 {
+		t.Error("emergency cycles ran but no time was accounted to the emergency state")
+	}
+	// Emergency pauses are STW pauses; they must be in the pause accounting.
+	if rep.STWTotal == 0 {
+		t.Error("no STW time recorded despite emergency collections")
+	}
+}
+
+// TestLadderDisabledKeepsFailFast pins the compatibility contract: with the
+// zero-value LadderConfig the old degradation path is untouched — overload
+// produces failed allocations and pressure kicks, never backpressure waits or
+// emergency cycles.
+func TestLadderDisabledKeepsFailFast(t *testing.T) {
+	plan := faultinject.MustParse("live.overload=on", 7)
+	cfg := ladderConfig(plan)
+	cfg.Ladder = LadderConfig{}
+	rep := NewEngine(cfg).Run()
+	t.Logf("\n%s", rep)
+
+	if rep.Wedged {
+		t.Fatalf("run wedged in %s:\n%s", rep.WedgePhase, rep.WedgeDiagnosis)
+	}
+	if rep.LostObjects != 0 {
+		t.Errorf("oracle lost %d live objects", rep.LostObjects)
+	}
+	if rep.BackpressureWaits != 0 || rep.EmergencyCycles != 0 {
+		t.Errorf("ladder disabled but engaged anyway: %d waits, %d emergency cycles",
+			rep.BackpressureWaits, rep.EmergencyCycles)
+	}
+	if rep.AllocFailed == 0 {
+		t.Error("overload with the ladder off should surface as failed allocations")
+	}
+}
+
+// TestHeadroomAndDegradationState sanity-checks the two reads server
+// admission control polls: a fresh engine reports a full free list and DegOK,
+// and an overloaded run ends back in DegOK with its time-in-state totals
+// covering the run.
+func TestHeadroomAndDegradationState(t *testing.T) {
+	plan := faultinject.MustParse("live.overload=on", 7)
+	eng := NewEngine(ladderConfig(plan))
+	if h := eng.Headroom(); h != 1 {
+		t.Fatalf("fresh engine headroom %v, want 1", h)
+	}
+	if st := eng.DegradationState(); st != DegOK {
+		t.Fatalf("fresh engine state %v, want ok", st)
+	}
+	rep := eng.Run()
+	if st := eng.DegradationState(); st != DegOK {
+		t.Errorf("post-run state %v, want ok (no waiter survives shutdown)", st)
+	}
+	if rep.TimeOK == 0 {
+		t.Error("no time accounted to the ok state")
+	}
+	if h := eng.Headroom(); h < 0 || h > 1 {
+		t.Errorf("headroom %v outside [0,1]", h)
+	}
+}
+
+// TestAllocAfterRetirePanics pins the use-after-Retire contract: a retired
+// handle panics deterministically on every protocol-touching method, and a
+// second Retire panics instead of corrupting the engine's wait-group and
+// cache accounting.
+func TestAllocAfterRetirePanics(t *testing.T) {
+	eng := NewEngine(Config{
+		ExtMutators: 1,
+		Tracers:     1,
+		Duration:    10 * time.Millisecond,
+	})
+	mt := eng.ExtMutator(0)
+	mt.Retire() // before Run: documented as legal
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s after Retire did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Alloc", func() { mt.Alloc() })
+	mustPanic("Poll", func() { mt.Poll() })
+	mustPanic("Store", func() { mt.Store(0, 0, heapsim.Nil) })
+	mustPanic("Load", func() { mt.Load(0, 0) })
+	mustPanic("SetRoot", func() { mt.SetRoot(0, heapsim.Nil) })
+	mustPanic("second Retire", func() { mt.Retire() })
+}
+
+// TestRetireDuringShutdownRace hammers the Retire path exactly where it
+// races: every client retires the instant it observes ShuttingDown, while
+// the driver is tearing down safepoints and waiting on the external
+// population. Run under -race, the assertion is simply that the engine
+// unwinds cleanly every time — no deadlock, no corruption, oracle intact.
+func TestRetireDuringShutdownRace(t *testing.T) {
+	rounds := 5
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		eng := NewEngine(Config{
+			Objects:      1 << 10,
+			ExtMutators:  4,
+			Tracers:      2,
+			Packets:      16,
+			PacketCap:    8,
+			Duration:     60 * time.Millisecond,
+			Seed:         int64(round + 1),
+			WedgeTimeout: 10 * time.Second,
+			Ladder:       LadderConfig{Enabled: true, BackpressureWait: 2 * time.Millisecond},
+		})
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(mt *Mut) {
+				defer wg.Done()
+				for !eng.ShuttingDown() {
+					mt.Poll()
+					if obj, ok := mt.Alloc(); ok {
+						mt.SetRoot(0, obj)
+					}
+				}
+				// The race under test: Retire lands while the driver is mid
+				// teardown. No cushioning poll, no delay.
+				mt.Retire()
+			}(eng.ExtMutator(i))
+		}
+		rep := eng.Run()
+		wg.Wait()
+		if rep.Wedged {
+			t.Fatalf("round %d wedged:\n%s", round, rep.WedgeDiagnosis)
+		}
+		if rep.LostObjects != 0 || len(rep.Violations) > 0 {
+			t.Fatalf("round %d oracle: lost %d, violations %v",
+				round, rep.LostObjects, rep.Violations)
+		}
+	}
+}

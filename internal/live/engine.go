@@ -74,6 +74,12 @@ type Config struct {
 	// this backend is one heap object.
 	Pacing *pacing.Config
 
+	// Ladder configures the graceful-degradation ladder (see degrade.go):
+	// allocation backpressure on heap exhaustion and emergency STW
+	// collection when backpressure fails. Disabled by default — the zero
+	// value keeps the historical fail-fast allocation behavior.
+	Ladder LadderConfig
+
 	// Faults is an optional fault-injection plan (nil disables). Its points
 	// are threaded through the engine, the packet pool and the card table.
 	Faults *faultinject.Plan
@@ -122,6 +128,7 @@ func (c Config) withDefaults() Config {
 	if c.WedgeTimeout == 0 {
 		c.WedgeTimeout = 5 * time.Second
 	}
+	c.Ladder = c.Ladder.withDefaults(c.AllocBatch)
 	return c
 }
 
@@ -207,6 +214,15 @@ type Engine struct {
 	// whether to resume before shutting down).
 	worldStopped bool
 
+	// deg tracks the degradation-ladder state (rung, time-in-state, blocked
+	// waiters, backpressure stall samples); see degrade.go. The escalation
+	// counters below it are driver-only: consecutive starved pressured
+	// cycles, and the backpressure-timeout watermark of the last check.
+	deg            degTracker
+	starvedCycles  int
+	lastBPTimeouts int64
+	lastFreed      int
+
 	oracleMarks *oracleScratch
 	report      Report
 }
@@ -221,6 +237,8 @@ type engineFaults struct {
 	allocFail      *faultinject.Point
 	wedge          *faultinject.Point
 	hoard          *faultinject.Point
+	overload       *faultinject.Point
+	emergencyStall *faultinject.Point
 }
 
 // NewEngine validates the config and builds the arena, pool and workers.
@@ -271,6 +289,8 @@ func NewEngine(cfg Config) *Engine {
 			allocFail:      pl.Point(faultinject.LiveAllocFail),
 			wedge:          pl.Point(faultinject.LiveWedge),
 			hoard:          pl.Point(faultinject.PoolHoard),
+			overload:       pl.Point(faultinject.LiveOverload),
+			emergencyStall: pl.Point(faultinject.LiveEmergencyStall),
 		}
 	}
 	e.setupAccounting()
@@ -349,6 +369,13 @@ func (e *Engine) Run() Report {
 		if !e.runCycle() {
 			// Wedged: the watchdog already resumed the world, recorded the
 			// diagnosis and shut the workers down.
+			e.finishReport()
+			return e.report
+		}
+		// Rung 2 of the degradation ladder: if backpressure waits timed out
+		// or pressured cycles keep freeing next to nothing, fall back to a
+		// synchronous full STW collection before resuming normal cadence.
+		if e.escalationCheck(e.lastFreed) && !e.runEmergencyCycle() {
 			e.finishReport()
 			return e.report
 		}
@@ -507,6 +534,7 @@ func (e *Engine) runCycle() bool {
 	res := e.runOracle()
 	toFree := e.collectGarbage()
 	e.checkFreeConservation(len(toFree))
+	e.lastFreed = len(toFree)
 	e.markingActive.Store(false)
 	e.stats.activeNs.Add(e.now() - activeStart)
 	finalEnd := e.now()

@@ -48,12 +48,25 @@ func (mt *Mut) ID() int { return mt.m.id }
 // (Config.RootsPerMutator).
 func (mt *Mut) NumRoots() int { return len(mt.m.roots) }
 
+// live asserts the handle has not retired and returns its mutator. Every
+// protocol-touching method goes through it: a retired mutator has left the
+// safepoint population and returned its allocation cache, so any further op
+// would corrupt the engine's accounting in ways that only surface cycles
+// later. A deterministic panic at the call site beats that.
+func (mt *Mut) live(op string) *mutator {
+	if mt.m.exited.Load() {
+		panic(fmt.Sprintf("live: external mutator %d: %s after Retire", mt.m.id, op))
+	}
+	return mt.m
+}
+
 // Poll services the collector's protocols: it parks for a pending safepoint
 // and acknowledges a pending fence handshake. It is the external mutator's
 // op boundary — cheap when nothing is pending (two atomic loads).
 func (mt *Mut) Poll() {
-	mt.m.maybePark()
-	mt.m.maybeAck()
+	m := mt.live("Poll")
+	m.maybePark()
+	m.maybeAck()
 }
 
 // Alloc takes one object from this mutator's allocation cache, refilling
@@ -65,7 +78,7 @@ func (mt *Mut) Poll() {
 // a collection, and the caller should treat the request as failed rather
 // than spin.
 func (mt *Mut) Alloc() (heapsim.Addr, bool) {
-	m := mt.m
+	m := mt.live("Alloc")
 	m.ops++
 	obj := m.takeFromCache()
 	if obj == heapsim.Nil {
@@ -87,20 +100,22 @@ func (mt *Mut) Alloc() (heapsim.Addr, bool) {
 
 // Store writes ref slot j of obj through the write barrier.
 func (mt *Mut) Store(obj heapsim.Addr, j int, v heapsim.Addr) {
-	mt.m.ops++
-	mt.m.store(obj, j, v)
+	m := mt.live("Store")
+	m.ops++
+	m.store(obj, j, v)
 }
 
 // Load reads ref slot j of obj.
 func (mt *Mut) Load(obj heapsim.Addr, j int) heapsim.Addr {
-	mt.m.ops++
-	return mt.m.e.arena.LoadRef(obj, j)
+	m := mt.live("Load")
+	m.ops++
+	return m.e.arena.LoadRef(obj, j)
 }
 
 // SetRoot publishes v in root slot i: the collector scans it at STW init,
 // rescans it at the final phase, and the oracle walks it as ground truth.
 // Store Nil to drop the root (how retired sessions become garbage).
-func (mt *Mut) SetRoot(i int, v heapsim.Addr) { mt.m.roots[i].Store(uint32(v)) }
+func (mt *Mut) SetRoot(i int, v heapsim.Addr) { mt.live("SetRoot").roots[i].Store(uint32(v)) }
 
 // Root reads root slot i back.
 func (mt *Mut) Root(i int) heapsim.Addr { return heapsim.Addr(mt.m.roots[i].Load()) }
@@ -112,7 +127,10 @@ func (mt *Mut) Root(i int) heapsim.Addr { return heapsim.Addr(mt.m.roots[i].Load
 // in-progress pause. The mutator's roots keep their final values — drop them
 // first if the retiring session's state should become garbage.
 func (mt *Mut) Retire() {
-	if mt.m.exited.Load() {
+	// The claim is a CAS so a second Retire panics deterministically even
+	// when two goroutines misuse the handle concurrently — the loser must
+	// never run exit() again or decrement extWG twice.
+	if !mt.m.retired.CompareAndSwap(false, true) {
 		panic(fmt.Sprintf("live: external mutator %d retired twice", mt.m.id))
 	}
 	mt.m.exit()

@@ -69,6 +69,9 @@ type mutator struct {
 	lastEpoch int64
 	ackEpoch  atomic.Int64
 	exited    atomic.Bool
+	// retired is the external handle's Retire claim (CAS-taken exactly
+	// once); exited flips only after exit() has finished unwinding.
+	retired atomic.Bool
 
 	cum [numOps]int
 	ops int64
@@ -267,7 +270,14 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 		}
 		m.cache = m.e.arena.PopFreeBatch(m.home, m.e.cfg.AllocBatch, m.cache[:0])
 		if len(m.cache) == 0 {
-			return heapsim.Nil
+			// Rung 1 of the degradation ladder: with the ladder enabled a
+			// failed refill becomes a bounded blocking wait (servicing
+			// safepoints and paying the pressure tax) instead of an
+			// immediate failure. Only a wait that times out — or the ladder
+			// being off — surfaces as allocation failure to the caller.
+			if !m.e.cfg.Ladder.Enabled || !m.backpressureRefill() {
+				return heapsim.Nil
+			}
 		}
 		// The allocation tax (Section 3.1): every cache refill is this
 		// mutator's allocation increment, and the tracing budget it owes is
@@ -276,6 +286,12 @@ func (m *mutator) takeFromCache() heapsim.Addr {
 		// tax payment.
 		if m.e.pacer != nil && m.e.markingActive.Load() {
 			m.e.payAllocTax(m, int64(len(m.cache)))
+		}
+		// Injected overload: the live.overload amplifier burns an extra
+		// batch on top of this refill, so offered allocation outruns what
+		// tracing can free and the ladder has to carry the run.
+		if m.e.fi.overload.Fire() {
+			m.amplifyAlloc()
 		}
 	}
 	obj := m.cache[len(m.cache)-1]

@@ -142,6 +142,17 @@ func (lp *livePacer) incrementBudget(at, allocObjs int64) pacing.Budget {
 	return b
 }
 
+// pressureBudget is the backpressure entry point: the tracing budget a
+// mutator blocked on heap exhaustion owes per wait round. It does not feed
+// the B window (nothing was allocated) and does not perturb the K summary —
+// the pressure-scaled rate would skew the trajectory plots the ordinary tax
+// produces.
+func (lp *livePacer) pressureBudget(allocObjs int64) pacing.Budget {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	return lp.p.PressureBudget(allocObjs)
+}
+
 func (lp *livePacer) endIncrement(doneObjs int64) {
 	lp.mu.Lock()
 	defer lp.mu.Unlock()

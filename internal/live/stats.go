@@ -36,6 +36,14 @@ type engineStats struct {
 	pressureKicks atomic.Int64 // idle waits cut short by allocation pressure
 	rescanRedirty atomic.Int64 // card rescans re-dirtied for unpublished objects
 
+	// Degradation-ladder counters (degrade.go): rung-1 blocked-allocation
+	// waits (and how many expired unfed), the total time spent blocked, and
+	// rung-2 emergency STW collections.
+	backpressureWaits    atomic.Int64
+	backpressureTimeouts atomic.Int64
+	backpressureNs       atomic.Int64
+	emergencyCycles      atomic.Int64
+
 	// Per-party tracing attribution: each successful scanObject charges its
 	// slot words to exactly one of these, so their sum reconciles with
 	// scans times the per-object slot count.
@@ -111,6 +119,19 @@ type Report struct {
 	// PressureKicks counts idle periods cut short because a mutator hit
 	// allocation failure and signalled for an early collection.
 	PressureKicks int64
+
+	// Degradation-ladder results. BackpressureWaits counts rung-1 blocked
+	// allocations (BackpressureTimeouts of which expired without memory);
+	// BackpressureTotal is the summed stall time. EmergencyCycles counts
+	// rung-2 synchronous full STW collections. TimeOK/TimeBackpressure/
+	// TimeEmergency is the run's wall time split by ladder state.
+	BackpressureWaits    int64
+	BackpressureTimeouts int64
+	BackpressureTotal    time.Duration
+	EmergencyCycles      int64
+	TimeOK               time.Duration
+	TimeBackpressure     time.Duration
+	TimeEmergency        time.Duration
 	// DirectDirties is the card table's count of degradation-path dirtying
 	// (DirtyCardAtomic); it must reconcile with Overflows + DeferOverflows +
 	// RescanRedirties, the engine-side counts of the same three callers.
@@ -197,6 +218,15 @@ func (e *Engine) finishReport() {
 	r.PressureKicks = s.pressureKicks.Load()
 	r.RescanRedirties = s.rescanRedirty.Load()
 
+	r.BackpressureWaits = s.backpressureWaits.Load()
+	r.BackpressureTimeouts = s.backpressureTimeouts.Load()
+	r.BackpressureTotal = time.Duration(s.backpressureNs.Load())
+	r.EmergencyCycles = s.emergencyCycles.Load()
+	inState, _ := e.deg.snapshot(e.now())
+	r.TimeOK = time.Duration(inState[DegOK])
+	r.TimeBackpressure = time.Duration(inState[DegBackpressure])
+	r.TimeEmergency = time.Duration(inState[DegEmergency])
+
 	r.TraceMutatorWords = s.traceMutatorWords.Load()
 	r.TraceBgWords = s.traceBgWords.Load()
 	r.TraceDedicatedWords = s.traceDedicatedWords.Load()
@@ -268,6 +298,11 @@ func (r Report) String() string {
 	if r.PacingEnabled {
 		out += fmt.Sprintf("\npacing: kickoffs %d  increments %d  K first %.2f  last %.2f  range [%.2f, %.2f]  corrective max %.2f",
 			r.Kickoffs, r.PacedIncrements, r.KFirst, r.KLast, r.KMin, r.KMax, r.CorrectiveMax)
+	}
+	if r.BackpressureWaits+r.EmergencyCycles > 0 {
+		out += fmt.Sprintf("\nladder: backpressure waits %d (timeouts %d, stalled %v)  emergency cycles %d  time bp/emerg %v/%v",
+			r.BackpressureWaits, r.BackpressureTimeouts, r.BackpressureTotal.Round(time.Microsecond),
+			r.EmergencyCycles, r.TimeBackpressure.Round(time.Microsecond), r.TimeEmergency.Round(time.Microsecond))
 	}
 	if bal := r.balanceSummary(); bal != "" {
 		out += "\n" + bal

@@ -130,6 +130,32 @@ func (e *Engine) flushTelemetry() {
 			gBest.Sample(t, s.best)
 		}
 	}
+	// Degradation ladder: counters, time-in-state, the state gauge (one
+	// sample per transition, starting at ok) and the backpressure stall
+	// distribution — everything gcstats -degradation reads back.
+	set("gc.backpressure_ns", r.BackpressureTotal.Nanoseconds())
+	set("gc.backpressure_waits", r.BackpressureWaits)
+	set("gc.backpressure_timeouts", r.BackpressureTimeouts)
+	set("gc.emergency_cycles", r.EmergencyCycles)
+	set("gc.deg_ok_ns", r.TimeOK.Nanoseconds())
+	set("gc.deg_backpressure_ns", r.TimeBackpressure.Nanoseconds())
+	set("gc.deg_emergency_ns", r.TimeEmergency.Nanoseconds())
+	if e.cfg.Ladder.Enabled {
+		set("gc.ladder_enabled", 1)
+	}
+	if trs := e.deg.transitionLog(); len(trs) > 0 {
+		g := reg.Gauge("gc.degradation_state")
+		g.Sample(0, float64(DegOK))
+		for _, tr := range trs {
+			g.Sample(vtime.Time(tr.at), float64(tr.state))
+		}
+	}
+	if _, stalls := e.deg.snapshot(e.now()); len(stalls) > 0 {
+		h := reg.Histogram("gc.backpressure_stall_ns", BackpressureStallBounds()...)
+		for _, ns := range stalls {
+			h.Observe(float64(ns))
+		}
+	}
 	if r.Wedged {
 		set("live.wedged", 1)
 	}

@@ -154,6 +154,10 @@ func (e *Engine) wedgeDiagnosis(phase string) string {
 	fmt.Fprintf(&b, "  heap: free list %d of %d objects (%d shards, %d shard steals)\n",
 		e.arena.FreeLen(), e.arena.NumObjects(),
 		e.arena.NumFreeShards(), e.arena.ShardSteals())
+	fmt.Fprintf(&b, "  ladder: state %s  waiters %d  bp waits %d (timeouts %d)  emergency cycles %d\n",
+		e.DegradationState(), e.deg.activeWaiters(),
+		e.stats.backpressureWaits.Load(), e.stats.backpressureTimeouts.Load(),
+		e.stats.emergencyCycles.Load())
 
 	if snap := e.cfg.Faults.Snapshot(); len(snap) > 0 {
 		fmt.Fprintf(&b, "  faults (spec %q seed %d):", e.cfg.Faults.String(), e.cfg.Faults.Seed())

@@ -31,6 +31,7 @@ func Bind(fs *flag.FlagSet, cfg *Config) *Flags {
 	fs.Float64Var(&cfg.InitialDirtyFraction, "dirty-fraction", cfg.InitialDirtyFraction, "seed for the dirty-card predictor M before any cycle history")
 	fs.Int64Var(&cfg.Headroom, "kickoff-headroom", cfg.Headroom, "words added to the kickoff threshold: start (and aim to finish) tracing this early")
 	fs.Int64Var(&cfg.BestWindow, "best-window", cfg.BestWindow, "allocation window for sampling the background tracing rate Best (0 = backend default)")
+	fs.Float64Var(&cfg.PressureTaxFactor, "pressure-tax", cfg.PressureTaxFactor, "tracing-rate multiplier for allocators blocked on backpressure (0 = default 2.0)")
 	return f
 }
 

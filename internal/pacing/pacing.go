@@ -59,11 +59,21 @@ type Config struct {
 	// DefaultBestWindow, the paper's 1MB window — appropriate when words
 	// are bytes; backends with coarser words set their own.
 	BestWindow int64
+	// PressureTaxFactor scales the tracing budget of a *blocked* allocator:
+	// a mutator waiting out allocation backpressure repays its stalled
+	// increment at this multiple of the ordinary rate, so the debtors that
+	// drove the heap to exhaustion do the catch-up tracing instead of the
+	// whole population slowing uniformly. Zero means DefaultPressureTax.
+	PressureTaxFactor float64
 }
 
 // DefaultBestWindow is the B-sampling window used when Config.BestWindow is
 // zero: 1MB, matching the paper when words are bytes.
 const DefaultBestWindow = 1 << 20
+
+// DefaultPressureTax is the PressureTaxFactor used when the config leaves it
+// zero: blocked allocators repay at twice the ordinary rate.
+const DefaultPressureTax = 2.0
 
 // Default returns the configuration used in the paper's default runs.
 func Default() Config {
@@ -88,6 +98,14 @@ func (c Config) bestWindow() int64 {
 		return c.BestWindow
 	}
 	return DefaultBestWindow
+}
+
+// EffectivePressureTax resolves the PressureTaxFactor default.
+func (c Config) EffectivePressureTax() float64 {
+	if c.PressureTaxFactor > 0 {
+		return c.PressureTaxFactor
+	}
+	return DefaultPressureTax
 }
 
 // HeapView is the narrow heap interface the pacer reads. Both methods are
@@ -236,6 +254,22 @@ func (p *Pacer) IncrementBudget(allocWords int64) Budget {
 		Corrective: corrective,
 		Best:       best,
 	}
+}
+
+// PressureBudget is the backpressure variant of IncrementBudget: the tracing
+// budget a mutator owes while it is *blocked* on an exhausted heap, waiting
+// for the collector to free its stalled allocation. The allocation is not
+// fed into the B window — nothing was actually allocated yet — and the rate
+// is scaled by PressureTaxFactor with a floor of the stalled volume itself,
+// so a blocked debtor always contributes at least one batch of tracing per
+// wait round even when the progress formula reads zero.
+func (p *Pacer) PressureBudget(allocWords int64) Budget {
+	k, corrective, best := p.RateDetail()
+	words := int64(k * p.cfg.EffectivePressureTax() * float64(allocWords))
+	if words < allocWords {
+		words = allocWords
+	}
+	return Budget{Words: words, K: k, Corrective: corrective, Best: best}
 }
 
 // Rate evaluates the progress formula and the background discount, and

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcgc/internal/live"
+)
+
+// ErrOverloaded is the sentinel a shed request unwraps to. Handlers refuse
+// work with a typed error instead of failing an allocation deep inside the
+// store: callers can errors.Is(err, ErrOverloaded) and back off, which is the
+// whole point of admission control — the refusal is cheap and explicit where
+// the allocation failure would be expensive and anonymous.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// OverloadError is the typed refusal: which operation was shed, what the
+// free-heap headroom was at the decision, and which rung of the collector's
+// degradation ladder was active. It unwraps to ErrOverloaded.
+type OverloadError struct {
+	Op       string
+	Headroom float64
+	State    live.DegState
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: %s shed: headroom %.3f, collector %s", e.Op, e.Headroom, e.State)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// AdmissionConfig shapes the server's overload response — the third rung of
+// the degradation ladder, sitting above the engine's allocation backpressure
+// and emergency collection. Zero fields take defaults.
+type AdmissionConfig struct {
+	// Enabled gates the whole mechanism; disabled, requests behave exactly as
+	// before this config existed (a put that exhausts the heap just fails).
+	Enabled bool
+	// ShedWatermark is the free-heap headroom fraction below which PUTs are
+	// refused with ErrOverloaded. Touches — the cheapest traffic to refuse —
+	// shed at twice the watermark, so session upkeep yields heap to stored
+	// values first. Reads are never shed: they allocate nothing, and a server
+	// that refuses reads under memory pressure is degrading the wrong axis.
+	// Default 0.04.
+	ShedWatermark float64
+	// RetryBackoff is the base of the jittered exponential backoff a client
+	// sleeps between shed-put retries (doubling per attempt). Default 200µs.
+	RetryBackoff time.Duration
+	// MaxRetries is how many backoff-and-retry rounds a shed PUT gets before
+	// the client gives up and counts the request shed. Default 2.
+	MaxRetries int
+	// EvictBatch is how many oldest store entries to evict when a PUT hits
+	// true heap exhaustion (allocation failed even after the engine's own
+	// backpressure), before retrying the put once. Default 16.
+	EvictBatch int
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.ShedWatermark == 0 {
+		c.ShedWatermark = 0.04
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 200 * time.Microsecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.EvictBatch == 0 {
+		c.EvictBatch = 16
+	}
+	return c
+}
+
+// admission is the per-LoadGen admission controller. It holds no state of its
+// own: every decision reads the engine's live headroom and degradation state,
+// so the server's view can never go stale relative to the collector's.
+type admission struct {
+	cfg AdmissionConfig
+	eng *live.Engine
+}
+
+// admit decides whether an allocating request may proceed. A request is shed
+// when the collector is in an emergency collection (the heap is so far behind
+// that the engine stopped the world — feeding it more allocation is pure
+// harm) or when free-heap headroom is below the operation's watermark.
+func (a *admission) admit(op string, watermark float64) error {
+	if !a.cfg.Enabled {
+		return nil
+	}
+	st := a.eng.DegradationState()
+	h := a.eng.Headroom()
+	if st == live.DegEmergency || h < watermark {
+		return &OverloadError{Op: op, Headroom: h, State: st}
+	}
+	return nil
+}

@@ -17,21 +17,30 @@ import (
 // affordable under -race on small hosts.
 func TestServerChaosMatrix(t *testing.T) {
 	cases := []struct {
-		name string
-		spec string
+		name   string
+		spec   string
+		shedWM float64 // nonzero arms the ladder and admission at this watermark
 	}{
-		{"overflow", "pool.exhaust=1/3"},
-		{"cas-contention", "pool.cas=1/2"},
-		{"get-put-stalls", "pool.getstall=1/8:50us,pool.putstall=1/8:50us"},
-		{"deferral", "pool.deferstall=2:100us"},
-		{"clean-race", "card.cleanstall=1/4:50us"},
-		{"tracer-stall", "live.tracerstall=4:200us"},
-		{"fence-stall", "live.fencedelay=3:300us"},
-		{"safepoint-stall", "live.safepointstall=5:200us"},
-		{"bg-starve", "live.bgstarve=on:1ms"},
-		{"alloc-failure", "live.allocfail=1/2"},
-		{"local-spill", "pool.localspill=1/2"},
-		{"refill-stall", "pool.refillstall=1/4:50us"},
+		{"overflow", "pool.exhaust=1/3", 0},
+		{"cas-contention", "pool.cas=1/2", 0},
+		{"get-put-stalls", "pool.getstall=1/8:50us,pool.putstall=1/8:50us", 0},
+		{"deferral", "pool.deferstall=2:100us", 0},
+		{"clean-race", "card.cleanstall=1/4:50us", 0},
+		{"tracer-stall", "live.tracerstall=4:200us", 0},
+		{"fence-stall", "live.fencedelay=3:300us", 0},
+		{"safepoint-stall", "live.safepointstall=5:200us", 0},
+		{"bg-starve", "live.bgstarve=on:1ms", 0},
+		{"alloc-failure", "live.allocfail=1/2", 0},
+		{"local-spill", "pool.localspill=1/2", 0},
+		{"refill-stall", "pool.refillstall=1/4:50us", 0},
+		// The overload classes run the full three-rung ladder: allocation-rate
+		// amplification drives backpressure and emergency collections in the
+		// engine while admission control sheds and evicts in the server.
+		{"overload", "live.overload=1/2", 0.10},
+		// The near-zero watermark is the point: an effective watermark sheds
+		// load before the heap ever exhausts (the overload row above shows
+		// that), so forcing rung 2 requires admission that reacts too late.
+		{"emergency-stall", "live.overload=on,live.emergencystall=on:100us", 0.005},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -40,7 +49,7 @@ func TestServerChaosMatrix(t *testing.T) {
 			if testing.Short() {
 				dur = 150 * time.Millisecond
 			}
-			eng := live.NewEngine(live.Config{
+			cfg := live.Config{
 				Objects:         1 << 13,
 				RootsPerMutator: 8,
 				Mutators:        0,
@@ -53,15 +62,29 @@ func TestServerChaosMatrix(t *testing.T) {
 				Seed:            3,
 				Faults:          faultinject.MustParse(tc.spec, 7),
 				WedgeTimeout:    15 * time.Second, // fault stalls must not trip it
-			})
-			st := NewStore(eng, StoreConfig{Shards: 4, Buckets: 16})
-			lg := NewLoadGen(eng, st, LoadConfig{
+			}
+			lcfg := LoadConfig{
 				Clients:  clients,
 				Keys:     512,
 				ChurnOps: 120,
 				Seed:     3,
 				Duration: dur,
-			})
+			}
+			if tc.shedWM > 0 {
+				// Hair-trigger escalation: any pressured cycle that cannot
+				// free the (whole-heap) floor escalates, so the
+				// emergencystall site reliably gets a pause to fire in.
+				cfg.Ladder = live.LadderConfig{
+					Enabled:          true,
+					BackpressureWait: 2 * time.Millisecond,
+					EmergencyMinFree: 1 << 13,
+					EmergencyAfter:   1,
+				}
+				lcfg.Admission = AdmissionConfig{Enabled: true, ShedWatermark: tc.shedWM}
+			}
+			eng := live.NewEngine(cfg)
+			st := NewStore(eng, StoreConfig{Shards: 4, Buckets: 16})
+			lg := NewLoadGen(eng, st, lcfg)
 			lg.Start()
 			rep := eng.Run()
 			res := lg.Wait()

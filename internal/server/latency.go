@@ -36,6 +36,7 @@ type recorder struct {
 	hits, misses              int64
 	puts, gets, dels, touches int64
 	churns                    int64
+	shed, evicted, retries    int64
 }
 
 func newRecorder(bounds []float64) *recorder {
@@ -51,6 +52,13 @@ type Results struct {
 	Hits, Misses                 int64 // GET outcomes
 	Puts, Gets, Deletes, Touches int64 // per-op counts
 	Churns                       int64 // connection churn events (sessions dropped)
+
+	// Admission-control outcomes. Shed requests are also counted in Failed —
+	// the issued == completed + failed identity holds with or without
+	// admission control; these break the failures down by cause.
+	Shed    int64 // requests refused by admission control (ErrOverloaded)
+	Evicted int64 // store entries evicted to recover from heap exhaustion
+	Retries int64 // backoff-and-retry rounds shed PUTs went through
 
 	// Hist is the merged request-latency histogram (nanoseconds).
 	Hist *stats.Histogram
@@ -77,6 +85,9 @@ func (r Results) Flush(reg *telemetry.Registry) {
 	set("server.deletes", r.Deletes)
 	set("server.touches", r.Touches)
 	set("server.churn", r.Churns)
+	set("server.shed", r.Shed)
+	set("server.evicted", r.Evicted)
+	set("server.retries", r.Retries)
 	set("server.window_ns", r.WindowNs)
 	reg.Histogram("server.req_ns", r.Hist.Bounds()...).Hist().Merge(r.Hist)
 	g := reg.Gauge("server.req_window_max_ns")
@@ -92,6 +103,9 @@ func (r Results) String() string {
 	out := fmt.Sprintf(
 		"requests: issued %d  completed %d  failed %d  (put %d  get %d hit/miss %d/%d  delete %d  touch %d  churn %d)",
 		r.Issued, r.Completed, r.Failed, r.Puts, r.Gets, r.Hits, r.Misses, r.Deletes, r.Touches, r.Churns)
+	if r.Shed+r.Evicted+r.Retries > 0 {
+		out += fmt.Sprintf("\nadmission: shed %d  evicted %d  retries %d", r.Shed, r.Evicted, r.Retries)
+	}
 	if r.Hist.N() > 0 {
 		out += fmt.Sprintf("\nlatency: p50 %s  p99 %s  p999 %s  max %s  mean %s",
 			fmtNs(r.Hist.Quantile(stats.P50)), fmtNs(r.Hist.Quantile(stats.P99)),

@@ -53,6 +53,9 @@ type LoadConfig struct {
 	// churn events, where a client drops every root it holds (its session
 	// chain and pin become garbage) and reconnects fresh. 0 disables churn.
 	ChurnOps int
+	// Admission is the overload-shedding policy (admission.go). The zero
+	// value keeps it disabled: requests fail only on heap exhaustion.
+	Admission AdmissionConfig
 	// Seed derives each client's private request stream.
 	Seed uint64
 	// Duration should match the engine run length; it sizes the
@@ -83,6 +86,7 @@ type LoadGen struct {
 	cfg     LoadConfig
 	eng     *live.Engine
 	store   *Store
+	adm     admission
 	bounds  []float64
 	recs    []*recorder
 	windows []atomic.Int64
@@ -116,6 +120,7 @@ func NewLoadGen(eng *live.Engine, store *Store, cfg LoadConfig) *LoadGen {
 		cfg:     cfg,
 		eng:     eng,
 		store:   store,
+		adm:     admission{cfg: cfg.Admission.withDefaults(), eng: eng},
 		bounds:  DefaultLatencyBounds(),
 		recs:    make([]*recorder, cfg.Clients),
 		windows: make([]atomic.Int64, nw),
@@ -159,6 +164,9 @@ func (lg *LoadGen) Wait() Results {
 		res.Deletes += r.dels
 		res.Touches += r.touches
 		res.Churns += r.churns
+		res.Shed += r.shed
+		res.Evicted += r.evicted
+		res.Retries += r.retries
 		res.Hist.Merge(r.hist)
 	}
 	// Trim the unused tail so WindowMax covers exactly the active run.
@@ -239,9 +247,11 @@ func (c *client) run() {
 }
 
 // request issues one operation, chosen by the configured mix. The timed
-// region deliberately includes the safepoint poll and any allocation-tax or
-// refill stall — that interference is exactly what the latency histogram is
-// for. Reports false only on allocation failure (heap exhaustion).
+// region deliberately includes the safepoint poll, any allocation-tax or
+// refill stall, and the admission decision with its retry backoff — that
+// interference is exactly what the latency histogram is for. Reports false on
+// allocation failure (heap exhaustion) or when admission control sheds the
+// request, so issued == completed + failed holds either way.
 func (c *client) request() bool {
 	c.m.Poll()
 	key := c.zipf.Next()
@@ -249,6 +259,7 @@ func (c *client) request() bool {
 	u := c.rng.float()
 	switch {
 	case u < cfg.ReadFrac:
+		// Reads are never shed: they allocate nothing.
 		rec.gets++
 		if c.lg.store.Get(c.m, key, rootPin) {
 			rec.hits++
@@ -262,11 +273,60 @@ func (c *client) request() bool {
 		return true
 	case u < cfg.ReadFrac+cfg.DeleteFrac+cfg.TouchFrac:
 		rec.touches++
+		// Touches shed first (at twice the put watermark) and never retry:
+		// session upkeep is the cheapest traffic to refuse under pressure.
+		if err := c.lg.adm.admit("touch", 2*c.lg.adm.cfg.ShedWatermark); err != nil {
+			rec.shed++
+			return false
+		}
 		return c.touch()
 	default:
 		rec.puts++
-		return c.lg.store.Put(c.m, key)
+		return c.put(key)
 	}
+}
+
+// put runs one PUT through the admission ladder: shed when headroom is below
+// the watermark, retrying with jittered backoff while the collector catches
+// up; on true heap exhaustion — the allocation failed even after the engine's
+// own backpressure — evict the oldest store entries, drop this client's own
+// pin, and try once more before giving up.
+func (c *client) put(key uint64) bool {
+	adm := &c.lg.adm
+	evicted := false
+	for attempt := 0; ; attempt++ {
+		if err := adm.admit("put", adm.cfg.ShedWatermark); err != nil {
+			if attempt >= adm.cfg.MaxRetries {
+				c.rec.shed++
+				return false
+			}
+			c.backoff(attempt)
+			continue
+		}
+		if c.lg.store.Put(c.m, key) {
+			return true
+		}
+		if adm.cfg.Enabled && !evicted {
+			evicted = true
+			c.rec.evicted += int64(c.lg.store.EvictOldest(c.m, adm.cfg.EvictBatch))
+			c.m.SetRoot(rootPin, heapsim.Nil)
+			continue
+		}
+		return false
+	}
+}
+
+// backoff sleeps a jittered exponential delay between shed-put retries,
+// polling the safepoint on both sides so a retrying client never stalls a
+// stop-the-world — backpressure that blocks the collector would feed the very
+// overload it is meant to relieve.
+func (c *client) backoff(attempt int) {
+	c.rec.retries++
+	base := c.lg.adm.cfg.RetryBackoff << uint(attempt)
+	d := base/2 + time.Duration(c.rng.intn(int(base/2)+1))
+	c.m.Poll()
+	time.Sleep(d)
+	c.m.Poll()
 }
 
 // touch prepends a freshly allocated event object to the client's session

@@ -63,6 +63,14 @@ type storeShard struct {
 	mu    sync.Mutex
 	index map[uint64]heapsim.Addr
 	roots *live.RootSet
+	// order is the shard's insertion-order FIFO for EvictOldest: keys append
+	// on fresh insert (not on replacement — a replaced key keeps its original
+	// position, so "oldest" means oldest key, not oldest value). Deleted keys
+	// linger as stale entries and are skipped lazily when popped; a key
+	// deleted and re-put appears twice, and the first pop evicts whichever
+	// entry is live then. All approximations in the direction that matters:
+	// eviction is an emergency-recovery path, not an LRU.
+	order []uint64
 }
 
 // NewStore builds the store and registers its per-shard root sets with the
@@ -145,9 +153,48 @@ func (s *Store) Put(m *live.Mut, key uint64) bool {
 	sh.index[key] = head
 	if existed {
 		s.unlink(m, sh, b, old)
+	} else {
+		sh.order = append(sh.order, key)
 	}
 	sh.mu.Unlock()
 	return true
+}
+
+// EvictOldest removes up to n entries in approximate insertion order and
+// returns how many were actually evicted. Each shard keeps a FIFO of inserted
+// keys; eviction takes an equal quota from every shard, popping and skipping
+// stale queue entries, so one pass spreads the damage instead of emptying
+// shard 0 first. This is the recovery rung of the server's admission control:
+// when a put fails even after the engine's own backpressure, the oldest
+// stored values are the load we chose to shed.
+func (s *Store) EvictOldest(m *live.Mut, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	quota := (n + len(s.shards) - 1) / len(s.shards)
+	evicted := 0
+	for i := range s.shards {
+		if evicted >= n {
+			break
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		taken := 0
+		for taken < quota && evicted < n && len(sh.order) > 0 {
+			key := sh.order[0]
+			sh.order = sh.order[1:]
+			a, ok := sh.index[key]
+			if !ok {
+				continue // stale: deleted (or already evicted) since insert
+			}
+			s.unlink(m, sh, s.bucketOf(key), a)
+			delete(sh.index, key)
+			taken++
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
 }
 
 // Get looks key up and, on a hit, walks the payload chain (the handler

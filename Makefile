@@ -10,9 +10,9 @@ GO ?= go
 # that drive it.
 RACE_PKGS = ./internal/runner ./internal/workpack ./internal/weakmem ./internal/core ./internal/gctrace ./internal/live ./internal/bitvec ./internal/cardtable ./internal/server
 
-.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench serve-smoke serve-bench overload-smoke overload-bench bench fmt
+.PHONY: ci vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke balance-bench serve-smoke serve-bench overload-smoke overload-bench slo-smoke distill-smoke distill-bench bench fmt
 
-ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke serve-smoke overload-smoke
+ci: vet build test race smoke trace-smoke stress-smoke chaos-smoke pacing-smoke balance-smoke serve-smoke overload-smoke slo-smoke distill-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +38,8 @@ smoke:
 trace-smoke:
 	$(GO) run ./cmd/gcbench -exp fig1 -scale quick -j 4 \
 		-metrics /tmp/gcbench-smoke.jsonl -trace /tmp/gcbench-smoke-trace.json
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcbench-smoke.jsonl -run wh=8
-	$(GO) run ./cmd/gcstats -trace /tmp/gcbench-smoke-trace.json -check
+	$(GO) run ./cmd/gcstats metrics -metrics /tmp/gcbench-smoke.jsonl -run wh=8
+	$(GO) run ./cmd/gcstats check -trace /tmp/gcbench-smoke-trace.json
 	@rm -f /tmp/gcbench-smoke.jsonl /tmp/gcbench-smoke-trace.json
 
 # Exercise the live engine end to end under the race detector: a short
@@ -49,8 +49,8 @@ trace-smoke:
 stress-smoke:
 	$(GO) run -race ./cmd/gcstress -duration 2s -packets 10 -packetcap 8 -roots 64 \
 		-metrics /tmp/gcstress-smoke.jsonl -trace /tmp/gcstress-smoke-trace.json
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcstress-smoke.jsonl
-	$(GO) run ./cmd/gcstats -trace /tmp/gcstress-smoke-trace.json -check
+	$(GO) run ./cmd/gcstats metrics -metrics /tmp/gcstress-smoke.jsonl
+	$(GO) run ./cmd/gcstats check -trace /tmp/gcstress-smoke-trace.json
 	@rm -f /tmp/gcstress-smoke.jsonl /tmp/gcstress-smoke-trace.json
 
 # Exercise the fault-injection layer end to end under the race detector: one
@@ -74,7 +74,7 @@ chaos-smoke:
 	$(CHAOS_RUN) -chaos "pool.stealmiss=1/2"
 	$(CHAOS_RUN) -chaos "pool.refillstall=1/4:50us"
 	$(CHAOS_RUN) -chaos "pool.exhaust=1/3" -localcache -1 -freeshards -1 -cardbuf -1
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcchaos-smoke.jsonl
+	$(GO) run ./cmd/gcstats metrics -metrics /tmp/gcchaos-smoke.jsonl
 	@rm -f /tmp/gcchaos-smoke.jsonl
 	@echo "chaos-smoke: verifying the watchdog aborts a wedged run..."
 	@$(GO) build -race -o /tmp/gcstress-chaos ./cmd/gcstress
@@ -95,7 +95,7 @@ chaos-smoke:
 pacing-smoke:
 	$(GO) run -race ./cmd/gcstress -pacing -objects 65536 -kickoff-headroom 8192 \
 		-duration 2s -seed 5 -require-paced -metrics /tmp/gcpacing-smoke.jsonl
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcpacing-smoke.jsonl | tee /tmp/gcpacing-smoke.out
+	$(GO) run ./cmd/gcstats metrics -metrics /tmp/gcpacing-smoke.jsonl | tee /tmp/gcpacing-smoke.out
 	@grep -q "K: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no K trajectory in gcstats output"; exit 1; }
 	@grep -q "kickoffs: " /tmp/gcpacing-smoke.out || { echo "pacing-smoke: no kickoff count in gcstats output"; exit 1; }
 	@rm -f /tmp/gcpacing-smoke.jsonl /tmp/gcpacing-smoke.out
@@ -119,10 +119,10 @@ balance-smoke:
 	$(GO) run -race ./cmd/gcstress -pacing -duration 1s -mutators 3 -tracers 8 -bg 1 \
 		-objects 8192 -roots 48 -packets 32 -packetcap 8 -localcache -1 -seed 11 \
 		-name paced8 -metrics /tmp/gcbalance-paced.jsonl -trace /tmp/gcbalance-paced.trace
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcbalance-paced.jsonl -balance | tee /tmp/gcbalance-paced.out
+	$(GO) run ./cmd/gcstats balance -metrics /tmp/gcbalance-paced.jsonl | tee /tmp/gcbalance-paced.out
 	@grep -q "skew max/mean" /tmp/gcbalance-paced.out || { echo "balance-smoke: no skew field in -balance output"; exit 1; }
 	@grep -q "termination:" /tmp/gcbalance-paced.out || { echo "balance-smoke: no termination field in -balance output"; exit 1; }
-	$(GO) run ./cmd/gcstats -trace /tmp/gcbalance-paced.trace -check
+	$(GO) run ./cmd/gcstats check -trace /tmp/gcbalance-paced.trace
 	@$(GO) build -o /tmp/gcstress-balance ./cmd/gcstress
 	@rm -f /tmp/gcbalance-ab.jsonl
 	@for s in 11 12 13; do \
@@ -134,7 +134,7 @@ balance-smoke:
 			-metrics /tmp/gcbalance-run.jsonl || exit 1; \
 		cat /tmp/gcbalance-run.jsonl >> /tmp/gcbalance-ab.jsonl; \
 	done
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcbalance-ab.jsonl -check-hoard
+	$(GO) run ./cmd/gcstats check-hoard -metrics /tmp/gcbalance-ab.jsonl
 	@rm -f /tmp/gcbalance-paced.jsonl /tmp/gcbalance-paced.trace /tmp/gcbalance-paced.out \
 		/tmp/gcbalance-run.jsonl /tmp/gcbalance-ab.jsonl /tmp/gcstress-balance
 
@@ -153,7 +153,7 @@ balance-bench:
 			-name "t=$$t/local=$$tier" -metrics /tmp/gcbalance-cell.jsonl >/dev/null || exit 1; \
 		cat /tmp/gcbalance-cell.jsonl >> /tmp/gcbalance-bench.jsonl; \
 	done; done
-	/tmp/gcstats-bb -metrics /tmp/gcbalance-bench.jsonl -balance -json > BENCH_balance.json
+	/tmp/gcstats-bb balance -metrics /tmp/gcbalance-bench.jsonl -json > BENCH_balance.json
 	@rm -f /tmp/gcbalance-cell.jsonl /tmp/gcbalance-bench.jsonl /tmp/gcstress-bb /tmp/gcstats-bb
 	@echo "balance-bench: wrote BENCH_balance.json"
 
@@ -166,7 +166,7 @@ balance-bench:
 serve-smoke:
 	$(GO) run -race ./cmd/gcserve -clients 16 -duration 2s -objects 32768 \
 		-churn 300 -min-ops 1000 -metrics /tmp/gcserve-smoke.jsonl
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcserve-smoke.jsonl -latency | tee /tmp/gcserve-smoke.out
+	$(GO) run ./cmd/gcstats latency -metrics /tmp/gcserve-smoke.jsonl | tee /tmp/gcserve-smoke.out
 	@grep -q "throughput: " /tmp/gcserve-smoke.out || { echo "serve-smoke: no throughput in -latency output"; exit 1; }
 	@grep -q "p999 " /tmp/gcserve-smoke.out || { echo "serve-smoke: no p999 in -latency output"; exit 1; }
 	@grep -q "lost objects 0" /tmp/gcserve-smoke.out || { echo "serve-smoke: oracle reported lost objects"; exit 1; }
@@ -187,7 +187,7 @@ serve-bench:
 			-metrics /tmp/gcserve-cell.jsonl >/dev/null || exit 1; \
 		cat /tmp/gcserve-cell.jsonl >> /tmp/gcserve-bench.jsonl; \
 	done; done
-	/tmp/gcstats-sb -metrics /tmp/gcserve-bench.jsonl -latency -json > BENCH_serve.json
+	/tmp/gcstats-sb latency -metrics /tmp/gcserve-bench.jsonl -json > BENCH_serve.json
 	@rm -f /tmp/gcserve-cell.jsonl /tmp/gcserve-bench.jsonl /tmp/gcserve-sb /tmp/gcstats-sb
 	@echo "serve-bench: wrote BENCH_serve.json"
 
@@ -210,7 +210,7 @@ overload-smoke:
 		-chaos "live.overload=on" -chaos-seed 7 -require-faults \
 		$(OVERLOAD_LADDER) -require-degraded -timeout 120s \
 		-metrics /tmp/gcoverload-smoke.jsonl
-	$(GO) run ./cmd/gcstats -metrics /tmp/gcoverload-smoke.jsonl -degradation | tee /tmp/gcoverload-smoke.out
+	$(GO) run ./cmd/gcstats degradation -metrics /tmp/gcoverload-smoke.jsonl | tee /tmp/gcoverload-smoke.out
 	@grep -q "ladder on" /tmp/gcoverload-smoke.out || { echo "overload-smoke: -degradation does not show the ladder armed"; exit 1; }
 	@grep -Eq "collections: [0-9]+ cycles, [1-9][0-9]* emergency" /tmp/gcoverload-smoke.out || { echo "overload-smoke: no emergency collections in -degradation output"; exit 1; }
 	@grep -q "admission: shed " /tmp/gcoverload-smoke.out || { echo "overload-smoke: no sheds in -degradation output"; exit 1; }
@@ -243,9 +243,73 @@ overload-bench:
 		fi; \
 		cat /tmp/gcoverload-cell.jsonl >> /tmp/gcoverload-bench.jsonl; \
 	done; done
-	/tmp/gcstats-ob -metrics /tmp/gcoverload-bench.jsonl -degradation -json > BENCH_overload.json
+	/tmp/gcstats-ob degradation -metrics /tmp/gcoverload-bench.jsonl -json > BENCH_overload.json
 	@rm -f /tmp/gcoverload-cell.jsonl /tmp/gcoverload-bench.jsonl /tmp/gcserve-ob /tmp/gcstats-ob
 	@echo "overload-bench: wrote BENCH_overload.json"
+
+# Exercise the SLO pacing policy end to end under the race detector: gcserve
+# paces on pacing.SLOPolicy (-slo-p99 selects it over the formula), the load
+# generator streams each 20ms window's worst request latency into the
+# controller, and -require-slo fails the run unless the policy observed
+# windows AND the merged p99 met the target. The 50ms target is deliberately
+# generous: the race detector's ~10x slowdown on one core inflates every
+# latency, and the smoke gates the feedback loop's plumbing, not a tuned
+# tail. The report greps then require the controller to have visibly run.
+slo-smoke:
+	$(GO) run -race ./cmd/gcserve -clients 16 -duration 2s -objects 32768 \
+		-slo-p99 50ms -require-slo -min-ops 1000 -timeout 120s -seed 11 \
+		> /tmp/gcslo-smoke.out
+	@cat /tmp/gcslo-smoke.out
+	@grep -q "pacing\[slo\]:" /tmp/gcslo-smoke.out || { echo "slo-smoke: report does not show the slo policy in charge"; exit 1; }
+	@grep -Eq "slo: windows [1-9]" /tmp/gcslo-smoke.out || { echo "slo-smoke: controller observed no latency windows"; exit 1; }
+	@rm -f /tmp/gcslo-smoke.out
+
+# Exercise the cost-distillation harness end to end: one paced gcserve run
+# plus its collection-disabled baseline (arena sized from the real run's
+# measured allocations), with the distilled record appended as JSON and
+# reduced by gcstats pareto. The run itself exits 1 if the baseline is
+# contaminated (collected or exhausted), so the smoke gates both the
+# harness and the arena sizing.
+distill-smoke:
+	$(GO) run ./cmd/gcserve -clients 16 -duration 1s -objects 32768 -seed 11 \
+		-pacing -min-ops 1000 -timeout 120s \
+		-distill -distill-json /tmp/gcdistill-smoke.jsonl
+	$(GO) run ./cmd/gcstats pareto -distill /tmp/gcdistill-smoke.jsonl | tee /tmp/gcdistill-smoke.out
+	@grep -q "FRONTIER" /tmp/gcdistill-smoke.out || { echo "distill-smoke: no frontier cell in pareto output"; exit 1; }
+	@rm -f /tmp/gcdistill-smoke.jsonl /tmp/gcdistill-smoke.out
+
+# Distilled-cost sweep (Cai & Blackburn): formula K0 in {4,8,16} against SLO
+# targets {1ms,5ms} on the same server workload and seed. Every cell is a
+# -distill pair — the measured run plus its collection-disabled ideal — and
+# gcstats pareto reduces the cells to the Pareto curve of collector CPU
+# overhead vs request p99, with the frontier-annotated records landing in
+# BENCH_distill.json.
+# The cell geometry (4 clients, 1+1 tracers) is deliberately lean: this
+# container has one core, and an oversubscribed scheduler drowns the
+# CPU-per-unit measurement in run-to-run noise. At this size the cells
+# repeat within a couple of points.
+DISTILL_CELL = -clients 4 -tracers 1 -bg 1 -duration 3s -objects 32768 -seed 11 -pacing
+
+distill-bench:
+	@$(GO) build -o /tmp/gcserve-db ./cmd/gcserve
+	@$(GO) build -o /tmp/gcstats-db ./cmd/gcstats
+	@rm -f /tmp/gcdistill-bench.jsonl
+	@for rep in 1 2 3; do \
+		for k in 4 8 16; do \
+			echo "distill-bench: formula k0=$$k (rep $$rep)"; \
+			/tmp/gcserve-db $(DISTILL_CELL) -k0 $$k -name "formula/k0=$$k" \
+				-distill -distill-json /tmp/gcdistill-bench.jsonl >/dev/null || exit 1; \
+		done; \
+		for t in 1ms 5ms; do \
+			echo "distill-bench: slo p99=$$t (rep $$rep)"; \
+			/tmp/gcserve-db $(DISTILL_CELL) -slo-p99 $$t -name "slo/p99=$$t" \
+				-distill -distill-json /tmp/gcdistill-bench.jsonl >/dev/null || exit 1; \
+		done; \
+	done
+	/tmp/gcstats-db pareto -distill /tmp/gcdistill-bench.jsonl
+	/tmp/gcstats-db pareto -distill /tmp/gcdistill-bench.jsonl -json > BENCH_distill.json
+	@rm -f /tmp/gcdistill-bench.jsonl /tmp/gcserve-db /tmp/gcstats-db
+	@echo "distill-bench: wrote BENCH_distill.json"
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

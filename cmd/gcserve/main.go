@@ -10,12 +10,23 @@
 // The per-cycle STW oracle stays armed: a run that loses a live store entry
 // or session object exits 1, a wedged run exits 2, exactly like gcstress.
 //
+// Two modes beyond plain measurement close the loop between the collector
+// and the traffic it serves. With -slo-p99 the engine paces on the SLO
+// policy: the load generator streams each 20ms window's worst request
+// latency into the policy (pacing.LatencyObserver), which trades collector
+// CPU for tail latency against the target. With -distill the same seeded
+// workload re-runs with collection disabled on an arena sized to never
+// collect (Cai & Blackburn's ideal baseline), and the run reports the
+// distilled collector cost: throughput delta, latency delta, CPU share.
+//
 // Examples:
 //
 //	gcserve -clients 128 -duration 5s
 //	gcserve -clients 64 -readfrac 0.9 -churn 500 -metrics serve.jsonl
 //	gcserve -clients 256 -burst-period 100ms -burst-duty 0.4 -pacing
 //	gcserve -clients 32 -chaos "pool.exhaust=1/4" -require-faults
+//	gcserve -clients 64 -slo-p99 5ms -require-slo
+//	gcserve -clients 64 -pacing -distill -distill-json cells.jsonl
 package main
 
 import (
@@ -25,10 +36,13 @@ import (
 	"runtime"
 	"time"
 
+	"mcgc/internal/distill"
 	"mcgc/internal/faultinject"
 	"mcgc/internal/live"
+	"mcgc/internal/pacing"
 	"mcgc/internal/runmeta"
 	"mcgc/internal/server"
+	"mcgc/internal/stats"
 	"mcgc/internal/telemetry"
 )
 
@@ -75,6 +89,7 @@ func main() {
 		reqFaults   = flag.Bool("require-faults", false, "exit 1 unless every spec-named fault point fired at least once")
 		minOps      = flag.Int64("min-ops", 0, "exit 1 unless at least this many requests completed")
 		reqDegraded = flag.Bool("require-degraded", false, "exit 1 unless the overload ladder visibly engaged: nonzero sheds and emergency cycles")
+		reqSLO      = flag.Bool("require-slo", false, "exit 1 unless the SLO policy observed latency windows and the merged p99 met the -slo-p99 target")
 	)
 	// Shared knob vocabulary with gcstress: -localcache/-freeshards/-cardbuf,
 	// -name and the full pacing flag set, all bound through the common
@@ -109,9 +124,8 @@ func main() {
 		CardPasses:      *cardPasses,
 		Duration:        *duration,
 		Seed:            *seed,
-		Faults:          plan,
-		WedgeTimeout:    *wedgeTO,
 	}
+	cfg.FaultOptions = live.FaultOptions{Faults: plan, WedgeTimeout: *wedgeTO}
 	common.Apply(&cfg)
 
 	col := telemetry.NewCollector(*traceOut != "")
@@ -142,13 +156,12 @@ func main() {
 		}()
 	}
 
-	eng := live.NewEngine(cfg)
-	st := server.NewStore(eng, server.StoreConfig{
+	storeCfg := server.StoreConfig{
 		Shards:    *shards,
 		Buckets:   *buckets,
 		ValueObjs: *valSize,
-	})
-	lg := server.NewLoadGen(eng, st, server.LoadConfig{
+	}
+	loadCfg := server.LoadConfig{
 		Clients:     *clients,
 		Keys:        *keys,
 		Theta:       *zipf,
@@ -167,11 +180,9 @@ func main() {
 			MaxRetries:    *putRetry,
 			EvictBatch:    *evictN,
 		},
-	})
+	}
 
-	lg.Start()
-	rep := eng.Run()
-	res := lg.Wait()
+	rep, res, st, realArm := runServe(cfg, storeCfg, loadCfg)
 	// The registry is unsynchronized and driver-owned: the server results
 	// flush into it only now, after every client and engine worker is done.
 	res.Flush(run.Registry)
@@ -179,6 +190,36 @@ func main() {
 	fmt.Println(rep)
 	fmt.Printf("store: %d entries live in %d shards\n", st.Len(), st.Config().Shards)
 	fmt.Println(res)
+
+	var distRec *distill.Record
+	if common.Distill {
+		// Distillation baseline: the identical seeded workload with the
+		// collector off, on an arena sized from the real run's measured
+		// allocations so it never collects (the baseline runs faster, so
+		// -distill-mult leaves headroom over the measured count). Telemetry,
+		// faults, the ladder and admission shedding are all dropped — the
+		// baseline is the ideal the real run is measured against, not
+		// another experiment.
+		base := cfg
+		base.Objects = cfg.Objects + int(rep.ObjectsAllocated)*common.DistillMult
+		base.PacingOptions = live.PacingOptions{DisableCollection: true}
+		base.LadderOptions = live.LadderOptions{}
+		base.FaultOptions = live.FaultOptions{}
+		base.ObserveOptions = live.ObserveOptions{}
+		baseLoad := loadCfg
+		baseLoad.Admission = server.AdmissionConfig{}
+		fmt.Printf("distill: re-running with collection disabled (arena %d objects)\n", base.Objects)
+		_, _, _, baseArm := runServe(base, storeCfg, baseLoad)
+		rec := distill.NewRecord(name, rep.PacingPolicy, realArm, baseArm)
+		distRec = &rec
+		fmt.Println(rec)
+		if common.DistillJSON != "" {
+			if err := rec.AppendJSON(common.DistillJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "gcserve: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *metricsOut != "" {
 		writeSink(*metricsOut, func(f *os.File) error { return col.WriteJSONL(f, suite) })
@@ -240,6 +281,23 @@ func main() {
 			}
 		}
 	}
+	if *reqSLO {
+		if rep.PacingPolicy != "slo" {
+			fmt.Fprintln(os.Stderr, "gcserve: -require-slo: SLO policy not active (pass -slo-p99)")
+			raise(live.ExitInvariant)
+		} else if rep.SLOWindows == 0 {
+			fmt.Fprintln(os.Stderr, "gcserve: -require-slo: the policy observed no latency windows (run too short?)")
+			raise(live.ExitInvariant)
+		} else if p99 := res.Hist.Quantile(stats.P99); p99 > float64(common.SLO.Target) {
+			fmt.Fprintf(os.Stderr, "gcserve: -require-slo: merged p99 %s exceeds target %s\n",
+				time.Duration(p99), common.SLO.Target)
+			raise(live.ExitInvariant)
+		}
+	}
+	if distRec != nil && distRec.BaselineContaminated {
+		fmt.Fprintln(os.Stderr, "gcserve: distill baseline contaminated (collected or exhausted); raise -distill-mult")
+		raise(live.ExitInvariant)
+	}
 	if *reqDegraded {
 		if res.Shed == 0 {
 			fmt.Fprintln(os.Stderr, "gcserve: -require-degraded: no requests shed (is -admission on and the load high enough?)")
@@ -255,6 +313,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, live.ReproLine("gcserve", *seed, plan, extra...))
 		os.Exit(code)
 	}
+}
+
+// runServe builds and runs one engine+store+loadgen arm, returning the
+// engine report, the merged load-generator results, the store (for the
+// entries-live print) and the arm's distilled measurement (wall, process
+// CPU, completions, latency quantiles, collector activity).
+//
+// When the engine's pacing policy consumes a latency signal (the SLO
+// policy), the load generator's per-window worst latencies are streamed
+// into it — this is the feedback loop -slo-p99 closes.
+func runServe(cfg live.Config, storeCfg server.StoreConfig, loadCfg server.LoadConfig) (live.Report, server.Results, *server.Store, distill.Arm) {
+	eng := live.NewEngine(cfg)
+	st := server.NewStore(eng, storeCfg)
+	if obs, ok := eng.PacingPolicy().(pacing.LatencyObserver); ok {
+		loadCfg.WindowObserver = obs.ObserveLatency
+	}
+	lg := server.NewLoadGen(eng, st, loadCfg)
+
+	cpu0, wall0 := distill.CPUClock(), time.Now()
+	lg.Start()
+	rep := eng.Run()
+	res := lg.Wait()
+	arm := distill.Arm{
+		WallNs:      int64(time.Since(wall0)),
+		CPUNs:       int64(distill.CPUClock() - cpu0),
+		Completed:   res.Completed,
+		Failed:      res.Failed,
+		Cycles:      rep.Cycles,
+		STWNs:       int64(rep.STWTotal),
+		AllocFailed: rep.AllocFailed,
+	}
+	if res.Hist != nil {
+		arm.P50Ns = res.Hist.Quantile(stats.P50)
+		arm.P99Ns = res.Hist.Quantile(stats.P99)
+		arm.P999Ns = res.Hist.Quantile(stats.P999)
+	}
+	arm.FillThroughput()
+	return rep, res, st, arm
 }
 
 func writeSink(path string, write func(*os.File) error) {

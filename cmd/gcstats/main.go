@@ -1,27 +1,34 @@
-// Command gcstats reduces the telemetry files gcbench writes.
-//
-// Usage:
+// Command gcstats reduces the telemetry files gcbench writes. Each view is
+// a subcommand:
 //
 //	gcbench -exp fig1 -metrics m.jsonl -trace t.json
-//	gcstats -metrics m.jsonl                # pause percentiles, MMU, K trajectory per run
-//	gcstats -metrics m.jsonl -run wh=8      # only runs whose name contains "wh=8"
-//	gcstats -metrics m.jsonl -balance       # per-tracer load-balance view (Section 6.3)
-//	gcstats -metrics m.jsonl -balance -json # same, one JSON object per run
-//	gcstats -metrics serve.jsonl -latency   # gcserve view: throughput, request-latency tail, pause correlation
-//	gcstats -metrics serve.jsonl -degradation # overload view: ladder time-in-state, stalls, emergency cycles, sheds
-//	gcstats -metrics m.jsonl -check-hoard   # clean vs pool.hoard runs must separate
-//	gcstats -trace t.json -check            # validate the Chrome trace (CI smoke)
+//	gcstats metrics -metrics m.jsonl           # pause percentiles, MMU, K trajectory per run
+//	gcstats metrics -metrics m.jsonl -run wh=8 # only runs whose name contains "wh=8"
+//	gcstats balance -metrics m.jsonl           # per-tracer load-balance view (Section 6.3)
+//	gcstats balance -metrics m.jsonl -json     # same, one JSON object per run
+//	gcstats latency -metrics serve.jsonl       # gcserve view: throughput, request-latency tail, pause correlation
+//	gcstats degradation -metrics serve.jsonl   # overload view: ladder time-in-state, stalls, emergency cycles, sheds
+//	gcstats pareto -distill cells.jsonl        # distilled-cost Pareto view: collector CPU overhead vs p99 per policy
+//	gcstats check-hoard -metrics m.jsonl       # clean vs pool.hoard runs must separate
+//	gcstats check -trace t.json                # validate the Chrome trace (CI smoke)
+//
+// The pre-subcommand spellings (gcstats -metrics m.jsonl -balance, ...)
+// still parse; they print a one-line migration hint to stderr, the same
+// deprecated-alias convention the pacing flag vocabulary uses.
 //
 // The metrics report is computed entirely from the JSONL stream: pause
 // percentiles from the gc.pause_ns gauge, MMU from the same samples plus
 // the run.vtime_ns counter, and the tracing-rate trajectory from the
-// gc.pacing.k gauge. The -balance view reduces the trace.worker.* counters
+// gc.pacing.k gauge. The balance view reduces the trace.worker.* counters
 // to skew, Gini, idle fraction, steal-hit rate and termination-latency
-// percentiles; -check-hoard gates CI on a hoard fault measurably moving
-// those numbers. The -check mode parses the trace_event file the way a
-// viewer would and fails on structural problems (non-positive span
-// durations, time going backwards within a track, missing or conflicting
-// track names, tracer lanes shared between workers).
+// percentiles; check-hoard gates CI on a hoard fault measurably moving
+// those numbers. The pareto view reads the JSONL of distill.Record lines a
+// -distill sweep appends, computes the Pareto frontier over (CPU overhead,
+// p99) and prints the dominance relation; -json emits the annotated records
+// for BENCH_distill.json. The check subcommand parses the trace_event file
+// the way a viewer would and fails on structural problems (non-positive
+// span durations, time going backwards within a track, missing or
+// conflicting track names, tracer lanes shared between workers).
 package main
 
 import (
@@ -80,73 +87,212 @@ var mmuWindows = []vtime.Duration{
 	200 * vtime.Millisecond,
 }
 
+// subcommands maps each view to its runner. Every runner binds its own flag
+// set (so "gcstats latency -h" lists only latency's flags) and returns an
+// error for a failed reduction; flag errors exit(2) via flag.ExitOnError.
+var subcommands = map[string]struct {
+	summary string
+	run     func(args []string) error
+}{
+	"metrics": {"pause percentiles, MMU and K trajectory per run", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats metrics", flag.ExitOnError)
+		metrics := fs.String("metrics", "", "JSONL metrics file written by gcbench/gcstress/gcserve -metrics")
+		run := fs.String("run", "", "only report runs whose name contains this substring")
+		fs.Parse(args)
+		if *metrics == "" {
+			return usageErr("gcstats metrics needs -metrics FILE")
+		}
+		return report(*metrics, *run)
+	}},
+	"balance": {"per-tracer load-balance view (skew, Gini, idle, steals)", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats balance", flag.ExitOnError)
+		metrics, run, asJSON := viewFlags(fs)
+		fs.Parse(args)
+		if *metrics == "" {
+			return usageErr("gcstats balance needs -metrics FILE")
+		}
+		return balance(*metrics, *run, *asJSON)
+	}},
+	"latency": {"server-workload view: throughput, request-latency tail, pause correlation", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats latency", flag.ExitOnError)
+		metrics, run, asJSON := viewFlags(fs)
+		fs.Parse(args)
+		if *metrics == "" {
+			return usageErr("gcstats latency needs -metrics FILE")
+		}
+		return latency(*metrics, *run, *asJSON)
+	}},
+	"degradation": {"overload view: ladder time-in-state, stalls, emergency cycles, sheds", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats degradation", flag.ExitOnError)
+		metrics, run, asJSON := viewFlags(fs)
+		fs.Parse(args)
+		if *metrics == "" {
+			return usageErr("gcstats degradation needs -metrics FILE")
+		}
+		return degradation(*metrics, *run, *asJSON)
+	}},
+	"pareto": {"distilled-cost Pareto view: collector CPU overhead vs p99 per policy", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats pareto", flag.ExitOnError)
+		in := fs.String("distill", "", "JSONL file of distill records appended by gcserve/gcstress -distill-json")
+		asJSON := fs.Bool("json", false, "emit the frontier-annotated records as one JSON document (BENCH_distill.json format)")
+		fs.Parse(args)
+		if *in == "" {
+			return usageErr("gcstats pareto needs -distill FILE")
+		}
+		return pareto(*in, *asJSON)
+	}},
+	"check": {"validate the Chrome trace file (CI smoke)", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats check", flag.ExitOnError)
+		trace := fs.String("trace", "", "Chrome trace file written by -trace")
+		fs.Parse(args)
+		if *trace == "" {
+			return usageErr("gcstats check needs -trace FILE")
+		}
+		if err := checkTrace(*trace); err != nil {
+			return fmt.Errorf("trace check failed: %v", err)
+		}
+		return nil
+	}},
+	"check-hoard": {"require pool.hoard runs to worsen balance vs clean runs", func(args []string) error {
+		fs := flag.NewFlagSet("gcstats check-hoard", flag.ExitOnError)
+		metrics := fs.String("metrics", "", "JSONL metrics file with clean and pool.hoard runs")
+		fs.Parse(args)
+		if *metrics == "" {
+			return usageErr("gcstats check-hoard needs -metrics FILE")
+		}
+		if err := checkHoard(*metrics); err != nil {
+			return fmt.Errorf("hoard check failed: %v", err)
+		}
+		return nil
+	}},
+}
+
+// viewFlags binds the three flags every per-run metrics view shares.
+func viewFlags(fs *flag.FlagSet) (metrics, run *string, asJSON *bool) {
+	metrics = fs.String("metrics", "", "JSONL metrics file written by -metrics")
+	run = fs.String("run", "", "only report runs whose name contains this substring")
+	asJSON = fs.Bool("json", false, "emit one JSON object per run instead of text")
+	return
+}
+
+// usageError marks errors that should exit 2 (bad invocation) rather than 1
+// (failed check or reduction).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func usageErr(msg string) error { return usageError(msg) }
+
+// subcommandOrder fixes the help listing (map iteration is random).
+var subcommandOrder = []string{"metrics", "latency", "balance", "degradation", "pareto", "check", "check-hoard"}
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, "usage: gcstats <subcommand> [flags]")
+	fmt.Fprintln(w, "subcommands:")
+	for _, name := range subcommandOrder {
+		fmt.Fprintf(w, "  %-12s %s\n", name, subcommands[name].summary)
+	}
+	fmt.Fprintln(w, "run \"gcstats <subcommand> -h\" for that view's flags")
+}
+
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		name, args := os.Args[1], os.Args[2:]
+		if name == "help" {
+			usage(os.Stdout)
+			return
+		}
+		sub, ok := subcommands[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gcstats: unknown subcommand %q\n", name)
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		if err := sub.run(args); err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			if _, isUsage := err.(usageError); isUsage {
+				os.Exit(2)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+	legacyMain()
+}
+
+// legacyMain parses the pre-subcommand flag spellings (-balance, -latency,
+// -check, ...) and forwards to the same view runners, printing a migration
+// hint per deprecated mode flag actually used — the same convention the
+// pacing vocabulary's deprecated aliases follow (pacing.Flags.PrintHints).
+func legacyMain() {
 	var (
 		metricsFlag    = flag.String("metrics", "", "JSONL metrics file written by gcbench -metrics")
 		traceFlag      = flag.String("trace", "", "Chrome trace file written by gcbench -trace")
-		checkFlag      = flag.Bool("check", false, "validate the -trace file instead of summarizing metrics")
-		balanceFlag    = flag.Bool("balance", false, "per-tracer load-balance view of the -metrics file")
-		latencyFlag    = flag.Bool("latency", false, "server-workload view of the -metrics file (throughput, request-latency tail, pause correlation)")
-		degradeFlag    = flag.Bool("degradation", false, "overload-survival view of the -metrics file (ladder time-in-state, backpressure stalls, emergency cycles, sheds)")
+		checkFlag      = flag.Bool("check", false, "deprecated: use \"gcstats check -trace FILE\"")
+		balanceFlag    = flag.Bool("balance", false, "deprecated: use \"gcstats balance -metrics FILE\"")
+		latencyFlag    = flag.Bool("latency", false, "deprecated: use \"gcstats latency -metrics FILE\"")
+		degradeFlag    = flag.Bool("degradation", false, "deprecated: use \"gcstats degradation -metrics FILE\"")
 		jsonFlag       = flag.Bool("json", false, "with -balance, -latency or -degradation: emit one JSON object per run")
-		checkHoardFlag = flag.Bool("check-hoard", false, "require pool.hoard runs in -metrics to worsen balance vs clean runs")
+		checkHoardFlag = flag.Bool("check-hoard", false, "deprecated: use \"gcstats check-hoard -metrics FILE\"")
 		runFlag        = flag.String("run", "", "only report runs whose name contains this substring")
 	)
+	flag.Usage = func() { usage(os.Stderr) }
 	flag.Parse()
 
+	hint := func(new string) {
+		fmt.Fprintf(os.Stderr, "gcstats: flag spelling deprecated; use: gcstats %s\n", new)
+	}
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	switch {
 	case *checkFlag:
 		if *traceFlag == "" {
 			fmt.Fprintln(os.Stderr, "gcstats: -check needs -trace FILE")
 			os.Exit(2)
 		}
+		hint("check -trace FILE")
 		if err := checkTrace(*traceFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: trace check failed: %v\n", err)
-			os.Exit(1)
+			fail(fmt.Errorf("trace check failed: %v", err))
 		}
 	case *checkHoardFlag:
 		if *metricsFlag == "" {
 			fmt.Fprintln(os.Stderr, "gcstats: -check-hoard needs -metrics FILE")
 			os.Exit(2)
 		}
+		hint("check-hoard -metrics FILE")
 		if err := checkHoard(*metricsFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: hoard check failed: %v\n", err)
-			os.Exit(1)
+			fail(fmt.Errorf("hoard check failed: %v", err))
 		}
 	case *latencyFlag:
 		if *metricsFlag == "" {
 			fmt.Fprintln(os.Stderr, "gcstats: -latency needs -metrics FILE")
 			os.Exit(2)
 		}
-		if err := latency(*metricsFlag, *runFlag, *jsonFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
-		}
+		hint("latency -metrics FILE")
+		fail(latency(*metricsFlag, *runFlag, *jsonFlag))
 	case *degradeFlag:
 		if *metricsFlag == "" {
 			fmt.Fprintln(os.Stderr, "gcstats: -degradation needs -metrics FILE")
 			os.Exit(2)
 		}
-		if err := degradation(*metricsFlag, *runFlag, *jsonFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
-		}
+		hint("degradation -metrics FILE")
+		fail(degradation(*metricsFlag, *runFlag, *jsonFlag))
 	case *balanceFlag:
 		if *metricsFlag == "" {
 			fmt.Fprintln(os.Stderr, "gcstats: -balance needs -metrics FILE")
 			os.Exit(2)
 		}
-		if err := balance(*metricsFlag, *runFlag, *jsonFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
-		}
+		hint("balance -metrics FILE")
+		fail(balance(*metricsFlag, *runFlag, *jsonFlag))
 	case *metricsFlag != "":
-		if err := report(*metricsFlag, *runFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
-		}
+		hint("metrics -metrics FILE")
+		fail(report(*metricsFlag, *runFlag))
 	default:
-		flag.Usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"mcgc/internal/distill"
 	"mcgc/internal/faultinject"
 	"mcgc/internal/live"
 	"mcgc/internal/runmeta"
@@ -95,9 +96,8 @@ func main() {
 		Duration:        *duration,
 		Seed:            *seed,
 		Shape:           *shape,
-		Faults:          plan,
-		WedgeTimeout:    *wedgeTO,
 	}
+	cfg.FaultOptions = live.FaultOptions{Faults: plan, WedgeTimeout: *wedgeTO}
 	common.Apply(&cfg)
 
 	// Telemetry rides the same sinks as the simulator suite so gcstats can
@@ -133,8 +133,49 @@ func main() {
 		}()
 	}
 
-	rep := live.NewEngine(cfg).Run()
+	runArm := func(c live.Config) (live.Report, distill.Arm) {
+		eng := live.NewEngine(c) // construction (arena zeroing) outside the timed window
+		cpu0, wall0 := distill.CPUClock(), time.Now()
+		r := eng.Run()
+		arm := distill.Arm{
+			WallNs:      int64(time.Since(wall0)),
+			CPUNs:       int64(distill.CPUClock() - cpu0),
+			Completed:   r.MutatorOps,
+			Failed:      r.AllocFailed,
+			Cycles:      r.Cycles,
+			STWNs:       int64(r.STWTotal),
+			AllocFailed: r.AllocFailed,
+		}
+		arm.FillThroughput()
+		return r, arm
+	}
+
+	rep, realArm := runArm(cfg)
 	fmt.Println(rep)
+
+	var distRec *distill.Record
+	if common.Distill {
+		// Same distillation shape as gcserve, without latency quantiles:
+		// the workload is synthetic churn, so the unit of progress is a
+		// mutator op and the deltas are throughput and CPU only.
+		base := cfg
+		base.Objects = cfg.Objects + int(rep.ObjectsAllocated)*common.DistillMult
+		base.PacingOptions = live.PacingOptions{DisableCollection: true}
+		base.LadderOptions = live.LadderOptions{}
+		base.FaultOptions = live.FaultOptions{}
+		base.ObserveOptions = live.ObserveOptions{}
+		fmt.Printf("distill: re-running with collection disabled (arena %d objects)\n", base.Objects)
+		_, baseArm := runArm(base)
+		rec := distill.NewRecord(name, rep.PacingPolicy, realArm, baseArm)
+		distRec = &rec
+		fmt.Println(rec)
+		if common.DistillJSON != "" {
+			if err := rec.AppendJSON(common.DistillJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "gcstress: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *metricsOut != "" {
 		writeSink(*metricsOut, func(f *os.File) error { return col.WriteJSONL(f, suite) })
@@ -179,6 +220,10 @@ func main() {
 				raise(live.ExitInvariant)
 			}
 		}
+	}
+	if distRec != nil && distRec.BaselineContaminated {
+		fmt.Fprintln(os.Stderr, "gcstress: distill baseline contaminated (collected or exhausted); raise -distill-mult")
+		raise(live.ExitInvariant)
 	}
 	if code != live.ExitOK {
 		fmt.Fprintln(os.Stderr, live.ReproLine("gcstress", *seed, plan,

@@ -94,7 +94,7 @@ type CGC struct {
 	rt    *mutator.Runtime
 	m     *machine.Machine
 	eng   *engine
-	pacer *pacing.Pacer
+	pacer *pacing.FormulaPolicy
 	cfg   CGCConfig
 	tel   *coreTel
 

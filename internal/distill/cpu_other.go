@@ -1,0 +1,10 @@
+//go:build !unix
+
+package distill
+
+import "time"
+
+// CPUClock is unavailable on this platform; arms report zero CPU and the
+// CPU-overhead fields stay zero (the throughput and latency deltas still
+// hold).
+func CPUClock() time.Duration { return 0 }

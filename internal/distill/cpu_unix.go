@@ -1,0 +1,21 @@
+//go:build unix
+
+package distill
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUClock returns the process's consumed CPU time (user + system) via
+// getrusage. Sample it before and after an arm; the difference is the arm's
+// CPUNs. The whole process is charged — collector goroutines, mutators and
+// the harness alike — which is exactly what distillation wants: the baseline
+// pays the same harness cost, so the delta isolates the collector.
+func CPUClock() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -27,8 +27,10 @@ func chaosConfig(plan *faultinject.Plan) Config {
 		CardPasses:      2,
 		Duration:        dur,
 		Seed:            1,
-		Faults:          plan,
-		WedgeTimeout:    10 * time.Second, // fault stalls must not trip it
+		FaultOptions: FaultOptions{
+			Faults:       plan,
+			WedgeTimeout: 10 * time.Second, // fault stalls must not trip it
+		},
 	}
 }
 

@@ -29,9 +29,8 @@ func ladderConfig(plan *faultinject.Plan) Config {
 		CardPasses:      2,
 		Duration:        dur,
 		Seed:            1,
-		Faults:          plan,
-		WedgeTimeout:    10 * time.Second,
-		Ladder:          LadderConfig{Enabled: true},
+		FaultOptions:    FaultOptions{Faults: plan, WedgeTimeout: 10 * time.Second},
+		LadderOptions:   LadderOptions{Ladder: LadderConfig{Enabled: true}},
 	}
 }
 
@@ -197,15 +196,15 @@ func TestRetireDuringShutdownRace(t *testing.T) {
 	}
 	for round := 0; round < rounds; round++ {
 		eng := NewEngine(Config{
-			Objects:      1 << 10,
-			ExtMutators:  4,
-			Tracers:      2,
-			Packets:      16,
-			PacketCap:    8,
-			Duration:     60 * time.Millisecond,
-			Seed:         int64(round + 1),
-			WedgeTimeout: 10 * time.Second,
-			Ladder:       LadderConfig{Enabled: true, BackpressureWait: 2 * time.Millisecond},
+			Objects:       1 << 10,
+			ExtMutators:   4,
+			Tracers:       2,
+			Packets:       16,
+			PacketCap:     8,
+			Duration:      60 * time.Millisecond,
+			Seed:          int64(round + 1),
+			FaultOptions:  FaultOptions{WedgeTimeout: 10 * time.Second},
+			LadderOptions: LadderOptions{Ladder: LadderConfig{Enabled: true, BackpressureWait: 2 * time.Millisecond}},
 		})
 		var wg sync.WaitGroup
 		for i := 0; i < 4; i++ {

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -16,7 +17,94 @@ import (
 	"mcgc/internal/workpack"
 )
 
+// ShardingOptions groups the hot-shared-structure knobs: how aggressively
+// the per-worker tiers front the global pool, free list and card table.
+type ShardingOptions struct {
+	// LocalCache sizes the per-worker packet caches (workpack.LocalPool):
+	// each tracing goroutine — and, with pacing, each mutator — fronts the
+	// shared pool with a cache of this many packets per class. 0 picks
+	// DefaultLocalCache clamped so the caches together cannot hoard more
+	// than half the pool; negative disables the local tier.
+	LocalCache int
+	// FreeShards is the arena free-list shard count (rounded down to a
+	// power of two, capped at MaxFreeShards). 0 picks DefaultFreeShards;
+	// negative forces a single shard — the pre-sharding layout.
+	FreeShards int
+	// CardBuffer sizes the per-mutator write-barrier card buffers, flushed
+	// at fence handshakes and safepoints. 0 picks the default (64);
+	// negative disables buffering (every barrier dirties the table).
+	CardBuffer int
+}
+
+// PacingOptions groups the pacing-policy selection. At most one policy runs
+// a given engine: the SLO controller when SLO has a target, else the plain
+// Section 3 formula when Pacing is set, else none (cycles start on the idle
+// timer).
+type PacingOptions struct {
+	// Pacing enables the Section 3 pacer (nil disables). With pacing on,
+	// cycles start when the kickoff formula fires instead of on the idle
+	// timer, mutators pay a tracing tax at every allocation-cache refill
+	// (IncrementBudget, repaid by draining work packets inline before the
+	// refill returns), and background tracers report through
+	// NoteBackgroundWork so Best discounts them. The pacing word unit for
+	// this backend is one heap object.
+	Pacing *pacing.Config
+
+	// SLO selects the latency-feedback policy (pacing.SLOPolicy) when its
+	// Target is set: the Section 3 formula stays the safety floor (taken
+	// from SLO.Formula if nonzero, else from Pacing, else the defaults) and
+	// the controller trades collector CPU for request tail latency against
+	// the target. Feed the policy latency windows via
+	// Engine.PacingPolicy() / pacing.LatencyObserver.
+	SLO *pacing.SLOConfig
+
+	// DisableCollection runs the workload with the collector off: no
+	// cycles, no pacing, no write-barrier marking work — allocation simply
+	// consumes the arena. This is the cost-distillation baseline (Cai &
+	// Blackburn): size the arena so the run never exhausts it, and the
+	// delta against an identical collected run is the collector's real
+	// cost. Pacing and SLO are ignored when set.
+	DisableCollection bool
+}
+
+// LadderOptions groups the graceful-degradation ladder.
+type LadderOptions struct {
+	// Ladder configures the graceful-degradation ladder (see degrade.go):
+	// allocation backpressure on heap exhaustion and emergency STW
+	// collection when backpressure fails. Disabled by default — the zero
+	// value keeps the historical fail-fast allocation behavior.
+	Ladder LadderConfig
+}
+
+// FaultOptions groups fault injection and the watchdog that catches what
+// the faults wedge.
+type FaultOptions struct {
+	// Faults is an optional fault-injection plan (nil disables). Its points
+	// are threaded through the engine, the packet pool and the card table.
+	Faults *faultinject.Plan
+
+	// WedgeTimeout is how long tracing may make zero progress mid-cycle
+	// before the watchdog declares the cycle wedged, dumps diagnostics and
+	// aborts the run. It must exceed any injected stall delay.
+	WedgeTimeout time.Duration
+}
+
+// ObserveOptions groups the driver-owned telemetry sinks.
+type ObserveOptions struct {
+	// Reg and TL are optional driver-owned telemetry (nil disables; both
+	// are nil-safe). Accounting ledgers arm when either is set or a fault
+	// plan is.
+	Reg *telemetry.Registry
+	TL  *telemetry.Timeline
+}
+
 // Config sizes one live-engine run. Zero fields take the defaults below.
+// The knobs beyond the core workload shape live in embedded option groups
+// (sharding, pacing, ladder, faults, observation); their fields are
+// promoted, so cfg.LocalCache and friends read and assign exactly as
+// before — only composite literals name the group. Validate checks the
+// whole config with one error vocabulary; the With* constructors build the
+// groups field-by-field for callers that predate them.
 type Config struct {
 	Objects         int // arena size in objects
 	RefsPerObject   int // reference slots per object
@@ -43,21 +131,6 @@ type Config struct {
 	AllocBatch int // allocation-bit publication batch (Section 5.2)
 	CardPasses int // concurrent cleaning passes per cycle (Section 5.3)
 
-	// LocalCache sizes the per-worker packet caches (workpack.LocalPool):
-	// each tracing goroutine — and, with pacing, each mutator — fronts the
-	// shared pool with a cache of this many packets per class. 0 picks
-	// DefaultLocalCache clamped so the caches together cannot hoard more
-	// than half the pool; negative disables the local tier.
-	LocalCache int
-	// FreeShards is the arena free-list shard count (rounded down to a
-	// power of two, capped at MaxFreeShards). 0 picks DefaultFreeShards;
-	// negative forces a single shard — the pre-sharding layout.
-	FreeShards int
-	// CardBuffer sizes the per-mutator write-barrier card buffers, flushed
-	// at fence handshakes and safepoints. 0 picks the default (64);
-	// negative disables buffering (every barrier dirties the table).
-	CardBuffer int
-
 	Duration   time.Duration // total run length (the last cycle may overrun)
 	IdlePeriod time.Duration // mutator-only churn between cycles
 	BgThrottle time.Duration // sleep between background-tracer packets
@@ -65,33 +138,123 @@ type Config struct {
 	Seed  int64
 	Shape string // workload shape: "mixed", "churn" or "pointer"
 
-	// Pacing enables the Section 3 pacer (nil disables). With pacing on,
-	// cycles start when the kickoff formula fires instead of on the idle
-	// timer, mutators pay a tracing tax at every allocation-cache refill
-	// (IncrementBudget, repaid by draining work packets inline before the
-	// refill returns), and background tracers report through
-	// NoteBackgroundWork so Best discounts them. The pacing word unit for
-	// this backend is one heap object.
-	Pacing *pacing.Config
+	ShardingOptions
+	PacingOptions
+	LadderOptions
+	FaultOptions
+	ObserveOptions
+}
 
-	// Ladder configures the graceful-degradation ladder (see degrade.go):
-	// allocation backpressure on heap exhaustion and emergency STW
-	// collection when backpressure fails. Disabled by default — the zero
-	// value keeps the historical fail-fast allocation behavior.
-	Ladder LadderConfig
+// WithSharding returns a copy of c with the sharding knobs set.
+func (c Config) WithSharding(localCache, freeShards, cardBuffer int) Config {
+	c.ShardingOptions = ShardingOptions{LocalCache: localCache, FreeShards: freeShards, CardBuffer: cardBuffer}
+	return c
+}
 
-	// Faults is an optional fault-injection plan (nil disables). Its points
-	// are threaded through the engine, the packet pool and the card table.
-	Faults *faultinject.Plan
+// WithFormulaPacing returns a copy of c paced by the Section 3 formula. An
+// SLO target set by WithSLOPacing survives (and wins: the formula becomes
+// its floor), so the two constructors compose in either order.
+func (c Config) WithFormulaPacing(pc pacing.Config) Config {
+	c.PacingOptions.Pacing = &pc
+	return c
+}
 
-	// WedgeTimeout is how long tracing may make zero progress mid-cycle
-	// before the watchdog declares the cycle wedged, dumps diagnostics and
-	// aborts the run. It must exceed any injected stall delay.
-	WedgeTimeout time.Duration
+// WithSLOPacing returns a copy of c paced by the SLO controller.
+func (c Config) WithSLOPacing(sc pacing.SLOConfig) Config {
+	c.PacingOptions.SLO = &sc
+	return c
+}
 
-	// Optional driver-owned telemetry (nil disables; both are nil-safe).
-	Reg *telemetry.Registry
-	TL  *telemetry.Timeline
+// WithLadder returns a copy of c with the degradation ladder configured.
+func (c Config) WithLadder(l LadderConfig) Config {
+	c.LadderOptions = LadderOptions{Ladder: l}
+	return c
+}
+
+// WithFaults returns a copy of c with the fault plan and watchdog set.
+func (c Config) WithFaults(plan *faultinject.Plan, wedgeTimeout time.Duration) Config {
+	c.FaultOptions = FaultOptions{Faults: plan, WedgeTimeout: wedgeTimeout}
+	return c
+}
+
+// WithSinks returns a copy of c with the telemetry sinks attached.
+func (c Config) WithSinks(reg *telemetry.Registry, tl *telemetry.Timeline) Config {
+	c.ObserveOptions = ObserveOptions{Reg: reg, TL: tl}
+	return c
+}
+
+// pacingEnabled reports whether this run paces allocation at all: some
+// policy is configured and collection is not disabled.
+func (c Config) pacingEnabled() bool {
+	return !c.DisableCollection && (c.Pacing != nil || (c.SLO != nil && c.SLO.Target > 0))
+}
+
+// cfgErr builds one entry of the config error vocabulary: every problem
+// Validate reports reads "live: config: <field>: <problem>".
+func cfgErr(field, format string, args ...any) error {
+	return fmt.Errorf("live: config: %s: %s", field, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the whole configuration — core shape and every option
+// group — in one pass and returns every problem found, joined. It validates
+// the config as given; defaults are applied afterwards, so zero values that
+// mean "pick the default" are legal.
+func (c Config) Validate() error {
+	var errs []error
+	bad := func(field, format string, args ...any) {
+		errs = append(errs, cfgErr(field, format, args...))
+	}
+	if c.Objects < 0 {
+		bad("Objects", "negative arena size %d", c.Objects)
+	}
+	if c.RefsPerObject < 0 {
+		bad("RefsPerObject", "negative slot count %d", c.RefsPerObject)
+	}
+	if c.Mutators < 0 {
+		bad("Mutators", "negative count %d", c.Mutators)
+	}
+	if c.ExtMutators < 0 {
+		bad("ExtMutators", "negative count %d", c.ExtMutators)
+	}
+	if c.Tracers < 0 {
+		bad("Tracers", "negative count %d", c.Tracers)
+	}
+	if c.BgTracers < 0 {
+		bad("BgTracers", "negative count %d", c.BgTracers)
+	}
+	if c.Packets < 0 {
+		bad("Packets", "negative count %d", c.Packets)
+	}
+	if c.PacketCap < 0 {
+		bad("PacketCap", "negative capacity %d", c.PacketCap)
+	}
+	if c.CardPasses < 0 {
+		bad("CardPasses", "negative pass count %d", c.CardPasses)
+	}
+	if c.Duration < 0 {
+		bad("Duration", "negative run length %v", c.Duration)
+	}
+	if c.Pacing != nil && c.Pacing.K0 <= 0 {
+		bad("Pacing.K0", "tracing rate must be positive, got %g", c.Pacing.K0)
+	}
+	if c.SLO != nil {
+		if c.SLO.Target < 0 {
+			bad("SLO.Target", "negative latency target %v", c.SLO.Target)
+		}
+		if c.SLO.FloorK < 0 || c.SLO.FloorK > 1 {
+			bad("SLO.FloorK", "tax floor must be in (0,1], got %g", c.SLO.FloorK)
+		}
+		if c.SLO.BgMin < 0 || c.SLO.BgMax < 0 || (c.SLO.BgMax > 0 && c.SLO.BgMin > c.SLO.BgMax) {
+			bad("SLO.BgMin", "throttle-factor bounds [%g,%g] are not an interval", c.SLO.BgMin, c.SLO.BgMax)
+		}
+		if c.SLO.Alpha < 0 || c.SLO.Alpha > 1 {
+			bad("SLO.Alpha", "smoothing factor must be in (0,1], got %g", c.SLO.Alpha)
+		}
+	}
+	if c.WedgeTimeout < 0 {
+		bad("WedgeTimeout", "negative timeout %v", c.WedgeTimeout)
+	}
+	return errors.Join(errs...)
 }
 
 func (c Config) withDefaults() Config {
@@ -160,9 +323,14 @@ type Engine struct {
 	// at it), and the driver waits for all acknowledgements.
 	fenceEpoch atomic.Int64
 
-	// pacer is the Section 3 pacer behind its serialization gate; nil when
-	// Config.Pacing is nil (cycles then start on the idle timer).
+	// pacer is the pacing policy behind its serialization gate; nil when no
+	// policy is configured (cycles then start on the idle timer) and when
+	// collection is disabled.
 	pacer *livePacer
+	// bgTuner is the policy's background-throttle capability, when it has
+	// one (the SLO controller): concurrency-safe by contract, read by the
+	// background tracers without the pacer gate.
+	bgTuner pacing.BgTuner
 
 	// muts holds every mutator: indices [0,cfg.Mutators) run the synthetic
 	// workload on engine goroutines; the rest are externally driven (Mut
@@ -242,14 +410,18 @@ type engineFaults struct {
 }
 
 // NewEngine validates the config and builds the arena, pool and workers.
+// An invalid config panics with the joined Validate error; callers that
+// want the error instead should call Validate themselves first.
 func NewEngine(cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
-	if cfg.Mutators < 0 || cfg.ExtMutators < 0 || cfg.Mutators+cfg.ExtMutators < 1 ||
-		cfg.Tracers < 0 || cfg.BgTracers < 0 {
-		panic(fmt.Sprintf("live: bad worker counts %+v", cfg))
+	if cfg.Mutators+cfg.ExtMutators < 1 {
+		panic(cfgErr("Mutators", "need at least one mutator (internal or external)"))
 	}
 	if cfg.Tracers+cfg.BgTracers < 1 {
-		panic("live: need at least one tracing goroutine")
+		panic(cfgErr("Tracers", "need at least one tracing goroutine"))
 	}
 	e := &Engine{
 		cfg:   cfg,
@@ -258,8 +430,23 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.oracleMarks = newOracleScratch(cfg.Objects)
-	if cfg.Pacing != nil {
-		e.pacer = newLivePacer(*cfg.Pacing, e.arena)
+	if !cfg.DisableCollection {
+		if pol := buildPolicy(cfg.Pacing, cfg.SLO, e.arena); pol != nil {
+			e.pacer = newLivePacer(pol, e.arena)
+			if bt, ok := pol.(pacing.BgTuner); ok {
+				e.bgTuner = bt
+			}
+		}
+	} else {
+		// Pre-fault the ref-slot pages now, at construction time. The
+		// distillation baseline allocates linearly through an arena many
+		// times the real run's, and first-touch page faults inside the
+		// measured window would charge the baseline CPU the collector
+		// doesn't owe (and add run-to-run noise that can push the distilled
+		// overhead negative). One store per 4KiB page is enough.
+		for i := 0; i < len(e.arena.slots); i += 1024 {
+			e.arena.slots[i].Store(0)
+		}
 	}
 	e.localCap = resolveLocalCache(cfg)
 	e.cardBufCap = cfg.CardBuffer
@@ -316,7 +503,7 @@ func resolveLocalCache(cfg Config) int {
 		c = workpack.DefaultLocalCache
 	}
 	workers := cfg.Tracers + cfg.BgTracers
-	if cfg.Pacing != nil {
+	if cfg.pacingEnabled() {
 		workers += cfg.Mutators + cfg.ExtMutators
 	}
 	if workers > 0 {
@@ -335,6 +522,18 @@ func (e *Engine) Arena() *Arena { return e.arena }
 
 // Pool exposes the engine's work packet pool.
 func (e *Engine) Pool() *workpack.Pool { return e.pool }
+
+// PacingPolicy exposes the run's pacing policy (nil when pacing is off),
+// for capability probing: a server workload asserts pacing.LatencyObserver
+// on it and feeds latency windows in live. The protocol methods stay behind
+// the engine's gate — callers may only use the concurrency-safe capability
+// interfaces.
+func (e *Engine) PacingPolicy() pacing.Policy {
+	if e.pacer == nil {
+		return nil
+	}
+	return e.pacer.policy()
+}
 
 func (e *Engine) now() int64 { return time.Since(e.start).Nanoseconds() }
 
@@ -365,6 +564,19 @@ func (e *Engine) Run() Report {
 	}
 
 	deadline := e.start.Add(e.cfg.Duration)
+	if e.cfg.DisableCollection {
+		// Distillation baseline: the collector never runs. Mutators churn
+		// uninterrupted until the deadline; allocation pressure has nothing
+		// to kick, so idleWait's early return just re-enters the wait.
+		for !time.Now().After(deadline) {
+			e.idleWait()
+		}
+		e.shutdown.Store(true)
+		e.wg.Wait()
+		e.extWG.Wait()
+		e.finishReport()
+		return e.report
+	}
 	for {
 		if !e.runCycle() {
 			// Wedged: the watchdog already resumed the world, recorded the
@@ -820,11 +1032,11 @@ func (e *Engine) traceLoop(id int, bg bool) {
 		// smaller pool.
 		tr.InjectHoard(e.fi.hoard)
 	}
-	idle := 20 * time.Microsecond
-	if bg {
-		idle = e.cfg.BgThrottle
-	}
 	for !e.shutdown.Load() {
+		idle := 20 * time.Microsecond
+		if bg {
+			idle = e.bgSleep(e.cfg.BgThrottle)
+		}
 		if !e.markingActive.Load() {
 			time.Sleep(100 * time.Microsecond)
 			continue
@@ -891,7 +1103,7 @@ func (e *Engine) traceLoop(id int, bg bool) {
 			}
 		}
 		if bg {
-			time.Sleep(e.cfg.BgThrottle / 4)
+			time.Sleep(e.bgSleep(e.cfg.BgThrottle / 4))
 		}
 	}
 	// Every exit path — normal shutdown or a wedge abort — returns the
@@ -903,6 +1115,21 @@ func (e *Engine) traceLoop(id int, bg bool) {
 	if lp != nil {
 		lp.Flush()
 	}
+}
+
+// bgSleep scales a background-tracer sleep by the policy's throttle factor
+// when the policy has one (the SLO controller): a factor under 1 runs the
+// background tracers hotter, over 1 parks them longer. The factor is read
+// lock-free — BgTuner is concurrency-safe by contract.
+func (e *Engine) bgSleep(base time.Duration) time.Duration {
+	if e.bgTuner == nil {
+		return base
+	}
+	f := e.bgTuner.BgThrottleFactor()
+	if f <= 0 || f == 1 {
+		return base
+	}
+	return time.Duration(float64(base) * f)
 }
 
 // checkFreeConservation verifies, with the world stopped at the end of a

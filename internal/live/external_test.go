@@ -59,7 +59,7 @@ func TestExternalMutatorsOnly(t *testing.T) {
 		PacketCap:    8,
 		Duration:     400 * time.Millisecond,
 		Seed:         7,
-		WedgeTimeout: 20 * time.Second,
+		FaultOptions: FaultOptions{WedgeTimeout: 20 * time.Second},
 	})
 	rs := eng.NewRootSet(3)
 	var wg sync.WaitGroup
@@ -109,7 +109,7 @@ func TestExternalAndSyntheticMutatorsMixed(t *testing.T) {
 		PacketCap:    8,
 		Duration:     300 * time.Millisecond,
 		Seed:         11,
-		WedgeTimeout: 20 * time.Second,
+		FaultOptions: FaultOptions{WedgeTimeout: 20 * time.Second},
 	})
 	rs := eng.NewRootSet(2)
 	var wg sync.WaitGroup

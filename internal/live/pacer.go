@@ -10,7 +10,7 @@ import (
 // The live backend's pacing "word" is one heap object: the arena is a flat
 // array of fixed-size objects, so object counts are the natural unit for
 // free memory (F), tracing progress (T, one per scanned object) and the
-// L/M predictors. The shared pacing.Pacer is single-threaded by contract;
+// L/M predictors. A pacing.Policy is single-threaded by contract;
 // livePacer is the gate that serializes it — mutators paying their
 // allocation tax, tracers reporting progress and the driver deciding
 // kickoff all funnel through one mutex. Everything the telemetry layer
@@ -64,10 +64,13 @@ type pacerSummary struct {
 	kickoffs                  int
 }
 
-// livePacer wraps the shared pacer for concurrent use.
+// livePacer wraps a pacing policy for concurrent use. It holds the Policy
+// interface, not a concrete type: the engine decides at construction whether
+// the run paces on the Section 3 formula alone or on the SLO controller, and
+// everything behind the gate is policy-agnostic.
 type livePacer struct {
 	mu   sync.Mutex
-	p    *pacing.Pacer
+	p    pacing.Policy
 	view arenaObjectsView
 
 	sum      pacerSummary
@@ -75,12 +78,53 @@ type livePacer struct {
 	kickoffs []kickoffPoint
 }
 
-func newLivePacer(cfg pacing.Config, a *Arena) *livePacer {
+// buildPolicy resolves the engine config into a pacing policy over the
+// arena: the SLO controller when an SLO config is present, the plain
+// formula when only pacing parameters are, nil otherwise. The live
+// backend's BestWindow default is applied to whichever formula config ends
+// up in charge.
+func buildPolicy(pc *pacing.Config, slo *pacing.SLOConfig, a *Arena) pacing.Policy {
+	view := arenaObjectsView{a}
+	if slo != nil && slo.Target > 0 {
+		s := *slo
+		if s.Formula == (pacing.Config{}) {
+			if pc != nil {
+				s.Formula = *pc
+			} else {
+				s.Formula = pacing.Default()
+			}
+		}
+		if s.Formula.BestWindow == 0 {
+			s.Formula.BestWindow = liveBestWindow
+		}
+		return pacing.NewSLO(s, view)
+	}
+	if pc == nil {
+		return nil
+	}
+	cfg := *pc
 	if cfg.BestWindow == 0 {
 		cfg.BestWindow = liveBestWindow
 	}
-	view := arenaObjectsView{a}
-	return &livePacer{p: pacing.New(cfg, view), view: view}
+	return pacing.NewFormula(cfg, view)
+}
+
+func newLivePacer(p pacing.Policy, a *Arena) *livePacer {
+	return &livePacer{p: p, view: arenaObjectsView{a}}
+}
+
+// policy exposes the wrapped Policy for capability probing (LatencyObserver,
+// BgTuner) — the capabilities are concurrency-safe by contract, so handing
+// them out from behind the gate is sound.
+func (lp *livePacer) policy() pacing.Policy { return lp.p }
+
+// sloStats snapshots the SLO controller counters, zero when the run paces
+// on the plain formula.
+func (lp *livePacer) sloStats() (pacing.SLOStats, bool) {
+	if s, ok := lp.p.(*pacing.SLOPolicy); ok {
+		return s.Stats(), true
+	}
+	return pacing.SLOStats{}, false
 }
 
 // kickoff evaluates the kickoff formula; a fired decision is logged with

@@ -130,6 +130,15 @@ func (e *Engine) flushTelemetry() {
 			gBest.Sample(t, s.best)
 		}
 	}
+	// SLO-controller counters: how many latency windows the policy saw and
+	// how many crossed the target, plus the final throttle factor. gcserve's
+	// -require-slo asserts on the same numbers from the Report.
+	if r.PacingPolicy == "slo" {
+		set("gc.slo.enabled", 1)
+		set("gc.slo.windows", r.SLOWindows)
+		set("gc.slo.over_target", r.SLOOverTarget)
+		reg.Gauge("gc.slo.bg_factor").Sample(vtime.Time(e.now()), r.SLOBgFactor)
+	}
 	// Degradation ladder: counters, time-in-state, the state gauge (one
 	// sample per transition, starting at ok) and the backpressure stall
 	// distribution — everything gcstats -degradation reads back.

@@ -35,6 +35,21 @@ func Bind(fs *flag.FlagSet, cfg *Config) *Flags {
 	return f
 }
 
+// BindSLO registers the latency-feedback controller's vocabulary on fs,
+// parsing into cfg. The Section 3 parameters inside cfg.Formula are NOT
+// bound here — bind them with Bind against the same underlying Config so
+// -k0 and friends keep one spelling; -slo-p99 0 (the default) leaves the
+// SLO policy off entirely.
+func BindSLO(fs *flag.FlagSet, cfg *SLOConfig) {
+	fs.DurationVar(&cfg.Target, "slo-p99", cfg.Target, "request-latency target for the SLO pacing policy (0 = formula policy)")
+	fs.Float64Var(&cfg.Gain, "slo-gain", cfg.Gain, "proportional gain of the SLO controller (0 = default 1.0)")
+	fs.Float64Var(&cfg.FloorK, "slo-floor-k", cfg.FloorK, "lowest fraction of the formula tracing rate the controller may shave the mutator tax to (0 = default 0.25)")
+	fs.Float64Var(&cfg.BgMin, "slo-bg-min", cfg.BgMin, "hottest background-throttle factor under latency pressure (0 = default 0.125)")
+	fs.Float64Var(&cfg.BgMax, "slo-bg-max", cfg.BgMax, "laziest background-throttle factor when latency is under target (0 = default 4.0)")
+	fs.Float64Var(&cfg.Alpha, "slo-alpha", cfg.Alpha, "smoothing factor for the observed latency windows (0 = default 0.3)")
+	fs.Float64Var(&cfg.KickoffBoost, "slo-kickoff-boost", cfg.KickoffBoost, "cap on the kickoff-threshold multiplier under latency pressure (0 = default 2.0)")
+}
+
 // BindRate registers only the tracing-rate flags (-k0 and its
 // -tracing-rate synonym), for commands whose remaining pacing parameters
 // are fixed by experiment definitions.

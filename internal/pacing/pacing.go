@@ -12,9 +12,13 @@
 // other, so any consistent unit works; absolute defaults that depend on the
 // unit (the Best sampling window) are configurable.
 //
-// A Pacer is single-threaded: the simulator calls it from one goroutine by
-// construction, and concurrent backends must wrap it in their own lock (see
-// internal/live's pacer gate). Two call styles are offered:
+// The package is organized around the Policy interface (policy.go): the
+// decision surface a backend drives. FormulaPolicy below is the paper's
+// policy — pure heap geometry; SLOPolicy (slo.go) wraps a FormulaPolicy
+// with a latency-feedback controller. A policy is single-threaded: the
+// simulator calls it from one goroutine by construction, and concurrent
+// backends must wrap it in their own lock (see internal/live's pacer gate).
+// Two call styles are offered:
 //
 //   - The high-level entry points Kickoff, IncrementBudget, EndIncrement and
 //     NoteBackgroundWork are the whole protocol for a backend that taxes
@@ -110,7 +114,7 @@ func (c Config) EffectivePressureTax() float64 {
 
 // HeapView is the narrow heap interface the pacer reads. Both methods are
 // sampled at every decision point, so they should be cheap; they are called
-// only from whatever goroutine drives the Pacer.
+// only from whatever goroutine drives the policy.
 type HeapView interface {
 	// FreeWords is F: the memory currently available to allocation.
 	FreeWords() int64
@@ -135,10 +139,11 @@ type Budget struct {
 	Best float64
 }
 
-// Pacer implements the kickoff and progress formulas of Section 3.1 and the
-// background-tracing accounting of Section 3.2. Construct with New; not
+// FormulaPolicy implements the kickoff and progress formulas of Section 3.1
+// and the background-tracing accounting of Section 3.2: the paper's pacing
+// policy, driven purely by heap geometry. Construct with NewFormula; not
 // safe for concurrent use.
-type Pacer struct {
+type FormulaPolicy struct {
 	cfg  Config
 	heap HeapView
 
@@ -161,9 +166,11 @@ type Pacer struct {
 	windowBg    int64
 }
 
-// New builds a pacer over the given heap view.
-func New(cfg Config, heap HeapView) *Pacer {
-	return &Pacer{
+var _ Policy = (*FormulaPolicy)(nil)
+
+// NewFormula builds the Section 3 formula policy over the given heap view.
+func NewFormula(cfg Config, heap HeapView) *FormulaPolicy {
+	return &FormulaPolicy{
 		cfg:  cfg,
 		heap: heap,
 		l:    stats.NewExpSmooth(cfg.SmoothAlpha),
@@ -173,11 +180,11 @@ func New(cfg Config, heap HeapView) *Pacer {
 }
 
 // Config returns the configuration the pacer was built with.
-func (p *Pacer) Config() Config { return p.cfg }
+func (p *FormulaPolicy) Config() Config { return p.cfg }
 
 // Predictions returns the current L and M estimates, seeding them from the
 // heap state when no history exists.
-func (p *Pacer) Predictions() (l, m float64) {
+func (p *FormulaPolicy) Predictions() (l, m float64) {
 	occupied := p.heap.OccupiedWords()
 	l = p.l.Value()
 	if !p.l.Primed() {
@@ -192,20 +199,20 @@ func (p *Pacer) Predictions() (l, m float64) {
 
 // KickoffThreshold returns the free-memory level below which the concurrent
 // phase starts: (L+M)/K0 plus the configured headroom.
-func (p *Pacer) KickoffThreshold() float64 {
+func (p *FormulaPolicy) KickoffThreshold() float64 {
 	l, m := p.Predictions()
 	return (l+m)/p.cfg.K0 + float64(p.cfg.Headroom)
 }
 
 // Kickoff evaluates the kickoff formula against the current heap state:
 // start the concurrent phase when free memory drops below (L+M)/K0.
-func (p *Pacer) Kickoff() bool {
+func (p *FormulaPolicy) Kickoff() bool {
 	return float64(p.heap.FreeWords()) < p.KickoffThreshold()
 }
 
 // StartCycle resets the per-cycle progress state. Call when the concurrent
 // phase begins.
-func (p *Pacer) StartCycle() {
+func (p *FormulaPolicy) StartCycle() {
 	p.traced = 0
 	p.windowAlloc = 0
 	p.windowBg = 0
@@ -213,25 +220,25 @@ func (p *Pacer) StartCycle() {
 
 // NoteTraced accounts tracing work from any participant (T accumulates
 // mutator, dedicated and background tracing alike).
-func (p *Pacer) NoteTraced(words int64) { p.traced += words }
+func (p *FormulaPolicy) NoteTraced(words int64) { p.traced += words }
 
 // EndIncrement reports the tracing work an increment actually performed
 // against its budget. It is NoteTraced under the name the allocation-tax
 // protocol uses; a backend that could not repay the full budget simply
 // reports less, and the progress formula compensates on the next increment.
-func (p *Pacer) EndIncrement(doneWords int64) { p.NoteTraced(doneWords) }
+func (p *FormulaPolicy) EndIncrement(doneWords int64) { p.NoteTraced(doneWords) }
 
 // NoteBackgroundWork accounts background-thread tracing: it advances T and
 // feeds the B window so Best discounts the background threads' near-future
 // rate from the mutators' tax.
-func (p *Pacer) NoteBackgroundWork(words int64) {
+func (p *FormulaPolicy) NoteBackgroundWork(words int64) {
 	p.traced += words
 	p.windowBg += words
 }
 
 // NoteAllocation feeds the allocation side of the B window; when the window
 // is full, B is sampled into Best.
-func (p *Pacer) NoteAllocation(words int64) {
+func (p *FormulaPolicy) NoteAllocation(words int64) {
 	p.windowAlloc += words
 	if p.windowAlloc >= p.cfg.bestWindow() {
 		b := float64(p.windowBg) / float64(p.windowAlloc)
@@ -245,7 +252,7 @@ func (p *Pacer) NoteAllocation(words int64) {
 // into the B window, evaluate the progress formula, and return the tracing
 // budget the allocator owes. Repay it by tracing, then call EndIncrement
 // with the work actually done.
-func (p *Pacer) IncrementBudget(allocWords int64) Budget {
+func (p *FormulaPolicy) IncrementBudget(allocWords int64) Budget {
 	p.NoteAllocation(allocWords)
 	k, corrective, best := p.RateDetail()
 	return Budget{
@@ -263,7 +270,7 @@ func (p *Pacer) IncrementBudget(allocWords int64) Budget {
 // is scaled by PressureTaxFactor with a floor of the stalled volume itself,
 // so a blocked debtor always contributes at least one batch of tracing per
 // wait round even when the progress formula reads zero.
-func (p *Pacer) PressureBudget(allocWords int64) Budget {
+func (p *FormulaPolicy) PressureBudget(allocWords int64) Budget {
 	k, corrective, best := p.RateDetail()
 	words := int64(k * p.cfg.EffectivePressureTax() * float64(allocWords))
 	if words < allocWords {
@@ -280,7 +287,7 @@ func (p *Pacer) PressureBudget(allocWords int64) Budget {
 //	if K < Best: K = 0       (background threads are keeping up)
 //	else:        K -= Best
 //	if K > K0:   K += (K-K0)*C, capped at KMax
-func (p *Pacer) Rate() float64 {
+func (p *FormulaPolicy) Rate() float64 {
 	k, _, _ := p.RateDetail()
 	return k
 }
@@ -288,7 +295,7 @@ func (p *Pacer) Rate() float64 {
 // RateDetail is Rate plus the intermediate terms the telemetry layer
 // records: the corrective addition applied when tracing fell behind K0, and
 // the Best discount in effect.
-func (p *Pacer) RateDetail() (k, corrective, best float64) {
+func (p *FormulaPolicy) RateDetail() (k, corrective, best float64) {
 	l, m := p.Predictions()
 	kmax := p.cfg.EffectiveKMax()
 	best = p.best.Value()
@@ -319,17 +326,17 @@ func (p *Pacer) RateDetail() (k, corrective, best float64) {
 
 // EndCycle records the cycle's actual traced volume and dirty-card volume
 // into the L and M predictors.
-func (p *Pacer) EndCycle(tracedWords, dirtyCardWords int64) {
+func (p *FormulaPolicy) EndCycle(tracedWords, dirtyCardWords int64) {
 	p.l.Add(float64(tracedWords))
 	p.m.Add(float64(dirtyCardWords))
 }
 
 // TracedWords returns T, the tracing volume accumulated this cycle.
-func (p *Pacer) TracedWords() int64 { return p.traced }
+func (p *FormulaPolicy) TracedWords() int64 { return p.traced }
 
 // Best returns the smoothed background tracing rate (zero before the first
 // full window).
-func (p *Pacer) Best() float64 { return p.best.Value() }
+func (p *FormulaPolicy) Best() float64 { return p.best.Value() }
 
 // BestPrimed reports whether Best has absorbed at least one full window.
-func (p *Pacer) BestPrimed() bool { return p.best.Primed() }
+func (p *FormulaPolicy) BestPrimed() bool { return p.best.Primed() }

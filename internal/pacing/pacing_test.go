@@ -15,9 +15,9 @@ type fakeHeap struct {
 func (h *fakeHeap) FreeWords() int64     { return h.free }
 func (h *fakeHeap) OccupiedWords() int64 { return h.occupied }
 
-func newTestPacer(cfg Config, free, occupied int64) (*Pacer, *fakeHeap) {
+func newTestPacer(cfg Config, free, occupied int64) (*FormulaPolicy, *fakeHeap) {
 	h := &fakeHeap{free: free, occupied: occupied}
-	return New(cfg, h), h
+	return NewFormula(cfg, h), h
 }
 
 func TestKickoffFormula(t *testing.T) {
@@ -281,7 +281,7 @@ func TestHeadroomShiftsKickoffAndCompletion(t *testing.T) {
 // diverge, because internal/core uses the fine-grained methods and
 // internal/live uses the composed one.
 func TestIncrementBudgetComposition(t *testing.T) {
-	build := func() (*Pacer, *fakeHeap) {
+	build := func() (*FormulaPolicy, *fakeHeap) {
 		p, h := newTestPacer(Config{K0: 8, SmoothAlpha: 0.5, C: 1, BestWindow: 1000}, 1000, 0)
 		p.EndCycle(10000, 100)
 		p.StartCycle()
@@ -315,7 +315,7 @@ func syntheticRun(seed int64) (kickoffs []int, ks []float64) {
 	const heap = 1 << 20
 	rng := rand.New(rand.NewSource(seed))
 	h := &fakeHeap{free: heap, occupied: 0}
-	p := New(Config{K0: 6, C: 1, SmoothAlpha: 0.4, InitialDirtyFraction: 0.05, BestWindow: 4096}, h)
+	p := NewFormula(Config{K0: 6, C: 1, SmoothAlpha: 0.4, InitialDirtyFraction: 0.05, BestWindow: 4096}, h)
 	inCycle := false
 	for i := 0; i < 20000; i++ {
 		alloc := int64(rng.Intn(200) + 1)

@@ -1,0 +1,77 @@
+package pacing
+
+// Policy is the pacing surface a backend drives: the decision points the
+// Section 3 formulas answer, abstracted so more than one policy can answer
+// them. FormulaPolicy is the paper's heap-geometry policy; SLOPolicy layers
+// a latency-feedback controller on top of it. Backends hold a Policy and
+// never care which one they were given.
+//
+// Like the concrete policies, a Policy is single-threaded: concurrent
+// backends must serialize calls behind their own gate (internal/live's
+// livePacer). The optional capability interfaces below are the exception —
+// they are explicitly safe for concurrent use, because their callers (a
+// server feeding latency windows, a background tracer reading its throttle)
+// live outside the gate.
+type Policy interface {
+	// Kickoff reports whether the concurrent phase should start now.
+	Kickoff() bool
+	// KickoffThreshold is the free-memory level below which Kickoff fires.
+	KickoffThreshold() float64
+	// StartCycle resets per-cycle progress state when a cycle begins.
+	StartCycle()
+	// IncrementBudget is the allocation-tax entry point: the tracing budget
+	// owed for one allocation increment.
+	IncrementBudget(allocWords int64) Budget
+	// PressureBudget is the backpressure variant: the tracing budget a
+	// mutator blocked on an exhausted heap owes per wait round.
+	PressureBudget(allocWords int64) Budget
+	// EndIncrement reports the tracing work an increment actually performed.
+	EndIncrement(doneWords int64)
+	// NoteTraced accounts tracing work from any participant.
+	NoteTraced(words int64)
+	// NoteAllocation feeds the allocation side of the background-rate window.
+	NoteAllocation(words int64)
+	// NoteBackgroundWork accounts background-thread tracing.
+	NoteBackgroundWork(words int64)
+	// EndCycle records the cycle's actuals into the predictors.
+	EndCycle(tracedWords, dirtyCardWords int64)
+	// Rate is the current tracing rate (words traced per word allocated).
+	Rate() float64
+	// RateDetail is Rate plus the telemetry terms (corrective, Best).
+	RateDetail() (k, corrective, best float64)
+	// TracedWords is T, the tracing volume accumulated this cycle.
+	TracedWords() int64
+}
+
+// LatencyObserver is implemented by policies that consume a live latency
+// signal (SLOPolicy). ObserveLatency is safe for concurrent use — it is
+// called from whatever goroutine watches the workload (a load generator's
+// window feeder), not from behind the backend's policy gate.
+type LatencyObserver interface {
+	// ObserveLatency feeds one completed latency-window sample: the worst
+	// request latency, in nanoseconds, seen in the window.
+	ObserveLatency(ns int64)
+}
+
+// BgTuner is implemented by policies that modulate the background tracers'
+// duty cycle. BgThrottleFactor is safe for concurrent use — background
+// tracers read it between packets without taking the policy gate. The
+// backend multiplies its base throttle by the factor: < 1 runs the
+// background tracers hotter (spending CPU to relieve the mutator tax),
+// > 1 parks them longer (saving CPU when the latency budget allows).
+type BgTuner interface {
+	BgThrottleFactor() float64
+}
+
+// Name reports a short policy identifier for reports and benchmark records:
+// the policy's own name when it implements namer, "formula" for the plain
+// FormulaPolicy, "none" for nil.
+func Name(p Policy) string {
+	if p == nil {
+		return "none"
+	}
+	if n, ok := p.(interface{ PolicyName() string }); ok {
+		return n.PolicyName()
+	}
+	return "formula"
+}

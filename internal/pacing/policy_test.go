@@ -1,0 +1,305 @@
+package pacing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// policyCase builds one Policy implementation over a fresh fakeHeap, for the
+// conformance suite that every policy must pass regardless of how it bends
+// the formula.
+type policyCase struct {
+	name  string
+	build func(free, occupied int64) (Policy, *fakeHeap)
+}
+
+func policyCases() []policyCase {
+	formula := Config{K0: 8, SmoothAlpha: 0.5, C: 2, Headroom: 50}
+	return []policyCase{
+		{"formula", func(free, occupied int64) (Policy, *fakeHeap) {
+			h := &fakeHeap{free: free, occupied: occupied}
+			return NewFormula(formula, h), h
+		}},
+		{"slo", func(free, occupied int64) (Policy, *fakeHeap) {
+			h := &fakeHeap{free: free, occupied: occupied}
+			return NewSLO(SLOConfig{Formula: formula, Target: time.Millisecond}, h), h
+		}},
+		{"slo-hot", func(free, occupied int64) (Policy, *fakeHeap) {
+			// The controller under heavy latency pressure: the conformance
+			// properties must hold at the extremes of the control range too.
+			h := &fakeHeap{free: free, occupied: occupied}
+			p := NewSLO(SLOConfig{Formula: formula, Target: time.Millisecond}, h)
+			for i := 0; i < 16; i++ {
+				p.ObserveLatency(int64(20 * time.Millisecond))
+			}
+			return p, h
+		}},
+	}
+}
+
+// TestPolicyKickoffMonotone: with the policy's other state fixed, shrinking
+// free memory never turns a firing kickoff back off. A policy violating this
+// could skip collection entirely while the heap drains.
+func TestPolicyKickoffMonotone(t *testing.T) {
+	for _, tc := range policyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p, h := tc.build(1<<20, 4096)
+			p.EndCycle(8000, 800) // prime the predictors
+			fired := false
+			for free := int64(1 << 20); free >= 0; free -= 1 << 12 {
+				h.free = free
+				k := p.Kickoff()
+				if fired && !k {
+					t.Fatalf("kickoff regressed from firing to not at free=%d", free)
+				}
+				fired = fired || k
+			}
+			if !fired {
+				t.Fatal("kickoff never fired even at free=0")
+			}
+		})
+	}
+}
+
+// TestPolicyBudgetNonNegative: budgets and rates must never go negative, for
+// any allocation size, heap state or predictor history — a negative budget
+// would credit the mutator with tracing work.
+func TestPolicyBudgetNonNegative(t *testing.T) {
+	for _, tc := range policyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			p, h := tc.build(1<<16, 1<<14)
+			p.EndCycle(int64(rng.Intn(1<<14)), int64(rng.Intn(1<<10)))
+			p.StartCycle()
+			for i := 0; i < 500; i++ {
+				h.free = int64(rng.Intn(1 << 17))
+				h.occupied = int64(rng.Intn(1 << 15))
+				alloc := int64(rng.Intn(1 << 10))
+				if b := p.IncrementBudget(alloc); b.Words < 0 || b.K < 0 {
+					t.Fatalf("IncrementBudget(%d) = %+v at free=%d", alloc, b, h.free)
+				}
+				if b := p.PressureBudget(alloc); b.Words < 0 || b.K < 0 {
+					t.Fatalf("PressureBudget(%d) = %+v at free=%d", alloc, b, h.free)
+				}
+				if r := p.Rate(); r < 0 || math.IsNaN(r) {
+					t.Fatalf("Rate() = %v", r)
+				}
+				if th := p.KickoffThreshold(); th < 0 || math.IsNaN(th) {
+					t.Fatalf("KickoffThreshold() = %v", th)
+				}
+				p.NoteTraced(int64(rng.Intn(1 << 9)))
+				if i%50 == 49 {
+					p.EndIncrement(int64(rng.Intn(1 << 9)))
+					p.EndCycle(int64(rng.Intn(1<<14)), int64(rng.Intn(1<<10)))
+					p.StartCycle()
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyDeterminism: two instances fed the identical seeded script must
+// produce identical budgets — policies may keep smoothed state but not
+// hidden randomness or wall-clock dependence.
+func TestPolicyDeterminism(t *testing.T) {
+	for _, tc := range policyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() []Budget {
+				rng := rand.New(rand.NewSource(42))
+				p, h := tc.build(1<<16, 1<<14)
+				var out []Budget
+				for cycle := 0; cycle < 5; cycle++ {
+					p.StartCycle()
+					for i := 0; i < 100; i++ {
+						h.free = int64(1<<16 - rng.Intn(1<<15))
+						out = append(out, p.IncrementBudget(int64(rng.Intn(256))))
+						p.NoteTraced(int64(rng.Intn(512)))
+						p.NoteBackgroundWork(int64(rng.Intn(128)))
+						p.NoteAllocation(int64(rng.Intn(256)))
+					}
+					p.EndIncrement(int64(rng.Intn(512)))
+					p.EndCycle(int64(rng.Intn(1<<14)), int64(rng.Intn(1<<10)))
+				}
+				return out
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("budget %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyName covers the report vocabulary: nil, the formula, and any
+// policy that names itself.
+func TestPolicyName(t *testing.T) {
+	h := &fakeHeap{free: 100}
+	if got := Name(nil); got != "none" {
+		t.Fatalf("Name(nil) = %q", got)
+	}
+	if got := Name(NewFormula(Default(), h)); got != "formula" {
+		t.Fatalf("Name(formula) = %q", got)
+	}
+	if got := Name(NewSLO(DefaultSLO(), h)); got != "slo" {
+		t.Fatalf("Name(slo) = %q", got)
+	}
+}
+
+// TestSLOKickoffSupersetOfFormula: wherever the formula fires, the SLO policy
+// must fire too — the controller may only move kickoff earlier, never later
+// than the geometry requires.
+func TestSLOKickoffSupersetOfFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		h := &fakeHeap{}
+		cfg := Config{K0: 4 + float64(rng.Intn(12)), SmoothAlpha: 0.5, Headroom: int64(rng.Intn(1 << 10))}
+		f := NewFormula(cfg, h)
+		s := NewSLO(SLOConfig{Formula: cfg, Target: time.Millisecond}, h)
+		traced, dirty := int64(rng.Intn(1<<14)), int64(rng.Intn(1<<10))
+		f.EndCycle(traced, dirty)
+		s.EndCycle(traced, dirty)
+		// Random latency history, including runs far over target.
+		for i := 0; i < rng.Intn(8); i++ {
+			s.ObserveLatency(int64(rng.Intn(int(10 * time.Millisecond))))
+		}
+		h.free = int64(rng.Intn(1 << 16))
+		h.occupied = int64(rng.Intn(1 << 15))
+		if f.Kickoff() && !s.Kickoff() {
+			t.Fatalf("trial %d: formula fires at free=%d but SLO does not", trial, h.free)
+		}
+	}
+}
+
+// TestSLOTaxFloor: however far latency overshoots, the shaved budget must
+// stay at or above FloorK of the formula's budget — and must not be shaved
+// at all when free memory is inside half the kickoff threshold.
+func TestSLOTaxFloor(t *testing.T) {
+	cfg := Config{K0: 8, SmoothAlpha: 0.5}
+	target := time.Millisecond
+	h := &fakeHeap{free: 1 << 16, occupied: 1 << 14}
+	fh := &fakeHeap{free: 1 << 16, occupied: 1 << 14}
+	s := NewSLO(SLOConfig{Formula: cfg, Target: target, FloorK: 0.25}, h)
+	f := NewFormula(cfg, fh)
+	s.EndCycle(1<<14, 0)
+	f.EndCycle(1<<14, 0)
+	s.StartCycle()
+	f.StartCycle()
+	// Latency 1000x over target: the scale must bottom out at the floor.
+	for i := 0; i < 32; i++ {
+		s.ObserveLatency(int64(1000 * target))
+	}
+	const alloc = 512
+	sb, fb := s.IncrementBudget(alloc), f.IncrementBudget(alloc)
+	if fb.Words == 0 {
+		t.Fatal("formula budget unexpectedly zero; test needs a real tax")
+	}
+	if sb.Words >= fb.Words {
+		t.Fatalf("overshoot did not shave the tax: slo %d vs formula %d", sb.Words, fb.Words)
+	}
+	if min := int64(0.25*float64(fb.Words)) - 1; sb.Words < min {
+		t.Fatalf("tax shaved below floor: slo %d, floor %d (formula %d)", sb.Words, min, fb.Words)
+	}
+	// Inside half the kickoff threshold the shave must vanish entirely.
+	h.free = int64(s.Formula().KickoffThreshold()/2) - 1
+	fh.free = h.free
+	sb, fb = s.IncrementBudget(alloc), f.IncrementBudget(alloc)
+	if sb.Words != fb.Words {
+		t.Fatalf("tax shaved inside the safety floor: slo %d vs formula %d", sb.Words, fb.Words)
+	}
+}
+
+// TestSLOBgFactorDirection: over target the background tracers run hotter
+// (factor < 1, clamped at BgMin); under target they park longer (factor > 1,
+// clamped at BgMax); with no samples the factor is exactly 1.
+func TestSLOBgFactorDirection(t *testing.T) {
+	target := time.Millisecond
+	build := func() *SLOPolicy {
+		// Gain 8 so both clamps actually bind: the undershoot slope is
+		// 1 + gain*(1-ratio), which never reaches BgMax at small gains.
+		return NewSLO(SLOConfig{Formula: Default(), Target: target, Gain: 8, BgMin: 0.125, BgMax: 4}, &fakeHeap{free: 1 << 16})
+	}
+	p := build()
+	if f := p.BgThrottleFactor(); f != 1 {
+		t.Fatalf("no-sample factor = %v, want 1", f)
+	}
+	p.ObserveLatency(int64(2 * target))
+	if f := p.BgThrottleFactor(); f >= 1 {
+		t.Fatalf("over-target factor = %v, want < 1", f)
+	}
+	for i := 0; i < 64; i++ {
+		p.ObserveLatency(int64(1000 * target))
+	}
+	if f := p.BgThrottleFactor(); f != 0.125 {
+		t.Fatalf("extreme overshoot factor = %v, want BgMin=0.125", f)
+	}
+	p = build()
+	p.ObserveLatency(int64(target) / 2)
+	if f := p.BgThrottleFactor(); f <= 1 {
+		t.Fatalf("under-target factor = %v, want > 1", f)
+	}
+	for i := 0; i < 64; i++ {
+		p.ObserveLatency(1)
+	}
+	if f := p.BgThrottleFactor(); f != 4 {
+		t.Fatalf("extreme undershoot factor = %v, want BgMax=4", f)
+	}
+}
+
+// TestSLONoSignalMatchesFormula: before any latency window arrives, every
+// budget and threshold must be exactly the formula's — the controller is
+// purely additive on top of a signal.
+func TestSLONoSignalMatchesFormula(t *testing.T) {
+	cfg := Config{K0: 8, SmoothAlpha: 0.5, C: 2, Headroom: 100}
+	hs := &fakeHeap{free: 1 << 16, occupied: 1 << 14}
+	hf := &fakeHeap{free: 1 << 16, occupied: 1 << 14}
+	s := NewSLO(SLOConfig{Formula: cfg, Target: time.Millisecond}, hs)
+	f := NewFormula(cfg, hf)
+	rng := rand.New(rand.NewSource(9))
+	for cycle := 0; cycle < 3; cycle++ {
+		s.StartCycle()
+		f.StartCycle()
+		for i := 0; i < 50; i++ {
+			free := int64(rng.Intn(1 << 16))
+			hs.free, hf.free = free, free
+			alloc := int64(rng.Intn(512))
+			if sb, fb := s.IncrementBudget(alloc), f.IncrementBudget(alloc); sb != fb {
+				t.Fatalf("budget diverges without a signal: %+v vs %+v", sb, fb)
+			}
+			if st, ft := s.KickoffThreshold(), f.KickoffThreshold(); st != ft {
+				t.Fatalf("threshold diverges without a signal: %v vs %v", st, ft)
+			}
+			traced := int64(rng.Intn(1 << 9))
+			s.NoteTraced(traced)
+			f.NoteTraced(traced)
+		}
+		traced, dirty := int64(rng.Intn(1<<14)), int64(rng.Intn(1<<10))
+		s.EndCycle(traced, dirty)
+		f.EndCycle(traced, dirty)
+	}
+}
+
+// TestSLOSmoothing pins the signal EWMA: the first window seeds it, later
+// windows blend by alpha.
+func TestSLOSmoothing(t *testing.T) {
+	p := NewSLO(SLOConfig{Formula: Default(), Target: time.Millisecond, Alpha: 0.5}, &fakeHeap{free: 1 << 16})
+	p.ObserveLatency(1000)
+	if s := p.Stats().Signal; s != 1000 {
+		t.Fatalf("seed signal = %v, want 1000", s)
+	}
+	p.ObserveLatency(2000)
+	if s := p.Stats().Signal; s != 1500 {
+		t.Fatalf("smoothed signal = %v, want 1500", s)
+	}
+	st := p.Stats()
+	if st.Windows != 2 || st.OverTarget != 0 {
+		t.Fatalf("stats = %+v, want 2 windows, 0 over target", st)
+	}
+	p.ObserveLatency(int64(2 * time.Millisecond))
+	if st := p.Stats(); st.OverTarget != 1 {
+		t.Fatalf("over-target count = %d, want 1", st.OverTarget)
+	}
+}

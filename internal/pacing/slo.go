@@ -1,0 +1,325 @@
+package pacing
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// SLOConfig tunes the latency-feedback pacing policy. The controller wraps a
+// FormulaPolicy built from Formula: the Section 3 geometry remains the
+// safety floor, and the SLO terms only ever move the policy to the *safe*
+// side of it (earlier kickoff, hotter background tracers) or shave the
+// mutator tax within a bounded fraction of the formula's rate.
+type SLOConfig struct {
+	// Formula is the Section 3 parameter set the controller floors on.
+	Formula Config
+	// Target is the latency objective: the windowed worst request latency
+	// (the live p99 proxy gcserve feeds) the controller steers toward.
+	Target time.Duration
+	// Gain is the proportional gain applied to the error ratio
+	// (observed/target - 1). Zero means DefaultSLOGain.
+	Gain float64
+	// FloorK is the lowest fraction of the formula's tracing rate the
+	// controller may shave the mutator tax to; the remainder is shifted to
+	// the background tracers. Zero means DefaultSLOFloorK.
+	FloorK float64
+	// BgMin and BgMax bound the background-throttle factor: BgMin is the
+	// hottest the controller runs the background tracers when latency is
+	// over target (factor < 1 shortens their parking), BgMax the laziest
+	// when latency is comfortably under it. Zeroes mean DefaultSLOBgMin
+	// and DefaultSLOBgMax.
+	BgMin float64
+	BgMax float64
+	// Alpha smooths the observed latency windows; zero means
+	// DefaultSLOAlpha.
+	Alpha float64
+	// KickoffBoost caps the multiplier the controller may apply to the
+	// formula's kickoff threshold when latency is over target (kick off
+	// earlier, never later). Zero means DefaultSLOKickoffBoost.
+	KickoffBoost float64
+}
+
+// Defaults for the zero-valued SLOConfig fields.
+const (
+	DefaultSLOGain         = 1.0
+	DefaultSLOFloorK       = 0.25
+	DefaultSLOBgMin        = 0.125
+	DefaultSLOBgMax        = 4.0
+	DefaultSLOAlpha        = 0.3
+	DefaultSLOKickoffBoost = 2.0
+)
+
+// DefaultSLO returns the controller defaults over the paper's formula
+// defaults, with the target left for the caller to set.
+func DefaultSLO() SLOConfig {
+	return SLOConfig{Formula: Default()}
+}
+
+func (c SLOConfig) gain() float64 {
+	if c.Gain > 0 {
+		return c.Gain
+	}
+	return DefaultSLOGain
+}
+
+func (c SLOConfig) floorK() float64 {
+	if c.FloorK > 0 {
+		return c.FloorK
+	}
+	return DefaultSLOFloorK
+}
+
+func (c SLOConfig) bgMin() float64 {
+	if c.BgMin > 0 {
+		return c.BgMin
+	}
+	return DefaultSLOBgMin
+}
+
+func (c SLOConfig) bgMax() float64 {
+	if c.BgMax > 0 {
+		return c.BgMax
+	}
+	return DefaultSLOBgMax
+}
+
+func (c SLOConfig) alpha() float64 {
+	if c.Alpha > 0 {
+		return c.Alpha
+	}
+	return DefaultSLOAlpha
+}
+
+func (c SLOConfig) kickoffBoost() float64 {
+	if c.KickoffBoost > 1 {
+		return c.KickoffBoost
+	}
+	return DefaultSLOKickoffBoost
+}
+
+// SLOStats is a snapshot of the controller's observation counters, for
+// reports and telemetry.
+type SLOStats struct {
+	// Windows is the number of latency windows observed.
+	Windows int64
+	// OverTarget is how many of them exceeded the target.
+	OverTarget int64
+	// Signal is the smoothed windowed worst latency, in nanoseconds.
+	Signal float64
+	// BgFactor is the background-throttle factor currently in effect.
+	BgFactor float64
+}
+
+// SLOPolicy trades collector CPU for request tail latency against a target.
+// It wraps a FormulaPolicy and consumes a live latency signal — the per-
+// window worst request latency a server workload feeds through
+// ObserveLatency. While the signal sits under the target the policy behaves
+// exactly like the formula, except that it parks the background tracers
+// longer (up to BgMax) to save CPU. When the signal crosses the target it
+// spends CPU to pull the tail back: background tracers run hotter (down to
+// BgMin), kickoff fires earlier (threshold scaled up to KickoffBoost), and
+// the mutators' inline tax is shaved toward FloorK of the formula rate so
+// request paths stall less — but never below it, and never when the heap is
+// inside half the kickoff threshold, so the geometry's completion guarantee
+// survives the controller.
+//
+// The pacing-protocol methods are single-threaded like every Policy;
+// ObserveLatency and BgThrottleFactor are safe for concurrent use.
+type SLOPolicy struct {
+	f    *FormulaPolicy
+	cfg  SLOConfig
+	heap HeapView
+
+	// Controller state, written by ObserveLatency (feeder goroutine) and
+	// read by the pacing-protocol methods (policy gate): float64 bits.
+	signal   atomic.Uint64 // smoothed windowed worst latency, ns
+	bgFactor atomic.Uint64 // background-throttle factor
+
+	windows    atomic.Int64
+	overTarget atomic.Int64
+}
+
+var (
+	_ Policy          = (*SLOPolicy)(nil)
+	_ LatencyObserver = (*SLOPolicy)(nil)
+	_ BgTuner         = (*SLOPolicy)(nil)
+)
+
+// NewSLO builds the latency-feedback policy over the given heap view.
+func NewSLO(cfg SLOConfig, heap HeapView) *SLOPolicy {
+	p := &SLOPolicy{
+		f:    NewFormula(cfg.Formula, heap),
+		cfg:  cfg,
+		heap: heap,
+	}
+	p.bgFactor.Store(math.Float64bits(1.0))
+	return p
+}
+
+// PolicyName identifies the policy in reports and benchmark records.
+func (p *SLOPolicy) PolicyName() string { return "slo" }
+
+// Config returns the controller configuration.
+func (p *SLOPolicy) Config() SLOConfig { return p.cfg }
+
+// Formula returns the wrapped Section 3 policy (the safety floor).
+func (p *SLOPolicy) Formula() *FormulaPolicy { return p.f }
+
+// ObserveLatency feeds one completed latency window's worst request latency.
+// Safe for concurrent use; the smoothed signal and the background-throttle
+// factor are recomputed here so the hot pacing methods only load them.
+func (p *SLOPolicy) ObserveLatency(ns int64) {
+	if ns <= 0 || p.cfg.Target <= 0 {
+		return
+	}
+	p.windows.Add(1)
+	if ns > int64(p.cfg.Target) {
+		p.overTarget.Add(1)
+	}
+	alpha := p.cfg.alpha()
+	var s float64
+	for {
+		old := p.signal.Load()
+		s = math.Float64frombits(old)
+		if s == 0 {
+			s = float64(ns)
+		} else {
+			s = alpha*float64(ns) + (1-alpha)*s
+		}
+		if p.signal.CompareAndSwap(old, math.Float64bits(s)) {
+			break
+		}
+	}
+	p.bgFactor.Store(math.Float64bits(p.bgFactorFor(s / float64(p.cfg.Target))))
+}
+
+// bgFactorFor maps the error ratio to a background-throttle factor: 1 at
+// the target, sliding toward BgMin as latency overshoots and toward BgMax
+// as it undershoots, with the gain setting the slope on both sides.
+func (p *SLOPolicy) bgFactorFor(ratio float64) float64 {
+	g := p.cfg.gain()
+	var f float64
+	if ratio >= 1 {
+		f = 1 / (1 + g*(ratio-1))
+		if min := p.cfg.bgMin(); f < min {
+			f = min
+		}
+	} else {
+		f = 1 + g*(1-ratio)
+		if max := p.cfg.bgMax(); f > max {
+			f = max
+		}
+	}
+	return f
+}
+
+// ratio returns smoothed-signal/target, or 0 while no signal exists.
+func (p *SLOPolicy) ratio() float64 {
+	if p.cfg.Target <= 0 {
+		return 0
+	}
+	s := math.Float64frombits(p.signal.Load())
+	if s == 0 {
+		return 0
+	}
+	return s / float64(p.cfg.Target)
+}
+
+// BgThrottleFactor returns the multiplier the backend applies to its base
+// background-tracer throttle. Safe for concurrent use.
+func (p *SLOPolicy) BgThrottleFactor() float64 {
+	return math.Float64frombits(p.bgFactor.Load())
+}
+
+// Stats snapshots the controller's observation counters.
+func (p *SLOPolicy) Stats() SLOStats {
+	return SLOStats{
+		Windows:    p.windows.Load(),
+		OverTarget: p.overTarget.Load(),
+		Signal:     math.Float64frombits(p.signal.Load()),
+		BgFactor:   p.BgThrottleFactor(),
+	}
+}
+
+// KickoffThreshold scales the formula's threshold up (never down) by the
+// clamped overshoot, so a run that is missing its latency target starts
+// cycles earlier and spreads the tracing over more free memory.
+func (p *SLOPolicy) KickoffThreshold() float64 {
+	t := p.f.KickoffThreshold()
+	if r := p.ratio(); r > 1 {
+		boost := 1 + p.cfg.gain()*(r-1)
+		if max := p.cfg.kickoffBoost(); boost > max {
+			boost = max
+		}
+		t *= boost
+	}
+	return t
+}
+
+// Kickoff fires whenever the formula fires — the geometry floor — or when
+// free memory drops below the boosted threshold.
+func (p *SLOPolicy) Kickoff() bool {
+	return p.f.Kickoff() || float64(p.heap.FreeWords()) < p.KickoffThreshold()
+}
+
+// taxScale returns the factor applied to the formula's budget: 1 while the
+// signal is at or under target or the heap is too close to kickoff for
+// shaving to be safe, sliding toward FloorK as latency overshoots.
+func (p *SLOPolicy) taxScale() float64 {
+	r := p.ratio()
+	if r <= 1 {
+		return 1
+	}
+	// Safety floor: inside half the kickoff threshold the geometry is in
+	// charge — tracing must not fall behind, whatever the tail looks like.
+	if float64(p.heap.FreeWords()) < p.f.KickoffThreshold()/2 {
+		return 1
+	}
+	s := 1 / (1 + p.cfg.gain()*(r-1))
+	if floor := p.cfg.floorK(); s < floor {
+		s = floor
+	}
+	return s
+}
+
+// IncrementBudget shaves the formula's budget by the controller's tax scale:
+// the shaved tracing debt does not vanish — T advances more slowly, so the
+// progress formula re-levies it (with correction) across later increments
+// and the unthrottled background tracers.
+func (p *SLOPolicy) IncrementBudget(allocWords int64) Budget {
+	b := p.f.IncrementBudget(allocWords)
+	if s := p.taxScale(); s < 1 && b.Words > 0 {
+		b.Words = int64(float64(b.Words) * s)
+		b.K *= s
+	}
+	return b
+}
+
+// PressureBudget passes through unshaved: backpressure means the heap is
+// already exhausted, where the latency controller has no business easing
+// the debtors' repayment.
+func (p *SLOPolicy) PressureBudget(allocWords int64) Budget {
+	return p.f.PressureBudget(allocWords)
+}
+
+// The remaining protocol methods delegate to the formula floor.
+
+func (p *SLOPolicy) StartCycle()                 { p.f.StartCycle() }
+func (p *SLOPolicy) EndIncrement(done int64)     { p.f.EndIncrement(done) }
+func (p *SLOPolicy) NoteTraced(words int64)      { p.f.NoteTraced(words) }
+func (p *SLOPolicy) NoteAllocation(words int64)  { p.f.NoteAllocation(words) }
+func (p *SLOPolicy) NoteBackgroundWork(w int64)  { p.f.NoteBackgroundWork(w) }
+func (p *SLOPolicy) EndCycle(traced, dirt int64) { p.f.EndCycle(traced, dirt) }
+func (p *SLOPolicy) Rate() float64               { return p.f.Rate() }
+func (p *SLOPolicy) TracedWords() int64          { return p.f.TracedWords() }
+
+// RateDetail reports the formula's terms with the controller's tax scale
+// applied to K, matching what IncrementBudget would hand out.
+func (p *SLOPolicy) RateDetail() (k, corrective, best float64) {
+	k, corrective, best = p.f.RateDetail()
+	if s := p.taxScale(); s < 1 {
+		k *= s
+	}
+	return k, corrective, best
+}

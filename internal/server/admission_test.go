@@ -104,9 +104,11 @@ func TestAdmissionShedsUnderOverload(t *testing.T) {
 		PacketCap:       8,
 		Duration:        dur,
 		Seed:            5,
-		Faults:          faultinject.MustParse("live.overload=on", 7),
-		WedgeTimeout:    15 * time.Second,
-		Ladder:          live.LadderConfig{Enabled: true, BackpressureWait: 5 * time.Millisecond},
+		FaultOptions: live.FaultOptions{
+			Faults:       faultinject.MustParse("live.overload=on", 7),
+			WedgeTimeout: 15 * time.Second,
+		},
+		LadderOptions: live.LadderOptions{Ladder: live.LadderConfig{Enabled: true, BackpressureWait: 5 * time.Millisecond}},
 	})
 	st := NewStore(eng, StoreConfig{Shards: 4, Buckets: 16})
 	lg := NewLoadGen(eng, st, LoadConfig{

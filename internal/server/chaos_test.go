@@ -60,8 +60,10 @@ func TestServerChaosMatrix(t *testing.T) {
 				PacketCap:       8,
 				Duration:        dur,
 				Seed:            3,
-				Faults:          faultinject.MustParse(tc.spec, 7),
-				WedgeTimeout:    15 * time.Second, // fault stalls must not trip it
+				FaultOptions: live.FaultOptions{
+					Faults:       faultinject.MustParse(tc.spec, 7),
+					WedgeTimeout: 15 * time.Second, // fault stalls must not trip it
+				},
 			}
 			lcfg := LoadConfig{
 				Clients:  clients,

@@ -23,7 +23,7 @@ func testEngine(clients int, dur time.Duration, seed int64) *live.Engine {
 		PacketCap:       8,
 		Duration:        dur,
 		Seed:            seed,
-		WedgeTimeout:    20 * time.Second,
+		FaultOptions:    live.FaultOptions{WedgeTimeout: 20 * time.Second},
 	})
 }
 
